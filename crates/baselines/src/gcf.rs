@@ -1,0 +1,125 @@
+//! GCFExplainer (Huang et al., WSDM 2023): **global** counterfactual
+//! reasoning — the original summarizes a whole label group with a small
+//! set of counterfactual graphs rather than explaining instances. To make
+//! it comparable under the instance-level fidelity harness (as the GVEX
+//! paper also had to), this adaptation keeps the global character: a
+//! greedy counterfactual edit search runs **once per label** (on the
+//! first graph seen) and distills a per-(node type, degree bucket)
+//! importance table; every graph of that label is then explained by its
+//! top-scoring nodes under that shared table. Instance-specific detail is
+//! deliberately absent — exactly the limitation the paper attributes to
+//! global explainers.
+
+use gvex_core::Explainer;
+use gvex_gnn::GcnModel;
+use gvex_graph::{ClassLabel, Graph, NodeId, NodeType};
+use rustc_hash::FxHashMap;
+use std::sync::Mutex;
+
+/// Degree buckets used in the importance signature.
+const DEGREE_BUCKETS: usize = 6;
+
+/// Global counterfactual-edit explainer.
+#[derive(Debug)]
+pub struct GcfExplainer {
+    /// Candidate removals evaluated per greedy step (cost cap).
+    pub beam: usize,
+    /// Per-label importance tables, learned lazily.
+    table: Mutex<FxHashMap<ClassLabel, FxHashMap<(NodeType, usize), f64>>>,
+}
+
+impl Default for GcfExplainer {
+    fn default() -> Self {
+        Self { beam: 24, table: Mutex::new(FxHashMap::default()) }
+    }
+}
+
+impl Clone for GcfExplainer {
+    fn clone(&self) -> Self {
+        Self { beam: self.beam, table: Mutex::new(self.table.lock().expect("gcf lock").clone()) }
+    }
+}
+
+fn bucket(deg: usize) -> usize {
+    deg.min(DEGREE_BUCKETS - 1)
+}
+
+impl GcfExplainer {
+    /// Greedy counterfactual search on one representative graph: remove
+    /// the node with the largest label-probability drop until the label
+    /// flips, crediting each removed node's (type, degree) signature with
+    /// the drop it achieved.
+    fn learn_table(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        label: ClassLabel,
+    ) -> FxHashMap<(NodeType, usize), f64> {
+        let n = g.num_nodes();
+        let mut removed: Vec<NodeId> = Vec::new();
+        let mut table: FxHashMap<(NodeType, usize), f64> = FxHashMap::default();
+        let mut p_cur = model.predict_proba(g)[label as usize];
+        for _ in 0..n.min(3 * DEGREE_BUCKETS) {
+            let (rest, _) = g.remove_nodes(&removed);
+            if rest.num_nodes() == 0 || (!removed.is_empty() && model.predict(&rest) != label) {
+                break;
+            }
+            let remaining: Vec<NodeId> = g.node_ids().filter(|v| !removed.contains(v)).collect();
+            let step = (remaining.len() / self.beam).max(1);
+            let mut best: Option<(f64, NodeId)> = None;
+            for &v in remaining.iter().step_by(step) {
+                let mut trial = removed.clone();
+                trial.push(v);
+                let (rest, _) = g.remove_nodes(&trial);
+                let p = model.predict_proba(&rest)[label as usize];
+                match best {
+                    Some((bp, _)) if p >= bp => {}
+                    _ => best = Some((p, v)),
+                }
+            }
+            let Some((p, v)) = best else { break };
+            let drop = (p_cur - p).max(0.0);
+            *table.entry((g.node_type(v), bucket(g.degree(v)))).or_insert(0.0) += drop + 1e-6;
+            removed.push(v);
+            p_cur = p;
+        }
+        table
+    }
+}
+
+impl Explainer for GcfExplainer {
+    fn name(&self) -> &'static str {
+        "GCF"
+    }
+
+    fn explain_graph(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        label: ClassLabel,
+        budget: usize,
+    ) -> Vec<NodeId> {
+        let n = g.num_nodes();
+        if n == 0 || budget == 0 {
+            return Vec::new();
+        }
+        let table = {
+            let mut cache = self.table.lock().expect("gcf lock");
+            cache.entry(label).or_insert_with(|| self.learn_table(model, g, label)).clone()
+        };
+        // Score every node by the shared (global) signature table.
+        let mut ranked: Vec<(f64, usize, NodeId)> = g
+            .node_ids()
+            .map(|v| {
+                let s = table.get(&(g.node_type(v), bucket(g.degree(v)))).copied().unwrap_or(0.0);
+                (s, g.degree(v), v)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).unwrap().then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2))
+        });
+        let mut out: Vec<NodeId> = ranked.into_iter().take(budget).map(|(_, _, v)| v).collect();
+        out.sort_unstable();
+        out
+    }
+}

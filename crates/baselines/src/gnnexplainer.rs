@@ -1,0 +1,143 @@
+//! GNNExplainer (Ying et al., NeurIPS 2019): learns soft masks over edges
+//! and node features that maximize the mutual information between the
+//! masked prediction and the original one — realized, as in the original,
+//! by minimizing the cross-entropy of the masked forward pass toward the
+//! predicted label, with size and entropy regularizers on the masks.
+
+use gvex_core::Explainer;
+use gvex_gnn::{GcnModel, Propagation};
+use gvex_graph::{ClassLabel, Graph, NodeId};
+use gvex_linalg::Matrix;
+use rustc_hash::FxHashSet;
+
+/// Mask-learning explainer.
+#[derive(Debug, Clone)]
+pub struct GnnExplainer {
+    /// Gradient-descent epochs over the masks.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Size regularizer λ₁ on `Σ σ(m)` (drives masks sparse).
+    pub size_reg: f64,
+    /// Entropy regularizer λ₂ (drives masks binary).
+    pub entropy_reg: f64,
+}
+
+impl Default for GnnExplainer {
+    fn default() -> Self {
+        Self { epochs: 120, lr: 0.1, size_reg: 0.03, entropy_reg: 0.1 }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl GnnExplainer {
+    /// Learns the edge mask for one graph; returns σ(m) per canonical edge.
+    pub fn learn_edge_mask(&self, model: &GcnModel, g: &Graph, label: ClassLabel) -> Vec<f64> {
+        let prop = Propagation::new(g);
+        let ne = prop.edge_list().len();
+        let nf = g.feature_dim();
+        // Mask logits, initialized mildly open (σ(1) ≈ 0.73).
+        let mut em = vec![1.0f64; ne];
+        let mut fm = vec![1.0f64; nf];
+        for _ in 0..self.epochs {
+            let es: Vec<f64> = em.iter().map(|&x| sigmoid(x)).collect();
+            let fs: Vec<f64> = fm.iter().map(|&x| sigmoid(x)).collect();
+            let s = prop.masked(&es);
+            let mut x = g.features().clone();
+            for r in 0..x.rows() {
+                for (c, &m) in fs.iter().enumerate() {
+                    x.set(r, c, x.get(r, c) * m);
+                }
+            }
+            let fwd = model.forward(&s, &x);
+            let (_, mg) = model.mask_backward(&fwd, label as usize, &prop, g.features(), &fs);
+            // Chain through the sigmoid plus the regularizer gradients.
+            for e in 0..ne {
+                let sg = es[e] * (1.0 - es[e]);
+                let ent_grad = if es[e] > 1e-6 && es[e] < 1.0 - 1e-6 {
+                    (es[e] / (1.0 - es[e])).ln()
+                } else {
+                    0.0
+                };
+                let grad = mg.edge[e] * sg + self.size_reg * sg - self.entropy_reg * ent_grad * sg;
+                em[e] -= self.lr * grad;
+            }
+            for j in 0..nf {
+                let sg = fs[j] * (1.0 - fs[j]);
+                let grad = mg.feature[j] * sg + self.size_reg * sg;
+                fm[j] -= self.lr * grad;
+            }
+        }
+        em.iter().map(|&x| sigmoid(x)).collect()
+    }
+}
+
+impl Explainer for GnnExplainer {
+    fn name(&self) -> &'static str {
+        "GE"
+    }
+
+    /// Explains by learning the edge mask and inducing the node set from
+    /// the highest-weight edges until the budget is reached.
+    fn explain_graph(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        label: ClassLabel,
+        budget: usize,
+    ) -> Vec<NodeId> {
+        if g.num_nodes() == 0 || budget == 0 {
+            return Vec::new();
+        }
+        let prop = Propagation::new(g);
+        let mask = self.learn_edge_mask(model, g, label);
+        let mut ranked: Vec<(f64, (u32, u32))> = mask
+            .iter()
+            .zip(prop.edge_list())
+            .map(|(&m, &(u, v))| (m, (u, v)))
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut nodes: FxHashSet<NodeId> = FxHashSet::default();
+        for (_, (u, v)) in ranked {
+            let mut add = Vec::new();
+            if !nodes.contains(&u) {
+                add.push(u);
+            }
+            if !nodes.contains(&v) {
+                add.push(v);
+            }
+            if nodes.len() + add.len() > budget {
+                continue;
+            }
+            nodes.extend(add);
+            if nodes.len() == budget {
+                break;
+            }
+        }
+        if nodes.is_empty() {
+            // Isolated-ish graph: fall back to node 0.
+            nodes.insert(0);
+        }
+        let mut out: Vec<NodeId> = nodes.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Helper shared by sampling-based baselines: probability of `label` for
+/// the subgraph induced by `nodes` (empty set → empty-graph bias).
+pub(crate) fn induced_label_prob(
+    model: &GcnModel,
+    g: &Graph,
+    nodes: &[NodeId],
+    label: ClassLabel,
+) -> f64 {
+    let (sub, _) = g.induced_subgraph(nodes);
+    model.predict_proba(&sub)[label as usize]
+}
+
+/// Helper: feature matrix type re-export for the mask test.
+pub(crate) type _M = Matrix;

@@ -1,0 +1,43 @@
+//! Baseline GNN explainers (system S12): the four competitors of §6.1,
+//! re-implemented from scratch on the same GCN substrate and exposed
+//! through the [`gvex_core::Explainer`] trait so the experiment harness
+//! evaluates every method identically.
+//!
+//! - [`GnnExplainer`]: learns soft edge + node-feature masks by gradient
+//!   descent on mutual information (Ying et al. 2019).
+//! - [`SubgraphX`]: Monte-Carlo-tree-search over node-pruned subgraphs
+//!   scored by sampled Shapley values (Yuan et al. 2021).
+//! - [`GStarX`]: structure-aware node scores from sampled coalition
+//!   values restricted to connected coalitions (Zhang et al. 2022).
+//! - [`GcfExplainer`]: counterfactual explanation by greedy edit search
+//!   toward a label flip (Huang et al. 2023), adapted to emit the node
+//!   set responsible for the prediction.
+//!
+//! Each method is seeded and deterministic; sample counts default to
+//! values that reproduce the paper's *relative* behaviour (GVEX wins on
+//! fidelity and runtime) at laptop scale.
+
+mod gcf;
+mod gnnexplainer;
+mod gstarx;
+mod subgraphx;
+
+pub use gcf::GcfExplainer;
+pub use gnnexplainer::GnnExplainer;
+pub use gstarx::GStarX;
+pub use subgraphx::SubgraphX;
+
+use gvex_core::Explainer;
+
+/// All four baselines with default settings, as trait objects.
+pub fn all_baselines() -> Vec<Box<dyn Explainer>> {
+    vec![
+        Box::new(GnnExplainer::default()),
+        Box::new(SubgraphX::default()),
+        Box::new(GStarX::default()),
+        Box::new(GcfExplainer::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,27 @@
+//! Criterion benches comparing per-graph explanation cost across all six
+//! methods — the microbench behind the Fig 9(a) runtime ordering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gvex_bench::{methods, prepare};
+use gvex_core::Config;
+use gvex_data::DatasetKind;
+
+fn bench_methods(c: &mut Criterion) {
+    let ds = prepare(DatasetKind::Mutagenicity, 40, 1.0, 7);
+    let id = ds.test_ids[0];
+    let g = ds.db.graph(id).clone();
+    let label = ds.db.predicted(id).unwrap();
+    let budget = 10;
+    for m in methods(&Config::with_bounds(0, budget)) {
+        c.bench_function(&format!("explain_one_graph_{}", m.name()), |b| {
+            b.iter(|| std::hint::black_box(m.explain_graph(&ds.model, &g, label, budget)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_methods
+}
+criterion_main!(benches);

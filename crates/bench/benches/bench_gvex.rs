@@ -1,0 +1,56 @@
+//! Criterion benches for the GVEX algorithms themselves: context build,
+//! ApproxGVEX per graph, StreamGVEX per graph, and Psum summarization —
+//! the per-table cost drivers behind Fig 9.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gvex_bench::prepare;
+use gvex_core::psum::psum;
+use gvex_core::{ApproxGvex, Config, GraphContext, StreamGvex};
+use gvex_data::DatasetKind;
+use gvex_pattern::MinerConfig;
+
+fn bench_gvex(c: &mut Criterion) {
+    let ds = prepare(DatasetKind::Mutagenicity, 40, 1.0, 7);
+    let id = ds.test_ids[0];
+    let g = ds.db.graph(id).clone();
+    let label = ds.db.predicted(id).unwrap();
+    let cfg = Config::with_bounds(0, 10);
+
+    c.bench_function("context_build_mut", |b| {
+        b.iter(|| std::hint::black_box(GraphContext::build(&ds.model, &g, &cfg)))
+    });
+
+    let ag = ApproxGvex::new(cfg.clone());
+    c.bench_function("approx_gvex_one_graph", |b| {
+        b.iter(|| std::hint::black_box(ag.explain_graph(&ds.model, &g, id, label)))
+    });
+
+    let sg = StreamGvex::new(cfg.clone());
+    c.bench_function("stream_gvex_one_graph", |b| {
+        b.iter(|| std::hint::black_box(sg.stream_graph(&ds.model, &g, id, label, None, 1.0)))
+    });
+
+    // Psum over realistic explanation subgraphs.
+    let subs: Vec<gvex_graph::Graph> = ds
+        .test_ids
+        .iter()
+        .take(4)
+        .filter_map(|&i| {
+            let gi = ds.db.graph(i);
+            let l = ds.db.predicted(i)?;
+            let s = ag.explain_graph(&ds.model, gi, i, l)?;
+            Some(gi.induced_subgraph(&s.nodes).0)
+        })
+        .collect();
+    let miner = MinerConfig::default();
+    c.bench_function("psum_summarize_4_subgraphs", |b| {
+        b.iter(|| std::hint::black_box(psum(&subs, &miner)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gvex
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion microbenches for the substrates: GNN forward/backward,
+//! influence computation, VF2 matching, and pattern mining.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gvex_data::{mutagenicity, DataConfig};
+use gvex_gnn::{GcnModel, InfluenceMatrix, InfluenceMode, Propagation};
+use gvex_pattern::{mine, vf2, MinerConfig, Pattern};
+
+fn bench_gnn(c: &mut Criterion) {
+    let db = mutagenicity(DataConfig::new(4, 1));
+    let g = db.graph(0).clone();
+    let model = GcnModel::new(14, 32, 2, 3, 1);
+    let prop = Propagation::new(&g);
+    c.bench_function("gnn_forward_mut_graph", |b| {
+        b.iter(|| std::hint::black_box(model.forward(prop.matrix(), g.features())))
+    });
+    let fwd = model.forward(prop.matrix(), g.features());
+    c.bench_function("gnn_backward_mut_graph", |b| {
+        b.iter(|| std::hint::black_box(model.loss_backward(&fwd, 1, false)))
+    });
+    c.bench_function("gnn_predict_with_prop_build", |b| {
+        b.iter(|| std::hint::black_box(model.predict(&g)))
+    });
+}
+
+fn bench_influence(c: &mut Criterion) {
+    let db = mutagenicity(DataConfig::new(2, 2));
+    let g = db.graph(0).clone();
+    let model = GcnModel::new(14, 32, 2, 3, 2);
+    c.bench_function("influence_random_walk", |b| {
+        b.iter(|| std::hint::black_box(InfluenceMatrix::compute(&model, &g, InfluenceMode::RandomWalk)))
+    });
+    c.bench_function("influence_gated_jacobian", |b| {
+        b.iter(|| std::hint::black_box(InfluenceMatrix::compute(&model, &g, InfluenceMode::GatedJacobian)))
+    });
+}
+
+fn bench_vf2(c: &mut Criterion) {
+    let db = mutagenicity(DataConfig::new(2, 3));
+    let g = db.graph(0).clone();
+    // Nitro pattern: N with two O.
+    let nitro = Pattern::new(&[2, 1, 1], &[(0, 1, 1), (0, 2, 1)]);
+    c.bench_function("vf2_find_nitro", |b| {
+        b.iter(|| std::hint::black_box(vf2::find_embedding(&nitro, &g)))
+    });
+    c.bench_function("vf2_coverage_nitro", |b| {
+        b.iter(|| std::hint::black_box(vf2::coverage(&nitro, &g)))
+    });
+    c.bench_function("vf2_covers_node_anchored", |b| {
+        b.iter(|| std::hint::black_box(vf2::covers_node(&nitro, &g, 0)))
+    });
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let db = mutagenicity(DataConfig::new(3, 4));
+    let graphs: Vec<_> = db.iter().map(|(_, g)| g.clone()).collect();
+    let refs: Vec<&gvex_graph::Graph> = graphs.iter().collect();
+    let cfg = MinerConfig { max_subsets_per_graph: 1000, ..MinerConfig::default() };
+    c.bench_function("pgen_mine_3_molecules", |b| {
+        b.iter_batched(|| refs.clone(), |r| std::hint::black_box(mine(&r, &cfg)), BatchSize::SmallInput)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gnn, bench_influence, bench_vf2, bench_mining
+}
+criterion_main!(benches);

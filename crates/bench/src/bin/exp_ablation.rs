@@ -1,0 +1,5 @@
+//! Ablation study over GVEX design choices; see `gvex_bench::experiments::ablation`.
+
+fn main() {
+    gvex_bench::experiments::ablation::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `gvex_bench::experiments::case_enzymes`.
+
+fn main() {
+    gvex_bench::experiments::case_enzymes::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `gvex_bench::experiments::case_social`.
+
+fn main() {
+    gvex_bench::experiments::case_social::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `gvex_bench::experiments::fig12`.
+
+fn main() {
+    gvex_bench::experiments::fig12::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `gvex_bench::experiments::fig7`.
+
+fn main() {
+    gvex_bench::experiments::fig7::run();
+}

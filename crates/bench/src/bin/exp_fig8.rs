@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `gvex_bench::experiments::fig8`.
+
+fn main() {
+    gvex_bench::experiments::fig8::run();
+}

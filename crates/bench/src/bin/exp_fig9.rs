@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `gvex_bench::experiments::fig9`.
+
+fn main() {
+    gvex_bench::experiments::fig9::run();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper artifact; see `gvex_bench::experiments::table1`.
+
+fn main() {
+    gvex_bench::experiments::table1::run();
+}

@@ -1,0 +1,21 @@
+//! Runs every experiment in sequence (all tables and figures of §6).
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    gvex_bench::experiments::table1::run();
+    gvex_bench::experiments::table3::run();
+    let grid = gvex_bench::experiments::fig5::grid();
+    gvex_bench::experiments::fig5::print_plus(&grid);
+    gvex_bench::write_json("fig5_fidelity_plus", &grid);
+    gvex_bench::experiments::fig6::print_minus(&grid);
+    gvex_bench::write_json("fig6_fidelity_minus", &grid);
+    gvex_bench::experiments::fig7::run();
+    gvex_bench::experiments::fig8::run();
+    gvex_bench::experiments::fig9::run();
+    gvex_bench::experiments::fig12::run();
+    gvex_bench::experiments::ablation::run();
+    gvex_bench::experiments::case_drug::run();
+    gvex_bench::experiments::case_social::run();
+    gvex_bench::experiments::case_enzymes::run();
+    println!("\n[run_all] completed in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,68 @@
+//! Fig 13 (appendix A.9): explanation views for three ENZYMES classes,
+//! showing that the views differ structurally across classes.
+
+use crate::experiments::{describe_pattern, type_namer};
+use crate::{figure_num_graphs, prepare, print_table, write_json};
+use gvex_core::{ApproxGvex, Config};
+use gvex_data::DatasetKind;
+use gvex_pattern::vf2;
+
+/// Entry point for the `exp_case_enzymes` binary.
+pub fn run() {
+    let kind = DatasetKind::Enzymes;
+    let ds = prepare(kind, figure_num_graphs(kind), 1.0, 42);
+    println!("\n== Fig 13 / ENZ case study: views for three classes ==");
+    let ag = ApproxGvex::new(Config::with_bounds(0, 8));
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut views = Vec::new();
+    for class in [0u16, 1, 2] {
+        // Case studies inspect label groups over the whole database (the
+        // test split of the scaled-down run is too small to hit all six
+        // classes).
+        let ids: Vec<u32> = ds.db.label_group(class).into_iter().take(4).collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let view = ag.explain_label(&ds.model, &ds.db, class, &ids);
+        println!("\n  Explanation view for class {class} ({} graphs):", ids.len());
+        for (i, p) in view.patterns.iter().take(5).enumerate() {
+            println!("    P{} = {}", i + 1, describe_pattern(p, &type_namer));
+        }
+        rows.push(vec![
+            class.to_string(),
+            view.subgraphs.len().to_string(),
+            view.patterns.len().to_string(),
+            format!("{:.3}", view.explainability),
+        ]);
+        json.push(serde_json::json!({
+            "class": class,
+            "subgraphs": view.subgraphs.len(),
+            "patterns": view.patterns.iter()
+                .map(|p| describe_pattern(p, &type_namer)).collect::<Vec<_>>(),
+            "explainability": view.explainability,
+        }));
+        views.push(view);
+    }
+    println!();
+    print_table(&["Class", "#Subgraphs", "#Patterns", "Explainability"], &rows);
+
+    // Shape check: pattern sets differ across classes (different subgraph
+    // structures identified — §A.9).
+    let mut distinct_pairs = 0;
+    let mut total_pairs = 0;
+    for i in 0..views.len() {
+        for j in (i + 1)..views.len() {
+            total_pairs += 1;
+            let same = views[i].patterns.iter().all(|p| {
+                views[j].patterns.iter().any(|q| vf2::isomorphic(p, q))
+            }) && views[i].patterns.len() == views[j].patterns.len();
+            if !same {
+                distinct_pairs += 1;
+            }
+        }
+    }
+    println!("  distinct view pairs: {distinct_pairs}/{total_pairs} (target: all distinct)");
+    write_json("case_enzymes", &json);
+}

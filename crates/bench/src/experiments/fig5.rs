@@ -1,0 +1,83 @@
+//! Fig 5: Fidelity+ across explainers and configuration constraints
+//! (`u_l` sweep) on RED, ENZ, MUT, MAL.
+
+use crate::{
+    evaluate, f3, figure_num_graphs, figure_size_scale, label_of_interest, methods, prepare,
+    print_table, write_json, MethodEval, BUDGETS,
+};
+use gvex_core::Config;
+use gvex_data::DatasetKind;
+
+/// The four datasets of Figs 5/6.
+pub const FIG56_DATASETS: [DatasetKind; 4] = [
+    DatasetKind::RedditBinary,
+    DatasetKind::Enzymes,
+    DatasetKind::Mutagenicity,
+    DatasetKind::MalnetTiny,
+];
+
+/// Runs the full (dataset × method × budget) fidelity grid shared by
+/// Figs 5 and 6.
+pub fn grid() -> Vec<MethodEval> {
+    let mut out = Vec::new();
+    for kind in FIG56_DATASETS {
+        let ds = prepare(kind, figure_num_graphs(kind), figure_size_scale(kind), 42);
+        let (label, ids) = label_of_interest(&ds);
+        let ids: Vec<u32> = ids.into_iter().take(6).collect();
+        eprintln!(
+            "[fig5/6] {} test acc {:.2}, label {}, {} graphs",
+            kind.name(),
+            ds.test_accuracy,
+            label,
+            ids.len()
+        );
+        for budget in BUDGETS {
+            for m in methods(&Config::with_bounds(0, budget)) {
+                out.push(evaluate(&ds, m.as_ref(), label, &ids, budget));
+            }
+        }
+    }
+    out
+}
+
+/// Prints the Fidelity+ view of the grid (Fig 5).
+pub fn print_plus(grid: &[MethodEval]) {
+    println!("\n== Fig 5: Fidelity+ (higher = explanation necessary) ==");
+    for kind in FIG56_DATASETS {
+        println!("\n  --- {} ---", kind.name());
+        let methods: Vec<String> = {
+            let mut m: Vec<String> = grid
+                .iter()
+                .filter(|e| e.dataset == kind.name())
+                .map(|e| e.method.clone())
+                .collect();
+            m.dedup();
+            m.truncate(6);
+            m
+        };
+        let mut rows = Vec::new();
+        for budget in BUDGETS {
+            let mut row = vec![budget.to_string()];
+            for m in &methods {
+                let v = grid
+                    .iter()
+                    .find(|e| e.dataset == kind.name() && e.budget == budget && &e.method == m)
+                    .map(|e| f3(e.fidelity_plus))
+                    .unwrap_or_else(|| "-".into());
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["u_l"];
+        let mrefs: Vec<&str> = methods.iter().map(String::as_str).collect();
+        headers.extend(mrefs);
+        print_table(&headers, &rows);
+    }
+}
+
+/// Entry point for the `exp_fig5` binary.
+pub fn run() {
+    let g = grid();
+    print_plus(&g);
+    write_json("fig5_fidelity_plus", &g);
+}

@@ -1,0 +1,47 @@
+//! Fig 6: Fidelity- across explainers and configuration constraints
+//! (same grid as Fig 5; lower/negative is better).
+
+use crate::experiments::fig5::{grid, FIG56_DATASETS};
+use crate::{f3, print_table, write_json, MethodEval, BUDGETS};
+
+/// Prints the Fidelity- view of the grid (Fig 6).
+pub fn print_minus(grid: &[MethodEval]) {
+    println!("\n== Fig 6: Fidelity- (lower = explanation sufficient) ==");
+    for kind in FIG56_DATASETS {
+        println!("\n  --- {} ---", kind.name());
+        let methods: Vec<String> = {
+            let mut m: Vec<String> = grid
+                .iter()
+                .filter(|e| e.dataset == kind.name())
+                .map(|e| e.method.clone())
+                .collect();
+            m.dedup();
+            m.truncate(6);
+            m
+        };
+        let mut rows = Vec::new();
+        for budget in BUDGETS {
+            let mut row = vec![budget.to_string()];
+            for m in &methods {
+                let v = grid
+                    .iter()
+                    .find(|e| e.dataset == kind.name() && e.budget == budget && &e.method == m)
+                    .map(|e| f3(e.fidelity_minus))
+                    .unwrap_or_else(|| "-".into());
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["u_l"];
+        let mrefs: Vec<&str> = methods.iter().map(String::as_str).collect();
+        headers.extend(mrefs);
+        print_table(&headers, &rows);
+    }
+}
+
+/// Entry point for the `exp_fig6` binary.
+pub fn run() {
+    let g = grid();
+    print_minus(&g);
+    write_json("fig6_fidelity_minus", &g);
+}

@@ -1,0 +1,60 @@
+//! Fig 7: sensitivity of fidelity to the configuration parameters
+//! `(θ, r)` and the trade-off `γ`, on MUT with ApproxGVEX.
+
+use crate::{evaluate, f3, figure_num_graphs, label_of_interest, prepare, print_table, write_json};
+use gvex_core::{ApproxGvex, Config};
+use gvex_data::DatasetKind;
+
+/// Entry point for the `exp_fig7` binary.
+pub fn run() {
+    let kind = DatasetKind::Mutagenicity;
+    let ds = prepare(kind, figure_num_graphs(kind), 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(6).collect();
+    let budget = 10;
+
+    println!("\n== Fig 7(a,b): fidelity vs (theta, r) on MUT (AG, u_l=10) ==");
+    let thetas = [0.02, 0.05, 0.08, 0.12, 0.2];
+    let rs = [0.1, 0.25, 0.5];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &theta in &thetas {
+        for &r in &rs {
+            let mut cfg = Config::with_bounds(0, budget);
+            cfg.theta = theta;
+            cfg.r = r;
+            let ag = ApproxGvex::new(cfg);
+            let e = evaluate(&ds, &ag, label, &ids, budget);
+            rows.push(vec![
+                format!("{theta:.2}"),
+                format!("{r:.2}"),
+                f3(e.fidelity_plus),
+                f3(e.fidelity_minus),
+            ]);
+            json.push(serde_json::json!({
+                "theta": theta, "r": r,
+                "fidelity_plus": e.fidelity_plus,
+                "fidelity_minus": e.fidelity_minus,
+            }));
+        }
+    }
+    print_table(&["theta", "r", "Fid+", "Fid-"], &rows);
+
+    println!("\n== Fig 7(c,d): fidelity vs gamma on MUT (theta=0.08, r=0.25) ==");
+    let mut rows = Vec::new();
+    for gamma in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mut cfg = Config::with_bounds(0, budget);
+        cfg.gamma = gamma;
+        let ag = ApproxGvex::new(cfg);
+        let e = evaluate(&ds, &ag, label, &ids, budget);
+        rows.push(vec![format!("{gamma:.2}"), f3(e.fidelity_plus), f3(e.fidelity_minus)]);
+        json.push(serde_json::json!({
+            "gamma": gamma,
+            "fidelity_plus": e.fidelity_plus,
+            "fidelity_minus": e.fidelity_minus,
+        }));
+    }
+    print_table(&["gamma", "Fid+", "Fid-"], &rows);
+    println!("  (paper: grid search selects (0.08, 0.25), gamma=0.5 on MUT)");
+    write_json("fig7_parameters", &json);
+}

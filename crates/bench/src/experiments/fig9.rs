@@ -1,0 +1,146 @@
+//! Fig 9: efficiency and scalability — (a,b) runtime vs `u_l` on MUT/ENZ
+//! for all methods, (c) runtime across datasets, (d) scalability in the
+//! number of graphs (PCQ), (e) parallel speedup, (f) anytime/batch
+//! linearity of StreamGVEX.
+
+use crate::{
+    evaluate, figure_num_graphs, figure_size_scale, label_of_interest, methods, prepare,
+    print_table, write_json, BUDGETS,
+};
+use gvex_core::{parallel, ApproxGvex, Config, StreamGvex};
+use gvex_data::DatasetKind;
+use std::time::Instant;
+
+/// Entry point for the `exp_fig9` binary.
+pub fn run() {
+    let mut json = Vec::new();
+
+    println!("\n== Fig 9(a,b): runtime (s) vs u_l on MUT and ENZ ==");
+    for kind in [DatasetKind::Mutagenicity, DatasetKind::Enzymes] {
+        println!("\n  --- {} ---", kind.name());
+        let ds = prepare(kind, figure_num_graphs(kind), 1.0, 42);
+        let (label, ids) = label_of_interest(&ds);
+        let ids: Vec<u32> = ids.into_iter().take(6).collect();
+        let mut rows = Vec::new();
+        for budget in BUDGETS {
+            let mut row = vec![budget.to_string()];
+            for m in methods(&Config::with_bounds(0, budget)) {
+                let e = evaluate(&ds, m.as_ref(), label, &ids, budget);
+                row.push(format!("{:.3}", e.runtime_s));
+                json.push(serde_json::json!({
+                    "figure": "9ab", "dataset": e.dataset, "method": e.method,
+                    "u_l": budget, "runtime_s": e.runtime_s,
+                }));
+            }
+            rows.push(row);
+        }
+        print_table(&["u_l", "AG", "SG", "GE", "SX", "GX", "GCF"], &rows);
+    }
+
+    println!("\n== Fig 9(c): runtime (s) across datasets (u_l=10) ==");
+    let budget = 10;
+    let mut rows = Vec::new();
+    for kind in DatasetKind::all() {
+        let ds = prepare(kind, figure_num_graphs(kind), figure_size_scale(kind), 42);
+        let (label, ids) = label_of_interest(&ds);
+        let ids: Vec<u32> = ids.into_iter().take(4).collect();
+        let mut row = vec![kind.name().to_string()];
+        // On the largest datasets only GVEX completes within the paper's
+        // 24h budget; mirror that by running baselines only on small ones.
+        let heavy = matches!(kind, DatasetKind::MalnetTiny | DatasetKind::Synthetic | DatasetKind::Products);
+        for m in methods(&Config::with_bounds(0, budget)) {
+            let is_gvex = m.name() == "AG" || m.name() == "SG";
+            if heavy && !is_gvex {
+                row.push("-".into());
+                continue;
+            }
+            let e = evaluate(&ds, m.as_ref(), label, &ids, budget);
+            row.push(format!("{:.3}", e.runtime_s));
+            json.push(serde_json::json!({
+                "figure": "9c", "dataset": e.dataset, "method": e.method,
+                "runtime_s": e.runtime_s,
+            }));
+        }
+        rows.push(row);
+    }
+    print_table(&["Dataset", "AG", "SG", "GE", "SX", "GX", "GCF"], &rows);
+
+    println!("\n== Fig 9(d): scalability vs #graphs (PCQ, AG+SG) ==");
+    let mut rows = Vec::new();
+    let base = figure_num_graphs(DatasetKind::Pcqm4m);
+    for mult in [1usize, 2, 4, 8] {
+        let n = base * mult;
+        let ds = prepare(DatasetKind::Pcqm4m, n, 1.0, 42);
+        let (label, ids) = label_of_interest(&ds);
+        let ids: Vec<u32> = ids.into_iter().take(4 * mult).collect();
+        let ag = ApproxGvex::new(Config::with_bounds(0, budget));
+        let sg = StreamGvex::new(Config::with_bounds(0, budget));
+        let ea = evaluate(&ds, &ag, label, &ids, budget);
+        let es = evaluate(&ds, &sg, label, &ids, budget);
+        rows.push(vec![
+            n.to_string(),
+            ids.len().to_string(),
+            format!("{:.2}", ea.runtime_s),
+            format!("{:.2}", es.runtime_s),
+        ]);
+        json.push(serde_json::json!({
+            "figure": "9d", "num_graphs": n, "explained": ids.len(),
+            "ag_runtime_s": ea.runtime_s, "sg_runtime_s": es.runtime_s,
+        }));
+    }
+    print_table(&["#Graphs", "Explained", "AG (s)", "SG (s)"], &rows);
+
+    println!("\n== Fig 9(e): parallel speedup (PRO, AG) ==");
+    let kind = DatasetKind::Products;
+    let ds = prepare(kind, figure_num_graphs(kind) * 2, figure_size_scale(kind), 42);
+    // Parallelism is per graph (§A.7); use the whole label group, not just
+    // the test split, so there is enough work to distribute.
+    let (label, _) = label_of_interest(&ds);
+    let ids = ds.db.label_group(label);
+    let ag = ApproxGvex::new(Config::with_bounds(0, budget));
+    let mut rows = Vec::new();
+    let mut t1 = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let _view = parallel::explain_label_parallel(&ag, &ds.model, &ds.db, label, &ids, threads);
+        let t = start.elapsed().as_secs_f64();
+        if threads == 1 {
+            t1 = t;
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{t:.3}"),
+            format!("{:.2}x", if t > 0.0 { t1 / t } else { 1.0 }),
+        ]);
+        json.push(serde_json::json!({
+            "figure": "9e", "threads": threads, "runtime_s": t, "speedup": t1 / t.max(1e-9),
+        }));
+    }
+    print_table(&["Threads", "Runtime (s)", "Speedup"], &rows);
+
+    println!("\n== Fig 9(f): anytime efficiency — StreamGVEX batch fraction (PCQ) ==");
+    let kind = DatasetKind::Pcqm4m;
+    let ds = prepare(kind, figure_num_graphs(kind), 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(12).collect();
+    let sg = StreamGvex::new(Config::with_bounds(0, budget));
+    let mut rows = Vec::new();
+    for pct in [20usize, 40, 60, 80, 100] {
+        let start = Instant::now();
+        let view =
+            sg.explain_label_fraction(&ds.model, &ds.db, label, &ids, pct as f64 / 100.0);
+        let t = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            format!("{pct}%"),
+            format!("{t:.4}"),
+            format!("{:.3}", view.explainability),
+        ]);
+        json.push(serde_json::json!({
+            "figure": "9f", "fraction_pct": pct, "runtime_s": t,
+            "explainability": view.explainability,
+        }));
+    }
+    print_table(&["Batch", "Runtime (s)", "Explainability"], &rows);
+    println!("  (shape target: runtime grows ~linearly with the processed fraction)");
+    write_json("fig9_efficiency", &json);
+}

@@ -1,0 +1,43 @@
+//! One module per table/figure of §6; each exposes `run()`. The `exp_*`
+//! binaries are thin wrappers, and `run_all` chains everything.
+
+pub mod ablation;
+pub mod case_drug;
+pub mod case_enzymes;
+pub mod case_social;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table3;
+
+use gvex_pattern::Pattern;
+
+/// Renders a pattern as a compact text description, e.g.
+/// `"{N,O,O} N-O N-O"`, using `namer` to print node types.
+pub fn describe_pattern(p: &Pattern, namer: &dyn Fn(u16) -> String) -> String {
+    let mut types: Vec<String> = (0..p.num_nodes() as u32).map(|v| namer(p.node_type(v))).collect();
+    types.sort();
+    let edges: Vec<String> = p
+        .edges()
+        .map(|(u, v, _)| format!("{}-{}", namer(p.node_type(u)), namer(p.node_type(v))))
+        .collect();
+    if edges.is_empty() {
+        format!("{{{}}}", types.join(","))
+    } else {
+        format!("{{{}}} {}", types.join(","), edges.join(" "))
+    }
+}
+
+/// Node-type namer for molecule datasets (MUT).
+pub fn atom_namer(t: u16) -> String {
+    gvex_data::MUT_ATOM_NAMES.get(t as usize).unwrap_or(&"X").to_string()
+}
+
+/// Generic namer for featureless/typed datasets.
+pub fn type_namer(t: u16) -> String {
+    format!("t{t}")
+}

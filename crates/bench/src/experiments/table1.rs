@@ -1,0 +1,49 @@
+//! Table 1: capability matrix of GVEX vs prior explainers.
+
+use crate::{print_table, write_json};
+use gvex_core::capabilities::TABLE1;
+
+/// Prints the capability matrix and writes `results/table1.json`.
+pub fn run() {
+    println!("\n== Table 1: method capability matrix ==");
+    let yn = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let rows: Vec<Vec<String>> = TABLE1
+        .iter()
+        .map(|c| {
+            vec![
+                c.method.to_string(),
+                yn(c.learning),
+                c.task.to_string(),
+                c.target.to_string(),
+                yn(c.model_agnostic),
+                yn(c.label_specific),
+                yn(c.size_bound),
+                yn(c.coverage),
+                yn(c.config),
+                yn(c.queryable),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Method", "Learning", "Task", "Target", "MA", "LS", "SB", "Coverage", "Config", "Queryable"],
+        &rows,
+    );
+    let json: Vec<_> = TABLE1
+        .iter()
+        .map(|c| {
+            serde_json::json!({
+                "method": c.method,
+                "learning": c.learning,
+                "task": c.task,
+                "target": c.target,
+                "model_agnostic": c.model_agnostic,
+                "label_specific": c.label_specific,
+                "size_bound": c.size_bound,
+                "coverage": c.coverage,
+                "config": c.config,
+                "queryable": c.queryable,
+            })
+        })
+        .collect();
+    write_json("table1", &json);
+}

@@ -1,0 +1,105 @@
+//! Table 1: the capability matrix comparing GVEX with prior explainers.
+//!
+//! These are qualitative properties of each method (as defined in the
+//! table's caption); the `exp_table1` binary prints this matrix.
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy)]
+pub struct Capability {
+    /// Method name.
+    pub method: &'static str,
+    /// Whether node/edge-mask *learning* is required.
+    pub learning: bool,
+    /// Supported tasks ("GC", "NC", or "GC/NC").
+    pub task: &'static str,
+    /// Output format of explanations.
+    pub target: &'static str,
+    /// Model-agnostic (treats the GNN as a black box).
+    pub model_agnostic: bool,
+    /// Label-specific explanations.
+    pub label_specific: bool,
+    /// Size-bounded explanations.
+    pub size_bound: bool,
+    /// Coverage property (§3).
+    pub coverage: bool,
+    /// User-configurable per-label generation (§2).
+    pub config: bool,
+    /// Directly queryable explanation structures.
+    pub queryable: bool,
+}
+
+/// The full Table 1 matrix.
+pub const TABLE1: [Capability; 6] = [
+    Capability {
+        method: "SubgraphX",
+        learning: false,
+        task: "GC/NC",
+        target: "Subgraph",
+        model_agnostic: true,
+        label_specific: false,
+        size_bound: false,
+        coverage: false,
+        config: false,
+        queryable: false,
+    },
+    Capability {
+        method: "GNNExplainer",
+        learning: true,
+        task: "GC/NC",
+        target: "E/NF",
+        model_agnostic: true,
+        label_specific: false,
+        size_bound: false,
+        coverage: false,
+        config: false,
+        queryable: false,
+    },
+    Capability {
+        method: "PGExplainer",
+        learning: true,
+        task: "GC/NC",
+        target: "E",
+        model_agnostic: false,
+        label_specific: false,
+        size_bound: false,
+        coverage: false,
+        config: false,
+        queryable: false,
+    },
+    Capability {
+        method: "GStarX",
+        learning: false,
+        task: "GC",
+        target: "Subgraph",
+        model_agnostic: true,
+        label_specific: false,
+        size_bound: false,
+        coverage: false,
+        config: false,
+        queryable: false,
+    },
+    Capability {
+        method: "GCFExplainer",
+        learning: false,
+        task: "GC",
+        target: "Subgraph",
+        model_agnostic: true,
+        label_specific: true,
+        size_bound: false,
+        coverage: true,
+        config: false,
+        queryable: false,
+    },
+    Capability {
+        method: "GVEX (Ours)",
+        learning: false,
+        task: "GC/NC",
+        target: "Graph Views (Pattern+Subgraph)",
+        model_agnostic: true,
+        label_specific: true,
+        size_bound: true,
+        coverage: true,
+        config: true,
+        queryable: true,
+    },
+];

@@ -1,0 +1,64 @@
+use gvex_gnn::InfluenceMode;
+use gvex_graph::ClassLabel;
+use gvex_pattern::MinerConfig;
+use rustc_hash::FxHashMap;
+
+/// The configuration `C = (θ, r, {[b_l, u_l]})` of §3.2, extended with the
+/// explainability trade-off `γ` (Eq. 2) and implementation knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Influence threshold `θ` (Eq. 5): a node counts as influenced when
+    /// some selected node reaches it with normalized influence ≥ θ.
+    pub theta: f64,
+    /// Embedding-distance radius `r` (Eq. 6), on normalized Euclidean
+    /// distances in `[0, 1]`.
+    pub r: f64,
+    /// Influence/diversity trade-off `γ ∈ [0, 1]` (Eq. 2).
+    pub gamma: f64,
+    /// Per-label coverage constraints `[b_l, u_l]`; labels not present
+    /// fall back to [`Config::default_bounds`].
+    pub bounds: FxHashMap<ClassLabel, (usize, usize)>,
+    /// Fallback coverage bounds for unlisted labels.
+    pub default_bounds: (usize, usize),
+    /// Which expected-Jacobian estimate to use (Eq. 3).
+    pub influence_mode: InfluenceMode,
+    /// Bounds for the `PGen` pattern miner used by `Psum`.
+    pub miner: MinerConfig,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Defaults follow the paper's grid-searched MUT setting:
+        // (θ, r) = (0.08, 0.25), γ = 0.5 (§6.2 Exp-1).
+        Self {
+            theta: 0.08,
+            r: 0.25,
+            gamma: 0.5,
+            bounds: FxHashMap::default(),
+            default_bounds: (0, 15),
+            influence_mode: InfluenceMode::RandomWalk,
+            miner: MinerConfig::default(),
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with uniform coverage bounds `[b, u]` for every
+    /// label.
+    pub fn with_bounds(b: usize, u: usize) -> Self {
+        assert!(b <= u, "coverage bounds must satisfy b <= u");
+        Self { default_bounds: (b, u), ..Self::default() }
+    }
+
+    /// Sets per-label bounds (builder style).
+    pub fn bound_label(mut self, label: ClassLabel, b: usize, u: usize) -> Self {
+        assert!(b <= u, "coverage bounds must satisfy b <= u");
+        self.bounds.insert(label, (b, u));
+        self
+    }
+
+    /// The coverage constraint `[b_l, u_l]` for `label`.
+    pub fn bounds_for(&self, label: ClassLabel) -> (usize, usize) {
+        self.bounds.get(&label).copied().unwrap_or(self.default_bounds)
+    }
+}

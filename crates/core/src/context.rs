@@ -1,0 +1,114 @@
+use crate::{BitSet, Config};
+use gvex_gnn::{GcnModel, InfluenceMatrix};
+use gvex_graph::{ClassLabel, Graph, NodeId};
+use gvex_linalg::Matrix;
+
+/// Per-graph precomputation shared by `ApproxGVEX` and `StreamGVEX`
+/// (Algorithm 1 line 2: "precompute Jacobian matrix M_I", which also
+/// prepares the node representations needed by `I(·)` and `D(·)`).
+#[derive(Debug, Clone)]
+pub struct GraphContext {
+    /// The classifier's prediction `M(G)` for the whole graph.
+    pub orig_label: ClassLabel,
+    /// The classifier's probability for `orig_label` on the whole graph.
+    pub orig_prob: f64,
+    /// Influence targets per source node: `targets[u] = {v : I2(u,v) ≥ θ}`.
+    pub targets: Vec<BitSet>,
+    /// Diversity balls per node: `ball[v] = r(v, d)` of Eq. 6 — nodes whose
+    /// layer-k embeddings lie within normalized distance `r` of `v`'s.
+    pub ball: Vec<BitSet>,
+    /// Per-node class evidence for the graph's predicted label, min-max
+    /// normalized to `[0, 1]`: the node's head-score margin for the label
+    /// versus the best other class. High-evidence nodes are the ones
+    /// whose embeddings individually support the prediction.
+    pub evidence: Vec<f64>,
+    /// Number of nodes `|V|` of the original graph.
+    pub num_nodes: usize,
+}
+
+impl GraphContext {
+    /// Builds the context: one GNN inference for embeddings/prediction,
+    /// one influence-matrix computation, and the pairwise embedding
+    /// distances normalized to `[0, 1]`.
+    pub fn build(model: &GcnModel, g: &Graph, cfg: &Config) -> Self {
+        let n = g.num_nodes();
+        let (orig_label, probs) = model.predict_with_proba(g);
+        let orig_prob = probs.get(orig_label as usize).copied().unwrap_or(0.0);
+        let influence = InfluenceMatrix::compute(model, g, cfg.influence_mode);
+        let mut targets = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            let mut t = BitSet::new(n);
+            for v in 0..n as NodeId {
+                if influence.i2(u, v) >= cfg.theta {
+                    t.insert(v as usize);
+                }
+            }
+            targets.push(t);
+        }
+        let emb = model.node_embeddings(g);
+        let ball = diversity_balls(&emb, cfg.r);
+        let evidence = evidence_map(model, &emb, orig_label as usize);
+        Self { orig_label, orig_prob, targets, ball, evidence, num_nodes: n }
+    }
+}
+
+/// Per-node label-evidence margins, min-max normalized.
+fn evidence_map(model: &GcnModel, emb: &Matrix, label: usize) -> Vec<f64> {
+    let n = emb.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    let scores = model.class_scores(emb);
+    let mut ev: Vec<f64> = (0..n)
+        .map(|v| {
+            let row = scores.row(v);
+            let own = row[label];
+            let best_other = row
+                .iter()
+                .enumerate()
+                .filter(|&(c, _)| c != label)
+                .map(|(_, &s)| s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            own - best_other
+        })
+        .collect();
+    let lo = ev.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = ev.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi > lo {
+        for e in &mut ev {
+            *e = (*e - lo) / (hi - lo);
+        }
+    } else {
+        ev.fill(0.5);
+    }
+    ev
+}
+
+/// Computes `r(v, d)` for every node: pairwise Euclidean distances over
+/// layer-k embeddings, normalized by the maximum distance so `r` is a
+/// scale-free threshold in `[0, 1]`.
+fn diversity_balls(emb: &Matrix, r: f64) -> Vec<BitSet> {
+    let n = emb.rows();
+    let mut dist = vec![0.0; n * n];
+    let mut max_d: f64 = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = emb.row_distance_sq(i, emb, j).sqrt();
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+            max_d = max_d.max(d);
+        }
+    }
+    let scale = if max_d > 0.0 { 1.0 / max_d } else { 0.0 };
+    let mut balls = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut b = BitSet::new(n);
+        for j in 0..n {
+            if dist[i * n + j] * scale <= r {
+                b.insert(j);
+            }
+        }
+        balls.push(b);
+    }
+    balls
+}

@@ -1,0 +1,73 @@
+//! The uniform explainer interface used by the experiment harness.
+//!
+//! The paper compares GVEX against four subgraph-style explainers on the
+//! same footing: each method receives the trained (black-box) model, one
+//! input graph, the label of interest, and a node budget, and returns the
+//! node set of its explanation subgraph. Fidelity/sparsity metrics are
+//! then computed identically for every method (§6.1).
+
+use crate::{ApproxGvex, StreamGvex};
+use gvex_gnn::GcnModel;
+use gvex_graph::{ClassLabel, Graph, NodeId};
+
+/// A subgraph-producing GNN explainer.
+pub trait Explainer {
+    /// Short method name (used in result tables: "AG", "SG", "GE", ...).
+    fn name(&self) -> &'static str;
+
+    /// Explains one graph: returns the node set of the explanation
+    /// subgraph, at most `budget` nodes.
+    fn explain_graph(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        label: ClassLabel,
+        budget: usize,
+    ) -> Vec<NodeId>;
+}
+
+impl Explainer for ApproxGvex {
+    fn name(&self) -> &'static str {
+        "AG"
+    }
+
+    fn explain_graph(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        label: ClassLabel,
+        budget: usize,
+    ) -> Vec<NodeId> {
+        let mut algo = self.clone();
+        algo.config.default_bounds = (0, budget);
+        algo.config.bounds.clear();
+        algo.explain_with_context(
+            model,
+            g,
+            0,
+            label,
+            &crate::GraphContext::build(model, g, &algo.config),
+        )
+        .map(|s| s.nodes)
+        .unwrap_or_default()
+    }
+}
+
+impl Explainer for StreamGvex {
+    fn name(&self) -> &'static str {
+        "SG"
+    }
+
+    fn explain_graph(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        label: ClassLabel,
+        budget: usize,
+    ) -> Vec<NodeId> {
+        let mut algo = self.clone();
+        algo.config.default_bounds = (0, budget);
+        algo.config.bounds.clear();
+        algo.stream_graph(model, g, 0, label, None, 1.0).map(|(s, _)| s.nodes).unwrap_or_default()
+    }
+}

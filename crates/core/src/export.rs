@@ -1,0 +1,112 @@
+//! Portable, serializable form of explanation views.
+//!
+//! Views reference database graphs by id and hold patterns as adjacency
+//! structures; for downstream tooling (dashboards, notebooks, the
+//! experiment harness's JSON output) this module flattens a view into
+//! plain `serde`-friendly structs.
+
+use crate::{ExplanationView, ViewSet};
+use gvex_graph::GraphDb;
+use serde::{Deserialize, Serialize};
+
+/// Serializable pattern: node types plus typed edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortablePattern {
+    /// Node types, indexed by pattern node id.
+    pub node_types: Vec<u16>,
+    /// Edges `(u, v, edge_type)` with `u < v`.
+    pub edges: Vec<(u32, u32, u16)>,
+}
+
+/// Serializable explanation subgraph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortableSubgraph {
+    /// Database graph id.
+    pub graph_id: u32,
+    /// Selected node ids in the original graph.
+    pub nodes: Vec<u32>,
+    /// Edges of the induced subgraph, in original-graph ids.
+    pub edges: Vec<(u32, u32, u16)>,
+    /// Strict consistency flag at emission.
+    pub consistent: bool,
+    /// Strict counterfactual flag at emission.
+    pub counterfactual: bool,
+    /// Explainability contribution.
+    pub score: f64,
+}
+
+/// Serializable explanation view `(P^l, G_s^l)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortableView {
+    /// The explained class label.
+    pub label: u16,
+    /// Lower tier.
+    pub subgraphs: Vec<PortableSubgraph>,
+    /// Higher tier.
+    pub patterns: Vec<PortablePattern>,
+    /// Aggregated explainability `f`.
+    pub explainability: f64,
+    /// Edge loss of the pattern tier.
+    pub edge_loss: f64,
+}
+
+/// Serializable set of views (the EVG output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PortableViewSet {
+    /// One portable view per label.
+    pub views: Vec<PortableView>,
+}
+
+/// Flattens a view against its database (materializing subgraph edges).
+pub fn to_portable(view: &ExplanationView, db: &GraphDb) -> PortableView {
+    let subgraphs = view
+        .subgraphs
+        .iter()
+        .map(|s| {
+            let g = db.graph(s.graph_id);
+            let mut edges = Vec::new();
+            for (i, &u) in s.nodes.iter().enumerate() {
+                for &v in s.nodes.iter().skip(i + 1) {
+                    if let Some(t) = g.edge_type(u, v) {
+                        edges.push((u.min(v), u.max(v), t));
+                    }
+                }
+            }
+            edges.sort_unstable();
+            PortableSubgraph {
+                graph_id: s.graph_id,
+                nodes: s.nodes.clone(),
+                edges,
+                consistent: s.consistent,
+                counterfactual: s.counterfactual,
+                score: s.score,
+            }
+        })
+        .collect();
+    let patterns = view
+        .patterns
+        .iter()
+        .map(|p| PortablePattern {
+            node_types: (0..p.num_nodes() as u32).map(|v| p.node_type(v)).collect(),
+            edges: p.edges().collect(),
+        })
+        .collect();
+    PortableView {
+        label: view.label,
+        subgraphs,
+        patterns,
+        explainability: view.explainability,
+        edge_loss: view.edge_loss,
+    }
+}
+
+/// Flattens a whole view set.
+pub fn viewset_to_portable(set: &ViewSet, db: &GraphDb) -> PortableViewSet {
+    PortableViewSet { views: set.views.iter().map(|v| to_portable(v, db)).collect() }
+}
+
+/// Rebuilds a [`gvex_pattern::Pattern`] from its portable form — the
+/// round-trip used when issuing stored patterns as queries later.
+pub fn pattern_from_portable(p: &PortablePattern) -> gvex_pattern::Pattern {
+    gvex_pattern::Pattern::new(&p.node_types, &p.edges)
+}

@@ -1,0 +1,50 @@
+//! GVEX core: view-based explanations for GNN graph classification.
+//!
+//! This crate implements the paper's primary contribution (systems
+//! S7–S11, S14 in DESIGN.md):
+//!
+//! - [`Config`]: the configuration `C = (θ, r, {[b_l, u_l]})` of §3.2 plus
+//!   the trade-off weight `γ` of Eq. 2.
+//! - [`ExplanationSubgraph`] / [`ExplanationView`]: the two-tier
+//!   explanation structure of §2.2.
+//! - [`quality`]: explainability `f` (Eq. 2) from feature influence
+//!   (Eq. 3–5) and neighborhood diversity (Eq. 6), with submodular
+//!   incremental gain tracking.
+//! - [`verify`]: the `EVerify`/`PMatch` verifiers of view verification
+//!   (§3.3, constraints C1–C3).
+//! - [`approx`]: `ApproxGVEX` (Algorithm 1) with `VpExtend` (Procedure 2)
+//!   and `Psum` (greedy weighted set cover, Lemma 4.3).
+//! - [`stream`]: `StreamGVEX` (Algorithm 3) with `IncUpdateVS`
+//!   (Procedure 4) and `IncUpdateP` (Procedure 5).
+//! - [`parallel`]: the per-graph data-parallel scheme of §A.7.
+//! - [`metrics`]: Fidelity± (Eq. 8–9), Sparsity (Eq. 10), Compression
+//!   (Eq. 11), and edge loss.
+//! - [`explain::Explainer`]: the uniform interface under which GVEX and
+//!   the baseline explainers are benchmarked.
+
+pub mod approx;
+pub mod capabilities;
+mod config;
+mod context;
+pub mod explain;
+pub mod export;
+pub mod metrics;
+pub mod parallel;
+pub mod psum;
+pub mod quality;
+pub mod query;
+pub mod stream;
+mod util;
+pub mod verify;
+mod view;
+
+pub use approx::ApproxGvex;
+pub use config::Config;
+pub use context::GraphContext;
+pub use explain::Explainer;
+pub use stream::StreamGvex;
+pub use util::BitSet;
+pub use view::{ExplanationSubgraph, ExplanationView, ViewSet};
+
+#[cfg(test)]
+mod tests;

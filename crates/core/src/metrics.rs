@@ -1,0 +1,90 @@
+//! Evaluation metrics of §6.1: explanation faithfulness (Fidelity±),
+//! conciseness (Sparsity), and the two-tier Compression ratio.
+
+use crate::ExplanationView;
+use gvex_gnn::GcnModel;
+use gvex_graph::{ClassLabel, Graph, GraphDb, NodeId};
+
+/// One method's explanation for one graph, as consumed by the metric
+/// functions: the selected node set.
+#[derive(Debug, Clone)]
+pub struct GraphExplanation {
+    /// The explained graph.
+    pub graph: Graph,
+    /// Original prediction `l_G = M(G)`.
+    pub label: ClassLabel,
+    /// Explanation node set `V_s`.
+    pub nodes: Vec<NodeId>,
+}
+
+/// `Fidelity+` (Eq. 8): mean drop in the original label's probability when
+/// the explanation substructure is **removed** from the input. Higher is
+/// better (the explanation was necessary).
+pub fn fidelity_plus(model: &GcnModel, explanations: &[GraphExplanation]) -> f64 {
+    if explanations.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for e in explanations {
+        let p_orig = model.predict_proba(&e.graph)[e.label as usize];
+        let (rest, _) = e.graph.remove_nodes(&e.nodes);
+        let p_rest = model.predict_proba(&rest)[e.label as usize];
+        total += p_orig - p_rest;
+    }
+    total / explanations.len() as f64
+}
+
+/// `Fidelity-` (Eq. 9): mean drop in the original label's probability when
+/// only the explanation substructure is **kept**. Lower (≈ 0 or negative)
+/// is better (the explanation is sufficient).
+pub fn fidelity_minus(model: &GcnModel, explanations: &[GraphExplanation]) -> f64 {
+    if explanations.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for e in explanations {
+        let p_orig = model.predict_proba(&e.graph)[e.label as usize];
+        let (sub, _) = e.graph.induced_subgraph(&e.nodes);
+        let p_sub = model.predict_proba(&sub)[e.label as usize];
+        total += p_orig - p_sub;
+    }
+    total / explanations.len() as f64
+}
+
+/// `Sparsity` (Eq. 10): mean `1 − (|V_s|+|E_s|)/(|V|+|E|)`. Higher means
+/// more concise explanations.
+pub fn sparsity(explanations: &[GraphExplanation]) -> f64 {
+    if explanations.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for e in explanations {
+        let (sub, _) = e.graph.induced_subgraph(&e.nodes);
+        let denom = (e.graph.num_nodes() + e.graph.num_edges()) as f64;
+        if denom > 0.0 {
+            total += 1.0 - (sub.num_nodes() + sub.num_edges()) as f64 / denom;
+        }
+    }
+    total / explanations.len() as f64
+}
+
+/// `Compression` (Eq. 11): `1 − (|V_P|+|E_P|)/(|V_S|+|E_S|)` — how much
+/// smaller the higher-tier pattern set is than the lower-tier subgraphs.
+/// Only defined for two-tier explanation views.
+pub fn compression(view: &ExplanationView, db: &GraphDb) -> f64 {
+    let vs = view.total_subgraph_nodes() + view.total_subgraph_edges(db);
+    if vs == 0 {
+        return 0.0;
+    }
+    1.0 - view.total_pattern_size() as f64 / vs as f64
+}
+
+/// Classification accuracy of the model over the given explanations'
+/// graphs (sanity diagnostic for experiment logs).
+pub fn model_accuracy(model: &GcnModel, explanations: &[GraphExplanation]) -> f64 {
+    if explanations.is_empty() {
+        return 0.0;
+    }
+    let correct = explanations.iter().filter(|e| model.predict(&e.graph) == e.label).count();
+    correct as f64 / explanations.len() as f64
+}

@@ -1,0 +1,115 @@
+//! Quality measures of §3.1: feature influence `I(V_s)` (Eq. 5),
+//! neighborhood diversity `D(V_s)` (Eq. 6), and the explainability
+//! objective `f` (Eq. 2), plus an incremental gain tracker exploiting the
+//! monotone submodularity of `f` (Lemma 3.3).
+
+use crate::{BitSet, Config, GraphContext};
+use gvex_graph::NodeId;
+
+/// `I(V_s)` — number of nodes influenced by `V_s` at threshold θ (Eq. 5).
+pub fn influence(ctx: &GraphContext, vs: &[NodeId]) -> usize {
+    let mut inf = BitSet::new(ctx.num_nodes);
+    for &u in vs {
+        inf.union_with(&ctx.targets[u as usize]);
+    }
+    inf.count()
+}
+
+/// `D(V_s)` — size of the union of embedding balls `r(v, d)` over all
+/// nodes `v` influenced by `V_s` (Eq. 6).
+pub fn diversity(ctx: &GraphContext, vs: &[NodeId]) -> usize {
+    let mut inf = BitSet::new(ctx.num_nodes);
+    for &u in vs {
+        inf.union_with(&ctx.targets[u as usize]);
+    }
+    let mut reach = BitSet::new(ctx.num_nodes);
+    for v in inf.iter() {
+        reach.union_with(&ctx.ball[v]);
+    }
+    reach.count()
+}
+
+/// Explainability contribution of one explanation subgraph (one summand
+/// of Eq. 2): `(I(V_s) + γ·D(V_s)) / |V|`.
+pub fn explainability(ctx: &GraphContext, vs: &[NodeId], cfg: &Config) -> f64 {
+    if ctx.num_nodes == 0 {
+        return 0.0;
+    }
+    (influence(ctx, vs) as f64 + cfg.gamma * diversity(ctx, vs) as f64) / ctx.num_nodes as f64
+}
+
+/// Incremental gain tracker for the greedy loops of Algorithms 1 and 3.
+///
+/// Maintains the influenced set and the diversity reach of the current
+/// `V_S` as bitsets, so `gain(v)` — the marginal `f(V_S ∪ {v}) − f(V_S)`
+/// of Algorithm 1 line 7 — is computed without rescanning `V_S`.
+#[derive(Debug, Clone)]
+pub struct GainTracker<'a> {
+    ctx: &'a GraphContext,
+    gamma: f64,
+    influenced: BitSet,
+    reach: BitSet,
+    score: f64,
+}
+
+impl<'a> GainTracker<'a> {
+    /// An empty tracker (`V_S = ∅`, `f = 0`).
+    pub fn new(ctx: &'a GraphContext, cfg: &Config) -> Self {
+        Self {
+            ctx,
+            gamma: cfg.gamma,
+            influenced: BitSet::new(ctx.num_nodes),
+            reach: BitSet::new(ctx.num_nodes),
+            score: 0.0,
+        }
+    }
+
+    /// Current `f(V_S)` value (one summand of Eq. 2).
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Marginal gain `f(V_S ∪ {u}) − f(V_S)`.
+    pub fn gain(&self, u: NodeId) -> f64 {
+        if self.ctx.num_nodes == 0 {
+            return 0.0;
+        }
+        let t = &self.ctx.targets[u as usize];
+        let d_i = self.influenced.union_gain(t) as f64;
+        // New diversity reach contributed by newly influenced targets.
+        let mut d_d = 0usize;
+        if self.gamma > 0.0 {
+            let mut new_reach = self.reach.clone();
+            for v in t.iter() {
+                if !self.influenced.contains(v) {
+                    d_d += new_reach.union_gain(&self.ctx.ball[v]);
+                    new_reach.union_with(&self.ctx.ball[v]);
+                }
+            }
+        }
+        (d_i + self.gamma * d_d as f64) / self.ctx.num_nodes as f64
+    }
+
+    /// Adds `u` to `V_S`, updating the cached sets and score.
+    pub fn add(&mut self, u: NodeId) {
+        let g = self.gain(u);
+        let t = self.ctx.targets[u as usize].clone();
+        for v in t.iter() {
+            if !self.influenced.contains(v) {
+                self.reach.union_with(&self.ctx.ball[v]);
+            }
+        }
+        self.influenced.union_with(&t);
+        self.score += g;
+    }
+
+    /// Rebuilds the tracker for an explicit node set (used by the
+    /// streaming swap rule, which needs `f(V_S \ {v'})`).
+    pub fn rebuild(ctx: &'a GraphContext, cfg: &Config, vs: &[NodeId]) -> Self {
+        let mut t = Self::new(ctx, cfg);
+        for &v in vs {
+            t.add(v);
+        }
+        t
+    }
+}

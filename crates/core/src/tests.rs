@@ -1,0 +1,632 @@
+use crate::metrics::{self, GraphExplanation};
+use crate::psum::psum;
+use crate::quality::{self, GainTracker};
+use crate::verify::{everify, pmatch_covers, verify_view};
+use crate::{ApproxGvex, BitSet, Config, Explainer, GraphContext, StreamGvex};
+use gvex_data::{mutagenicity, DataConfig};
+use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
+use gvex_graph::{generate, Graph, GraphDb};
+use gvex_pattern::MinerConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------- shared fixtures ----------
+
+/// Trains a small GCN on a stars-vs-cycles toy task; used by most tests.
+fn toy_setup() -> (GcnModel, GraphDb) {
+    let mut db = GraphDb::new();
+    for i in 0..10 {
+        db.push(generate::star(5 + i % 2, 0, 0, 2), 0);
+        db.push(generate::cycle(6 + i % 2, 0, 2), 1);
+    }
+    let ids: Vec<u32> = (0..db.len() as u32).collect();
+    let mut model = GcnModel::new(2, 8, 2, 3, 5);
+    let mut trainer =
+        AdamTrainer::new(&model, TrainConfig { epochs: 300, lr: 5e-3, ..TrainConfig::default() });
+    trainer.fit(&mut model, &db, &ids);
+    AdamTrainer::classify_all(&model, &mut db, &ids);
+    (model, db)
+}
+
+// ---------- BitSet ----------
+
+#[test]
+fn bitset_insert_contains_count() {
+    let mut b = BitSet::new(130);
+    b.insert(0);
+    b.insert(64);
+    b.insert(129);
+    assert!(b.contains(64));
+    assert!(!b.contains(63));
+    assert_eq!(b.count(), 3);
+    b.remove(64);
+    assert_eq!(b.count(), 2);
+}
+
+#[test]
+fn bitset_union_and_gain() {
+    let mut a = BitSet::from_ids(10, &[1, 2, 3]);
+    let b = BitSet::from_ids(10, &[3, 4]);
+    assert_eq!(a.union_gain(&b), 1);
+    a.union_with(&b);
+    assert_eq!(a.count(), 4);
+    assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+}
+
+// ---------- Config ----------
+
+#[test]
+fn config_bounds_lookup() {
+    let cfg = Config::with_bounds(2, 9).bound_label(1, 3, 7);
+    assert_eq!(cfg.bounds_for(0), (2, 9));
+    assert_eq!(cfg.bounds_for(1), (3, 7));
+}
+
+#[test]
+#[should_panic(expected = "b <= u")]
+fn config_invalid_bounds_panic() {
+    let _ = Config::with_bounds(5, 2);
+}
+
+// ---------- quality ----------
+
+#[test]
+fn quality_influence_diversity_monotone() {
+    let (model, db) = toy_setup();
+    let g = db.graph(0);
+    let cfg = Config::default();
+    let ctx = GraphContext::build(&model, g, &cfg);
+    let i1 = quality::influence(&ctx, &[0]);
+    let i2 = quality::influence(&ctx, &[0, 1]);
+    assert!(i2 >= i1);
+    let d1 = quality::diversity(&ctx, &[0]);
+    let d2 = quality::diversity(&ctx, &[0, 1]);
+    assert!(d2 >= d1);
+}
+
+#[test]
+fn gain_tracker_matches_direct_evaluation() {
+    let (model, db) = toy_setup();
+    let g = db.graph(1);
+    let cfg = Config::default();
+    let ctx = GraphContext::build(&model, g, &cfg);
+    let mut t = GainTracker::new(&ctx, &cfg);
+    let nodes = [0u32, 2, 3];
+    for &v in &nodes {
+        t.add(v);
+    }
+    let direct = quality::explainability(&ctx, &nodes, &cfg);
+    assert!((t.score() - direct).abs() < 1e-9, "{} vs {direct}", t.score());
+}
+
+#[test]
+fn gain_is_marginal_difference() {
+    let (model, db) = toy_setup();
+    let g = db.graph(2);
+    let cfg = Config::default();
+    let ctx = GraphContext::build(&model, g, &cfg);
+    let mut t = GainTracker::new(&ctx, &cfg);
+    t.add(0);
+    let gain = t.gain(1);
+    let f_before = quality::explainability(&ctx, &[0], &cfg);
+    let f_after = quality::explainability(&ctx, &[0, 1], &cfg);
+    assert!((gain - (f_after - f_before)).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Lemma 3.3: f is monotone and submodular. We check the diminishing
+    /// returns inequality f(S'' + u) - f(S'') >= f(S' + u) - f(S') for
+    /// nested S'' ⊆ S'.
+    #[test]
+    fn explainability_is_submodular(seed in 0u64..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::random_connected(9, 0.3, 0, 2, &mut rng);
+        let model = GcnModel::new(2, 4, 2, 3, seed);
+        let cfg = Config { theta: 0.05, r: 0.3, gamma: 0.5, ..Config::default() };
+        let ctx = GraphContext::build(&model, &g, &cfg);
+        let small = vec![0u32, 1];
+        let large = vec![0u32, 1, 2, 3];
+        let u = 5u32;
+        let f = |vs: &[u32]| quality::explainability(&ctx, vs, &cfg);
+        // Monotone.
+        prop_assert!(f(&large) >= f(&small) - 1e-12);
+        // Submodular (diminishing returns).
+        let mut small_u = small.clone(); small_u.push(u);
+        let mut large_u = large.clone(); large_u.push(u);
+        let gain_small = f(&small_u) - f(&small);
+        let gain_large = f(&large_u) - f(&large);
+        prop_assert!(gain_small >= gain_large - 1e-9,
+            "submodularity violated: {gain_small} < {gain_large}");
+    }
+}
+
+// ---------- verify ----------
+
+#[test]
+fn everify_full_graph_consistent_not_counterfactual() {
+    let (model, db) = toy_setup();
+    let g = db.graph(0);
+    let label = db.predicted(0).unwrap();
+    let all: Vec<u32> = g.node_ids().collect();
+    let r = everify(&model, g, &all, label);
+    assert!(r.consistent, "the whole graph reproduces its own label");
+    // Removing everything leaves the empty graph, whose label is the bias
+    // argmax — it may or may not equal `label`, so `counterfactual` is not
+    // asserted here; it is exercised by the planted-motif test below.
+}
+
+#[test]
+fn pmatch_covers_with_singletons() {
+    let g = generate::star(3, 1, 2, 1);
+    let pats =
+        vec![gvex_pattern::Pattern::single_node(1), gvex_pattern::Pattern::single_node(2)];
+    assert!(pmatch_covers(&pats, &g));
+    let only_hub = vec![gvex_pattern::Pattern::single_node(1)];
+    assert!(!pmatch_covers(&only_hub, &g));
+}
+
+// ---------- psum ----------
+
+#[test]
+fn psum_always_covers_all_nodes() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let subs: Vec<Graph> = (0..3)
+        .map(|_| generate::random_connected(8, 0.3, 0, 1, &mut rng))
+        .collect();
+    let res = psum(&subs, &MinerConfig::default());
+    assert!(!res.patterns.is_empty());
+    // Verify full node coverage via pmatch.
+    for g in &subs {
+        assert!(pmatch_covers(&res.patterns, g), "Psum must cover all nodes");
+    }
+    assert!((0.0..=1.0).contains(&res.edge_loss));
+}
+
+#[test]
+fn psum_empty_input() {
+    let res = psum(&[], &MinerConfig::default());
+    assert!(res.patterns.is_empty());
+    assert_eq!(res.edge_loss, 0.0);
+}
+
+#[test]
+fn psum_prefers_structural_patterns_over_singletons() {
+    // Three identical triangles: one triangle pattern covers everything
+    // with zero edge loss; greedy should find it.
+    let tri = || {
+        let mut g = Graph::new(1);
+        for _ in 0..3 {
+            g.add_node(0, &[1.0]);
+        }
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 0);
+        g.add_edge(0, 2, 0);
+        g
+    };
+    let subs = vec![tri(), tri(), tri()];
+    let res = psum(&subs, &MinerConfig::default());
+    assert!(res.edge_loss < 1e-9, "a structural pattern covers all edges, loss {}", res.edge_loss);
+    assert_eq!(res.patterns.len(), 1, "one pattern suffices");
+    assert!(
+        res.patterns[0].num_edges() >= 1,
+        "the selected pattern must be structural (edge-bearing), not a singleton"
+    );
+}
+
+// ---------- ApproxGVEX ----------
+
+#[test]
+fn approx_respects_upper_bound_and_scores() {
+    let (model, db) = toy_setup();
+    let algo = ApproxGvex::new(Config::with_bounds(2, 4));
+    let label = db.predicted(0).unwrap();
+    let sub = algo.explain_graph(&model, db.graph(0), 0, label).expect("explanation");
+    assert!(sub.len() <= 4 && sub.len() >= 2);
+    assert!(sub.score > 0.0);
+    // Nodes are valid and sorted.
+    assert!(sub.nodes.windows(2).all(|w| w[0] < w[1]));
+    assert!(sub.nodes.iter().all(|&v| (v as usize) < db.graph(0).num_nodes()));
+}
+
+#[test]
+fn approx_empty_graph_returns_none() {
+    let (model, _) = toy_setup();
+    let algo = ApproxGvex::new(Config::default());
+    assert!(algo.explain_graph(&model, &Graph::new(2), 0, 0).is_none());
+}
+
+#[test]
+fn approx_infeasible_lower_bound_returns_none() {
+    let (model, db) = toy_setup();
+    let algo = ApproxGvex::new(Config::with_bounds(1000, 2000));
+    let label = db.predicted(0).unwrap();
+    assert!(algo.explain_graph(&model, db.graph(0), 0, label).is_none());
+}
+
+#[test]
+fn approx_view_verifies_c1_and_c3() {
+    let (model, db) = toy_setup();
+    let cfg = Config::with_bounds(1, 4);
+    let algo = ApproxGvex::new(cfg.clone());
+    let label = db.predicted(0).unwrap();
+    let ids = db.label_group(label);
+    let view = algo.explain_label(&model, &db, label, &ids);
+    assert_eq!(view.subgraphs.len(), ids.len());
+    assert!(!view.patterns.is_empty());
+    let v = verify_view(&model, &db, &view, &cfg);
+    assert!(v.c1_graph_view, "patterns must cover all subgraph nodes");
+    assert!(v.c3_coverage, "coverage bounds must hold");
+    assert!((0.0..=1.0).contains(&view.edge_loss));
+    assert!(view.explainability > 0.0);
+}
+
+#[test]
+fn approx_explainability_grows_with_budget() {
+    let (model, db) = toy_setup();
+    let label = db.predicted(0).unwrap();
+    let g = db.graph(0);
+    let small = ApproxGvex::new(Config::with_bounds(0, 2))
+        .explain_graph(&model, g, 0, label)
+        .unwrap();
+    let large = ApproxGvex::new(Config::with_bounds(0, 5))
+        .explain_graph(&model, g, 0, label)
+        .unwrap();
+    assert!(large.score >= small.score - 1e-12, "monotone objective");
+    assert!(large.len() >= small.len());
+}
+
+#[test]
+fn approx_deterministic() {
+    let (model, db) = toy_setup();
+    let label = db.predicted(1).unwrap();
+    let algo = ApproxGvex::new(Config::with_bounds(0, 4));
+    let a = algo.explain_graph(&model, db.graph(1), 1, label).unwrap();
+    let b = algo.explain_graph(&model, db.graph(1), 1, label).unwrap();
+    assert_eq!(a.nodes, b.nodes);
+}
+
+// ---------- StreamGVEX ----------
+
+#[test]
+fn stream_respects_cache_bound() {
+    let (model, db) = toy_setup();
+    let label = db.predicted(0).unwrap();
+    let algo = StreamGvex::new(Config::with_bounds(0, 3));
+    let (sub, pats) =
+        algo.stream_graph(&model, db.graph(0), 0, label, None, 1.0).expect("stream result");
+    assert!(sub.len() <= 3);
+    assert!(!pats.is_empty(), "pattern tier maintained during stream");
+}
+
+#[test]
+fn stream_view_covers_nodes() {
+    let (model, db) = toy_setup();
+    let cfg = Config::with_bounds(1, 4);
+    let algo = StreamGvex::new(cfg.clone());
+    let label = db.predicted(0).unwrap();
+    let ids = db.label_group(label);
+    let view = algo.explain_label(&model, &db, label, &ids);
+    let v = verify_view(&model, &db, &view, &cfg);
+    assert!(v.c1_graph_view, "stream view must cover all subgraph nodes");
+}
+
+#[test]
+fn stream_anytime_fraction_processes_prefix() {
+    let (model, db) = toy_setup();
+    let label = db.predicted(0).unwrap();
+    let algo = StreamGvex::new(Config::with_bounds(0, 4));
+    let full = algo.stream_graph(&model, db.graph(0), 0, label, None, 1.0).unwrap();
+    let half = algo.stream_graph(&model, db.graph(0), 0, label, None, 0.5).unwrap();
+    // Prefix processing can only have seen the first half of the ids.
+    let n = db.graph(0).num_nodes() as u32;
+    assert!(half.0.nodes.iter().all(|&v| v < n.div_ceil(2) + 1));
+    assert!(!full.0.nodes.is_empty());
+}
+
+#[test]
+fn stream_node_order_invariance_of_quality() {
+    // §A.8: different orders may change patterns slightly but quality
+    // stays in the same ballpark (here: within 50% of each other).
+    let (model, db) = toy_setup();
+    let label = db.predicted(0).unwrap();
+    let algo = StreamGvex::new(Config::with_bounds(0, 4));
+    let g = db.graph(0);
+    let n = g.num_nodes() as u32;
+    let fwd: Vec<u32> = (0..n).collect();
+    let rev: Vec<u32> = (0..n).rev().collect();
+    let a = algo.stream_graph(&model, g, 0, label, Some(&fwd), 1.0).unwrap().0;
+    let b = algo.stream_graph(&model, g, 0, label, Some(&rev), 1.0).unwrap().0;
+    let lo = a.score.min(b.score);
+    let hi = a.score.max(b.score);
+    assert!(lo >= 0.25 * hi, "anytime guarantee keeps orders comparable: {lo} vs {hi}");
+}
+
+#[test]
+fn stream_quality_within_factor_of_approx() {
+    // Theorem 5.1 grants 1/4-approximation vs the optimum; the optimum is
+    // upper-bounded by nothing we can compute exactly, but AG's 1/2-approx
+    // result gives a reference: SG >= AG/4 must hold comfortably.
+    let (model, db) = toy_setup();
+    let label = db.predicted(0).unwrap();
+    let g = db.graph(0);
+    let ag = ApproxGvex::new(Config::with_bounds(0, 4)).explain_graph(&model, g, 0, label).unwrap();
+    let sg = StreamGvex::new(Config::with_bounds(0, 4))
+        .stream_graph(&model, g, 0, label, None, 1.0)
+        .unwrap()
+        .0;
+    assert!(sg.score >= ag.score / 4.0 - 1e-9, "SG {} vs AG {}", sg.score, ag.score);
+}
+
+// ---------- Explainer trait ----------
+
+#[test]
+fn explainer_trait_budget_respected() {
+    let (model, db) = toy_setup();
+    let label = db.predicted(0).unwrap();
+    let ag = ApproxGvex::new(Config::default());
+    let sg = StreamGvex::new(Config::default());
+    for explainer in [&ag as &dyn Explainer, &sg as &dyn Explainer] {
+        let nodes = explainer.explain_graph(&model, db.graph(0), label, 3);
+        assert!(nodes.len() <= 3, "{} exceeded budget", explainer.name());
+        assert!(!nodes.is_empty());
+    }
+}
+
+// ---------- metrics ----------
+
+#[test]
+fn fidelity_of_perfect_explanation_on_planted_motif() {
+    // Train on MUT-like data; explaining a mutagen with the nitro region
+    // should yield positive Fidelity+ when explanations are removed.
+    let db = mutagenicity(DataConfig::new(60, 3));
+    let split_ids: Vec<u32> = (0..db.len() as u32).collect();
+    let mut model = GcnModel::new(14, 16, 2, 3, 7);
+    let mut trainer =
+        AdamTrainer::new(&model, TrainConfig { epochs: 120, lr: 5e-3, ..TrainConfig::default() });
+    let mut db = db;
+    let report = trainer.fit(&mut model, &db, &split_ids);
+    assert!(report.train_accuracy > 0.9, "MUT task learnable: {}", report.train_accuracy);
+    AdamTrainer::classify_all(&model, &mut db, &split_ids);
+
+    let algo = ApproxGvex::new(Config::with_bounds(0, 8));
+    let muta_ids: Vec<u32> = db.label_group(1).into_iter().take(6).collect();
+    let expl: Vec<GraphExplanation> = muta_ids
+        .iter()
+        .filter_map(|&id| {
+            let g = db.graph(id);
+            algo.explain_graph(&model, g, id, 1).map(|s| GraphExplanation {
+                graph: g.clone(),
+                label: 1,
+                nodes: s.nodes,
+            })
+        })
+        .collect();
+    assert!(!expl.is_empty());
+    let fp = metrics::fidelity_plus(&model, &expl);
+    let fm = metrics::fidelity_minus(&model, &expl);
+    let sp = metrics::sparsity(&expl);
+    assert!(fp > 0.0, "removing the explanation should hurt the prediction: {fp}");
+    assert!(fm < 0.5, "keeping the explanation should mostly preserve it: {fm}");
+    assert!(sp > 0.5, "explanations are concise: {sp}");
+}
+
+#[test]
+fn metrics_empty_inputs() {
+    let (model, _) = toy_setup();
+    assert_eq!(metrics::fidelity_plus(&model, &[]), 0.0);
+    assert_eq!(metrics::fidelity_minus(&model, &[]), 0.0);
+    assert_eq!(metrics::sparsity(&[]), 0.0);
+}
+
+#[test]
+fn compression_high_for_repetitive_views() {
+    let (model, db) = toy_setup();
+    let algo = ApproxGvex::new(Config::with_bounds(1, 4));
+    let label = db.predicted(0).unwrap();
+    let ids = db.label_group(label);
+    let view = algo.explain_label(&model, &db, label, &ids);
+    let c = metrics::compression(&view, &db);
+    assert!(c > 0.0, "patterns must compress the subgraph tier: {c}");
+    assert!(c <= 1.0);
+}
+
+// ---------- parallel ----------
+
+#[test]
+fn parallel_matches_sequential() {
+    let (model, db) = toy_setup();
+    let algo = ApproxGvex::new(Config::with_bounds(1, 4));
+    let label = db.predicted(0).unwrap();
+    let ids = db.label_group(label);
+    let seq = algo.explain_label(&model, &db, label, &ids);
+    let par = crate::parallel::explain_label_parallel(&algo, &model, &db, label, &ids, 4);
+    // Same subgraph node sets (order of completion may differ; sort).
+    let key = |v: &crate::ExplanationView| {
+        let mut s: Vec<(u32, Vec<u32>)> =
+            v.subgraphs.iter().map(|s| (s.graph_id, s.nodes.clone())).collect();
+        s.sort();
+        s
+    };
+    assert_eq!(key(&seq), key(&par));
+    assert!((seq.explainability - par.explainability).abs() < 1e-9);
+}
+
+// ---------- capabilities ----------
+
+#[test]
+fn table1_gvex_has_all_properties() {
+    let gvex = crate::capabilities::TABLE1.iter().find(|c| c.method.contains("GVEX")).unwrap();
+    assert!(gvex.model_agnostic && gvex.label_specific && gvex.size_bound);
+    assert!(gvex.coverage && gvex.config && gvex.queryable && !gvex.learning);
+    // No competitor has every property.
+    for c in &crate::capabilities::TABLE1 {
+        if !c.method.contains("GVEX") {
+            assert!(
+                !(c.queryable && c.config && c.size_bound),
+                "{} should not dominate",
+                c.method
+            );
+        }
+    }
+}
+
+// ---------- query engine ----------
+
+mod query_tests {
+    use super::*;
+    use crate::query;
+    use gvex_pattern::Pattern;
+
+    #[test]
+    fn graphs_containing_counts_per_label() {
+        let mut db = GraphDb::new();
+        db.push(generate::star(4, 1, 2, 1), 0); // hub type 1
+        db.push(generate::star(3, 1, 2, 1), 0);
+        db.push(generate::cycle(5, 3, 1), 1); // all type 3
+        let hub_edge = Pattern::new(&[1, 2], &[(0, 1, 0)]);
+        let hits = query::graphs_containing(&db, &hub_edge);
+        assert_eq!(hits.graphs, vec![0, 1]);
+        assert_eq!(hits.per_label, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn label_restricted_query() {
+        let mut db = GraphDb::new();
+        db.push(generate::star(4, 1, 2, 1), 0);
+        db.push(generate::cycle(5, 1, 1), 1);
+        let t1 = Pattern::single_node(1);
+        assert_eq!(query::label_graphs_containing(&db, &t1, 0), vec![0]);
+        assert_eq!(query::label_graphs_containing(&db, &t1, 1), vec![1]);
+    }
+
+    #[test]
+    fn discriminativeness_extremes() {
+        let mut db = GraphDb::new();
+        db.push(generate::star(4, 1, 2, 1), 0);
+        db.push(generate::star(3, 1, 2, 1), 0);
+        db.push(generate::cycle(5, 3, 1), 1);
+        let hub_edge = Pattern::new(&[1, 2], &[(0, 1, 0)]);
+        assert_eq!(query::discriminativeness(&db, &hub_edge, 0), 1.0);
+        assert_eq!(query::discriminativeness(&db, &hub_edge, 1), 0.0);
+        // Pattern occurring nowhere.
+        let absent = Pattern::new(&[9, 9], &[(0, 1, 0)]);
+        assert_eq!(query::discriminativeness(&db, &absent, 0), 0.0);
+    }
+
+    #[test]
+    fn most_discriminative_and_shared_patterns() {
+        let (model, db) = toy_setup();
+        let ag = ApproxGvex::new(Config::with_bounds(1, 4));
+        let l0 = db.predicted(0).unwrap();
+        let view0 = ag.explain_label(&model, &db, l0, &db.label_group(l0));
+        let l1 = 1 - l0;
+        let view1 = ag.explain_label(&model, &db, l1, &db.label_group(l1));
+        let best = query::most_discriminative(&db, &view0);
+        assert!(best.is_some());
+        let (_, score) = best.unwrap();
+        assert!((0.0..=1.0).contains(&score));
+        let shared = query::shared_patterns(&db, &view0, &view1);
+        let exclusive = query::exclusive_patterns(&db, &view0, &view1);
+        assert_eq!(shared.len() + exclusive.len(), view0.patterns.len());
+    }
+}
+
+// ---------- export ----------
+
+mod export_tests {
+    use super::*;
+    use crate::export;
+
+    #[test]
+    fn portable_roundtrip_preserves_structure() {
+        let (model, db) = toy_setup();
+        let label = db.predicted(0).unwrap();
+        let ag = ApproxGvex::new(Config::with_bounds(1, 4));
+        let ids = db.label_group(label);
+        let view = ag.explain_label(&model, &db, label, &ids);
+        let portable = export::to_portable(&view, &db);
+        assert_eq!(portable.label, label);
+        assert_eq!(portable.subgraphs.len(), view.subgraphs.len());
+        assert_eq!(portable.patterns.len(), view.patterns.len());
+        // Subgraph edges must exist in the host graphs.
+        for ps in &portable.subgraphs {
+            let g = db.graph(ps.graph_id);
+            for &(u, v, t) in &ps.edges {
+                assert_eq!(g.edge_type(u, v), Some(t));
+            }
+        }
+        // Pattern round-trip is isomorphic to the original.
+        for (pp, orig) in portable.patterns.iter().zip(&view.patterns) {
+            let back = export::pattern_from_portable(pp);
+            assert!(gvex_pattern::vf2::isomorphic(&back, orig));
+        }
+    }
+
+    #[test]
+    fn viewset_portable_counts() {
+        let (model, db) = toy_setup();
+        let ag = ApproxGvex::new(Config::with_bounds(1, 4));
+        let set = ag.explain_labels(&model, &db, &db.labels());
+        let portable = export::viewset_to_portable(&set, &db);
+        assert_eq!(portable.views.len(), set.views.len());
+    }
+}
+
+// ---------- evidence map ----------
+
+#[test]
+fn evidence_normalized_and_discriminative_on_planted_motif() {
+    // On a trained MUT model, nitro atoms should carry more evidence than
+    // the median carbon.
+    let db = mutagenicity(DataConfig::new(40, 9));
+    let ids: Vec<u32> = (0..db.len() as u32).collect();
+    let mut model = GcnModel::new(14, 16, 2, 3, 9);
+    let mut trainer =
+        AdamTrainer::new(&model, TrainConfig { epochs: 100, lr: 5e-3, ..TrainConfig::default() });
+    let mut db = db;
+    trainer.fit(&mut model, &db, &ids);
+    AdamTrainer::classify_all(&model, &mut db, &ids);
+    let mid = db.label_group(1)[0];
+    let g = db.graph(mid);
+    let ctx = GraphContext::build(&model, g, &Config::default());
+    assert_eq!(ctx.evidence.len(), g.num_nodes());
+    assert!(ctx.evidence.iter().all(|&e| (0.0..=1.0).contains(&e)));
+    // Min-max normalization: extremes are attained and the map is not
+    // degenerate. (Which atom types carry the evidence is model-dependent
+    // — some trained models encode "mutagen" via the nitro atoms, others
+    // via the carbon context around them — so no per-type assertion is
+    // made here; end-to-end usefulness is covered by the fidelity tests.)
+    let max = ctx.evidence.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = ctx.evidence.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!((max - 1.0).abs() < 1e-9, "max evidence normalized to 1");
+    assert!(min.abs() < 1e-9, "min evidence normalized to 0");
+}
+
+// ---------- stream under alternative aggregators ----------
+
+#[test]
+fn stream_works_with_gin_aggregator() {
+    use gvex_gnn::Aggregator;
+    let mut db = GraphDb::new();
+    for i in 0..8 {
+        let mut s = generate::star(4 + i % 2, 0, 0, 2);
+        s.set_degree_features(6);
+        let mut c = generate::cycle(5 + i % 2, 0, 2);
+        c.set_degree_features(6);
+        db.push(s, 0);
+        db.push(c, 1);
+    }
+    let ids: Vec<u32> = (0..db.len() as u32).collect();
+    let mut model = GcnModel::new(6, 8, 2, 3, 5).with_aggregator(Aggregator::GinSum(0.1));
+    let mut trainer =
+        AdamTrainer::new(&model, TrainConfig { epochs: 300, lr: 5e-3, ..TrainConfig::default() });
+    trainer.fit(&mut model, &db, &ids);
+    AdamTrainer::classify_all(&model, &mut db, &ids);
+    let label = db.predicted(0).unwrap();
+    let sg = StreamGvex::new(Config::with_bounds(0, 3));
+    let out = sg.stream_graph(&model, db.graph(0), 0, label, None, 1.0);
+    assert!(out.is_some(), "stream must handle non-GCN aggregators");
+}

@@ -1,0 +1,88 @@
+/// A fixed-capacity bitset over dense node ids.
+///
+/// The influence/diversity gain computations of §3.1 are set unions over
+/// node ids; a word-packed bitset keeps the greedy loops of Algorithm 1
+/// allocation-free and cache-friendly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self { words: vec![0; n.div_ceil(64)], len: n }
+    }
+
+    /// Universe size.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `|self ∪ other| - |self|`: how many new bits `other` contributes.
+    pub fn union_gain(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).map(|(a, b)| (b & !a).count_ones() as usize).sum()
+    }
+
+    /// Iterator over set bits.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter(move |b| w & (1 << b) != 0).map(move |b| wi * 64 + b)
+        })
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Builds a set from an id slice.
+    pub fn from_ids(n: usize, ids: &[u32]) -> Self {
+        let mut s = Self::new(n);
+        for &i in ids {
+            s.insert(i as usize);
+        }
+        s
+    }
+}

@@ -1,0 +1,96 @@
+use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId, NodeId};
+use gvex_pattern::Pattern;
+
+/// A lower-tier explanation subgraph `G_s^l` of one graph (§2.2).
+///
+/// Stores the selected node set `V_s` in the *original* graph's id space;
+/// the induced subgraph is materialized on demand. The `consistent` /
+/// `counterfactual` flags record whether the strict conditions
+/// `M(G_s) = l` and `M(G \ G_s) ≠ l` held at emission time (the greedy
+/// growth enforces them when achievable; see `approx` module docs).
+#[derive(Debug, Clone)]
+pub struct ExplanationSubgraph {
+    /// Which database graph this explains.
+    pub graph_id: GraphId,
+    /// Selected nodes `V_s` (original graph ids, sorted).
+    pub nodes: Vec<NodeId>,
+    /// Whether `M(G_s) = M(G)` held when emitted.
+    pub consistent: bool,
+    /// Whether `M(G \ G_s) ≠ M(G)` held when emitted.
+    pub counterfactual: bool,
+    /// Explainability contribution `(I + γD)/|V|` of this subgraph.
+    pub score: f64,
+}
+
+impl ExplanationSubgraph {
+    /// Materializes the induced subgraph `G_s` from the database.
+    pub fn induced(&self, db: &GraphDb) -> (Graph, Vec<NodeId>) {
+        let _ = &db;
+        db.graph(self.graph_id).induced_subgraph(&self.nodes)
+    }
+
+    /// Node count `|V_s|`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the subgraph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// An explanation view `G_V^l = (P^l, G_s^l)` for one class label (§2.2):
+/// lower-tier explanation subgraphs plus higher-tier patterns that cover
+/// all their nodes.
+#[derive(Debug, Clone)]
+pub struct ExplanationView {
+    /// The class label `l` this view explains.
+    pub label: ClassLabel,
+    /// Lower-tier explanation subgraphs, one per explained graph.
+    pub subgraphs: Vec<ExplanationSubgraph>,
+    /// Higher-tier pattern set `P^l` covering all subgraph nodes.
+    pub patterns: Vec<Pattern>,
+    /// Aggregated explainability `f(G_V^l)` (Eq. 2).
+    pub explainability: f64,
+    /// Fraction of subgraph edges **not** covered by the patterns
+    /// (Fig 8c/8d's "edge loss"; node coverage is always complete).
+    pub edge_loss: f64,
+}
+
+impl ExplanationView {
+    /// Total nodes in the lower tier, `|V_S|`.
+    pub fn total_subgraph_nodes(&self) -> usize {
+        self.subgraphs.iter().map(ExplanationSubgraph::len).sum()
+    }
+
+    /// Total edges in the lower tier, `|E_S|` (computed against `db`).
+    pub fn total_subgraph_edges(&self, db: &GraphDb) -> usize {
+        self.subgraphs.iter().map(|s| s.induced(db).0.num_edges()).sum()
+    }
+
+    /// Total pattern size `|V_P| + |E_P|`.
+    pub fn total_pattern_size(&self) -> usize {
+        self.patterns.iter().map(Pattern::size).sum()
+    }
+}
+
+/// The full output `G_V = {G_V^l | l ∈ Ł}` of the EVG problem (§3.2).
+#[derive(Debug, Clone, Default)]
+pub struct ViewSet {
+    /// One view per requested label.
+    pub views: Vec<ExplanationView>,
+}
+
+impl ViewSet {
+    /// Aggregated explainability `Σ_l f(G_V^l)` — the EVG objective
+    /// (Eq. 7).
+    pub fn total_explainability(&self) -> f64 {
+        self.views.iter().map(|v| v.explainability).sum()
+    }
+
+    /// Finds the view for `label`.
+    pub fn for_label(&self, label: ClassLabel) -> Option<&ExplanationView> {
+        self.views.iter().find(|v| v.label == label)
+    }
+}

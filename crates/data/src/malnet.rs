@@ -1,0 +1,113 @@
+//! MALNET-TINY simulator: function-call graphs of malware families. The
+//! real graphs are large (avg 1522 nodes) and featureless; the simulator
+//! builds sparse call trees with extra call edges and plants a
+//! family-specific calling motif per class. Default scale is ~10x smaller
+//! (scalable back up via [`crate::DataConfig::size_scale`]).
+
+use crate::DataConfig;
+use gvex_graph::{Graph, GraphDb, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TYPE_FN: u16 = 0;
+const FEATURE_DIM: usize = 1;
+/// Featureless dataset: nodes get one-hot degree-bucket features.
+const DEGREE_BUCKETS: usize = 10;
+const NUM_CLASSES: u16 = 5;
+
+/// Generates the MALNET-TINY-like database (5 malware families).
+pub fn malnet_tiny(cfg: DataConfig) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = GraphDb::new();
+    for i in 0..cfg.num_graphs {
+        let class = (i as u16) % NUM_CLASSES;
+        let mut g = call_graph(&mut rng, class, cfg.scaled(140));
+        g.set_degree_features(DEGREE_BUCKETS);
+        db.push(g, class);
+    }
+    db
+}
+
+/// A call graph: random recursive tree + shortcut call edges + family motif.
+fn call_graph(rng: &mut StdRng, class: u16, size: usize) -> Graph {
+    let mut g = Graph::new(FEATURE_DIM);
+    let root = g.add_node(TYPE_FN, &[1.0]);
+    let mut nodes = vec![root];
+    while g.num_nodes() < size {
+        let parent = nodes[rng.gen_range(0..nodes.len())];
+        let child = g.add_node(TYPE_FN, &[1.0]);
+        g.add_edge(parent, child, 0);
+        nodes.push(child);
+    }
+    // Shortcut calls (~5% extra edges).
+    for _ in 0..size / 20 {
+        let a = nodes[rng.gen_range(0..nodes.len())];
+        let b = nodes[rng.gen_range(0..nodes.len())];
+        if a != b {
+            g.add_edge(a, b, 0);
+        }
+    }
+    // Family-specific motif, planted a few times so it dominates pooling.
+    let copies = 3;
+    for _ in 0..copies {
+        let anchor = nodes[rng.gen_range(0..nodes.len())];
+        plant_family_motif(&mut g, anchor, class, rng);
+    }
+    g
+}
+
+/// Plants the calling motif of malware family `class` at `anchor`.
+fn plant_family_motif(g: &mut Graph, anchor: NodeId, class: u16, rng: &mut StdRng) {
+    match class % NUM_CLASSES {
+        // Family 0: wide fan-out dispatcher (degree-8 star).
+        0 => {
+            let hub = g.add_node(TYPE_FN, &[1.0]);
+            g.add_edge(anchor, hub, 0);
+            for _ in 0..8 {
+                let leaf = g.add_node(TYPE_FN, &[1.0]);
+                g.add_edge(hub, leaf, 0);
+            }
+        }
+        // Family 1: mutual-recursion ring of 6 functions.
+        1 => {
+            let ids: Vec<NodeId> = (0..6).map(|_| g.add_node(TYPE_FN, &[1.0])).collect();
+            for i in 0..6 {
+                g.add_edge(ids[i], ids[(i + 1) % 6], 0);
+            }
+            g.add_edge(anchor, ids[0], 0);
+        }
+        // Family 2: dense helper clique K5 (packed/obfuscated region).
+        2 => {
+            let ids: Vec<NodeId> = (0..5).map(|_| g.add_node(TYPE_FN, &[1.0])).collect();
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    g.add_edge(ids[i], ids[j], 0);
+                }
+            }
+            g.add_edge(anchor, ids[0], 0);
+        }
+        // Family 3: long unrolled call chain of 10.
+        3 => {
+            let mut prev = anchor;
+            for _ in 0..10 {
+                let c = g.add_node(TYPE_FN, &[1.0]);
+                g.add_edge(prev, c, 0);
+                prev = c;
+            }
+        }
+        // Family 4: double-star C&C pattern (two hubs sharing leaves).
+        _ => {
+            let h1 = g.add_node(TYPE_FN, &[1.0]);
+            let h2 = g.add_node(TYPE_FN, &[1.0]);
+            g.add_edge(anchor, h1, 0);
+            g.add_edge(h1, h2, 0);
+            for _ in 0..5 {
+                let leaf = g.add_node(TYPE_FN, &[1.0]);
+                g.add_edge(h1, leaf, 0);
+                if rng.gen_bool(0.8) {
+                    g.add_edge(h2, leaf, 0);
+                }
+            }
+        }
+    }
+}

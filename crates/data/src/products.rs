@@ -1,0 +1,68 @@
+//! PRODUCTS simulator: Amazon co-purchase subgraphs. The paper samples
+//! ~400 subgraphs (~3000 nodes each) from the ogbn-products graph and
+//! labels each subgraph by the category of its seed node. The simulator
+//! builds community-structured subgraphs whose node features are drawn
+//! from class-specific Gaussian prototypes in 100 dimensions, plus a
+//! class-specific co-purchase clique motif. Default scale is reduced;
+//! `size_scale` restores paper-scale graphs.
+
+use crate::DataConfig;
+use gvex_graph::{Graph, GraphDb, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FEATURE_DIM: usize = 100;
+/// Scaled-down class count (paper: 47 top-level categories).
+const NUM_CLASSES: u16 = 8;
+const TYPE_PRODUCT: u16 = 0;
+
+/// Generates the PRODUCTS-like database.
+pub fn products(cfg: DataConfig) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Fixed class prototype directions.
+    let prototypes: Vec<Vec<f64>> = (0..NUM_CLASSES)
+        .map(|_| (0..FEATURE_DIM).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut db = GraphDb::new();
+    for i in 0..cfg.num_graphs {
+        let class = (i as u16) % NUM_CLASSES;
+        let g = copurchase_subgraph(&mut rng, &prototypes[class as usize], class, cfg.scaled(70));
+        db.push(g, class);
+    }
+    db
+}
+
+fn copurchase_subgraph(rng: &mut StdRng, proto: &[f64], class: u16, size: usize) -> Graph {
+    let mut g = Graph::new(FEATURE_DIM);
+    let mut feats = vec![0.0; FEATURE_DIM];
+    let mut ids: Vec<NodeId> = Vec::with_capacity(size);
+    for _ in 0..size {
+        for (f, &p) in feats.iter_mut().zip(proto) {
+            *f = 0.6 * p + rng.gen_range(-0.4..0.4);
+        }
+        ids.push(g.add_node(TYPE_PRODUCT, &feats));
+    }
+    // Preferential-attachment-ish co-purchase edges keeping things sparse
+    // (ogbn-products subgraphs have low average degree).
+    for i in 1..size {
+        let j = rng.gen_range(0..i);
+        g.add_edge(ids[i], ids[j], 0);
+        if rng.gen_bool(0.3) {
+            let k = rng.gen_range(0..i);
+            if k != j {
+                g.add_edge(ids[i], ids[k], 0);
+            }
+        }
+    }
+    // Class-specific "frequently bought together" clique of size 3..=5.
+    let csize = 3 + (class as usize % 3);
+    let members: Vec<NodeId> = (0..csize).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+    for i in 0..members.len() {
+        for j in (i + 1)..members.len() {
+            if members[i] != members[j] {
+                g.add_edge(members[i], members[j], 0);
+            }
+        }
+    }
+    g
+}

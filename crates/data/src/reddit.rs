@@ -1,0 +1,89 @@
+//! REDDIT-BINARY simulator: online-discussion threads (star-like user
+//! interaction, label 1) vs question-answer threads (biclique-like
+//! expert/asker interaction, label 0) — the two shapes the paper's case
+//! study 2 (Fig 11) extracts as patterns `P61` (star) and `P81` (biclique).
+
+use crate::DataConfig;
+use gvex_graph::{Graph, GraphDb, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All nodes are users; the dataset has no node features. As is standard
+/// for featureless graph classification (and in the spirit of §6.1's
+/// "default feature"), nodes receive a one-hot *degree bucket* feature.
+const TYPE_USER: u16 = 0;
+const FEATURE_DIM: usize = 1;
+/// Degree-bucket feature width for the featureless datasets.
+pub(crate) const DEGREE_BUCKETS: usize = 8;
+
+/// Generates the REDDIT-BINARY-like database.
+pub fn reddit_binary(cfg: DataConfig) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = GraphDb::new();
+    for i in 0..cfg.num_graphs {
+        let qa = i % 2 == 0;
+        let mut g =
+            if qa { qa_thread(&mut rng, cfg.scaled(40)) } else { discussion_thread(&mut rng, cfg.scaled(40)) };
+        g.set_degree_features(DEGREE_BUCKETS);
+        db.push(g, if qa { 0 } else { 1 });
+    }
+    db
+}
+
+/// Question-answer thread: a few domain experts each answer many askers —
+/// a biclique core plus sparse asker-asker noise.
+fn qa_thread(rng: &mut StdRng, size: usize) -> Graph {
+    let mut g = Graph::new(FEATURE_DIM);
+    let experts = rng.gen_range(2..=3);
+    let askers = size.saturating_sub(experts).max(4);
+    let e_ids: Vec<NodeId> = (0..experts).map(|_| g.add_node(TYPE_USER, &[1.0])).collect();
+    let a_ids: Vec<NodeId> = (0..askers).map(|_| g.add_node(TYPE_USER, &[1.0])).collect();
+    for &a in &a_ids {
+        for &e in &e_ids {
+            // Most askers are answered by most experts (dense biclique).
+            if rng.gen_bool(0.85) {
+                g.add_edge(a, e, 0);
+            }
+        }
+    }
+    // Ensure connectivity: every asker touches at least one expert.
+    for &a in &a_ids {
+        if g.degree(a) == 0 {
+            g.add_edge(a, e_ids[0], 0);
+        }
+    }
+    // Sparse asker-asker replies.
+    for _ in 0..askers / 8 {
+        let x = a_ids[rng.gen_range(0..a_ids.len())];
+        let y = a_ids[rng.gen_range(0..a_ids.len())];
+        if x != y {
+            g.add_edge(x, y, 0);
+        }
+    }
+    g
+}
+
+/// Online-discussion thread: one or two hub posters with many one-off
+/// responders — star-shaped.
+fn discussion_thread(rng: &mut StdRng, size: usize) -> Graph {
+    let mut g = Graph::new(FEATURE_DIM);
+    let hubs = rng.gen_range(1..=2);
+    let h_ids: Vec<NodeId> = (0..hubs).map(|_| g.add_node(TYPE_USER, &[1.0])).collect();
+    if hubs == 2 {
+        g.add_edge(h_ids[0], h_ids[1], 0);
+    }
+    let leaves = size.saturating_sub(hubs).max(5);
+    for _ in 0..leaves {
+        let l = g.add_node(TYPE_USER, &[1.0]);
+        let h = h_ids[rng.gen_range(0..h_ids.len())];
+        g.add_edge(l, h, 0);
+        // Rare leaf-leaf reply chains.
+        if rng.gen_bool(0.08) && l > 2 {
+            let other = rng.gen_range(hubs as u32..l);
+            if other != l {
+                g.add_edge(l, other, 0);
+            }
+        }
+    }
+    g
+}

@@ -1,0 +1,175 @@
+use crate::*;
+use gvex_graph::Graph;
+
+fn has_nitro(g: &Graph) -> bool {
+    g.node_ids().any(|v| {
+        g.node_type(v) == TYPE_N
+            && g.neighbors(v).iter().filter(|&&w| g.node_type(w) == TYPE_O).count() >= 2
+    })
+}
+
+#[test]
+fn mutagenicity_plants_nitro_only_in_mutagens() {
+    let db = mutagenicity(DataConfig::new(40, 1));
+    for (id, g) in db.iter() {
+        if db.truth(id) == 1 {
+            assert!(has_nitro(g), "mutagen {id} must carry a nitro group");
+        } else {
+            assert!(!has_nitro(g), "nonmutagen {id} must not carry a nitro group");
+        }
+    }
+}
+
+#[test]
+fn mutagenicity_stats_shape() {
+    let db = mutagenicity(DataConfig::new(60, 2));
+    let row = table3_row(DatasetKind::Mutagenicity, &db);
+    assert_eq!(row.num_graphs, 60);
+    assert_eq!(row.num_classes, 2);
+    assert_eq!(row.num_features, MUT_FEATURES);
+    // Table 3: ~30 nodes, ~31 edges per graph (we tolerate a wide band).
+    assert!(row.avg_nodes > 15.0 && row.avg_nodes < 50.0, "avg nodes {}", row.avg_nodes);
+    assert!(row.avg_edges > 15.0 && row.avg_edges < 60.0, "avg edges {}", row.avg_edges);
+}
+
+#[test]
+fn mutagenicity_graphs_connected() {
+    let db = mutagenicity(DataConfig::new(20, 3));
+    for (id, g) in db.iter() {
+        assert!(g.is_connected(), "graph {id} must be connected");
+    }
+}
+
+#[test]
+fn generators_are_deterministic() {
+    for kind in DatasetKind::all() {
+        let cfg = DataConfig::new(6, 99);
+        let a = kind.generate(cfg);
+        let b = kind.generate(cfg);
+        assert_eq!(a.len(), b.len());
+        for (id, ga) in a.iter() {
+            let gb = b.graph(id);
+            assert_eq!(ga.num_nodes(), gb.num_nodes(), "{} graph {id}", kind.name());
+            assert_eq!(ga.num_edges(), gb.num_edges(), "{} graph {id}", kind.name());
+            assert_eq!(
+                ga.edges().collect::<Vec<_>>(),
+                gb.edges().collect::<Vec<_>>(),
+                "{} graph {id}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn reddit_two_balanced_classes() {
+    let db = reddit_binary(DataConfig::new(30, 4));
+    let h = db.class_histogram();
+    assert_eq!(h.len(), 2);
+    assert_eq!(h[&0], 15);
+    assert_eq!(h[&1], 15);
+    for (_, g) in db.iter() {
+        assert!(g.is_connected());
+        assert_eq!(g.feature_dim(), 8, "RED uses degree-bucket features");
+    }
+}
+
+#[test]
+fn reddit_discussion_has_hub_qa_has_biclique_core() {
+    let db = reddit_binary(DataConfig::new(10, 5));
+    for (id, g) in db.iter() {
+        let max_deg = g.node_ids().map(|v| g.degree(v)).max().unwrap();
+        if db.truth(id) == 1 {
+            // Star-like: a hub touches a large share of the thread.
+            assert!(max_deg * 2 >= g.num_nodes() / 2, "graph {id} hub degree {max_deg}");
+        } else {
+            // Biclique-like: at least two high-degree experts.
+            let high = g.node_ids().filter(|&v| g.degree(v) >= g.num_nodes() / 4).count();
+            assert!(high >= 2, "graph {id} should have >=2 experts");
+        }
+    }
+}
+
+#[test]
+fn enzymes_six_classes() {
+    let db = enzymes(DataConfig::new(36, 6));
+    assert_eq!(db.labels().len(), 6);
+    let row = table3_row(DatasetKind::Enzymes, &db);
+    assert_eq!(row.num_features, 3);
+    assert!(row.avg_nodes > 15.0 && row.avg_nodes < 50.0);
+    for (_, g) in db.iter() {
+        assert!(g.is_connected());
+    }
+}
+
+#[test]
+fn malnet_five_classes_larger_graphs() {
+    let db = malnet_tiny(DataConfig::new(10, 7));
+    assert_eq!(db.labels().len(), 5);
+    let row = table3_row(DatasetKind::MalnetTiny, &db);
+    assert!(row.avg_nodes > 100.0, "MAL graphs are large: {}", row.avg_nodes);
+    for (_, g) in db.iter() {
+        assert!(g.is_connected());
+    }
+}
+
+#[test]
+fn pcqm_small_molecules() {
+    let db = pcqm4m(DataConfig::new(30, 8));
+    assert_eq!(db.labels().len(), 3);
+    let row = table3_row(DatasetKind::Pcqm4m, &db);
+    assert_eq!(row.num_features, 9);
+    assert!(row.avg_nodes > 8.0 && row.avg_nodes < 25.0, "avg nodes {}", row.avg_nodes);
+}
+
+#[test]
+fn pcqm_scales_to_many_graphs_quickly() {
+    let db = pcqm4m(DataConfig::new(5_000, 9));
+    assert_eq!(db.len(), 5_000);
+}
+
+#[test]
+fn products_features_and_classes() {
+    let db = products(DataConfig::new(16, 10));
+    let row = table3_row(DatasetKind::Products, &db);
+    assert_eq!(row.num_features, 100);
+    assert_eq!(row.num_classes, 8);
+    for (_, g) in db.iter() {
+        assert!(g.is_connected());
+        // Features are non-trivial (not all equal).
+        let x = g.features();
+        let first = x.get(0, 0);
+        assert!(x.data().iter().any(|&v| (v - first).abs() > 1e-9));
+    }
+}
+
+#[test]
+fn synthetic_ba_plus_motifs() {
+    let db = synthetic(DataConfig { num_graphs: 4, seed: 11, size_scale: 0.2 });
+    assert_eq!(db.labels().len(), 2);
+    for (id, g) in db.iter() {
+        assert!(g.is_connected());
+        // Motif nodes are typed distinctly from the BA base.
+        let motif_nodes = g.node_ids().filter(|&v| g.node_type(v) == 1).count();
+        assert!(motif_nodes >= 5, "graph {id} should contain motif nodes");
+    }
+}
+
+#[test]
+fn size_scale_grows_graphs() {
+    let small = synthetic(DataConfig { num_graphs: 2, seed: 12, size_scale: 0.1 });
+    let large = synthetic(DataConfig { num_graphs: 2, seed: 12, size_scale: 0.5 });
+    assert!(large.avg_nodes() > small.avg_nodes() * 2.0);
+}
+
+#[test]
+fn table3_all_rows_generate() {
+    for kind in DatasetKind::all() {
+        let cfg = DataConfig { num_graphs: 4, seed: 13, size_scale: 0.3 };
+        let db = kind.generate(cfg);
+        let row = table3_row(kind, &db);
+        assert_eq!(row.num_graphs, 4);
+        assert!(row.avg_nodes >= 1.0);
+        assert!(row.num_classes >= 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! GCN classifier substrate for GVEX (system S3/S4 in DESIGN.md).
+//!
+//! The paper evaluates explainers against a 3-layer Graph Convolutional
+//! Network (Eq. 1) with max pooling and a fully-connected classification
+//! head, trained with Adam (§6.1). No mature Rust GNN stack exists, so this
+//! crate implements the whole thing from scratch on top of `gvex-linalg`:
+//!
+//! - [`Propagation`]: the symmetric-normalized propagation operator
+//!   `S = D^-1/2 (A + I) D^-1/2`, plus edge-masked variants for
+//!   GNNExplainer-style mask learning.
+//! - [`GcnModel`]: forward inference with cached activations, manual
+//!   backprop (weights, input features, and edge/feature masks).
+//! - [`AdamTrainer`]: Adam optimization over a [`gvex_graph::GraphDb`].
+//! - [`influence`]: the expected-Jacobian feature influence of Eq. 3–4 in
+//!   two modes (`RandomWalk` closed form and exact `GatedJacobian`).
+//!
+//! The explainers in `gvex-core` and `gvex-baselines` treat [`GcnModel`] as
+//! a black box — they only consume `predict` / `predict_proba` /
+//! `node_embeddings`, which is exactly the model-agnostic contract of the
+//! paper (Table 1, "MA").
+
+pub mod influence;
+mod model;
+mod propagation;
+mod train;
+
+pub use influence::{InfluenceMatrix, InfluenceMode};
+pub use model::{Forward, GcnModel, Gradients, MaskGradients};
+pub use propagation::{Aggregator, Propagation};
+pub use train::{AdamTrainer, TrainConfig, TrainReport};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,293 @@
+use crate::{Aggregator, Propagation};
+use gvex_graph::{ClassLabel, Graph};
+use gvex_linalg::{cross_entropy, softmax_rows, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A graph convolutional network for graph classification (§2.1 Eq. 1,
+/// §6.1): `k` GCN layers with ReLU, global max pooling, and one
+/// fully-connected layer producing class logits.
+#[derive(Debug, Clone)]
+pub struct GcnModel {
+    /// Per-layer weight matrices `Θ_1..Θ_k`.
+    weights: Vec<Matrix>,
+    /// Fully-connected head `hidden x num_classes`.
+    fc: Matrix,
+    /// Bias of the head, `1 x num_classes`.
+    bias: Matrix,
+    input_dim: usize,
+    num_classes: usize,
+    aggregator: Aggregator,
+}
+
+/// Cached activations of one forward pass; everything backprop needs.
+#[derive(Debug, Clone)]
+pub struct Forward {
+    /// The propagation operator used (possibly masked).
+    pub s: Matrix,
+    /// Layer inputs `H_0 = X, H_1, ..., H_k` (post-activation).
+    pub h: Vec<Matrix>,
+    /// Pre-activations `Z_1..Z_k`.
+    pub z: Vec<Matrix>,
+    /// Aggregated inputs `A_l = S · H_{l-1}` (cached for weight gradients).
+    pub a: Vec<Matrix>,
+    /// Pooled graph representation, `1 x hidden`.
+    pub pooled: Matrix,
+    /// Argmax row per pooled column (max-pool backprop routing).
+    pub pool_arg: Vec<usize>,
+    /// Class logits, `1 x num_classes`.
+    pub logits: Matrix,
+}
+
+/// Gradients of the loss w.r.t. model parameters and inputs.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Per-layer weight gradients.
+    pub weights: Vec<Matrix>,
+    /// Head weight gradient.
+    pub fc: Matrix,
+    /// Head bias gradient.
+    pub bias: Matrix,
+    /// Gradient w.r.t. the input features `X`.
+    pub x: Matrix,
+    /// Gradient w.r.t. the propagation operator `S` (only when requested).
+    pub s: Option<Matrix>,
+}
+
+/// Gradients w.r.t. the GNNExplainer masks.
+#[derive(Debug, Clone)]
+pub struct MaskGradients {
+    /// `∂loss/∂mask_e` for each canonical edge.
+    pub edge: Vec<f64>,
+    /// `∂loss/∂featmask_j` for each input feature dimension.
+    pub feature: Vec<f64>,
+}
+
+impl GcnModel {
+    /// Creates a model with `layers` GCN layers of width `hidden`,
+    /// Glorot-initialized from `seed`.
+    pub fn new(input_dim: usize, hidden: usize, num_classes: usize, layers: usize, seed: u64) -> Self {
+        assert!(layers >= 1, "need at least one GCN layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = Vec::with_capacity(layers);
+        let mut d = input_dim;
+        for _ in 0..layers {
+            weights.push(Matrix::glorot(d, hidden, &mut rng));
+            d = hidden;
+        }
+        let fc = Matrix::glorot(hidden, num_classes, &mut rng);
+        let bias = Matrix::zeros(1, num_classes);
+        Self { weights, fc, bias, input_dim, num_classes, aggregator: Aggregator::GcnSym }
+    }
+
+    /// Builder: selects an alternative message-passing aggregator (the
+    /// explainers are model-agnostic — Table 1 "MA").
+    pub fn with_aggregator(mut self, aggregator: Aggregator) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// The aggregation scheme this model propagates with.
+    pub fn aggregator(&self) -> Aggregator {
+        self.aggregator
+    }
+
+    /// Number of GCN layers `k`.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The per-layer weight matrices `Θ_1..Θ_k` (read-only; used by the
+    /// exact-Jacobian influence mode).
+    pub fn weights(&self) -> &[Matrix] {
+        &self.weights
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Input feature dimension the model expects.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Test-only mutable access to the raw parameter list.
+    #[doc(hidden)]
+    pub fn params_for_test(&mut self) -> Vec<&mut Matrix> {
+        self.params_mut()
+    }
+
+    /// Mutable parameter list (weights, fc, bias) for the optimizer.
+    pub(crate) fn params_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut p: Vec<&mut Matrix> = self.weights.iter_mut().collect();
+        p.push(&mut self.fc);
+        p.push(&mut self.bias);
+        p
+    }
+
+    /// Forward pass with an explicit operator `S` and features `X`.
+    ///
+    /// Handles the empty graph (`|V| = 0`): pooling yields zeros, so the
+    /// prediction degenerates to the bias — a fixed, deterministic label,
+    /// which keeps the counterfactual check `M(G \ G_s)` total.
+    pub fn forward(&self, s: &Matrix, x: &Matrix) -> Forward {
+        assert_eq!(x.cols(), self.input_dim, "input feature dim mismatch");
+        assert_eq!(s.rows(), x.rows(), "operator/feature row mismatch");
+        let mut h = vec![x.clone()];
+        let mut z = Vec::with_capacity(self.weights.len());
+        let mut a = Vec::with_capacity(self.weights.len());
+        for w in &self.weights {
+            let agg = s.matmul(h.last().expect("h starts non-empty"));
+            let pre = agg.matmul(w);
+            h.push(pre.relu());
+            a.push(agg);
+            z.push(pre);
+        }
+        let last = h.last().expect("h non-empty");
+        let (pooled, pool_arg) = if last.rows() == 0 {
+            (Matrix::zeros(1, last.cols()), vec![0; last.cols()])
+        } else {
+            last.max_pool_rows()
+        };
+        let logits = pooled.matmul(&self.fc).add(&self.bias);
+        Forward { s: s.clone(), h, z, a, pooled, pool_arg, logits }
+    }
+
+    /// Forward pass on a whole graph (builds the propagation operator
+    /// for this model's aggregator).
+    pub fn forward_graph(&self, g: &Graph) -> Forward {
+        let prop = Propagation::with_aggregator(g, self.aggregator);
+        self.forward(prop.matrix(), g.features())
+    }
+
+    /// Predicted class label `M(G)`.
+    pub fn predict(&self, g: &Graph) -> ClassLabel {
+        let fwd = self.forward_graph(g);
+        argmax_row(&fwd.logits) as ClassLabel
+    }
+
+    /// Predicted class probabilities for `G` (softmax of the logits).
+    pub fn predict_proba(&self, g: &Graph) -> Vec<f64> {
+        let fwd = self.forward_graph(g);
+        softmax_rows(&fwd.logits).row(0).to_vec()
+    }
+
+    /// Label and probability vector in one pass.
+    pub fn predict_with_proba(&self, g: &Graph) -> (ClassLabel, Vec<f64>) {
+        let fwd = self.forward_graph(g);
+        let probs = softmax_rows(&fwd.logits).row(0).to_vec();
+        (argmax_row(&fwd.logits) as ClassLabel, probs)
+    }
+
+    /// Last-layer node representations `X^k` (used by the diversity measure
+    /// Eq. 6 and as the model-agnostic interface of the paper).
+    pub fn node_embeddings(&self, g: &Graph) -> Matrix {
+        let fwd = self.forward_graph(g);
+        fwd.h.last().expect("h non-empty").clone()
+    }
+
+    /// Per-node class scores: applies the classification head to each
+    /// node's layer-k embedding (`n x num_classes`). Because the model
+    /// pools by max, a node's head score is exactly its potential
+    /// contribution to each class logit — a CAM-style evidence map used
+    /// by the streaming swap rule.
+    pub fn class_scores(&self, embeddings: &Matrix) -> Matrix {
+        let mut scores = embeddings.matmul(&self.fc);
+        for r in 0..scores.rows() {
+            for c in 0..scores.cols() {
+                scores.add_at(r, c, self.bias.get(0, c));
+            }
+        }
+        scores
+    }
+
+    /// Cross-entropy loss and full backward pass for one graph.
+    ///
+    /// When `want_s_grad` is set, also accumulates `∂loss/∂S` (needed for
+    /// edge-mask learning).
+    pub fn loss_backward(&self, fwd: &Forward, target: usize, want_s_grad: bool) -> (f64, Gradients) {
+        let (loss, dlogits) = cross_entropy(&fwd.logits, target);
+        let grads = self.backward(fwd, &dlogits, want_s_grad);
+        (loss, grads)
+    }
+
+    /// Backward pass from an arbitrary logit gradient.
+    pub fn backward(&self, fwd: &Forward, dlogits: &Matrix, want_s_grad: bool) -> Gradients {
+        let n = fwd.s.rows();
+        let k = self.weights.len();
+        let dfc = fwd.pooled.transpose().matmul(dlogits);
+        let dbias = dlogits.clone();
+        let dpooled = dlogits.matmul(&self.fc.transpose());
+
+        // Route the pooled gradient back to the argmax rows.
+        let hidden = fwd.pooled.cols();
+        let mut dh = Matrix::zeros(n, hidden);
+        if n > 0 {
+            for c in 0..hidden {
+                dh.add_at(fwd.pool_arg[c], c, dpooled.get(0, c));
+            }
+        }
+
+        let mut dweights = vec![Matrix::zeros(0, 0); k];
+        let mut ds = want_s_grad.then(|| Matrix::zeros(n, n));
+        // Transposed operator for routing gradients backward; equals S for
+        // the symmetric GCN operator but differs for SAGE-mean.
+        let s_t = fwd.s.transpose();
+        for l in (0..k).rev() {
+            let dz = dh.hadamard(&fwd.z[l].relu_gate());
+            dweights[l] = fwd.a[l].transpose().matmul(&dz);
+            let dz_wt = dz.matmul(&self.weights[l].transpose());
+            if let Some(ds) = ds.as_mut() {
+                // Z_l = S · (H_{l-1} W_l)  =>  ∂L/∂S += dZ_l · (H_{l-1} W_l)ᵀ
+                let hw = fwd.h[l].matmul(&self.weights[l]);
+                *ds = ds.add(&dz.matmul(&hw.transpose()));
+            }
+            dh = s_t.matmul(&dz_wt);
+        }
+        Gradients { weights: dweights, fc: dfc, bias: dbias, x: dh, s: ds }
+    }
+
+    /// Cross-entropy loss plus gradients w.r.t. a per-edge mask and a
+    /// per-feature mask, for GNNExplainer.
+    ///
+    /// The forward must have been computed with `prop.masked(edge_mask)` and
+    /// features `X ⊙ feat_mask` (columns scaled). `x_orig` are the unmasked
+    /// features.
+    pub fn mask_backward(
+        &self,
+        fwd: &Forward,
+        target: usize,
+        prop: &Propagation,
+        x_orig: &Matrix,
+        feat_mask: &[f64],
+    ) -> (f64, MaskGradients) {
+        let (loss, grads) = self.loss_backward(fwd, target, true);
+        let ds = grads.s.expect("requested S gradient");
+        let mut edge = Vec::with_capacity(prop.edge_list().len());
+        for (e, &(u, v)) in prop.edge_list().iter().enumerate() {
+            let c = prop.edge_coeff(e);
+            edge.push(c * (ds.get(u as usize, v as usize) + ds.get(v as usize, u as usize)));
+        }
+        let mut feature = vec![0.0; feat_mask.len()];
+        for r in 0..x_orig.rows() {
+            for (j, f) in feature.iter_mut().enumerate() {
+                *f += grads.x.get(r, j) * x_orig.get(r, j);
+            }
+        }
+        (loss, MaskGradients { edge, feature })
+    }
+}
+
+/// Index of the maximum entry in a single-row matrix.
+pub(crate) fn argmax_row(m: &Matrix) -> usize {
+    let row = m.row(0);
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}

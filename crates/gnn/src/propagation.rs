@@ -1,0 +1,143 @@
+use gvex_graph::Graph;
+use gvex_linalg::Matrix;
+
+/// Message-passing aggregation scheme. The paper's experiments use the
+/// GCN operator (Eq. 1), but the GVEX explainers are model-agnostic
+/// (Table 1 "MA"): any message-passing classifier exposing predictions
+/// and last-layer embeddings works. The alternative operators below
+/// exercise exactly that claim (GIN-style sum aggregation and
+/// GraphSAGE-style mean aggregation as single-operator simplifications;
+/// see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Aggregator {
+    /// Symmetric-normalized GCN operator `D̂^{-1/2} Â D̂^{-1/2}` (Eq. 1).
+    #[default]
+    GcnSym,
+    /// GIN-style sum aggregation `A + (1 + ε) I` (GIN-0 without the MLP).
+    GinSum(f64),
+    /// GraphSAGE-style mean aggregation `(I + D^{-1} A) / 2`.
+    SageMean,
+}
+
+/// The propagation operator used by each GCN layer.
+///
+/// For `GcnSym` the operator is symmetric, so `Sᵀ = S`; the backward pass
+/// transposes explicitly so the non-symmetric `SageMean` variant is
+/// handled correctly. For masked forwards (GNNExplainer) the degree
+/// normalization is kept *fixed* at the unmasked degrees, making the
+/// masked operator linear in the mask and its gradient exact (documented
+/// substitution #4 in DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct Propagation {
+    s: Matrix,
+    /// `inv_sqrt_deg[v] = (deg(v)+1)^{-1/2}` — cached for masked variants.
+    inv_sqrt_deg: Vec<f64>,
+    /// Canonical edge list `(u, v)` with `u < v`, aligned with
+    /// [`gvex_graph::Graph::edges`] order; masks index into this list.
+    edge_list: Vec<(u32, u32)>,
+}
+
+impl Propagation {
+    /// Builds the default (GCN, Eq. 1) propagation operator for `g`.
+    pub fn new(g: &Graph) -> Self {
+        Self::with_aggregator(g, Aggregator::GcnSym)
+    }
+
+    /// Builds the operator for the chosen aggregation scheme.
+    pub fn with_aggregator(g: &Graph, agg: Aggregator) -> Self {
+        let n = g.num_nodes();
+        let inv_sqrt_deg: Vec<f64> =
+            (0..n).map(|v| 1.0 / ((g.degree(v as u32) + 1) as f64).sqrt()).collect();
+        let edge_list: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        let mut s = Matrix::zeros(n, n);
+        match agg {
+            Aggregator::GcnSym => {
+                for v in 0..n {
+                    s.set(v, v, inv_sqrt_deg[v] * inv_sqrt_deg[v]);
+                }
+                for &(u, v) in &edge_list {
+                    let w = inv_sqrt_deg[u as usize] * inv_sqrt_deg[v as usize];
+                    s.set(u as usize, v as usize, w);
+                    s.set(v as usize, u as usize, w);
+                }
+            }
+            Aggregator::GinSum(eps) => {
+                for v in 0..n {
+                    s.set(v, v, 1.0 + eps);
+                }
+                for &(u, v) in &edge_list {
+                    s.set(u as usize, v as usize, 1.0);
+                    s.set(v as usize, u as usize, 1.0);
+                }
+            }
+            Aggregator::SageMean => {
+                for v in 0..n {
+                    s.set(v, v, 0.5);
+                }
+                for &(u, v) in &edge_list {
+                    let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+                    s.set(u as usize, v as usize, 0.5 / du.max(1.0));
+                    s.set(v as usize, u as usize, 0.5 / dv.max(1.0));
+                }
+            }
+        }
+        Self { s, inv_sqrt_deg, edge_list }
+    }
+
+    /// The dense `|V| x |V|` operator `S`.
+    #[inline]
+    pub fn matrix(&self) -> &Matrix {
+        &self.s
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.s.rows()
+    }
+
+    /// The canonical `(u, v)` edge list masks are aligned with.
+    #[inline]
+    pub fn edge_list(&self) -> &[(u32, u32)] {
+        &self.edge_list
+    }
+
+    /// A masked operator `S(m)` where each off-diagonal entry for edge `e`
+    /// is scaled by `mask[e] ∈ [0, 1]`; self-loop entries are unmasked.
+    ///
+    /// # Panics
+    /// Panics if `mask.len()` differs from the number of edges.
+    pub fn masked(&self, mask: &[f64]) -> Matrix {
+        assert_eq!(mask.len(), self.edge_list.len(), "mask length must equal edge count");
+        let n = self.num_nodes();
+        let mut s = Matrix::zeros(n, n);
+        for v in 0..n {
+            s.set(v, v, self.inv_sqrt_deg[v] * self.inv_sqrt_deg[v]);
+        }
+        for (e, &(u, v)) in self.edge_list.iter().enumerate() {
+            let w = self.inv_sqrt_deg[u as usize] * self.inv_sqrt_deg[v as usize] * mask[e];
+            s.set(u as usize, v as usize, w);
+            s.set(v as usize, u as usize, w);
+        }
+        s
+    }
+
+    /// The normalization coefficient `(deg(u)+1)^{-1/2} (deg(v)+1)^{-1/2}`
+    /// of edge `e` — the factor `∂S_{uv}/∂mask_e`.
+    #[inline]
+    pub fn edge_coeff(&self, e: usize) -> f64 {
+        let (u, v) = self.edge_list[e];
+        self.inv_sqrt_deg[u as usize] * self.inv_sqrt_deg[v as usize]
+    }
+
+    /// `S^k` — the k-step propagation matrix used by the `RandomWalk`
+    /// influence mode (Eq. 3 closed form for GCNs).
+    pub fn power(&self, k: usize) -> Matrix {
+        let n = self.num_nodes();
+        let mut acc = Matrix::identity(n);
+        for _ in 0..k {
+            acc = acc.matmul(&self.s);
+        }
+        acc
+    }
+}

@@ -1,0 +1,161 @@
+use crate::Graph;
+use rustc_hash::FxHashMap;
+
+/// Index of a graph within a [`GraphDb`].
+pub type GraphId = u32;
+/// Task-specific class label assigned by the GNN classifier (§2.1 remarks:
+/// distinct from node *types*).
+pub type ClassLabel = u16;
+
+/// A graph database `G = {G_1, ..., G_m}` together with ground-truth class
+/// labels (used to train the classifier) and, once a classifier has run,
+/// predicted labels (used to form label groups `G^l`, §2.2).
+#[derive(Debug, Clone, Default)]
+pub struct GraphDb {
+    graphs: Vec<Graph>,
+    truth: Vec<ClassLabel>,
+    predicted: Vec<Option<ClassLabel>>,
+}
+
+impl GraphDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a graph with its ground-truth class label; returns its id.
+    pub fn push(&mut self, graph: Graph, label: ClassLabel) -> GraphId {
+        let id = self.graphs.len() as GraphId;
+        self.graphs.push(graph);
+        self.truth.push(label);
+        self.predicted.push(None);
+        id
+    }
+
+    /// Number of graphs `|G|`.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Borrow of graph `id`.
+    pub fn graph(&self, id: GraphId) -> &Graph {
+        &self.graphs[id as usize]
+    }
+
+    /// Iterator over `(id, graph)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
+        self.graphs.iter().enumerate().map(|(i, g)| (i as GraphId, g))
+    }
+
+    /// Ground-truth label of graph `id`.
+    pub fn truth(&self, id: GraphId) -> ClassLabel {
+        self.truth[id as usize]
+    }
+
+    /// Records the classifier's prediction `M(G_id) = l`.
+    pub fn set_predicted(&mut self, id: GraphId, label: ClassLabel) {
+        self.predicted[id as usize] = Some(label);
+    }
+
+    /// The classifier's prediction for graph `id`, if it has been classified.
+    pub fn predicted(&self, id: GraphId) -> Option<ClassLabel> {
+        self.predicted[id as usize]
+    }
+
+    /// The label group `G^l`: ids of graphs the classifier assigned label
+    /// `l`. Falls back to ground truth for unclassified graphs only if
+    /// `use_truth_fallback` is set by calling [`GraphDb::label_group_truth`].
+    pub fn label_group(&self, label: ClassLabel) -> Vec<GraphId> {
+        self.iter()
+            .filter(|(id, _)| self.predicted[*id as usize] == Some(label))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Label group computed from ground-truth labels (used before a
+    /// classifier has been attached, e.g. in unit tests).
+    pub fn label_group_truth(&self, label: ClassLabel) -> Vec<GraphId> {
+        self.iter().filter(|(id, _)| self.truth[*id as usize] == label).map(|(id, _)| id).collect()
+    }
+
+    /// The set of distinct ground-truth labels, sorted.
+    pub fn labels(&self) -> Vec<ClassLabel> {
+        let mut l: Vec<ClassLabel> = self.truth.clone();
+        l.sort_unstable();
+        l.dedup();
+        l
+    }
+
+    /// Total node count across the node group `V` of the database.
+    pub fn total_nodes(&self) -> usize {
+        self.graphs.iter().map(Graph::num_nodes).sum()
+    }
+
+    /// Total undirected edge count across the database.
+    pub fn total_edges(&self) -> usize {
+        self.graphs.iter().map(Graph::num_edges).sum()
+    }
+
+    /// Average nodes per graph (Table 3 statistic).
+    pub fn avg_nodes(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total_nodes() as f64 / self.len() as f64
+        }
+    }
+
+    /// Average edges per graph (Table 3 statistic).
+    pub fn avg_edges(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.total_edges() as f64 / self.len() as f64
+        }
+    }
+
+    /// Count of graphs per ground-truth class.
+    pub fn class_histogram(&self) -> FxHashMap<ClassLabel, usize> {
+        let mut h = FxHashMap::default();
+        for &l in &self.truth {
+            *h.entry(l).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Deterministic train/validation/test split by index modulo shuffling
+    /// with the given seed. Fractions follow §6.1 (80/10/10 by default).
+    pub fn split(&self, train: f64, val: f64, seed: u64) -> Split {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut ids: Vec<GraphId> = (0..self.len() as GraphId).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        let n = ids.len();
+        let n_train = ((n as f64) * train).round() as usize;
+        let n_val = ((n as f64) * val).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        Split {
+            train: ids[..n_train].to_vec(),
+            val: ids[n_train..n_train + n_val].to_vec(),
+            test: ids[n_train + n_val..].to_vec(),
+        }
+    }
+}
+
+/// Train/validation/test partition of a [`GraphDb`].
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training graph ids.
+    pub train: Vec<GraphId>,
+    /// Validation graph ids.
+    pub val: Vec<GraphId>,
+    /// Test graph ids (explanations are generated for these, per §6.1).
+    pub test: Vec<GraphId>,
+}

@@ -1,0 +1,197 @@
+//! Seeded random graph generators.
+//!
+//! These are the building blocks of the dataset simulators in `gvex-data`:
+//! Barabási–Albert preferential attachment (the paper's SYNTHETIC base
+//! graph), the House and Cycle motifs of GNNExplainer's benchmark, stars and
+//! bicliques (the REDDIT-BINARY interaction shapes of Fig 11), rings/chains
+//! for molecule-like graphs, and a motif-attachment helper.
+
+use crate::{EdgeType, Graph, NodeId, NodeType};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Builds a Barabási–Albert graph with `n` nodes, each new node attaching
+/// `m` edges preferentially; all nodes get type `ty` and a constant feature.
+///
+/// # Panics
+/// Panics if `n < m + 1` or `m == 0`.
+pub fn barabasi_albert(n: usize, m: usize, ty: NodeType, feature_dim: usize, rng: &mut StdRng) -> Graph {
+    assert!(m >= 1 && n > m, "BA requires n > m >= 1");
+    let mut g = Graph::new(feature_dim);
+    let feats = constant_feature(feature_dim);
+    for _ in 0..n {
+        g.add_node(ty, &feats);
+    }
+    // Start from a clique-ish seed of m+1 nodes.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            g.add_edge(u as NodeId, v as NodeId, 0);
+        }
+    }
+    // Repeated-endpoint list for preferential attachment.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(4 * n * m);
+    for (u, v, _) in g.edges() {
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    for v in (m + 1)..n {
+        let mut targets = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m && guard < 100 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v as NodeId && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        // Fall back to uniform choice if the preferential draw stalled.
+        let mut u = 0;
+        while targets.len() < m {
+            if u as usize != v && !targets.contains(&u) {
+                targets.push(u);
+            }
+            u += 1;
+        }
+        for &t in &targets {
+            g.add_edge(v as NodeId, t, 0);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    g
+}
+
+/// A star: one hub of type `hub_ty` joined to `leaves` nodes of `leaf_ty`.
+pub fn star(leaves: usize, hub_ty: NodeType, leaf_ty: NodeType, feature_dim: usize) -> Graph {
+    let mut g = Graph::new(feature_dim);
+    let feats = constant_feature(feature_dim);
+    let hub = g.add_node(hub_ty, &feats);
+    for _ in 0..leaves {
+        let leaf = g.add_node(leaf_ty, &feats);
+        g.add_edge(hub, leaf, 0);
+    }
+    g
+}
+
+/// A complete bipartite graph `K_{a,b}` with part types `ty_a` / `ty_b`.
+pub fn biclique(a: usize, b: usize, ty_a: NodeType, ty_b: NodeType, feature_dim: usize) -> Graph {
+    let mut g = Graph::new(feature_dim);
+    let feats = constant_feature(feature_dim);
+    let left: Vec<NodeId> = (0..a).map(|_| g.add_node(ty_a, &feats)).collect();
+    let right: Vec<NodeId> = (0..b).map(|_| g.add_node(ty_b, &feats)).collect();
+    for &u in &left {
+        for &v in &right {
+            g.add_edge(u, v, 0);
+        }
+    }
+    g
+}
+
+/// A simple cycle of `n >= 3` nodes, all of type `ty`.
+pub fn cycle(n: usize, ty: NodeType, feature_dim: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = Graph::new(feature_dim);
+    let feats = constant_feature(feature_dim);
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(ty, &feats)).collect();
+    for i in 0..n {
+        g.add_edge(ids[i], ids[(i + 1) % n], 0);
+    }
+    g
+}
+
+/// A path of `n >= 1` nodes, all of type `ty`.
+pub fn path(n: usize, ty: NodeType, feature_dim: usize) -> Graph {
+    assert!(n >= 1, "a path needs at least one node");
+    let mut g = Graph::new(feature_dim);
+    let feats = constant_feature(feature_dim);
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(ty, &feats)).collect();
+    for i in 1..n {
+        g.add_edge(ids[i - 1], ids[i], 0);
+    }
+    g
+}
+
+/// The 5-node "House" motif of the GNNExplainer/SYNTHETIC benchmark: a
+/// 4-cycle (walls/floor) with a roof apex joined to the two top corners.
+pub fn house_motif(ty: NodeType, feature_dim: usize) -> Graph {
+    let mut g = Graph::new(feature_dim);
+    let feats = constant_feature(feature_dim);
+    let ids: Vec<NodeId> = (0..5).map(|_| g.add_node(ty, &feats)).collect();
+    // Square 0-1-2-3, roof 4 on top of 0 and 1.
+    g.add_edge(ids[0], ids[1], 0);
+    g.add_edge(ids[1], ids[2], 0);
+    g.add_edge(ids[2], ids[3], 0);
+    g.add_edge(ids[3], ids[0], 0);
+    g.add_edge(ids[0], ids[4], 0);
+    g.add_edge(ids[1], ids[4], 0);
+    g
+}
+
+/// Appends `motif` into `host`, attaching it by one random edge from the
+/// motif's first node to a random host node. Returns the host ids the motif
+/// nodes received.
+pub fn attach_motif(host: &mut Graph, motif: &Graph, rng: &mut StdRng) -> Vec<NodeId> {
+    assert!(host.num_nodes() > 0, "cannot attach to an empty host");
+    assert_eq!(host.feature_dim(), motif.feature_dim(), "feature dims must agree");
+    let mut new_ids = Vec::with_capacity(motif.num_nodes());
+    for v in motif.node_ids() {
+        let id = host.add_node(motif.node_type(v), motif.features().row(v as usize));
+        new_ids.push(id);
+    }
+    for (u, v, t) in motif.edges() {
+        host.add_edge(new_ids[u as usize], new_ids[v as usize], t);
+    }
+    let anchor = rng.gen_range(0..(host.num_nodes() - motif.num_nodes())) as NodeId;
+    host.add_edge(new_ids[0], anchor, 0);
+    new_ids
+}
+
+/// Gnp-style random connected graph: draws each edge with probability `p`
+/// and then adds a spanning path so the result is connected.
+pub fn random_connected(n: usize, p: f64, ty: NodeType, feature_dim: usize, rng: &mut StdRng) -> Graph {
+    assert!(n >= 1);
+    let mut g = Graph::new(feature_dim);
+    let feats = constant_feature(feature_dim);
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(ty, &feats)).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(ids[i], ids[j], 0);
+            }
+        }
+    }
+    for i in 1..n {
+        if !g.has_edge(ids[i - 1], ids[i]) && g.neighbors(ids[i]).is_empty() {
+            g.add_edge(ids[i - 1], ids[i], 0);
+        }
+    }
+    if !g.is_connected() {
+        for i in 1..n {
+            g.add_edge(ids[i - 1], ids[i], 0);
+        }
+    }
+    g
+}
+
+/// Convenience: appends an isolated copy of `motif` into `host` connected by
+/// an edge of type `bridge_ty` between `host_anchor` and the motif's node 0.
+pub fn graft(host: &mut Graph, motif: &Graph, host_anchor: NodeId, bridge_ty: EdgeType) -> Vec<NodeId> {
+    assert_eq!(host.feature_dim(), motif.feature_dim(), "feature dims must agree");
+    let mut new_ids = Vec::with_capacity(motif.num_nodes());
+    for v in motif.node_ids() {
+        let id = host.add_node(motif.node_type(v), motif.features().row(v as usize));
+        new_ids.push(id);
+    }
+    for (u, v, t) in motif.edges() {
+        host.add_edge(new_ids[u as usize], new_ids[v as usize], t);
+    }
+    host.add_edge(host_anchor, new_ids[0], bridge_ty);
+    new_ids
+}
+
+fn constant_feature(dim: usize) -> Vec<f64> {
+    // Datasets without node features assign a default constant feature
+    // (§6.1 "For datasets without node features, we assign each node a
+    // default feature").
+    vec![1.0; dim.max(1)][..dim].to_vec()
+}

@@ -1,0 +1,25 @@
+//! Attributed graphs, graph databases, and generators for GVEX.
+//!
+//! This crate is the storage substrate of the reproduction (system S1 in
+//! DESIGN.md). It provides:
+//!
+//! - [`Graph`]: a connected attributed graph `G = (V, E, T, L)` per §2.1 of
+//!   the paper — nodes carry a *type* (used for pattern matching) and a
+//!   feature vector (used by the GNN); edges carry a type as well.
+//! - [`GraphDb`]: a database `G = {G_1, ..., G_m}` of graphs with class
+//!   labels assigned by a classifier, plus label groups `G^l`.
+//! - [`generate`]: seeded random generators (Barabási–Albert, motifs,
+//!   stars, bicliques, molecule-like builders) used by the dataset
+//!   simulators in `gvex-data`.
+//!
+//! Graphs are undirected. Node ids are dense `u32` indices local to a graph.
+
+mod db;
+mod graph;
+pub mod generate;
+
+pub use db::{ClassLabel, GraphDb, GraphId};
+pub use graph::{EdgeType, Graph, NodeId, NodeType};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,300 @@
+use crate::{generate, Graph, GraphDb};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn triangle() -> Graph {
+    let mut g = Graph::new(2);
+    let a = g.add_node(0, &[1.0, 0.0]);
+    let b = g.add_node(1, &[0.0, 1.0]);
+    let c = g.add_node(0, &[1.0, 0.0]);
+    g.add_edge(a, b, 0);
+    g.add_edge(b, c, 1);
+    g.add_edge(c, a, 0);
+    g
+}
+
+#[test]
+fn add_node_and_edge_basics() {
+    let g = triangle();
+    assert_eq!(g.num_nodes(), 3);
+    assert_eq!(g.num_edges(), 3);
+    assert_eq!(g.node_type(1), 1);
+    assert_eq!(g.degree(0), 2);
+    assert!(g.has_edge(0, 1));
+    assert!(g.has_edge(1, 0), "edges are undirected");
+    assert_eq!(g.edge_type(1, 2), Some(1));
+    assert_eq!(g.edge_type(0, 2), Some(0));
+}
+
+#[test]
+fn add_edge_is_idempotent() {
+    let mut g = triangle();
+    g.add_edge(0, 1, 5);
+    assert_eq!(g.num_edges(), 3, "re-adding must not duplicate");
+    assert_eq!(g.edge_type(0, 1), Some(5), "type is updated");
+    assert_eq!(g.neighbors(0), &[1, 2]);
+}
+
+#[test]
+#[should_panic(expected = "self-loops")]
+fn self_loop_panics() {
+    let mut g = triangle();
+    g.add_edge(1, 1, 0);
+}
+
+#[test]
+#[should_panic(expected = "feature dimension mismatch")]
+fn feature_dim_mismatch_panics() {
+    let mut g = Graph::new(3);
+    g.add_node(0, &[1.0]);
+}
+
+#[test]
+fn neighbors_sorted_and_deterministic() {
+    let mut g = Graph::new(1);
+    for _ in 0..5 {
+        g.add_node(0, &[1.0]);
+    }
+    g.add_edge(2, 4, 0);
+    g.add_edge(2, 0, 0);
+    g.add_edge(2, 3, 0);
+    assert_eq!(g.neighbors(2), &[0, 3, 4]);
+}
+
+#[test]
+fn induced_subgraph_keeps_internal_edges_only() {
+    let g = triangle();
+    let (sub, map) = g.induced_subgraph(&[0, 1]);
+    assert_eq!(sub.num_nodes(), 2);
+    assert_eq!(sub.num_edges(), 1);
+    assert_eq!(map, vec![0, 1]);
+    assert_eq!(sub.node_type(1), 1);
+    // Features travel with nodes.
+    assert_eq!(sub.features().row(0), &[1.0, 0.0]);
+}
+
+#[test]
+fn induced_subgraph_dedups_and_sorts() {
+    let g = triangle();
+    let (sub, map) = g.induced_subgraph(&[2, 0, 2]);
+    assert_eq!(sub.num_nodes(), 2);
+    assert_eq!(map, vec![0, 2]);
+    assert_eq!(sub.num_edges(), 1);
+}
+
+#[test]
+fn remove_nodes_is_complement() {
+    let g = triangle();
+    let (rest, map) = g.remove_nodes(&[1]);
+    assert_eq!(rest.num_nodes(), 2);
+    assert_eq!(map, vec![0, 2]);
+    assert_eq!(rest.num_edges(), 1, "edge {{0,2}} survives");
+}
+
+#[test]
+fn connectivity_and_components() {
+    let mut g = Graph::new(1);
+    for _ in 0..4 {
+        g.add_node(0, &[1.0]);
+    }
+    g.add_edge(0, 1, 0);
+    g.add_edge(2, 3, 0);
+    assert!(!g.is_connected());
+    let comps = g.components();
+    assert_eq!(comps, vec![vec![0, 1], vec![2, 3]]);
+    assert!(triangle().is_connected());
+    assert!(Graph::new(1).is_connected(), "empty graph is connected by convention");
+}
+
+#[test]
+fn r_hop_distances() {
+    let g = generate::path(5, 0, 1);
+    assert_eq!(g.r_hop(0, 0), vec![0]);
+    assert_eq!(g.r_hop(0, 2), vec![0, 1, 2]);
+    assert_eq!(g.r_hop(2, 1), vec![1, 2, 3]);
+    assert_eq!(g.r_hop(2, 10), vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn edges_iterator_sorted_canonical() {
+    let g = triangle();
+    let e: Vec<_> = g.edges().collect();
+    assert_eq!(e, vec![(0, 1, 0), (0, 2, 0), (1, 2, 1)]);
+}
+
+#[test]
+fn avg_degree_triangle() {
+    assert!((triangle().avg_degree() - 2.0).abs() < 1e-12);
+    assert_eq!(Graph::new(1).avg_degree(), 0.0);
+}
+
+#[test]
+fn type_multiset_sorted() {
+    assert_eq!(triangle().type_multiset(), vec![0, 0, 1]);
+}
+
+// --- generators ---
+
+#[test]
+fn ba_graph_connected_with_expected_edges() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generate::barabasi_albert(50, 2, 0, 4, &mut rng);
+    assert_eq!(g.num_nodes(), 50);
+    assert!(g.is_connected());
+    // Seed clique contributes C(3,2)=3 edges, every later node adds 2.
+    assert_eq!(g.num_edges(), 3 + 47 * 2);
+}
+
+#[test]
+fn star_shape() {
+    let g = generate::star(6, 1, 2, 1);
+    assert_eq!(g.num_nodes(), 7);
+    assert_eq!(g.num_edges(), 6);
+    assert_eq!(g.degree(0), 6);
+    assert_eq!(g.node_type(0), 1);
+    assert_eq!(g.node_type(3), 2);
+}
+
+#[test]
+fn biclique_shape() {
+    let g = generate::biclique(2, 3, 0, 1, 1);
+    assert_eq!(g.num_nodes(), 5);
+    assert_eq!(g.num_edges(), 6);
+    assert!(g.is_connected());
+    assert!(!g.has_edge(0, 1), "no intra-part edges");
+}
+
+#[test]
+fn cycle_and_path_shapes() {
+    let c = generate::cycle(5, 0, 1);
+    assert_eq!(c.num_edges(), 5);
+    assert!(c.node_ids().all(|v| c.degree(v) == 2));
+    let p = generate::path(4, 0, 1);
+    assert_eq!(p.num_edges(), 3);
+    assert!(p.is_connected());
+}
+
+#[test]
+fn house_motif_shape() {
+    let h = generate::house_motif(3, 1);
+    assert_eq!(h.num_nodes(), 5);
+    assert_eq!(h.num_edges(), 6);
+    assert!(h.is_connected());
+    // Roof node has degree 2, top corners degree 3.
+    assert_eq!(h.degree(4), 2);
+    assert_eq!(h.degree(0), 3);
+}
+
+#[test]
+fn attach_motif_grows_host_connected() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut host = generate::barabasi_albert(20, 1, 0, 1, &mut rng);
+    let before = host.num_nodes();
+    let motif = generate::house_motif(1, 1);
+    let ids = generate::attach_motif(&mut host, &motif, &mut rng);
+    assert_eq!(host.num_nodes(), before + 5);
+    assert_eq!(ids.len(), 5);
+    assert!(host.is_connected());
+}
+
+#[test]
+fn random_connected_is_connected() {
+    for seed in 0..5 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::random_connected(15, 0.1, 0, 1, &mut rng);
+        assert!(g.is_connected(), "seed {seed}");
+    }
+}
+
+// --- database ---
+
+#[test]
+fn db_push_and_label_groups() {
+    let mut db = GraphDb::new();
+    let a = db.push(triangle(), 0);
+    let b = db.push(generate::path(3, 0, 2), 1);
+    let c = db.push(generate::cycle(4, 0, 2), 0);
+    assert_eq!(db.len(), 3);
+    assert_eq!(db.truth(a), 0);
+    assert_eq!(db.label_group_truth(0), vec![a, c]);
+    db.set_predicted(a, 1);
+    db.set_predicted(b, 1);
+    assert_eq!(db.label_group(1), vec![a, b]);
+    assert_eq!(db.predicted(c), None);
+    assert_eq!(db.labels(), vec![0, 1]);
+}
+
+#[test]
+fn db_statistics() {
+    let mut db = GraphDb::new();
+    db.push(triangle(), 0);
+    db.push(generate::path(5, 0, 2), 1);
+    assert_eq!(db.total_nodes(), 8);
+    assert_eq!(db.total_edges(), 7);
+    assert!((db.avg_nodes() - 4.0).abs() < 1e-12);
+    assert_eq!(db.class_histogram()[&0], 1);
+}
+
+#[test]
+fn db_split_partitions() {
+    let mut db = GraphDb::new();
+    for i in 0..20 {
+        db.push(generate::path(3, 0, 1), (i % 2) as u16);
+    }
+    let s = db.split(0.8, 0.1, 7);
+    assert_eq!(s.train.len(), 16);
+    assert_eq!(s.val.len(), 2);
+    assert_eq!(s.test.len(), 2);
+    let mut all: Vec<_> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..20).collect::<Vec<_>>());
+    // Deterministic under the same seed.
+    let s2 = db.split(0.8, 0.1, 7);
+    assert_eq!(s.train, s2.train);
+}
+
+proptest! {
+    #[test]
+    fn induced_subgraph_edge_count_bounded(seed in 0u64..50, k in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::random_connected(12, 0.3, 0, 1, &mut rng);
+        let nodes: Vec<u32> = (0..k.min(12) as u32).collect();
+        let (sub, map) = g.induced_subgraph(&nodes);
+        prop_assert_eq!(sub.num_nodes(), map.len());
+        prop_assert!(sub.num_edges() <= g.num_edges());
+        // Every subgraph edge exists in the host between mapped endpoints.
+        for (u, v, _) in sub.edges() {
+            prop_assert!(g.has_edge(map[u as usize], map[v as usize]));
+        }
+        // Induced semantics: every host edge between kept nodes appears.
+        for (u, v, _) in g.edges() {
+            let iu = map.iter().position(|&x| x == u);
+            let iv = map.iter().position(|&x| x == v);
+            if let (Some(iu), Some(iv)) = (iu, iv) {
+                prop_assert!(sub.has_edge(iu as u32, iv as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_then_induce_partitions_nodes(seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::random_connected(10, 0.25, 0, 1, &mut rng);
+        let drop: Vec<u32> = vec![0, 3, 7];
+        let (rest, map) = g.remove_nodes(&drop);
+        prop_assert_eq!(rest.num_nodes() + drop.len(), g.num_nodes());
+        for &m in &map {
+            prop_assert!(!drop.contains(&m));
+        }
+    }
+
+    #[test]
+    fn ba_degrees_at_least_m(seed in 0u64..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generate::barabasi_albert(30, 2, 0, 1, &mut rng);
+        for v in g.node_ids() {
+            prop_assert!(g.degree(v) >= 2, "node {} degree {}", v, g.degree(v));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Minimal dense linear algebra for GVEX.
+//!
+//! The GVEX reproduction deliberately avoids external BLAS/tensor crates so
+//! the whole stack builds offline. This crate provides the small set of
+//! operations the GCN substrate (`gvex-gnn`) and the feature-influence
+//! engine need: row-major `f64` matrices, matmul, elementwise maps,
+//! reductions, softmax, and a handful of constructors.
+//!
+//! Matrices are plain `Vec<f64>` buffers; all shapes are checked with
+//! assertions so that misuse fails loudly in debug and test builds.
+
+mod matrix;
+mod ops;
+
+pub use matrix::Matrix;
+pub use ops::{cross_entropy, softmax_rows};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,32 @@
+use crate::Matrix;
+
+/// Row-wise numerically-stable softmax.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for (c, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out.set(r, c, e);
+            sum += e;
+        }
+        for c in 0..logits.cols() {
+            out.set(r, c, out.get(r, c) / sum);
+        }
+    }
+    out
+}
+
+/// Cross-entropy loss of a single softmax row against a class index,
+/// together with the gradient w.r.t. the logits (`p - onehot`).
+pub fn cross_entropy(logits: &Matrix, target: usize) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), 1, "cross_entropy expects a single logit row");
+    assert!(target < logits.cols(), "target class out of range");
+    let p = softmax_rows(logits);
+    let loss = -(p.get(0, target).max(1e-12)).ln();
+    let mut grad = p;
+    grad.add_at(0, target, -1.0);
+    (loss, grad)
+}

@@ -1,0 +1,190 @@
+use crate::{cross_entropy, softmax_rows, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+#[test]
+fn zeros_shape_and_content() {
+    let m = Matrix::zeros(3, 4);
+    assert_eq!(m.shape(), (3, 4));
+    assert!(m.data().iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn identity_matmul_is_noop() {
+    let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+    let i = Matrix::identity(2);
+    assert_eq!(a.matmul(&i), a);
+    assert_eq!(i.matmul(&a), a);
+}
+
+#[test]
+fn matmul_known_product() {
+    let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+    let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+    let c = a.matmul(&b);
+    assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+}
+
+#[test]
+#[should_panic(expected = "matmul shape mismatch")]
+fn matmul_shape_mismatch_panics() {
+    let a = Matrix::zeros(2, 3);
+    let b = Matrix::zeros(2, 3);
+    let _ = a.matmul(&b);
+}
+
+#[test]
+fn transpose_involution() {
+    let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+    assert_eq!(a.transpose().transpose(), a);
+    assert_eq!(a.transpose().get(2, 1), 6.0);
+}
+
+#[test]
+fn add_sub_roundtrip() {
+    let a = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]);
+    let b = Matrix::from_rows(&[vec![4.0, 1.0], vec![-1.0, 2.0]]);
+    assert_eq!(a.add(&b).sub(&b), a);
+}
+
+#[test]
+fn hadamard_elementwise() {
+    let a = Matrix::from_rows(&[vec![2.0, 3.0]]);
+    let b = Matrix::from_rows(&[vec![5.0, -1.0]]);
+    assert_eq!(a.hadamard(&b), Matrix::from_rows(&[vec![10.0, -3.0]]));
+}
+
+#[test]
+fn relu_and_gate() {
+    let a = Matrix::from_rows(&[vec![-1.0, 0.0, 2.0]]);
+    assert_eq!(a.relu(), Matrix::from_rows(&[vec![0.0, 0.0, 2.0]]));
+    assert_eq!(a.relu_gate(), Matrix::from_rows(&[vec![0.0, 0.0, 1.0]]));
+}
+
+#[test]
+fn max_pool_values_and_argmax() {
+    let a = Matrix::from_rows(&[vec![1.0, 5.0], vec![3.0, 2.0], vec![2.0, 4.0]]);
+    let (pooled, arg) = a.max_pool_rows();
+    assert_eq!(pooled, Matrix::from_rows(&[vec![3.0, 5.0]]));
+    assert_eq!(arg, vec![1, 0]);
+}
+
+#[test]
+fn mean_pool_rows_average() {
+    let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+    assert_eq!(a.mean_pool_rows(), Matrix::from_rows(&[vec![2.0, 3.0]]));
+}
+
+#[test]
+fn l1_and_frobenius_norms() {
+    let a = Matrix::from_rows(&[vec![3.0, -4.0]]);
+    assert_eq!(a.l1_norm(), 7.0);
+    assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+}
+
+#[test]
+fn gather_rows_selects() {
+    let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+    let g = a.gather_rows(&[2, 0]);
+    assert_eq!(g, Matrix::from_rows(&[vec![3.0], vec![1.0]]));
+}
+
+#[test]
+fn row_distance_sq_matches_manual() {
+    let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+    assert_eq!(a.row_distance_sq(0, &a, 1), 25.0);
+}
+
+#[test]
+fn softmax_rows_sum_to_one() {
+    let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+    let s = softmax_rows(&a);
+    for r in 0..2 {
+        let sum: f64 = s.row(r).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(s.row(r).iter().all(|&p| p > 0.0));
+    }
+    // Larger logits get larger probabilities.
+    assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+}
+
+#[test]
+fn softmax_is_shift_invariant() {
+    let a = Matrix::from_rows(&[vec![100.0, 101.0]]);
+    let b = Matrix::from_rows(&[vec![0.0, 1.0]]);
+    let sa = softmax_rows(&a);
+    let sb = softmax_rows(&b);
+    assert!((sa.get(0, 0) - sb.get(0, 0)).abs() < 1e-12);
+}
+
+#[test]
+fn cross_entropy_gradient_is_p_minus_onehot() {
+    let logits = Matrix::from_rows(&[vec![0.2, 0.8, -0.1]]);
+    let (loss, grad) = cross_entropy(&logits, 1);
+    let p = softmax_rows(&logits);
+    assert!(loss > 0.0);
+    assert!((grad.get(0, 1) - (p.get(0, 1) - 1.0)).abs() < 1e-12);
+    assert!((grad.get(0, 0) - p.get(0, 0)).abs() < 1e-12);
+    // Gradient rows sum to zero.
+    let sum: f64 = grad.row(0).iter().sum();
+    assert!(sum.abs() < 1e-12);
+}
+
+#[test]
+fn cross_entropy_numeric_gradient_check() {
+    let logits = Matrix::from_rows(&[vec![0.3, -0.7, 1.2, 0.05]]);
+    let (_, grad) = cross_entropy(&logits, 2);
+    let eps = 1e-6;
+    for c in 0..4 {
+        let mut plus = logits.clone();
+        plus.add_at(0, c, eps);
+        let mut minus = logits.clone();
+        minus.add_at(0, c, -eps);
+        let num = (cross_entropy(&plus, 2).0 - cross_entropy(&minus, 2).0) / (2.0 * eps);
+        assert!((num - grad.get(0, c)).abs() < 1e-6, "col {c}: {num} vs {}", grad.get(0, c));
+    }
+}
+
+#[test]
+fn glorot_within_limit() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let m = Matrix::glorot(10, 20, &mut rng);
+    let limit = (6.0 / 30.0_f64).sqrt();
+    assert!(m.data().iter().all(|&x| x.abs() <= limit));
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_add(seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::glorot(3, 4, &mut rng);
+        let b = Matrix::glorot(4, 2, &mut rng);
+        let c = Matrix::glorot(4, 2, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(seed in 0u64..1000) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::glorot(3, 5, &mut rng);
+        let b = Matrix::glorot(5, 2, &mut rng);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scale_is_linear(seed in 0u64..1000, s in -3.0f64..3.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::glorot(4, 4, &mut rng);
+        let lhs = a.scale(s).l1_norm();
+        let rhs = a.l1_norm() * s.abs();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Isomorphism-invariant keys for pattern dedup.
+//!
+//! Exact canonical labeling is overkill for GVEX's small patterns; instead
+//! the miner buckets candidates by a cheap invariant (node/edge counts,
+//! sorted type/degree sequences, and 1-D Weisfeiler–Leman colors) and only
+//! runs the exact VF2 isomorphism test within a bucket.
+
+use crate::Pattern;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Number of WL refinement rounds. Patterns are small; three rounds
+/// separate everything we mine in practice.
+const WL_ROUNDS: usize = 3;
+
+/// Computes an isomorphism-invariant 64-bit key for a pattern.
+///
+/// Guarantee: isomorphic patterns always receive equal keys. The converse
+/// may fail (rare WL collisions), which is why dedup follows up with
+/// [`crate::vf2::isomorphic`] inside each bucket.
+pub fn invariant_key(p: &Pattern) -> u64 {
+    let n = p.num_nodes();
+    let mut colors: Vec<u64> = (0..n as u32).map(|v| p.node_type(v) as u64).collect();
+    for _ in 0..WL_ROUNDS {
+        let mut next = Vec::with_capacity(n);
+        for v in 0..n as u32 {
+            let mut neigh: Vec<(u64, u64)> = p
+                .neighbors(v)
+                .iter()
+                .map(|&w| (colors[w as usize], p.edge_type(v, w).unwrap_or(0) as u64))
+                .collect();
+            neigh.sort_unstable();
+            let mut h = DefaultHasher::new();
+            colors[v as usize].hash(&mut h);
+            neigh.hash(&mut h);
+            next.push(h.finish());
+        }
+        colors = next;
+    }
+    colors.sort_unstable();
+    let mut h = DefaultHasher::new();
+    (n as u64).hash(&mut h);
+    (p.num_edges() as u64).hash(&mut h);
+    p.type_multiset().hash(&mut h);
+    colors.hash(&mut h);
+    let mut degs: Vec<usize> = (0..n as u32).map(|v| p.neighbors(v).len()).collect();
+    degs.sort_unstable();
+    degs.hash(&mut h);
+    h.finish()
+}
+
+/// Dedups a list of patterns up to isomorphism, preserving first-seen
+/// order. Buckets by [`invariant_key`], confirms with VF2.
+pub fn dedup(patterns: Vec<Pattern>) -> Vec<Pattern> {
+    use rustc_hash::FxHashMap;
+    let mut buckets: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    let mut keep: Vec<Pattern> = Vec::new();
+    for p in patterns {
+        let key = invariant_key(&p);
+        let bucket = buckets.entry(key).or_default();
+        let dup = bucket.iter().any(|&i| crate::vf2::isomorphic(&keep[i], &p));
+        if !dup {
+            bucket.push(keep.len());
+            keep.push(p);
+        }
+    }
+    keep
+}

@@ -1,0 +1,26 @@
+//! Graph patterns, matching, and mining for GVEX (systems S5/S6).
+//!
+//! The "higher tier" of an explanation view is a set of graph patterns that
+//! cover the nodes of the explanation subgraphs via **node-induced subgraph
+//! isomorphism** (§2.1). This crate provides:
+//!
+//! - [`Pattern`]: a connected typed graph `P = (V_p, E_p, L_p)`.
+//! - [`vf2`]: a VF2-style backtracking matcher with induced semantics,
+//!   embedding enumeration, coverage extraction, and an anchored variant
+//!   used as the incremental `IncPMatch` primitive of §5.
+//! - [`canon`]: cheap isomorphism-invariant keys (degree/type sequences +
+//!   Weisfeiler–Leman colors) plus exact isomorphism tests for dedup.
+//! - [`mine()`]: the `PGen` operator of §4 — constrained enumeration of
+//!   connected sub-patterns from explanation subgraphs with support
+//!   counting and MDL-style ranking.
+
+pub mod canon;
+pub mod mine;
+mod pattern;
+pub mod vf2;
+
+pub use mine::{mine, MinedPattern, MinerConfig};
+pub use pattern::Pattern;
+
+#[cfg(test)]
+mod tests;

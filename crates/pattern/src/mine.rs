@@ -1,0 +1,173 @@
+//! Constrained pattern mining: the `PGen` operator of §4.
+//!
+//! Given a set of explanation subgraphs, `PGen` extracts candidate
+//! patterns to be verified by `PMatch` and selected by `Psum`. The
+//! implementation enumerates **connected node-induced sub-patterns** up to
+//! a size bound with the ESU (Wernicke) scheme — each connected node set
+//! is generated exactly once per graph — dedups them up to isomorphism,
+//! counts per-graph support, and ranks by an MDL-style benefit (patterns
+//! that describe many occurrences of a large structure compress the
+//! subgraph set best). Enumeration is capped so mining stays bounded on
+//! dense graphs, in line with the paper's "N and T are small due to
+//! bounded pattern and graph size" cost assumption.
+
+use crate::canon::invariant_key;
+use crate::{vf2, Pattern};
+use gvex_graph::{Graph, NodeId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Mining bounds for [`mine`].
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Maximum pattern size in nodes (paper: bounded by `C.u_l`; default
+    /// keeps candidate pools small, matching the "small N" assumption).
+    pub max_pattern_nodes: usize,
+    /// Minimum number of input subgraphs a pattern must occur in.
+    pub min_support: usize,
+    /// Hard cap on returned candidates (after MDL ranking).
+    pub max_candidates: usize,
+    /// Cap on enumerated connected subsets per input graph.
+    pub max_subsets_per_graph: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            max_pattern_nodes: 5,
+            min_support: 1,
+            max_candidates: 64,
+            max_subsets_per_graph: 5_000,
+        }
+    }
+}
+
+/// A mined candidate pattern with its statistics.
+#[derive(Debug, Clone)]
+pub struct MinedPattern {
+    /// The pattern itself.
+    pub pattern: Pattern,
+    /// Number of distinct input subgraphs containing the pattern.
+    pub support: usize,
+    /// Total occurrence count across all input subgraphs.
+    pub occurrences: usize,
+    /// MDL-style benefit: `(occurrences - 1) * (|V_p| + |E_p|)` — the
+    /// description length saved by factoring the structure out.
+    pub mdl: i64,
+}
+
+/// Mines candidate patterns from `graphs` (the explanation subgraphs
+/// `G_s^l`). Always includes the single-node pattern for every node type
+/// present, so downstream set-cover selection is never infeasible.
+pub fn mine(graphs: &[&Graph], cfg: &MinerConfig) -> Vec<MinedPattern> {
+    let mut by_key: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    let mut found: Vec<(Pattern, FxHashSet<usize>, usize)> = Vec::new(); // (pattern, graph ids, occurrences)
+
+    let record = |p: Pattern, gi: usize, found: &mut Vec<(Pattern, FxHashSet<usize>, usize)>,
+                      by_key: &mut FxHashMap<u64, Vec<usize>>| {
+        let key = invariant_key(&p);
+        let bucket = by_key.entry(key).or_default();
+        for &i in bucket.iter() {
+            if vf2::isomorphic(&found[i].0, &p) {
+                found[i].1.insert(gi);
+                found[i].2 += 1;
+                return;
+            }
+        }
+        let mut set = FxHashSet::default();
+        set.insert(gi);
+        bucket.push(found.len());
+        found.push((p, set, 1));
+    };
+
+    for (gi, g) in graphs.iter().enumerate() {
+        let mut budget = cfg.max_subsets_per_graph;
+        enumerate_connected_subsets(g, cfg.max_pattern_nodes, &mut budget, &mut |nodes| {
+            record(Pattern::from_induced(g, nodes), gi, &mut found, &mut by_key);
+        });
+        // Guarantee single-node fallbacks even if the budget tripped early.
+        for v in g.node_ids() {
+            record(Pattern::single_node(g.node_type(v)), gi, &mut found, &mut by_key);
+        }
+    }
+
+    let mut out: Vec<MinedPattern> = found
+        .into_iter()
+        .filter(|(p, gs, _)| gs.len() >= cfg.min_support || p.num_nodes() == 1)
+        .map(|(pattern, gs, occ)| {
+            let mdl = (occ as i64 - 1) * pattern.size() as i64;
+            MinedPattern { pattern, support: gs.len(), occurrences: occ, mdl }
+        })
+        .collect();
+    // Rank: MDL benefit desc, then larger patterns, then support.
+    out.sort_by(|a, b| {
+        b.mdl
+            .cmp(&a.mdl)
+            .then(b.pattern.size().cmp(&a.pattern.size()))
+            .then(b.support.cmp(&a.support))
+    });
+    // Keep all single-node fallbacks regardless of the cap.
+    let (singles, mut multis): (Vec<_>, Vec<_>) =
+        out.into_iter().partition(|m| m.pattern.num_nodes() == 1);
+    multis.truncate(cfg.max_candidates.saturating_sub(singles.len()).max(1));
+    multis.extend(singles);
+    multis
+}
+
+/// ESU (Wernicke) enumeration of connected node subsets of size
+/// `1..=max_nodes`, each exactly once, with a global budget.
+fn enumerate_connected_subsets(
+    g: &Graph,
+    max_nodes: usize,
+    budget: &mut usize,
+    emit: &mut impl FnMut(&[NodeId]),
+) {
+    let n = g.num_nodes() as NodeId;
+    for v in 0..n {
+        if *budget == 0 {
+            return;
+        }
+        let ext: Vec<NodeId> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+        let mut sub = vec![v];
+        extend(g, &mut sub, ext, v, max_nodes, budget, emit);
+    }
+}
+
+fn extend(
+    g: &Graph,
+    sub: &mut Vec<NodeId>,
+    mut ext: Vec<NodeId>,
+    root: NodeId,
+    max_nodes: usize,
+    budget: &mut usize,
+    emit: &mut impl FnMut(&[NodeId]),
+) {
+    if *budget == 0 {
+        return;
+    }
+    *budget -= 1;
+    emit(sub);
+    if sub.len() == max_nodes {
+        return;
+    }
+    while let Some(w) = ext.pop() {
+        if *budget == 0 {
+            return;
+        }
+        // Exclusive extension: neighbors of w beyond root that are neither
+        // in the subset nor adjacent to it (ESU's uniqueness invariant).
+        let mut next_ext = ext.clone();
+        for &u in g.neighbors(w) {
+            if u > root
+                && !sub.contains(&u)
+                && u != w
+                && !next_ext.contains(&u)
+                && !sub.iter().any(|&s| g.has_edge(s, u))
+            {
+                next_ext.push(u);
+            }
+        }
+        sub.push(w);
+        extend(g, sub, next_ext, root, max_nodes, budget, emit);
+        sub.pop();
+    }
+}

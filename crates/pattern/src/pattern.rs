@@ -1,0 +1,101 @@
+use gvex_graph::{EdgeType, Graph, NodeId, NodeType};
+
+/// A graph pattern `P = (V_p, E_p, L_p)` (§2.1): a connected typed graph.
+///
+/// Patterns carry node and edge types but no features — pattern matching
+/// enforces real-world entity *types*, not learned features. Internally a
+/// pattern is a zero-feature [`Graph`], which lets it reuse all the
+/// adjacency and connectivity machinery.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    graph: Graph,
+}
+
+impl Pattern {
+    /// Builds a pattern from explicit node types and typed edges.
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is out of range or the result would
+    /// contain self-loops.
+    pub fn new(node_types: &[NodeType], edges: &[(NodeId, NodeId, EdgeType)]) -> Self {
+        let mut g = Graph::new(0);
+        for &t in node_types {
+            g.add_node(t, &[]);
+        }
+        for &(u, v, t) in edges {
+            g.add_edge(u, v, t);
+        }
+        Self { graph: g }
+    }
+
+    /// A single-node pattern of the given type. Single-node patterns are
+    /// the coverage fallback that keeps `Psum` feasible (Lemma 4.3).
+    pub fn single_node(ty: NodeType) -> Self {
+        Self::new(&[ty], &[])
+    }
+
+    /// The pattern induced by `nodes` in a host graph: node/edge types are
+    /// copied, features dropped.
+    pub fn from_induced(host: &Graph, nodes: &[NodeId]) -> Self {
+        let (sub, _) = host.induced_subgraph(nodes);
+        let types: Vec<NodeType> = sub.node_ids().map(|v| sub.node_type(v)).collect();
+        let edges: Vec<(NodeId, NodeId, EdgeType)> = sub.edges().collect();
+        Self::new(&types, &edges)
+    }
+
+    /// Number of pattern nodes `|V_p|`.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of pattern edges `|E_p|`.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// `|V_p| + |E_p|`, the size used by the compression metric (Eq. 11).
+    pub fn size(&self) -> usize {
+        self.num_nodes() + self.num_edges()
+    }
+
+    /// Type of pattern node `v`.
+    pub fn node_type(&self, v: NodeId) -> NodeType {
+        self.graph.node_type(v)
+    }
+
+    /// Type of pattern edge `{u, v}` if present.
+    pub fn edge_type(&self, u: NodeId, v: NodeId) -> Option<EdgeType> {
+        self.graph.edge_type(u, v)
+    }
+
+    /// Sorted neighbors of pattern node `v`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.graph.neighbors(v)
+    }
+
+    /// Whether pattern edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.graph.has_edge(u, v)
+    }
+
+    /// Iterator over pattern edges `(u, v, type)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeType)> + '_ {
+        self.graph.edges()
+    }
+
+    /// Whether the pattern is connected (patterns must be; generators
+    /// uphold this, and the miner only emits connected candidates).
+    pub fn is_connected(&self) -> bool {
+        self.graph.is_connected()
+    }
+
+    /// Sorted multiset of node types (a cheap matching precondition).
+    pub fn type_multiset(&self) -> Vec<NodeType> {
+        self.graph.type_multiset()
+    }
+
+    /// The underlying zero-feature graph.
+    pub fn as_graph(&self) -> &Graph {
+        &self.graph
+    }
+}

@@ -1,0 +1,269 @@
+//! VF2-style backtracking subgraph isomorphism with node-induced semantics.
+//!
+//! Implements the `PMatch` verifier of §4: given a pattern `P` and a data
+//! graph `G`, find matching functions `h` such that node and edge types
+//! agree and — because matching is *node-induced* (§2.1, citation \[17\]) —
+//! an edge exists between `h(u), h(v)` **iff** `(u, v)` is a pattern edge.
+//!
+//! The module exposes existence checks, bounded enumeration, coverage
+//! extraction (which nodes/edges of `G` are covered by some embedding),
+//! and an *anchored* variant (`covers_node`) that serves as the
+//! incremental `IncPMatch` primitive of §5: when a node arrives in the
+//! stream, only matches pinned to that node need to be searched.
+
+use crate::Pattern;
+use gvex_graph::{Graph, NodeId};
+use rustc_hash::FxHashSet;
+
+/// Default cap on enumerated embeddings, to bound worst-case matching cost
+/// on symmetric data graphs.
+pub const DEFAULT_EMBEDDING_LIMIT: usize = 20_000;
+
+struct Vf2<'a> {
+    p: &'a Pattern,
+    g: &'a Graph,
+    /// Pattern-node visit order (BFS so each node after the first has a
+    /// mapped neighbor, shrinking the candidate set to a neighborhood).
+    order: Vec<NodeId>,
+    /// For order position i > 0: an already-mapped pattern neighbor.
+    parent: Vec<Option<NodeId>>,
+    mapping: Vec<Option<NodeId>>,
+    used: Vec<bool>,
+}
+
+impl<'a> Vf2<'a> {
+    fn new(p: &'a Pattern, g: &'a Graph) -> Self {
+        let n = p.num_nodes();
+        let mut order = Vec::with_capacity(n);
+        let mut parent = vec![None; n];
+        let mut seen = vec![false; n];
+        // BFS from node 0; patterns are connected, but fall back to
+        // restarts to stay total on malformed input.
+        for start in 0..n as NodeId {
+            if seen[start as usize] {
+                continue;
+            }
+            seen[start as usize] = true;
+            let mut queue = std::collections::VecDeque::from([start]);
+            order.push(start);
+            while let Some(v) = queue.pop_front() {
+                for &w in p.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        parent[order.len()] = Some(v);
+                        order.push(w);
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        Self { p, g, order, parent, mapping: vec![None; n], used: vec![false; g.num_nodes()] }
+    }
+
+    /// Whether mapping pattern node `pv` to data node `gv` is consistent
+    /// with the current partial mapping under induced semantics.
+    fn feasible(&self, pv: NodeId, gv: NodeId) -> bool {
+        if self.p.node_type(pv) != self.g.node_type(gv) {
+            return false;
+        }
+        if self.p.neighbors(pv).len() > self.g.neighbors(gv).len() {
+            return false;
+        }
+        for (q, m) in self.mapping.iter().enumerate() {
+            let Some(gq) = *m else { continue };
+            let p_edge = self.p.edge_type(pv, q as NodeId);
+            let g_edge = self.g.edge_type(gv, gq);
+            match (p_edge, g_edge) {
+                (Some(pt), Some(gt)) => {
+                    if pt != gt {
+                        return false;
+                    }
+                }
+                // Induced: pattern edge requires data edge AND data edge
+                // between mapped images requires a pattern edge.
+                (Some(_), None) | (None, Some(_)) => return false,
+                (None, None) => {}
+            }
+        }
+        true
+    }
+
+    /// Enumerates embeddings, invoking `cb` with the mapping
+    /// (`pattern node -> data node`). Returns false if the limit tripped.
+    fn search(&mut self, pos: usize, remaining: &mut usize, cb: &mut dyn FnMut(&[NodeId]) -> bool) -> bool {
+        if *remaining == 0 {
+            return false;
+        }
+        if pos == self.order.len() {
+            *remaining -= 1;
+            let full: Vec<NodeId> = self.mapping.iter().map(|m| m.expect("complete mapping")).collect();
+            return cb(&full);
+        }
+        let pv = self.order[pos];
+        let candidates: Vec<NodeId> = match self.parent[pos] {
+            Some(pp) => {
+                let img = self.mapping[pp as usize].expect("parent mapped first");
+                self.g.neighbors(img).to_vec()
+            }
+            None => (0..self.g.num_nodes() as NodeId).collect(),
+        };
+        for gv in candidates {
+            if self.used[gv as usize] || !self.feasible(pv, gv) {
+                continue;
+            }
+            self.mapping[pv as usize] = Some(gv);
+            self.used[gv as usize] = true;
+            let keep_going = self.search(pos + 1, remaining, cb);
+            self.mapping[pv as usize] = None;
+            self.used[gv as usize] = false;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Quick necessary condition: `g` contains the pattern's type multiset.
+fn multiset_compatible(p: &Pattern, g: &Graph) -> bool {
+    if p.num_nodes() > g.num_nodes() {
+        return false;
+    }
+    let mut pg = p.type_multiset();
+    let mut gg = g.type_multiset();
+    pg.dedup();
+    gg.dedup();
+    pg.iter().all(|t| gg.binary_search(t).is_ok())
+}
+
+/// Finds one embedding of `p` in `g`, as `pattern node -> data node`.
+pub fn find_embedding(p: &Pattern, g: &Graph) -> Option<Vec<NodeId>> {
+    if p.num_nodes() == 0 || !multiset_compatible(p, g) {
+        return None;
+    }
+    let mut vf = Vf2::new(p, g);
+    let mut found = None;
+    let mut limit = DEFAULT_EMBEDDING_LIMIT;
+    vf.search(0, &mut limit, &mut |m| {
+        found = Some(m.to_vec());
+        false // stop at first
+    });
+    found
+}
+
+/// Whether `p` has at least one embedding in `g`.
+pub fn contains(p: &Pattern, g: &Graph) -> bool {
+    find_embedding(p, g).is_some()
+}
+
+/// Enumerates up to `limit` embeddings of `p` in `g`.
+pub fn enumerate_embeddings(p: &Pattern, g: &Graph, limit: usize) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    if p.num_nodes() == 0 || !multiset_compatible(p, g) {
+        return out;
+    }
+    let mut vf = Vf2::new(p, g);
+    let mut remaining = limit;
+    vf.search(0, &mut remaining, &mut |m| {
+        out.push(m.to_vec());
+        true
+    });
+    out
+}
+
+/// Nodes and edges of `g` covered by some embedding of `p` (§2.1: `P`
+/// covers `v` if some matching maps a pattern node onto `v`; likewise for
+/// edges).
+pub fn coverage(p: &Pattern, g: &Graph) -> (FxHashSet<NodeId>, FxHashSet<(NodeId, NodeId)>) {
+    let mut nodes = FxHashSet::default();
+    let mut edges = FxHashSet::default();
+    if p.num_nodes() == 0 || !multiset_compatible(p, g) {
+        return (nodes, edges);
+    }
+    let mut vf = Vf2::new(p, g);
+    let mut remaining = DEFAULT_EMBEDDING_LIMIT;
+    let p_edges: Vec<(NodeId, NodeId)> = p.edges().map(|(u, v, _)| (u, v)).collect();
+    vf.search(0, &mut remaining, &mut |m| {
+        for &gv in m {
+            nodes.insert(gv);
+        }
+        for &(u, v) in &p_edges {
+            let (a, b) = (m[u as usize], m[v as usize]);
+            edges.insert((a.min(b), a.max(b)));
+        }
+        true
+    });
+    (nodes, edges)
+}
+
+/// Anchored coverage test: does some embedding of `p` map a pattern node
+/// onto data node `anchor`? This is the incremental `IncPMatch` primitive:
+/// on node arrival only anchored searches run.
+pub fn covers_node(p: &Pattern, g: &Graph, anchor: NodeId) -> bool {
+    if p.num_nodes() == 0 || !multiset_compatible(p, g) {
+        return false;
+    }
+    // Try each pattern node of the anchor's type as the image of `anchor`
+    // by rooting the BFS order there.
+    for root in 0..p.num_nodes() as NodeId {
+        if p.node_type(root) != g.node_type(anchor) {
+            continue;
+        }
+        let mut vf = Vf2::new_rooted(p, g, root);
+        if !vf.feasible(root, anchor) {
+            continue;
+        }
+        vf.mapping[root as usize] = Some(anchor);
+        vf.used[anchor as usize] = true;
+        let mut found = false;
+        let mut remaining = DEFAULT_EMBEDDING_LIMIT;
+        vf.search(1, &mut remaining, &mut |_| {
+            found = true;
+            false
+        });
+        if found {
+            return true;
+        }
+    }
+    false
+}
+
+impl<'a> Vf2<'a> {
+    /// Like [`Vf2::new`] but forces the BFS order to start at `root`.
+    fn new_rooted(p: &'a Pattern, g: &'a Graph, root: NodeId) -> Self {
+        let n = p.num_nodes();
+        let mut order = Vec::with_capacity(n);
+        let mut parent = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[root as usize] = true;
+        order.push(root);
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            for &w in p.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    parent[order.len()] = Some(v);
+                    order.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        // Disconnected remainder (malformed patterns): append free nodes.
+        for v in 0..n as NodeId {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                order.push(v);
+            }
+        }
+        Self { p, g, order, parent, mapping: vec![None; n], used: vec![false; g.num_nodes()] }
+    }
+}
+
+/// Exact isomorphism between two patterns: equal sizes plus an induced
+/// embedding in both directions of the zero-feature graphs.
+pub fn isomorphic(a: &Pattern, b: &Pattern) -> bool {
+    a.num_nodes() == b.num_nodes()
+        && a.num_edges() == b.num_edges()
+        && a.type_multiset() == b.type_multiset()
+        && contains(a, b.as_graph())
+}

@@ -1,0 +1,52 @@
+//! Social analysis scenario (paper case study 2, Fig 11): explain why the
+//! GNN separates question-answer threads from open discussions on a
+//! Reddit-like dataset, under user-configurable coverage bounds.
+//!
+//! Run with: `cargo run --release --example social_analysis`
+
+use gvex_core::{ApproxGvex, Config};
+use gvex_data::{reddit_binary, DataConfig};
+use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
+
+fn main() {
+    let mut db = reddit_binary(DataConfig::new(60, 3));
+    let split = db.split(0.8, 0.1, 3);
+    let mut model = GcnModel::new(db.graph(0).feature_dim(), 32, 2, 3, 3);
+    let mut trainer =
+        AdamTrainer::new(&model, TrainConfig { epochs: 150, lr: 5e-3, ..TrainConfig::default() });
+    trainer.fit(&mut model, &db, &split.train);
+    let acc = AdamTrainer::classify_all(&model, &mut db, &split.test);
+    println!("thread classifier test accuracy: {acc:.2}");
+    println!("(label 0 = question-answer, label 1 = open discussion)\n");
+
+    // The configurable property (§2): different coverage bounds per label
+    // let an analyst ask for detailed Q&A explanations but coarse
+    // discussion ones.
+    let cfg = Config::with_bounds(0, 6).bound_label(0, 2, 10).bound_label(1, 1, 5);
+    let algo = ApproxGvex::new(cfg);
+
+    for label in [0u16, 1] {
+        let ids: Vec<u32> =
+            split.test.iter().copied().filter(|&id| db.predicted(id) == Some(label)).collect();
+        let view = algo.explain_label(&model, &db, label, &ids);
+        let name = if label == 0 { "question-answer" } else { "discussion" };
+        println!("view for '{name}' ({} threads):", view.subgraphs.len());
+        println!("  explainability = {:.3}", view.explainability);
+        for (i, p) in view.patterns.iter().take(4).enumerate() {
+            // Describe the interaction shape.
+            let n = p.num_nodes();
+            let max_deg = (0..n as u32).map(|v| p.neighbors(v).len()).max().unwrap_or(0);
+            let shape = if n >= 3 && max_deg == n - 1 && p.num_edges() == n - 1 {
+                "star-like (hub post with many replies)"
+            } else if p.num_edges() >= n {
+                "dense (expert-asker biclique region)"
+            } else {
+                "sparse chain"
+            };
+            println!("  P{}: {} users, {} replies -> {shape}", i + 1, n, p.num_edges());
+        }
+        println!();
+    }
+    println!("The two views expose the paper's finding: discussions look star-like,");
+    println!("Q&A threads look biclique-like — both directly queryable as patterns.");
+}

@@ -1,0 +1,44 @@
+//! Streaming / anytime explanation (paper §5, Fig 9f): StreamGVEX
+//! processes node streams in one pass and can be interrupted at any
+//! fraction while keeping its 1/4-approximation on the seen prefix.
+//!
+//! Run with: `cargo run --release --example streaming_anytime`
+
+use gvex_core::{Config, StreamGvex};
+use gvex_data::{pcqm4m, DataConfig};
+use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut db = pcqm4m(DataConfig::new(120, 9));
+    let split = db.split(0.8, 0.1, 9);
+    let mut model = GcnModel::new(9, 32, 3, 3, 9);
+    let mut trainer =
+        AdamTrainer::new(&model, TrainConfig { epochs: 120, lr: 5e-3, ..TrainConfig::default() });
+    trainer.fit(&mut model, &db, &split.train);
+    let acc = AdamTrainer::classify_all(&model, &mut db, &split.test);
+    println!("molecule classifier test accuracy: {acc:.2}\n");
+
+    let sg = StreamGvex::new(Config::with_bounds(0, 6));
+    let label = 0u16;
+    let ids: Vec<u32> =
+        split.test.iter().copied().filter(|&id| db.predicted(id) == Some(label)).collect();
+
+    println!("anytime sweep: interrupt the node stream at increasing fractions");
+    println!("{:<10} {:>12} {:>16} {:>10}", "fraction", "runtime (s)", "explainability", "#patterns");
+    for pct in [25usize, 50, 75, 100] {
+        let start = Instant::now();
+        let view = sg.explain_label_fraction(&model, &db, label, &ids, pct as f64 / 100.0);
+        let t = start.elapsed().as_secs_f64();
+        println!(
+            "{:<10} {:>12.2} {:>16.3} {:>10}",
+            format!("{pct}%"),
+            t,
+            view.explainability,
+            view.patterns.len()
+        );
+    }
+    println!("\nRuntime grows roughly linearly with the processed fraction, and the");
+    println!("explanation view is available at every prefix — the anytime property");
+    println!("of Theorem 5.1.");
+}

@@ -1,0 +1,166 @@
+//! End-to-end shape tests: tiny versions of the paper's headline
+//! experimental claims, run as assertions. These are the same code paths
+//! as the `exp_*` binaries, shrunk to seconds.
+
+use gvex_bench::{evaluate, label_of_interest, methods, prepare};
+use gvex_core::{metrics, ApproxGvex, Config, StreamGvex};
+use gvex_data::DatasetKind;
+
+#[test]
+fn fidelity_shape_on_mut() {
+    // Fig 5/6 shape: on MUT, GVEX methods achieve positive Fidelity+ and
+    // their Fidelity- stays below the worst baseline's.
+    let ds = prepare(DatasetKind::Mutagenicity, 50, 1.0, 42);
+    assert!(ds.test_accuracy >= 0.6, "classifier must learn: {}", ds.test_accuracy);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(4).collect();
+    let budget = 10;
+    let evals: Vec<_> = methods(&Config::with_bounds(0, budget))
+        .iter()
+        .map(|m| evaluate(&ds, m.as_ref(), label, &ids, budget))
+        .collect();
+    let ag = evals.iter().find(|e| e.method == "AG").unwrap();
+    assert!(ag.fidelity_plus.is_finite());
+    let worst_fm = evals.iter().map(|e| e.fidelity_minus).fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        ag.fidelity_minus <= worst_fm + 1e-9,
+        "AG Fidelity- ({}) should not be the worst ({worst_fm})",
+        ag.fidelity_minus
+    );
+}
+
+#[test]
+fn gvex_runtime_competitive() {
+    // Fig 9 shape: AG and SG are not slower than the slowest baseline.
+    let ds = prepare(DatasetKind::Mutagenicity, 40, 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(3).collect();
+    let budget = 8;
+    let evals: Vec<_> = methods(&Config::with_bounds(0, budget))
+        .iter()
+        .map(|m| evaluate(&ds, m.as_ref(), label, &ids, budget))
+        .collect();
+    let slowest = evals.iter().map(|e| e.runtime_s).fold(0.0, f64::max);
+    let ag = evals.iter().find(|e| e.method == "AG").unwrap();
+    assert!(ag.runtime_s <= slowest + 1e-9);
+}
+
+#[test]
+fn compression_shape() {
+    // Fig 8(b) shape: the pattern tier compresses the subgraph tier
+    // substantially (paper: >95%; we require a clear majority).
+    let ds = prepare(DatasetKind::Mutagenicity, 50, 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(5).collect();
+    let ag = ApproxGvex::new(Config::with_bounds(0, 10));
+    let view = ag.explain_label(&ds.model, &ds.db, label, &ids);
+    let c = metrics::compression(&view, &ds.db);
+    assert!(c > 0.4, "patterns must compress the subgraphs: {c}");
+}
+
+#[test]
+fn edge_loss_small_and_monotone_ish() {
+    // Fig 8(c) shape: edge loss is small, and node coverage is full.
+    let ds = prepare(DatasetKind::Mutagenicity, 50, 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(4).collect();
+    let view = ApproxGvex::new(Config::with_bounds(0, 10))
+        .explain_label(&ds.model, &ds.db, label, &ids);
+    assert!(view.edge_loss < 0.5, "edge loss should stay small: {}", view.edge_loss);
+}
+
+#[test]
+fn anytime_prefix_quality_reasonable() {
+    // Fig 9(f) shape: processing more of the stream never hurts quality
+    // by a large factor.
+    let ds = prepare(DatasetKind::Pcqm4m, 60, 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(4).collect();
+    let sg = StreamGvex::new(Config::with_bounds(0, 6));
+    let half = sg.explain_label_fraction(&ds.model, &ds.db, label, &ids, 0.5);
+    let full = sg.explain_label_fraction(&ds.model, &ds.db, label, &ids, 1.0);
+    assert!(full.explainability >= 0.25 * half.explainability);
+}
+
+#[test]
+fn portable_view_serializes_to_json_and_back() {
+    use gvex_core::export;
+    let ds = prepare(DatasetKind::Mutagenicity, 40, 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(3).collect();
+    let ag = ApproxGvex::new(Config::with_bounds(0, 6));
+    let view = ag.explain_label(&ds.model, &ds.db, label, &ids);
+    let portable = export::to_portable(&view, &ds.db);
+    let json = serde_json::to_string(&portable).expect("serialize");
+    let back: export::PortableView = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, portable);
+    // Stored patterns can be re-issued as queries.
+    for pp in &back.patterns {
+        let p = export::pattern_from_portable(pp);
+        assert!(p.num_nodes() > 0);
+    }
+}
+
+#[test]
+fn query_engine_answers_the_papers_motivating_questions() {
+    use gvex_core::query;
+    use gvex_pattern::Pattern;
+    let ds = prepare(DatasetKind::Mutagenicity, 60, 1.0, 42);
+    // "Which toxicophores occur in mutagens?" — the N=O bond pattern.
+    let nitro = Pattern::new(&[gvex_data::TYPE_N, gvex_data::TYPE_O], &[(0, 1, 1)]);
+    let hits = query::graphs_containing(&ds.db, &nitro);
+    assert!(!hits.graphs.is_empty());
+    // Planted only in mutagens: discriminativeness must be 1.0.
+    assert_eq!(query::discriminativeness(&ds.db, &nitro, 1), 1.0);
+    // "Which nonmutagens contain it?" — none.
+    assert!(query::label_graphs_containing(&ds.db, &nitro, 0).is_empty());
+}
+
+#[test]
+fn degenerate_configurations_are_total() {
+    // theta = 1 (nothing influenced), r = 0 (tight balls), gamma extremes.
+    let ds = prepare(DatasetKind::Pcqm4m, 30, 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let Some(&id) = ids.first() else { return };
+    for (theta, r, gamma) in [(1.0, 0.0, 0.0), (0.0, 1.0, 1.0), (0.5, 0.5, 0.5)] {
+        let mut cfg = Config::with_bounds(1, 5);
+        cfg.theta = theta;
+        cfg.r = r;
+        cfg.gamma = gamma;
+        let ag = ApproxGvex::new(cfg);
+        let out = ag.explain_graph(&ds.model, ds.db.graph(id), id, label);
+        let sub = out.expect("explanation exists under degenerate configs");
+        assert!((1..=5).contains(&sub.len()));
+        assert!(sub.score >= 0.0);
+    }
+}
+
+#[test]
+fn per_label_bounds_are_honored_independently() {
+    let ds = prepare(DatasetKind::RedditBinary, 40, 1.0, 42);
+    let cfg = Config::with_bounds(1, 3).bound_label(1, 2, 7);
+    let ag = ApproxGvex::new(cfg);
+    for label in [0u16, 1] {
+        let ids: Vec<u32> = ds.db.label_group(label).into_iter().take(2).collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let view = ag.explain_label(&ds.model, &ds.db, label, &ids);
+        let (b, u) = if label == 1 { (2, 7) } else { (1, 3) };
+        for s in &view.subgraphs {
+            assert!(s.len() >= b && s.len() <= u, "label {label}: size {}", s.len());
+        }
+    }
+}
+
+#[test]
+fn stream_prefix_zero_fraction_is_total() {
+    let ds = prepare(DatasetKind::Pcqm4m, 30, 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let Some(&id) = ids.first() else { return };
+    let sg = StreamGvex::new(Config::with_bounds(0, 4));
+    // fraction 0 processes ceil(0) = 0 arrivals; with b_l = 0 the result
+    // is None (no nodes selected) rather than a panic.
+    let out = sg.stream_graph(&ds.model, ds.db.graph(id), id, label, None, 0.0);
+    assert!(out.is_none());
+}

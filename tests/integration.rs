@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: dataset simulators -> GNN training ->
+//! GVEX explanation -> verification, exercising the public API the way
+//! the examples and experiment harness do.
+
+use gvex_core::metrics::{self, GraphExplanation};
+use gvex_core::{verify, ApproxGvex, Config, Explainer, StreamGvex};
+use gvex_data::{DataConfig, DatasetKind};
+use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
+use gvex_graph::GraphDb;
+
+fn train(kind: DatasetKind, n: usize, scale: f64, seed: u64) -> (GcnModel, GraphDb, Vec<u32>) {
+    let mut db = kind.generate(DataConfig { num_graphs: n, seed, size_scale: scale });
+    let split = db.split(0.8, 0.1, seed);
+    let feat = db.graph(0).feature_dim();
+    let classes = db.labels().len();
+    let mut model = GcnModel::new(feat, 24, classes, 3, seed);
+    let mut trainer = AdamTrainer::new(
+        &model,
+        TrainConfig { epochs: 120, lr: 5e-3, seed, ..TrainConfig::default() },
+    );
+    trainer.fit(&mut model, &db, &split.train);
+    AdamTrainer::classify_all(&model, &mut db, &split.test);
+    (model, db, split.test)
+}
+
+#[test]
+fn mut_pipeline_trains_and_explains() {
+    let (model, db, test) = train(DatasetKind::Mutagenicity, 60, 1.0, 1);
+    let cfg = Config::with_bounds(1, 8);
+    let algo = ApproxGvex::new(cfg.clone());
+    let ids: Vec<u32> =
+        test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).take(4).collect();
+    assert!(!ids.is_empty(), "test split must contain classified mutagens");
+    let view = algo.explain_label(&model, &db, 1, &ids);
+    assert_eq!(view.subgraphs.len(), ids.len());
+    assert!(!view.patterns.is_empty());
+    let v = verify::verify_view(&model, &db, &view, &cfg);
+    assert!(v.c1_graph_view, "pattern tier must cover all subgraph nodes");
+    assert!(v.c3_coverage, "coverage bounds must hold");
+}
+
+#[test]
+fn approx_beats_random_on_fidelity() {
+    let (model, db, test) = train(DatasetKind::Mutagenicity, 60, 1.0, 2);
+    let ids: Vec<u32> =
+        test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).take(4).collect();
+    if ids.is_empty() {
+        return;
+    }
+    let algo = ApproxGvex::new(Config::with_bounds(0, 8));
+    let make = |pick: &dyn Fn(&gvex_graph::Graph) -> Vec<u32>| -> Vec<GraphExplanation> {
+        ids.iter()
+            .map(|&id| {
+                let g = db.graph(id);
+                GraphExplanation { graph: g.clone(), label: 1, nodes: pick(g) }
+            })
+            .collect()
+    };
+    let gvex_expl = make(&|g| algo.explain_graph(&model, g, 0, 1).map(|s| s.nodes).unwrap_or_default());
+    // "Random": the first 8 node ids (backbone carbons, label-agnostic).
+    let naive_expl = make(&|g| (0..8.min(g.num_nodes() as u32)).collect());
+    let f_gvex = metrics::fidelity_plus(&model, &gvex_expl);
+    let f_naive = metrics::fidelity_plus(&model, &naive_expl);
+    assert!(
+        f_gvex >= f_naive - 0.05,
+        "GVEX should not lose clearly to a naive baseline: {f_gvex} vs {f_naive}"
+    );
+}
+
+#[test]
+fn stream_and_approx_agree_on_coverage_invariants() {
+    let (model, db, test) = train(DatasetKind::RedditBinary, 40, 1.0, 3);
+    for label in [0u16, 1] {
+        let ids: Vec<u32> =
+            test.iter().copied().filter(|&id| db.predicted(id) == Some(label)).take(3).collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let cfg = Config::with_bounds(1, 6);
+        for view in [
+            ApproxGvex::new(cfg.clone()).explain_label(&model, &db, label, &ids),
+            StreamGvex::new(cfg.clone()).explain_label(&model, &db, label, &ids),
+        ] {
+            for s in &view.subgraphs {
+                assert!(s.len() <= 6, "upper bound respected");
+                assert!(s.len() >= 1, "lower bound respected");
+            }
+            let v = verify::verify_view(&model, &db, &view, &cfg);
+            assert!(v.c1_graph_view, "node coverage by patterns");
+        }
+    }
+}
+
+#[test]
+fn multi_class_views_enzymes() {
+    let (model, db, test) = train(DatasetKind::Enzymes, 60, 1.0, 4);
+    let algo = ApproxGvex::new(Config::with_bounds(0, 6));
+    let mut seen = 0;
+    for label in db.labels() {
+        let ids: Vec<u32> =
+            test.iter().copied().filter(|&id| db.predicted(id) == Some(label)).take(2).collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let view = algo.explain_label(&model, &db, label, &ids);
+        assert_eq!(view.label, label);
+        assert!(view.explainability >= 0.0);
+        seen += 1;
+    }
+    assert!(seen >= 2, "at least two label groups explained");
+}
+
+#[test]
+fn explainer_trait_uniform_over_all_methods() {
+    let (model, db, test) = train(DatasetKind::Mutagenicity, 40, 1.0, 5);
+    let id = test[0];
+    let g = db.graph(id);
+    let label = db.predicted(id).unwrap();
+    let cfg = Config::with_bounds(0, 6);
+    let mut explainers: Vec<Box<dyn Explainer>> = vec![
+        Box::new(ApproxGvex::new(cfg.clone())),
+        Box::new(StreamGvex::new(cfg)),
+    ];
+    explainers.extend(gvex_baselines::all_baselines());
+    for e in &explainers {
+        let nodes = e.explain_graph(&model, g, label, 6);
+        assert!(nodes.len() <= 6, "{}", e.name());
+        assert!(nodes.iter().all(|&v| (v as usize) < g.num_nodes()), "{}", e.name());
+    }
+}
+
+#[test]
+fn empty_label_group_yields_empty_view() {
+    let (model, db, _) = train(DatasetKind::Mutagenicity, 30, 1.0, 6);
+    let algo = ApproxGvex::new(Config::with_bounds(0, 6));
+    let view = algo.explain_label(&model, &db, 1, &[]);
+    assert!(view.subgraphs.is_empty());
+    assert!(view.patterns.is_empty());
+    assert_eq!(view.explainability, 0.0);
+}
