@@ -13,11 +13,15 @@
 use gvex_core::Explainer;
 use gvex_gnn::GcnModel;
 use gvex_graph::{ClassLabel, Graph, NodeId, NodeType};
+use gvex_linalg::cmp_score;
 use rustc_hash::FxHashMap;
 use std::sync::Mutex;
 
 /// Degree buckets used in the importance signature.
 const DEGREE_BUCKETS: usize = 6;
+
+/// Importance per `(node type, degree bucket)` signature for one label.
+type ImportanceTable = FxHashMap<(NodeType, usize), f64>;
 
 /// Global counterfactual-edit explainer.
 #[derive(Debug)]
@@ -25,7 +29,7 @@ pub struct GcfExplainer {
     /// Candidate removals evaluated per greedy step (cost cap).
     pub beam: usize,
     /// Per-label importance tables, learned lazily.
-    table: Mutex<FxHashMap<ClassLabel, FxHashMap<(NodeType, usize), f64>>>,
+    table: Mutex<FxHashMap<ClassLabel, ImportanceTable>>,
 }
 
 impl Default for GcfExplainer {
@@ -115,9 +119,7 @@ impl Explainer for GcfExplainer {
                 (s, g.degree(v), v)
             })
             .collect();
-        ranked.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).unwrap().then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2))
-        });
+        ranked.sort_by(|a, b| cmp_score(b.0, a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
         let mut out: Vec<NodeId> = ranked.into_iter().take(budget).map(|(_, _, v)| v).collect();
         out.sort_unstable();
         out

@@ -7,7 +7,7 @@
 use gvex_core::Explainer;
 use gvex_gnn::{GcnModel, Propagation};
 use gvex_graph::{ClassLabel, Graph, NodeId};
-use gvex_linalg::Matrix;
+use gvex_linalg::{cmp_score, Matrix};
 use rustc_hash::FxHashSet;
 
 /// Mask-learning explainer.
@@ -94,12 +94,9 @@ impl Explainer for GnnExplainer {
         }
         let prop = Propagation::new(g);
         let mask = self.learn_edge_mask(model, g, label);
-        let mut ranked: Vec<(f64, (u32, u32))> = mask
-            .iter()
-            .zip(prop.edge_list())
-            .map(|(&m, &(u, v))| (m, (u, v)))
-            .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut ranked: Vec<(f64, (u32, u32))> =
+            mask.iter().zip(prop.edge_list()).map(|(&m, &(u, v))| (m, (u, v))).collect();
+        ranked.sort_by(|a, b| cmp_score(b.0, a.0).then(a.1.cmp(&b.1)));
         let mut nodes: FxHashSet<NodeId> = FxHashSet::default();
         for (_, (u, v)) in ranked {
             let mut add = Vec::new();

@@ -8,6 +8,7 @@ use crate::gnnexplainer::induced_label_prob;
 use gvex_core::Explainer;
 use gvex_gnn::GcnModel;
 use gvex_graph::{ClassLabel, Graph, NodeId};
+use gvex_linalg::cmp_score;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,8 +78,7 @@ impl Explainer for GStarX {
             let base = induced_label_prob(model, g, &coalition, label);
             // Marginal contribution of each member: value drop on removal.
             for &v in &coalition {
-                let without: Vec<NodeId> =
-                    coalition.iter().copied().filter(|&x| x != v).collect();
+                let without: Vec<NodeId> = coalition.iter().copied().filter(|&x| x != v).collect();
                 let val = induced_label_prob(model, g, &without, label);
                 score[v as usize] += base - val;
                 count[v as usize] += 1;
@@ -91,7 +91,7 @@ impl Explainer for GStarX {
                 (s, v)
             })
             .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        ranked.sort_by(|a, b| cmp_score(b.0, a.0).then(a.1.cmp(&b.1)));
         let mut out: Vec<NodeId> = ranked.into_iter().take(budget).map(|(_, v)| v).collect();
         out.sort_unstable();
         out

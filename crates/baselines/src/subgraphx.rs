@@ -125,7 +125,8 @@ impl Explainer for SubgraphX {
                             .map(|s| (s.visits, s.total_reward))
                             .unwrap_or((0.0, 0.0));
                         let q = if cv > 0.0 { cr / cv } else { 0.0 };
-                        let u = q + c_puct * (parent_visits.sqrt() / (1.0 + cv))
+                        let u = q
+                            + c_puct * (parent_visits.sqrt() / (1.0 + cv))
                             + 1e-6 * rng.gen::<f64>();
                         if u > best_u {
                             best_u = u;

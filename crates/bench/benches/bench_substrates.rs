@@ -28,10 +28,14 @@ fn bench_influence(c: &mut Criterion) {
     let g = db.graph(0).clone();
     let model = GcnModel::new(14, 32, 2, 3, 2);
     c.bench_function("influence_random_walk", |b| {
-        b.iter(|| std::hint::black_box(InfluenceMatrix::compute(&model, &g, InfluenceMode::RandomWalk)))
+        b.iter(|| {
+            std::hint::black_box(InfluenceMatrix::compute(&model, &g, InfluenceMode::RandomWalk))
+        })
     });
     c.bench_function("influence_gated_jacobian", |b| {
-        b.iter(|| std::hint::black_box(InfluenceMatrix::compute(&model, &g, InfluenceMode::GatedJacobian)))
+        b.iter(|| {
+            std::hint::black_box(InfluenceMatrix::compute(&model, &g, InfluenceMode::GatedJacobian))
+        })
     });
 }
 
@@ -57,7 +61,11 @@ fn bench_mining(c: &mut Criterion) {
     let refs: Vec<&gvex_graph::Graph> = graphs.iter().collect();
     let cfg = MinerConfig { max_subsets_per_graph: 1000, ..MinerConfig::default() };
     c.bench_function("pgen_mine_3_molecules", |b| {
-        b.iter_batched(|| refs.clone(), |r| std::hint::black_box(mine(&r, &cfg)), BatchSize::SmallInput)
+        b.iter_batched(
+            || refs.clone(),
+            |r| std::hint::black_box(mine(&r, &cfg)),
+            BatchSize::SmallInput,
+        )
     });
 }
 

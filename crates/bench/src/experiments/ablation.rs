@@ -23,9 +23,10 @@ pub fn run() {
 
     println!("\n== Ablation 1: influence mode (MUT, AG, u_l=10) ==");
     let mut rows = Vec::new();
-    for (name, mode) in
-        [("random-walk", InfluenceMode::RandomWalk), ("gated-jacobian", InfluenceMode::GatedJacobian)]
-    {
+    for (name, mode) in [
+        ("random-walk", InfluenceMode::RandomWalk),
+        ("gated-jacobian", InfluenceMode::GatedJacobian),
+    ] {
         let mut cfg = Config::with_bounds(0, budget);
         cfg.influence_mode = mode;
         let ag = ApproxGvex::new(cfg);

@@ -34,7 +34,10 @@ pub fn run() {
         .find(|&id| ds.db.predicted(id) == Some(1))
         .expect("a classified mutagen in the test split");
     let g = ds.db.graph(mutagen);
-    println!("\n== Fig 10 / case study 1: drug design (graph {mutagen}, {} atoms) ==", g.num_nodes());
+    println!(
+        "\n== Fig 10 / case study 1: drug design (graph {mutagen}, {} atoms) ==",
+        g.num_nodes()
+    );
 
     let budget = 8;
     let ag = ApproxGvex::new(Config::with_bounds(0, budget));
@@ -45,8 +48,7 @@ pub fn run() {
     for m in [&ag as &dyn Explainer, &ge, &sx] {
         let nodes = m.explain_graph(&ds.model, g, 1, budget + 6);
         let (sub, _) = g.induced_subgraph(&nodes);
-        let atoms: Vec<String> =
-            nodes.iter().map(|&v| atom_namer(g.node_type(v))).collect();
+        let atoms: Vec<String> = nodes.iter().map(|&v| atom_namer(g.node_type(v))).collect();
         let nitro = contains_nitro(g, &nodes);
         rows.push(vec![
             m.name().to_string(),
@@ -63,13 +65,8 @@ pub fn run() {
     print_table(&["Method", "#Atoms", "#Bonds", "NO2 found", "Atoms"], &rows);
 
     // GVEX's pattern tier over the mutagen label group.
-    let ids: Vec<u32> = ds
-        .test_ids
-        .iter()
-        .copied()
-        .filter(|&id| ds.db.predicted(id) == Some(1))
-        .take(5)
-        .collect();
+    let ids: Vec<u32> =
+        ds.test_ids.iter().copied().filter(|&id| ds.db.predicted(id) == Some(1)).take(5).collect();
     let view = ag.explain_label(&ds.model, &ds.db, 1, &ids);
     println!("\n  GVEX explanation view patterns for label 'mutagen':");
     for (i, p) in view.patterns.iter().enumerate() {

@@ -55,9 +55,11 @@ pub fn run() {
     for i in 0..views.len() {
         for j in (i + 1)..views.len() {
             total_pairs += 1;
-            let same = views[i].patterns.iter().all(|p| {
-                views[j].patterns.iter().any(|q| vf2::isomorphic(p, q))
-            }) && views[i].patterns.len() == views[j].patterns.len();
+            let same = views[i]
+                .patterns
+                .iter()
+                .all(|p| views[j].patterns.iter().any(|q| vf2::isomorphic(p, q)))
+                && views[i].patterns.len() == views[j].patterns.len();
             if !same {
                 distinct_pairs += 1;
             }

@@ -18,9 +18,7 @@ fn is_star_like(p: &Pattern) -> bool {
     }
     (0..n as u32).any(|hub| {
         p.neighbors(hub).len() == n - 1
-            && (0..n as u32)
-                .filter(|&v| v != hub)
-                .all(|v| p.neighbors(v).len() == 1)
+            && (0..n as u32).filter(|&v| v != hub).all(|v| p.neighbors(v).len() == 1)
     })
 }
 

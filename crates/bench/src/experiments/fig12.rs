@@ -4,8 +4,8 @@
 use crate::{figure_num_graphs, label_of_interest, prepare, print_table, write_json};
 use gvex_core::{Config, StreamGvex};
 use gvex_data::DatasetKind;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
 
@@ -31,9 +31,7 @@ pub fn run() {
                 let mut rng = StdRng::seed_from_u64(*order_seed);
                 order.shuffle(&mut rng);
             }
-            if let Some((sub, pats)) =
-                sg.stream_graph(&ds.model, g, id, label, Some(&order), 1.0)
-            {
+            if let Some((sub, pats)) = sg.stream_graph(&ds.model, g, id, label, Some(&order), 1.0) {
                 total_score += sub.score;
                 total_patterns += pats.len();
             }

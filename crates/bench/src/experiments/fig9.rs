@@ -47,7 +47,10 @@ pub fn run() {
         let mut row = vec![kind.name().to_string()];
         // On the largest datasets only GVEX completes within the paper's
         // 24h budget; mirror that by running baselines only on small ones.
-        let heavy = matches!(kind, DatasetKind::MalnetTiny | DatasetKind::Synthetic | DatasetKind::Products);
+        let heavy = matches!(
+            kind,
+            DatasetKind::MalnetTiny | DatasetKind::Synthetic | DatasetKind::Products
+        );
         for m in methods(&Config::with_bounds(0, budget)) {
             let is_gvex = m.name() == "AG" || m.name() == "SG";
             if heavy && !is_gvex {
@@ -101,8 +104,12 @@ pub fn run() {
     let mut rows = Vec::new();
     let mut t1 = 0.0;
     for threads in [1usize, 2, 4, 8] {
+        // One pool per sweep point, built outside the timed region so
+        // the measurement is explanation work, not thread spawning.
+        let pool = parallel::explainer_pool(threads);
         let start = Instant::now();
-        let _view = parallel::explain_label_parallel(&ag, &ds.model, &ds.db, label, &ids, threads);
+        let _view =
+            parallel::explain_label_parallel(&ag, &ds.model, &ds.db, label, &ids, Some(&pool));
         let t = start.elapsed().as_secs_f64();
         if threads == 1 {
             t1 = t;
@@ -127,8 +134,7 @@ pub fn run() {
     let mut rows = Vec::new();
     for pct in [20usize, 40, 60, 80, 100] {
         let start = Instant::now();
-        let view =
-            sg.explain_label_fraction(&ds.model, &ds.db, label, &ids, pct as f64 / 100.0);
+        let view = sg.explain_label_fraction(&ds.model, &ds.db, label, &ids, pct as f64 / 100.0);
         let t = start.elapsed().as_secs_f64();
         rows.push(vec![
             format!("{pct}%"),

@@ -25,7 +25,18 @@ pub fn run() {
         })
         .collect();
     print_table(
-        &["Method", "Learning", "Task", "Target", "MA", "LS", "SB", "Coverage", "Config", "Queryable"],
+        &[
+            "Method",
+            "Learning",
+            "Task",
+            "Target",
+            "MA",
+            "LS",
+            "SB",
+            "Coverage",
+            "Config",
+            "Queryable",
+        ],
         &rows,
     );
     let json: Vec<_> = TABLE1

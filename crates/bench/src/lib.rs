@@ -134,12 +134,8 @@ pub fn evaluate(
 pub fn label_of_interest(ds: &TrainedDataset) -> (ClassLabel, Vec<GraphId>) {
     let mut best: (ClassLabel, Vec<GraphId>) = (0, Vec::new());
     for l in ds.db.labels() {
-        let ids: Vec<GraphId> = ds
-            .test_ids
-            .iter()
-            .copied()
-            .filter(|&id| ds.db.predicted(id) == Some(l))
-            .collect();
+        let ids: Vec<GraphId> =
+            ds.test_ids.iter().copied().filter(|&id| ds.db.predicted(id) == Some(l)).collect();
         if ids.len() > best.1.len() {
             best = (l, ids);
         }

@@ -25,6 +25,7 @@ use crate::verify::everify;
 use crate::{Config, ExplanationSubgraph, ExplanationView, GraphContext, ViewSet};
 use gvex_gnn::GcnModel;
 use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId, NodeId};
+use gvex_linalg::cmp_score;
 
 /// The explain-and-summarize GVEX algorithm (Algorithm 1).
 #[derive(Debug, Clone)]
@@ -85,8 +86,10 @@ impl ApproxGvex {
             if cand.is_empty() {
                 break;
             }
-            // Descending gain, ascending id for determinism.
-            cand.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+            // Descending gain, ascending id for determinism; a NaN gain
+            // (a degenerate model output) ranks last instead of
+            // panicking mid-explain or winning the sort.
+            cand.sort_by(|a, b| cmp_score(b.0, a.0).then(a.1.cmp(&b.1)));
             // Graded VpExtend over the top-gain candidates. A candidate
             // passing both strict C2 conditions wins immediately (scanned
             // in gain order, so this *is* the argmax over passing
@@ -102,7 +105,8 @@ impl ApproxGvex {
             // line 5) — without them, peripheral but label-critical atoms
             // (e.g. the oxygens of a nitro group) can sit below the
             // influence-gain cutoff and never be verified.
-            let mut pool: Vec<(f64, NodeId)> = cand.iter().copied().take(self.verify_scan_limit).collect();
+            let mut pool: Vec<(f64, NodeId)> =
+                cand.iter().copied().take(self.verify_scan_limit).collect();
             {
                 let mut in_pool = vec![false; n];
                 for &(_, v) in &pool {
@@ -116,7 +120,7 @@ impl ApproxGvex {
                         }
                     }
                 }
-                pool.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+                pool.sort_by(|a, b| cmp_score(b.0, a.0).then(a.1.cmp(&b.1)));
             }
             // Rank the pool by a graded VpExtend score that mirrors
             // Procedure 2's condition order:
@@ -195,8 +199,8 @@ impl ApproxGvex {
             let next = (0..n as NodeId)
                 .filter(|&v| !in_vs[v as usize])
                 .map(|v| (tracker.gain(v), v))
-                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
-            let Some((_, v)) = next else { return None };
+                .max_by(|a, b| cmp_score(a.0, b.0).then(b.1.cmp(&a.1)));
+            let (_, v) = next?;
             tracker.add(v);
             in_vs[v as usize] = true;
             vs.push(v);

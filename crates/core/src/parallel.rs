@@ -3,36 +3,65 @@
 //! explained with per-graph data parallelism. The paper uses
 //! multiprocessing on a 48-core machine; here a rayon pool of
 //! configurable width provides the same decomposition (Fig 9e).
+//!
+//! Pool lifecycle: a [`rayon::ThreadPool`] is built by the *caller*,
+//! once, and reused across every [`explain_label_parallel`] call,
+//! instead of being rebuilt inside each call (the original design).
+//! Under real rayon that saves worker-thread spawns per label group;
+//! under the offline shim (which spawns scoped threads per `collect`
+//! regardless) it is an API-shape fix so the win materializes the
+//! moment the real crate is swapped back in. Callers that do not care
+//! pass `None` and run in the global/default pool.
 
 use crate::psum::psum;
 use crate::{ApproxGvex, ExplanationSubgraph, ExplanationView};
 use gvex_gnn::GcnModel;
 use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId};
 use rayon::prelude::*;
+use rayon::ThreadPool;
 
-/// Explains a label group with `threads` worker threads and assembles the
-/// view (parallel counterpart of [`ApproxGvex::explain_label`]).
+/// Builds a pool of the requested width for use with
+/// [`explain_label_parallel`]. `threads == 0` means "hardware
+/// parallelism" (rayon's own convention). Build it once per caller and
+/// reuse it across label groups.
+pub fn explainer_pool(threads: usize) -> ThreadPool {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool")
+}
+
+/// Explains a label group with per-graph data parallelism and
+/// assembles the view (parallel counterpart of
+/// [`ApproxGvex::explain_label`]).
+///
+/// `pool: Some(&pool)` runs in the caller's reusable pool (see
+/// [`explainer_pool`]); `None` runs in the global pool. Results are
+/// identical to the sequential path, in the same graph order.
 pub fn explain_label_parallel(
     algo: &ApproxGvex,
     model: &GcnModel,
     db: &GraphDb,
     label: ClassLabel,
     ids: &[GraphId],
-    threads: usize,
+    pool: Option<&ThreadPool>,
 ) -> ExplanationView {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads.max(1))
-        .build()
-        .expect("rayon pool");
-    let subgraphs: Vec<ExplanationSubgraph> = pool.install(|| {
+    let explain_all = || -> Vec<ExplanationSubgraph> {
         ids.par_iter()
             .filter_map(|&id| algo.explain_graph(model, db.graph(id), id, label))
             .collect()
-    });
+    };
+    let subgraphs = match pool {
+        Some(pool) => pool.install(explain_all),
+        None => explain_all(),
+    };
     // Summarization runs once over the collected subgraphs (as in §A.7,
     // only the per-graph phase parallelizes).
     let induced: Vec<Graph> = subgraphs.iter().map(|s| s.induced(db).0).collect();
     let ps = psum(&induced, &algo.config.miner);
     let explainability = subgraphs.iter().map(|s| s.score).sum();
-    ExplanationView { label, subgraphs, patterns: ps.patterns, explainability, edge_loss: ps.edge_loss }
+    ExplanationView {
+        label,
+        subgraphs,
+        patterns: ps.patterns,
+        explainability,
+        edge_loss: ps.edge_loss,
+    }
 }

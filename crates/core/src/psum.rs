@@ -78,11 +78,8 @@ pub fn psum(subgraphs: &[Graph], miner_cfg: &MinerConfig) -> PsumResult {
             continue;
         }
         let covered_edges = edges.count();
-        let weight = if total_edges == 0 {
-            0.0
-        } else {
-            1.0 - covered_edges as f64 / total_edges as f64
-        };
+        let weight =
+            if total_edges == 0 { 0.0 } else { 1.0 - covered_edges as f64 / total_edges as f64 };
         cands.push(Cand { pattern: m.pattern, nodes, edges, weight });
     }
 

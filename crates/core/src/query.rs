@@ -6,6 +6,7 @@
 
 use crate::ExplanationView;
 use gvex_graph::{ClassLabel, GraphDb, GraphId};
+use gvex_linalg::cmp_score;
 use gvex_pattern::{vf2, Pattern};
 
 /// Result of matching one pattern against the database.
@@ -49,8 +50,7 @@ pub fn discriminativeness(db: &GraphDb, p: &Pattern, label: ClassLabel) -> f64 {
     if hits.graphs.is_empty() {
         return 0.0;
     }
-    let in_label =
-        hits.per_label.iter().find(|(l, _)| *l == label).map(|(_, c)| *c).unwrap_or(0);
+    let in_label = hits.per_label.iter().find(|(l, _)| *l == label).map(|(_, c)| *c).unwrap_or(0);
     in_label as f64 / hits.graphs.len() as f64
 }
 
@@ -64,11 +64,7 @@ pub fn most_discriminative<'a>(
     view.patterns
         .iter()
         .map(|p| (p, discriminativeness(db, p, view.label)))
-        .max_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap()
-                .then(a.0.size().cmp(&b.0.size()))
-        })
+        .max_by(|a, b| cmp_score(a.1, b.1).then(a.0.size().cmp(&b.0.size())))
 }
 
 /// "Which patterns of view A also occur in view B's subgraphs?" — the

@@ -24,6 +24,7 @@ use crate::verify::everify;
 use crate::{Config, ExplanationSubgraph, ExplanationView, GraphContext, ViewSet};
 use gvex_gnn::GcnModel;
 use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId, NodeId};
+use gvex_linalg::{cmp_cost, cmp_score};
 use gvex_pattern::{canon, mine, vf2, MinerConfig, Pattern};
 
 /// The streaming GVEX algorithm (Algorithm 3).
@@ -80,7 +81,8 @@ impl StreamGvex {
         let (b_l, u_l) = self.config.bounds_for(label);
         let u_l = u_l.min(n).max(1);
 
-        let mut st = StreamState { vs: Vec::new(), vu: Vec::new(), patterns: Vec::new(), processed: 0 };
+        let mut st =
+            StreamState { vs: Vec::new(), vu: Vec::new(), patterns: Vec::new(), processed: 0 };
         let mut tracker = GainTracker::new(&ctx, &self.config);
 
         for &v in order.iter().take(take) {
@@ -109,14 +111,11 @@ impl StreamGvex {
             let mut pool: Vec<NodeId> =
                 st.vu.iter().copied().filter(|v| !st.vs.contains(v)).collect();
             while st.vs.len() < b_l {
-                let Some((i, _)) = pool
+                let (i, _) = pool
                     .iter()
                     .enumerate()
                     .map(|(i, &v)| (i, tracker.gain(v)))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                else {
-                    return None;
-                };
+                    .max_by(|a, b| cmp_score(a.1, b.1))?;
                 let v = pool.swap_remove(i);
                 tracker.add(v);
                 st.vs.push(v);
@@ -177,8 +176,7 @@ impl StreamGvex {
                 nodes.push(v);
                 g.induced_subgraph(&nodes)
             };
-            let v_local =
-                map.iter().position(|&x| x == v).expect("v in induced map") as NodeId;
+            let v_local = map.iter().position(|&x| x == v).expect("v in induced map") as NodeId;
             let covered = st.patterns.iter().any(|p| vf2::covers_node(p, &sub_with_v, v_local));
             if covered {
                 return false;
@@ -208,7 +206,7 @@ impl StreamGvex {
                 let ev = if self.verify_arrivals { ctx.evidence[x as usize] } else { 0.0 };
                 (x, f_loss + ev)
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| cmp_cost(a.1, b.1))
             .expect("cache non-empty");
         let without: Vec<NodeId> = st.vs.iter().copied().filter(|&y| y != v_minus).collect();
         let base = GainTracker::rebuild(ctx, &self.config, &without);
@@ -405,10 +403,7 @@ fn finalize_patterns(
             covered_edges += ecov.len();
         }
     }
-    let edge_loss = if total_edges == 0 {
-        0.0
-    } else {
-        1.0 - covered_edges as f64 / total_edges as f64
-    };
+    let edge_loss =
+        if total_edges == 0 { 0.0 } else { 1.0 - covered_edges as f64 / total_edges as f64 };
     (patterns, edge_loss)
 }

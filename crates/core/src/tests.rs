@@ -161,8 +161,7 @@ fn everify_full_graph_consistent_not_counterfactual() {
 #[test]
 fn pmatch_covers_with_singletons() {
     let g = generate::star(3, 1, 2, 1);
-    let pats =
-        vec![gvex_pattern::Pattern::single_node(1), gvex_pattern::Pattern::single_node(2)];
+    let pats = vec![gvex_pattern::Pattern::single_node(1), gvex_pattern::Pattern::single_node(2)];
     assert!(pmatch_covers(&pats, &g));
     let only_hub = vec![gvex_pattern::Pattern::single_node(1)];
     assert!(!pmatch_covers(&only_hub, &g));
@@ -173,9 +172,8 @@ fn pmatch_covers_with_singletons() {
 #[test]
 fn psum_always_covers_all_nodes() {
     let mut rng = StdRng::seed_from_u64(7);
-    let subs: Vec<Graph> = (0..3)
-        .map(|_| generate::random_connected(8, 0.3, 0, 1, &mut rng))
-        .collect();
+    let subs: Vec<Graph> =
+        (0..3).map(|_| generate::random_connected(8, 0.3, 0, 1, &mut rng)).collect();
     let res = psum(&subs, &MinerConfig::default());
     assert!(!res.patterns.is_empty());
     // Verify full node coverage via pmatch.
@@ -268,12 +266,10 @@ fn approx_explainability_grows_with_budget() {
     let (model, db) = toy_setup();
     let label = db.predicted(0).unwrap();
     let g = db.graph(0);
-    let small = ApproxGvex::new(Config::with_bounds(0, 2))
-        .explain_graph(&model, g, 0, label)
-        .unwrap();
-    let large = ApproxGvex::new(Config::with_bounds(0, 5))
-        .explain_graph(&model, g, 0, label)
-        .unwrap();
+    let small =
+        ApproxGvex::new(Config::with_bounds(0, 2)).explain_graph(&model, g, 0, label).unwrap();
+    let large =
+        ApproxGvex::new(Config::with_bounds(0, 5)).explain_graph(&model, g, 0, label).unwrap();
     assert!(large.score >= small.score - 1e-12, "monotone objective");
     assert!(large.len() >= small.len());
 }
@@ -442,7 +438,8 @@ fn parallel_matches_sequential() {
     let label = db.predicted(0).unwrap();
     let ids = db.label_group(label);
     let seq = algo.explain_label(&model, &db, label, &ids);
-    let par = crate::parallel::explain_label_parallel(&algo, &model, &db, label, &ids, 4);
+    let pool = crate::parallel::explainer_pool(4);
+    let par = crate::parallel::explain_label_parallel(&algo, &model, &db, label, &ids, Some(&pool));
     // Same subgraph node sets (order of completion may differ; sort).
     let key = |v: &crate::ExplanationView| {
         let mut s: Vec<(u32, Vec<u32>)> =
@@ -464,11 +461,7 @@ fn table1_gvex_has_all_properties() {
     // No competitor has every property.
     for c in &crate::capabilities::TABLE1 {
         if !c.method.contains("GVEX") {
-            assert!(
-                !(c.queryable && c.config && c.size_bound),
-                "{} should not dominate",
-                c.method
-            );
+            assert!(!(c.queryable && c.config && c.size_bound), "{} should not dominate", c.method);
         }
     }
 }

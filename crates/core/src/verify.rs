@@ -92,7 +92,12 @@ impl Verification {
 
 /// Verifies a view against the database and model (the NP verification
 /// algorithm of Lemma 3.1, realized with the two primitive verifiers).
-pub fn verify_view(model: &GcnModel, db: &GraphDb, view: &ExplanationView, cfg: &Config) -> Verification {
+pub fn verify_view(
+    model: &GcnModel,
+    db: &GraphDb,
+    view: &ExplanationView,
+    cfg: &Config,
+) -> Verification {
     let mut c1 = true;
     let mut c2 = true;
     for s in &view.subgraphs {

@@ -22,8 +22,11 @@ pub fn reddit_binary(cfg: DataConfig) -> GraphDb {
     let mut db = GraphDb::new();
     for i in 0..cfg.num_graphs {
         let qa = i % 2 == 0;
-        let mut g =
-            if qa { qa_thread(&mut rng, cfg.scaled(40)) } else { discussion_thread(&mut rng, cfg.scaled(40)) };
+        let mut g = if qa {
+            qa_thread(&mut rng, cfg.scaled(40))
+        } else {
+            discussion_thread(&mut rng, cfg.scaled(40))
+        };
         g.set_degree_features(DEGREE_BUCKETS);
         db.push(g, if qa { 0 } else { 1 });
     }

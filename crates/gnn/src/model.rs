@@ -66,7 +66,13 @@ pub struct MaskGradients {
 impl GcnModel {
     /// Creates a model with `layers` GCN layers of width `hidden`,
     /// Glorot-initialized from `seed`.
-    pub fn new(input_dim: usize, hidden: usize, num_classes: usize, layers: usize, seed: u64) -> Self {
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        num_classes: usize,
+        layers: usize,
+        seed: u64,
+    ) -> Self {
         assert!(layers >= 1, "need at least one GCN layer");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut weights = Vec::with_capacity(layers);
@@ -207,7 +213,12 @@ impl GcnModel {
     ///
     /// When `want_s_grad` is set, also accumulates `∂loss/∂S` (needed for
     /// edge-mask learning).
-    pub fn loss_backward(&self, fwd: &Forward, target: usize, want_s_grad: bool) -> (f64, Gradients) {
+    pub fn loss_backward(
+        &self,
+        fwd: &Forward,
+        target: usize,
+        want_s_grad: bool,
+    ) -> (f64, Gradients) {
         let (loss, dlogits) = cross_entropy(&fwd.logits, target);
         let grads = self.backward(fwd, &dlogits, want_s_grad);
         (loss, grads)
@@ -221,12 +232,23 @@ impl GcnModel {
         let dbias = dlogits.clone();
         let dpooled = dlogits.matmul(&self.fc.transpose());
 
-        // Route the pooled gradient back to the argmax rows.
+        // Route the pooled gradient back to the argmax rows. At exact
+        // ties the max is non-differentiable; splitting the gradient
+        // evenly across all tied rows picks the symmetric subgradient
+        // (the one a central finite difference converges to when the
+        // tie comes from graph symmetry), instead of silently
+        // privileging the lowest row index.
         let hidden = fwd.pooled.cols();
         let mut dh = Matrix::zeros(n, hidden);
         if n > 0 {
+            let last = fwd.h.last().expect("forward stores at least X");
             for c in 0..hidden {
-                dh.add_at(fwd.pool_arg[c], c, dpooled.get(0, c));
+                let top = last.get(fwd.pool_arg[c], c);
+                let tied: Vec<usize> = (0..n).filter(|&r| last.get(r, c) == top).collect();
+                let share = dpooled.get(0, c) / tied.len() as f64;
+                for r in tied {
+                    dh.add_at(r, c, share);
+                }
             }
         }
 

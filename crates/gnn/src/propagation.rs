@@ -52,8 +52,8 @@ impl Propagation {
         let mut s = Matrix::zeros(n, n);
         match agg {
             Aggregator::GcnSym => {
-                for v in 0..n {
-                    s.set(v, v, inv_sqrt_deg[v] * inv_sqrt_deg[v]);
+                for (v, &d) in inv_sqrt_deg.iter().enumerate() {
+                    s.set(v, v, d * d);
                 }
                 for &(u, v) in &edge_list {
                     let w = inv_sqrt_deg[u as usize] * inv_sqrt_deg[v as usize];

@@ -101,7 +101,10 @@ fn predict_proba_sums_to_one() {
     assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     let (label, p2) = model.predict_with_proba(&g);
     assert_eq!(p, p2);
-    assert_eq!(label as usize, p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0);
+    assert_eq!(
+        label as usize,
+        p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+    );
 }
 
 /// Numeric gradient check of the full backward pass (weights, fc, bias, X).
@@ -212,10 +215,8 @@ fn training_separates_stars_from_cycles() {
     }
     let ids: Vec<u32> = (0..db.len() as u32).collect();
     let mut model = GcnModel::new(2, 8, 2, 3, 5);
-    let mut trainer = AdamTrainer::new(
-        &model,
-        TrainConfig { epochs: 300, lr: 5e-3, ..TrainConfig::default() },
-    );
+    let mut trainer =
+        AdamTrainer::new(&model, TrainConfig { epochs: 300, lr: 5e-3, ..TrainConfig::default() });
     let report = trainer.fit(&mut model, &db, &ids);
     assert!(report.train_accuracy >= 0.95, "accuracy {}", report.train_accuracy);
     let acc = AdamTrainer::classify_all(&model, &mut db, &ids);

@@ -1,8 +1,8 @@
 use crate::{GcnModel, Propagation};
 use gvex_graph::{GraphDb, GraphId};
 use gvex_linalg::Matrix;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Hyper-parameters for [`AdamTrainer`] (§6.1: Adam, lr 1e-3).
@@ -27,7 +27,15 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, epochs: 200, target_accuracy: 0.995, seed: 0 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            epochs: 200,
+            target_accuracy: 0.995,
+            seed: 0,
+        }
     }
 }
 
@@ -66,14 +74,20 @@ impl AdamTrainer {
 
     /// Runs training over `train_ids`, returning a report. Propagation
     /// operators are precomputed once per graph.
-    pub fn fit(&mut self, model: &mut GcnModel, db: &GraphDb, train_ids: &[GraphId]) -> TrainReport {
+    pub fn fit(
+        &mut self,
+        model: &mut GcnModel,
+        db: &GraphDb,
+        train_ids: &[GraphId],
+    ) -> TrainReport {
         let props: Vec<Propagation> = train_ids
             .iter()
             .map(|&id| Propagation::with_aggregator(db.graph(id), model.aggregator()))
             .collect();
         let mut order: Vec<usize> = (0..train_ids.len()).collect();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-        let mut report = TrainReport { epochs_run: 0, final_loss: f64::INFINITY, train_accuracy: 0.0 };
+        let mut report =
+            TrainReport { epochs_run: 0, final_loss: f64::INFINITY, train_accuracy: 0.0 };
         for epoch in 0..self.cfg.epochs {
             order.shuffle(&mut rng);
             let mut loss_sum = 0.0;
@@ -147,8 +161,7 @@ impl AdamTrainer {
         if eval_ids.is_empty() {
             return 1.0;
         }
-        let correct =
-            eval_ids.iter().filter(|&&id| db.predicted(id) == Some(db.truth(id))).count();
+        let correct = eval_ids.iter().filter(|&&id| db.predicted(id) == Some(db.truth(id))).count();
         correct as f64 / eval_ids.len() as f64
     }
 }

@@ -15,7 +15,13 @@ use rand::Rng;
 ///
 /// # Panics
 /// Panics if `n < m + 1` or `m == 0`.
-pub fn barabasi_albert(n: usize, m: usize, ty: NodeType, feature_dim: usize, rng: &mut StdRng) -> Graph {
+pub fn barabasi_albert(
+    n: usize,
+    m: usize,
+    ty: NodeType,
+    feature_dim: usize,
+    rng: &mut StdRng,
+) -> Graph {
     assert!(m >= 1 && n > m, "BA requires n > m >= 1");
     let mut g = Graph::new(feature_dim);
     let feats = constant_feature(feature_dim);
@@ -148,8 +154,19 @@ pub fn attach_motif(host: &mut Graph, motif: &Graph, rng: &mut StdRng) -> Vec<No
 
 /// Gnp-style random connected graph: draws each edge with probability `p`
 /// and then adds a spanning path so the result is connected.
-pub fn random_connected(n: usize, p: f64, ty: NodeType, feature_dim: usize, rng: &mut StdRng) -> Graph {
+///
+/// `p` is clamped to `[0, 1]`: callers derive it from expected-degree
+/// formulas like `2.2 / n`, which exceed 1 for very small `n` (where a
+/// complete graph is the right degenerate answer anyway).
+pub fn random_connected(
+    n: usize,
+    p: f64,
+    ty: NodeType,
+    feature_dim: usize,
+    rng: &mut StdRng,
+) -> Graph {
     assert!(n >= 1);
+    let p = p.clamp(0.0, 1.0);
     let mut g = Graph::new(feature_dim);
     let feats = constant_feature(feature_dim);
     let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(ty, &feats)).collect();
@@ -175,7 +192,12 @@ pub fn random_connected(n: usize, p: f64, ty: NodeType, feature_dim: usize, rng:
 
 /// Convenience: appends an isolated copy of `motif` into `host` connected by
 /// an edge of type `bridge_ty` between `host_anchor` and the motif's node 0.
-pub fn graft(host: &mut Graph, motif: &Graph, host_anchor: NodeId, bridge_ty: EdgeType) -> Vec<NodeId> {
+pub fn graft(
+    host: &mut Graph,
+    motif: &Graph,
+    host_anchor: NodeId,
+    bridge_ty: EdgeType,
+) -> Vec<NodeId> {
     assert_eq!(host.feature_dim(), motif.feature_dim(), "feature dims must agree");
     let mut new_ids = Vec::with_capacity(motif.num_nodes());
     for v in motif.node_ids() {

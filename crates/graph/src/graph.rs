@@ -72,7 +72,10 @@ impl Graph {
     /// Panics on self-loops or out-of-range endpoints.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, ty: EdgeType) {
         assert!(u != v, "self-loops are not allowed");
-        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len(), "edge endpoint out of range");
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "edge endpoint out of range"
+        );
         let key = (u.min(v), u.max(v));
         if self.edge_types.insert(key, ty).is_none() {
             let pos = self.adj[u as usize].binary_search(&v).unwrap_err();

@@ -15,8 +15,8 @@
 //! Graphs are undirected. Node ids are dense `u32` indices local to a graph.
 
 mod db;
-mod graph;
 pub mod generate;
+mod graph;
 
 pub use db::{ClassLabel, GraphDb, GraphId};
 pub use graph::{EdgeType, Graph, NodeId, NodeType};

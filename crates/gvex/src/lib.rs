@@ -1,0 +1,21 @@
+//! Umbrella crate for the GVEX reproduction (ChenQWKKG24).
+//!
+//! Re-exports every layer of the stack under one name so downstream
+//! users (and the workspace-level tests and examples this package
+//! owns) can depend on a single crate:
+//!
+//! ```text
+//! gvex_linalg ─┐
+//!              ├─ gvex_gnn ──┐
+//! gvex_graph ──┼─ gvex_pattern ├─ gvex_core ── gvex_baselines ── gvex_bench
+//!              └─ gvex_data ──┘
+//! ```
+
+pub use gvex_baselines as baselines;
+pub use gvex_bench as bench;
+pub use gvex_core as core;
+pub use gvex_data as data;
+pub use gvex_gnn as gnn;
+pub use gvex_graph as graph;
+pub use gvex_linalg as linalg;
+pub use gvex_pattern as pattern;

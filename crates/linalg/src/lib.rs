@@ -13,7 +13,7 @@ mod matrix;
 mod ops;
 
 pub use matrix::Matrix;
-pub use ops::{cross_entropy, softmax_rows};
+pub use ops::{cmp_cost, cmp_score, cross_entropy, softmax_rows};
 
 #[cfg(test)]
 mod tests;

@@ -134,7 +134,13 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?} x {:?}", self.shape(), rhs.shape());
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul shape mismatch {:?} x {:?}",
+            self.shape(),
+            rhs.shape()
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -220,13 +226,13 @@ impl Matrix {
         assert!(self.rows > 0, "max_pool_rows on empty matrix");
         let mut out = Matrix::zeros(1, self.cols);
         let mut arg = vec![0usize; self.cols];
-        for c in 0..self.cols {
+        for (c, best_row) in arg.iter_mut().enumerate() {
             let mut best = f64::NEG_INFINITY;
             for r in 0..self.rows {
                 let v = self.get(r, c);
                 if v > best {
                     best = v;
-                    arg[c] = r;
+                    *best_row = r;
                 }
             }
             out.set(0, c, best);
@@ -260,11 +266,7 @@ impl Matrix {
     /// matrices with identical column counts.
     pub fn row_distance_sq(&self, r1: usize, other: &Matrix, r2: usize) -> f64 {
         assert_eq!(self.cols, other.cols, "row_distance_sq column mismatch");
-        self.row(r1)
-            .iter()
-            .zip(other.row(r2))
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        self.row(r1).iter().zip(other.row(r2)).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 
     /// Extracts the sub-matrix given by `row_idx` (gather of rows).

@@ -1,4 +1,32 @@
 use crate::Matrix;
+use std::cmp::Ordering;
+
+/// Total-order comparison of two *scores* (things being maximized),
+/// ranking NaN below every real value.
+///
+/// A NaN score (a degenerate model output) must *lose* any
+/// maximization: plain `total_cmp` would rank positive NaN above `+∞`
+/// — silently preferring garbage — and `partial_cmp().unwrap()` would
+/// panic mid-explain. Use in `max_by(|a, b| cmp_score(a, b))` or a
+/// descending `sort_by(|a, b| cmp_score(b, a))`.
+pub fn cmp_score(a: f64, b: f64) -> Ordering {
+    nan_to(a, f64::NEG_INFINITY).total_cmp(&nan_to(b, f64::NEG_INFINITY))
+}
+
+/// Total-order comparison of two *costs* (things being minimized),
+/// ranking NaN above every real value so it also loses any
+/// minimization — the mirror of [`cmp_score`], for `min_by`.
+pub fn cmp_cost(a: f64, b: f64) -> Ordering {
+    nan_to(a, f64::INFINITY).total_cmp(&nan_to(b, f64::INFINITY))
+}
+
+fn nan_to(x: f64, sub: f64) -> f64 {
+    if x.is_nan() {
+        sub
+    } else {
+        x
+    }
+}
 
 /// Row-wise numerically-stable softmax.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {

@@ -1,4 +1,4 @@
-use crate::{cross_entropy, softmax_rows, Matrix};
+use crate::{cmp_cost, cmp_score, cross_entropy, softmax_rows, Matrix};
 use proptest::prelude::*;
 use rand::SeedableRng;
 
@@ -151,6 +151,24 @@ fn glorot_within_limit() {
     let m = Matrix::glorot(10, 20, &mut rng);
     let limit = (6.0 / 30.0_f64).sqrt();
     assert!(m.data().iter().all(|&x| x.abs() <= limit));
+}
+
+#[test]
+fn nan_loses_every_ranking() {
+    // Descending sort over scores: NaN comes last — after -inf — never
+    // first (plain total_cmp would rank positive NaN above +inf).
+    let mut scores = [f64::NAN, 1.0, f64::INFINITY, -3.0, f64::NEG_INFINITY];
+    scores.sort_by(|a, b| cmp_score(*b, *a));
+    assert_eq!(scores[0], f64::INFINITY);
+    assert!(scores[scores.len() - 1].is_nan() || scores[scores.len() - 2].is_nan());
+    // Minimization over costs: NaN never wins, with either sign bit
+    // (NaN produced by `x - x` is negative on common hardware).
+    let neg_nan = -f64::NAN;
+    let cheapest = [3.0, neg_nan, 0.5, f64::NAN].into_iter().min_by(|a, b| cmp_cost(*a, *b));
+    assert_eq!(cheapest, Some(0.5));
+    // All-finite rankings are unaffected.
+    let best = [0.2, 0.9, 0.5].into_iter().max_by(|a, b| cmp_score(*a, *b));
+    assert_eq!(best, Some(0.9));
 }
 
 proptest! {

@@ -62,8 +62,10 @@ pub fn mine(graphs: &[&Graph], cfg: &MinerConfig) -> Vec<MinedPattern> {
     let mut by_key: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
     let mut found: Vec<(Pattern, FxHashSet<usize>, usize)> = Vec::new(); // (pattern, graph ids, occurrences)
 
-    let record = |p: Pattern, gi: usize, found: &mut Vec<(Pattern, FxHashSet<usize>, usize)>,
-                      by_key: &mut FxHashMap<u64, Vec<usize>>| {
+    let record = |p: Pattern,
+                  gi: usize,
+                  found: &mut Vec<(Pattern, FxHashSet<usize>, usize)>,
+                  by_key: &mut FxHashMap<u64, Vec<usize>>| {
         let key = invariant_key(&p);
         let bucket = by_key.entry(key).or_default();
         for &i in bucket.iter() {

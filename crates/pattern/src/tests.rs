@@ -148,7 +148,7 @@ fn covers_node_anchored() {
 fn isomorphic_detects_relabelings() {
     let p1 = Pattern::new(&[0, 1, 0], &[(0, 1, 0), (1, 2, 0)]);
     let p2 = Pattern::new(&[1, 0, 0], &[(1, 0, 0), (0, 2, 0)]); // same C-O-C... wait
-    // p1: C-O-C path (types 0,1,0 with edges 0-1, 1-2). p2: nodes [O,C,C]? types [1,0,0], edges (1,0),(0,2) => C? Let's verify: p2 node0=O? type 1. node1=C, node2=C. Edges: {0,1},{0,2}: O-C and O-C => C-O-C. Isomorphic to p1.
+                                                                // p1: C-O-C path (types 0,1,0 with edges 0-1, 1-2). p2: nodes [O,C,C]? types [1,0,0], edges (1,0),(0,2) => C? Let's verify: p2 node0=O? type 1. node1=C, node2=C. Edges: {0,1},{0,2}: O-C and O-C => C-O-C. Isomorphic to p1.
     assert!(vf2::isomorphic(&p1, &p2));
     let p3 = Pattern::new(&[0, 0, 1], &[(0, 1, 0), (1, 2, 0)]); // C-C-O
     assert!(!vf2::isomorphic(&p1, &p3));

@@ -90,13 +90,19 @@ impl<'a> Vf2<'a> {
 
     /// Enumerates embeddings, invoking `cb` with the mapping
     /// (`pattern node -> data node`). Returns false if the limit tripped.
-    fn search(&mut self, pos: usize, remaining: &mut usize, cb: &mut dyn FnMut(&[NodeId]) -> bool) -> bool {
+    fn search(
+        &mut self,
+        pos: usize,
+        remaining: &mut usize,
+        cb: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> bool {
         if *remaining == 0 {
             return false;
         }
         if pos == self.order.len() {
             *remaining -= 1;
-            let full: Vec<NodeId> = self.mapping.iter().map(|m| m.expect("complete mapping")).collect();
+            let full: Vec<NodeId> =
+                self.mapping.iter().map(|m| m.expect("complete mapping")).collect();
             return cb(&full);
         }
         let pv = self.order[pos];

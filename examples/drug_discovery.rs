@@ -33,11 +33,15 @@ fn main() {
         let types: Vec<&str> =
             (0..p.num_nodes() as u32).map(|v| MUT_ATOM_NAMES[p.node_type(v) as usize]).collect();
         let has_no = (0..p.num_nodes() as u32).any(|v| {
-            p.node_type(v) == TYPE_N
-                && p.neighbors(v).iter().any(|&w| p.node_type(w) == TYPE_O)
+            p.node_type(v) == TYPE_N && p.neighbors(v).iter().any(|&w| p.node_type(w) == TYPE_O)
         });
-        println!("  P{}: {:?}, {} bonds{}", i + 1, types, p.num_edges(),
-            if has_no { "  <- nitro-like toxicophore" } else { "" });
+        println!(
+            "  P{}: {:?}, {} bonds{}",
+            i + 1,
+            types,
+            p.num_edges(),
+            if has_no { "  <- nitro-like toxicophore" } else { "" }
+        );
     }
 
     // Domain query 2: "which mutagens contain the N-O pattern?" — issue
@@ -57,7 +61,9 @@ fn main() {
     println!("\ngraph query 'N=O' over the database:");
     println!("  mutagens containing it:    {hits_mut}");
     println!("  nonmutagens containing it: {hits_non}");
-    println!("  (the pattern discriminates the classes — exactly the paper's aromatic-nitro story)");
+    println!(
+        "  (the pattern discriminates the classes — exactly the paper's aromatic-nitro story)"
+    );
 
     // Counterfactual check on one compound: remove the explanation and
     // re-classify.
@@ -66,6 +72,9 @@ fn main() {
         let (rest, _) = g.remove_nodes(&sub.nodes);
         let before = db.predicted(sub.graph_id).unwrap();
         let after = model.predict(&rest);
-        println!("\ncompound G{}: label {before} -> {after} after removing its explanation", sub.graph_id);
+        println!(
+            "\ncompound G{}: label {before} -> {after} after removing its explanation",
+            sub.graph_id
+        );
     }
 }

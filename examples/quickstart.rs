@@ -15,15 +15,20 @@ fn main() {
     // 2. Train the classifier of §6.1: 3-layer GCN + max pool + FC, Adam.
     let split = db.split(0.8, 0.1, 7);
     let mut model = GcnModel::new(14, 32, 2, 3, 7);
-    let mut trainer = AdamTrainer::new(&model, TrainConfig { epochs: 120, lr: 5e-3, ..TrainConfig::default() });
+    let mut trainer =
+        AdamTrainer::new(&model, TrainConfig { epochs: 120, lr: 5e-3, ..TrainConfig::default() });
     let report = trainer.fit(&mut model, &db, &split.train);
     let acc = AdamTrainer::classify_all(&model, &mut db, &split.test);
-    println!("trained {} epochs, train acc {:.2}, test acc {:.2}", report.epochs_run, report.train_accuracy, acc);
+    println!(
+        "trained {} epochs, train acc {:.2}, test acc {:.2}",
+        report.epochs_run, report.train_accuracy, acc
+    );
 
     // 3. Generate an explanation view for the mutagen label with coverage
     //    bounds [0, 8] per graph.
     let algo = ApproxGvex::new(Config::with_bounds(0, 8));
-    let ids: Vec<u32> = split.test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).collect();
+    let ids: Vec<u32> =
+        split.test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).collect();
     let view = algo.explain_label(&model, &db, 1, &ids);
     println!("\nexplanation view for label 'mutagen' ({} graphs):", view.subgraphs.len());
     println!("  explainability f = {:.3}", view.explainability);
@@ -32,23 +37,31 @@ fn main() {
     // 4. Lower tier: explanation subgraphs.
     for sub in view.subgraphs.iter().take(3) {
         let g = db.graph(sub.graph_id);
-        let atoms: Vec<&str> = sub.nodes.iter().map(|&v| MUT_ATOM_NAMES[g.node_type(v) as usize]).collect();
+        let atoms: Vec<&str> =
+            sub.nodes.iter().map(|&v| MUT_ATOM_NAMES[g.node_type(v) as usize]).collect();
         println!(
             "  G{} -> {} atoms {:?} (consistent={}, counterfactual={})",
-            sub.graph_id, sub.nodes.len(), atoms, sub.consistent, sub.counterfactual
+            sub.graph_id,
+            sub.nodes.len(),
+            atoms,
+            sub.consistent,
+            sub.counterfactual
         );
     }
 
     // 5. Higher tier: queryable patterns covering all subgraph nodes.
     println!("  patterns ({}):", view.patterns.len());
     for p in view.patterns.iter().take(5) {
-        let types: Vec<&str> = (0..p.num_nodes() as u32).map(|v| MUT_ATOM_NAMES[p.node_type(v) as usize]).collect();
+        let types: Vec<&str> =
+            (0..p.num_nodes() as u32).map(|v| MUT_ATOM_NAMES[p.node_type(v) as usize]).collect();
         println!("    {:?} with {} bonds", types, p.num_edges());
     }
 
     // 6. Verify the view against the three constraints of §3.3.
     let cfg = Config::with_bounds(0, 8);
     let v = verify::verify_view(&model, &db, &view, &cfg);
-    println!("\nview verification: C1(graph view)={} C2(explanation)={} C3(coverage)={}",
-        v.c1_graph_view, v.c2_explanation, v.c3_coverage);
+    println!(
+        "\nview verification: C1(graph view)={} C2(explanation)={} C3(coverage)={}",
+        v.c1_graph_view, v.c2_explanation, v.c3_coverage
+    );
 }

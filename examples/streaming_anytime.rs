@@ -25,7 +25,10 @@ fn main() {
         split.test.iter().copied().filter(|&id| db.predicted(id) == Some(label)).collect();
 
     println!("anytime sweep: interrupt the node stream at increasing fractions");
-    println!("{:<10} {:>12} {:>16} {:>10}", "fraction", "runtime (s)", "explainability", "#patterns");
+    println!(
+        "{:<10} {:>12} {:>16} {:>10}",
+        "fraction", "runtime (s)", "explainability", "#patterns"
+    );
     for pct in [25usize, 50, 75, 100] {
         let start = Instant::now();
         let view = sg.explain_label_fraction(&model, &db, label, &ids, pct as f64 / 100.0);

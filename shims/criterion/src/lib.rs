@@ -1,0 +1,213 @@
+//! Offline shim for the subset of `criterion` this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and
+//! [`black_box`]. Instead of criterion's statistical machinery it runs
+//! a warmup, then `sample_size` timed samples of an adaptively chosen
+//! iteration count, and prints mean / min / max per benchmark — enough
+//! to compare orders of magnitude and track regressions by eye until
+//! the real crate can be vendored.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion's own is a shim for
+/// the same intrinsic these days).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are sized (subset of `criterion::BatchSize`).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warmup duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement-time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { samples: Vec::new(), config: self.clone() };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Final reporting hook (criterion API compatibility; the shim
+    /// reports per-benchmark as it goes).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-benchmark measurement context (subset of `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<Duration>,
+    config: Criterion,
+}
+
+impl Bencher {
+    /// Times `routine` (the common case).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup, measuring cost to pick an iteration count.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.config.warm_up.div_f64(warm_iters.max(1) as f64);
+        let per_sample = self.config.measurement / self.config.sample_size as u32;
+        let iters =
+            (per_sample.as_secs_f64() / per_iter.as_secs_f64().max(1e-9)).clamp(1.0, 1e9) as u64;
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed().div_f64(iters as f64));
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // One input per measured call: setup cost stays out of the
+        // timing, which is all the workspace's benches need.
+        black_box(routine(setup()));
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!(
+            "{name:<40} mean {:>12?}   min {:>12?}   max {:>12?}   ({} samples)",
+            mean,
+            min,
+            max,
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |v| black_box(v.len()),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= 4);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The test suites only ever write
+//!
+//! ```ignore
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(24))]
+//!     #[test]
+//!     fn prop(seed in 0u64..100, k in 1usize..5) { ... }
+//! }
+//! ```
+//!
+//! with numeric-range strategies, `prop_assert!`, and
+//! `prop_assert_eq!`. The shim expands each property to a plain
+//! `#[test]` that samples every parameter from its range with a
+//! deterministic per-case RNG and runs the body `cases` times,
+//! reporting the failing inputs on panic. No shrinking — a failure
+//! prints the raw sampled values instead of a minimized case.
+
+pub use range_strategy::RangeStrategy;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite
+        // fast while still sweeping each seed range well.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod range_strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Ranges usable as strategies in the shim's `proptest!` macro.
+    pub trait RangeStrategy {
+        /// Sampled value type.
+        type Value: std::fmt::Debug + Clone;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl RangeStrategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl RangeStrategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl RangeStrategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+}
+
+pub mod prelude {
+    pub use crate::range_strategy::RangeStrategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Property-test harness macro (shim for `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(arg in strategy, ...) { body }`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::RangeStrategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            // Deterministic per-property seed: cases differ across
+            // properties (via the name) but never across runs.
+            let mut hasher = ::std::collections::hash_map::DefaultHasher::new();
+            ::std::hash::Hash::hash(stringify!($name), &mut hasher);
+            let base = ::std::hash::Hasher::finish(&hasher);
+            for case in 0..config.cases {
+                let mut rng = <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                    base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = ($strategy).sample(&mut rng);)+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest shim: property `{}` failed at case {}/{} with inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Shim for `proptest::prop_assert!` — panics (no `Err` plumbing).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Shim for `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Shim for `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(a in 3u64..17, b in 1usize..4, x in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((1..4).contains(&b));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn multiple_properties_expand(k in 0u32..5) {
+            prop_assert_eq!(k * 2 % 2, 0);
+        }
+    }
+
+    #[test]
+    fn default_config_runs() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+    }
+}

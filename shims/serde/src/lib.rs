@@ -1,0 +1,304 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Real serde is a visitor-based framework; this shim collapses it to
+//! "convert to a JSON-like [`Value`] tree", which is the only thing
+//! the workspace does with it (the experiment harness writes JSON
+//! result files). [`Serialize`] is implemented for the primitives,
+//! strings, tuples, `Option`, `Vec`, and slices the codebase
+//! serializes; `#[derive(Serialize, Deserialize)]` comes from the
+//! sibling `serde_derive` shim. [`Deserialize`] is a marker trait —
+//! nothing in the workspace deserializes yet; grow the shim (or swap
+//! in real serde) when something does.
+
+/// JSON-like value tree produced by [`Serialize`].
+///
+/// Object fields keep insertion order. Re-exported by the `serde_json`
+/// shim as `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Floating-point number (non-finite serializes as `null`).
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be converted into a [`Value`] tree.
+///
+/// Stands in for `serde::Serialize`; the single method replaces the
+/// whole `Serializer` machinery.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+///
+/// Stands in for `serde::Deserialize`; the single method replaces the
+/// `Deserializer`/visitor machinery. The `'de` lifetime is kept so
+/// bounds like `for<'de> Deserialize<'de>` written against real serde
+/// still compile; the shim never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a [`Value`], or explains why it cannot.
+    fn deserialize_from_value(value: &Value) -> Result<Self, String>;
+}
+
+impl Value {
+    /// Looks up a field of an object by key.
+    pub fn get_field(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k.as_str() == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+        Ok(value.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+                let (int, uint) = match value {
+                    Value::Int(i) => (Some(*i), u64::try_from(*i).ok()),
+                    Value::UInt(u) => (i64::try_from(*u).ok(), Some(*u)),
+                    other => return Err(format!("expected integer, got {other:?}")),
+                };
+                int.and_then(|i| <$t>::try_from(i).ok())
+                    .or_else(|| uint.and_then(|u| <$t>::try_from(u).ok()))
+                    .ok_or_else(|| format!("integer out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // Serialization writes non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+        f64::deserialize_from_value(value).map(|f| f as f32)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_from_value).collect(),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal: $($name:ident : $idx:tt),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_from_value(value: &Value) -> Result<Self, String> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::deserialize_from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(format!(
+                        "expected array of length {}, got {other:?}", $len
+                    )),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1: A: 0)
+    (2: A: 0, B: 1)
+    (3: A: 0, B: 1, C: 2)
+    (4: A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::UInt(*self),
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        (*self as u64).to_value()
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(1u32.to_value(), Value::Int(1));
+        assert_eq!(u64::MAX.to_value(), Value::UInt(u64::MAX));
+        assert_eq!("hi".to_value(), Value::String("hi".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![(1u32, 2u32, 3u16)].to_value(),
+            Value::Array(vec![Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)])])
+        );
+    }
+}

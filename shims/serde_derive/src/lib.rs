@@ -1,0 +1,204 @@
+//! Offline shim for `serde_derive`, written against `proc_macro` alone
+//! (no `syn`/`quote`, since the build environment has no registry
+//! access).
+//!
+//! Supports what the workspace actually derives on: non-generic
+//! structs with named fields. `#[derive(Serialize)]` emits an impl of
+//! the shim's single-method `Serialize` trait (field-by-field
+//! conversion to `serde::Value`); `#[derive(Deserialize)]` emits the
+//! marker impl. Anything else (enums, tuple structs, generics)
+//! produces a targeted `compile_error!` so the gap is obvious at the
+//! use site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input this shim supports.
+struct StructInfo {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and named-field list, or an error message.
+fn parse_struct(input: TokenStream) -> Result<StructInfo, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, doc comments included) and
+    // visibility, then expect `struct <Name> { ... }`.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Skip a `(crate)`-style restriction if present.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                tokens.next();
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err(
+                    "serde_derive shim: only structs with named fields are supported".into()
+                );
+            }
+            Some(_) => {
+                tokens.next();
+            }
+            None => return Err("serde_derive shim: no struct found".into()),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive shim: expected struct name".into()),
+    };
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("serde_derive shim: generic struct `{name}` is not supported"));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("serde_derive shim: tuple struct `{name}` is not supported"));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Ok(StructInfo { name, fields: Vec::new() });
+            }
+            Some(_) => {}
+            None => return Err(format!("serde_derive shim: struct `{name}` has no body")),
+        }
+    };
+
+    // Walk the field list: skip attributes and visibility, record the
+    // field ident, then skip the type up to a comma at angle-depth 0
+    // (commas inside `(...)`/`[...]` are invisible here because groups
+    // are single tokens; only `<...>` needs explicit depth tracking).
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    'fields: loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => {
+                return Err(format!(
+                    "serde_derive shim: expected field name in `{name}`, found `{other}`"
+                ));
+            }
+            None => break,
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "serde_derive shim: expected `:` after field `{field}` in `{name}`"
+                ));
+            }
+        }
+        fields.push(field);
+        let mut angle_depth = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => continue 'fields,
+                _ => {}
+            }
+        }
+        break;
+    }
+    Ok(StructInfo { name, fields })
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens")
+}
+
+/// Derives the shim `serde::Serialize` (field-wise `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let info = match parse_struct(input) {
+        Ok(info) => info,
+        Err(msg) => return error(&msg),
+    };
+    let entries: Vec<String> = info
+        .fields
+        .iter()
+        .map(|f| {
+            format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{}])\n\
+             }}\n\
+         }}",
+        info.name,
+        entries.join(", ")
+    )
+    .parse()
+    .expect("serialize impl tokens")
+}
+
+/// Derives the shim `serde::Deserialize` (field-wise extraction from
+/// a `serde::Value` object; missing fields are errors).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let info = match parse_struct(input) {
+        Ok(info) => info,
+        Err(msg) => return error(&msg),
+    };
+    let name = &info.name;
+    let field_inits: Vec<String> = info
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_from_value(\n\
+                     value.get_field({f:?}).ok_or_else(|| ::std::format!(\n\
+                         \"missing field `{f}` in {name}\"))?)?"
+            )
+        })
+        .collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize_from_value(\n\
+                 value: &::serde::Value,\n\
+             ) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                 if !matches!(value, ::serde::Value::Object(_)) {{\n\
+                     return ::std::result::Result::Err(\n\
+                         ::std::format!(\"expected object for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n\
+             }}\n\
+         }}",
+        field_inits.join(", ")
+    )
+    .parse()
+    .expect("deserialize impl tokens")
+}

@@ -1,0 +1,401 @@
+//! Offline shim for the subset of `serde_json` this workspace uses:
+//! the [`json!`] macro, [`to_string`] / [`to_string_pretty`], and the
+//! [`Value`] tree (defined in the `serde` shim and re-exported here
+//! under its familiar name). Output is real JSON — string escaping,
+//! `null` for non-finite floats (matching serde_json's `Value`
+//! behavior), two-space pretty indentation — so downstream notebook
+//! tooling reading `results/*.json` sees no difference.
+
+use std::fmt::Write as _;
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+
+/// (De)serialization error carrying a human-readable message.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json shim: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s).map_err(Error)?;
+    T::deserialize_from_value(&value).map_err(Error)
+}
+
+/// Converts a [`Value`] tree into a `T`.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize_from_value(&value).map_err(Error)
+}
+
+mod parse {
+    use super::Value;
+
+    /// Recursive-descent JSON parser (strict enough for round-trips
+    /// of this shim's own output and ordinary hand-written JSON).
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {pos}", c as char, pos = *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => parse_keyword(b, pos, "null", Value::Null),
+            Some(b't') => parse_keyword(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_keyword(b, pos, "false", Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::String),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, b':')?;
+                    let value = parse_value(b, pos)?;
+                    fields.push((key, value));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                    }
+                }
+            }
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_keyword(b: &[u8], pos: &mut usize, kw: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(kw.as_bytes()) {
+            *pos += kw.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid keyword at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not reassembled; the
+                            // shim's own writer never emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8
+                    // by construction of &str).
+                    let s = &b[*pos..];
+                    let text = std::str::from_utf8(s).map_err(|_| "invalid UTF-8")?;
+                    let c = text.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        if b.get(*pos) == Some(&b'-') {
+            *pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'0'..=b'9' => *pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    *pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+        if text.is_empty() || text == "-" {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+    }
+}
+
+/// Converts any [`Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty JSON (two-space indent, like serde_json).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Writes `v` as JSON. `indent = None` means compact.
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f:?}");
+            } else {
+                // serde_json's Value cannot represent non-finite
+                // numbers; they become null.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// Writes a JSON string literal with the mandatory escapes.
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from JSON-ish syntax (subset of
+/// `serde_json::json!`): object literals with literal keys, array
+/// literals, `null`, and arbitrary `Serialize` expressions as values.
+/// Nested object/array *literals* inside values are not supported —
+/// pass a nested `json!(...)` call instead (which is valid for the
+/// real macro too, so call sites stay portable).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $((::std::string::String::from($key), $crate::to_value(&$value))),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![$($crate::to_value(&$value)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_and_pretty_output() {
+        let rows = vec![1u32, 2, 3];
+        let v = json!({
+            "name": "fig5",
+            "f": 0.25f64,
+            "rows": rows,
+            "edge": (1u32, 2u32, 7u16),
+            "missing": None::<u32>,
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\"name\": \"fig5\""));
+        assert!(text.contains("\"f\": 0.25"));
+        assert!(text.contains("\"missing\": null"));
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+        assert_eq!(to_string(&json!([1u8, 2u8])).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn escapes_and_nonfinite() {
+        let v = json!({ "s": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"s":"a\"b\\c\nd"}"#);
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let v = json!({
+            "label": 3u16,
+            "score": 0.125f64,
+            "big": 1e300f64,
+            "neg": -42i64,
+            "nodes": vec![1u32, 2, 3],
+            "edge": (1u32, 2u32, 7u16),
+            "ok": true,
+            "name": "a\"b\\c\nd",
+            "nothing": None::<u32>,
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+        let triple: (u32, u32, u16) = from_str("[1, 2, 7]").unwrap();
+        assert_eq!(triple, (1, 2, 7));
+        let maybe: Option<f64> = from_str("null").unwrap();
+        assert!(maybe.is_none());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline shim for the subset of `smallvec` this workspace uses.
+//!
+//! [`SmallVec<A>`] keeps smallvec's type-level API — `SmallVec<[T; N]>`
+//! with the inline capacity in the type — but stores elements in a
+//! plain `Vec<T>`, trading the real crate's inline-storage
+//! optimization for zero dependencies. All slice methods are available
+//! through `Deref`/`DerefMut`; mutation goes through the same method
+//! names (`push`, `clear`, ...) the real crate exposes.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Backing-array marker: `[T; N]` in `SmallVec<[T; N]>`.
+pub trait Array {
+    /// Element type of the array.
+    type Item;
+
+    /// Inline capacity of the real smallvec (unused by the shim).
+    const SIZE: usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    const SIZE: usize = N;
+}
+
+/// Vec-backed stand-in for `smallvec::SmallVec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// Creates an empty vector with at least `cap` capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: A::Item) {
+        self.inner.push(value);
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Removes and returns the element at `index`, shifting the tail.
+    pub fn remove(&mut self, index: usize) -> A::Item {
+        self.inner.remove(index)
+    }
+
+    /// Inserts `value` at `index`, shifting the tail.
+    pub fn insert(&mut self, index: usize, value: A::Item) {
+        self.inner.insert(index, value);
+    }
+
+    /// Keeps only the elements for which `f` returns `true`.
+    pub fn retain(&mut self, mut f: impl FnMut(&mut A::Item) -> bool) {
+        self.inner.retain_mut(|x| f(x));
+    }
+
+    /// Clears the vector.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Converts into a plain `Vec`.
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec { inner: self.inner.clone() }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec { inner: iter.into_iter().collect() }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Constructs a [`SmallVec`] like `vec!` (subset of `smallvec::smallvec!`).
+#[macro_export]
+macro_rules! smallvec {
+    ($($x:expr),* $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $( v.push($x); )*
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_iter_and_slice_methods() {
+        let mut v: SmallVec<[u32; 6]> = SmallVec::new();
+        v.push(3);
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(&1));
+        v.sort_unstable();
+        assert_eq!(&v[..], &[1, 2, 3]);
+        let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn macro_and_eq() {
+        let a: SmallVec<[u8; 2]> = smallvec![1, 2, 3];
+        let b: SmallVec<[u8; 2]> = [1u8, 2, 3].into_iter().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -64,8 +64,8 @@ fn edge_loss_small_and_monotone_ish() {
     let ds = prepare(DatasetKind::Mutagenicity, 50, 1.0, 42);
     let (label, ids) = label_of_interest(&ds);
     let ids: Vec<u32> = ids.into_iter().take(4).collect();
-    let view = ApproxGvex::new(Config::with_bounds(0, 10))
-        .explain_label(&ds.model, &ds.db, label, &ids);
+    let view =
+        ApproxGvex::new(Config::with_bounds(0, 10)).explain_label(&ds.model, &ds.db, label, &ids);
     assert!(view.edge_loss < 0.5, "edge loss should stay small: {}", view.edge_loss);
 }
 

@@ -56,7 +56,8 @@ fn approx_beats_random_on_fidelity() {
             })
             .collect()
     };
-    let gvex_expl = make(&|g| algo.explain_graph(&model, g, 0, 1).map(|s| s.nodes).unwrap_or_default());
+    let gvex_expl =
+        make(&|g| algo.explain_graph(&model, g, 0, 1).map(|s| s.nodes).unwrap_or_default());
     // "Random": the first 8 node ids (backbone carbons, label-agnostic).
     let naive_expl = make(&|g| (0..8.min(g.num_nodes() as u32)).collect());
     let f_gvex = metrics::fidelity_plus(&model, &gvex_expl);
@@ -83,7 +84,7 @@ fn stream_and_approx_agree_on_coverage_invariants() {
         ] {
             for s in &view.subgraphs {
                 assert!(s.len() <= 6, "upper bound respected");
-                assert!(s.len() >= 1, "lower bound respected");
+                assert!(!s.is_empty(), "lower bound respected");
             }
             let v = verify::verify_view(&model, &db, &view, &cfg);
             assert!(v.c1_graph_view, "node coverage by patterns");
@@ -117,10 +118,8 @@ fn explainer_trait_uniform_over_all_methods() {
     let g = db.graph(id);
     let label = db.predicted(id).unwrap();
     let cfg = Config::with_bounds(0, 6);
-    let mut explainers: Vec<Box<dyn Explainer>> = vec![
-        Box::new(ApproxGvex::new(cfg.clone())),
-        Box::new(StreamGvex::new(cfg)),
-    ];
+    let mut explainers: Vec<Box<dyn Explainer>> =
+        vec![Box::new(ApproxGvex::new(cfg.clone())), Box::new(StreamGvex::new(cfg))];
     explainers.extend(gvex_baselines::all_baselines());
     for e in &explainers {
         let nodes = e.explain_graph(&model, g, label, 6);
