@@ -12,9 +12,9 @@ fn bench_gnn(c: &mut Criterion) {
     let model = GcnModel::new(14, 32, 2, 3, 1);
     let prop = Propagation::new(&g);
     c.bench_function("gnn_forward_mut_graph", |b| {
-        b.iter(|| std::hint::black_box(model.forward(prop.matrix(), g.features())))
+        b.iter(|| std::hint::black_box(model.forward(prop.csr(), g.features())))
     });
-    let fwd = model.forward(prop.matrix(), g.features());
+    let fwd = model.forward(prop.csr(), g.features());
     c.bench_function("gnn_backward_mut_graph", |b| {
         b.iter(|| std::hint::black_box(model.loss_backward(&fwd, 1, false)))
     });

@@ -1,0 +1,159 @@
+//! Quick perf profile for CI: times the sparse CSR propagation backend
+//! against the dense baseline on the reference synthetic graph and
+//! writes a machine-readable `BENCH_PR2.json`.
+//!
+//! Usage: `bench_quick [--check] [--out PATH] [--nodes N]`
+//!
+//! - `--check`: exit non-zero if sparse masked propagation is not at
+//!   least as fast as the dense baseline (the CI regression gate).
+//! - `--out PATH`: where to write the JSON (default `BENCH_PR2.json`).
+//! - `--nodes N`: reference graph size (default 1024).
+//!
+//! Before timing anything the two paths are cross-checked numerically;
+//! a perf number for a divergent implementation would be meaningless,
+//! so disagreement is a hard error (exit 2).
+
+use gvex_baselines::GnnExplainer;
+use gvex_bench::perf::{dense_masked_epoch, reference_graph, reference_mask, sparse_masked_epoch};
+use gvex_gnn::{GcnModel, Propagation};
+use std::time::Instant;
+
+/// Median wall-clock milliseconds of `reps` runs of `f`.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let nodes: usize = args
+        .iter()
+        .position(|a| a == "--nodes")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+
+    let g = reference_graph(nodes, 42);
+    let mask = reference_mask(&g, 7);
+    let model = GcnModel::new(g.feature_dim(), 32, 2, 3, 1);
+    let prop = Propagation::new(&g);
+    let target = 0usize;
+    eprintln!(
+        "reference graph: {} nodes, {} edges (avg degree {:.2})",
+        g.num_nodes(),
+        g.num_edges(),
+        g.avg_degree()
+    );
+
+    // Numerical parity first: the gate is about speed of the *same* math.
+    let sp = sparse_masked_epoch(&model, &prop, &g, &mask, target);
+    let dn = dense_masked_epoch(&model, &prop, &g, &mask, target);
+    if (sp.loss - dn.loss).abs() > 1e-9 {
+        eprintln!("FATAL: sparse/dense loss diverged: {} vs {}", sp.loss, dn.loss);
+        std::process::exit(2);
+    }
+    let max_grad_delta =
+        sp.edge_grad.iter().zip(&dn.edge_grad).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    if max_grad_delta > 1e-6 {
+        eprintln!("FATAL: sparse/dense edge gradients diverged by {max_grad_delta}");
+        std::process::exit(2);
+    }
+
+    let reps = 7;
+    // Masked-propagation epoch (the GNNExplainer hot loop): forward +
+    // mask gradient with the operator rebuilt from the mask each time.
+    let epoch_dense_ms = median_ms(reps, || {
+        std::hint::black_box(dense_masked_epoch(&model, &prop, &g, &mask, 0));
+    });
+    let epoch_sparse_ms = median_ms(reps, || {
+        std::hint::black_box(sparse_masked_epoch(&model, &prop, &g, &mask, 0));
+    });
+
+    // Raw operator application: S · X, sparse kernel vs dense matmul.
+    let dense_s = prop.to_dense();
+    let x = g.features();
+    let spmm_dense_ms = median_ms(reps, || {
+        std::hint::black_box(dense_s.matmul(x));
+    });
+    let spmm_sparse_ms = median_ms(reps, || {
+        std::hint::black_box(prop.csr().spmm_dense(x));
+    });
+
+    // End-to-end explain on the 1k-node graph (sparse path only — the
+    // trajectory anchor for later PRs).
+    let explainer = GnnExplainer { epochs: 5, ..GnnExplainer::default() };
+    let explain_ms = median_ms(3, || {
+        std::hint::black_box(explainer.learn_edge_mask(&model, &g, 0));
+    });
+
+    let epoch_speedup = epoch_dense_ms / epoch_sparse_ms.max(1e-9);
+    let spmm_speedup = spmm_dense_ms / spmm_sparse_ms.max(1e-9);
+    eprintln!("masked epoch: dense {epoch_dense_ms:.3} ms, sparse {epoch_sparse_ms:.3} ms ({epoch_speedup:.1}x)");
+    eprintln!("operator apply: dense {spmm_dense_ms:.3} ms, sparse {spmm_sparse_ms:.3} ms ({spmm_speedup:.1}x)");
+    eprintln!("explain (5 epochs, sparse): {explain_ms:.3} ms");
+
+    let json = serde_json::json!({
+        "pr": 2u32,
+        "graph": serde_json::json!({
+            "nodes": g.num_nodes() as u64,
+            "edges": g.num_edges() as u64,
+            "avg_degree": g.avg_degree(),
+            "operator_nnz": prop.csr().nnz() as u64,
+        }),
+        "model": serde_json::json!({ "hidden": 32u32, "layers": 3u32 }),
+        "reps": reps as u64,
+        "results": serde_json::json!([
+            serde_json::json!({
+                "name": "masked_propagation_epoch",
+                "dense_ms": epoch_dense_ms,
+                "sparse_ms": epoch_sparse_ms,
+                "speedup": epoch_speedup,
+            }),
+            serde_json::json!({
+                "name": "operator_apply",
+                "dense_ms": spmm_dense_ms,
+                "sparse_ms": spmm_sparse_ms,
+                "speedup": spmm_speedup,
+            }),
+            serde_json::json!({
+                "name": "gnnexplainer_learn_mask_5_epochs",
+                "sparse_ms": explain_ms,
+            }),
+        ]),
+        "parity": serde_json::json!({
+            "loss_delta": (sp.loss - dn.loss).abs(),
+            "max_edge_grad_delta": max_grad_delta,
+        }),
+        "gate": serde_json::json!({
+            "metric": "masked_propagation_epoch.speedup",
+            "threshold": 1.0f64,
+            "value": epoch_speedup,
+            "pass": epoch_speedup >= 1.0,
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&json).expect("serializable");
+    std::fs::write(&out_path, pretty + "\n").expect("write bench json");
+    eprintln!("wrote {out_path}");
+
+    if check && epoch_speedup < 1.0 {
+        eprintln!(
+            "GATE FAILED: sparse masked propagation ({epoch_sparse_ms:.3} ms) is slower than \
+             the dense baseline ({epoch_dense_ms:.3} ms)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@
 //! are the reproduction target (see EXPERIMENTS.md).
 
 pub mod experiments;
+pub mod perf;
 
 use gvex_baselines::{GStarX, GcfExplainer, GnnExplainer, SubgraphX};
 use gvex_core::metrics::{self, GraphExplanation};

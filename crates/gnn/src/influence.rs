@@ -99,31 +99,32 @@ impl InfluenceMatrix {
 /// and the *actual* ReLU gates of the unperturbed forward pass). Then
 /// `I1(v, u) = Σ_j Σ_out |∂X^k_{v,out} / ∂X^0_{u,j}|`.
 fn gated_jacobian(model: &GcnModel, g: &Graph, prop: &Propagation) -> Matrix {
-    let fwd = model.forward(prop.matrix(), g.features());
+    let s = prop.csr();
+    let fwd = model.forward(s, g.features());
     let gates: Vec<Matrix> = fwd.z.iter().map(Matrix::relu_gate).collect();
     let weights = model.weights();
-    let s = prop.matrix();
+    // Column `u` of `S` is row `u` of `Sᵀ`; the transpose makes the seed
+    // scatter an O(deg) walk instead of an O(n) dense-column scan.
+    let s_t = s.transpose();
     let n = g.num_nodes();
     let d0 = g.feature_dim();
     let mut i1 = Matrix::zeros(n, n);
     for u in 0..n {
+        let (col_rows, col_vals) = s_t.row(u);
         for j in 0..d0 {
             // First layer applied to the seed e_{u,j}:
             // dZ1 = S · e_{u,j} · W1 = outer(S[:, u], W1[j, :]).
             let w_row = weights[0].row(j);
             let hidden = w_row.len();
             let mut dh = Matrix::zeros(n, hidden);
-            for v in 0..n {
-                let sv = s.get(v, u);
-                if sv == 0.0 {
-                    continue;
-                }
+            for (&v, &sv) in col_rows.iter().zip(col_vals) {
+                let v = v as usize;
                 for (c, &w) in w_row.iter().enumerate() {
                     dh.set(v, c, sv * w * gates[0].get(v, c));
                 }
             }
             for l in 1..weights.len() {
-                let dz = s.matmul(&dh).matmul(&weights[l]);
+                let dz = s.spmm_dense(&dh).matmul(&weights[l]);
                 dh = dz.hadamard(&gates[l]);
             }
             for v in 0..n {

@@ -6,8 +6,10 @@
 //! crate implements the whole thing from scratch on top of `gvex-linalg`:
 //!
 //! - [`Propagation`]: the symmetric-normalized propagation operator
-//!   `S = D^-1/2 (A + I) D^-1/2`, plus edge-masked variants for
-//!   GNNExplainer-style mask learning.
+//!   `S = D^-1/2 (A + I) D^-1/2`, stored sparse (CSR) so every
+//!   message-passing product is `O(nnz · d)`, plus edge-masked variants
+//!   for GNNExplainer-style mask learning that rescale the CSR values
+//!   in place instead of rebuilding a `|V|×|V|` matrix per epoch.
 //! - [`GcnModel`]: forward inference with cached activations, manual
 //!   backprop (weights, input features, and edge/feature masks).
 //! - [`AdamTrainer`]: Adam optimization over a [`gvex_graph::GraphDb`].

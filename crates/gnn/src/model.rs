@@ -1,6 +1,6 @@
 use crate::{Aggregator, Propagation};
 use gvex_graph::{ClassLabel, Graph};
-use gvex_linalg::{cross_entropy, softmax_rows, Matrix};
+use gvex_linalg::{cross_entropy, softmax_rows, CsrMatrix, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -23,8 +23,8 @@ pub struct GcnModel {
 /// Cached activations of one forward pass; everything backprop needs.
 #[derive(Debug, Clone)]
 pub struct Forward {
-    /// The propagation operator used (possibly masked).
-    pub s: Matrix,
+    /// The sparse propagation operator used (possibly masked).
+    pub s: CsrMatrix,
     /// Layer inputs `H_0 = X, H_1, ..., H_k` (post-activation).
     pub h: Vec<Matrix>,
     /// Pre-activations `Z_1..Z_k`.
@@ -50,8 +50,12 @@ pub struct Gradients {
     pub bias: Matrix,
     /// Gradient w.r.t. the input features `X`.
     pub x: Matrix,
-    /// Gradient w.r.t. the propagation operator `S` (only when requested).
-    pub s: Option<Matrix>,
+    /// Gradient w.r.t. the propagation operator `S` (only when requested),
+    /// stored sparsely: one value per stored entry of the forward's
+    /// operator, in CSR order. `S` gradients are only ever consumed at the
+    /// operator's own sparsity pattern (edge-mask learning), so nothing
+    /// dense is materialized.
+    pub s: Option<Vec<f64>>,
 }
 
 /// Gradients w.r.t. the GNNExplainer masks.
@@ -109,6 +113,17 @@ impl GcnModel {
         &self.weights
     }
 
+    /// The fully-connected head weights (read-only; used by the dense
+    /// reference path in the benchmark suite).
+    pub fn fc(&self) -> &Matrix {
+        &self.fc
+    }
+
+    /// The head bias (read-only; see [`GcnModel::fc`]).
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
         self.num_classes
@@ -133,19 +148,21 @@ impl GcnModel {
         p
     }
 
-    /// Forward pass with an explicit operator `S` and features `X`.
+    /// Forward pass with an explicit sparse operator `S` and features `X`.
+    /// Each layer's aggregation is a sparse×dense product — `O(nnz · d)`,
+    /// never `|V|²`.
     ///
     /// Handles the empty graph (`|V| = 0`): pooling yields zeros, so the
     /// prediction degenerates to the bias — a fixed, deterministic label,
     /// which keeps the counterfactual check `M(G \ G_s)` total.
-    pub fn forward(&self, s: &Matrix, x: &Matrix) -> Forward {
+    pub fn forward(&self, s: &CsrMatrix, x: &Matrix) -> Forward {
         assert_eq!(x.cols(), self.input_dim, "input feature dim mismatch");
         assert_eq!(s.rows(), x.rows(), "operator/feature row mismatch");
         let mut h = vec![x.clone()];
         let mut z = Vec::with_capacity(self.weights.len());
         let mut a = Vec::with_capacity(self.weights.len());
         for w in &self.weights {
-            let agg = s.matmul(h.last().expect("h starts non-empty"));
+            let agg = s.spmm_dense(h.last().expect("h starts non-empty"));
             let pre = agg.matmul(w);
             h.push(pre.relu());
             a.push(agg);
@@ -161,11 +178,18 @@ impl GcnModel {
         Forward { s: s.clone(), h, z, a, pooled, pool_arg, logits }
     }
 
+    /// Forward pass with a dense operator: converts to CSR and delegates
+    /// to the sparse path. For tests and tiny graphs where a dense `S` is
+    /// at hand; the conversion is `O(n²)` so production paths pass CSR.
+    pub fn forward_dense(&self, s: &Matrix, x: &Matrix) -> Forward {
+        self.forward(&CsrMatrix::from_dense(s), x)
+    }
+
     /// Forward pass on a whole graph (builds the propagation operator
     /// for this model's aggregator).
     pub fn forward_graph(&self, g: &Graph) -> Forward {
         let prop = Propagation::with_aggregator(g, self.aggregator);
-        self.forward(prop.matrix(), g.features())
+        self.forward(prop.csr(), g.features())
     }
 
     /// Predicted class label `M(G)`.
@@ -253,7 +277,7 @@ impl GcnModel {
         }
 
         let mut dweights = vec![Matrix::zeros(0, 0); k];
-        let mut ds = want_s_grad.then(|| Matrix::zeros(n, n));
+        let mut ds = want_s_grad.then(|| vec![0.0f64; fwd.s.nnz()]);
         // Transposed operator for routing gradients backward; equals S for
         // the symmetric GCN operator but differs for SAGE-mean.
         let s_t = fwd.s.transpose();
@@ -262,11 +286,25 @@ impl GcnModel {
             dweights[l] = fwd.a[l].transpose().matmul(&dz);
             let dz_wt = dz.matmul(&self.weights[l].transpose());
             if let Some(ds) = ds.as_mut() {
-                // Z_l = S · (H_{l-1} W_l)  =>  ∂L/∂S += dZ_l · (H_{l-1} W_l)ᵀ
+                // Z_l = S · (H_{l-1} W_l)  =>  ∂L/∂S += dZ_l · (H_{l-1} W_l)ᵀ,
+                // evaluated only at S's stored entries: the loss is linear
+                // in each S_{uv} and every consumer (edge-mask learning)
+                // reads the gradient at the operator's sparsity pattern, so
+                // the dense n×n product is never formed — this was the last
+                // |V|² allocation in the GNNExplainer epoch loop.
                 let hw = fwd.h[l].matmul(&self.weights[l]);
-                *ds = ds.add(&dz.matmul(&hw.transpose()));
+                let indptr = fwd.s.indptr();
+                let indices = fwd.s.indices();
+                for u in 0..n {
+                    let dz_row = dz.row(u);
+                    for slot in indptr[u]..indptr[u + 1] {
+                        let v = indices[slot] as usize;
+                        let dot: f64 = dz_row.iter().zip(hw.row(v)).map(|(a, b)| a * b).sum();
+                        ds[slot] += dot;
+                    }
+                }
             }
-            dh = s_t.matmul(&dz_wt);
+            dh = s_t.spmm_dense(&dz_wt);
         }
         Gradients { weights: dweights, fc: dfc, bias: dbias, x: dh, s: ds }
     }
@@ -287,11 +325,7 @@ impl GcnModel {
     ) -> (f64, MaskGradients) {
         let (loss, grads) = self.loss_backward(fwd, target, true);
         let ds = grads.s.expect("requested S gradient");
-        let mut edge = Vec::with_capacity(prop.edge_list().len());
-        for (e, &(u, v)) in prop.edge_list().iter().enumerate() {
-            let c = prop.edge_coeff(e);
-            edge.push(c * (ds.get(u as usize, v as usize) + ds.get(v as usize, u as usize)));
-        }
+        let edge = prop.edge_grad(&ds);
         let mut feature = vec![0.0; feat_mask.len()];
         for r in 0..x_orig.rows() {
             for (j, f) in feature.iter_mut().enumerate() {

@@ -1,5 +1,5 @@
 use gvex_graph::Graph;
-use gvex_linalg::Matrix;
+use gvex_linalg::{CsrMatrix, Matrix};
 
 /// Message-passing aggregation scheme. The paper's experiments use the
 /// GCN operator (Eq. 1), but the GVEX explainers are model-agnostic
@@ -19,22 +19,40 @@ pub enum Aggregator {
     SageMean,
 }
 
-/// The propagation operator used by each GCN layer.
+/// Sentinel in [`Propagation::slot_edge`] marking a diagonal (self-loop)
+/// entry that no edge mask touches.
+const SLOT_DIAG: u32 = u32::MAX;
+
+/// The propagation operator used by each GCN layer, stored sparse (CSR).
+///
+/// A graph operator has `n + 2m` stored entries on a graph that dense
+/// storage would represent with `n²` floats, so every product with it is
+/// an `O(nnz · d)` sparse×dense kernel ([`CsrMatrix::spmm_dense`]) and
+/// nothing on the message-passing hot path allocates `|V|×|V|`. The dense
+/// form remains available via [`Propagation::to_dense`] for tests, tiny
+/// graphs, and the influence closed form that is inherently dense.
 ///
 /// For `GcnSym` the operator is symmetric, so `Sᵀ = S`; the backward pass
 /// transposes explicitly so the non-symmetric `SageMean` variant is
 /// handled correctly. For masked forwards (GNNExplainer) the degree
 /// normalization is kept *fixed* at the unmasked degrees, making the
 /// masked operator linear in the mask and its gradient exact (documented
-/// substitution #4 in DESIGN.md).
+/// substitution #4 in DESIGN.md): `masked` reuses this operator's CSR
+/// structure and only rescales stored values — an `O(nnz)` step per
+/// explainer epoch instead of an `O(n²)` dense rebuild.
 #[derive(Debug, Clone)]
 pub struct Propagation {
-    s: Matrix,
+    s: CsrMatrix,
     /// `inv_sqrt_deg[v] = (deg(v)+1)^{-1/2}` — cached for masked variants.
     inv_sqrt_deg: Vec<f64>,
     /// Canonical edge list `(u, v)` with `u < v`, aligned with
     /// [`gvex_graph::Graph::edges`] order; masks index into this list.
     edge_list: Vec<(u32, u32)>,
+    /// For each stored CSR entry: the canonical edge id it belongs to, or
+    /// [`SLOT_DIAG`] for diagonal entries. This is what lets `masked`
+    /// rescale values in place and `edge_grad` fold per-slot operator
+    /// gradients back onto edges without dense indexing.
+    slot_edge: Vec<u32>,
 }
 
 impl Propagation {
@@ -49,45 +67,74 @@ impl Propagation {
         let inv_sqrt_deg: Vec<f64> =
             (0..n).map(|v| 1.0 / ((g.degree(v as u32) + 1) as f64).sqrt()).collect();
         let edge_list: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u, v)).collect();
-        let mut s = Matrix::zeros(n, n);
+        // (row, col, value, edge-or-diag) entries; n diagonals + 2m
+        // off-diagonals, sorted into CSR order below.
+        let mut entries: Vec<(u32, u32, f64, u32)> = Vec::with_capacity(n + 2 * edge_list.len());
         match agg {
             Aggregator::GcnSym => {
                 for (v, &d) in inv_sqrt_deg.iter().enumerate() {
-                    s.set(v, v, d * d);
+                    entries.push((v as u32, v as u32, d * d, SLOT_DIAG));
                 }
-                for &(u, v) in &edge_list {
+                for (e, &(u, v)) in edge_list.iter().enumerate() {
                     let w = inv_sqrt_deg[u as usize] * inv_sqrt_deg[v as usize];
-                    s.set(u as usize, v as usize, w);
-                    s.set(v as usize, u as usize, w);
+                    entries.push((u, v, w, e as u32));
+                    entries.push((v, u, w, e as u32));
                 }
             }
             Aggregator::GinSum(eps) => {
-                for v in 0..n {
-                    s.set(v, v, 1.0 + eps);
+                for v in 0..n as u32 {
+                    entries.push((v, v, 1.0 + eps, SLOT_DIAG));
                 }
-                for &(u, v) in &edge_list {
-                    s.set(u as usize, v as usize, 1.0);
-                    s.set(v as usize, u as usize, 1.0);
+                for (e, &(u, v)) in edge_list.iter().enumerate() {
+                    entries.push((u, v, 1.0, e as u32));
+                    entries.push((v, u, 1.0, e as u32));
                 }
             }
             Aggregator::SageMean => {
-                for v in 0..n {
-                    s.set(v, v, 0.5);
+                for v in 0..n as u32 {
+                    entries.push((v, v, 0.5, SLOT_DIAG));
                 }
-                for &(u, v) in &edge_list {
+                for (e, &(u, v)) in edge_list.iter().enumerate() {
                     let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
-                    s.set(u as usize, v as usize, 0.5 / du.max(1.0));
-                    s.set(v as usize, u as usize, 0.5 / dv.max(1.0));
+                    entries.push((u, v, 0.5 / du.max(1.0), e as u32));
+                    entries.push((v, u, 0.5 / dv.max(1.0), e as u32));
                 }
             }
         }
-        Self { s, inv_sqrt_deg, edge_list }
+        entries.sort_unstable_by_key(|&(r, c, _, _)| (r, c));
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        let mut slot_edge = Vec::with_capacity(entries.len());
+        let mut row = 0u32;
+        for &(r, c, v, e) in &entries {
+            while row < r {
+                indptr.push(indices.len());
+                row += 1;
+            }
+            indices.push(c);
+            values.push(v);
+            slot_edge.push(e);
+        }
+        while (row as usize) < n {
+            indptr.push(indices.len());
+            row += 1;
+        }
+        let s = CsrMatrix::from_parts(n, n, indptr, indices, values);
+        Self { s, inv_sqrt_deg, edge_list, slot_edge }
     }
 
-    /// The dense `|V| x |V|` operator `S`.
+    /// The sparse operator `S` in CSR form.
     #[inline]
-    pub fn matrix(&self) -> &Matrix {
+    pub fn csr(&self) -> &CsrMatrix {
         &self.s
+    }
+
+    /// Materializes the dense `|V| × |V|` operator `S` — the dense path,
+    /// kept for tests, tiny graphs, and dense-baseline benchmarks.
+    pub fn to_dense(&self) -> Matrix {
+        self.s.to_dense()
     }
 
     /// Number of nodes.
@@ -105,39 +152,105 @@ impl Propagation {
     /// A masked operator `S(m)` where each off-diagonal entry for edge `e`
     /// is scaled by `mask[e] ∈ [0, 1]`; self-loop entries are unmasked.
     ///
+    /// Reuses this operator's CSR structure and only rescales values:
+    /// `O(nnz)` per call, no `|V|×|V|` allocation — this is what keeps
+    /// every GNNExplainer epoch sparse.
+    ///
     /// # Panics
     /// Panics if `mask.len()` differs from the number of edges.
-    pub fn masked(&self, mask: &[f64]) -> Matrix {
+    pub fn masked(&self, mask: &[f64]) -> CsrMatrix {
+        assert_eq!(mask.len(), self.edge_list.len(), "mask length must equal edge count");
+        let mut values = self.s.values().to_vec();
+        for (v, &e) in values.iter_mut().zip(&self.slot_edge) {
+            if e != SLOT_DIAG {
+                *v *= mask[e as usize];
+            }
+        }
+        self.s.with_values(values)
+    }
+
+    /// Dense-path equivalent of [`Propagation::masked`]: rebuilds the
+    /// masked operator as a fresh `|V| × |V|` matrix, exactly as the
+    /// pre-sparse implementation did. Kept for equivalence tests and as
+    /// the dense baseline in the benchmark suite.
+    pub fn masked_dense(&self, mask: &[f64]) -> Matrix {
         assert_eq!(mask.len(), self.edge_list.len(), "mask length must equal edge count");
         let n = self.num_nodes();
-        let mut s = Matrix::zeros(n, n);
-        for v in 0..n {
-            s.set(v, v, self.inv_sqrt_deg[v] * self.inv_sqrt_deg[v]);
+        let mut out = Matrix::zeros(n, n);
+        let mut slot = 0usize;
+        for r in 0..n {
+            let (cols, vals) = self.s.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let e = self.slot_edge[slot];
+                let w = if e == SLOT_DIAG { v } else { v * mask[e as usize] };
+                out.set(r, c as usize, w);
+                slot += 1;
+            }
         }
-        for (e, &(u, v)) in self.edge_list.iter().enumerate() {
-            let w = self.inv_sqrt_deg[u as usize] * self.inv_sqrt_deg[v as usize] * mask[e];
-            s.set(u as usize, v as usize, w);
-            s.set(v as usize, u as usize, w);
+        out
+    }
+
+    /// Folds a per-slot operator gradient (aligned with `csr()`'s stored
+    /// entries, as produced by the backward pass) onto the edge masks:
+    /// `∂L/∂mask_e = Σ_{slots of e} ∂L/∂S_slot · S_slot`, since each
+    /// masked entry is `S_slot · mask_e`. Exact for every aggregator,
+    /// including the asymmetric `SageMean` whose two directions carry
+    /// different base coefficients.
+    ///
+    /// # Panics
+    /// Panics if `ds_slots.len()` differs from the operator's `nnz`.
+    pub fn edge_grad(&self, ds_slots: &[f64]) -> Vec<f64> {
+        assert_eq!(ds_slots.len(), self.s.nnz(), "slot gradient length must equal nnz");
+        let mut out = vec![0.0f64; self.edge_list.len()];
+        let base = self.s.values();
+        for (slot, &e) in self.slot_edge.iter().enumerate() {
+            if e != SLOT_DIAG {
+                out[e as usize] += ds_slots[slot] * base[slot];
+            }
         }
-        s
+        out
     }
 
     /// The normalization coefficient `(deg(u)+1)^{-1/2} (deg(v)+1)^{-1/2}`
-    /// of edge `e` — the factor `∂S_{uv}/∂mask_e`.
+    /// of edge `e` — the factor `∂S_{uv}/∂mask_e` for the GCN operator.
     #[inline]
     pub fn edge_coeff(&self, e: usize) -> f64 {
         let (u, v) = self.edge_list[e];
         self.inv_sqrt_deg[u as usize] * self.inv_sqrt_deg[v as usize]
     }
 
-    /// `S^k` — the k-step propagation matrix used by the `RandomWalk`
-    /// influence mode (Eq. 3 closed form for GCNs).
-    pub fn power(&self, k: usize) -> Matrix {
-        let n = self.num_nodes();
-        let mut acc = Matrix::identity(n);
+    /// One propagation step `S · X` as a sparse×dense product.
+    #[inline]
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        self.s.spmm_dense(x)
+    }
+
+    /// k-hop application `S^k · X` by repeated sparse products — never
+    /// forms `S^k` itself, so the cost is `O(k · nnz · d)`.
+    pub fn apply_k(&self, x: &Matrix, k: usize) -> Matrix {
+        let mut acc = x.clone();
         for _ in 0..k {
-            acc = acc.matmul(&self.s);
+            acc = self.s.spmm_dense(&acc);
         }
         acc
+    }
+
+    /// `S^k` — the k-step propagation matrix used by the `RandomWalk`
+    /// influence mode (Eq. 3 closed form for GCNs). The result is dense
+    /// by nature (walks of length `k` fill in), but it is computed by `k-1`
+    /// sparse×dense applications instead of dense matmul chains, and the
+    /// trivial `k = 0` / `k = 1` cases short-circuit without multiplying
+    /// from a dense identity.
+    pub fn power(&self, k: usize) -> Matrix {
+        match k {
+            0 => Matrix::identity(self.num_nodes()),
+            _ => {
+                let mut acc = self.to_dense();
+                for _ in 1..k {
+                    acc = self.s.spmm_dense(&acc);
+                }
+                acc
+            }
+        }
     }
 }

@@ -22,7 +22,7 @@ fn small_graph() -> Graph {
 fn propagation_is_symmetric_row_bounded() {
     let g = small_graph();
     let p = Propagation::new(&g);
-    let s = p.matrix();
+    let s = p.to_dense();
     for i in 0..4 {
         for j in 0..4 {
             assert!((s.get(i, j) - s.get(j, i)).abs() < 1e-12, "S symmetric");
@@ -48,9 +48,10 @@ fn masked_propagation_all_ones_matches_unmasked() {
     let g = small_graph();
     let p = Propagation::new(&g);
     let masked = p.masked(&vec![1.0; g.num_edges()]);
+    assert_eq!(masked.nnz(), p.csr().nnz(), "mask must not change the structure");
     for i in 0..4 {
         for j in 0..4 {
-            assert!((masked.get(i, j) - p.matrix().get(i, j)).abs() < 1e-12);
+            assert!((masked.get(i, j) - p.csr().get(i, j)).abs() < 1e-12);
         }
     }
 }
@@ -114,12 +115,12 @@ fn backward_matches_numeric_gradients() {
     let prop = Propagation::new(&g);
     let mut model = GcnModel::new(3, 5, 2, 2, 11);
     let target = 1;
-    let fwd = model.forward(prop.matrix(), g.features());
+    let fwd = model.forward(prop.csr(), g.features());
     let (_, grads) = model.loss_backward(&fwd, target, false);
 
     let eps = 1e-6;
     let loss_at = |m: &GcnModel, x: &Matrix| {
-        let fwd = m.forward(prop.matrix(), x);
+        let fwd = m.forward(prop.csr(), x);
         cross_entropy(&fwd.logits, target).0
     };
 
@@ -278,16 +279,16 @@ fn adam_step_reduces_loss() {
     let mut model = GcnModel::new(3, 6, 2, 2, 13);
     let mut trainer = AdamTrainer::new(&model, TrainConfig { lr: 1e-2, ..TrainConfig::default() });
     let loss0 = {
-        let fwd = model.forward(prop.matrix(), g.features());
+        let fwd = model.forward(prop.csr(), g.features());
         cross_entropy(&fwd.logits, 1).0
     };
     for _ in 0..50 {
-        let fwd = model.forward(prop.matrix(), g.features());
+        let fwd = model.forward(prop.csr(), g.features());
         let (_, grads) = model.loss_backward(&fwd, 1, false);
         trainer.step(&mut model, &grads);
     }
     let loss1 = {
-        let fwd = model.forward(prop.matrix(), g.features());
+        let fwd = model.forward(prop.csr(), g.features());
         cross_entropy(&fwd.logits, 1).0
     };
     assert!(loss1 < loss0, "loss should drop: {loss0} -> {loss1}");
@@ -341,7 +342,7 @@ mod aggregators {
     fn gin_sum_operator_shape() {
         let g = small_graph();
         let p = Propagation::with_aggregator(&g, Aggregator::GinSum(0.5));
-        let s = p.matrix();
+        let s = p.to_dense();
         // Diagonal = 1 + eps; edges = 1; non-edges = 0.
         assert!((s.get(0, 0) - 1.5).abs() < 1e-12);
         assert_eq!(s.get(0, 1), 1.0);
@@ -352,7 +353,7 @@ mod aggregators {
     fn sage_mean_rows_are_stochastic_after_scaling() {
         let g = small_graph();
         let p = Propagation::with_aggregator(&g, Aggregator::SageMean);
-        let s = p.matrix();
+        let s = p.to_dense();
         // Each row: 0.5 self + 0.5 * (1/deg per neighbor) => sums to 1.
         for r in 0..4 {
             let sum: f64 = s.row(r).iter().sum();
@@ -374,7 +375,7 @@ mod aggregators {
             g
         };
         let p = Propagation::with_aggregator(&g, Aggregator::SageMean);
-        let s = p.matrix();
+        let s = p.csr();
         assert!((s.get(0, 1) - s.get(1, 0)).abs() > 1e-9, "operator must be asymmetric");
         let model = GcnModel::new(2, 4, 2, 2, 3).with_aggregator(Aggregator::SageMean);
         let fwd = model.forward(s, g.features());
@@ -447,6 +448,152 @@ mod aggregators {
             // here we only check finiteness and ordering sanity.
             assert!(fwd.logits.get(0, c).is_finite());
             assert!(pooled_scores.get(0, c).is_finite());
+        }
+    }
+}
+
+// --- sparse/dense equivalence (CSR backend vs the dense reference) ---
+
+mod sparse_dense {
+    use super::*;
+    use crate::Aggregator;
+    use rand::Rng;
+
+    fn all_aggregators() -> [Aggregator; 3] {
+        [Aggregator::GcnSym, Aggregator::GinSum(0.3), Aggregator::SageMean]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Forward application `S · X` agrees between the CSR kernel and
+        /// the dense matmul, for every aggregator on random graphs.
+        #[test]
+        fn forward_application_matches_dense(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 5 + (seed % 8) as usize;
+            let g = generate::random_connected(n, 0.35, 0, 2, &mut rng);
+            for agg in all_aggregators() {
+                let p = Propagation::with_aggregator(&g, agg);
+                let dense = p.to_dense();
+                let x = Matrix::glorot(n, 4, &mut rng);
+                let sparse = p.apply(&x);
+                let reference = dense.matmul(&x);
+                for (a, b) in sparse.data().iter().zip(reference.data()) {
+                    prop_assert!((a - b).abs() < 1e-9, "{agg:?}: {a} vs {b}");
+                }
+            }
+        }
+
+        /// The masked operator built by CSR value-rescaling equals the
+        /// dense-path rebuild entry for entry.
+        #[test]
+        fn masked_matches_dense_rebuild(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 5 + (seed % 8) as usize;
+            let g = generate::random_connected(n, 0.35, 0, 2, &mut rng);
+            let mask: Vec<f64> = (0..g.num_edges()).map(|_| rng.gen_range(0.0..1.0)).collect();
+            for agg in all_aggregators() {
+                let p = Propagation::with_aggregator(&g, agg);
+                let sparse = p.masked(&mask).to_dense();
+                let dense = p.masked_dense(&mask);
+                for (a, b) in sparse.data().iter().zip(dense.data()) {
+                    prop_assert!((a - b).abs() < 1e-9, "{agg:?}: {a} vs {b}");
+                }
+            }
+        }
+
+        /// k-hop application (`power` and `apply_k`) agrees with the dense
+        /// matmul chain, including the short-circuited k = 0 and k = 1.
+        #[test]
+        fn k_hop_matches_dense_chain(seed in 0u64..300, k in 0usize..4) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 5 + (seed % 6) as usize;
+            let g = generate::random_connected(n, 0.3, 0, 2, &mut rng);
+            for agg in all_aggregators() {
+                let p = Propagation::with_aggregator(&g, agg);
+                let dense = p.to_dense();
+                let mut reference = Matrix::identity(n);
+                for _ in 0..k {
+                    reference = dense.matmul(&reference);
+                }
+                let sparse = p.power(k);
+                for (a, b) in sparse.data().iter().zip(reference.data()) {
+                    prop_assert!((a - b).abs() < 1e-9, "{agg:?} k={k}: {a} vs {b}");
+                }
+                let x = Matrix::glorot(n, 3, &mut rng);
+                let hop = p.apply_k(&x, k);
+                let via_power = reference.matmul(&x);
+                for (a, b) in hop.data().iter().zip(via_power.data()) {
+                    prop_assert!((a - b).abs() < 1e-9, "{agg:?} apply_k k={k}");
+                }
+            }
+        }
+
+        /// CSR transpose agrees with the dense transpose (the backward
+        /// pass routes gradients through `Sᵀ`).
+        #[test]
+        fn transpose_matches_dense(seed in 0u64..300) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 5 + (seed % 8) as usize;
+            let g = generate::random_connected(n, 0.35, 0, 2, &mut rng);
+            for agg in all_aggregators() {
+                let p = Propagation::with_aggregator(&g, agg);
+                prop_assert_eq!(p.csr().transpose().to_dense(), p.to_dense().transpose());
+            }
+        }
+
+        /// Full model forward via the sparse operator equals the forward
+        /// via `from_dense` of the dense operator (logits and embeddings).
+        #[test]
+        fn model_forward_matches_dense_path(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 5 + (seed % 6) as usize;
+            let g = generate::random_connected(n, 0.3, 0, 2, &mut rng);
+            for agg in all_aggregators() {
+                let model = GcnModel::new(2, 4, 2, 2, seed).with_aggregator(agg);
+                let p = Propagation::with_aggregator(&g, agg);
+                let sparse = model.forward(p.csr(), g.features());
+                let dense = model.forward_dense(&p.to_dense(), g.features());
+                for (a, b) in sparse.logits.data().iter().zip(dense.logits.data()) {
+                    prop_assert!((a - b).abs() < 1e-9, "{agg:?} logits");
+                }
+                let (hs, hd) = (sparse.h.last().unwrap(), dense.h.last().unwrap());
+                for (a, b) in hs.data().iter().zip(hd.data()) {
+                    prop_assert!((a - b).abs() < 1e-9, "{agg:?} embeddings");
+                }
+            }
+        }
+    }
+
+    /// The sparse slot-aligned mask gradient matches central finite
+    /// differences for the asymmetric SAGE operator too (the slot-based
+    /// `edge_grad` handles direction-dependent coefficients exactly,
+    /// which the old dense `edge_coeff` path could not).
+    #[test]
+    fn sage_mask_gradients_match_numeric() {
+        let g = small_graph();
+        let prop = Propagation::with_aggregator(&g, Aggregator::SageMean);
+        let model = GcnModel::new(3, 5, 2, 2, 3).with_aggregator(Aggregator::SageMean);
+        let target = 0;
+        let edge_mask = vec![0.9, 0.4, 0.7, 0.6];
+        let feat_mask = vec![0.8, 0.5, 1.0];
+        let loss_of = |em: &[f64]| {
+            let s = prop.masked(em);
+            let fwd = model.forward(&s, g.features());
+            cross_entropy(&fwd.logits, target).0
+        };
+        let s = prop.masked(&edge_mask);
+        let fwd = model.forward(&s, g.features());
+        let (_, mg) = model.mask_backward(&fwd, target, &prop, g.features(), &feat_mask);
+        let eps = 1e-6;
+        for e in 0..edge_mask.len() {
+            let mut p = edge_mask.clone();
+            p[e] += eps;
+            let mut m = edge_mask.clone();
+            m[e] -= eps;
+            let num = (loss_of(&p) - loss_of(&m)) / (2.0 * eps);
+            assert!((num - mg.edge[e]).abs() < 1e-5, "edge {e}: {num} vs {}", mg.edge[e]);
         }
     }
 }

@@ -96,7 +96,7 @@ impl AdamTrainer {
                 let id = train_ids[i];
                 let g = db.graph(id);
                 let target = db.truth(id) as usize;
-                let fwd = model.forward(props[i].matrix(), g.features());
+                let fwd = model.forward(props[i].csr(), g.features());
                 let (loss, grads) = model.loss_backward(&fwd, target, false);
                 loss_sum += loss;
                 if crate::model::argmax_row(&fwd.logits) == target {

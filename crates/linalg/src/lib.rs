@@ -1,17 +1,21 @@
-//! Minimal dense linear algebra for GVEX.
+//! Minimal linear algebra for GVEX.
 //!
 //! The GVEX reproduction deliberately avoids external BLAS/tensor crates so
 //! the whole stack builds offline. This crate provides the small set of
 //! operations the GCN substrate (`gvex-gnn`) and the feature-influence
 //! engine need: row-major `f64` matrices, matmul, elementwise maps,
-//! reductions, softmax, and a handful of constructors.
+//! reductions, softmax, a handful of constructors — and a CSR sparse
+//! matrix ([`CsrMatrix`]) whose sparse×dense products carry the
+//! message-passing hot path without ever materializing `|V|²` storage.
 //!
-//! Matrices are plain `Vec<f64>` buffers; all shapes are checked with
-//! assertions so that misuse fails loudly in debug and test builds.
+//! Dense matrices are plain `Vec<f64>` buffers; all shapes are checked
+//! with assertions so that misuse fails loudly in debug and test builds.
 
+mod csr;
 mod matrix;
 mod ops;
 
+pub use csr::CsrMatrix;
 pub use matrix::Matrix;
 pub use ops::{cmp_cost, cmp_score, cross_entropy, softmax_rows};
 

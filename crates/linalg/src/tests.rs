@@ -206,3 +206,143 @@ proptest! {
         prop_assert!((lhs - rhs).abs() < 1e-9);
     }
 }
+
+// --- CsrMatrix ---
+
+mod csr {
+    use super::*;
+    use crate::CsrMatrix;
+    use rand::Rng;
+
+    #[test]
+    fn from_triplets_sums_duplicates_and_sorts() {
+        let m =
+            CsrMatrix::from_triplets(3, 3, &[(2, 0, 5.0), (0, 2, 1.0), (0, 1, 2.0), (0, 2, 3.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(0, 2), 4.0, "duplicates summed");
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.get(1, 1), 0.0, "missing entries read as zero");
+        let (cols, _) = m.row(0);
+        assert_eq!(cols, &[1, 2], "columns ascending within row");
+    }
+
+    #[test]
+    fn identity_roundtrip_and_spmv() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.to_dense(), Matrix::identity(4));
+        assert_eq!(i.spmv(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip_drops_zeros() {
+        let d = Matrix::from_rows(&[vec![0.0, 1.5], vec![2.0, 0.0]]);
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn transpose_known_and_involution() {
+        let d = Matrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]]);
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(s.transpose().to_dense(), d.transpose());
+        assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn with_values_keeps_structure() {
+        let s = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 2.0)]);
+        let t = s.with_values(vec![10.0, 20.0]);
+        assert_eq!(t.get(0, 0), 10.0);
+        assert_eq!(t.get(1, 0), 20.0);
+        assert_eq!(t.indptr(), s.indptr());
+        assert_eq!(t.indices(), s.indices());
+    }
+
+    #[test]
+    #[should_panic(expected = "values length must equal nnz")]
+    fn with_values_wrong_length_panics() {
+        let s = CsrMatrix::identity(2);
+        let _ = s.with_values(vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm shape mismatch")]
+    fn spmm_shape_mismatch_panics() {
+        let s = CsrMatrix::identity(2);
+        let _ = s.spmm_dense(&Matrix::zeros(3, 2));
+    }
+
+    #[test]
+    fn empty_rows_and_zero_sized() {
+        let s = CsrMatrix::from_triplets(3, 2, &[]);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.spmm_dense(&Matrix::filled(2, 5, 1.0)), Matrix::zeros(3, 5));
+        let e = CsrMatrix::from_triplets(0, 0, &[]);
+        assert_eq!(e.to_dense().shape(), (0, 0));
+    }
+
+    /// A random sparse matrix as (dense, csr) pair with matching content.
+    fn random_pair(rows: usize, cols: usize, seed: u64) -> (Matrix, CsrMatrix) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut d = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen_bool(0.3) {
+                    d.set(r, c, rng.gen_range(-2.0..2.0));
+                }
+            }
+        }
+        let s = CsrMatrix::from_dense(&d);
+        (d, s)
+    }
+
+    proptest! {
+        #[test]
+        fn spmm_matches_dense_matmul(seed in 0u64..200) {
+            let (d, s) = random_pair(7, 5, seed);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+            let x = Matrix::glorot(5, 3, &mut rng);
+            let sparse = s.spmm_dense(&x);
+            let dense = d.matmul(&x);
+            for (a, b) in sparse.data().iter().zip(dense.data()) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn spmv_matches_spmm_column(seed in 0u64..200) {
+            let (_, s) = random_pair(6, 4, seed);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1234);
+            let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let xm = Matrix::from_vec(4, 1, x.clone());
+            let via_spmm = s.spmm_dense(&xm);
+            let via_spmv = s.spmv(&x);
+            for (a, b) in via_spmv.iter().zip(via_spmm.data()) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn transpose_matches_dense(seed in 0u64..200) {
+            let (d, s) = random_pair(5, 8, seed);
+            prop_assert_eq!(s.transpose().to_dense(), d.transpose());
+        }
+    }
+
+    /// Exercises the parallel row-chunked spmm path (work above the
+    /// serial threshold) against the serial dense reference.
+    #[test]
+    fn large_spmm_parallel_matches_dense() {
+        let (d, s) = random_pair(300, 300, 99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = Matrix::glorot(300, 16, &mut rng);
+        assert!(s.nnz() * 16 >= 1 << 15, "must cross the parallel threshold");
+        let sparse = s.spmm_dense(&x);
+        let dense = d.matmul(&x);
+        for (a, b) in sparse.data().iter().zip(dense.data()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -189,8 +189,84 @@ fn parallel_map_slice_ref<'a, T: Sync, R: Send>(
     out.into_iter().flatten().collect()
 }
 
+/// Parallel iterator over mutable, disjoint chunks of a slice (stands in
+/// for the result of `rayon::slice::ParallelSliceMut::par_chunks_mut`).
+/// Supports the `enumerate().for_each(..)` shape the workspace uses to
+/// fill disjoint output regions in place.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index (subset of
+    /// `rayon::iter::ParallelIterator::enumerate`).
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { chunks: self.chunks }
+    }
+}
+
+/// Result of [`ParChunksMut::enumerate`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair, chunks distributed over
+    /// up to [`current_num_threads`] scoped OS threads in contiguous
+    /// groups (no work stealing, like the rest of the shim).
+    pub fn for_each(self, f: impl Fn((usize, &'a mut [T])) + Sync) {
+        let threads = current_num_threads().clamp(1, self.chunks.len().max(1));
+        if threads <= 1 || self.chunks.len() <= 1 {
+            for (i, c) in self.chunks.into_iter().enumerate() {
+                f((i, c));
+            }
+            return;
+        }
+        let per_group = self.chunks.len().div_ceil(threads);
+        let mut groups: Vec<Vec<(usize, &'a mut [T])>> = Vec::with_capacity(threads);
+        let mut group = Vec::with_capacity(per_group);
+        for (i, c) in self.chunks.into_iter().enumerate() {
+            group.push((i, c));
+            if group.len() == per_group {
+                groups.push(std::mem::take(&mut group));
+            }
+        }
+        if !group.is_empty() {
+            groups.push(group);
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for g in groups {
+                scope.spawn(move || {
+                    for (i, c) in g {
+                        f((i, c));
+                    }
+                });
+            }
+        });
+    }
+}
+
 pub mod prelude {
-    pub use super::{ParFilterMap, ParIter, ParMap};
+    pub use super::{ParChunksMut, ParChunksMutEnumerate, ParFilterMap, ParIter, ParMap};
+
+    /// Mutable-chunk access on slices (subset of
+    /// `rayon::slice::ParallelSliceMut`).
+    pub trait ParallelSliceMut<T: Send> {
+        /// Returns a parallel iterator over mutable chunks of
+        /// `chunk_size` elements (the last may be shorter).
+        ///
+        /// # Panics
+        /// Panics if `chunk_size` is zero.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk_size must be non-zero");
+            ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+        }
+    }
 
     /// By-reference conversion into a parallel iterator (subset of
     /// `rayon::iter::IntoParallelRefIterator`).
