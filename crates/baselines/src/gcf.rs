@@ -10,12 +10,14 @@
 //! deliberately absent — exactly the limitation the paper attributes to
 //! global explainers.
 
-use gvex_core::Explainer;
+use gvex_core::capabilities::Capability;
+use gvex_core::{explain, Explainer, Explanation, GraphContext};
 use gvex_gnn::GcnModel;
-use gvex_graph::{ClassLabel, Graph, NodeId, NodeType};
+use gvex_graph::{ClassLabel, Graph, GraphId, NodeId, NodeType};
 use gvex_linalg::cmp_score;
 use rustc_hash::FxHashMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Degree buckets used in the importance signature.
 const DEGREE_BUCKETS: usize = 6;
@@ -96,16 +98,23 @@ impl Explainer for GcfExplainer {
         "GCF"
     }
 
+    fn capability(&self) -> Capability {
+        Capability::gcf_explainer()
+    }
+
     fn explain_graph(
         &self,
         model: &GcnModel,
         g: &Graph,
+        graph_id: GraphId,
         label: ClassLabel,
         budget: usize,
-    ) -> Vec<NodeId> {
+        _ctx: &GraphContext,
+    ) -> Explanation {
+        let started = Instant::now();
         let n = g.num_nodes();
         if n == 0 || budget == 0 {
-            return Vec::new();
+            return Explanation::empty(graph_id, label);
         }
         let table = {
             let mut cache = self.table.lock().expect("gcf lock");
@@ -120,8 +129,14 @@ impl Explainer for GcfExplainer {
             })
             .collect();
         ranked.sort_by(|a, b| cmp_score(b.0, a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
-        let mut out: Vec<NodeId> = ranked.into_iter().take(budget).map(|(_, _, v)| v).collect();
-        out.sort_unstable();
-        out
+        let mut picked: Vec<(f64, NodeId)> =
+            ranked.into_iter().take(budget).map(|(s, _, v)| (s, v)).collect();
+        picked.sort_by_key(|&(_, v)| v);
+        let out: Vec<NodeId> = picked.iter().map(|&(_, v)| v).collect();
+        // Score: the node's (type, degree-bucket) weight in the shared
+        // counterfactual signature table.
+        let scores: Vec<f64> = picked.iter().map(|&(s, _)| s).collect();
+        let total: f64 = scores.iter().sum();
+        explain::assemble(model, g, graph_id, label, budget, out, scores, total, started)
     }
 }

@@ -4,11 +4,13 @@
 //! by minimizing the cross-entropy of the masked forward pass toward the
 //! predicted label, with size and entropy regularizers on the masks.
 
-use gvex_core::Explainer;
+use gvex_core::capabilities::Capability;
+use gvex_core::{explain, Explainer, Explanation, GraphContext};
 use gvex_gnn::{GcnModel, Propagation};
-use gvex_graph::{ClassLabel, Graph, NodeId};
+use gvex_graph::{ClassLabel, Graph, GraphId, NodeId};
 use gvex_linalg::{cmp_score, Matrix};
-use rustc_hash::FxHashSet;
+use rustc_hash::FxHashMap;
+use std::time::Instant;
 
 /// Mask-learning explainer.
 #[derive(Debug, Clone)]
@@ -80,47 +82,60 @@ impl Explainer for GnnExplainer {
         "GE"
     }
 
+    fn capability(&self) -> Capability {
+        Capability::gnn_explainer()
+    }
+
     /// Explains by learning the edge mask and inducing the node set from
-    /// the highest-weight edges until the budget is reached.
+    /// the highest-weight edges until the budget is reached. Each node's
+    /// score is the learned mask weight of the (highest-ranked) edge
+    /// that brought it into the explanation.
     fn explain_graph(
         &self,
         model: &GcnModel,
         g: &Graph,
+        graph_id: GraphId,
         label: ClassLabel,
         budget: usize,
-    ) -> Vec<NodeId> {
+        _ctx: &GraphContext,
+    ) -> Explanation {
+        let started = Instant::now();
         if g.num_nodes() == 0 || budget == 0 {
-            return Vec::new();
+            return Explanation::empty(graph_id, label);
         }
         let prop = Propagation::new(g);
         let mask = self.learn_edge_mask(model, g, label);
         let mut ranked: Vec<(f64, (u32, u32))> =
             mask.iter().zip(prop.edge_list()).map(|(&m, &(u, v))| (m, (u, v))).collect();
         ranked.sort_by(|a, b| cmp_score(b.0, a.0).then(a.1.cmp(&b.1)));
-        let mut nodes: FxHashSet<NodeId> = FxHashSet::default();
-        for (_, (u, v)) in ranked {
+        let mut nodes: FxHashMap<NodeId, f64> = FxHashMap::default();
+        for (m, (u, v)) in ranked {
             let mut add = Vec::new();
-            if !nodes.contains(&u) {
+            if !nodes.contains_key(&u) {
                 add.push(u);
             }
-            if !nodes.contains(&v) {
+            if !nodes.contains_key(&v) {
                 add.push(v);
             }
             if nodes.len() + add.len() > budget {
                 continue;
             }
-            nodes.extend(add);
+            for w in add {
+                nodes.insert(w, m);
+            }
             if nodes.len() == budget {
                 break;
             }
         }
         if nodes.is_empty() {
             // Isolated-ish graph: fall back to node 0.
-            nodes.insert(0);
+            nodes.insert(0, 0.0);
         }
-        let mut out: Vec<NodeId> = nodes.into_iter().collect();
+        let mut out: Vec<NodeId> = nodes.keys().copied().collect();
         out.sort_unstable();
-        out
+        let scores: Vec<f64> = out.iter().map(|v| nodes[v]).collect();
+        let total: f64 = scores.iter().sum();
+        explain::assemble(model, g, graph_id, label, budget, out, scores, total, started)
     }
 }
 

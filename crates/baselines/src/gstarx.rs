@@ -5,12 +5,14 @@
 //! each node's score is its average marginal contribution.
 
 use crate::gnnexplainer::induced_label_prob;
-use gvex_core::Explainer;
+use gvex_core::capabilities::Capability;
+use gvex_core::{explain, Explainer, Explanation, GraphContext};
 use gvex_gnn::GcnModel;
-use gvex_graph::{ClassLabel, Graph, NodeId};
+use gvex_graph::{ClassLabel, Graph, GraphId, NodeId};
 use gvex_linalg::cmp_score;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Structure-aware cooperative-game explainer.
 #[derive(Debug, Clone)]
@@ -58,16 +60,23 @@ impl Explainer for GStarX {
         "GX"
     }
 
+    fn capability(&self) -> Capability {
+        Capability::gstarx()
+    }
+
     fn explain_graph(
         &self,
         model: &GcnModel,
         g: &Graph,
+        graph_id: GraphId,
         label: ClassLabel,
         budget: usize,
-    ) -> Vec<NodeId> {
+        _ctx: &GraphContext,
+    ) -> Explanation {
+        let started = Instant::now();
         let n = g.num_nodes();
         if n == 0 || budget == 0 {
-            return Vec::new();
+            return Explanation::empty(graph_id, label);
         }
         let mut rng = StdRng::seed_from_u64(self.seed ^ (n as u64) << 8 ^ g.num_edges() as u64);
         let target = ((n as f64) * self.coalition_frac).ceil().max(1.0) as usize;
@@ -92,8 +101,14 @@ impl Explainer for GStarX {
             })
             .collect();
         ranked.sort_by(|a, b| cmp_score(b.0, a.0).then(a.1.cmp(&b.1)));
-        let mut out: Vec<NodeId> = ranked.into_iter().take(budget).map(|(_, v)| v).collect();
-        out.sort_unstable();
-        out
+        let mut picked: Vec<(f64, NodeId)> = ranked.into_iter().take(budget).collect();
+        picked.sort_by_key(|&(_, v)| v);
+        let out: Vec<NodeId> = picked.iter().map(|&(_, v)| v).collect();
+        // Score: the average marginal contribution each node earned over
+        // the sampled connected coalitions (the HN-value estimate).
+        let scores: Vec<f64> =
+            picked.iter().map(|&(s, _)| if s.is_finite() { s } else { 0.0 }).collect();
+        let total: f64 = scores.iter().sum();
+        explain::assemble(model, g, graph_id, label, budget, out, scores, total, started)
     }
 }

@@ -4,12 +4,14 @@
 //! the subgraph and its neighborhood coalition.
 
 use crate::gnnexplainer::induced_label_prob;
-use gvex_core::Explainer;
+use gvex_core::capabilities::Capability;
+use gvex_core::{explain, Explainer, Explanation, GraphContext};
 use gvex_gnn::GcnModel;
-use gvex_graph::{ClassLabel, Graph, NodeId};
+use gvex_graph::{ClassLabel, Graph, GraphId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rustc_hash::FxHashMap;
+use std::time::Instant;
 
 /// MCTS + Shapley subgraph explainer.
 #[derive(Debug, Clone)]
@@ -76,16 +78,23 @@ impl Explainer for SubgraphX {
         "SX"
     }
 
+    fn capability(&self) -> Capability {
+        Capability::subgraphx()
+    }
+
     fn explain_graph(
         &self,
         model: &GcnModel,
         g: &Graph,
+        graph_id: GraphId,
         label: ClassLabel,
         budget: usize,
-    ) -> Vec<NodeId> {
+        _ctx: &GraphContext,
+    ) -> Explanation {
+        let started = Instant::now();
         let n = g.num_nodes();
         if n == 0 || budget == 0 {
-            return Vec::new();
+            return Explanation::empty(graph_id, label);
         }
         let budget = budget.min(n);
         let mut rng = StdRng::seed_from_u64(self.seed ^ (n as u64) << 16 ^ g.num_edges() as u64);
@@ -152,6 +161,16 @@ impl Explainer for SubgraphX {
         }
         let mut out = best.1;
         out.sort_unstable();
-        out
+        // Per-node score: leave-one-out drop of the subgraph's label
+        // probability (the sampled-Shapley spirit at node granularity).
+        let p_full = induced_label_prob(model, g, &out, label);
+        let scores: Vec<f64> = out
+            .iter()
+            .map(|&v| {
+                let without: Vec<NodeId> = out.iter().copied().filter(|&x| x != v).collect();
+                p_full - induced_label_prob(model, g, &without, label)
+            })
+            .collect();
+        explain::assemble(model, g, graph_id, label, budget, out, scores, best.0, started)
     }
 }

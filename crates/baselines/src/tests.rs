@@ -1,9 +1,15 @@
 use crate::{all_baselines, GStarX, GcfExplainer, GnnExplainer, SubgraphX};
 use gvex_core::metrics::{self, GraphExplanation};
-use gvex_core::Explainer;
+use gvex_core::{Config, Explainer, GraphContext};
 use gvex_data::{mutagenicity, DataConfig};
 use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
 use gvex_graph::{generate, Graph, GraphDb};
+
+/// Context for baseline calls (baselines ignore its contents, but the
+/// redesigned trait passes it uniformly).
+fn ctx_for(model: &GcnModel, g: &Graph) -> GraphContext {
+    GraphContext::build(model, g, &Config::default())
+}
 
 fn toy_setup() -> (GcnModel, GraphDb) {
     let mut db = GraphDb::new();
@@ -25,8 +31,10 @@ fn all_baselines_respect_budget_and_validity() {
     let (model, db) = toy_setup();
     let g = db.graph(0);
     let label = db.predicted(0).unwrap();
+    let ctx = ctx_for(&model, g);
     for b in all_baselines() {
-        let nodes = b.explain_graph(&model, g, label, 4);
+        let e = b.explain_graph(&model, g, 0, label, 4, &ctx);
+        let nodes = &e.nodes;
         assert!(nodes.len() <= 4, "{} exceeded budget: {}", b.name(), nodes.len());
         assert!(!nodes.is_empty(), "{} returned empty", b.name());
         assert!(nodes.windows(2).all(|w| w[0] < w[1]), "{} unsorted/dup", b.name());
@@ -35,6 +43,13 @@ fn all_baselines_respect_budget_and_validity() {
             "{} out-of-range node",
             b.name()
         );
+        // Rich fields are populated uniformly.
+        assert_eq!(e.node_scores.len(), nodes.len(), "{} score alignment", b.name());
+        assert!(e.flags.size_ok, "{} C3 flag", b.name());
+        assert_eq!(e.graph_id, 0);
+        assert_eq!(e.label, label);
+        // No baseline reports the queryable capability (Table 1).
+        assert!(!b.capability().queryable, "{}", b.name());
     }
 }
 
@@ -43,10 +58,12 @@ fn baselines_deterministic() {
     let (model, db) = toy_setup();
     let g = db.graph(1);
     let label = db.predicted(1).unwrap();
+    let ctx = ctx_for(&model, g);
     for b in all_baselines() {
-        let a = b.explain_graph(&model, g, label, 4);
-        let c = b.explain_graph(&model, g, label, 4);
-        assert_eq!(a, c, "{} must be deterministic", b.name());
+        let a = b.explain_graph(&model, g, 1, label, 4, &ctx);
+        let c = b.explain_graph(&model, g, 1, label, 4, &ctx);
+        assert_eq!(a.nodes, c.nodes, "{} must be deterministic", b.name());
+        assert_eq!(a.node_scores, c.node_scores, "{} scores deterministic", b.name());
     }
 }
 
@@ -104,7 +121,7 @@ fn subgraphx_finds_discriminative_region_on_mut() {
     let mut tried = 0;
     for &id in db.label_group(1).iter().take(3) {
         let g = db.graph(id);
-        let nodes = sx.explain_graph(&model, g, 1, 8);
+        let nodes = sx.explain_graph(&model, g, id, 1, 8, &ctx_for(&model, g)).nodes;
         tried += 1;
         // Does the explanation intersect the nitro region (N or O atoms)?
         if nodes.iter().any(|&v| {
@@ -127,8 +144,8 @@ fn gstarx_scores_hub_highest_on_star() {
     let g = db.graph(0);
     let label = db.predicted(0).unwrap();
     let gx = GStarX::default();
-    let nodes = gx.explain_graph(&model, g, label, 2);
-    assert!(nodes.contains(&0), "hub must rank among the top nodes: {nodes:?}");
+    let e = gx.explain_graph(&model, g, 0, label, 2, &ctx_for(&model, g));
+    assert!(e.nodes.contains(&0), "hub must rank among the top nodes: {:?}", e.nodes);
 }
 
 #[test]
@@ -144,7 +161,7 @@ fn gcf_reaches_counterfactual_when_possible() {
     let muta: Vec<u32> = db.label_group(1);
     if let Some(&id) = muta.first() {
         let g = db.graph(id);
-        let removed = gcf.explain_graph(&model, g, 1, 12);
+        let removed = gcf.explain_graph(&model, g, id, 1, 12, &ctx_for(&model, g)).nodes;
         assert!(!removed.is_empty());
         // Removing the returned set should usually flip the label.
         let (rest, _) = g.remove_nodes(&removed);
@@ -158,12 +175,14 @@ fn gcf_reaches_counterfactual_when_possible() {
 fn empty_graph_and_zero_budget_edge_cases() {
     let (model, _) = toy_setup();
     let empty = Graph::new(2);
+    let ctx_empty = ctx_for(&model, &empty);
     for b in all_baselines() {
-        assert!(b.explain_graph(&model, &empty, 0, 4).is_empty(), "{}", b.name());
+        assert!(b.explain_graph(&model, &empty, 0, 0, 4, &ctx_empty).is_empty(), "{}", b.name());
     }
     let g = generate::star(4, 0, 0, 2);
+    let ctx = ctx_for(&model, &g);
     for b in all_baselines() {
-        assert!(b.explain_graph(&model, &g, 0, 0).is_empty(), "{}", b.name());
+        assert!(b.explain_graph(&model, &g, 0, 0, 0, &ctx).is_empty(), "{}", b.name());
     }
 }
 
@@ -180,7 +199,7 @@ fn baselines_comparable_under_common_metrics() {
                 GraphExplanation {
                     graph: g.clone(),
                     label,
-                    nodes: b.explain_graph(&model, g, label, 4),
+                    nodes: b.explain_graph(&model, g, id, label, 4, &ctx_for(&model, g)).nodes,
                 }
             })
             .collect();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gvex_bench::{methods, prepare};
-use gvex_core::Config;
+use gvex_core::{Config, GraphContext};
 use gvex_data::DatasetKind;
 
 fn bench_methods(c: &mut Criterion) {
@@ -12,9 +12,14 @@ fn bench_methods(c: &mut Criterion) {
     let g = ds.db.graph(id).clone();
     let label = ds.db.predicted(id).unwrap();
     let budget = 10;
-    for m in methods(&Config::with_bounds(0, budget)) {
+    let cfg = Config::with_bounds(0, budget);
+    // The context is cached infrastructure in the redesigned API; build
+    // it once outside the measured loop (its own cost is covered by the
+    // `context_build_mut` bench in bench_gvex).
+    let ctx = GraphContext::build(&ds.model, &g, &cfg);
+    for m in methods(&cfg) {
         c.bench_function(&format!("explain_one_graph_{}", m.name()), |b| {
-            b.iter(|| std::hint::black_box(m.explain_graph(&ds.model, &g, label, budget)))
+            b.iter(|| std::hint::black_box(m.explain_graph(&ds.model, &g, id, label, budget, &ctx)))
         });
     }
 }

@@ -22,7 +22,7 @@ fn bench_gvex(c: &mut Criterion) {
 
     let ag = ApproxGvex::new(cfg.clone());
     c.bench_function("approx_gvex_one_graph", |b| {
-        b.iter(|| std::hint::black_box(ag.explain_graph(&ds.model, &g, id, label)))
+        b.iter(|| std::hint::black_box(ag.explain_subgraph(&ds.model, &g, id, label)))
     });
 
     let sg = StreamGvex::new(cfg.clone());
@@ -38,7 +38,7 @@ fn bench_gvex(c: &mut Criterion) {
         .filter_map(|&i| {
             let gi = ds.db.graph(i);
             let l = ds.db.predicted(i)?;
-            let s = ag.explain_graph(&ds.model, gi, i, l)?;
+            let s = ag.explain_subgraph(&ds.model, gi, i, l)?;
             Some(gi.induced_subgraph(&s.nodes).0)
         })
         .collect();

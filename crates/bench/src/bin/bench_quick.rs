@@ -1,21 +1,30 @@
 //! Quick perf profile for CI: times the sparse CSR propagation backend
-//! against the dense baseline on the reference synthetic graph and
-//! writes a machine-readable `BENCH_PR2.json`.
+//! against the dense baseline on the reference synthetic graph (writes
+//! `BENCH_PR2.json`) and indexed view-query answering against the naive
+//! VF2 database scan (writes `BENCH_PR3.json`).
 //!
-//! Usage: `bench_quick [--check] [--out PATH] [--nodes N]`
+//! Usage: `bench_quick [--check] [--out PATH] [--out-queries PATH] [--nodes N]`
 //!
 //! - `--check`: exit non-zero if sparse masked propagation is not at
-//!   least as fast as the dense baseline (the CI regression gate).
-//! - `--out PATH`: where to write the JSON (default `BENCH_PR2.json`).
+//!   least as fast as the dense baseline, or if indexed query answering
+//!   is not at least as fast as the scan (the CI regression gates).
+//! - `--out PATH`: where to write the propagation JSON (default
+//!   `BENCH_PR2.json`).
+//! - `--out-queries PATH`: where to write the query JSON (default
+//!   `BENCH_PR3.json`).
 //! - `--nodes N`: reference graph size (default 1024).
 //!
-//! Before timing anything the two paths are cross-checked numerically;
-//! a perf number for a divergent implementation would be meaningless,
-//! so disagreement is a hard error (exit 2).
+//! Before timing anything each pair of paths is cross-checked (numeric
+//! parity for propagation, result identity for queries); a perf number
+//! for a divergent implementation would be meaningless, so disagreement
+//! is a hard error (exit 2).
 
 use gvex_baselines::GnnExplainer;
 use gvex_bench::perf::{dense_masked_epoch, reference_graph, reference_mask, sparse_masked_epoch};
+use gvex_core::{query, ViewStore};
+use gvex_data::DataConfig;
 use gvex_gnn::{GcnModel, Propagation};
+use gvex_pattern::Pattern;
 use std::time::Instant;
 
 /// Median wall-clock milliseconds of `reps` runs of `f`.
@@ -40,6 +49,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let out_queries = args
+        .iter()
+        .position(|a| a == "--out-queries")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
     let nodes: usize = args
         .iter()
         .position(|a| a == "--nodes")
@@ -153,6 +168,89 @@ fn main() {
         eprintln!(
             "GATE FAILED: sparse masked propagation ({epoch_sparse_ms:.3} ms) is slower than \
              the dense baseline ({epoch_dense_ms:.3} ms)"
+        );
+        std::process::exit(1);
+    }
+
+    // ---- indexed view-query answering vs the naive VF2 scan ----------
+    //
+    // Reference database: the MUT-like simulator (no training needed —
+    // queries run against ground-truth labels). Probe patterns are the
+    // domain motifs the paper's §1 questions are phrased over.
+    let qdb = gvex_data::mutagenicity(DataConfig::new(64, 11));
+    let store = ViewStore::new(&qdb);
+    let probes: Vec<(&str, Pattern)> = vec![
+        ("nitro_n_o", Pattern::new(&[gvex_data::TYPE_N, gvex_data::TYPE_O], &[(0, 1, 1)])),
+        ("c_c_bond", Pattern::new(&[gvex_data::TYPE_C, gvex_data::TYPE_C], &[(0, 1, 0)])),
+        (
+            "c_chain_3",
+            Pattern::new(
+                &[gvex_data::TYPE_C, gvex_data::TYPE_C, gvex_data::TYPE_C],
+                &[(0, 1, 0), (1, 2, 0)],
+            ),
+        ),
+        ("single_n", Pattern::single_node(gvex_data::TYPE_N)),
+        ("absent", Pattern::new(&[99, 99], &[(0, 1, 0)])),
+    ];
+    // Result identity first (also warms the index: each pattern class is
+    // scanned exactly once, at first sight).
+    for (name, p) in &probes {
+        let indexed = store.hits(p, &qdb);
+        let scanned = query::scan::graphs_containing(&qdb, p);
+        if indexed != scanned {
+            eprintln!("FATAL: indexed/scan query results diverged on {name}");
+            std::process::exit(2);
+        }
+    }
+    let query_reps = 25;
+    let indexed_ms = median_ms(query_reps, || {
+        for (_, p) in &probes {
+            std::hint::black_box(store.hits(p, &qdb));
+        }
+    });
+    let scan_ms = median_ms(query_reps, || {
+        for (_, p) in &probes {
+            std::hint::black_box(query::scan::graphs_containing(&qdb, p));
+        }
+    });
+    let query_speedup = scan_ms / indexed_ms.max(1e-9);
+    eprintln!(
+        "query answering ({} probes over {} graphs): scan {scan_ms:.3} ms, indexed \
+         {indexed_ms:.4} ms ({query_speedup:.0}x)",
+        probes.len(),
+        qdb.len()
+    );
+
+    let qjson = serde_json::json!({
+        "pr": 3u32,
+        "database": serde_json::json!({
+            "graphs": qdb.len() as u64,
+            "total_nodes": qdb.total_nodes() as u64,
+            "total_edges": qdb.total_edges() as u64,
+        }),
+        "probes": probes.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        "reps": query_reps as u64,
+        "results": serde_json::json!([serde_json::json!({
+            "name": "view_query_graphs_containing",
+            "scan_ms": scan_ms,
+            "indexed_ms": indexed_ms,
+            "speedup": query_speedup,
+        })]),
+        "gate": serde_json::json!({
+            "metric": "view_query_graphs_containing.speedup",
+            "threshold": 1.0f64,
+            "value": query_speedup,
+            "pass": query_speedup >= 1.0,
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&qjson).expect("serializable");
+    std::fs::write(&out_queries, pretty + "\n").expect("write query bench json");
+    eprintln!("wrote {out_queries}");
+
+    if check && query_speedup < 1.0 {
+        eprintln!(
+            "GATE FAILED: indexed query answering ({indexed_ms:.4} ms) is slower than the \
+             naive VF2 scan ({scan_ms:.3} ms)"
         );
         std::process::exit(1);
     }

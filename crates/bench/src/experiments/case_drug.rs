@@ -5,7 +5,7 @@
 use crate::experiments::{atom_namer, describe_pattern};
 use crate::{figure_num_graphs, prepare, print_table, write_json};
 use gvex_baselines::{GnnExplainer, SubgraphX};
-use gvex_core::{ApproxGvex, Config, Explainer};
+use gvex_core::{ApproxGvex, Config, ContextCache, Engine, Explainer};
 use gvex_data::{DatasetKind, TYPE_N, TYPE_O};
 use gvex_graph::Graph;
 
@@ -40,34 +40,41 @@ pub fn run() {
     );
 
     let budget = 8;
-    let ag = ApproxGvex::new(Config::with_bounds(0, budget));
+    let cfg = Config::with_bounds(0, budget);
+    let ag = ApproxGvex::new(cfg.clone());
     let ge = GnnExplainer::default();
     let sx = SubgraphX::default();
+    let ctxs = ContextCache::new(cfg.clone());
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for m in [&ag as &dyn Explainer, &ge, &sx] {
-        let nodes = m.explain_graph(&ds.model, g, 1, budget + 6);
-        let (sub, _) = g.induced_subgraph(&nodes);
-        let atoms: Vec<String> = nodes.iter().map(|&v| atom_namer(g.node_type(v))).collect();
-        let nitro = contains_nitro(g, &nodes);
+        let ctx = ctxs.get(&ds.model, g, mutagen);
+        let e = m.explain_graph(&ds.model, g, mutagen, 1, budget + 6, &ctx);
+        let (sub, _) = g.induced_subgraph(&e.nodes);
+        let atoms: Vec<String> = e.nodes.iter().map(|&v| atom_namer(g.node_type(v))).collect();
+        let nitro = contains_nitro(g, &e.nodes);
         rows.push(vec![
             m.name().to_string(),
-            nodes.len().to_string(),
+            e.nodes.len().to_string(),
             sub.num_edges().to_string(),
             if nitro { "yes" } else { "no" }.to_string(),
+            if e.flags.is_strict_explanation() { "strict" } else { "soft" }.to_string(),
             atoms.join(","),
         ]);
         json.push(serde_json::json!({
-            "method": m.name(), "nodes": nodes.len(), "edges": sub.num_edges(),
-            "found_no2": nitro, "atoms": atoms,
+            "method": m.name(), "nodes": e.nodes.len(), "edges": sub.num_edges(),
+            "found_no2": nitro, "strict_c2": e.flags.is_strict_explanation(),
+            "wall_ms": e.wall.as_secs_f64() * 1e3, "atoms": atoms,
         }));
     }
-    print_table(&["Method", "#Atoms", "#Bonds", "NO2 found", "Atoms"], &rows);
+    print_table(&["Method", "#Atoms", "#Bonds", "NO2 found", "C2", "Atoms"], &rows);
 
-    // GVEX's pattern tier over the mutagen label group.
+    // GVEX's pattern tier over the mutagen label group, via the engine.
     let ids: Vec<u32> =
         ds.test_ids.iter().copied().filter(|&id| ds.db.predicted(id) == Some(1)).take(5).collect();
-    let view = ag.explain_label(&ds.model, &ds.db, 1, &ids);
+    let mut engine = Engine::builder(ds.model.clone(), ds.db.clone()).config(cfg.clone()).build();
+    let vid = engine.explain_subset(1, &ids);
+    let view = engine.store().view(vid);
     println!("\n  GVEX explanation view patterns for label 'mutagen':");
     for (i, p) in view.patterns.iter().enumerate() {
         println!("    P{} = {}", i + 1, describe_pattern(p, &|t| atom_namer(t)));

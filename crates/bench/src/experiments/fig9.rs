@@ -7,7 +7,7 @@ use crate::{
     evaluate, figure_num_graphs, figure_size_scale, label_of_interest, methods, prepare,
     print_table, write_json, BUDGETS,
 };
-use gvex_core::{parallel, ApproxGvex, Config, StreamGvex};
+use gvex_core::{parallel, ApproxGvex, Config, ContextCache, StreamGvex};
 use gvex_data::DatasetKind;
 use std::time::Instant;
 
@@ -105,11 +105,21 @@ pub fn run() {
     let mut t1 = 0.0;
     for threads in [1usize, 2, 4, 8] {
         // One pool per sweep point, built outside the timed region so
-        // the measurement is explanation work, not thread spawning.
+        // the measurement is explanation work, not thread spawning. The
+        // context cache starts empty at every point so each sweep does
+        // identical (parallelizable) per-graph work.
         let pool = parallel::explainer_pool(threads);
+        let ctxs = ContextCache::new(ag.config.clone());
         let start = Instant::now();
-        let _view =
-            parallel::explain_label_parallel(&ag, &ds.model, &ds.db, label, &ids, Some(&pool));
+        let _view = parallel::explain_label_parallel(
+            &ag,
+            &ds.model,
+            &ds.db,
+            label,
+            &ids,
+            Some(&pool),
+            &ctxs,
+        );
         let t = start.elapsed().as_secs_f64();
         if threads == 1 {
             t1 = t;

@@ -1,13 +1,46 @@
 //! Table 1: capability matrix of GVEX vs prior explainers.
+//!
+//! The rows are collected from the live [`gvex_core::Explainer`]
+//! implementations ([`gvex_core::Explainer::capability`]) rather than a
+//! constant table, so the matrix cannot drift from what the code does.
+//! PGExplainer is the one paper row with no implementation behind it
+//! (it is not model-agnostic); its static row is appended in the
+//! paper's ordering.
 
-use crate::{print_table, write_json};
-use gvex_core::capabilities::TABLE1;
+use crate::{methods, print_table, write_json};
+use gvex_core::capabilities::Capability;
+use gvex_core::Config;
+
+/// Collects the paper-ordered capability rows: the implemented methods'
+/// self-reported rows (deduped — ApproxGVEX and StreamGVEX share the
+/// GVEX row) plus the paper-only PGExplainer row.
+pub fn rows() -> Vec<Capability> {
+    let mut out: Vec<Capability> = Vec::new();
+    for m in methods(&Config::default()) {
+        let c = m.capability();
+        if !out.iter().any(|r| r.method == c.method) {
+            out.push(c);
+        }
+    }
+    // Paper order: the GVEX row last, PGExplainer after GNNExplainer.
+    out.sort_by_key(|c| match c.method {
+        "SubgraphX" => 0,
+        "GNNExplainer" => 1,
+        "GStarX" => 3,
+        "GCFExplainer" => 4,
+        _ => 5, // GVEX
+    });
+    let pg_at = out.iter().position(|c| c.method == "GNNExplainer").map_or(0, |i| i + 1);
+    out.insert(pg_at, Capability::pg_explainer());
+    out
+}
 
 /// Prints the capability matrix and writes `results/table1.json`.
 pub fn run() {
     println!("\n== Table 1: method capability matrix ==");
     let yn = |b: bool| if b { "yes" } else { "no" }.to_string();
-    let rows: Vec<Vec<String>> = TABLE1
+    let table = rows();
+    let printable: Vec<Vec<String>> = table
         .iter()
         .map(|c| {
             vec![
@@ -37,9 +70,9 @@ pub fn run() {
             "Config",
             "Queryable",
         ],
-        &rows,
+        &printable,
     );
-    let json: Vec<_> = TABLE1
+    let json: Vec<_> = table
         .iter()
         .map(|c| {
             serde_json::json!({

@@ -43,9 +43,11 @@ impl ApproxGvex {
         Self { config, verify_scan_limit: usize::MAX }
     }
 
-    /// Explains a single graph for `label` (Algorithm 1). Returns `None`
-    /// when the lower coverage bound cannot be met.
-    pub fn explain_graph(
+    /// Explains a single graph for `label` (Algorithm 1), returning the
+    /// lower-tier subgraph. Returns `None` when the lower coverage bound
+    /// cannot be met. (The rich-result path is the
+    /// [`crate::Explainer::explain_graph`] trait method.)
+    pub fn explain_subgraph(
         &self,
         model: &GcnModel,
         g: &Graph,
@@ -56,8 +58,9 @@ impl ApproxGvex {
         self.explain_with_context(model, g, graph_id, label, &ctx)
     }
 
-    /// Like [`Self::explain_graph`] with a prebuilt context (Algorithm 1
-    /// line 2's one-time precomputation, reusable across `u_l` sweeps).
+    /// Like [`Self::explain_subgraph`] with a prebuilt context
+    /// (Algorithm 1 line 2's one-time precomputation, reusable across
+    /// `u_l` sweeps).
     pub fn explain_with_context(
         &self,
         model: &GcnModel,
@@ -66,7 +69,23 @@ impl ApproxGvex {
         label: ClassLabel,
         ctx: &GraphContext,
     ) -> Option<ExplanationSubgraph> {
-        let (b_l, u_l) = self.config.bounds_for(label);
+        self.explain_bounded(model, g, graph_id, label, self.config.bounds_for(label), ctx)
+    }
+
+    /// Like [`Self::explain_with_context`] but with explicit coverage
+    /// bounds `(b_l, u_l)` overriding the configuration's. This is the
+    /// entry point of the budgeted [`crate::Explainer`] path: the old
+    /// interface had to clone the whole algorithm per call just to
+    /// rewrite `config.default_bounds`.
+    pub fn explain_bounded(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        graph_id: GraphId,
+        label: ClassLabel,
+        (b_l, u_l): (usize, usize),
+        ctx: &GraphContext,
+    ) -> Option<ExplanationSubgraph> {
         let n = g.num_nodes();
         if n == 0 || b_l > n || u_l == 0 {
             return None;
@@ -231,7 +250,7 @@ impl ApproxGvex {
     ) -> ExplanationView {
         let subgraphs: Vec<ExplanationSubgraph> = ids
             .iter()
-            .filter_map(|&id| self.explain_graph(model, db.graph(id), id, label))
+            .filter_map(|&id| self.explain_subgraph(model, db.graph(id), id, label))
             .collect();
         self.summarize(db, label, subgraphs)
     }

@@ -1,10 +1,15 @@
-//! Table 1: the capability matrix comparing GVEX with prior explainers.
+//! Table 1: the qualitative capability matrix comparing GVEX with prior
+//! explainers.
 //!
-//! These are qualitative properties of each method (as defined in the
-//! table's caption); the `exp_table1` binary prints this matrix.
+//! Each implemented explainer reports its own row through
+//! [`crate::Explainer::capability`], so the matrix printed by the
+//! `exp_table1` binary is assembled from the live trait objects rather
+//! than a constant table that can drift from the implementations. The
+//! only paper row without an implementation behind it (PGExplainer) is
+//! provided by [`Capability::pg_explainer`].
 
 /// One row of Table 1.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Capability {
     /// Method name.
     pub method: &'static str,
@@ -28,78 +33,104 @@ pub struct Capability {
     pub queryable: bool,
 }
 
-/// The full Table 1 matrix.
-pub const TABLE1: [Capability; 6] = [
-    Capability {
-        method: "SubgraphX",
-        learning: false,
-        task: "GC/NC",
-        target: "Subgraph",
-        model_agnostic: true,
-        label_specific: false,
-        size_bound: false,
-        coverage: false,
-        config: false,
-        queryable: false,
-    },
-    Capability {
-        method: "GNNExplainer",
-        learning: true,
-        task: "GC/NC",
-        target: "E/NF",
-        model_agnostic: true,
-        label_specific: false,
-        size_bound: false,
-        coverage: false,
-        config: false,
-        queryable: false,
-    },
-    Capability {
-        method: "PGExplainer",
-        learning: true,
-        task: "GC/NC",
-        target: "E",
-        model_agnostic: false,
-        label_specific: false,
-        size_bound: false,
-        coverage: false,
-        config: false,
-        queryable: false,
-    },
-    Capability {
-        method: "GStarX",
-        learning: false,
-        task: "GC",
-        target: "Subgraph",
-        model_agnostic: true,
-        label_specific: false,
-        size_bound: false,
-        coverage: false,
-        config: false,
-        queryable: false,
-    },
-    Capability {
-        method: "GCFExplainer",
-        learning: false,
-        task: "GC",
-        target: "Subgraph",
-        model_agnostic: true,
-        label_specific: true,
-        size_bound: false,
-        coverage: true,
-        config: false,
-        queryable: false,
-    },
-    Capability {
-        method: "GVEX (Ours)",
-        learning: false,
-        task: "GC/NC",
-        target: "Graph Views (Pattern+Subgraph)",
-        model_agnostic: true,
-        label_specific: true,
-        size_bound: true,
-        coverage: true,
-        config: true,
-        queryable: true,
-    },
-];
+impl Capability {
+    /// The GVEX row (shared by `ApproxGVEX` and `StreamGVEX`, which are
+    /// two algorithms for the same explanation problem and therefore the
+    /// same Table 1 entry).
+    pub fn gvex() -> Self {
+        Self {
+            method: "GVEX (Ours)",
+            learning: false,
+            task: "GC/NC",
+            target: "Graph Views (Pattern+Subgraph)",
+            model_agnostic: true,
+            label_specific: true,
+            size_bound: true,
+            coverage: true,
+            config: true,
+            queryable: true,
+        }
+    }
+
+    /// The SubgraphX row.
+    pub fn subgraphx() -> Self {
+        Self {
+            method: "SubgraphX",
+            learning: false,
+            task: "GC/NC",
+            target: "Subgraph",
+            model_agnostic: true,
+            label_specific: false,
+            size_bound: false,
+            coverage: false,
+            config: false,
+            queryable: false,
+        }
+    }
+
+    /// The GNNExplainer row.
+    pub fn gnn_explainer() -> Self {
+        Self {
+            method: "GNNExplainer",
+            learning: true,
+            task: "GC/NC",
+            target: "E/NF",
+            model_agnostic: true,
+            label_specific: false,
+            size_bound: false,
+            coverage: false,
+            config: false,
+            queryable: false,
+        }
+    }
+
+    /// The PGExplainer row — paper-only: the method is in Table 1 but has
+    /// no implementation in this reproduction (it is not model-agnostic,
+    /// so it cannot ride the shared black-box harness).
+    pub fn pg_explainer() -> Self {
+        Self {
+            method: "PGExplainer",
+            learning: true,
+            task: "GC/NC",
+            target: "E",
+            model_agnostic: false,
+            label_specific: false,
+            size_bound: false,
+            coverage: false,
+            config: false,
+            queryable: false,
+        }
+    }
+
+    /// The GStarX row.
+    pub fn gstarx() -> Self {
+        Self {
+            method: "GStarX",
+            learning: false,
+            task: "GC",
+            target: "Subgraph",
+            model_agnostic: true,
+            label_specific: false,
+            size_bound: false,
+            coverage: false,
+            config: false,
+            queryable: false,
+        }
+    }
+
+    /// The GCFExplainer row.
+    pub fn gcf_explainer() -> Self {
+        Self {
+            method: "GCFExplainer",
+            learning: false,
+            task: "GC",
+            target: "Subgraph",
+            model_agnostic: true,
+            label_specific: true,
+            size_bound: false,
+            coverage: true,
+            config: false,
+            queryable: false,
+        }
+    }
+}

@@ -1,7 +1,9 @@
 use crate::{BitSet, Config};
 use gvex_gnn::{GcnModel, InfluenceMatrix};
-use gvex_graph::{ClassLabel, Graph, NodeId};
+use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId, NodeId};
 use gvex_linalg::Matrix;
+use rustc_hash::FxHashMap;
+use std::sync::{Arc, Mutex};
 
 /// Per-graph precomputation shared by `ApproxGVEX` and `StreamGVEX`
 /// (Algorithm 1 line 2: "precompute Jacobian matrix M_I", which also
@@ -49,6 +51,67 @@ impl GraphContext {
         let ball = diversity_balls(&emb, cfg.r);
         let evidence = evidence_map(model, &emb, orig_label as usize);
         Self { orig_label, orig_prob, targets, ball, evidence, num_nodes: n }
+    }
+}
+
+/// Memoized per-graph [`GraphContext`]s, shared by every explainer that
+/// touches the same database graph.
+///
+/// Building a context is the expensive per-graph precomputation (one GNN
+/// inference, one influence matrix, pairwise embedding distances); the
+/// old `Explainer` interface rebuilt it on every call. The cache builds
+/// each graph's context at most once per configuration and hands out
+/// shared [`Arc`]s, so repeated explanations of the same graph — across
+/// methods, budgets, and threads — are amortized. The map is guarded by
+/// a mutex held only around lookups/insertions, never around the build
+/// itself, so parallel batch explanation does not serialize.
+#[derive(Debug)]
+pub struct ContextCache {
+    cfg: Config,
+    map: Mutex<FxHashMap<GraphId, Arc<GraphContext>>>,
+}
+
+impl ContextCache {
+    /// An empty cache for contexts built under `cfg` (θ, r, and the
+    /// influence mode are baked into each context).
+    pub fn new(cfg: Config) -> Self {
+        Self { cfg, map: Mutex::new(FxHashMap::default()) }
+    }
+
+    /// The configuration contexts are built under.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The context for graph `id`, building it on first access.
+    ///
+    /// Concurrent first accesses may build the same context twice; the
+    /// first insertion wins and both callers observe identical values
+    /// ([`GraphContext::build`] is deterministic).
+    pub fn get(&self, model: &GcnModel, g: &Graph, id: GraphId) -> Arc<GraphContext> {
+        if let Some(ctx) = self.map.lock().expect("context cache lock").get(&id) {
+            return Arc::clone(ctx);
+        }
+        let built = Arc::new(GraphContext::build(model, g, &self.cfg));
+        let mut map = self.map.lock().expect("context cache lock");
+        Arc::clone(map.entry(id).or_insert(built))
+    }
+
+    /// Pre-builds the contexts of `ids` (e.g. before a timed region).
+    pub fn warm(&self, model: &GcnModel, db: &GraphDb, ids: &[GraphId]) {
+        for &id in ids {
+            let _ = self.get(model, db.graph(id), id);
+        }
+    }
+
+    /// Number of cached contexts.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("context cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

@@ -1,0 +1,188 @@
+//! The unified GVEX engine: one facade owning the trained model, the
+//! graph database, the configuration, the memoized per-graph context
+//! cache, and the indexed [`ViewStore`].
+//!
+//! The engine is the intended public entry point: build it once from a
+//! trained [`GcnModel`] and a classified [`GraphDb`], generate views
+//! with [`Engine::explain_all`] / [`Engine::explain_label`] /
+//! [`Engine::stream`] (each returns a [`ViewId`] handle into the store),
+//! and answer the paper's motivating questions with
+//! [`Engine::query`] — index probes, not database scans.
+//!
+//! ```no_run
+//! use gvex_core::{query::ViewQuery, Config, Engine};
+//! # let model = gvex_gnn::GcnModel::new(2, 8, 2, 3, 1);
+//! # let db = gvex_graph::GraphDb::new();
+//! let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
+//! let view = engine.explain_label(1);
+//! let p = engine.store().view(view).patterns[0].clone();
+//! let hits = engine.query(&ViewQuery::pattern(p).label(0));
+//! ```
+
+use crate::query::{QueryResult, ViewQuery};
+use crate::store::{ViewId, ViewStore};
+use crate::{parallel, ApproxGvex, Config, ContextCache, GraphContext, StreamGvex, ViewSet};
+use gvex_gnn::GcnModel;
+use gvex_graph::{ClassLabel, GraphDb, GraphId};
+use std::sync::Arc;
+
+/// Builder for [`Engine`].
+#[derive(Debug)]
+pub struct EngineBuilder {
+    model: GcnModel,
+    db: GraphDb,
+    config: Config,
+    verify_scan_limit: usize,
+}
+
+impl EngineBuilder {
+    /// Starts a builder from a trained model and a database whose label
+    /// groups have been formed (predictions recorded).
+    pub fn new(model: GcnModel, db: GraphDb) -> Self {
+        Self { model, db, config: Config::default(), verify_scan_limit: usize::MAX }
+    }
+
+    /// Sets the configuration `C = (θ, r, {[b_l, u_l]})` (+ γ).
+    pub fn config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Caps strict `VpExtend` verifications per greedy round (see
+    /// [`ApproxGvex::verify_scan_limit`]).
+    pub fn verify_scan_limit(mut self, limit: usize) -> Self {
+        self.verify_scan_limit = limit;
+        self
+    }
+
+    /// Builds the engine: constructs both algorithms from the
+    /// configuration, the context cache, and an empty view store indexed
+    /// over the database.
+    pub fn build(self) -> Engine {
+        let mut approx = ApproxGvex::new(self.config.clone());
+        approx.verify_scan_limit = self.verify_scan_limit;
+        let stream = StreamGvex::new(self.config.clone());
+        let contexts = ContextCache::new(self.config.clone());
+        let store = ViewStore::new(&self.db);
+        Engine {
+            model: self.model,
+            db: self.db,
+            config: self.config,
+            approx,
+            stream,
+            contexts,
+            store,
+        }
+    }
+}
+
+/// The unified explanation engine (see module docs).
+#[derive(Debug)]
+pub struct Engine {
+    model: GcnModel,
+    db: GraphDb,
+    config: Config,
+    approx: ApproxGvex,
+    stream: StreamGvex,
+    contexts: ContextCache,
+    store: ViewStore,
+}
+
+impl Engine {
+    /// Starts an [`EngineBuilder`].
+    pub fn builder(model: GcnModel, db: GraphDb) -> EngineBuilder {
+        EngineBuilder::new(model, db)
+    }
+
+    /// The trained classifier.
+    pub fn model(&self) -> &GcnModel {
+        &self.model
+    }
+
+    /// The graph database.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// The view store (views + query indexes).
+    pub fn store(&self) -> &ViewStore {
+        &self.store
+    }
+
+    /// The memoized per-graph context for `id` (built on first access).
+    pub fn context(&self, id: GraphId) -> Arc<GraphContext> {
+        self.contexts.get(&self.model, self.db.graph(id), id)
+    }
+
+    /// The shared context cache.
+    pub fn contexts(&self) -> &ContextCache {
+        &self.contexts
+    }
+
+    /// Generates one view per label group of the database (the EVG
+    /// problem, §3.2) and stores them; returns the handles in label
+    /// order.
+    pub fn explain_all(&mut self) -> Vec<ViewId> {
+        self.db.labels().into_iter().map(|l| self.explain_label(l)).collect()
+    }
+
+    /// Generates the explanation view for `label`'s whole label group
+    /// with `ApproxGVEX` (Algorithm 1), using cached contexts, and
+    /// inserts it into the store.
+    pub fn explain_label(&mut self, label: ClassLabel) -> ViewId {
+        let ids = self.db.label_group(label);
+        self.explain_subset(label, &ids)
+    }
+
+    /// Like [`Engine::explain_label`] restricted to `ids` (e.g. a test
+    /// split).
+    pub fn explain_subset(&mut self, label: ClassLabel, ids: &[GraphId]) -> ViewId {
+        let view = parallel::explain_label_parallel(
+            &self.approx,
+            &self.model,
+            &self.db,
+            label,
+            ids,
+            None,
+            &self.contexts,
+        );
+        self.store.insert(view, &self.db)
+    }
+
+    /// Generates `label`'s view with `StreamGVEX` (Algorithm 3),
+    /// processing a prefix `fraction ∈ (0, 1]` of each node stream (the
+    /// anytime mode), and inserts it into the store.
+    pub fn stream(&mut self, label: ClassLabel, fraction: f64) -> ViewId {
+        let ids = self.db.label_group(label);
+        self.stream_subset(label, &ids, fraction)
+    }
+
+    /// Like [`Engine::stream`] restricted to `ids`.
+    pub fn stream_subset(&mut self, label: ClassLabel, ids: &[GraphId], fraction: f64) -> ViewId {
+        let view = self.stream.explain_label_cached(
+            &self.model,
+            &self.db,
+            label,
+            ids,
+            fraction,
+            &self.contexts,
+        );
+        self.store.insert(view, &self.db)
+    }
+
+    /// Evaluates a [`ViewQuery`] against the store's indexes.
+    pub fn query(&self, q: &ViewQuery) -> QueryResult {
+        q.evaluate(&self.store, &self.db)
+    }
+
+    /// Collects the stored views into a plain [`ViewSet`] (e.g. for
+    /// [`crate::export::viewset_to_portable`]).
+    pub fn view_set(&self) -> ViewSet {
+        ViewSet { views: self.store.iter().map(|(_, v)| v.clone()).collect() }
+    }
+}

@@ -1,29 +1,204 @@
-//! The uniform explainer interface used by the experiment harness.
+//! The uniform explainer interface used by the experiment harness and
+//! the [`crate::engine::Engine`] facade.
 //!
 //! The paper compares GVEX against four subgraph-style explainers on the
 //! same footing: each method receives the trained (black-box) model, one
-//! input graph, the label of interest, and a node budget, and returns the
-//! node set of its explanation subgraph. Fidelity/sparsity metrics are
-//! then computed identically for every method (§6.1).
+//! input graph, the label of interest, and a node budget (§6.1). Where
+//! the old interface returned a bare `Vec<NodeId>` — discarding scores,
+//! verification outcomes, and timings — every method now returns a rich
+//! [`Explanation`] carrying per-node scores, the C1–C3 verification
+//! flags of §3.3, and the wall-clock time spent, and receives the
+//! per-graph [`GraphContext`] from a shared [`ContextCache`] instead of
+//! rebuilding it (or cloning the algorithm) on every call.
 
-use crate::{ApproxGvex, StreamGvex};
+use crate::capabilities::Capability;
+use crate::verify::everify;
+use crate::{ApproxGvex, ContextCache, GraphContext, StreamGvex};
 use gvex_gnn::GcnModel;
-use gvex_graph::{ClassLabel, Graph, NodeId};
+use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId, NodeId};
+use std::time::{Duration, Instant};
+
+/// Verification flags of one explanation against the three constraints
+/// of §3.3.
+///
+/// C2 and C3 are per-subgraph properties checked at emission time; C1
+/// (every subgraph node covered by the pattern tier) only becomes
+/// decidable once a pattern tier exists, so it is `None` until the
+/// explanation is summarized into a view (the engine fills it in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyFlags {
+    /// C1: all nodes covered by the view's pattern tier (`None` until a
+    /// pattern tier has been built over this explanation).
+    pub covered: Option<bool>,
+    /// C2a: `M(G_s) = l` held when the explanation was emitted.
+    pub consistent: bool,
+    /// C2b: `M(G ∖ G_s) ≠ l` held when the explanation was emitted.
+    pub counterfactual: bool,
+    /// C3: the node count respects the requested size bound.
+    pub size_ok: bool,
+}
+
+impl VerifyFlags {
+    /// Both halves of the C2 explanation constraint hold.
+    pub fn is_strict_explanation(&self) -> bool {
+        self.consistent && self.counterfactual
+    }
+}
+
+/// A rich per-graph explanation: the node set plus everything the old
+/// interface threw away.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Which database graph this explains.
+    pub graph_id: GraphId,
+    /// The class label the explanation targets.
+    pub label: ClassLabel,
+    /// Selected nodes (original-graph ids, sorted ascending).
+    pub nodes: Vec<NodeId>,
+    /// Per-node importance, aligned with `nodes`. Semantics are
+    /// method-specific (GVEX: leave-one-out explainability contribution;
+    /// mask/value methods: their learned node score) but always "higher
+    /// means more important".
+    pub node_scores: Vec<f64>,
+    /// Method-specific total score (GVEX: the explainability summand of
+    /// Eq. 2; others: their internal objective, or the score sum).
+    pub score: f64,
+    /// C1–C3 verification outcomes (§3.3).
+    pub flags: VerifyFlags,
+    /// Wall-clock time this explanation took.
+    pub wall: Duration,
+}
+
+impl Explanation {
+    /// An empty explanation (degenerate inputs: empty graph, zero
+    /// budget, or an infeasible bound). The C2 flags are false (an
+    /// empty subgraph explains nothing); `size_ok` is true — an empty
+    /// node set cannot exceed any budget.
+    pub fn empty(graph_id: GraphId, label: ClassLabel) -> Self {
+        Self {
+            graph_id,
+            label,
+            nodes: Vec::new(),
+            node_scores: Vec::new(),
+            score: 0.0,
+            flags: VerifyFlags { size_ok: true, ..VerifyFlags::default() },
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Fills in the C1 flag against a pattern tier: covered iff every
+    /// node of the induced explanation subgraph is matched by some
+    /// pattern (the `PMatch` check of §3.3). `g` must be the explained
+    /// graph.
+    pub fn verify_coverage(&mut self, patterns: &[gvex_pattern::Pattern], g: &Graph) {
+        let (sub, _) = g.induced_subgraph(&self.nodes);
+        self.flags.covered = Some(crate::verify::pmatch_covers(patterns, &sub));
+    }
+
+    /// Node count of the explanation subgraph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the explanation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Runs the C2 `EVerify` check plus the C3 size check on a finished node
+/// set and stamps the wall clock — the assembly step shared by every
+/// explainer that does not already track these flags during its search.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble(
+    model: &GcnModel,
+    g: &Graph,
+    graph_id: GraphId,
+    label: ClassLabel,
+    budget: usize,
+    nodes: Vec<NodeId>,
+    node_scores: Vec<f64>,
+    score: f64,
+    started: Instant,
+) -> Explanation {
+    debug_assert_eq!(nodes.len(), node_scores.len());
+    let res = everify(model, g, &nodes, label);
+    let size_ok = nodes.len() <= budget;
+    Explanation {
+        graph_id,
+        label,
+        nodes,
+        node_scores,
+        score,
+        flags: VerifyFlags {
+            covered: None,
+            consistent: res.consistent,
+            counterfactual: res.counterfactual,
+            size_ok,
+        },
+        wall: started.elapsed(),
+    }
+}
 
 /// A subgraph-producing GNN explainer.
-pub trait Explainer {
+///
+/// All six methods (ApproxGVEX, StreamGVEX, and the four baselines)
+/// implement this trait; the §6 harness, the parallel path, and the
+/// [`crate::engine::Engine`] facade drive them identically through it.
+pub trait Explainer: Send + Sync {
     /// Short method name (used in result tables: "AG", "SG", "GE", ...).
     fn name(&self) -> &'static str;
 
-    /// Explains one graph: returns the node set of the explanation
-    /// subgraph, at most `budget` nodes.
+    /// This method's Table 1 capability row (see
+    /// [`crate::capabilities`]): the matrix is assembled from the live
+    /// implementations instead of a constant table.
+    fn capability(&self) -> Capability;
+
+    /// The configuration per-graph contexts must be built under for
+    /// this method to behave as configured — `θ`, `r`, and the
+    /// influence mode are baked into a [`GraphContext`] at build time.
+    /// GVEX methods return theirs so harness-built [`ContextCache`]s
+    /// honor swept parameters (Fig 7, ablations); context-agnostic
+    /// baselines return `None`.
+    fn context_config(&self) -> Option<crate::Config> {
+        None
+    }
+
+    /// Explains one graph for `label` under a node budget, using the
+    /// caller's precomputed [`GraphContext`] (GVEX methods consume it;
+    /// model-only baselines may ignore it).
     fn explain_graph(
         &self,
         model: &GcnModel,
         g: &Graph,
+        graph_id: GraphId,
         label: ClassLabel,
         budget: usize,
-    ) -> Vec<NodeId>;
+        ctx: &GraphContext,
+    ) -> Explanation;
+
+    /// Explains a batch of database graphs, pulling contexts from the
+    /// shared cache. The default is the sequential map every method
+    /// inherits; methods with an internal parallel path may override it.
+    /// The harness and the parallel module both go through this entry
+    /// point, so per-call context rebuilding cannot creep back in.
+    fn explain_batch(
+        &self,
+        model: &GcnModel,
+        db: &GraphDb,
+        label: ClassLabel,
+        ids: &[GraphId],
+        budget: usize,
+        ctxs: &ContextCache,
+    ) -> Vec<Explanation> {
+        ids.iter()
+            .map(|&id| {
+                let g = db.graph(id);
+                let ctx = ctxs.get(model, g, id);
+                self.explain_graph(model, g, id, label, budget, &ctx)
+            })
+            .collect()
+    }
 }
 
 impl Explainer for ApproxGvex {
@@ -31,25 +206,44 @@ impl Explainer for ApproxGvex {
         "AG"
     }
 
+    fn capability(&self) -> Capability {
+        Capability::gvex()
+    }
+
+    fn context_config(&self) -> Option<crate::Config> {
+        Some(self.config.clone())
+    }
+
     fn explain_graph(
         &self,
         model: &GcnModel,
         g: &Graph,
+        graph_id: GraphId,
         label: ClassLabel,
         budget: usize,
-    ) -> Vec<NodeId> {
-        let mut algo = self.clone();
-        algo.config.default_bounds = (0, budget);
-        algo.config.bounds.clear();
-        algo.explain_with_context(
-            model,
-            g,
-            0,
-            label,
-            &crate::GraphContext::build(model, g, &algo.config),
-        )
-        .map(|s| s.nodes)
-        .unwrap_or_default()
+        ctx: &GraphContext,
+    ) -> Explanation {
+        let started = Instant::now();
+        match self.explain_bounded(model, g, graph_id, label, (0, budget), ctx) {
+            Some(sub) => {
+                let node_scores = crate::quality::marginal_scores(ctx, &self.config, &sub.nodes);
+                Explanation {
+                    graph_id,
+                    label,
+                    flags: VerifyFlags {
+                        covered: None,
+                        consistent: sub.consistent,
+                        counterfactual: sub.counterfactual,
+                        size_ok: sub.nodes.len() <= budget,
+                    },
+                    nodes: sub.nodes,
+                    node_scores,
+                    score: sub.score,
+                    wall: started.elapsed(),
+                }
+            }
+            None => Explanation::empty(graph_id, label),
+        }
     }
 }
 
@@ -58,16 +252,43 @@ impl Explainer for StreamGvex {
         "SG"
     }
 
+    fn capability(&self) -> Capability {
+        Capability::gvex()
+    }
+
+    fn context_config(&self) -> Option<crate::Config> {
+        Some(self.config.clone())
+    }
+
     fn explain_graph(
         &self,
         model: &GcnModel,
         g: &Graph,
+        graph_id: GraphId,
         label: ClassLabel,
         budget: usize,
-    ) -> Vec<NodeId> {
-        let mut algo = self.clone();
-        algo.config.default_bounds = (0, budget);
-        algo.config.bounds.clear();
-        algo.stream_graph(model, g, 0, label, None, 1.0).map(|(s, _)| s.nodes).unwrap_or_default()
+        ctx: &GraphContext,
+    ) -> Explanation {
+        let started = Instant::now();
+        match self.stream_bounded(model, g, graph_id, label, None, 1.0, (0, budget), ctx) {
+            Some((sub, _patterns)) => {
+                let node_scores = crate::quality::marginal_scores(ctx, &self.config, &sub.nodes);
+                Explanation {
+                    graph_id,
+                    label,
+                    flags: VerifyFlags {
+                        covered: None,
+                        consistent: sub.consistent,
+                        counterfactual: sub.counterfactual,
+                        size_ok: sub.nodes.len() <= budget,
+                    },
+                    nodes: sub.nodes,
+                    node_scores,
+                    score: sub.score,
+                    wall: started.elapsed(),
+                }
+            }
+            None => Explanation::empty(graph_id, label),
+        }
     }
 }

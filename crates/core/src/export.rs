@@ -64,11 +64,15 @@ pub fn to_portable(view: &ExplanationView, db: &GraphDb) -> PortableView {
         .iter()
         .map(|s| {
             let g = db.graph(s.graph_id);
+            // Walk each selected node's adjacency restricted to the
+            // selected set (`nodes` is sorted, so membership is a binary
+            // search): O(Σ deg) instead of probing all k² node pairs.
             let mut edges = Vec::new();
-            for (i, &u) in s.nodes.iter().enumerate() {
-                for &v in s.nodes.iter().skip(i + 1) {
-                    if let Some(t) = g.edge_type(u, v) {
-                        edges.push((u.min(v), u.max(v), t));
+            for &u in &s.nodes {
+                for &v in g.neighbors(u) {
+                    if v > u && s.nodes.binary_search(&v).is_ok() {
+                        let t = g.edge_type(u, v).expect("neighbor implies edge");
+                        edges.push((u, v, t));
                     }
                 }
             }

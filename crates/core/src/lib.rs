@@ -20,12 +20,17 @@
 //! - [`metrics`]: Fidelity± (Eq. 8–9), Sparsity (Eq. 10), Compression
 //!   (Eq. 11), and edge loss.
 //! - [`explain::Explainer`]: the uniform interface under which GVEX and
-//!   the baseline explainers are benchmarked.
+//!   the baseline explainers are benchmarked, returning rich
+//!   [`Explanation`]s.
+//! - [`engine::Engine`]: the unified facade — model + database +
+//!   configuration + memoized contexts + the indexed [`store::ViewStore`]
+//!   behind the composable [`query::ViewQuery`] API.
 
 pub mod approx;
 pub mod capabilities;
 mod config;
 mod context;
+pub mod engine;
 pub mod explain;
 pub mod export;
 pub mod metrics;
@@ -33,6 +38,7 @@ pub mod parallel;
 pub mod psum;
 pub mod quality;
 pub mod query;
+pub mod store;
 pub mod stream;
 mod util;
 pub mod verify;
@@ -40,8 +46,11 @@ mod view;
 
 pub use approx::ApproxGvex;
 pub use config::Config;
-pub use context::GraphContext;
-pub use explain::Explainer;
+pub use context::{ContextCache, GraphContext};
+pub use engine::{Engine, EngineBuilder};
+pub use explain::{Explainer, Explanation, VerifyFlags};
+pub use query::ViewQuery;
+pub use store::{ViewId, ViewStore};
 pub use stream::StreamGvex;
 pub use util::BitSet;
 pub use view::{ExplanationSubgraph, ExplanationView, ViewSet};

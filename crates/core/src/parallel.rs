@@ -6,15 +6,13 @@
 //!
 //! Pool lifecycle: a [`rayon::ThreadPool`] is built by the *caller*,
 //! once, and reused across every [`explain_label_parallel`] call,
-//! instead of being rebuilt inside each call (the original design).
-//! Under real rayon that saves worker-thread spawns per label group;
-//! under the offline shim (which spawns scoped threads per `collect`
-//! regardless) it is an API-shape fix so the win materializes the
-//! moment the real crate is swapped back in. Callers that do not care
-//! pass `None` and run in the global/default pool.
+//! instead of being rebuilt inside each call. Per-graph contexts come
+//! from a shared [`ContextCache`], so a graph explained twice (e.g.
+//! across `u_l` sweep points with the same configuration) pays its
+//! precomputation once.
 
 use crate::psum::psum;
-use crate::{ApproxGvex, ExplanationSubgraph, ExplanationView};
+use crate::{ApproxGvex, ContextCache, ExplanationSubgraph, ExplanationView};
 use gvex_gnn::GcnModel;
 use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId};
 use rayon::prelude::*;
@@ -33,8 +31,9 @@ pub fn explainer_pool(threads: usize) -> ThreadPool {
 /// [`ApproxGvex::explain_label`]).
 ///
 /// `pool: Some(&pool)` runs in the caller's reusable pool (see
-/// [`explainer_pool`]); `None` runs in the global pool. Results are
-/// identical to the sequential path, in the same graph order.
+/// [`explainer_pool`]); `None` runs in the global pool. Contexts are
+/// read through (and written to) `ctxs`. Results are identical to the
+/// sequential path, in the same graph order.
 pub fn explain_label_parallel(
     algo: &ApproxGvex,
     model: &GcnModel,
@@ -42,10 +41,15 @@ pub fn explain_label_parallel(
     label: ClassLabel,
     ids: &[GraphId],
     pool: Option<&ThreadPool>,
+    ctxs: &ContextCache,
 ) -> ExplanationView {
     let explain_all = || -> Vec<ExplanationSubgraph> {
         ids.par_iter()
-            .filter_map(|&id| algo.explain_graph(model, db.graph(id), id, label))
+            .filter_map(|&id| {
+                let g = db.graph(id);
+                let ctx = ctxs.get(model, g, id);
+                algo.explain_with_context(model, g, id, label, &ctx)
+            })
             .collect()
     };
     let subgraphs = match pool {

@@ -38,6 +38,23 @@ pub fn explainability(ctx: &GraphContext, vs: &[NodeId], cfg: &Config) -> f64 {
     (influence(ctx, vs) as f64 + cfg.gamma * diversity(ctx, vs) as f64) / ctx.num_nodes as f64
 }
 
+/// Leave-one-out marginal contribution of each node of `vs` to the
+/// explainability objective: `scores[i] = f(V_s) − f(V_s ∖ {vs[i]})`.
+///
+/// This is the per-node score attached to rich
+/// [`crate::Explanation`]s by the GVEX explainers: it measures how much
+/// of the subgraph's explainability each selected node carries, under
+/// the same submodular objective the greedy growth optimized.
+pub fn marginal_scores(ctx: &GraphContext, cfg: &Config, vs: &[NodeId]) -> Vec<f64> {
+    let full = GainTracker::rebuild(ctx, cfg, vs).score();
+    vs.iter()
+        .map(|&v| {
+            let without: Vec<NodeId> = vs.iter().copied().filter(|&x| x != v).collect();
+            full - GainTracker::rebuild(ctx, cfg, &without).score()
+        })
+        .collect()
+}
+
 /// Incremental gain tracker for the greedy loops of Algorithms 1 and 3.
 ///
 /// Maintains the influenced set and the diversity reach of the current

@@ -3,50 +3,166 @@
 //! graph queries over the database or over other views, answering the
 //! paper's motivating questions ("which toxicophores occur in mutagens?",
 //! "which nonmutagens contain pattern P22?", §1).
+//!
+//! Queries are expressed with the composable [`ViewQuery`] builder and
+//! evaluated against a [`ViewStore`]'s canonical-form pattern index and
+//! label index, so answering is an index probe instead of a VF2 scan of
+//! the whole database. The scan-based evaluation survives in [`scan`] as
+//! the reference implementation: the proptests assert index/scan result
+//! identity and the `bench_quick` profile times one against the other.
 
+use crate::store::{ViewId, ViewStore};
 use crate::ExplanationView;
 use gvex_graph::{ClassLabel, GraphDb, GraphId};
 use gvex_linalg::cmp_score;
-use gvex_pattern::{vf2, Pattern};
+use gvex_pattern::Pattern;
 
 /// Result of matching one pattern against the database.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternHits {
-    /// Graphs containing the pattern.
+    /// Graphs containing the pattern (sorted ascending).
     pub graphs: Vec<GraphId>,
     /// Of those, how many carry each ground-truth class label (sorted by
     /// label).
     pub per_label: Vec<(ClassLabel, usize)>,
 }
 
-/// "Which graphs contain pattern `p`?" — node-induced matching over the
-/// whole database.
-pub fn graphs_containing(db: &GraphDb, p: &Pattern) -> PatternHits {
-    let mut graphs = Vec::new();
-    let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
-    for (id, g) in db.iter() {
-        if vf2::contains(p, g) {
-            graphs.push(id);
+/// A composable query over the explanation store.
+///
+/// Clauses conjoin: `ViewQuery::pattern(p).label(l).in_views([v])` asks
+/// for graphs of ground-truth label `l` whose explanation subgraph in
+/// view `v` contains `p`. Omitted clauses do not constrain: no pattern
+/// means "all graphs", no label means "any label", no views means "match
+/// against the whole database graphs".
+///
+/// ```no_run
+/// # use gvex_core::{query::ViewQuery, store::ViewStore};
+/// # use gvex_pattern::Pattern;
+/// # let db = gvex_graph::GraphDb::new();
+/// # let store = ViewStore::new(&db);
+/// let nitro = Pattern::new(&[4, 5], &[(0, 1, 1)]);
+/// let hits = ViewQuery::pattern(nitro).label(0).evaluate(&store, &db);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ViewQuery {
+    pattern: Option<Pattern>,
+    label: Option<ClassLabel>,
+    views: Vec<ViewId>,
+}
+
+/// Result of evaluating a [`ViewQuery`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Matching graph ids (sorted ascending).
+    pub graphs: Vec<GraphId>,
+    /// Ground-truth label histogram of the matches (sorted by label),
+    /// computed in the same pass as the match set.
+    pub per_label: Vec<(ClassLabel, usize)>,
+}
+
+impl QueryResult {
+    /// Number of matching graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Matches carrying `label` (0 when absent).
+    pub fn count_for(&self, label: ClassLabel) -> usize {
+        self.per_label.iter().find(|(l, _)| *l == label).map(|(_, c)| *c).unwrap_or(0)
+    }
+}
+
+impl ViewQuery {
+    /// The unconstrained query (all database graphs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a query for graphs containing `p`.
+    pub fn pattern(p: Pattern) -> Self {
+        Self { pattern: Some(p), ..Self::default() }
+    }
+
+    /// Restricts matches to graphs with ground-truth `label`.
+    pub fn label(mut self, label: ClassLabel) -> Self {
+        self.label = Some(label);
+        self
+    }
+
+    /// Restricts matching to the listed views: a graph matches when its
+    /// **explanation subgraph** in one of the views contains the pattern
+    /// (or, with no pattern, when one of the views explains it). This is
+    /// the "query over other views" direction of §1's Example 1.1.
+    pub fn in_views<I: IntoIterator<Item = ViewId>>(mut self, views: I) -> Self {
+        self.views.extend(views);
+        self
+    }
+
+    /// Evaluates against the store's indexes. `db` must be the database
+    /// the store was built over.
+    pub fn evaluate(&self, store: &ViewStore, db: &GraphDb) -> QueryResult {
+        let mut graphs: Vec<GraphId> = match (&self.pattern, self.views.is_empty()) {
+            // Pattern over the whole database: one index probe.
+            (Some(p), true) => store.hits(p, db).graphs,
+            // Pattern over selected views: union of per-view postings.
+            (Some(p), false) => {
+                let mut ids: Vec<GraphId> =
+                    self.views.iter().flat_map(|&v| store.view_hits(p, v, db)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+            // No pattern: everything, or everything the views explain.
+            (None, true) => db.iter().map(|(id, _)| id).collect(),
+            (None, false) => {
+                let mut ids: Vec<GraphId> =
+                    self.views.iter().flat_map(|&v| store.view_graph_ids(v)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+        };
+        if let Some(l) = self.label {
+            let allowed = store.label_graphs(l);
+            graphs.retain(|id| allowed.binary_search(id).is_ok());
+        }
+        let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
+        for &id in &graphs {
             *counts.entry(db.truth(id)).or_insert(0) += 1;
         }
+        QueryResult { graphs, per_label: counts.into_iter().collect() }
     }
-    PatternHits { graphs, per_label: counts.into_iter().collect() }
+}
+
+/// "Which graphs contain pattern `p`?" — a pattern-index probe.
+pub fn graphs_containing(store: &ViewStore, db: &GraphDb, p: &Pattern) -> PatternHits {
+    store.hits(p, db)
 }
 
 /// "Which graphs **with label l** contain pattern `p`?" (e.g. "which
 /// nonmutagens contain the toxicophore P22?").
-pub fn label_graphs_containing(db: &GraphDb, p: &Pattern, label: ClassLabel) -> Vec<GraphId> {
-    db.iter()
-        .filter(|(id, g)| db.truth(*id) == label && vf2::contains(p, g))
-        .map(|(id, _)| id)
-        .collect()
+pub fn label_graphs_containing(
+    store: &ViewStore,
+    db: &GraphDb,
+    p: &Pattern,
+    label: ClassLabel,
+) -> Vec<GraphId> {
+    ViewQuery::pattern(p.clone()).label(label).evaluate(store, db).graphs
 }
 
 /// Discriminativeness of a pattern for a label: fraction of the pattern's
 /// occurrences that fall in the label's group. A pattern like the paper's
-/// `P12` (occurs in all mutagens, no nonmutagens) scores 1.0.
-pub fn discriminativeness(db: &GraphDb, p: &Pattern, label: ClassLabel) -> f64 {
-    let hits = graphs_containing(db, p);
+/// `P12` (occurs in all mutagens, no nonmutagens) scores 1.0. Both the
+/// occurrence set and the label count come from one posting list — a
+/// single probe, where the old implementation scanned the database and
+/// then re-derived the count it had already computed.
+pub fn discriminativeness(store: &ViewStore, db: &GraphDb, p: &Pattern, label: ClassLabel) -> f64 {
+    let hits = store.hits(p, db);
     if hits.graphs.is_empty() {
         return 0.0;
     }
@@ -58,48 +174,79 @@ pub fn discriminativeness(db: &GraphDb, p: &Pattern, label: ClassLabel) -> f64 {
 /// "representative substructure" of the paper's Example 1.1, which
 /// distinguishes the label group from the rest of the database.
 pub fn most_discriminative<'a>(
+    store: &ViewStore,
     db: &GraphDb,
     view: &'a ExplanationView,
 ) -> Option<(&'a Pattern, f64)> {
     view.patterns
         .iter()
-        .map(|p| (p, discriminativeness(db, p, view.label)))
+        .map(|p| (p, discriminativeness(store, db, p, view.label)))
         .max_by(|a, b| cmp_score(a.1, b.1).then(a.0.size().cmp(&b.0.size())))
 }
 
-/// "Which patterns of view A also occur in view B's subgraphs?" — the
+/// "Which patterns of view `a` also occur in view `b`'s subgraphs?" — the
 /// cross-view comparison of Example 1.1 ("search for and compare the
-/// difference between these compounds").
+/// difference between these compounds"). Answered from the per-view
+/// postings of the pattern index.
 pub fn shared_patterns<'a>(
+    store: &'a ViewStore,
     db: &GraphDb,
-    a: &'a ExplanationView,
-    b: &ExplanationView,
+    a: ViewId,
+    b: ViewId,
 ) -> Vec<&'a Pattern> {
-    a.patterns
-        .iter()
-        .filter(|p| {
-            b.subgraphs.iter().any(|s| {
-                let (sub, _) = s.induced(db);
-                vf2::contains(p, &sub)
-            })
-        })
-        .collect()
+    store.view(a).patterns.iter().filter(|p| !store.view_hits(p, b, db).is_empty()).collect()
 }
 
-/// Patterns exclusive to view A (occurring in none of B's subgraphs) —
-/// candidate class-distinguishing structures.
+/// Patterns exclusive to view `a` (occurring in none of `b`'s subgraphs)
+/// — candidate class-distinguishing structures.
 pub fn exclusive_patterns<'a>(
+    store: &'a ViewStore,
     db: &GraphDb,
-    a: &'a ExplanationView,
-    b: &ExplanationView,
+    a: ViewId,
+    b: ViewId,
 ) -> Vec<&'a Pattern> {
-    a.patterns
-        .iter()
-        .filter(|p| {
-            !b.subgraphs.iter().any(|s| {
-                let (sub, _) = s.induced(db);
-                vf2::contains(p, &sub)
-            })
-        })
-        .collect()
+    store.view(a).patterns.iter().filter(|p| store.view_hits(p, b, db).is_empty()).collect()
+}
+
+/// Reference scan-based evaluation: semantically identical to the
+/// indexed path, kept for the equivalence proptests and the
+/// indexed-vs-scan benchmark. Production callers go through
+/// [`ViewQuery`] / [`ViewStore`].
+pub mod scan {
+    use super::PatternHits;
+    use gvex_graph::{ClassLabel, GraphDb, GraphId};
+    use gvex_pattern::{vf2, Pattern};
+
+    /// Scan counterpart of [`super::graphs_containing`]: node-induced
+    /// VF2 matching over every database graph.
+    pub fn graphs_containing(db: &GraphDb, p: &Pattern) -> PatternHits {
+        let mut graphs = Vec::new();
+        let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
+        for (id, g) in db.iter() {
+            if vf2::contains(p, g) {
+                graphs.push(id);
+                *counts.entry(db.truth(id)).or_insert(0) += 1;
+            }
+        }
+        PatternHits { graphs, per_label: counts.into_iter().collect() }
+    }
+
+    /// Scan counterpart of [`super::label_graphs_containing`].
+    pub fn label_graphs_containing(db: &GraphDb, p: &Pattern, label: ClassLabel) -> Vec<GraphId> {
+        db.iter()
+            .filter(|(id, g)| db.truth(*id) == label && vf2::contains(p, g))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Scan counterpart of [`super::discriminativeness`].
+    pub fn discriminativeness(db: &GraphDb, p: &Pattern, label: ClassLabel) -> f64 {
+        let hits = graphs_containing(db, p);
+        if hits.graphs.is_empty() {
+            return 0.0;
+        }
+        let in_label =
+            hits.per_label.iter().find(|(l, _)| *l == label).map(|(_, c)| *c).unwrap_or(0);
+        in_label as f64 / hits.graphs.len() as f64
+    }
 }

@@ -1,0 +1,289 @@
+//! The explanation-view store: explanation views plus the inverted
+//! indexes that make them *directly queryable* (Table 1's distinguishing
+//! GVEX property).
+//!
+//! The old query layer re-scanned the whole database with VF2 on every
+//! call. The store instead maintains:
+//!
+//! - a **pattern index**: canonical form (WL invariant key, confirmed by
+//!   VF2 within a bucket) → postings of matching database graphs *and*
+//!   of views whose explanation subgraphs contain the pattern. A pattern
+//!   is matched against the database exactly once — when it is first
+//!   indexed — and every later probe, including probes with a different
+//!   but isomorphic `Pattern` value, is a hash lookup;
+//! - a **label index**: ground-truth class label → sorted graph ids,
+//!   built once per store.
+//!
+//! [`crate::query::ViewQuery`] evaluates against these indexes; the
+//! naive scans survive only as the reference implementation in
+//! [`crate::query::scan`] (used by the equivalence proptests and the
+//! indexed-vs-scan benchmark).
+
+use crate::query::PatternHits;
+use crate::ExplanationView;
+use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId};
+use gvex_pattern::{vf2, Pattern};
+use rustc_hash::FxHashMap;
+use std::sync::RwLock;
+
+/// Handle to one view inside a [`ViewStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(pub u32);
+
+impl ViewId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One posting list of the pattern index.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    /// The representative pattern of this isomorphism class.
+    pattern: Pattern,
+    /// Sorted ids of database graphs containing the pattern.
+    graphs: Vec<GraphId>,
+    /// Of those, how many carry each ground-truth label (sorted).
+    per_label: Vec<(ClassLabel, usize)>,
+    /// For each view whose subgraph tier contains the pattern: the
+    /// (sorted) graph ids whose *explanation subgraph* in that view
+    /// contains it — the "query over a view" posting.
+    view_graphs: FxHashMap<u32, Vec<GraphId>>,
+}
+
+/// The canonical-form inverted pattern index. Interiorly mutable
+/// (behind an [`RwLock`]) so ad-hoc probes under `&ViewStore` are
+/// memoized: the first probe of a novel pattern pays one database scan
+/// — run *outside* the lock, first insertion wins — and every later
+/// probe of its isomorphism class is a concurrent read-locked lookup.
+#[derive(Debug, Default)]
+struct PatternIndex {
+    entries: Vec<IndexEntry>,
+    /// Canon key → entry indices (WL collisions resolved by VF2).
+    buckets: FxHashMap<u64, Vec<usize>>,
+    /// Induced explanation subgraphs per view, cached for view matching.
+    view_subgraphs: Vec<Vec<Graph>>,
+    /// Graph ids of each view's subgraph tier (sorted, deduped).
+    view_ids: Vec<Vec<GraphId>>,
+}
+
+impl PatternIndex {
+    /// Index of the entry isomorphic to `p`, if present.
+    fn find(&self, p: &Pattern) -> Option<usize> {
+        let key = p.canon_key();
+        self.buckets
+            .get(&key)?
+            .iter()
+            .copied()
+            .find(|&i| vf2::isomorphic(&self.entries[i].pattern, p))
+    }
+
+    /// Inserts a pre-scanned entry for `p` (the caller ran the database
+    /// scan without holding the lock). View matching happens here, under
+    /// the write lock — subgraph tiers are small, unlike the database.
+    fn insert_scanned(&mut self, p: &Pattern, postings: DbPostings) -> usize {
+        let mut view_graphs = FxHashMap::default();
+        for (vid, subs) in self.view_subgraphs.iter().enumerate() {
+            let hits = matching_ids(p, subs, &self.view_ids[vid]);
+            if !hits.is_empty() {
+                view_graphs.insert(vid as u32, hits);
+            }
+        }
+        let i = self.entries.len();
+        self.buckets.entry(p.canon_key()).or_default().push(i);
+        self.entries.push(IndexEntry {
+            pattern: p.clone(),
+            graphs: postings.graphs,
+            per_label: postings.per_label,
+            view_graphs,
+        });
+        i
+    }
+}
+
+/// Database-side postings of one pattern: the expensive half of
+/// indexing, computed lock-free.
+struct DbPostings {
+    graphs: Vec<GraphId>,
+    per_label: Vec<(ClassLabel, usize)>,
+}
+
+/// One full VF2 scan of the database for `p` (runs without any lock).
+fn scan_postings(p: &Pattern, db: &GraphDb) -> DbPostings {
+    let mut graphs = Vec::new();
+    let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
+    for (id, g) in db.iter() {
+        if vf2::contains(p, g) {
+            graphs.push(id);
+            *counts.entry(db.truth(id)).or_insert(0) += 1;
+        }
+    }
+    DbPostings { graphs, per_label: counts.into_iter().collect() }
+}
+
+/// Graph ids (sorted, deduped) whose cached subgraph contains `p`.
+/// `subs` and `ids` are aligned: `subs[i]` explains graph `ids_flat[i]`.
+fn matching_ids(p: &Pattern, subs: &[Graph], ids_flat: &[GraphId]) -> Vec<GraphId> {
+    let mut hits: Vec<GraphId> =
+        subs.iter().zip(ids_flat).filter(|(s, _)| vf2::contains(p, s)).map(|(_, &id)| id).collect();
+    hits.sort_unstable();
+    hits.dedup();
+    hits
+}
+
+/// Explanation views plus their query indexes. Built against one
+/// [`GraphDb`]; every method taking `db` must be given that same
+/// database (the [`crate::engine::Engine`] facade enforces this by
+/// owning both).
+#[derive(Debug)]
+pub struct ViewStore {
+    views: Vec<ExplanationView>,
+    /// Ground-truth label → sorted graph ids.
+    label_index: FxHashMap<ClassLabel, Vec<GraphId>>,
+    index: RwLock<PatternIndex>,
+}
+
+impl ViewStore {
+    /// An empty store over `db`: builds the label index; the pattern
+    /// index fills as views are inserted and queries arrive.
+    pub fn new(db: &GraphDb) -> Self {
+        let mut label_index: FxHashMap<ClassLabel, Vec<GraphId>> = FxHashMap::default();
+        for (id, _) in db.iter() {
+            label_index.entry(db.truth(id)).or_default().push(id);
+        }
+        Self { views: Vec::new(), label_index, index: RwLock::new(PatternIndex::default()) }
+    }
+
+    /// Inserts a view, indexing its patterns: each novel pattern class is
+    /// matched against the database once and against every stored view's
+    /// subgraph tier; already-indexed classes only gain the new view's
+    /// postings.
+    pub fn insert(&mut self, view: ExplanationView, db: &GraphDb) -> ViewId {
+        let vid = self.views.len() as u32;
+        let subs: Vec<Graph> = view.subgraphs.iter().map(|s| s.induced(db).0).collect();
+        let ids_flat: Vec<GraphId> = view.subgraphs.iter().map(|s| s.graph_id).collect();
+        // Scan novel patterns against the database before taking the
+        // write lock (`&mut self` means no concurrent reader here, but
+        // the lock discipline stays uniform with the probe path).
+        let novel: Vec<(&Pattern, DbPostings)> = {
+            let index = self.index.read().expect("pattern index lock");
+            view.patterns
+                .iter()
+                .filter(|p| index.find(p).is_none())
+                .map(|p| (p, scan_postings(p, db)))
+                .collect()
+        };
+        {
+            let mut index = self.index.write().expect("pattern index lock");
+            // Existing entries vs the new view's subgraphs.
+            for entry in &mut index.entries {
+                let hits = matching_ids(&entry.pattern, &subs, &ids_flat);
+                if !hits.is_empty() {
+                    entry.view_graphs.insert(vid, hits);
+                }
+            }
+            index.view_subgraphs.push(subs);
+            index.view_ids.push(ids_flat);
+            // Novel patterns of the new view (the view was just pushed,
+            // so insert_scanned records its own postings too).
+            for (p, postings) in novel {
+                if index.find(p).is_none() {
+                    index.insert_scanned(p, postings);
+                }
+            }
+        }
+        self.views.push(view);
+        ViewId(vid)
+    }
+
+    /// The view behind a handle.
+    ///
+    /// # Panics
+    /// Panics if `id` does not come from this store.
+    pub fn view(&self, id: ViewId) -> &ExplanationView {
+        &self.views[id.idx()]
+    }
+
+    /// Iterator over `(handle, view)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (ViewId, &ExplanationView)> {
+        self.views.iter().enumerate().map(|(i, v)| (ViewId(i as u32), v))
+    }
+
+    /// Number of stored views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the store holds no views.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// The first view for `label`, if one has been generated.
+    pub fn for_label(&self, label: ClassLabel) -> Option<(ViewId, &ExplanationView)> {
+        self.iter().find(|(_, v)| v.label == label)
+    }
+
+    /// Sorted graph ids with ground-truth `label` (the label index).
+    pub fn label_graphs(&self, label: ClassLabel) -> &[GraphId] {
+        self.label_index.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Index probe: which database graphs contain `p`, with per-label
+    /// counts from the same postings (one pass, no re-derivation). First
+    /// probe of a novel pattern class scans the database once — outside
+    /// the lock, so concurrent warm probes are never blocked behind a
+    /// scan — and is memoized.
+    pub fn hits(&self, p: &Pattern, db: &GraphDb) -> PatternHits {
+        self.probe(p, db, |e| PatternHits {
+            graphs: e.graphs.clone(),
+            per_label: e.per_label.clone(),
+        })
+    }
+
+    /// Index probe: graph ids whose **explanation subgraph** in `view`
+    /// contains `p` (a query *over the view* rather than the database).
+    pub fn view_hits(&self, p: &Pattern, view: ViewId, db: &GraphDb) -> Vec<GraphId> {
+        self.probe(p, db, |e| e.view_graphs.get(&view.0).cloned().unwrap_or_default())
+    }
+
+    /// Shared probe: concurrent read-locked lookup on the warm path; on
+    /// a miss, the database scan runs lock-free and the first insertion
+    /// wins (a racing scan of the same class produces identical
+    /// postings — scanning is deterministic).
+    fn probe<T>(&self, p: &Pattern, db: &GraphDb, read: impl Fn(&IndexEntry) -> T) -> T {
+        {
+            let index = self.index.read().expect("pattern index lock");
+            if let Some(i) = index.find(p) {
+                return read(&index.entries[i]);
+            }
+        }
+        let postings = scan_postings(p, db);
+        let mut index = self.index.write().expect("pattern index lock");
+        let i = match index.find(p) {
+            Some(i) => i,
+            None => index.insert_scanned(p, postings),
+        };
+        read(&index.entries[i])
+    }
+
+    /// Sorted, deduped graph ids explained by `view`'s subgraph tier.
+    pub fn view_graph_ids(&self, view: ViewId) -> Vec<GraphId> {
+        let mut ids: Vec<GraphId> =
+            self.views[view.idx()].subgraphs.iter().map(|s| s.graph_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Pre-indexes a pattern (e.g. a domain motif that will be probed
+    /// repeatedly) without running a query.
+    pub fn index_pattern(&self, p: &Pattern, db: &GraphDb) {
+        self.probe(p, db, |_| ());
+    }
+
+    /// Number of indexed pattern classes.
+    pub fn indexed_patterns(&self) -> usize {
+        self.index.read().expect("pattern index lock").entries.len()
+    }
+}

@@ -70,20 +70,60 @@ impl StreamGvex {
         order: Option<&[NodeId]>,
         fraction: f64,
     ) -> Option<(ExplanationSubgraph, Vec<Pattern>)> {
+        if g.num_nodes() == 0 {
+            return None;
+        }
+        let ctx = GraphContext::build(model, g, &self.config);
+        self.stream_with_context(model, g, graph_id, label, order, fraction, &ctx)
+    }
+
+    /// Like [`Self::stream_graph`] with a caller-provided (typically
+    /// cached) [`GraphContext`], so repeated streams of the same graph —
+    /// e.g. the anytime fraction sweep — skip the per-graph
+    /// precomputation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_with_context(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        graph_id: GraphId,
+        label: ClassLabel,
+        order: Option<&[NodeId]>,
+        fraction: f64,
+        ctx: &GraphContext,
+    ) -> Option<(ExplanationSubgraph, Vec<Pattern>)> {
+        let bounds = self.config.bounds_for(label);
+        self.stream_bounded(model, g, graph_id, label, order, fraction, bounds, ctx)
+    }
+
+    /// Like [`Self::stream_with_context`] with explicit coverage bounds
+    /// `(b_l, u_l)` overriding the configuration's — the budgeted
+    /// [`crate::Explainer`] path (the old interface cloned the whole
+    /// algorithm per call to rewrite its bounds).
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_bounded(
+        &self,
+        model: &GcnModel,
+        g: &Graph,
+        graph_id: GraphId,
+        label: ClassLabel,
+        order: Option<&[NodeId]>,
+        fraction: f64,
+        (b_l, u_l): (usize, usize),
+        ctx: &GraphContext,
+    ) -> Option<(ExplanationSubgraph, Vec<Pattern>)> {
         let n = g.num_nodes();
         if n == 0 {
             return None;
         }
-        let ctx = GraphContext::build(model, g, &self.config);
         let default_order: Vec<NodeId> = (0..n as NodeId).collect();
         let order = order.unwrap_or(&default_order);
         let take = ((order.len() as f64) * fraction.clamp(0.0, 1.0)).ceil() as usize;
-        let (b_l, u_l) = self.config.bounds_for(label);
         let u_l = u_l.min(n).max(1);
 
         let mut st =
             StreamState { vs: Vec::new(), vu: Vec::new(), patterns: Vec::new(), processed: 0 };
-        let mut tracker = GainTracker::new(&ctx, &self.config);
+        let mut tracker = GainTracker::new(ctx, &self.config);
 
         for &v in order.iter().take(take) {
             st.processed += 1;
@@ -100,7 +140,7 @@ impl StreamGvex {
             // improve the consistency probability of the cached subgraph
             // — the cheap half of the C2 check. Strict verification runs
             // once on the final subgraph.
-            let accepted = self.inc_update_vs(model, label, &ctx, &mut st, &mut tracker, v, u_l, g);
+            let accepted = self.inc_update_vs(model, label, ctx, &mut st, &mut tracker, v, u_l, g);
             if accepted {
                 self.inc_update_p(&mut st, g, v);
             }
@@ -313,11 +353,30 @@ impl StreamGvex {
         ids: &[GraphId],
         fraction: f64,
     ) -> ExplanationView {
+        let ctxs = crate::ContextCache::new(self.config.clone());
+        self.explain_label_cached(model, db, label, ids, fraction, &ctxs)
+    }
+
+    /// Like [`Self::explain_label_fraction`] with per-graph contexts
+    /// read through (and written to) a shared cache — the engine's
+    /// stream path, where repeated fraction sweeps over the same graphs
+    /// skip the precomputation.
+    pub fn explain_label_cached(
+        &self,
+        model: &GcnModel,
+        db: &GraphDb,
+        label: ClassLabel,
+        ids: &[GraphId],
+        fraction: f64,
+        ctxs: &crate::ContextCache,
+    ) -> ExplanationView {
         let mut subgraphs = Vec::new();
         let mut patterns: Vec<Pattern> = Vec::new();
         for &id in ids {
+            let g = db.graph(id);
+            let ctx = ctxs.get(model, g, id);
             if let Some((sub, pats)) =
-                self.stream_graph(model, db.graph(id), id, label, None, fraction)
+                self.stream_with_context(model, g, id, label, None, fraction, &ctx)
             {
                 subgraphs.push(sub);
                 for p in pats {
@@ -327,11 +386,7 @@ impl StreamGvex {
                 }
             }
         }
-        // Group-level coverage & edge loss against the pooled subgraphs.
-        let induced: Vec<Graph> = subgraphs.iter().map(|s| s.induced(db).0).collect();
-        let (patterns, edge_loss) = finalize_patterns(patterns, &induced, &self.config.miner);
-        let explainability = subgraphs.iter().map(|s| s.score).sum();
-        ExplanationView { label, subgraphs, patterns, explainability, edge_loss }
+        assemble_view(label, subgraphs, patterns, db, &self.config)
     }
 
     /// Solves EVG in streaming mode for several labels.
@@ -345,6 +400,24 @@ impl StreamGvex {
             .collect();
         ViewSet { views }
     }
+}
+
+/// Assembles a group-level view from streamed subgraphs and the pooled
+/// pattern tier: re-verifies coverage across all emitted subgraphs and
+/// computes the final edge loss. Shared by
+/// [`StreamGvex::explain_label_fraction`] and the engine's stream path.
+pub(crate) fn assemble_view(
+    label: ClassLabel,
+    subgraphs: Vec<ExplanationSubgraph>,
+    patterns: Vec<Pattern>,
+    db: &GraphDb,
+    config: &Config,
+) -> ExplanationView {
+    // Group-level coverage & edge loss against the pooled subgraphs.
+    let induced: Vec<Graph> = subgraphs.iter().map(|s| s.induced(db).0).collect();
+    let (patterns, edge_loss) = finalize_patterns(patterns, &induced, &config.miner);
+    let explainability = subgraphs.iter().map(|s| s.score).sum();
+    ExplanationView { label, subgraphs, patterns, explainability, edge_loss }
 }
 
 /// Ensures the maintained pattern pool covers all pooled subgraph nodes

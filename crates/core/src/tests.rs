@@ -2,7 +2,10 @@ use crate::metrics::{self, GraphExplanation};
 use crate::psum::psum;
 use crate::quality::{self, GainTracker};
 use crate::verify::{everify, pmatch_covers, verify_view};
-use crate::{ApproxGvex, BitSet, Config, Explainer, GraphContext, StreamGvex};
+use crate::{
+    ApproxGvex, BitSet, Config, ContextCache, Engine, Explainer, GraphContext, StreamGvex,
+    ViewQuery, ViewStore,
+};
 use gvex_data::{mutagenicity, DataConfig};
 use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
 use gvex_graph::{generate, Graph, GraphDb};
@@ -221,7 +224,7 @@ fn approx_respects_upper_bound_and_scores() {
     let (model, db) = toy_setup();
     let algo = ApproxGvex::new(Config::with_bounds(2, 4));
     let label = db.predicted(0).unwrap();
-    let sub = algo.explain_graph(&model, db.graph(0), 0, label).expect("explanation");
+    let sub = algo.explain_subgraph(&model, db.graph(0), 0, label).expect("explanation");
     assert!(sub.len() <= 4 && sub.len() >= 2);
     assert!(sub.score > 0.0);
     // Nodes are valid and sorted.
@@ -233,7 +236,7 @@ fn approx_respects_upper_bound_and_scores() {
 fn approx_empty_graph_returns_none() {
     let (model, _) = toy_setup();
     let algo = ApproxGvex::new(Config::default());
-    assert!(algo.explain_graph(&model, &Graph::new(2), 0, 0).is_none());
+    assert!(algo.explain_subgraph(&model, &Graph::new(2), 0, 0).is_none());
 }
 
 #[test]
@@ -241,7 +244,7 @@ fn approx_infeasible_lower_bound_returns_none() {
     let (model, db) = toy_setup();
     let algo = ApproxGvex::new(Config::with_bounds(1000, 2000));
     let label = db.predicted(0).unwrap();
-    assert!(algo.explain_graph(&model, db.graph(0), 0, label).is_none());
+    assert!(algo.explain_subgraph(&model, db.graph(0), 0, label).is_none());
 }
 
 #[test]
@@ -267,9 +270,9 @@ fn approx_explainability_grows_with_budget() {
     let label = db.predicted(0).unwrap();
     let g = db.graph(0);
     let small =
-        ApproxGvex::new(Config::with_bounds(0, 2)).explain_graph(&model, g, 0, label).unwrap();
+        ApproxGvex::new(Config::with_bounds(0, 2)).explain_subgraph(&model, g, 0, label).unwrap();
     let large =
-        ApproxGvex::new(Config::with_bounds(0, 5)).explain_graph(&model, g, 0, label).unwrap();
+        ApproxGvex::new(Config::with_bounds(0, 5)).explain_subgraph(&model, g, 0, label).unwrap();
     assert!(large.score >= small.score - 1e-12, "monotone objective");
     assert!(large.len() >= small.len());
 }
@@ -279,8 +282,8 @@ fn approx_deterministic() {
     let (model, db) = toy_setup();
     let label = db.predicted(1).unwrap();
     let algo = ApproxGvex::new(Config::with_bounds(0, 4));
-    let a = algo.explain_graph(&model, db.graph(1), 1, label).unwrap();
-    let b = algo.explain_graph(&model, db.graph(1), 1, label).unwrap();
+    let a = algo.explain_subgraph(&model, db.graph(1), 1, label).unwrap();
+    let b = algo.explain_subgraph(&model, db.graph(1), 1, label).unwrap();
     assert_eq!(a.nodes, b.nodes);
 }
 
@@ -348,7 +351,8 @@ fn stream_quality_within_factor_of_approx() {
     let (model, db) = toy_setup();
     let label = db.predicted(0).unwrap();
     let g = db.graph(0);
-    let ag = ApproxGvex::new(Config::with_bounds(0, 4)).explain_graph(&model, g, 0, label).unwrap();
+    let ag =
+        ApproxGvex::new(Config::with_bounds(0, 4)).explain_subgraph(&model, g, 0, label).unwrap();
     let sg = StreamGvex::new(Config::with_bounds(0, 4))
         .stream_graph(&model, g, 0, label, None, 1.0)
         .unwrap()
@@ -359,16 +363,57 @@ fn stream_quality_within_factor_of_approx() {
 // ---------- Explainer trait ----------
 
 #[test]
-fn explainer_trait_budget_respected() {
+fn explainer_trait_budget_respected_and_rich() {
     let (model, db) = toy_setup();
     let label = db.predicted(0).unwrap();
     let ag = ApproxGvex::new(Config::default());
     let sg = StreamGvex::new(Config::default());
+    let ctx = GraphContext::build(&model, db.graph(0), &Config::default());
     for explainer in [&ag as &dyn Explainer, &sg as &dyn Explainer] {
-        let nodes = explainer.explain_graph(&model, db.graph(0), label, 3);
-        assert!(nodes.len() <= 3, "{} exceeded budget", explainer.name());
-        assert!(!nodes.is_empty());
+        let e = explainer.explain_graph(&model, db.graph(0), 0, label, 3, &ctx);
+        assert!(e.len() <= 3, "{} exceeded budget", explainer.name());
+        assert!(!e.is_empty());
+        assert!(e.flags.size_ok, "{} must report the C3 size check", explainer.name());
+        // Rich fields: aligned scores, a positive objective, a timing.
+        assert_eq!(e.node_scores.len(), e.nodes.len());
+        assert!(e.node_scores.iter().all(|s| s.is_finite()));
+        assert!(e.score > 0.0);
+        assert!(e.wall > std::time::Duration::ZERO);
+        assert_eq!(e.label, label);
+        assert_eq!(e.graph_id, 0);
     }
+}
+
+#[test]
+fn explain_batch_matches_per_graph_calls() {
+    let (model, db) = toy_setup();
+    let label = db.predicted(0).unwrap();
+    let ids = db.label_group(label);
+    let ag = ApproxGvex::new(Config::default());
+    let ctxs = ContextCache::new(Config::default());
+    let batch = ag.explain_batch(&model, &db, label, &ids, 4, &ctxs);
+    assert_eq!(batch.len(), ids.len());
+    assert_eq!(ctxs.len(), ids.len(), "one cached context per graph");
+    for (e, &id) in batch.iter().zip(&ids) {
+        let ctx = ctxs.get(&model, db.graph(id), id);
+        let single = ag.explain_graph(&model, db.graph(id), id, label, 4, &ctx);
+        assert_eq!(e.nodes, single.nodes, "batch and single paths agree");
+        assert_eq!(e.graph_id, id);
+    }
+}
+
+#[test]
+fn explanation_coverage_flag_fills_in_with_pattern_tier() {
+    let (model, db) = toy_setup();
+    let label = db.predicted(0).unwrap();
+    let ag = ApproxGvex::new(Config::with_bounds(1, 4));
+    let ids = db.label_group(label);
+    let view = ag.explain_label(&model, &db, label, &ids);
+    let ctx = GraphContext::build(&model, db.graph(ids[0]), &ag.config);
+    let mut e = ag.explain_graph(&model, db.graph(ids[0]), ids[0], label, 4, &ctx);
+    assert_eq!(e.flags.covered, None, "C1 undecidable without a pattern tier");
+    e.verify_coverage(&view.patterns, db.graph(ids[0]));
+    assert!(e.flags.covered.is_some());
 }
 
 // ---------- metrics ----------
@@ -393,7 +438,7 @@ fn fidelity_of_perfect_explanation_on_planted_motif() {
         .iter()
         .filter_map(|&id| {
             let g = db.graph(id);
-            algo.explain_graph(&model, g, id, 1).map(|s| GraphExplanation {
+            algo.explain_subgraph(&model, g, id, 1).map(|s| GraphExplanation {
                 graph: g.clone(),
                 label: 1,
                 nodes: s.nodes,
@@ -439,7 +484,16 @@ fn parallel_matches_sequential() {
     let ids = db.label_group(label);
     let seq = algo.explain_label(&model, &db, label, &ids);
     let pool = crate::parallel::explainer_pool(4);
-    let par = crate::parallel::explain_label_parallel(&algo, &model, &db, label, &ids, Some(&pool));
+    let ctxs = ContextCache::new(algo.config.clone());
+    let par = crate::parallel::explain_label_parallel(
+        &algo,
+        &model,
+        &db,
+        label,
+        &ids,
+        Some(&pool),
+        &ctxs,
+    );
     // Same subgraph node sets (order of completion may differ; sort).
     let key = |v: &crate::ExplanationView| {
         let mut s: Vec<(u32, Vec<u32>)> =
@@ -454,15 +508,26 @@ fn parallel_matches_sequential() {
 // ---------- capabilities ----------
 
 #[test]
-fn table1_gvex_has_all_properties() {
-    let gvex = crate::capabilities::TABLE1.iter().find(|c| c.method.contains("GVEX")).unwrap();
-    assert!(gvex.model_agnostic && gvex.label_specific && gvex.size_bound);
-    assert!(gvex.coverage && gvex.config && gvex.queryable && !gvex.learning);
-    // No competitor has every property.
-    for c in &crate::capabilities::TABLE1 {
-        if !c.method.contains("GVEX") {
-            assert!(!(c.queryable && c.config && c.size_bound), "{} should not dominate", c.method);
-        }
+fn capability_rows_come_from_the_trait_and_gvex_dominates() {
+    use crate::capabilities::Capability;
+    // Both GVEX algorithms self-report the full-capability GVEX row.
+    let ag = ApproxGvex::new(Config::default());
+    let sg = StreamGvex::new(Config::default());
+    for gvex in [ag.capability(), sg.capability()] {
+        assert!(gvex.model_agnostic && gvex.label_specific && gvex.size_bound);
+        assert!(gvex.coverage && gvex.config && gvex.queryable && !gvex.learning);
+    }
+    assert_eq!(ag.capability(), sg.capability(), "one Table 1 row for GVEX");
+    // No competitor row has every property.
+    for c in [
+        Capability::subgraphx(),
+        Capability::gnn_explainer(),
+        Capability::pg_explainer(),
+        Capability::gstarx(),
+        Capability::gcf_explainer(),
+    ] {
+        assert!(!(c.queryable && c.config && c.size_bound), "{} should not dominate", c.method);
+        assert!(!c.queryable, "queryability is the GVEX differentiator");
     }
 }
 
@@ -470,8 +535,9 @@ fn table1_gvex_has_all_properties() {
 
 mod query_tests {
     use super::*;
-    use crate::query;
+    use crate::query::{self, scan};
     use gvex_pattern::Pattern;
+    use rand::Rng;
 
     #[test]
     fn graphs_containing_counts_per_label() {
@@ -479,10 +545,17 @@ mod query_tests {
         db.push(generate::star(4, 1, 2, 1), 0); // hub type 1
         db.push(generate::star(3, 1, 2, 1), 0);
         db.push(generate::cycle(5, 3, 1), 1); // all type 3
+        let store = ViewStore::new(&db);
         let hub_edge = Pattern::new(&[1, 2], &[(0, 1, 0)]);
-        let hits = query::graphs_containing(&db, &hub_edge);
+        let hits = query::graphs_containing(&store, &db, &hub_edge);
         assert_eq!(hits.graphs, vec![0, 1]);
         assert_eq!(hits.per_label, vec![(0, 2)]);
+        // The probe memoized the pattern class: a second (isomorphic but
+        // differently-labeled) probe is answered from the index.
+        assert_eq!(store.indexed_patterns(), 1);
+        let flipped = Pattern::new(&[2, 1], &[(0, 1, 0)]);
+        assert_eq!(query::graphs_containing(&store, &db, &flipped), hits);
+        assert_eq!(store.indexed_patterns(), 1);
     }
 
     #[test]
@@ -490,9 +563,10 @@ mod query_tests {
         let mut db = GraphDb::new();
         db.push(generate::star(4, 1, 2, 1), 0);
         db.push(generate::cycle(5, 1, 1), 1);
+        let store = ViewStore::new(&db);
         let t1 = Pattern::single_node(1);
-        assert_eq!(query::label_graphs_containing(&db, &t1, 0), vec![0]);
-        assert_eq!(query::label_graphs_containing(&db, &t1, 1), vec![1]);
+        assert_eq!(query::label_graphs_containing(&store, &db, &t1, 0), vec![0]);
+        assert_eq!(query::label_graphs_containing(&store, &db, &t1, 1), vec![1]);
     }
 
     #[test]
@@ -501,12 +575,13 @@ mod query_tests {
         db.push(generate::star(4, 1, 2, 1), 0);
         db.push(generate::star(3, 1, 2, 1), 0);
         db.push(generate::cycle(5, 3, 1), 1);
+        let store = ViewStore::new(&db);
         let hub_edge = Pattern::new(&[1, 2], &[(0, 1, 0)]);
-        assert_eq!(query::discriminativeness(&db, &hub_edge, 0), 1.0);
-        assert_eq!(query::discriminativeness(&db, &hub_edge, 1), 0.0);
+        assert_eq!(query::discriminativeness(&store, &db, &hub_edge, 0), 1.0);
+        assert_eq!(query::discriminativeness(&store, &db, &hub_edge, 1), 0.0);
         // Pattern occurring nowhere.
         let absent = Pattern::new(&[9, 9], &[(0, 1, 0)]);
-        assert_eq!(query::discriminativeness(&db, &absent, 0), 0.0);
+        assert_eq!(query::discriminativeness(&store, &db, &absent, 0), 0.0);
     }
 
     #[test]
@@ -517,13 +592,168 @@ mod query_tests {
         let view0 = ag.explain_label(&model, &db, l0, &db.label_group(l0));
         let l1 = 1 - l0;
         let view1 = ag.explain_label(&model, &db, l1, &db.label_group(l1));
-        let best = query::most_discriminative(&db, &view0);
+        let n_patterns = view0.patterns.len();
+        let mut store = ViewStore::new(&db);
+        let v0 = store.insert(view0, &db);
+        let v1 = store.insert(view1, &db);
+        let best = query::most_discriminative(&store, &db, store.view(v0));
         assert!(best.is_some());
         let (_, score) = best.unwrap();
         assert!((0.0..=1.0).contains(&score));
-        let shared = query::shared_patterns(&db, &view0, &view1);
-        let exclusive = query::exclusive_patterns(&db, &view0, &view1);
-        assert_eq!(shared.len() + exclusive.len(), view0.patterns.len());
+        let shared = query::shared_patterns(&store, &db, v0, v1);
+        let exclusive = query::exclusive_patterns(&store, &db, v0, v1);
+        assert_eq!(shared.len() + exclusive.len(), n_patterns);
+    }
+
+    #[test]
+    fn view_query_composes_pattern_label_and_views() {
+        let (model, db) = toy_setup();
+        let ag = ApproxGvex::new(Config::with_bounds(1, 4));
+        let l0 = db.predicted(0).unwrap();
+        let view = ag.explain_label(&model, &db, l0, &db.label_group(l0));
+        let mut store = ViewStore::new(&db);
+        let vid = store.insert(view, &db);
+        // Unconstrained: every database graph.
+        let all = ViewQuery::new().evaluate(&store, &db);
+        assert_eq!(all.len(), db.len());
+        assert_eq!(all.per_label.iter().map(|(_, c)| c).sum::<usize>(), db.len());
+        // View-scoped without a pattern: exactly the explained graphs.
+        let in_view = ViewQuery::new().in_views([vid]).evaluate(&store, &db);
+        assert_eq!(in_view.graphs, store.view_graph_ids(vid));
+        // Pattern + label conjunction matches the scan reference.
+        let p = store.view(vid).patterns[0].clone();
+        let got = ViewQuery::pattern(p.clone()).label(0).evaluate(&store, &db);
+        assert_eq!(got.graphs, scan::label_graphs_containing(&db, &p, 0));
+        // View-scoped pattern hits are a subset of the database hits.
+        let over_view = ViewQuery::pattern(p.clone()).in_views([vid]).evaluate(&store, &db);
+        let over_db = ViewQuery::pattern(p).evaluate(&store, &db);
+        assert!(over_view.graphs.iter().all(|id| over_db.graphs.contains(id)));
+        // The view's own patterns cover its subgraphs, so every pattern
+        // occurs in at least one of the view's explanation subgraphs.
+        assert!(!over_view.is_empty());
+    }
+
+    /// Random (database, pattern) instances: the indexed path must be
+    /// result-identical to the direct-VF2 scan, for fresh stores, warm
+    /// stores, and isomorphic re-probes.
+    fn random_db(seed: u64) -> GraphDb {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = GraphDb::new();
+        let n_graphs = 4 + (seed % 5) as usize;
+        for i in 0..n_graphs {
+            let ty = |rng: &mut StdRng| rng.gen_range(0..3usize) as u16;
+            let g = match rng.gen_range(0..3usize) {
+                0 => {
+                    let (h, l) = (ty(&mut rng), ty(&mut rng));
+                    generate::star(3 + rng.gen_range(0..4usize), h, l, 1)
+                }
+                1 => {
+                    let t = ty(&mut rng);
+                    generate::cycle(3 + rng.gen_range(0..5usize), t, 1)
+                }
+                _ => {
+                    let (n, t) = (rng.gen_range(3..9usize), ty(&mut rng));
+                    generate::random_connected(n, 0.35, t, 1, &mut rng)
+                }
+            };
+            db.push(g, (i % 2) as u16);
+        }
+        db
+    }
+
+    fn random_pattern(db: &GraphDb, rng: &mut StdRng) -> Pattern {
+        // Induce a connected 1-3 node pattern from a random graph (a
+        // node plus a prefix of its neighborhood), occasionally mutating
+        // a type so absent patterns are exercised too.
+        let g = db.graph(rng.gen_range(0..db.len() as u32));
+        let v = rng.gen_range(0..g.num_nodes() as u32);
+        let mut nodes = vec![v];
+        for &w in g.neighbors(v).iter().take(rng.gen_range(0..3)) {
+            nodes.push(w);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut p = Pattern::from_induced(g, &nodes);
+        if rng.gen_bool(0.2) {
+            let types: Vec<u16> = (0..p.num_nodes() as u32).map(|x| p.node_type(x) + 7).collect();
+            let edges: Vec<(u32, u32, u16)> = p.edges().collect();
+            p = Pattern::new(&types, &edges);
+        }
+        p
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn indexed_queries_equal_direct_scan(seed in 0u64..200) {
+            let db = random_db(seed);
+            let store = ViewStore::new(&db);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b9);
+            for _ in 0..6 {
+                let p = random_pattern(&db, &mut rng);
+                let indexed = store.hits(&p, &db);
+                let scanned = scan::graphs_containing(&db, &p);
+                prop_assert_eq!(&indexed, &scanned);
+                for label in [0u16, 1] {
+                    prop_assert_eq!(
+                        query::label_graphs_containing(&store, &db, &p, label),
+                        scan::label_graphs_containing(&db, &p, label)
+                    );
+                    let di = query::discriminativeness(&store, &db, &p, label);
+                    let ds = scan::discriminativeness(&db, &p, label);
+                    prop_assert!((di - ds).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}
+
+// ---------- engine ----------
+
+mod engine_tests {
+    use super::*;
+
+    #[test]
+    fn engine_explains_queries_and_memoizes() {
+        let (model, db) = toy_setup();
+        let n_graphs = db.len();
+        let mut engine = Engine::builder(model, db).config(Config::with_bounds(1, 4)).build();
+        let views = engine.explain_all();
+        assert_eq!(views.len(), 2);
+        assert_eq!(engine.store().len(), 2);
+        // Contexts were built once per explained graph and are reused.
+        assert_eq!(engine.contexts().len(), n_graphs);
+        let ctx_a = engine.context(0);
+        let ctx_b = engine.context(0);
+        assert!(std::sync::Arc::ptr_eq(&ctx_a, &ctx_b));
+        // Views are queryable through the engine facade.
+        for &vid in &views {
+            let view = engine.store().view(vid);
+            assert!(!view.patterns.is_empty());
+            let label = view.label;
+            let p = view.patterns[0].clone();
+            let hits = engine.query(&ViewQuery::pattern(p).label(label));
+            assert!(hits.graphs.iter().all(|&id| engine.db().truth(id) == label));
+        }
+        // for_label finds the stored views.
+        assert!(engine.store().for_label(0).is_some());
+        assert!(engine.store().for_label(1).is_some());
+    }
+
+    #[test]
+    fn engine_stream_and_viewset_export() {
+        let (model, db) = toy_setup();
+        let label = db.predicted(0).unwrap();
+        let mut engine = Engine::builder(model, db).config(Config::with_bounds(1, 4)).build();
+        let vid = engine.stream(label, 1.0);
+        let view = engine.store().view(vid);
+        assert!(!view.subgraphs.is_empty());
+        assert!(!view.patterns.is_empty());
+        let set = engine.view_set();
+        assert_eq!(set.views.len(), 1);
+        let portable = crate::export::viewset_to_portable(&set, engine.db());
+        assert_eq!(portable.views.len(), 1);
     }
 }
 

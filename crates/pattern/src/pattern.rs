@@ -94,6 +94,16 @@ impl Pattern {
         self.graph.type_multiset()
     }
 
+    /// Isomorphism-invariant canonical key (see [`crate::canon`]).
+    ///
+    /// Isomorphic patterns always share a key; distinct patterns collide
+    /// only on rare WL failures, so index structures keyed by this value
+    /// must confirm bucket membership with [`crate::vf2::isomorphic`].
+    /// This is the key the explanation-view pattern index is built on.
+    pub fn canon_key(&self) -> u64 {
+        crate::canon::invariant_key(self)
+    }
+
     /// The underlying zero-feature graph.
     pub fn as_graph(&self) -> &Graph {
         &self.graph

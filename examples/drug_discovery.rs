@@ -4,10 +4,10 @@
 //!
 //! Run with: `cargo run --release --example drug_discovery`
 
-use gvex_core::{ApproxGvex, Config};
+use gvex_core::{Config, Engine, ViewQuery};
 use gvex_data::{mutagenicity, DataConfig, MUT_ATOM_NAMES, TYPE_N, TYPE_O};
 use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
-use gvex_pattern::{vf2, Pattern};
+use gvex_pattern::Pattern;
 
 fn main() {
     let mut db = mutagenicity(DataConfig::new(100, 11));
@@ -19,11 +19,12 @@ fn main() {
     let acc = AdamTrainer::classify_all(&model, &mut db, &split.test);
     println!("classifier test accuracy: {acc:.2}");
 
-    // Explain the mutagen group.
-    let algo = ApproxGvex::new(Config::with_bounds(0, 8));
+    // Explain the mutagen group through the engine.
     let mutagens: Vec<u32> =
         split.test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).collect();
-    let view = algo.explain_label(&model, &db, 1, &mutagens);
+    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
+    let vid = engine.explain_subset(1, &mutagens);
+    let view = engine.store().view(vid);
     println!("mutagen view: {} subgraphs, {} patterns", view.subgraphs.len(), view.patterns.len());
 
     // Domain query 1: "which toxicophores occur in mutagens?" — scan the
@@ -45,33 +46,29 @@ fn main() {
     }
 
     // Domain query 2: "which mutagens contain the N-O pattern?" — issue
-    // the pattern as a graph query over the whole database.
+    // the pattern as an indexed query over the database: one probe
+    // answers both the match set and the per-label counts.
     let nitro_query = Pattern::new(&[TYPE_N, TYPE_O], &[(0, 1, 1)]);
-    let mut hits_mut = 0;
-    let mut hits_non = 0;
-    for (id, g) in db.iter() {
-        if vf2::contains(&nitro_query, g) {
-            if db.truth(id) == 1 {
-                hits_mut += 1;
-            } else {
-                hits_non += 1;
-            }
-        }
-    }
+    let hits = engine.query(&ViewQuery::pattern(nitro_query.clone()));
     println!("\ngraph query 'N=O' over the database:");
-    println!("  mutagens containing it:    {hits_mut}");
-    println!("  nonmutagens containing it: {hits_non}");
+    println!("  mutagens containing it:    {}", hits.count_for(1));
+    println!("  nonmutagens containing it: {}", hits.count_for(0));
     println!(
         "  (the pattern discriminates the classes — exactly the paper's aromatic-nitro story)"
     );
 
+    // Domain query 3: restrict the same pattern to the explanation view —
+    // "in which compounds did the explainer single the N-O group out?"
+    let in_view = engine.query(&ViewQuery::pattern(nitro_query).in_views([vid]));
+    println!("  explanation subgraphs containing it: {}", in_view.len());
+
     // Counterfactual check on one compound: remove the explanation and
     // re-classify.
-    if let Some(sub) = view.subgraphs.first() {
-        let g = db.graph(sub.graph_id);
+    if let Some(sub) = engine.store().view(vid).subgraphs.first() {
+        let g = engine.db().graph(sub.graph_id);
         let (rest, _) = g.remove_nodes(&sub.nodes);
-        let before = db.predicted(sub.graph_id).unwrap();
-        let after = model.predict(&rest);
+        let before = engine.db().predicted(sub.graph_id).unwrap();
+        let after = engine.model().predict(&rest);
         println!(
             "\ncompound G{}: label {before} -> {after} after removing its explanation",
             sub.graph_id

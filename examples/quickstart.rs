@@ -1,9 +1,10 @@
-//! Quickstart: train a GCN on a molecule-like dataset, generate a
-//! two-tier explanation view for the "mutagen" label, and inspect it.
+//! Quickstart: train a GCN on a molecule-like dataset, build the GVEX
+//! [`Engine`](gvex_core::Engine), generate a two-tier explanation view
+//! for the "mutagen" label, and query it.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use gvex_core::{verify, ApproxGvex, Config};
+use gvex_core::{verify, Config, Engine, ViewQuery};
 use gvex_data::{mutagenicity, DataConfig, MUT_ATOM_NAMES};
 use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
 
@@ -24,19 +25,21 @@ fn main() {
         report.epochs_run, report.train_accuracy, acc
     );
 
-    // 3. Generate an explanation view for the mutagen label with coverage
-    //    bounds [0, 8] per graph.
-    let algo = ApproxGvex::new(Config::with_bounds(0, 8));
+    // 3. Build the engine (it owns the model, database, configuration,
+    //    context cache, and the indexed view store), then generate an
+    //    explanation view for the mutagen label with bounds [0, 8].
     let ids: Vec<u32> =
         split.test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).collect();
-    let view = algo.explain_label(&model, &db, 1, &ids);
+    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
+    let vid = engine.explain_subset(1, &ids);
+    let view = engine.store().view(vid);
     println!("\nexplanation view for label 'mutagen' ({} graphs):", view.subgraphs.len());
     println!("  explainability f = {:.3}", view.explainability);
     println!("  edge loss        = {:.2}%", view.edge_loss * 100.0);
 
     // 4. Lower tier: explanation subgraphs.
     for sub in view.subgraphs.iter().take(3) {
-        let g = db.graph(sub.graph_id);
+        let g = engine.db().graph(sub.graph_id);
         let atoms: Vec<&str> =
             sub.nodes.iter().map(|&v| MUT_ATOM_NAMES[g.node_type(v) as usize]).collect();
         println!(
@@ -49,17 +52,24 @@ fn main() {
         );
     }
 
-    // 5. Higher tier: queryable patterns covering all subgraph nodes.
+    // 5. Higher tier: queryable patterns covering all subgraph nodes —
+    //    and, being indexed, each can be issued as a database query.
     println!("  patterns ({}):", view.patterns.len());
     for p in view.patterns.iter().take(5) {
         let types: Vec<&str> =
             (0..p.num_nodes() as u32).map(|v| MUT_ATOM_NAMES[p.node_type(v) as usize]).collect();
-        println!("    {:?} with {} bonds", types, p.num_edges());
+        let hits = engine.query(&ViewQuery::pattern(p.clone()));
+        println!(
+            "    {:?} with {} bonds -> occurs in {} database graphs",
+            types,
+            p.num_edges(),
+            hits.len()
+        );
     }
 
     // 6. Verify the view against the three constraints of §3.3.
-    let cfg = Config::with_bounds(0, 8);
-    let v = verify::verify_view(&model, &db, &view, &cfg);
+    let view = engine.store().view(vid);
+    let v = verify::verify_view(engine.model(), engine.db(), view, engine.config());
     println!(
         "\nview verification: C1(graph view)={} C2(explanation)={} C3(coverage)={}",
         v.c1_graph_view, v.c2_explanation, v.c3_coverage

@@ -102,18 +102,64 @@ fn portable_view_serializes_to_json_and_back() {
 }
 
 #[test]
+fn portable_viewset_roundtrips_through_json() {
+    use gvex_core::{export, Engine};
+    let ds = prepare(DatasetKind::Mutagenicity, 40, 1.0, 42);
+    let mut engine =
+        Engine::builder(ds.model.clone(), ds.db.clone()).config(Config::with_bounds(0, 6)).build();
+    engine.explain_all();
+    let set = engine.view_set();
+    assert!(!set.views.is_empty());
+    let portable = export::viewset_to_portable(&set, engine.db());
+    let json = serde_json::to_string(&portable).expect("serialize view set");
+    let back: export::PortableViewSet = serde_json::from_str(&json).expect("deserialize view set");
+    assert_eq!(back, portable);
+}
+
+#[test]
 fn query_engine_answers_the_papers_motivating_questions() {
-    use gvex_core::query;
+    use gvex_core::{query, Engine, ViewQuery};
     use gvex_pattern::Pattern;
     let ds = prepare(DatasetKind::Mutagenicity, 60, 1.0, 42);
+    let engine =
+        Engine::builder(ds.model.clone(), ds.db.clone()).config(Config::with_bounds(0, 8)).build();
     // "Which toxicophores occur in mutagens?" — the N=O bond pattern.
     let nitro = Pattern::new(&[gvex_data::TYPE_N, gvex_data::TYPE_O], &[(0, 1, 1)]);
-    let hits = query::graphs_containing(&ds.db, &nitro);
-    assert!(!hits.graphs.is_empty());
+    let hits = engine.query(&ViewQuery::pattern(nitro.clone()));
+    assert!(!hits.is_empty());
+    assert_eq!(hits.count_for(1), hits.len(), "planted only in mutagens");
     // Planted only in mutagens: discriminativeness must be 1.0.
-    assert_eq!(query::discriminativeness(&ds.db, &nitro, 1), 1.0);
+    assert_eq!(query::discriminativeness(engine.store(), engine.db(), &nitro, 1), 1.0);
     // "Which nonmutagens contain it?" — none.
-    assert!(query::label_graphs_containing(&ds.db, &nitro, 0).is_empty());
+    assert!(engine.query(&ViewQuery::pattern(nitro.clone()).label(0)).is_empty());
+    // The indexed answers agree with the direct-VF2 scan reference.
+    let scanned = query::scan::graphs_containing(&ds.db, &nitro);
+    assert_eq!(engine.store().hits(&nitro, engine.db()), scanned);
+}
+
+#[test]
+fn engine_end_to_end_explain_then_query() {
+    use gvex_core::{query, Engine, ViewQuery};
+    let ds = prepare(DatasetKind::Mutagenicity, 50, 1.0, 42);
+    let (label, ids) = label_of_interest(&ds);
+    let ids: Vec<u32> = ids.into_iter().take(4).collect();
+    let mut engine =
+        Engine::builder(ds.model.clone(), ds.db.clone()).config(Config::with_bounds(0, 8)).build();
+    let vid = engine.explain_subset(label, &ids);
+    let view = engine.store().view(vid);
+    assert_eq!(view.subgraphs.len(), ids.len());
+    assert!(!view.patterns.is_empty());
+    // Every view pattern was indexed at insert time; pattern queries over
+    // the view return a subset of its explained graphs.
+    assert!(engine.store().indexed_patterns() >= view.patterns.len());
+    let p = view.patterns[0].clone();
+    let over_view = engine.query(&ViewQuery::pattern(p.clone()).in_views([vid]));
+    let explained = engine.store().view_graph_ids(vid);
+    assert!(over_view.graphs.iter().all(|id| explained.contains(id)));
+    // The most discriminative pattern scores in [0, 1].
+    let best = query::most_discriminative(engine.store(), engine.db(), view);
+    assert!(best.is_some());
+    assert!((0.0..=1.0).contains(&best.unwrap().1));
 }
 
 #[test]
@@ -128,7 +174,7 @@ fn degenerate_configurations_are_total() {
         cfg.r = r;
         cfg.gamma = gamma;
         let ag = ApproxGvex::new(cfg);
-        let out = ag.explain_graph(&ds.model, ds.db.graph(id), id, label);
+        let out = ag.explain_subgraph(&ds.model, ds.db.graph(id), id, label);
         let sub = out.expect("explanation exists under degenerate configs");
         assert!((1..=5).contains(&sub.len()));
         assert!(sub.score >= 0.0);

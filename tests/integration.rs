@@ -3,7 +3,7 @@
 //! the examples and experiment harness do.
 
 use gvex_core::metrics::{self, GraphExplanation};
-use gvex_core::{verify, ApproxGvex, Config, Explainer, StreamGvex};
+use gvex_core::{verify, ApproxGvex, Config, ContextCache, Explainer, StreamGvex};
 use gvex_data::{DataConfig, DatasetKind};
 use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
 use gvex_graph::GraphDb;
@@ -57,7 +57,7 @@ fn approx_beats_random_on_fidelity() {
             .collect()
     };
     let gvex_expl =
-        make(&|g| algo.explain_graph(&model, g, 0, 1).map(|s| s.nodes).unwrap_or_default());
+        make(&|g| algo.explain_subgraph(&model, g, 0, 1).map(|s| s.nodes).unwrap_or_default());
     // "Random": the first 8 node ids (backbone carbons, label-agnostic).
     let naive_expl = make(&|g| (0..8.min(g.num_nodes() as u32)).collect());
     let f_gvex = metrics::fidelity_plus(&model, &gvex_expl);
@@ -118,14 +118,24 @@ fn explainer_trait_uniform_over_all_methods() {
     let g = db.graph(id);
     let label = db.predicted(id).unwrap();
     let cfg = Config::with_bounds(0, 6);
+    let ctxs = ContextCache::new(cfg.clone());
+    let ctx = ctxs.get(&model, g, id);
     let mut explainers: Vec<Box<dyn Explainer>> =
         vec![Box::new(ApproxGvex::new(cfg.clone())), Box::new(StreamGvex::new(cfg))];
     explainers.extend(gvex_baselines::all_baselines());
     for e in &explainers {
-        let nodes = e.explain_graph(&model, g, label, 6);
-        assert!(nodes.len() <= 6, "{}", e.name());
-        assert!(nodes.iter().all(|&v| (v as usize) < g.num_nodes()), "{}", e.name());
+        let rich = e.explain_graph(&model, g, id, label, 6, &ctx);
+        assert!(rich.len() <= 6, "{}", e.name());
+        assert!(rich.nodes.iter().all(|&v| (v as usize) < g.num_nodes()), "{}", e.name());
+        assert_eq!(rich.node_scores.len(), rich.nodes.len(), "{}", e.name());
+        assert!(rich.flags.size_ok, "{}", e.name());
+        // The batch path agrees with the single-graph path.
+        let batch = e.explain_batch(&model, &db, label, &[id], 6, &ctxs);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].nodes, rich.nodes, "{}", e.name());
     }
+    // One shared context was built for the graph, reused by all methods.
+    assert_eq!(ctxs.len(), 1);
 }
 
 #[test]
