@@ -1,29 +1,38 @@
 //! Quick perf profile for CI: times the sparse CSR propagation backend
 //! against the dense baseline on the reference synthetic graph (writes
-//! `BENCH_PR2.json`) and indexed view-query answering against the naive
-//! VF2 database scan (writes `BENCH_PR3.json`).
+//! `BENCH_PR2.json`), indexed view-query answering against the naive
+//! VF2 database scan (writes `BENCH_PR3.json`), and incremental view
+//! maintenance against a full view recompute on the online engine
+//! (writes `BENCH_PR4.json`).
 //!
-//! Usage: `bench_quick [--check] [--out PATH] [--out-queries PATH] [--nodes N]`
+//! Usage: `bench_quick [--check] [--out PATH] [--out-queries PATH]
+//! [--out-online PATH] [--nodes N]`
 //!
 //! - `--check`: exit non-zero if sparse masked propagation is not at
-//!   least as fast as the dense baseline, or if indexed query answering
-//!   is not at least as fast as the scan (the CI regression gates).
+//!   least as fast as the dense baseline, if indexed query answering
+//!   is not at least as fast as the scan, or if an incremental
+//!   single-graph insert is not at least 5x faster than a full
+//!   `explain_label` recompute (the CI regression gates).
 //! - `--out PATH`: where to write the propagation JSON (default
 //!   `BENCH_PR2.json`).
 //! - `--out-queries PATH`: where to write the query JSON (default
 //!   `BENCH_PR3.json`).
+//! - `--out-online PATH`: where to write the incremental-maintenance
+//!   JSON (default `BENCH_PR4.json`).
 //! - `--nodes N`: reference graph size (default 1024).
 //!
 //! Before timing anything each pair of paths is cross-checked (numeric
-//! parity for propagation, result identity for queries); a perf number
-//! for a divergent implementation would be meaningless, so disagreement
-//! is a hard error (exit 2).
+//! parity for propagation, result identity for queries, view-shape
+//! identity for incremental maintenance); a perf number for a divergent
+//! implementation would be meaningless, so disagreement is a hard error
+//! (exit 2).
 
 use gvex_baselines::GnnExplainer;
 use gvex_bench::perf::{dense_masked_epoch, reference_graph, reference_mask, sparse_masked_epoch};
-use gvex_core::{query, ViewStore};
+use gvex_core::{query, Config, Engine, StreamGvex, ViewStore};
 use gvex_data::DataConfig;
-use gvex_gnn::{GcnModel, Propagation};
+use gvex_gnn::{AdamTrainer, GcnModel, Propagation};
+use gvex_graph::GraphId;
 use gvex_pattern::Pattern;
 use std::time::Instant;
 
@@ -55,6 +64,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let out_online = args
+        .iter()
+        .position(|a| a == "--out-online")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let nodes: usize = args
         .iter()
         .position(|a| a == "--nodes")
@@ -251,6 +266,122 @@ fn main() {
         eprintln!(
             "GATE FAILED: indexed query answering ({indexed_ms:.4} ms) is slower than the \
              naive VF2 scan ({scan_ms:.3} ms)"
+        );
+        std::process::exit(1);
+    }
+
+    // ---- incremental view maintenance vs full view recompute ----------
+    //
+    // Online-engine workload: a live stream view over a label group,
+    // then single-graph arrivals. Incremental maintenance streams only
+    // the delta graph and re-assembles; the baseline recomputes the
+    // whole label group's view from (warm-context) scratch.
+    let mut odb = gvex_data::mutagenicity(DataConfig::new(48, 17));
+    let omodel = GcnModel::new(14, 16, 2, 2, 17);
+    AdamTrainer::classify_all(&omodel, &mut odb, &[]);
+    let label = *odb
+        .labels()
+        .iter()
+        .max_by_key(|&&l| odb.label_group(l).len())
+        .expect("non-empty database");
+    let arrivals: Vec<_> = gvex_data::mutagenicity(DataConfig::new(9, 4242))
+        .iter()
+        .map(|(_, g)| g.clone())
+        .filter(|g| omodel.predict(g) == label)
+        .collect();
+    // One arrival drives the shape cross-check; at least one more is
+    // needed for the timing samples below.
+    if arrivals.len() < 2 {
+        eprintln!("FATAL: arrival pool classified away from the benchmarked label");
+        std::process::exit(2);
+    }
+    let ocfg = Config::with_bounds(0, 6);
+    let mut engine = Engine::builder(omodel.clone(), odb.clone())
+        .config(ocfg.clone())
+        .staleness_bound(usize::MAX)
+        .build();
+    let vid = engine.stream(label, 1.0);
+    // Warm every group context so the full-recompute baseline pays no
+    // context builds the incremental path is also spared.
+    let group = engine.db().label_group(label);
+    let warm = gvex_core::ContextCache::new(ocfg.clone());
+    warm.warm(&omodel, engine.db(), &group);
+
+    // Shape identity first: maintained view == full streaming recompute.
+    let shape = |v: &gvex_core::ExplanationView| -> Vec<(GraphId, Vec<u32>, bool, bool)> {
+        v.subgraphs
+            .iter()
+            .map(|s| (s.graph_id, s.nodes.clone(), s.consistent, s.counterfactual))
+            .collect()
+    };
+    let sg = StreamGvex::new(ocfg.clone());
+    engine.insert_graph(arrivals[0].clone(), None);
+    let maintained = engine.store().get(vid).expect("maintained view");
+    let ids_now = engine.db().label_group(label);
+    let full_now = sg.explain_label_cached(&omodel, engine.db(), label, &ids_now, 1.0, &warm);
+    if shape(&maintained) != shape(&full_now) {
+        eprintln!("FATAL: incremental maintenance diverged from full recompute");
+        std::process::exit(2);
+    }
+
+    // Timing: per-arrival incremental insert vs full recompute of the
+    // label group at the same state.
+    let mut incr_samples = Vec::new();
+    for g in arrivals.iter().skip(1) {
+        let t = Instant::now();
+        std::hint::black_box(engine.insert_graph(g.clone(), None));
+        incr_samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    incr_samples.sort_by(|a, b| a.total_cmp(b));
+    let incremental_ms = incr_samples[incr_samples.len() / 2];
+    let ids_final = engine.db().label_group(label);
+    warm.warm(&omodel, engine.db(), &ids_final);
+    let full_ms = median_ms(5, || {
+        std::hint::black_box(sg.explain_label_cached(
+            &omodel,
+            engine.db(),
+            label,
+            &ids_final,
+            1.0,
+            &warm,
+        ));
+    });
+    let online_speedup = full_ms / incremental_ms.max(1e-9);
+    eprintln!(
+        "online maintenance (label {label}, group of {}): full recompute {full_ms:.2} ms, \
+         incremental insert {incremental_ms:.2} ms ({online_speedup:.1}x)",
+        ids_final.len()
+    );
+
+    let ojson = serde_json::json!({
+        "pr": 4u32,
+        "database": serde_json::json!({
+            "graphs": engine.db().len() as u64,
+            "label": label as u64,
+            "label_group": ids_final.len() as u64,
+            "arrivals": arrivals.len() as u64,
+        }),
+        "results": serde_json::json!([serde_json::json!({
+            "name": "incremental_insert_vs_full_recompute",
+            "full_recompute_ms": full_ms,
+            "incremental_insert_ms": incremental_ms,
+            "speedup": online_speedup,
+        })]),
+        "gate": serde_json::json!({
+            "metric": "incremental_insert_vs_full_recompute.speedup",
+            "threshold": 5.0f64,
+            "value": online_speedup,
+            "pass": online_speedup >= 5.0,
+        }),
+    });
+    let pretty = serde_json::to_string_pretty(&ojson).expect("serializable");
+    std::fs::write(&out_online, pretty + "\n").expect("write online bench json");
+    eprintln!("wrote {out_online}");
+
+    if check && online_speedup < 5.0 {
+        eprintln!(
+            "GATE FAILED: incremental single-graph insert ({incremental_ms:.2} ms) is not at \
+             least 5x faster than a full explain_label recompute ({full_ms:.2} ms)"
         );
         std::process::exit(1);
     }

@@ -65,22 +65,70 @@ impl GraphContext {
 /// methods, budgets, and threads — are amortized. The map is guarded by
 /// a mutex held only around lookups/insertions, never around the build
 /// itself, so parallel batch explanation does not serialize.
+///
+/// The cache is **bounded**: [`ContextCache::with_capacity`] caps the
+/// number of resident contexts, and insertions past the cap evict in
+/// LRU order (recency is a monotone counter bumped on every hit). An
+/// online engine that streams graphs through an insert/remove workload
+/// would otherwise grow the cache without bound;
+/// [`ContextCache::remove`] additionally drops the entries of removed
+/// graphs eagerly — their ids are never explained again.
 #[derive(Debug)]
 pub struct ContextCache {
     cfg: Config,
-    map: Mutex<FxHashMap<GraphId, Arc<GraphContext>>>,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: FxHashMap<GraphId, (Arc<GraphContext>, u64)>,
+    tick: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self, id: GraphId) -> Option<Arc<GraphContext>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&id).map(|(ctx, stamp)| {
+            *stamp = tick;
+            Arc::clone(ctx)
+        })
+    }
+
+    /// Evicts least-recently-used entries until at most `capacity` remain.
+    fn enforce(&mut self, capacity: usize) {
+        while self.map.len() > capacity {
+            let Some((&victim, _)) = self.map.iter().min_by_key(|(_, (_, stamp))| *stamp) else {
+                return;
+            };
+            self.map.remove(&victim);
+        }
+    }
 }
 
 impl ContextCache {
-    /// An empty cache for contexts built under `cfg` (θ, r, and the
+    /// An unbounded cache for contexts built under `cfg` (θ, r, and the
     /// influence mode are baked into each context).
     pub fn new(cfg: Config) -> Self {
-        Self { cfg, map: Mutex::new(FxHashMap::default()) }
+        Self::with_capacity(cfg, usize::MAX)
+    }
+
+    /// A cache evicting in LRU order once more than `capacity` contexts
+    /// are resident (`0` is treated as 1: the entry being handed out is
+    /// always cached first).
+    pub fn with_capacity(cfg: Config, capacity: usize) -> Self {
+        Self { cfg, capacity: capacity.max(1), inner: Mutex::new(CacheInner::default()) }
     }
 
     /// The configuration contexts are built under.
     pub fn config(&self) -> &Config {
         &self.cfg
+    }
+
+    /// The eviction capacity (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The context for graph `id`, building it on first access.
@@ -89,12 +137,32 @@ impl ContextCache {
     /// first insertion wins and both callers observe identical values
     /// ([`GraphContext::build`] is deterministic).
     pub fn get(&self, model: &GcnModel, g: &Graph, id: GraphId) -> Arc<GraphContext> {
-        if let Some(ctx) = self.map.lock().expect("context cache lock").get(&id) {
-            return Arc::clone(ctx);
+        if let Some(ctx) = self.inner.lock().expect("context cache lock").touch(id) {
+            return ctx;
         }
         let built = Arc::new(GraphContext::build(model, g, &self.cfg));
-        let mut map = self.map.lock().expect("context cache lock");
-        Arc::clone(map.entry(id).or_insert(built))
+        let mut inner = self.inner.lock().expect("context cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let ctx = match inner.map.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().1 = tick;
+                Arc::clone(&e.get().0)
+            }
+            std::collections::hash_map::Entry::Vacant(e) => Arc::clone(&e.insert((built, tick)).0),
+        };
+        let cap = self.capacity;
+        inner.enforce(cap);
+        ctx
+    }
+
+    /// Drops the cached contexts of `ids` (e.g. graphs removed from the
+    /// database — the engine calls this from `remove_graphs`).
+    pub fn remove(&self, ids: &[GraphId]) {
+        let mut inner = self.inner.lock().expect("context cache lock");
+        for id in ids {
+            inner.map.remove(id);
+        }
     }
 
     /// Pre-builds the contexts of `ids` (e.g. before a timed region).
@@ -106,7 +174,7 @@ impl ContextCache {
 
     /// Number of cached contexts.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("context cache lock").len()
+        self.inner.lock().expect("context cache lock").map.len()
     }
 
     /// Whether the cache is empty.

@@ -1,29 +1,62 @@
 //! The unified GVEX engine: one facade owning the trained model, the
-//! graph database, the configuration, the memoized per-graph context
-//! cache, and the indexed [`ViewStore`].
+//! **mutable, versioned** graph database, the configuration, the
+//! bounded per-graph context cache, and the epoch-aware
+//! [`ViewStore`].
 //!
-//! The engine is the intended public entry point: build it once from a
+//! The engine is the intended public entry point. Build it once from a
 //! trained [`GcnModel`] and a classified [`GraphDb`], generate views
 //! with [`Engine::explain_all`] / [`Engine::explain_label`] /
 //! [`Engine::stream`] (each returns a [`ViewId`] handle into the store),
-//! and answer the paper's motivating questions with
-//! [`Engine::query`] — index probes, not database scans.
+//! and answer the paper's motivating questions with [`Engine::query`] —
+//! index probes, not database scans.
+//!
+//! Since the online redesign the database **mutates under readers**:
+//!
+//! - [`Engine::insert_graph`] / [`Engine::insert_graphs`] allocate fresh
+//!   [`GraphId`]s, run model inference to place each arrival in its
+//!   label group, incrementally extend the query indexes, and advance
+//!   the head [`Epoch`];
+//! - [`Engine::remove_graphs`] tombstones graphs, their postings, and
+//!   their cached contexts, then compacts whatever no pinned snapshot
+//!   can still observe;
+//! - [`Engine::snapshot`] pins the current epoch and returns a
+//!   [`Snapshot`] — a `Send + Sync` read view that keeps answering
+//!   queries against exactly the state it was taken at while the writer
+//!   advances the head;
+//! - label views registered by [`Engine::explain_label`] /
+//!   [`Engine::stream`] are **incrementally maintained**: a mutation's
+//!   delta graphs are fed through
+//!   [`StreamGvex::stream_with_context`] (the paper's one-pass
+//!   streaming algorithm as the delta-application engine) and the
+//!   affected view gains a new version in place of a full recompute. A
+//!   configurable staleness bound ([`EngineBuilder::staleness_bound`])
+//!   triggers a full recompute fallback so quality never drifts below
+//!   the streaming guarantee.
 //!
 //! ```no_run
 //! use gvex_core::{query::ViewQuery, Config, Engine};
 //! # let model = gvex_gnn::GcnModel::new(2, 8, 2, 3, 1);
 //! # let db = gvex_graph::GraphDb::new();
+//! # let arrival = gvex_graph::Graph::new(2);
 //! let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
 //! let view = engine.explain_label(1);
+//! let snap = engine.snapshot(); // readers pin this epoch
+//! let (id, epoch) = engine.insert_graph(arrival, None); // head advances
 //! let p = engine.store().view(view).patterns[0].clone();
-//! let hits = engine.query(&ViewQuery::pattern(p).label(0));
+//! let now = engine.query(&ViewQuery::pattern(p.clone()).label(0)); // sees the arrival
+//! let then = snap.query(&ViewQuery::pattern(p).label(0)); // does not
 //! ```
 
 use crate::query::{QueryResult, ViewQuery};
+use crate::snapshot::Pins;
 use crate::store::{ViewId, ViewStore};
-use crate::{parallel, ApproxGvex, Config, ContextCache, GraphContext, StreamGvex, ViewSet};
+use crate::{
+    parallel, ApproxGvex, Config, ContextCache, GraphContext, Snapshot, StreamGvex, ViewSet,
+};
 use gvex_gnn::GcnModel;
-use gvex_graph::{ClassLabel, GraphDb, GraphId};
+use gvex_graph::{ClassLabel, Epoch, Graph, GraphDb, GraphId};
+use gvex_pattern::vf2;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::sync::Arc;
 
 /// Builder for [`Engine`].
@@ -33,13 +66,22 @@ pub struct EngineBuilder {
     db: GraphDb,
     config: Config,
     verify_scan_limit: usize,
+    context_capacity: usize,
+    staleness_bound: usize,
 }
 
 impl EngineBuilder {
     /// Starts a builder from a trained model and a database whose label
     /// groups have been formed (predictions recorded).
     pub fn new(model: GcnModel, db: GraphDb) -> Self {
-        Self { model, db, config: Config::default(), verify_scan_limit: usize::MAX }
+        Self {
+            model,
+            db,
+            config: Config::default(),
+            verify_scan_limit: usize::MAX,
+            context_capacity: usize::MAX,
+            staleness_bound: 32,
+        }
     }
 
     /// Sets the configuration `C = (θ, r, {[b_l, u_l]})` (+ γ).
@@ -55,15 +97,32 @@ impl EngineBuilder {
         self
     }
 
+    /// Caps the number of resident per-graph contexts; past the cap the
+    /// [`ContextCache`] evicts in LRU order. Default: unbounded.
+    pub fn context_capacity(mut self, capacity: usize) -> Self {
+        self.context_capacity = capacity;
+        self
+    }
+
+    /// How many consecutive incremental view updates a label view may
+    /// accumulate before the next mutation triggers a full recompute of
+    /// that view (the staleness bound of incremental view maintenance).
+    /// Default: 32.
+    pub fn staleness_bound(mut self, bound: usize) -> Self {
+        self.staleness_bound = bound;
+        self
+    }
+
     /// Builds the engine: constructs both algorithms from the
-    /// configuration, the context cache, and an empty view store indexed
-    /// over the database.
+    /// configuration, the (bounded) context cache, and an empty view
+    /// store indexed over the database.
     pub fn build(self) -> Engine {
         let mut approx = ApproxGvex::new(self.config.clone());
         approx.verify_scan_limit = self.verify_scan_limit;
         let stream = StreamGvex::new(self.config.clone());
-        let contexts = ContextCache::new(self.config.clone());
-        let store = ViewStore::new(&self.db);
+        let contexts =
+            Arc::new(ContextCache::with_capacity(self.config.clone(), self.context_capacity));
+        let store = Arc::new(ViewStore::new(&self.db));
         Engine {
             model: self.model,
             db: self.db,
@@ -72,8 +131,29 @@ impl EngineBuilder {
             stream,
             contexts,
             store,
+            pins: Arc::new(Pins::default()),
+            live: FxHashMap::default(),
+            staleness_bound: self.staleness_bound,
         }
     }
+}
+
+/// Which algorithm produced (and full-recomputes) a maintained view.
+#[derive(Debug, Clone, Copy)]
+enum ViewAlgo {
+    /// `ApproxGVEX` (Algorithm 1) over the whole label group.
+    Approx,
+    /// `StreamGVEX` (Algorithm 3) with this stream-prefix fraction.
+    Stream { fraction: f64 },
+}
+
+/// Maintenance registration of one label's current view.
+#[derive(Debug, Clone, Copy)]
+struct LiveView {
+    id: ViewId,
+    algo: ViewAlgo,
+    /// Incremental updates applied since the last full (re)compute.
+    staleness: usize,
 }
 
 /// The unified explanation engine (see module docs).
@@ -84,8 +164,12 @@ pub struct Engine {
     config: Config,
     approx: ApproxGvex,
     stream: StreamGvex,
-    contexts: ContextCache,
-    store: ViewStore,
+    contexts: Arc<ContextCache>,
+    store: Arc<ViewStore>,
+    pins: Arc<Pins>,
+    /// Label → the view incremental maintenance keeps current.
+    live: FxHashMap<ClassLabel, LiveView>,
+    staleness_bound: usize,
 }
 
 impl Engine {
@@ -99,7 +183,7 @@ impl Engine {
         &self.model
     }
 
-    /// The graph database.
+    /// The graph database (at the head epoch).
     pub fn db(&self) -> &GraphDb {
         &self.db
     }
@@ -114,6 +198,17 @@ impl Engine {
         &self.store
     }
 
+    /// The head epoch: every committed mutation is visible at or before
+    /// this stamp.
+    pub fn head(&self) -> Epoch {
+        self.db.epoch()
+    }
+
+    /// Number of currently pinned snapshots.
+    pub fn pinned_snapshots(&self) -> usize {
+        self.pins.len()
+    }
+
     /// The memoized per-graph context for `id` (built on first access).
     pub fn context(&self, id: GraphId) -> Arc<GraphContext> {
         self.contexts.get(&self.model, self.db.graph(id), id)
@@ -124,24 +219,202 @@ impl Engine {
         &self.contexts
     }
 
+    // ---- snapshots & mutation -----------------------------------------
+
+    /// Pins the head epoch and returns a consistent read view. The
+    /// snapshot is `Send + Sync`: move it to a reader thread while this
+    /// engine keeps mutating. See [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::pin(self.db.clone(), Arc::clone(&self.store), Arc::clone(&self.pins))
+    }
+
+    /// Inserts one graph at a fresh epoch: allocates its [`GraphId`],
+    /// runs model inference to place it in its label group (`truth:
+    /// None` uses the prediction as the ground-truth stand-in),
+    /// incrementally extends the query indexes, and — when the label's
+    /// view is registered for maintenance — applies the arrival as a
+    /// streaming delta to that view. Returns the id and the new head
+    /// epoch.
+    pub fn insert_graph(&mut self, g: Graph, truth: Option<ClassLabel>) -> (GraphId, Epoch) {
+        let (ids, epoch) = self.insert_graphs(vec![(g, truth)]);
+        (ids[0], epoch)
+    }
+
+    /// Batch insert: all graphs of the batch commit at one fresh epoch,
+    /// and each affected label view gains a single new version covering
+    /// the whole batch.
+    pub fn insert_graphs(
+        &mut self,
+        batch: Vec<(Graph, Option<ClassLabel>)>,
+    ) -> (Vec<GraphId>, Epoch) {
+        let epoch = self.db.advance_epoch();
+        let mut ids = Vec::with_capacity(batch.len());
+        let mut by_label: FxHashMap<ClassLabel, Vec<GraphId>> = FxHashMap::default();
+        for (g, truth) in batch {
+            let predicted = self.model.predict(&g);
+            let id = self.db.push(g, truth.unwrap_or(predicted));
+            self.db.set_predicted(id, predicted);
+            self.store.on_insert_graph(&self.db, id, epoch);
+            by_label.entry(predicted).or_default().push(id);
+            ids.push(id);
+        }
+        let mut labels: Vec<ClassLabel> = by_label.keys().copied().collect();
+        labels.sort_unstable();
+        for label in labels {
+            let added = by_label.remove(&label).unwrap_or_default();
+            self.maintain(label, &added, &FxHashSet::default());
+        }
+        (ids, epoch)
+    }
+
+    /// Removes graphs at a fresh epoch: tombstones their database slots
+    /// and index postings, drops their cached contexts, updates each
+    /// affected label view, and compacts state no pinned snapshot can
+    /// still observe. Unknown or already-removed ids are skipped.
+    /// Returns the new head epoch.
+    pub fn remove_graphs(&mut self, ids: &[GraphId]) -> Epoch {
+        let epoch = self.db.advance_epoch();
+        let mut removed = Vec::new();
+        let mut by_label: FxHashMap<ClassLabel, FxHashSet<GraphId>> = FxHashMap::default();
+        for &id in ids {
+            if !self.db.contains(id) {
+                continue;
+            }
+            let predicted = self.db.predicted(id);
+            if self.db.remove(id) {
+                self.store.on_remove_graph(&self.db, id, epoch);
+                if let Some(l) = predicted {
+                    by_label.entry(l).or_default().insert(id);
+                }
+                removed.push(id);
+            }
+        }
+        self.contexts.remove(&removed);
+        let mut labels: Vec<ClassLabel> = by_label.keys().copied().collect();
+        labels.sort_unstable();
+        for label in labels {
+            let gone = by_label.remove(&label).unwrap_or_default();
+            self.maintain(label, &[], &gone);
+        }
+        self.compact();
+        epoch
+    }
+
+    /// Reclaims graph payloads, index postings, and view versions that
+    /// no pinned snapshot can still observe (everything dead at or
+    /// before the oldest pin). Runs automatically after
+    /// [`Engine::remove_graphs`]; call it manually after dropping
+    /// long-lived snapshots to release their retained state. Returns the
+    /// compaction floor used.
+    pub fn compact(&mut self) -> Epoch {
+        let floor = self.pins.floor(self.db.epoch());
+        self.db.compact(floor);
+        self.store.compact(floor);
+        floor
+    }
+
+    /// Incremental view maintenance for `label` after a mutation at the
+    /// current head epoch: removed graphs' subgraphs are dropped, added
+    /// graphs are streamed through
+    /// [`StreamGvex::stream_with_context`] and merged, and the result is
+    /// committed as a new version of the label's registered view. Once
+    /// the staleness bound is reached the whole view is recomputed with
+    /// its original algorithm instead.
+    fn maintain(&mut self, label: ClassLabel, added: &[GraphId], removed: &FxHashSet<GraphId>) {
+        let Some(lv) = self.live.get(&label).copied() else { return };
+        let Some(old) = self.store.get(lv.id) else { return };
+        if lv.staleness >= self.staleness_bound {
+            let ids = self.db.label_group(label);
+            let view = match lv.algo {
+                ViewAlgo::Approx => parallel::explain_label_parallel(
+                    &self.approx,
+                    &self.model,
+                    &self.db,
+                    label,
+                    &ids,
+                    None,
+                    &self.contexts,
+                ),
+                ViewAlgo::Stream { fraction } => self.stream.explain_label_cached(
+                    &self.model,
+                    &self.db,
+                    label,
+                    &ids,
+                    fraction,
+                    &self.contexts,
+                ),
+            };
+            self.store.push_version(lv.id, view, &self.db);
+            self.live.insert(label, LiveView { staleness: 0, ..lv });
+            return;
+        }
+        let fraction = match lv.algo {
+            ViewAlgo::Approx => 1.0,
+            ViewAlgo::Stream { fraction } => fraction,
+        };
+        let mut subgraphs: Vec<_> =
+            old.subgraphs.iter().filter(|s| !removed.contains(&s.graph_id)).cloned().collect();
+        let mut patterns = old.patterns.clone();
+        if !removed.is_empty() {
+            // Prune patterns whose only support was a removed subgraph;
+            // `assemble_view` only ever *adds* coverage, so phantom
+            // patterns would otherwise outlive every graph containing
+            // them.
+            let induced: Vec<_> = subgraphs.iter().map(|s| s.induced(&self.db).0).collect();
+            patterns.retain(|p| induced.iter().any(|g| vf2::contains(p, g)));
+        }
+        for &id in added {
+            let g = self.db.graph(id);
+            let ctx = self.contexts.get(&self.model, g, id);
+            if let Some((sub, pats)) =
+                self.stream.stream_with_context(&self.model, g, id, label, None, fraction, &ctx)
+            {
+                subgraphs.push(sub);
+                for p in pats {
+                    if !patterns.iter().any(|q| vf2::isomorphic(q, &p)) {
+                        patterns.push(p);
+                    }
+                }
+            }
+        }
+        let view = crate::stream::assemble_view(label, subgraphs, patterns, &self.db, &self.config);
+        self.store.push_version(lv.id, view, &self.db);
+        self.live.insert(label, LiveView { staleness: lv.staleness + 1, ..lv });
+    }
+
+    /// Incremental updates applied to `label`'s registered view since
+    /// its last full (re)compute — the staleness the next mutation
+    /// compares against [`EngineBuilder::staleness_bound`].
+    pub fn staleness(&self, label: ClassLabel) -> Option<usize> {
+        self.live.get(&label).map(|lv| lv.staleness)
+    }
+
+    // ---- view generation ----------------------------------------------
+
     /// Generates one view per label group of the database (the EVG
     /// problem, §3.2) and stores them; returns the handles in label
-    /// order.
+    /// order. Each view is registered for incremental maintenance.
     pub fn explain_all(&mut self) -> Vec<ViewId> {
         self.db.labels().into_iter().map(|l| self.explain_label(l)).collect()
     }
 
     /// Generates the explanation view for `label`'s whole label group
-    /// with `ApproxGVEX` (Algorithm 1), using cached contexts, and
-    /// inserts it into the store.
+    /// with `ApproxGVEX` (Algorithm 1), using cached contexts, inserts
+    /// it into the store, and registers it for incremental maintenance:
+    /// later [`Engine::insert_graph`] / [`Engine::remove_graphs`] calls
+    /// keep it current.
     pub fn explain_label(&mut self, label: ClassLabel) -> ViewId {
         let ids = self.db.label_group(label);
-        self.explain_subset(label, &ids)
+        let vid = self.explain_subset(label, &ids);
+        self.live.insert(label, LiveView { id: vid, algo: ViewAlgo::Approx, staleness: 0 });
+        vid
     }
 
     /// Like [`Engine::explain_label`] restricted to `ids` (e.g. a test
-    /// split).
+    /// split). Subset views are **not** registered for incremental
+    /// maintenance — maintenance tracks whole label groups.
     pub fn explain_subset(&mut self, label: ClassLabel, ids: &[GraphId]) -> ViewId {
+        self.db.advance_epoch();
         let view = parallel::explain_label_parallel(
             &self.approx,
             &self.model,
@@ -156,14 +429,20 @@ impl Engine {
 
     /// Generates `label`'s view with `StreamGVEX` (Algorithm 3),
     /// processing a prefix `fraction ∈ (0, 1]` of each node stream (the
-    /// anytime mode), and inserts it into the store.
+    /// anytime mode), inserts it into the store, and registers it for
+    /// incremental maintenance at the same fraction.
     pub fn stream(&mut self, label: ClassLabel, fraction: f64) -> ViewId {
         let ids = self.db.label_group(label);
-        self.stream_subset(label, &ids, fraction)
+        let vid = self.stream_subset(label, &ids, fraction);
+        self.live
+            .insert(label, LiveView { id: vid, algo: ViewAlgo::Stream { fraction }, staleness: 0 });
+        vid
     }
 
-    /// Like [`Engine::stream`] restricted to `ids`.
+    /// Like [`Engine::stream`] restricted to `ids` (not registered for
+    /// maintenance).
     pub fn stream_subset(&mut self, label: ClassLabel, ids: &[GraphId], fraction: f64) -> ViewId {
+        self.db.advance_epoch();
         let view = self.stream.explain_label_cached(
             &self.model,
             &self.db,
@@ -175,14 +454,18 @@ impl Engine {
         self.store.insert(view, &self.db)
     }
 
-    /// Evaluates a [`ViewQuery`] against the store's indexes.
+    /// Evaluates a [`ViewQuery`] against the store's indexes at the head
+    /// epoch.
     pub fn query(&self, q: &ViewQuery) -> QueryResult {
         q.evaluate(&self.store, &self.db)
     }
 
-    /// Collects the stored views into a plain [`ViewSet`] (e.g. for
+    /// Collects the current (head) versions of the stored views into a
+    /// plain [`ViewSet`] (e.g. for
     /// [`crate::export::viewset_to_portable`]).
     pub fn view_set(&self) -> ViewSet {
-        ViewSet { views: self.store.iter().map(|(_, v)| v.clone()).collect() }
+        ViewSet {
+            views: self.store.latest_views().into_iter().map(|(_, v)| (*v).clone()).collect(),
+        }
     }
 }

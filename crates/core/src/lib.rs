@@ -22,9 +22,13 @@
 //! - [`explain::Explainer`]: the uniform interface under which GVEX and
 //!   the baseline explainers are benchmarked, returning rich
 //!   [`Explanation`]s.
-//! - [`engine::Engine`]: the unified facade — model + database +
-//!   configuration + memoized contexts + the indexed [`store::ViewStore`]
-//!   behind the composable [`query::ViewQuery`] API.
+//! - [`engine::Engine`]: the unified facade — model + **mutable,
+//!   versioned** database + configuration + bounded context cache + the
+//!   epoch-aware indexed [`store::ViewStore`] behind the composable
+//!   [`query::ViewQuery`] API. Mutations advance an [`Epoch`] and
+//!   incrementally maintain registered label views (with `StreamGVEX`
+//!   as the delta-application engine); [`snapshot::Snapshot`] pins an
+//!   epoch for concurrent readers.
 
 pub mod approx;
 pub mod capabilities;
@@ -38,6 +42,7 @@ pub mod parallel;
 pub mod psum;
 pub mod quality;
 pub mod query;
+pub mod snapshot;
 pub mod store;
 pub mod stream;
 mod util;
@@ -49,7 +54,9 @@ pub use config::Config;
 pub use context::{ContextCache, GraphContext};
 pub use engine::{Engine, EngineBuilder};
 pub use explain::{Explainer, Explanation, VerifyFlags};
+pub use gvex_graph::Epoch;
 pub use query::ViewQuery;
+pub use snapshot::Snapshot;
 pub use store::{ViewId, ViewStore};
 pub use stream::StreamGvex;
 pub use util::BitSet;

@@ -52,10 +52,15 @@ pub fn explain_label_parallel(
             })
             .collect()
     };
-    let subgraphs = match pool {
+    let mut subgraphs = match pool {
         Some(pool) => pool.install(explain_all),
         None => explain_all(),
     };
+    // Canonical view shape: subgraphs in ascending graph-id order, so a
+    // view assembled here is comparable with one maintained
+    // incrementally by the online engine regardless of the order `ids`
+    // arrived in.
+    subgraphs.sort_by_key(|s| s.graph_id);
     // Summarization runs once over the collected subgraphs (as in §A.7,
     // only the per-graph phase parallelizes).
     let induced: Vec<Graph> = subgraphs.iter().map(|s| s.induced(db).0).collect();

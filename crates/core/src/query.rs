@@ -13,7 +13,7 @@
 
 use crate::store::{ViewId, ViewStore};
 use crate::ExplanationView;
-use gvex_graph::{ClassLabel, GraphDb, GraphId};
+use gvex_graph::{ClassLabel, Epoch, GraphDb, GraphId};
 use gvex_linalg::cmp_score;
 use gvex_pattern::Pattern;
 
@@ -103,16 +103,45 @@ impl ViewQuery {
         self
     }
 
-    /// Evaluates against the store's indexes. `db` must be the database
-    /// the store was built over.
+    /// Evaluates against the store's indexes at the head epoch
+    /// (`db.epoch()`), memoizing cold pattern probes. `db` must be the
+    /// database the store is maintained over.
     pub fn evaluate(&self, store: &ViewStore, db: &GraphDb) -> QueryResult {
+        self.run(store, db, db.epoch(), true)
+    }
+
+    /// Evaluates pinned to `epoch` against a snapshot's database clone:
+    /// the result reflects exactly the graphs and view versions live at
+    /// that epoch, however far the writer's head has advanced since.
+    /// Cold pattern probes scan `db` without memoizing (a pinned clone
+    /// lacks later-born graphs, so its scan is incomplete for the head).
+    pub fn evaluate_at(&self, store: &ViewStore, db: &GraphDb, epoch: Epoch) -> QueryResult {
+        self.run(store, db, epoch, false)
+    }
+
+    fn run(&self, store: &ViewStore, db: &GraphDb, epoch: Epoch, memoize: bool) -> QueryResult {
         let mut graphs: Vec<GraphId> = match (&self.pattern, self.views.is_empty()) {
             // Pattern over the whole database: one index probe.
-            (Some(p), true) => store.hits(p, db).graphs,
+            (Some(p), true) => {
+                if memoize {
+                    store.hits(p, db).graphs
+                } else {
+                    store.hits_at(p, db, epoch).graphs
+                }
+            }
             // Pattern over selected views: union of per-view postings.
             (Some(p), false) => {
-                let mut ids: Vec<GraphId> =
-                    self.views.iter().flat_map(|&v| store.view_hits(p, v, db)).collect();
+                let mut ids: Vec<GraphId> = self
+                    .views
+                    .iter()
+                    .flat_map(|&v| {
+                        if memoize {
+                            store.view_hits(p, v, db)
+                        } else {
+                            store.view_hits_pinned(p, v, db, epoch)
+                        }
+                    })
+                    .collect();
                 ids.sort_unstable();
                 ids.dedup();
                 ids
@@ -121,14 +150,23 @@ impl ViewQuery {
             (None, true) => db.iter().map(|(id, _)| id).collect(),
             (None, false) => {
                 let mut ids: Vec<GraphId> =
-                    self.views.iter().flat_map(|&v| store.view_graph_ids(v)).collect();
+                    self.views.iter().flat_map(|&v| store.view_graph_ids_at(v, epoch)).collect();
                 ids.sort_unstable();
                 ids.dedup();
                 ids
             }
         };
+        if !self.views.is_empty() {
+            // A view version (head version of an unmaintained view in
+            // particular) may still list graphs removed since it was
+            // assembled; a query result only reports graphs live at the
+            // queried epoch.
+            graphs.retain(|&id| {
+                db.lifetime(id).is_some_and(|(born, died)| born <= epoch && epoch < died)
+            });
+        }
         if let Some(l) = self.label {
-            let allowed = store.label_graphs(l);
+            let allowed = store.label_graphs_at(l, epoch);
             graphs.retain(|id| allowed.binary_search(id).is_ok());
         }
         let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
@@ -187,25 +225,18 @@ pub fn most_discriminative<'a>(
 /// "Which patterns of view `a` also occur in view `b`'s subgraphs?" — the
 /// cross-view comparison of Example 1.1 ("search for and compare the
 /// difference between these compounds"). Answered from the per-view
-/// postings of the pattern index.
-pub fn shared_patterns<'a>(
-    store: &'a ViewStore,
-    db: &GraphDb,
-    a: ViewId,
-    b: ViewId,
-) -> Vec<&'a Pattern> {
-    store.view(a).patterns.iter().filter(|p| !store.view_hits(p, b, db).is_empty()).collect()
+/// postings of the pattern index. Views resolve to their head versions;
+/// stale or foreign ids contribute nothing.
+pub fn shared_patterns(store: &ViewStore, db: &GraphDb, a: ViewId, b: ViewId) -> Vec<Pattern> {
+    let Some(view) = store.get(a) else { return Vec::new() };
+    view.patterns.iter().filter(|p| !store.view_hits(p, b, db).is_empty()).cloned().collect()
 }
 
 /// Patterns exclusive to view `a` (occurring in none of `b`'s subgraphs)
 /// — candidate class-distinguishing structures.
-pub fn exclusive_patterns<'a>(
-    store: &'a ViewStore,
-    db: &GraphDb,
-    a: ViewId,
-    b: ViewId,
-) -> Vec<&'a Pattern> {
-    store.view(a).patterns.iter().filter(|p| store.view_hits(p, b, db).is_empty()).collect()
+pub fn exclusive_patterns(store: &ViewStore, db: &GraphDb, a: ViewId, b: ViewId) -> Vec<Pattern> {
+    let Some(view) = store.get(a) else { return Vec::new() };
+    view.patterns.iter().filter(|p| store.view_hits(p, b, db).is_empty()).cloned().collect()
 }
 
 /// Reference scan-based evaluation: semantically identical to the

@@ -1,0 +1,134 @@
+//! Pinned, consistent read views of an online [`crate::Engine`].
+//!
+//! A [`Snapshot`] freezes the engine at one [`Epoch`]: it owns a cheap
+//! copy-on-write clone of the [`GraphDb`] (payloads are shared behind
+//! `Arc`, so cloning is O(slots) pointer copies) and a shared handle to
+//! the epoch-aware [`ViewStore`]. Queries through the snapshot resolve
+//! graphs, postings, and view *versions* as of the pinned epoch, so a
+//! reader never observes a half-applied mutation no matter how far the
+//! writer's head has advanced — the classical snapshot-isolation
+//! contract of incremental view maintenance systems.
+//!
+//! Snapshots are `Send + Sync`: hand one to a reader thread while the
+//! owning thread keeps calling [`crate::Engine::insert_graphs`] /
+//! [`crate::Engine::remove_graphs`]. While a snapshot is alive its
+//! epoch is **pinned**: [`crate::Engine::compact`] will not reclaim
+//! graph payloads, index postings, or view versions the snapshot can
+//! still observe. Dropping the snapshot releases the pin.
+
+use crate::query::{PatternHits, QueryResult, ViewQuery};
+use crate::store::{ViewId, ViewStore};
+use crate::ExplanationView;
+use gvex_graph::{Epoch, GraphDb, GraphId};
+use gvex_pattern::Pattern;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Reference counts of pinned epochs, shared between an engine and its
+/// snapshots. The engine's compaction floor is the oldest pinned epoch.
+#[derive(Debug, Default)]
+pub(crate) struct Pins {
+    counts: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl Pins {
+    pub(crate) fn pin(&self, e: Epoch) {
+        *self.counts.lock().expect("pin lock").entry(e.0).or_insert(0) += 1;
+    }
+
+    pub(crate) fn unpin(&self, e: Epoch) {
+        let mut counts = self.counts.lock().expect("pin lock");
+        if let Some(n) = counts.get_mut(&e.0) {
+            *n -= 1;
+            if *n == 0 {
+                counts.remove(&e.0);
+            }
+        }
+    }
+
+    /// The oldest pinned epoch, or `head` when nothing is pinned.
+    pub(crate) fn floor(&self, head: Epoch) -> Epoch {
+        self.counts.lock().expect("pin lock").keys().next().map_or(head, |&e| Epoch(e.min(head.0)))
+    }
+
+    /// Number of live pins (diagnostics).
+    pub(crate) fn len(&self) -> usize {
+        self.counts.lock().expect("pin lock").values().sum()
+    }
+}
+
+/// A consistent read view of the engine at one epoch (see module docs).
+#[derive(Debug)]
+pub struct Snapshot {
+    db: GraphDb,
+    store: Arc<ViewStore>,
+    pins: Arc<Pins>,
+}
+
+impl Snapshot {
+    pub(crate) fn pin(db: GraphDb, store: Arc<ViewStore>, pins: Arc<Pins>) -> Self {
+        pins.pin(db.epoch());
+        Self { db, store, pins }
+    }
+
+    /// The epoch this snapshot is pinned to.
+    pub fn epoch(&self) -> Epoch {
+        self.db.epoch()
+    }
+
+    /// The pinned database: every accessor ([`GraphDb::iter`],
+    /// [`GraphDb::len`], [`GraphDb::label_group`], …) sees exactly the
+    /// graphs live at the snapshot epoch.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// Number of graphs live at the snapshot epoch.
+    pub fn len(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Whether the snapshot holds no live graphs.
+    pub fn is_empty(&self) -> bool {
+        self.db.is_empty()
+    }
+
+    /// Evaluates a [`ViewQuery`] as of the snapshot epoch.
+    pub fn query(&self, q: &ViewQuery) -> QueryResult {
+        q.evaluate_at(&self.store, &self.db, self.epoch())
+    }
+
+    /// Which graphs (live at the snapshot epoch) contain `p`, with
+    /// per-label counts. Warm probes read the shared memoized pattern
+    /// index; cold probes scan the pinned clone without memoizing.
+    pub fn hits(&self, p: &Pattern) -> PatternHits {
+        self.store.hits_at(p, &self.db, self.epoch())
+    }
+
+    /// The version of view `id` that was current at the snapshot epoch
+    /// (`None` for foreign ids or views born later).
+    pub fn view(&self, id: ViewId) -> Option<Arc<ExplanationView>> {
+        self.store.get_at(id, self.epoch())
+    }
+
+    /// Graph ids whose explanation subgraph in view `id` (as of the
+    /// snapshot epoch) contains `p`.
+    pub fn view_hits(&self, p: &Pattern, id: ViewId) -> Vec<GraphId> {
+        self.store.view_hits_pinned(p, id, &self.db, self.epoch())
+    }
+}
+
+impl Clone for Snapshot {
+    /// Cloning re-pins the same epoch (each clone releases its own pin
+    /// on drop).
+    fn clone(&self) -> Self {
+        self.pins.pin(self.epoch());
+        Self { db: self.db.clone(), store: Arc::clone(&self.store), pins: Arc::clone(&self.pins) }
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.pins.unpin(self.db.epoch());
+    }
+}

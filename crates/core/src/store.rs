@@ -2,17 +2,33 @@
 //! indexes that make them *directly queryable* (Table 1's distinguishing
 //! GVEX property).
 //!
-//! The old query layer re-scanned the whole database with VF2 on every
-//! call. The store instead maintains:
+//! Since the online-engine redesign the store is **versioned and
+//! epoch-aware**:
 //!
-//! - a **pattern index**: canonical form (WL invariant key, confirmed by
-//!   VF2 within a bucket) → postings of matching database graphs *and*
-//!   of views whose explanation subgraphs contain the pattern. A pattern
-//!   is matched against the database exactly once — when it is first
-//!   indexed — and every later probe, including probes with a different
-//!   but isomorphic `Pattern` value, is a hash lookup;
-//! - a **label index**: ground-truth class label → sorted graph ids,
-//!   built once per store.
+//! - every **view** is a record of versions, each stamped with the
+//!   `[born, died)` epoch interval over which it was the view's current
+//!   value. Incremental view maintenance pushes a new version and
+//!   tombstones the previous one, so a pinned [`crate::Snapshot`] keeps
+//!   reading the version that was live at its epoch;
+//! - the **pattern index** maps canonical form (WL invariant key,
+//!   confirmed by VF2 within a bucket) to epoch-stamped postings of
+//!   matching database graphs and to per-view-version occurrence lists.
+//!   A pattern is matched against the database exactly once — when it is
+//!   first indexed — and every later probe, including probes with a
+//!   different but isomorphic [`Pattern`] value, is a hash lookup.
+//!   Graph insertions *append* postings (each new graph is matched
+//!   against the indexed pattern classes); removals *tombstone* postings
+//!   and [`ViewStore::compact`] reclaims the ones no pinned snapshot can
+//!   still observe;
+//! - the **label index**: ground-truth class label → epoch-stamped
+//!   postings, maintained under the same append/tombstone discipline.
+//!
+//! All mutation goes through `&self` with interior locking, so the
+//! engine can hand out shared [`std::sync::Arc`]`<ViewStore>` handles to
+//! snapshots while its writer half keeps inserting: readers filter by
+//! their pinned epoch and never observe a half-applied mutation, because
+//! a mutation batch stamps everything it touches with an epoch the
+//! reader does not look at.
 //!
 //! [`crate::query::ViewQuery`] evaluates against these indexes; the
 //! naive scans survive only as the reference implementation in
@@ -21,12 +37,14 @@
 
 use crate::query::PatternHits;
 use crate::ExplanationView;
-use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId};
+use gvex_graph::{ClassLabel, Epoch, Graph, GraphDb, GraphId};
 use gvex_pattern::{vf2, Pattern};
 use rustc_hash::FxHashMap;
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
-/// Handle to one view inside a [`ViewStore`].
+/// Handle to one view inside a [`ViewStore`]. The handle is stable
+/// across incremental maintenance: updates push new *versions* under the
+/// same id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ViewId(pub u32);
 
@@ -36,19 +54,90 @@ impl ViewId {
     }
 }
 
+/// One epoch-stamped entry of a posting list: the payload is visible at
+/// epoch `e` iff `born <= e < died`.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    id: GraphId,
+    born: Epoch,
+    died: Epoch,
+}
+
+impl Posting {
+    fn live_at(&self, e: Epoch) -> bool {
+        self.born <= e && e < self.died
+    }
+}
+
+/// One version of a stored view.
+#[derive(Debug, Clone)]
+struct ViewVersion {
+    born: Epoch,
+    died: Epoch,
+    view: Arc<ExplanationView>,
+    /// Index of this version's subgraph-tier row in the pattern index.
+    row: usize,
+}
+
+impl ViewVersion {
+    fn live_at(&self, e: Epoch) -> bool {
+        self.born <= e && e < self.died
+    }
+}
+
+/// All versions of one view, oldest first.
+#[derive(Debug, Default)]
+struct ViewRecord {
+    versions: Vec<ViewVersion>,
+}
+
+impl ViewRecord {
+    /// The version live at `e`.
+    fn at(&self, e: Epoch) -> Option<&ViewVersion> {
+        self.versions.iter().rev().find(|v| v.live_at(e))
+    }
+
+    /// The newest (head) version, if not fully tombstoned.
+    fn head(&self) -> Option<&ViewVersion> {
+        self.versions.last().filter(|v| v.died == Epoch::MAX)
+    }
+}
+
+/// The subgraph tier of one view version, materialized for pattern
+/// matching. Cleared (payloads dropped, slot kept for row stability) when
+/// the version is compacted away.
+#[derive(Debug, Default)]
+struct SubgraphRow {
+    /// Induced explanation subgraphs.
+    subs: Vec<Graph>,
+    /// Aligned graph ids: `subs[i]` explains `ids[i]`.
+    ids: Vec<GraphId>,
+}
+
 /// One posting list of the pattern index.
 #[derive(Debug, Clone)]
 struct IndexEntry {
     /// The representative pattern of this isomorphism class.
     pattern: Pattern,
-    /// Sorted ids of database graphs containing the pattern.
-    graphs: Vec<GraphId>,
-    /// Of those, how many carry each ground-truth label (sorted).
-    per_label: Vec<(ClassLabel, usize)>,
-    /// For each view whose subgraph tier contains the pattern: the
-    /// (sorted) graph ids whose *explanation subgraph* in that view
-    /// contains it — the "query over a view" posting.
-    view_graphs: FxHashMap<u32, Vec<GraphId>>,
+    /// Epoch-stamped ids of database graphs containing the pattern,
+    /// sorted by id.
+    postings: Vec<Posting>,
+    /// For each view-version row whose subgraph tier contains the
+    /// pattern: the (sorted) graph ids whose *explanation subgraph* in
+    /// that version contains it — the "query over a view" posting.
+    row_graphs: FxHashMap<u32, Vec<GraphId>>,
+}
+
+impl IndexEntry {
+    fn hits_at(&self, db: &GraphDb, epoch: Epoch) -> PatternHits {
+        let mut graphs = Vec::new();
+        let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
+        for p in self.postings.iter().filter(|p| p.live_at(epoch)) {
+            graphs.push(p.id);
+            *counts.entry(db.truth(p.id)).or_insert(0) += 1;
+        }
+        PatternHits { graphs, per_label: counts.into_iter().collect() }
+    }
 }
 
 /// The canonical-form inverted pattern index. Interiorly mutable
@@ -61,10 +150,8 @@ struct PatternIndex {
     entries: Vec<IndexEntry>,
     /// Canon key → entry indices (WL collisions resolved by VF2).
     buckets: FxHashMap<u64, Vec<usize>>,
-    /// Induced explanation subgraphs per view, cached for view matching.
-    view_subgraphs: Vec<Vec<Graph>>,
-    /// Graph ids of each view's subgraph tier (sorted, deduped).
-    view_ids: Vec<Vec<GraphId>>,
+    /// One row per inserted view *version*.
+    rows: Vec<SubgraphRow>,
 }
 
 impl PatternIndex {
@@ -81,48 +168,46 @@ impl PatternIndex {
     /// Inserts a pre-scanned entry for `p` (the caller ran the database
     /// scan without holding the lock). View matching happens here, under
     /// the write lock — subgraph tiers are small, unlike the database.
-    fn insert_scanned(&mut self, p: &Pattern, postings: DbPostings) -> usize {
-        let mut view_graphs = FxHashMap::default();
-        for (vid, subs) in self.view_subgraphs.iter().enumerate() {
-            let hits = matching_ids(p, subs, &self.view_ids[vid]);
+    fn insert_scanned(&mut self, p: &Pattern, postings: Vec<Posting>) -> usize {
+        let mut row_graphs = FxHashMap::default();
+        for (row, sr) in self.rows.iter().enumerate() {
+            let hits = matching_ids(p, &sr.subs, &sr.ids);
             if !hits.is_empty() {
-                view_graphs.insert(vid as u32, hits);
+                row_graphs.insert(row as u32, hits);
             }
         }
         let i = self.entries.len();
         self.buckets.entry(p.canon_key()).or_default().push(i);
-        self.entries.push(IndexEntry {
-            pattern: p.clone(),
-            graphs: postings.graphs,
-            per_label: postings.per_label,
-            view_graphs,
-        });
+        self.entries.push(IndexEntry { pattern: p.clone(), postings, row_graphs });
         i
     }
 }
 
-/// Database-side postings of one pattern: the expensive half of
-/// indexing, computed lock-free.
-struct DbPostings {
-    graphs: Vec<GraphId>,
-    per_label: Vec<(ClassLabel, usize)>,
+/// One full VF2 scan for `p` over every payload-bearing slot — live or
+/// tombstoned — producing epoch-stamped postings valid at *any* epoch a
+/// pinned snapshot can observe (runs without any lock).
+fn scan_postings(p: &Pattern, db: &GraphDb) -> Vec<Posting> {
+    db.iter_all_payloads()
+        .filter(|(_, g, _, _)| vf2::contains(p, g))
+        .map(|(id, _, born, died)| Posting { id, born, died })
+        .collect()
 }
 
-/// One full VF2 scan of the database for `p` (runs without any lock).
-fn scan_postings(p: &Pattern, db: &GraphDb) -> DbPostings {
-    let mut graphs = Vec::new();
-    let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
-    for (id, g) in db.iter() {
-        if vf2::contains(p, g) {
-            graphs.push(id);
-            *counts.entry(db.truth(id)).or_insert(0) += 1;
-        }
+/// Inserts a live posting id-sorted, skipping a duplicate live posting
+/// for the same graph (idempotent under re-checks).
+fn add_posting(entry: &mut IndexEntry, posting: Posting) {
+    let at = entry.postings.partition_point(|q| q.id < posting.id);
+    let dup = entry.postings[at..]
+        .iter()
+        .take_while(|q| q.id == posting.id)
+        .any(|q| q.died == Epoch::MAX);
+    if !dup {
+        entry.postings.insert(at, posting);
     }
-    DbPostings { graphs, per_label: counts.into_iter().collect() }
 }
 
 /// Graph ids (sorted, deduped) whose cached subgraph contains `p`.
-/// `subs` and `ids` are aligned: `subs[i]` explains graph `ids_flat[i]`.
+/// `subs` and `ids` are aligned: `subs[i]` explains graph `ids[i]`.
 fn matching_ids(p: &Pattern, subs: &[Graph], ids_flat: &[GraphId]) -> Vec<GraphId> {
     let mut hits: Vec<GraphId> =
         subs.iter().zip(ids_flat).filter(|(s, _)| vf2::contains(p, s)).map(|(_, &id)| id).collect();
@@ -132,40 +217,164 @@ fn matching_ids(p: &Pattern, subs: &[Graph], ids_flat: &[GraphId]) -> Vec<GraphI
 }
 
 /// Explanation views plus their query indexes. Built against one
-/// [`GraphDb`]; every method taking `db` must be given that same
-/// database (the [`crate::engine::Engine`] facade enforces this by
-/// owning both).
+/// [`GraphDb`]; every method taking `db` must be given that database (or
+/// a snapshot clone of it — the [`crate::engine::Engine`] facade
+/// enforces this by owning both).
 #[derive(Debug)]
 pub struct ViewStore {
-    views: Vec<ExplanationView>,
-    /// Ground-truth label → sorted graph ids.
-    label_index: FxHashMap<ClassLabel, Vec<GraphId>>,
+    views: RwLock<Vec<ViewRecord>>,
+    /// Ground-truth label → epoch-stamped postings, sorted by id.
+    label_index: RwLock<FxHashMap<ClassLabel, Vec<Posting>>>,
     index: RwLock<PatternIndex>,
 }
 
 impl ViewStore {
-    /// An empty store over `db`: builds the label index; the pattern
-    /// index fills as views are inserted and queries arrive.
+    /// An empty store over `db`: builds the label index from every slot
+    /// (dead slots keep their epoch interval); the pattern index fills
+    /// as views are inserted and queries arrive.
     pub fn new(db: &GraphDb) -> Self {
-        let mut label_index: FxHashMap<ClassLabel, Vec<GraphId>> = FxHashMap::default();
-        for (id, _) in db.iter() {
-            label_index.entry(db.truth(id)).or_default().push(id);
+        let mut label_index: FxHashMap<ClassLabel, Vec<Posting>> = FxHashMap::default();
+        for (id, _, born, died) in db.iter_all_payloads() {
+            label_index.entry(db.truth(id)).or_default().push(Posting { id, born, died });
         }
-        Self { views: Vec::new(), label_index, index: RwLock::new(PatternIndex::default()) }
+        Self {
+            views: RwLock::new(Vec::new()),
+            label_index: RwLock::new(label_index),
+            index: RwLock::new(PatternIndex::default()),
+        }
     }
 
-    /// Inserts a view, indexing its patterns: each novel pattern class is
-    /// matched against the database once and against every stored view's
-    /// subgraph tier; already-indexed classes only gain the new view's
-    /// postings.
-    pub fn insert(&mut self, view: ExplanationView, db: &GraphDb) -> ViewId {
-        let vid = self.views.len() as u32;
+    /// Records a freshly inserted database graph at `epoch`: appends its
+    /// label posting and matches it against every indexed pattern class
+    /// (the incremental-index half of an insert — no full rescan).
+    pub fn on_insert_graph(&self, db: &GraphDb, id: GraphId, epoch: Epoch) {
+        let posting = Posting { id, born: epoch, died: Epoch::MAX };
+        {
+            let mut li = self.label_index.write().expect("label index lock");
+            li.entry(db.truth(id)).or_default().push(posting);
+        }
+        let Some(g) = db.get_graph(id) else { return };
+        // VF2-match the arrival against the indexed pattern classes
+        // *outside* the write lock (entries are append-only, so the
+        // matched indices stay valid), then splice the postings in under
+        // a short write section — warm concurrent probes are never
+        // blocked behind subgraph isomorphism.
+        let (matched, seen) = {
+            let index = self.index.read().expect("pattern index lock");
+            let matched: Vec<usize> = index
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| vf2::contains(&e.pattern, g))
+                .map(|(i, _)| i)
+                .collect();
+            (matched, index.entries.len())
+        };
+        let mut index = self.index.write().expect("pattern index lock");
+        for i in matched {
+            add_posting(&mut index.entries[i], posting);
+        }
+        // Entries memoized between the two lock sections scanned a
+        // database that already contained the arrival (none exist in the
+        // single-writer engine, but the store does not assume that);
+        // `add_posting` is idempotent, so re-checking them is safe.
+        for entry in index.entries[seen..].iter_mut() {
+            if vf2::contains(&entry.pattern, g) {
+                add_posting(entry, posting);
+            }
+        }
+    }
+
+    /// Tombstones every posting of graph `id` at `epoch` (the
+    /// incremental-index half of a removal). Posting lists are sorted by
+    /// id, so each list is a binary-search lookup, not a scan.
+    pub fn on_remove_graph(&self, db: &GraphDb, id: GraphId, epoch: Epoch) {
+        fn tombstone(posts: &mut [Posting], id: GraphId, epoch: Epoch) {
+            let at = posts.partition_point(|q| q.id < id);
+            for p in posts[at..].iter_mut().take_while(|q| q.id == id) {
+                if p.died == Epoch::MAX {
+                    p.died = epoch;
+                }
+            }
+        }
+        {
+            let mut li = self.label_index.write().expect("label index lock");
+            if let Some(posts) = li.get_mut(&db.truth(id)) {
+                tombstone(posts, id, epoch);
+            }
+        }
+        let mut index = self.index.write().expect("pattern index lock");
+        for entry in &mut index.entries {
+            tombstone(&mut entry.postings, id, epoch);
+        }
+    }
+
+    /// Drops postings, view versions, and subgraph rows invisible at
+    /// every epoch `>= floor` (i.e. `died <= floor`). Rows keep their
+    /// slot (indices are stable) but lose their payload.
+    pub fn compact(&self, floor: Epoch) {
+        {
+            let mut li = self.label_index.write().expect("label index lock");
+            for posts in li.values_mut() {
+                posts.retain(|p| p.died > floor);
+            }
+        }
+        let dead_rows: Vec<usize> = {
+            let mut views = self.views.write().expect("view store lock");
+            let mut dead = Vec::new();
+            for rec in views.iter_mut() {
+                rec.versions.retain(|v| {
+                    let keep = v.died > floor;
+                    if !keep {
+                        dead.push(v.row);
+                    }
+                    keep
+                });
+            }
+            dead
+        };
+        let mut index = self.index.write().expect("pattern index lock");
+        for entry in &mut index.entries {
+            entry.postings.retain(|p| p.died > floor);
+            for row in &dead_rows {
+                entry.row_graphs.remove(&(*row as u32));
+            }
+        }
+        for &row in &dead_rows {
+            index.rows[row] = SubgraphRow::default();
+        }
+    }
+
+    /// Inserts a new view born at `db.epoch()`, indexing its patterns:
+    /// each novel pattern class is matched against the database once and
+    /// against every stored view version's subgraph tier;
+    /// already-indexed classes only gain the new version's postings.
+    pub fn insert(&self, view: ExplanationView, db: &GraphDb) -> ViewId {
+        let vid = {
+            let mut views = self.views.write().expect("view store lock");
+            let vid = ViewId(views.len() as u32);
+            views.push(ViewRecord::default());
+            vid
+        };
+        self.push_version(vid, view, db);
+        vid
+    }
+
+    /// Pushes a new version of `id` born at `db.epoch()`, tombstoning
+    /// the previous head version at the same epoch. This is the
+    /// incremental-maintenance commit point: pinned snapshots at older
+    /// epochs keep resolving the tombstoned version.
+    ///
+    /// # Panics
+    /// Panics if `id` does not come from this store.
+    pub fn push_version(&self, id: ViewId, view: ExplanationView, db: &GraphDb) {
+        let epoch = db.epoch();
         let subs: Vec<Graph> = view.subgraphs.iter().map(|s| s.induced(db).0).collect();
         let ids_flat: Vec<GraphId> = view.subgraphs.iter().map(|s| s.graph_id).collect();
         // Scan novel patterns against the database before taking the
-        // write lock (`&mut self` means no concurrent reader here, but
-        // the lock discipline stays uniform with the probe path).
-        let novel: Vec<(&Pattern, DbPostings)> = {
+        // write lock, so concurrent warm probes are never blocked behind
+        // a database scan.
+        let novel: Vec<(&Pattern, Vec<Posting>)> = {
             let index = self.index.read().expect("pattern index lock");
             view.patterns
                 .iter()
@@ -173,104 +382,237 @@ impl ViewStore {
                 .map(|p| (p, scan_postings(p, db)))
                 .collect()
         };
-        {
+        let row = {
             let mut index = self.index.write().expect("pattern index lock");
-            // Existing entries vs the new view's subgraphs.
+            let row = index.rows.len();
+            // Existing entries vs the new version's subgraphs.
             for entry in &mut index.entries {
                 let hits = matching_ids(&entry.pattern, &subs, &ids_flat);
                 if !hits.is_empty() {
-                    entry.view_graphs.insert(vid, hits);
+                    entry.row_graphs.insert(row as u32, hits);
                 }
             }
-            index.view_subgraphs.push(subs);
-            index.view_ids.push(ids_flat);
-            // Novel patterns of the new view (the view was just pushed,
-            // so insert_scanned records its own postings too).
+            index.rows.push(SubgraphRow { subs, ids: ids_flat });
+            // Novel patterns of the new version (the row was just
+            // pushed, so insert_scanned records its occurrences too).
             for (p, postings) in novel {
                 if index.find(p).is_none() {
                     index.insert_scanned(p, postings);
                 }
             }
+            row
+        };
+        let mut views = self.views.write().expect("view store lock");
+        let rec = &mut views[id.idx()];
+        if let Some(prev) = rec.versions.last_mut() {
+            if prev.died == Epoch::MAX {
+                prev.died = epoch;
+            }
         }
-        self.views.push(view);
-        ViewId(vid)
+        rec.versions.push(ViewVersion { born: epoch, died: Epoch::MAX, view: Arc::new(view), row });
     }
 
-    /// The view behind a handle.
+    /// The current (head) version of the view behind a handle.
     ///
     /// # Panics
-    /// Panics if `id` does not come from this store.
-    pub fn view(&self, id: ViewId) -> &ExplanationView {
-        &self.views[id.idx()]
+    /// Panics if `id` does not come from this store or the view has been
+    /// fully tombstoned; [`ViewStore::get`] is the non-panicking path.
+    pub fn view(&self, id: ViewId) -> Arc<ExplanationView> {
+        self.get(id).expect("view id from this store")
     }
 
-    /// Iterator over `(handle, view)` pairs in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (ViewId, &ExplanationView)> {
-        self.views.iter().enumerate().map(|(i, v)| (ViewId(i as u32), v))
+    /// The current (head) version of the view behind a handle, or `None`
+    /// for a stale or foreign id.
+    pub fn get(&self, id: ViewId) -> Option<Arc<ExplanationView>> {
+        let views = self.views.read().expect("view store lock");
+        views.get(id.idx()).and_then(ViewRecord::head).map(|v| Arc::clone(&v.view))
     }
 
-    /// Number of stored views.
+    /// The version of view `id` live at `epoch`, if any (`None` also for
+    /// views created after `epoch` — a pinned snapshot never sees a view
+    /// from its future).
+    pub fn get_at(&self, id: ViewId, epoch: Epoch) -> Option<Arc<ExplanationView>> {
+        let views = self.views.read().expect("view store lock");
+        views.get(id.idx()).and_then(|r| r.at(epoch)).map(|v| Arc::clone(&v.view))
+    }
+
+    /// Number of versions view `id` has accumulated (0 for foreign ids).
+    pub fn version_count(&self, id: ViewId) -> usize {
+        let views = self.views.read().expect("view store lock");
+        views.get(id.idx()).map_or(0, |r| r.versions.len())
+    }
+
+    /// `(handle, head view)` pairs in insertion order, skipping fully
+    /// tombstoned views.
+    pub fn latest_views(&self) -> Vec<(ViewId, Arc<ExplanationView>)> {
+        let views = self.views.read().expect("view store lock");
+        views
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.head().map(|v| (ViewId(i as u32), Arc::clone(&v.view))))
+            .collect()
+    }
+
+    /// Number of stored views (including fully tombstoned records).
     pub fn len(&self) -> usize {
-        self.views.len()
+        self.views.read().expect("view store lock").len()
     }
 
     /// Whether the store holds no views.
     pub fn is_empty(&self) -> bool {
-        self.views.is_empty()
+        self.len() == 0
     }
 
-    /// The first view for `label`, if one has been generated.
-    pub fn for_label(&self, label: ClassLabel) -> Option<(ViewId, &ExplanationView)> {
-        self.iter().find(|(_, v)| v.label == label)
+    /// The first live view for `label`, if one has been generated.
+    pub fn for_label(&self, label: ClassLabel) -> Option<(ViewId, Arc<ExplanationView>)> {
+        self.latest_views().into_iter().find(|(_, v)| v.label == label)
     }
 
-    /// Sorted graph ids with ground-truth `label` (the label index).
-    pub fn label_graphs(&self, label: ClassLabel) -> &[GraphId] {
-        self.label_index.get(&label).map(Vec::as_slice).unwrap_or(&[])
+    /// Sorted graph ids with ground-truth `label` live at `epoch` (the
+    /// label index).
+    pub fn label_graphs_at(&self, label: ClassLabel, epoch: Epoch) -> Vec<GraphId> {
+        let li = self.label_index.read().expect("label index lock");
+        let mut ids: Vec<GraphId> = li
+            .get(&label)
+            .map(|posts| posts.iter().filter(|p| p.live_at(epoch)).map(|p| p.id).collect())
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
     }
 
-    /// Index probe: which database graphs contain `p`, with per-label
-    /// counts from the same postings (one pass, no re-derivation). First
-    /// probe of a novel pattern class scans the database once — outside
-    /// the lock, so concurrent warm probes are never blocked behind a
-    /// scan — and is memoized.
+    /// Sorted graph ids with ground-truth `label` at `db`'s own epoch.
+    pub fn label_graphs(&self, label: ClassLabel, db: &GraphDb) -> Vec<GraphId> {
+        self.label_graphs_at(label, db.epoch())
+    }
+
+    /// Index probe: which database graphs contain `p` at `db.epoch()`,
+    /// with per-label counts from the same postings (one pass, no
+    /// re-derivation). First probe of a novel pattern class scans the
+    /// database once — outside the lock, so concurrent warm probes are
+    /// never blocked behind a scan — and is memoized.
     pub fn hits(&self, p: &Pattern, db: &GraphDb) -> PatternHits {
-        self.probe(p, db, |e| PatternHits {
-            graphs: e.graphs.clone(),
-            per_label: e.per_label.clone(),
-        })
+        self.probe(p, db, db.epoch(), Memo::Insert, |e, db, at| e.hits_at(db, at))
+    }
+
+    /// Like [`ViewStore::hits`] pinned to `epoch`. Used by snapshots:
+    /// the probe reads the shared memoized index but, on a cold miss,
+    /// scans `db` (the snapshot's own clone) without memoizing — a
+    /// snapshot's database does not contain graphs born after its pin,
+    /// so postings derived from it would be incomplete for the head.
+    pub fn hits_at(&self, p: &Pattern, db: &GraphDb, epoch: Epoch) -> PatternHits {
+        self.probe(p, db, epoch, Memo::ReadOnly, |e, db, at| e.hits_at(db, at))
     }
 
     /// Index probe: graph ids whose **explanation subgraph** in `view`
-    /// contains `p` (a query *over the view* rather than the database).
+    /// (the version live at `db.epoch()`) contains `p` — a query *over
+    /// the view* rather than the database.
     pub fn view_hits(&self, p: &Pattern, view: ViewId, db: &GraphDb) -> Vec<GraphId> {
-        self.probe(p, db, |e| e.view_graphs.get(&view.0).cloned().unwrap_or_default())
+        self.view_hits_at(p, view, db, db.epoch(), Memo::Insert)
+    }
+
+    /// [`ViewStore::view_hits`] pinned to `epoch` (snapshot path; cold
+    /// misses are not memoized).
+    pub fn view_hits_pinned(
+        &self,
+        p: &Pattern,
+        view: ViewId,
+        db: &GraphDb,
+        epoch: Epoch,
+    ) -> Vec<GraphId> {
+        self.view_hits_at(p, view, db, epoch, Memo::ReadOnly)
+    }
+
+    fn view_hits_at(
+        &self,
+        p: &Pattern,
+        view: ViewId,
+        db: &GraphDb,
+        epoch: Epoch,
+        memo: Memo,
+    ) -> Vec<GraphId> {
+        let Some(row) = ({
+            let views = self.views.read().expect("view store lock");
+            views.get(view.idx()).and_then(|r| r.at(epoch)).map(|v| v.row)
+        }) else {
+            return Vec::new();
+        };
+        if memo == Memo::ReadOnly {
+            let index = self.index.read().expect("pattern index lock");
+            return match index.find(p) {
+                // Warm path: the memoized entry holds the row occurrences.
+                Some(i) => {
+                    index.entries[i].row_graphs.get(&(row as u32)).cloned().unwrap_or_default()
+                }
+                // Cold miss without memoization: only the resolved row's
+                // subgraph tier needs matching — not the whole database
+                // and not every stored version.
+                None => {
+                    let sr = &index.rows[row];
+                    matching_ids(p, &sr.subs, &sr.ids)
+                }
+            };
+        }
+        self.probe(p, db, epoch, memo, move |e, _, _| {
+            e.row_graphs.get(&(row as u32)).cloned().unwrap_or_default()
+        })
     }
 
     /// Shared probe: concurrent read-locked lookup on the warm path; on
-    /// a miss, the database scan runs lock-free and the first insertion
-    /// wins (a racing scan of the same class produces identical
-    /// postings — scanning is deterministic).
-    fn probe<T>(&self, p: &Pattern, db: &GraphDb, read: impl Fn(&IndexEntry) -> T) -> T {
+    /// a miss, the database scan runs lock-free and — in [`Memo::Insert`]
+    /// mode — the first insertion wins (a racing scan of the same class
+    /// produces identical postings; scanning is deterministic). In
+    /// [`Memo::ReadOnly`] mode the scanned postings answer this probe
+    /// only.
+    fn probe<T>(
+        &self,
+        p: &Pattern,
+        db: &GraphDb,
+        epoch: Epoch,
+        memo: Memo,
+        read: impl Fn(&IndexEntry, &GraphDb, Epoch) -> T,
+    ) -> T {
         {
             let index = self.index.read().expect("pattern index lock");
             if let Some(i) = index.find(p) {
-                return read(&index.entries[i]);
+                return read(&index.entries[i], db, epoch);
             }
         }
         let postings = scan_postings(p, db);
-        let mut index = self.index.write().expect("pattern index lock");
-        let i = match index.find(p) {
-            Some(i) => i,
-            None => index.insert_scanned(p, postings),
-        };
-        read(&index.entries[i])
+        match memo {
+            Memo::ReadOnly => {
+                // Answer from a transient entry. Row occurrences are not
+                // computed: the read-only view-hit path resolves its one
+                // row directly in `view_hits_at` instead of paying for
+                // every stored version here.
+                let entry =
+                    IndexEntry { pattern: p.clone(), postings, row_graphs: FxHashMap::default() };
+                read(&entry, db, epoch)
+            }
+            Memo::Insert => {
+                let mut index = self.index.write().expect("pattern index lock");
+                let i = match index.find(p) {
+                    Some(i) => i,
+                    None => index.insert_scanned(p, postings),
+                };
+                read(&index.entries[i], db, epoch)
+            }
+        }
     }
 
-    /// Sorted, deduped graph ids explained by `view`'s subgraph tier.
-    pub fn view_graph_ids(&self, view: ViewId) -> Vec<GraphId> {
-        let mut ids: Vec<GraphId> =
-            self.views[view.idx()].subgraphs.iter().map(|s| s.graph_id).collect();
+    /// Sorted, deduped graph ids explained by the version of `view` live
+    /// at `db.epoch()`.
+    pub fn view_graph_ids(&self, view: ViewId, db: &GraphDb) -> Vec<GraphId> {
+        self.view_graph_ids_at(view, db.epoch())
+    }
+
+    /// Sorted, deduped graph ids explained by the version of `view` live
+    /// at `epoch`.
+    pub fn view_graph_ids_at(&self, view: ViewId, epoch: Epoch) -> Vec<GraphId> {
+        let views = self.views.read().expect("view store lock");
+        let Some(v) = views.get(view.idx()).and_then(|r| r.at(epoch)) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<GraphId> = v.view.subgraphs.iter().map(|s| s.graph_id).collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -279,11 +621,22 @@ impl ViewStore {
     /// Pre-indexes a pattern (e.g. a domain motif that will be probed
     /// repeatedly) without running a query.
     pub fn index_pattern(&self, p: &Pattern, db: &GraphDb) {
-        self.probe(p, db, |_| ());
+        self.probe(p, db, db.epoch(), Memo::Insert, |_, _, _| ());
     }
 
     /// Number of indexed pattern classes.
     pub fn indexed_patterns(&self) -> usize {
         self.index.read().expect("pattern index lock").entries.len()
     }
+}
+
+/// Whether a cold probe may memoize its scan into the shared index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Memo {
+    /// Head probes: the scan saw every payload-bearing slot, so the
+    /// postings are complete for every observable epoch — memoize.
+    Insert,
+    /// Snapshot probes: the scan ran over a pinned clone that lacks
+    /// later-born graphs — answer locally, do not memoize.
+    ReadOnly,
 }

@@ -408,11 +408,15 @@ impl StreamGvex {
 /// [`StreamGvex::explain_label_fraction`] and the engine's stream path.
 pub(crate) fn assemble_view(
     label: ClassLabel,
-    subgraphs: Vec<ExplanationSubgraph>,
+    mut subgraphs: Vec<ExplanationSubgraph>,
     patterns: Vec<Pattern>,
     db: &GraphDb,
     config: &Config,
 ) -> ExplanationView {
+    // Canonical view shape: subgraphs in ascending graph-id order (see
+    // `parallel::explain_label_parallel` — incremental maintenance
+    // compares views across assembly paths).
+    subgraphs.sort_by_key(|s| s.graph_id);
     // Group-level coverage & edge loss against the pooled subgraphs.
     let induced: Vec<Graph> = subgraphs.iter().map(|s| s.induced(db).0).collect();
     let (patterns, edge_loss) = finalize_patterns(patterns, &induced, &config.miner);

@@ -593,10 +593,11 @@ mod query_tests {
         let l1 = 1 - l0;
         let view1 = ag.explain_label(&model, &db, l1, &db.label_group(l1));
         let n_patterns = view0.patterns.len();
-        let mut store = ViewStore::new(&db);
+        let store = ViewStore::new(&db);
         let v0 = store.insert(view0, &db);
         let v1 = store.insert(view1, &db);
-        let best = query::most_discriminative(&store, &db, store.view(v0));
+        let head0 = store.view(v0);
+        let best = query::most_discriminative(&store, &db, &head0);
         assert!(best.is_some());
         let (_, score) = best.unwrap();
         assert!((0.0..=1.0).contains(&score));
@@ -611,7 +612,7 @@ mod query_tests {
         let ag = ApproxGvex::new(Config::with_bounds(1, 4));
         let l0 = db.predicted(0).unwrap();
         let view = ag.explain_label(&model, &db, l0, &db.label_group(l0));
-        let mut store = ViewStore::new(&db);
+        let store = ViewStore::new(&db);
         let vid = store.insert(view, &db);
         // Unconstrained: every database graph.
         let all = ViewQuery::new().evaluate(&store, &db);
@@ -619,7 +620,7 @@ mod query_tests {
         assert_eq!(all.per_label.iter().map(|(_, c)| c).sum::<usize>(), db.len());
         // View-scoped without a pattern: exactly the explained graphs.
         let in_view = ViewQuery::new().in_views([vid]).evaluate(&store, &db);
-        assert_eq!(in_view.graphs, store.view_graph_ids(vid));
+        assert_eq!(in_view.graphs, store.view_graph_ids(vid, &db));
         // Pattern + label conjunction matches the scan reference.
         let p = store.view(vid).patterns[0].clone();
         let got = ViewQuery::pattern(p.clone()).label(0).evaluate(&store, &db);
@@ -713,6 +714,92 @@ mod query_tests {
 
 mod engine_tests {
     use super::*;
+    use crate::ViewId;
+    use gvex_pattern::Pattern;
+
+    #[test]
+    fn context_cache_lru_evicts_least_recent() {
+        let (model, db) = toy_setup();
+        let cache = ContextCache::with_capacity(Config::with_bounds(1, 4), 2);
+        let c0 = cache.get(&model, db.graph(0), 0);
+        let _c1 = cache.get(&model, db.graph(1), 1);
+        // Touch 0, insert 2: the cap evicts 1 (least recently used).
+        let c0_again = cache.get(&model, db.graph(0), 0);
+        assert!(std::sync::Arc::ptr_eq(&c0, &c0_again));
+        let _c2 = cache.get(&model, db.graph(2), 2);
+        assert_eq!(cache.len(), 2);
+        let c0_third = cache.get(&model, db.graph(0), 0);
+        assert!(std::sync::Arc::ptr_eq(&c0, &c0_third), "0 stayed resident");
+        // Explicit removal frees a slot.
+        cache.remove(&[0]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn store_postings_are_epoch_aware() {
+        let mut db = GraphDb::new();
+        let a = db.push(generate::star(4, 1, 2, 1), 0);
+        let b = db.push(generate::cycle(5, 3, 1), 1);
+        let store = ViewStore::new(&db);
+        let hub = Pattern::new(&[1, 2], &[(0, 1, 0)]);
+        assert_eq!(store.hits(&hub, &db).graphs, vec![a]);
+
+        let pinned = db.clone(); // frozen at epoch 0
+        let e1 = db.advance_epoch();
+        let c = db.push(generate::star(3, 1, 2, 1), 0);
+        store.on_insert_graph(&db, c, e1);
+        // Head sees the insert (appended posting, no rescan); the
+        // pinned epoch does not.
+        assert_eq!(store.hits(&hub, &db).graphs, vec![a, c]);
+        assert_eq!(store.hits_at(&hub, &pinned, pinned.epoch()).graphs, vec![a]);
+        assert_eq!(store.label_graphs(0, &db), vec![a, c]);
+        assert_eq!(store.label_graphs_at(0, pinned.epoch()), vec![a]);
+
+        let e2 = db.advance_epoch();
+        assert!(db.remove(a));
+        store.on_remove_graph(&db, a, e2);
+        assert_eq!(store.hits(&hub, &db).graphs, vec![c]);
+        assert_eq!(store.hits_at(&hub, &pinned, pinned.epoch()).graphs, vec![a]);
+        assert_eq!(store.label_graphs(0, &db), vec![c]);
+        let _ = b;
+
+        // A pattern first probed *after* the mutations still answers
+        // correctly at the pinned epoch: the cold scan covers
+        // tombstoned-but-uncompacted payloads.
+        let any_type3 = Pattern::single_node(3);
+        assert_eq!(store.hits_at(&any_type3, &pinned, pinned.epoch()).graphs, vec![b]);
+
+        // Compaction at the head floor (nothing pinned in this unit
+        // test's contract) drops a's postings.
+        store.compact(db.epoch());
+        assert_eq!(store.hits(&hub, &db).graphs, vec![c]);
+    }
+
+    #[test]
+    fn store_view_versions_resolve_by_epoch() {
+        let (model, _) = toy_setup();
+        let mut db = GraphDb::new();
+        db.push(generate::star(4, 1, 2, 2), 0);
+        let store = ViewStore::new(&db);
+        let ag = ApproxGvex::new(Config::with_bounds(1, 3));
+        let view_a = ag.explain_label(&model, &db, 0, &[0]);
+        let vid = store.insert(view_a, &db);
+        assert_eq!(store.version_count(vid), 1);
+        let e0 = db.epoch();
+
+        db.advance_epoch();
+        let id1 = db.push(generate::star(5, 1, 2, 2), 0);
+        let view_b = ag.explain_label(&model, &db, 0, &[0, id1]);
+        let subs_b = view_b.subgraphs.len();
+        store.push_version(vid, view_b, &db);
+        assert_eq!(store.version_count(vid), 2);
+
+        // Head resolves the new version, the old epoch the old one.
+        assert_eq!(store.get(vid).expect("head version").subgraphs.len(), subs_b);
+        assert_eq!(store.get_at(vid, e0).expect("old version").subgraphs.len(), 1);
+        // Before the view existed: nothing. (Views born at e0 here.)
+        assert!(store.get_at(ViewId(99), e0).is_none());
+    }
 
     #[test]
     fn engine_explains_queries_and_memoizes() {

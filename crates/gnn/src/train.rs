@@ -153,8 +153,7 @@ impl AdamTrainer {
     /// predictions (forming the label groups of §2.2); returns accuracy on
     /// `eval_ids`.
     pub fn classify_all(model: &GcnModel, db: &mut GraphDb, eval_ids: &[GraphId]) -> f64 {
-        let preds: Vec<(GraphId, u16)> =
-            (0..db.len() as GraphId).map(|id| (id, model.predict(db.graph(id)))).collect();
+        let preds: Vec<(GraphId, u16)> = db.iter().map(|(id, g)| (id, model.predict(g))).collect();
         for (id, p) in preds {
             db.set_predicted(id, p);
         }

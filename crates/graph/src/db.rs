@@ -1,5 +1,6 @@
 use crate::Graph;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 
 /// Index of a graph within a [`GraphDb`].
 pub type GraphId = u32;
@@ -7,101 +8,269 @@ pub type GraphId = u32;
 /// distinct from node *types*).
 pub type ClassLabel = u16;
 
+/// A monotonically increasing version stamp of a mutable [`GraphDb`].
+///
+/// Every mutation batch (insert, removal, view update) happens *at* one
+/// epoch: a graph inserted at epoch `e` is visible to readers at epochs
+/// `>= e`, and a graph removed at epoch `e` is visible at epochs `< e`
+/// only. A pinned snapshot therefore sees a consistent database no
+/// matter how far the writer's head has advanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The epoch of a freshly created database.
+    pub const ZERO: Epoch = Epoch(0);
+    /// Sentinel "never died" epoch used for live entries.
+    pub const MAX: Epoch = Epoch(u64::MAX);
+
+    /// The next epoch.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One id slot of the database. Slots are allocated monotonically and
+/// never reused, so a [`GraphId`] handed out once stays valid (as an
+/// identifier) forever; removal tombstones the slot and compaction frees
+/// the graph payload while keeping the cheap metadata.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// The graph payload, shared with snapshot clones. `None` after
+    /// compaction reclaimed it.
+    graph: Option<Arc<Graph>>,
+    truth: ClassLabel,
+    predicted: Option<ClassLabel>,
+    born: Epoch,
+    /// [`Epoch::MAX`] while live.
+    died: Epoch,
+}
+
+impl Slot {
+    fn live(&self) -> bool {
+        self.died == Epoch::MAX
+    }
+}
+
 /// A graph database `G = {G_1, ..., G_m}` together with ground-truth class
 /// labels (used to train the classifier) and, once a classifier has run,
 /// predicted labels (used to form label groups `G^l`, §2.2).
+///
+/// The database is **mutable and versioned**: [`GraphDb::push`] allocates
+/// a fresh id stamped with the current [`Epoch`], [`GraphDb::remove`]
+/// tombstones a slot at the current epoch, and [`GraphDb::advance_epoch`]
+/// moves the head. Graph payloads are stored behind [`Arc`], so
+/// `GraphDb::clone` is a cheap copy-on-write snapshot: the clone shares
+/// every payload and freezes at the epoch it was taken, while the
+/// original keeps mutating. The default accessors ([`GraphDb::iter`],
+/// [`GraphDb::len`], [`GraphDb::label_group`], the statistics) see the
+/// graphs live at this database value's epoch, which makes a clone a
+/// consistent read view with no further filtering.
 #[derive(Debug, Clone, Default)]
 pub struct GraphDb {
-    graphs: Vec<Graph>,
-    truth: Vec<ClassLabel>,
-    predicted: Vec<Option<ClassLabel>>,
+    slots: Vec<Slot>,
+    epoch: Epoch,
+}
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Epoch::ZERO
+    }
 }
 
 impl GraphDb {
-    /// Creates an empty database.
+    /// Creates an empty database at [`Epoch::ZERO`].
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// The epoch this database value is at. For the writer's copy this
+    /// is the head; for a clone it is the pinned epoch of the snapshot.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Advances the head epoch and returns the new value. Every mutation
+    /// batch should run at its own fresh epoch (the engine's insert /
+    /// remove entry points do this).
+    pub fn advance_epoch(&mut self) -> Epoch {
+        self.epoch = self.epoch.next();
+        self.epoch
+    }
+
     /// Adds a graph with its ground-truth class label; returns its id.
+    /// The graph is born at the current epoch.
     pub fn push(&mut self, graph: Graph, label: ClassLabel) -> GraphId {
-        let id = self.graphs.len() as GraphId;
-        self.graphs.push(graph);
-        self.truth.push(label);
-        self.predicted.push(None);
+        let id = self.slots.len() as GraphId;
+        self.slots.push(Slot {
+            graph: Some(Arc::new(graph)),
+            truth: label,
+            predicted: None,
+            born: self.epoch,
+            died: Epoch::MAX,
+        });
         id
     }
 
-    /// Number of graphs `|G|`.
-    pub fn len(&self) -> usize {
-        self.graphs.len()
+    /// Tombstones graph `id` at the current epoch. Returns `false` when
+    /// the id is unknown or already removed. The payload stays allocated
+    /// (pinned snapshots and the shared query index may still read it)
+    /// until [`GraphDb::compact`].
+    pub fn remove(&mut self, id: GraphId) -> bool {
+        match self.slots.get_mut(id as usize) {
+            Some(slot) if slot.live() => {
+                slot.died = self.epoch;
+                true
+            }
+            _ => false,
+        }
     }
 
-    /// Whether the database is empty.
+    /// Frees the payloads of slots invisible at every epoch `>= floor`
+    /// (i.e. `died <= floor`); id slots and their label metadata remain.
+    /// Returns the number of payloads reclaimed. The caller (the engine)
+    /// picks `floor` as the oldest pinned snapshot epoch.
+    pub fn compact(&mut self, floor: Epoch) -> usize {
+        let mut freed = 0;
+        for slot in &mut self.slots {
+            if slot.died <= floor && slot.graph.is_some() {
+                slot.graph = None;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Number of live graphs `|G|` at this value's epoch.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.live()).count()
+    }
+
+    /// Total number of id slots ever allocated (live + tombstoned).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the database holds no live graphs.
     pub fn is_empty(&self) -> bool {
-        self.graphs.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether `id` names a live graph.
+    pub fn contains(&self, id: GraphId) -> bool {
+        self.slots.get(id as usize).is_some_and(Slot::live)
     }
 
     /// Borrow of graph `id`.
+    ///
+    /// # Panics
+    /// Panics when the id was never allocated or the payload has been
+    /// compacted away; [`GraphDb::get_graph`] is the non-panicking path.
     pub fn graph(&self, id: GraphId) -> &Graph {
-        &self.graphs[id as usize]
+        self.get_graph(id).expect("graph id valid and not compacted")
     }
 
-    /// Iterator over `(id, graph)` pairs.
+    /// Borrow of graph `id`, if the slot still holds its payload
+    /// (tombstoned-but-uncompacted graphs are still readable).
+    pub fn get_graph(&self, id: GraphId) -> Option<&Graph> {
+        self.slots.get(id as usize).and_then(|s| s.graph.as_deref())
+    }
+
+    /// Shared handle to graph `id`'s payload, if present.
+    pub fn graph_arc(&self, id: GraphId) -> Option<Arc<Graph>> {
+        self.slots.get(id as usize).and_then(|s| s.graph.clone())
+    }
+
+    /// The `(born, died)` epoch interval of slot `id` (`died` is
+    /// [`Epoch::MAX`] while live).
+    pub fn lifetime(&self, id: GraphId) -> Option<(Epoch, Epoch)> {
+        self.slots.get(id as usize).map(|s| (s.born, s.died))
+    }
+
+    /// Iterator over live `(id, graph)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
-        self.graphs.iter().enumerate().map(|(i, g)| (i as GraphId, g))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live())
+            .filter_map(|(i, s)| s.graph.as_deref().map(|g| (i as GraphId, g)))
+    }
+
+    /// Iterator over **every** slot that still holds a payload — live or
+    /// tombstoned — with its lifetime interval. This is the scan domain
+    /// for epoch-aware index construction: postings derived from it are
+    /// correct for every epoch a pinned snapshot can observe.
+    pub fn iter_all_payloads(&self) -> impl Iterator<Item = (GraphId, &Graph, Epoch, Epoch)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.graph.as_deref().map(|g| (i as GraphId, g, s.born, s.died)))
     }
 
     /// Ground-truth label of graph `id`.
     pub fn truth(&self, id: GraphId) -> ClassLabel {
-        self.truth[id as usize]
+        self.slots[id as usize].truth
     }
 
     /// Records the classifier's prediction `M(G_id) = l`.
     pub fn set_predicted(&mut self, id: GraphId, label: ClassLabel) {
-        self.predicted[id as usize] = Some(label);
+        self.slots[id as usize].predicted = Some(label);
     }
 
     /// The classifier's prediction for graph `id`, if it has been classified.
     pub fn predicted(&self, id: GraphId) -> Option<ClassLabel> {
-        self.predicted[id as usize]
+        self.slots[id as usize].predicted
     }
 
-    /// The label group `G^l`: ids of graphs the classifier assigned label
-    /// `l`. Falls back to ground truth for unclassified graphs only if
-    /// `use_truth_fallback` is set by calling [`GraphDb::label_group_truth`].
+    /// The label group `G^l`: ids of live graphs the classifier assigned
+    /// label `l`.
     pub fn label_group(&self, label: ClassLabel) -> Vec<GraphId> {
-        self.iter()
-            .filter(|(id, _)| self.predicted[*id as usize] == Some(label))
-            .map(|(id, _)| id)
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live() && s.predicted == Some(label))
+            .map(|(i, _)| i as GraphId)
             .collect()
     }
 
     /// Label group computed from ground-truth labels (used before a
     /// classifier has been attached, e.g. in unit tests).
     pub fn label_group_truth(&self, label: ClassLabel) -> Vec<GraphId> {
-        self.iter().filter(|(id, _)| self.truth[*id as usize] == label).map(|(id, _)| id).collect()
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live() && s.truth == label)
+            .map(|(i, _)| i as GraphId)
+            .collect()
     }
 
-    /// The set of distinct ground-truth labels, sorted.
+    /// The set of distinct ground-truth labels among live graphs, sorted.
     pub fn labels(&self) -> Vec<ClassLabel> {
-        let mut l: Vec<ClassLabel> = self.truth.clone();
+        let mut l: Vec<ClassLabel> =
+            self.slots.iter().filter(|s| s.live()).map(|s| s.truth).collect();
         l.sort_unstable();
         l.dedup();
         l
     }
 
-    /// Total node count across the node group `V` of the database.
+    /// Total node count across the node group `V` of the live database.
     pub fn total_nodes(&self) -> usize {
-        self.graphs.iter().map(Graph::num_nodes).sum()
+        self.iter().map(|(_, g)| g.num_nodes()).sum()
     }
 
-    /// Total undirected edge count across the database.
+    /// Total undirected edge count across the live database.
     pub fn total_edges(&self) -> usize {
-        self.graphs.iter().map(Graph::num_edges).sum()
+        self.iter().map(|(_, g)| g.num_edges()).sum()
     }
 
-    /// Average nodes per graph (Table 3 statistic).
+    /// Average nodes per live graph (Table 3 statistic).
     pub fn avg_nodes(&self) -> f64 {
         if self.is_empty() {
             0.0
@@ -110,7 +279,7 @@ impl GraphDb {
         }
     }
 
-    /// Average edges per graph (Table 3 statistic).
+    /// Average edges per live graph (Table 3 statistic).
     pub fn avg_edges(&self) -> f64 {
         if self.is_empty() {
             0.0
@@ -119,21 +288,22 @@ impl GraphDb {
         }
     }
 
-    /// Count of graphs per ground-truth class.
+    /// Count of live graphs per ground-truth class.
     pub fn class_histogram(&self) -> FxHashMap<ClassLabel, usize> {
         let mut h = FxHashMap::default();
-        for &l in &self.truth {
-            *h.entry(l).or_insert(0) += 1;
+        for s in self.slots.iter().filter(|s| s.live()) {
+            *h.entry(s.truth).or_insert(0) += 1;
         }
         h
     }
 
-    /// Deterministic train/validation/test split by index modulo shuffling
-    /// with the given seed. Fractions follow §6.1 (80/10/10 by default).
+    /// Deterministic train/validation/test split of the live graphs by
+    /// shuffling with the given seed. Fractions follow §6.1 (80/10/10 by
+    /// default).
     pub fn split(&self, train: f64, val: f64, seed: u64) -> Split {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
-        let mut ids: Vec<GraphId> = (0..self.len() as GraphId).collect();
+        let mut ids: Vec<GraphId> = self.iter().map(|(id, _)| id).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         ids.shuffle(&mut rng);
         let n = ids.len();

@@ -18,7 +18,7 @@ mod db;
 pub mod generate;
 mod graph;
 
-pub use db::{ClassLabel, GraphDb, GraphId};
+pub use db::{ClassLabel, Epoch, GraphDb, GraphId};
 pub use graph::{EdgeType, Graph, NodeId, NodeType};
 
 #[cfg(test)]

@@ -237,6 +237,62 @@ fn db_statistics() {
 }
 
 #[test]
+fn db_epochs_tombstones_and_compaction() {
+    use crate::Epoch;
+    let mut db = GraphDb::new();
+    let a = db.push(triangle(), 0);
+    let b = db.push(generate::path(3, 0, 2), 1);
+    assert_eq!(db.epoch(), Epoch::ZERO);
+    assert_eq!(db.lifetime(a), Some((Epoch::ZERO, Epoch::MAX)));
+
+    // A clone taken now is a frozen snapshot of epoch 0.
+    let snap = db.clone();
+
+    let e1 = db.advance_epoch();
+    let c = db.push(generate::cycle(4, 0, 2), 0);
+    assert_eq!(db.lifetime(c), Some((e1, Epoch::MAX)));
+    assert_eq!(db.len(), 3);
+    assert_eq!(snap.len(), 2, "snapshot does not see the e1 insert");
+
+    let e2 = db.advance_epoch();
+    assert!(db.remove(a));
+    assert!(!db.remove(a), "double removal is a no-op");
+    assert_eq!(db.lifetime(a), Some((Epoch::ZERO, e2)));
+    assert_eq!(db.len(), 2);
+    assert!(!db.contains(a));
+    assert!(snap.contains(a), "snapshot still sees the removed graph");
+
+    // Tombstoned payload stays readable until compaction...
+    assert!(db.get_graph(a).is_some());
+    assert_eq!(db.iter_all_payloads().count(), 3);
+    // ...and compaction below the death epoch keeps it.
+    assert_eq!(db.compact(e1), 0);
+    assert!(db.get_graph(a).is_some());
+    // Compacting at the death epoch frees it; the slot metadata stays.
+    assert_eq!(db.compact(e2), 1);
+    assert!(db.get_graph(a).is_none());
+    assert_eq!(db.truth(a), 0);
+    assert_eq!(db.num_slots(), 3);
+    // Ids are never reused.
+    let d = db.push(triangle(), 1);
+    assert_eq!(d, 3);
+    // Live accessors skip the tombstone.
+    assert_eq!(db.iter().map(|(id, _)| id).collect::<Vec<_>>(), vec![b, c, d]);
+    assert_eq!(db.labels(), vec![0, 1]);
+    // The snapshot clone kept its own Arc to the freed payload.
+    assert_eq!(snap.graph(a).num_nodes(), 3);
+}
+
+#[test]
+fn db_clone_shares_payloads() {
+    let mut db = GraphDb::new();
+    let a = db.push(triangle(), 0);
+    let snap = db.clone();
+    // Copy-on-write: both values point at the same graph allocation.
+    assert!(std::ptr::eq(db.graph(a) as *const _, snap.graph(a) as *const _));
+}
+
+#[test]
 fn db_split_partitions() {
     let mut db = GraphDb::new();
     for i in 0..20 {

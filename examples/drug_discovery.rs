@@ -24,7 +24,7 @@ fn main() {
         split.test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).collect();
     let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
     let vid = engine.explain_subset(1, &mutagens);
-    let view = engine.store().view(vid);
+    let Some(view) = engine.store().get(vid) else { return };
     println!("mutagen view: {} subgraphs, {} patterns", view.subgraphs.len(), view.patterns.len());
 
     // Domain query 1: "which toxicophores occur in mutagens?" — scan the
@@ -64,7 +64,7 @@ fn main() {
 
     // Counterfactual check on one compound: remove the explanation and
     // re-classify.
-    if let Some(sub) = engine.store().view(vid).subgraphs.first() {
+    if let Some(sub) = view.subgraphs.first() {
         let g = engine.db().graph(sub.graph_id);
         let (rest, _) = g.remove_nodes(&sub.nodes);
         let before = engine.db().predicted(sub.graph_id).unwrap();

@@ -32,7 +32,9 @@ fn main() {
         split.test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).collect();
     let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
     let vid = engine.explain_subset(1, &ids);
-    let view = engine.store().view(vid);
+    // `get` is the non-panicking handle lookup (a stale or foreign id
+    // yields `None` instead of a panic).
+    let Some(view) = engine.store().get(vid) else { return };
     println!("\nexplanation view for label 'mutagen' ({} graphs):", view.subgraphs.len());
     println!("  explainability f = {:.3}", view.explainability);
     println!("  edge loss        = {:.2}%", view.edge_loss * 100.0);
@@ -68,8 +70,7 @@ fn main() {
     }
 
     // 6. Verify the view against the three constraints of §3.3.
-    let view = engine.store().view(vid);
-    let v = verify::verify_view(engine.model(), engine.db(), view, engine.config());
+    let v = verify::verify_view(engine.model(), engine.db(), &view, engine.config());
     println!(
         "\nview verification: C1(graph view)={} C2(explanation)={} C3(coverage)={}",
         v.c1_graph_view, v.c2_explanation, v.c3_coverage

@@ -32,7 +32,7 @@ fn main() {
             test.iter().copied().filter(|&id| engine.db().predicted(id) == Some(label)).collect();
         let vid = engine.explain_subset(label, &ids);
         vids.push(vid);
-        let view = engine.store().view(vid);
+        let Some(view) = engine.store().get(vid) else { continue };
         let name = if label == 0 { "question-answer" } else { "discussion" };
         println!("view for '{name}' ({} threads):", view.subgraphs.len());
         println!("  explainability = {:.3}", view.explainability);

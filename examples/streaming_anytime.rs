@@ -33,7 +33,7 @@ fn main() {
         let start = Instant::now();
         let vid = engine.stream_subset(label, &ids, pct as f64 / 100.0);
         let t = start.elapsed().as_secs_f64();
-        let view = engine.store().view(vid);
+        let Some(view) = engine.store().get(vid) else { continue };
         println!(
             "{:<10} {:>12.2} {:>16.3} {:>10}",
             format!("{pct}%"),

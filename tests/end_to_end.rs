@@ -154,10 +154,10 @@ fn engine_end_to_end_explain_then_query() {
     assert!(engine.store().indexed_patterns() >= view.patterns.len());
     let p = view.patterns[0].clone();
     let over_view = engine.query(&ViewQuery::pattern(p.clone()).in_views([vid]));
-    let explained = engine.store().view_graph_ids(vid);
+    let explained = engine.store().view_graph_ids(vid, engine.db());
     assert!(over_view.graphs.iter().all(|id| explained.contains(id)));
     // The most discriminative pattern scores in [0, 1].
-    let best = query::most_discriminative(engine.store(), engine.db(), view);
+    let best = query::most_discriminative(engine.store(), engine.db(), &view);
     assert!(best.is_some());
     assert!((0.0..=1.0).contains(&best.unwrap().1));
 }

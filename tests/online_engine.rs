@@ -1,0 +1,293 @@
+//! Online-engine integration tests: versioned snapshots, mutation under
+//! readers, and the incremental-view-maintenance equivalence guarantee.
+
+use gvex_core::{Config, Engine, Snapshot, StreamGvex, ViewId, ViewQuery};
+use gvex_data::{mutagenicity, DataConfig, TYPE_N, TYPE_O};
+use gvex_gnn::{AdamTrainer, GcnModel};
+use gvex_graph::{ClassLabel, GraphDb, GraphId};
+use gvex_pattern::Pattern;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A classified molecule-like database and its (untrained — predictions
+/// only need to be deterministic, not accurate) classifier.
+fn setup(n: usize, seed: u64) -> (GcnModel, GraphDb) {
+    let mut db = mutagenicity(DataConfig::new(n, seed));
+    let model = GcnModel::new(14, 16, 2, 2, seed);
+    AdamTrainer::classify_all(&model, &mut db, &[]);
+    (model, db)
+}
+
+/// The comparable core of a view: per explained graph, the selected node
+/// set plus the C1–C3-relevant `consistent` / `counterfactual` flags.
+fn view_shape(view: &gvex_core::ExplanationView) -> BTreeMap<GraphId, (Vec<u32>, bool, bool)> {
+    view.subgraphs
+        .iter()
+        .map(|s| (s.graph_id, (s.nodes.clone(), s.consistent, s.counterfactual)))
+        .collect()
+}
+
+#[test]
+fn insert_snapshot_query_round_trip() {
+    let (model, db) = setup(20, 11);
+    let base = db.len();
+    let pool = mutagenicity(DataConfig::new(3, 77));
+    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 5)).build();
+    let labels = engine.db().labels();
+    let vids: Vec<ViewId> = labels.iter().map(|&l| engine.stream(l, 1.0)).collect();
+
+    // Pin, then mutate: the snapshot keeps the pre-mutation world.
+    let snap = engine.snapshot();
+    let (aid, g) = pool.iter().next().expect("pool graph");
+    let (id, epoch) = engine.insert_graph(g.clone(), Some(pool.truth(aid)));
+    assert_eq!(engine.head(), epoch);
+    assert!(engine.db().contains(id));
+    assert_eq!(engine.query(&ViewQuery::new()).len(), base + 1);
+    assert_eq!(snap.query(&ViewQuery::new()).len(), base, "snapshot pinned before the insert");
+    assert!(snap.epoch() < epoch);
+
+    // The arrival was placed in its predicted label group and its view
+    // gained the delta subgraph.
+    let label = engine.db().predicted(id).expect("insert classifies the arrival");
+    let vid = vids[labels.iter().position(|&l| l == label).unwrap()];
+    let head_view = engine.store().get(vid).expect("maintained view");
+    assert!(head_view.subgraphs.iter().any(|s| s.graph_id == id));
+    // The snapshot resolves the *previous* version of the same handle.
+    let old_view = snap.view(vid).expect("version live at the pinned epoch");
+    assert!(old_view.subgraphs.iter().all(|s| s.graph_id != id));
+
+    // Removal: head loses the graph, the pinned snapshot does not.
+    let e2 = engine.remove_graphs(&[id]);
+    assert!(e2 > epoch);
+    assert!(!engine.db().contains(id));
+    assert_eq!(engine.query(&ViewQuery::new()).len(), base);
+    assert_eq!(snap.query(&ViewQuery::new()).len(), base);
+    let head_view = engine.store().get(vid).expect("maintained view");
+    assert!(head_view.subgraphs.iter().all(|s| s.graph_id != id));
+
+    // Stale/foreign handles resolve to None instead of panicking.
+    assert!(engine.store().get(ViewId(9999)).is_none());
+    assert!(snap.view(ViewId(9999)).is_none());
+
+    // Dropping the pin lets compaction reclaim the tombstoned state.
+    drop(snap);
+    let floor = engine.compact();
+    assert_eq!(floor, engine.head());
+    assert_eq!(engine.pinned_snapshots(), 0);
+    assert!(engine.db().get_graph(id).is_none(), "payload reclaimed after unpin");
+}
+
+#[test]
+fn concurrent_reader_on_old_snapshot_while_writer_advances() {
+    let (model, db) = setup(16, 5);
+    let pool = mutagenicity(DataConfig::new(6, 55));
+    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 5)).build();
+    engine.explain_all();
+
+    let snap: Snapshot = engine.snapshot();
+    let frozen_len = snap.len();
+    let nitro = Pattern::new(&[TYPE_N, TYPE_O], &[(0, 1, 1)]);
+    let frozen_hits = snap.query(&ViewQuery::pattern(nitro.clone()));
+    let frozen_views: Vec<_> = engine.store().latest_views().iter().map(|(vid, _)| *vid).collect();
+
+    let reader = std::thread::spawn(move || {
+        // Re-run the same reads many times while the writer mutates; a
+        // pinned snapshot must answer identically every time.
+        for _ in 0..40 {
+            assert_eq!(snap.len(), frozen_len);
+            assert_eq!(snap.query(&ViewQuery::pattern(nitro.clone())), frozen_hits);
+            for &vid in &frozen_views {
+                let view = snap.view(vid).expect("view live at pinned epoch");
+                assert!(!view.subgraphs.is_empty() || view.patterns.is_empty());
+            }
+        }
+        snap.epoch()
+    });
+
+    // Writer: interleave inserts and removals while the reader runs.
+    let mut inserted = Vec::new();
+    for (aid, g) in pool.iter() {
+        let (id, _) = engine.insert_graph(g.clone(), Some(pool.truth(aid)));
+        inserted.push(id);
+        if inserted.len() % 2 == 0 {
+            engine.remove_graphs(&[inserted[inserted.len() - 2]]);
+        }
+    }
+    let pinned = reader.join().expect("reader thread");
+    assert!(pinned < engine.head(), "writer advanced past the pinned epoch");
+    engine.compact();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For random insert/remove sequences, incremental maintenance of a
+    /// stream-generated view is **exactly** a full streaming recompute
+    /// of the current label group at every epoch: same per-graph node
+    /// sets, same C1/C2 (consistent/counterfactual) flags.
+    #[test]
+    fn incremental_maintenance_equals_full_recompute(seed in 0u64..64) {
+        let (model, db) = setup(10, 3);
+        let pool = mutagenicity(DataConfig::new(8, 1000 + seed));
+        let mut engine = Engine::builder(model.clone(), db)
+            .config(Config::with_bounds(0, 5))
+            .staleness_bound(usize::MAX) // never fall back: test the pure delta path
+            .build();
+        let labels = engine.db().labels();
+        let vids: Vec<ViewId> = labels.iter().map(|&l| engine.stream(l, 1.0)).collect();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool_graphs: Vec<_> = pool.iter().map(|(id, g)| (g.clone(), pool.truth(id))).collect();
+        let mut next_arrival = 0usize;
+        let mut removable: Vec<GraphId> = engine.db().iter().map(|(id, _)| id).collect();
+
+        for _ in 0..6 {
+            let can_insert = next_arrival < pool_graphs.len();
+            if (rng.gen_bool(0.65) && can_insert) || removable.is_empty() {
+                if !can_insert { break; }
+                let (g, truth) = pool_graphs[next_arrival].clone();
+                next_arrival += 1;
+                let (id, _) = engine.insert_graph(g, Some(truth));
+                removable.push(id);
+            } else {
+                let victim = removable.swap_remove(rng.gen_range(0..removable.len()));
+                engine.remove_graphs(&[victim]);
+            }
+
+            for (&label, &vid) in labels.iter().zip(&vids) {
+                let maintained = engine.store().get(vid).expect("maintained view");
+                let ids = engine.db().label_group(label);
+                let full = StreamGvex::new(engine.config().clone()).explain_label(
+                    &model,
+                    engine.db(),
+                    label,
+                    &ids,
+                );
+                prop_assert_eq!(
+                    view_shape(&maintained),
+                    view_shape(&full),
+                    "label {} diverged after {} epochs",
+                    label,
+                    engine.head().0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn maintained_views_never_keep_phantom_patterns_after_removal() {
+    let (model, db) = setup(12, 23);
+    let pool = mutagenicity(DataConfig::new(6, 61));
+    let mut engine = Engine::builder(model, db)
+        .config(Config::with_bounds(0, 5))
+        .staleness_bound(usize::MAX)
+        .build();
+    let labels = engine.db().labels();
+    let vids: Vec<ViewId> = labels.iter().map(|&l| engine.stream(l, 1.0)).collect();
+    let mut inserted = Vec::new();
+    for (aid, g) in pool.iter() {
+        let (id, _) = engine.insert_graph(g.clone(), Some(pool.truth(aid)));
+        inserted.push(id);
+    }
+    engine.remove_graphs(&inserted);
+    for &vid in &vids {
+        let view = engine.store().get(vid).expect("maintained view");
+        let induced: Vec<_> = view.subgraphs.iter().map(|s| s.induced(engine.db()).0).collect();
+        for p in &view.patterns {
+            assert!(
+                induced.iter().any(|g| gvex_pattern::vf2::contains(p, g)),
+                "pattern with no supporting live subgraph survived removal"
+            );
+        }
+    }
+}
+
+#[test]
+fn head_queries_over_unmaintained_views_skip_removed_graphs() {
+    let (model, db) = setup(14, 29);
+    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 5)).build();
+    let label = engine.db().labels()[0];
+    let ids: Vec<GraphId> = engine.db().label_group(label).into_iter().take(4).collect();
+    assert!(ids.len() >= 2, "need a few graphs in the group");
+    // Subset views are not registered for maintenance.
+    let vid = engine.stream_subset(label, &ids, 1.0);
+    let explained_before = engine.query(&ViewQuery::new().in_views([vid])).graphs;
+    let victim = explained_before[0];
+    engine.remove_graphs(&[victim]);
+    let explained_after = engine.query(&ViewQuery::new().in_views([vid])).graphs;
+    assert!(
+        !explained_after.contains(&victim),
+        "head query over a stale view version must drop tombstoned graphs"
+    );
+    // Every surviving id is dereferenceable at the head.
+    for id in explained_after {
+        assert!(engine.db().get_graph(id).is_some());
+    }
+}
+
+#[test]
+fn staleness_bound_triggers_full_recompute() {
+    let (model, db) = setup(12, 9);
+    let pool = mutagenicity(DataConfig::new(5, 21));
+    let mut engine =
+        Engine::builder(model, db).config(Config::with_bounds(0, 5)).staleness_bound(2).build();
+    let labels = engine.db().labels();
+    for &l in &labels {
+        engine.stream(l, 1.0);
+    }
+    let mut seen_reset = false;
+    for (aid, g) in pool.iter() {
+        let (id, _) = engine.insert_graph(g.clone(), Some(pool.truth(aid)));
+        let label = engine.db().predicted(id).expect("classified");
+        let s = engine.staleness(label).expect("registered label view");
+        assert!(s <= 2, "staleness bound respected, got {s}");
+        seen_reset |= s == 0;
+    }
+    assert!(seen_reset, "at least one mutation crossed the bound and recomputed fully");
+}
+
+#[test]
+fn bounded_context_cache_evicts_and_online_insert_still_works() {
+    let (model, db) = setup(14, 13);
+    let pool = mutagenicity(DataConfig::new(4, 31));
+    let cap = 6usize;
+    let mut engine =
+        Engine::builder(model, db).config(Config::with_bounds(0, 5)).context_capacity(cap).build();
+    engine.explain_all();
+    assert!(engine.contexts().len() <= cap, "LRU cap enforced during explain_all");
+    for (aid, g) in pool.iter() {
+        engine.insert_graph(g.clone(), Some(pool.truth(aid)));
+        assert!(engine.contexts().len() <= cap);
+    }
+    // Removal also drops the victims' cached contexts.
+    let live: Vec<GraphId> = engine.db().iter().map(|(id, _)| id).collect();
+    let victims: Vec<GraphId> = live.into_iter().take(2).collect();
+    engine.remove_graphs(&victims);
+    assert!(engine.contexts().len() <= cap);
+}
+
+#[test]
+fn batch_insert_commits_one_epoch_and_groups_labels() {
+    let (model, db) = setup(12, 17);
+    let pool = mutagenicity(DataConfig::new(6, 41));
+    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 5)).build();
+    let labels = engine.db().labels();
+    let vids: Vec<ViewId> = labels.iter().map(|&l| engine.stream(l, 1.0)).collect();
+    let versions_before: Vec<usize> =
+        vids.iter().map(|&v| engine.store().version_count(v)).collect();
+
+    let before = engine.head();
+    let batch: Vec<(gvex_graph::Graph, Option<ClassLabel>)> =
+        pool.iter().map(|(id, g)| (g.clone(), Some(pool.truth(id)))).collect();
+    let n = batch.len();
+    let (ids, epoch) = engine.insert_graphs(batch);
+    assert_eq!(ids.len(), n);
+    assert_eq!(epoch, before.next(), "whole batch commits at one epoch");
+    // Each affected label view gained at most one version for the batch.
+    for (i, &vid) in vids.iter().enumerate() {
+        assert!(engine.store().version_count(vid) <= versions_before[i] + 1);
+    }
+}
