@@ -72,7 +72,7 @@ pub fn run() {
     // GVEX's pattern tier over the mutagen label group, via the engine.
     let ids: Vec<u32> =
         ds.test_ids.iter().copied().filter(|&id| ds.db.predicted(id) == Some(1)).take(5).collect();
-    let mut engine = Engine::builder(ds.model.clone(), ds.db.clone()).config(cfg.clone()).build();
+    let engine = Engine::builder(ds.model.clone(), ds.db.clone()).config(cfg.clone()).build();
     let vid = engine.explain_subset(1, &ids);
     let view = engine.store().view(vid);
     println!("\n  GVEX explanation view patterns for label 'mutagen':");

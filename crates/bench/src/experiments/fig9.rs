@@ -117,7 +117,7 @@ pub fn run() {
             &ds.db,
             label,
             &ids,
-            Some(&pool),
+            pool.as_ref(),
             &ctxs,
         );
         let t = start.elapsed().as_secs_f64();

@@ -166,9 +166,10 @@ impl ContextCache {
     }
 
     /// Pre-builds the contexts of `ids` (e.g. before a timed region).
+    /// Ids whose payload is gone are skipped — warming is best-effort.
     pub fn warm(&self, model: &GcnModel, db: &GraphDb, ids: &[GraphId]) {
-        for &id in ids {
-            let _ = self.get(model, db.graph(id), id);
+        for (id, g) in db.try_graphs(ids) {
+            let _ = self.get(model, g, id);
         }
     }
 

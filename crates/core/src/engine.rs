@@ -10,7 +10,36 @@
 //! and answer the paper's motivating questions with [`Engine::query`] —
 //! index probes, not database scans.
 //!
-//! Since the online redesign the database **mutates under readers**:
+//! # Concurrent serving
+//!
+//! Since the concurrent-serving redesign **every method takes `&self`**
+//! and the engine is `Send + Sync`: share it behind an
+//! [`Arc`] and serve queries from as many threads as the
+//! hardware offers while views are being (re)built. Internally the
+//! state is split along the read/write axis:
+//!
+//! - the **read path** — [`Engine::query`], [`Engine::snapshot`],
+//!   [`Engine::view_set`], [`Engine::staleness`], [`Engine::context`],
+//!   the accessors — takes only short shared locks (an `RwLock` read
+//!   guard over the database, the store's interior locks) and never
+//!   blocks behind view generation;
+//! - the **write path** — [`Engine::insert_graphs`],
+//!   [`Engine::remove_graphs`], [`Engine::explain_all`] /
+//!   [`Engine::explain_label`] / [`Engine::stream`] and their subset
+//!   variants, [`Engine::compact`] — serializes on a writer lock. A
+//!   mutator commits its database change under a brief exclusive
+//!   section, then runs the expensive explanation / maintenance work on
+//!   a copy-on-write clone *without holding any lock*, so concurrent
+//!   readers keep answering throughout;
+//! - explanation fan-out runs on an **engine-owned rayon pool**
+//!   ([`EngineBuilder::threads`], built via
+//!   [`parallel::explainer_pool`]): [`Engine::explain_all`]
+//!   parallelizes across label groups (and, inside each group, across
+//!   graphs — §A.7 / Fig 9e), and batch-insert maintenance streams
+//!   per-label deltas in parallel. Results are identical to the
+//!   sequential path (canonical graph-id-sorted view shape).
+//!
+//! The database **mutates under readers**:
 //!
 //! - [`Engine::insert_graph`] / [`Engine::insert_graphs`] allocate fresh
 //!   [`GraphId`]s, run model inference to place each arrival in its
@@ -38,7 +67,7 @@
 //! # let model = gvex_gnn::GcnModel::new(2, 8, 2, 3, 1);
 //! # let db = gvex_graph::GraphDb::new();
 //! # let arrival = gvex_graph::Graph::new(2);
-//! let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
+//! let engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
 //! let view = engine.explain_label(1);
 //! let snap = engine.snapshot(); // readers pin this epoch
 //! let (id, epoch) = engine.insert_graph(arrival, None); // head advances
@@ -56,8 +85,11 @@ use crate::{
 use gvex_gnn::GcnModel;
 use gvex_graph::{ClassLabel, Epoch, Graph, GraphDb, GraphId};
 use gvex_pattern::vf2;
+use rayon::prelude::*;
+use rayon::ThreadPool;
 use rustc_hash::{FxHashMap, FxHashSet};
-use std::sync::Arc;
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 /// Builder for [`Engine`].
 #[derive(Debug)]
@@ -68,6 +100,7 @@ pub struct EngineBuilder {
     verify_scan_limit: usize,
     context_capacity: usize,
     staleness_bound: usize,
+    threads: usize,
 }
 
 impl EngineBuilder {
@@ -81,6 +114,7 @@ impl EngineBuilder {
             verify_scan_limit: usize::MAX,
             context_capacity: usize::MAX,
             staleness_bound: 32,
+            threads: 0,
         }
     }
 
@@ -113,9 +147,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Width of the engine-owned explainer pool (§A.7 / Fig 9e). `0`
+    /// (the default) means "hardware parallelism". Every explanation
+    /// fan-out — [`Engine::explain_all`] across label groups, per-graph
+    /// parallelism within a group, batch-insert delta maintenance —
+    /// runs on this pool, and nested fan-outs share the pool's width
+    /// budget (total concurrency stays bounded by the pool);
+    /// if the pool cannot be built (thread spawning failed) the engine
+    /// degrades to the global pool instead of aborting (see
+    /// [`parallel::explainer_pool`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Builds the engine: constructs both algorithms from the
-    /// configuration, the (bounded) context cache, and an empty view
-    /// store indexed over the database.
+    /// configuration, the (bounded) context cache, the explainer pool,
+    /// and an empty view store indexed over the database.
     pub fn build(self) -> Engine {
         let mut approx = ApproxGvex::new(self.config.clone());
         approx.verify_scan_limit = self.verify_scan_limit;
@@ -123,16 +171,19 @@ impl EngineBuilder {
         let contexts =
             Arc::new(ContextCache::with_capacity(self.config.clone(), self.context_capacity));
         let store = Arc::new(ViewStore::new(&self.db));
+        let pool = parallel::explainer_pool(self.threads).map(Arc::new);
         Engine {
             model: self.model,
-            db: self.db,
             config: self.config,
             approx,
             stream,
             contexts,
             store,
             pins: Arc::new(Pins::default()),
-            live: FxHashMap::default(),
+            pool,
+            db: RwLock::new(self.db),
+            live: Mutex::new(FxHashMap::default()),
+            writer: Mutex::new(()),
             staleness_bound: self.staleness_bound,
         }
     }
@@ -156,19 +207,52 @@ struct LiveView {
     staleness: usize,
 }
 
-/// The unified explanation engine (see module docs).
+/// Shared read guard over the engine's database, handed out by
+/// [`Engine::db`]. Dereferences to [`GraphDb`], so existing
+/// `engine.db().label_group(l)`-style call sites keep working; pass
+/// `&engine.db()` where a `&GraphDb` parameter is expected.
+///
+/// While the guard is alive the writer half of the engine cannot commit
+/// a mutation (it is a read lock). Treat the guard as a short borrow
+/// for direct [`GraphDb`] access only: drop it before calling **any**
+/// other engine method from the same thread. A write method would
+/// deadlock against your own guard directly, and even a read method
+/// ([`Engine::query`], [`Engine::snapshot`], [`Engine::head`], …) can
+/// deadlock, because `std::sync::RwLock` read locks are not reentrant —
+/// once a writer is queued behind your guard, your second read
+/// acquisition queues behind *that writer*.
+#[derive(Debug)]
+pub struct DbGuard<'a>(RwLockReadGuard<'a, GraphDb>);
+
+impl Deref for DbGuard<'_> {
+    type Target = GraphDb;
+
+    fn deref(&self) -> &GraphDb {
+        &self.0
+    }
+}
+
+/// The unified explanation engine (see module docs). `Send + Sync`:
+/// share it behind an [`Arc`] — queries and snapshots run concurrently
+/// with mutation and view (re)builds.
 #[derive(Debug)]
 pub struct Engine {
     model: GcnModel,
-    db: GraphDb,
     config: Config,
     approx: ApproxGvex,
     stream: StreamGvex,
     contexts: Arc<ContextCache>,
     store: Arc<ViewStore>,
     pins: Arc<Pins>,
+    /// Engine-owned explainer pool; `None` falls back to the global pool.
+    pool: Option<Arc<ThreadPool>>,
+    db: RwLock<GraphDb>,
     /// Label → the view incremental maintenance keeps current.
-    live: FxHashMap<ClassLabel, LiveView>,
+    live: Mutex<FxHashMap<ClassLabel, LiveView>>,
+    /// Serializes mutators: held across a whole insert / remove /
+    /// explain so their commit sections and maintenance never
+    /// interleave, while readers (who never take it) proceed.
+    writer: Mutex<()>,
     staleness_bound: usize,
 }
 
@@ -183,9 +267,10 @@ impl Engine {
         &self.model
     }
 
-    /// The graph database (at the head epoch).
-    pub fn db(&self) -> &GraphDb {
-        &self.db
+    /// Shared read access to the graph database (at the head epoch).
+    /// See [`DbGuard`] for the locking contract.
+    pub fn db(&self) -> DbGuard<'_> {
+        DbGuard(self.db.read().expect("db lock"))
     }
 
     /// The configuration the engine was built with.
@@ -198,10 +283,16 @@ impl Engine {
         &self.store
     }
 
+    /// Width of the engine-owned explainer pool (0 when the engine fell
+    /// back to the global pool).
+    pub fn pool_width(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.current_num_threads())
+    }
+
     /// The head epoch: every committed mutation is visible at or before
     /// this stamp.
     pub fn head(&self) -> Epoch {
-        self.db.epoch()
+        self.db.read().expect("db lock").epoch()
     }
 
     /// Number of currently pinned snapshots.
@@ -209,9 +300,25 @@ impl Engine {
         self.pins.len()
     }
 
-    /// The memoized per-graph context for `id` (built on first access).
-    pub fn context(&self, id: GraphId) -> Arc<GraphContext> {
-        self.contexts.get(&self.model, self.db.graph(id), id)
+    /// The memoized per-graph context for `id` (built on first access),
+    /// or `None` when `id` is removed, compacted, or never allocated.
+    pub fn context(&self, id: GraphId) -> Option<Arc<GraphContext>> {
+        // Take the payload handle under the read lock, build outside it:
+        // context construction is the expensive per-graph precomputation
+        // and must not block writers.
+        let g = self.db.read().expect("db lock").graph_arc(id)?;
+        let ctx = self.contexts.get(&self.model, &g, id);
+        // Re-check liveness after the (lock-free) build: a concurrent
+        // `remove_graphs` may have evicted `id`'s cache entry between
+        // our payload lookup and the `get` above, in which case the
+        // entry we just (re)inserted would outlive the graph forever —
+        // ids are never reused. Whichever of the two eviction attempts
+        // runs last wins, so the dead entry cannot leak.
+        if !self.db.read().expect("db lock").contains(id) {
+            self.contexts.remove(&[id]);
+            return None;
+        }
+        Some(ctx)
     }
 
     /// The shared context cache.
@@ -225,7 +332,11 @@ impl Engine {
     /// snapshot is `Send + Sync`: move it to a reader thread while this
     /// engine keeps mutating. See [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot::pin(self.db.clone(), Arc::clone(&self.store), Arc::clone(&self.pins))
+        // Clone and pin under one read guard: a writer cannot slip a
+        // compaction between the clone and the pin, because the floor is
+        // computed under the write lock this guard excludes.
+        let db = self.db.read().expect("db lock");
+        Snapshot::pin(db.clone(), Arc::clone(&self.store), Arc::clone(&self.pins))
     }
 
     /// Inserts one graph at a fresh epoch: allocates its [`GraphId`],
@@ -233,37 +344,62 @@ impl Engine {
     /// None` uses the prediction as the ground-truth stand-in),
     /// incrementally extends the query indexes, and — when the label's
     /// view is registered for maintenance — applies the arrival as a
-    /// streaming delta to that view. Returns the id and the new head
-    /// epoch.
-    pub fn insert_graph(&mut self, g: Graph, truth: Option<ClassLabel>) -> (GraphId, Epoch) {
+    /// streaming delta to that view. Returns the id and the epoch the
+    /// batch committed at (view maintenance then commits at its own
+    /// follow-up epoch, so [`Engine::head`] may be one ahead).
+    pub fn insert_graph(&self, g: Graph, truth: Option<ClassLabel>) -> (GraphId, Epoch) {
         let (ids, epoch) = self.insert_graphs(vec![(g, truth)]);
         (ids[0], epoch)
     }
 
-    /// Batch insert: all graphs of the batch commit at one fresh epoch,
-    /// and each affected label view gains a single new version covering
-    /// the whole batch.
-    pub fn insert_graphs(
-        &mut self,
-        batch: Vec<(Graph, Option<ClassLabel>)>,
-    ) -> (Vec<GraphId>, Epoch) {
-        let epoch = self.db.advance_epoch();
+    /// Batch insert: all graphs of the batch commit at one fresh epoch
+    /// (the returned value), and each affected label view gains a single
+    /// new version covering the whole batch, committed at a follow-up
+    /// epoch once the deltas have streamed — so a snapshot pinned while
+    /// maintenance was in flight keeps its repeatable reads. Model
+    /// inference over the batch and the per-label view maintenance both
+    /// fan out on the engine pool; only the database/index commit itself
+    /// runs under the exclusive lock, so concurrent readers observe
+    /// either the whole batch or none of it.
+    pub fn insert_graphs(&self, batch: Vec<(Graph, Option<ClassLabel>)>) -> (Vec<GraphId>, Epoch) {
+        // Inference before any lock — including the writer lock:
+        // classification of the arrivals is the expensive half of
+        // admission, depends only on the immutable model and the
+        // caller's own batch, and should overlap across concurrent
+        // inserters instead of serializing behind them.
+        // Classification and pattern-index matching of each arrival are
+        // both pre-computed here, in parallel, against the immutable
+        // model and the append-only index entries: index entries
+        // memoized after this point are re-checked by `commit_arrival`.
+        let prep: Vec<(ClassLabel, crate::store::ArrivalMatch)> = self.on_pool(|| {
+            batch
+                .par_iter()
+                .map(|(g, _)| (self.model.predict(g), self.store.match_arrival(g)))
+                .collect()
+        });
+        let _w = self.writer.lock().expect("writer lock");
         let mut ids = Vec::with_capacity(batch.len());
         let mut by_label: FxHashMap<ClassLabel, Vec<GraphId>> = FxHashMap::default();
-        for (g, truth) in batch {
-            let predicted = self.model.predict(&g);
-            let id = self.db.push(g, truth.unwrap_or(predicted));
-            self.db.set_predicted(id, predicted);
-            self.store.on_insert_graph(&self.db, id, epoch);
-            by_label.entry(predicted).or_default().push(id);
-            ids.push(id);
-        }
-        let mut labels: Vec<ClassLabel> = by_label.keys().copied().collect();
-        labels.sort_unstable();
-        for label in labels {
-            let added = by_label.remove(&label).unwrap_or_default();
-            self.maintain(label, &added, &FxHashSet::default());
-        }
+        // Commit section: database rows and index postings change
+        // together under the exclusive lock, so a concurrent reader
+        // (who queries under the read lock) never sees an arrival
+        // whose postings are missing. The lock covers only the splices —
+        // the VF2 matching already happened above.
+        let (epoch, db) = {
+            let mut db = self.db.write().expect("db lock");
+            let epoch = db.advance_epoch();
+            for ((g, truth), (predicted, matched)) in batch.into_iter().zip(prep) {
+                let id = db.push(g, truth.unwrap_or(predicted));
+                db.set_predicted(id, predicted);
+                self.store.commit_arrival(&db, id, epoch, &matched);
+                by_label.entry(predicted).or_default().push(id);
+                ids.push(id);
+            }
+            (epoch, db.clone())
+        };
+        // Maintenance runs on the commit-epoch clone with no lock held:
+        // readers keep answering at the head while the deltas stream.
+        self.maintain_labels(&db, sorted_label_work(by_label, FxHashMap::default()));
         (ids, epoch)
     }
 
@@ -271,32 +407,34 @@ impl Engine {
     /// and index postings, drops their cached contexts, updates each
     /// affected label view, and compacts state no pinned snapshot can
     /// still observe. Unknown or already-removed ids are skipped.
-    /// Returns the new head epoch.
-    pub fn remove_graphs(&mut self, ids: &[GraphId]) -> Epoch {
-        let epoch = self.db.advance_epoch();
+    /// Returns the epoch the removal batch committed at (as with
+    /// [`Engine::insert_graphs`], view maintenance then commits at its
+    /// own follow-up epoch, so [`Engine::head`] may be one ahead).
+    pub fn remove_graphs(&self, ids: &[GraphId]) -> Epoch {
+        let _w = self.writer.lock().expect("writer lock");
         let mut removed = Vec::new();
         let mut by_label: FxHashMap<ClassLabel, FxHashSet<GraphId>> = FxHashMap::default();
-        for &id in ids {
-            if !self.db.contains(id) {
-                continue;
-            }
-            let predicted = self.db.predicted(id);
-            if self.db.remove(id) {
-                self.store.on_remove_graph(&self.db, id, epoch);
-                if let Some(l) = predicted {
-                    by_label.entry(l).or_default().insert(id);
+        let (epoch, db) = {
+            let mut db = self.db.write().expect("db lock");
+            let epoch = db.advance_epoch();
+            for &id in ids {
+                if !db.contains(id) {
+                    continue;
                 }
-                removed.push(id);
+                let predicted = db.predicted(id);
+                if db.remove(id) {
+                    self.store.on_remove_graph(&db, id, epoch);
+                    if let Some(l) = predicted {
+                        by_label.entry(l).or_default().insert(id);
+                    }
+                    removed.push(id);
+                }
             }
-        }
+            (epoch, db.clone())
+        };
         self.contexts.remove(&removed);
-        let mut labels: Vec<ClassLabel> = by_label.keys().copied().collect();
-        labels.sort_unstable();
-        for label in labels {
-            let gone = by_label.remove(&label).unwrap_or_default();
-            self.maintain(label, &[], &gone);
-        }
-        self.compact();
+        self.maintain_labels(&db, sorted_label_work(FxHashMap::default(), by_label));
+        self.compact_inner();
         epoch
     }
 
@@ -306,30 +444,88 @@ impl Engine {
     /// [`Engine::remove_graphs`]; call it manually after dropping
     /// long-lived snapshots to release their retained state. Returns the
     /// compaction floor used.
-    pub fn compact(&mut self) -> Epoch {
-        let floor = self.pins.floor(self.db.epoch());
-        self.db.compact(floor);
+    pub fn compact(&self) -> Epoch {
+        let _w = self.writer.lock().expect("writer lock");
+        self.compact_inner()
+    }
+
+    /// Compaction body, called with the writer lock already held. The
+    /// floor is computed under the database write lock, so a snapshot
+    /// mid-pin (clone + pin under one read guard) is either fully
+    /// visible to the floor or takes its pin strictly after compaction.
+    fn compact_inner(&self) -> Epoch {
+        let floor = {
+            let mut db = self.db.write().expect("db lock");
+            let floor = self.pins.floor(db.epoch());
+            db.compact(floor);
+            floor
+        };
         self.store.compact(floor);
         floor
+    }
+
+    /// Runs incremental maintenance for each `(label, added, removed)`
+    /// work item against `db` (the mutation's commit-epoch clone — no
+    /// engine lock is held). Labels fan out on the engine pool; each
+    /// label's new version is computed independently and the results are
+    /// committed in label order, so the store contents are identical to
+    /// the sequential path. The new versions are stamped at a **fresh
+    /// epoch** allocated after the computation: a snapshot pinned at the
+    /// mutation epoch while maintenance was still streaming keeps
+    /// resolving the version that was live when it pinned (repeatable
+    /// reads), instead of seeing the view flip underneath it.
+    fn maintain_labels(
+        &self,
+        db: &GraphDb,
+        work: Vec<(ClassLabel, Vec<GraphId>, FxHashSet<GraphId>)>,
+    ) {
+        if work.is_empty() {
+            return;
+        }
+        let computed: Vec<(ClassLabel, Option<(LiveView, crate::ExplanationView)>)> =
+            self.on_pool(|| {
+                work.par_iter()
+                    .map(|(label, added, removed)| {
+                        (*label, self.maintain_one(db, *label, added, removed))
+                    })
+                    .collect()
+            });
+        if computed.iter().all(|(_, outcome)| outcome.is_none()) {
+            return;
+        }
+        self.commit_views(|db| {
+            for (label, outcome) in computed {
+                if let Some((lv, view)) = outcome {
+                    self.store.push_version(lv.id, view, db);
+                    self.live.lock().expect("live view lock").insert(label, lv);
+                }
+            }
+        });
     }
 
     /// Incremental view maintenance for `label` after a mutation at the
     /// current head epoch: removed graphs' subgraphs are dropped, added
     /// graphs are streamed through
     /// [`StreamGvex::stream_with_context`] and merged, and the result is
-    /// committed as a new version of the label's registered view. Once
-    /// the staleness bound is reached the whole view is recomputed with
-    /// its original algorithm instead.
-    fn maintain(&mut self, label: ClassLabel, added: &[GraphId], removed: &FxHashSet<GraphId>) {
-        let Some(lv) = self.live.get(&label).copied() else { return };
-        let Some(old) = self.store.get(lv.id) else { return };
+    /// returned for commit as a new version of the label's registered
+    /// view. Once the staleness bound is reached the whole view is
+    /// recomputed with its original algorithm instead.
+    fn maintain_one(
+        &self,
+        db: &GraphDb,
+        label: ClassLabel,
+        added: &[GraphId],
+        removed: &FxHashSet<GraphId>,
+    ) -> Option<(LiveView, crate::ExplanationView)> {
+        let lv = *self.live.lock().expect("live view lock").get(&label)?;
+        let old = self.store.get(lv.id)?;
         if lv.staleness >= self.staleness_bound {
-            let ids = self.db.label_group(label);
+            let ids = db.label_group(label);
             let view = match lv.algo {
                 ViewAlgo::Approx => parallel::explain_label_parallel(
                     &self.approx,
                     &self.model,
-                    &self.db,
+                    db,
                     label,
                     &ids,
                     None,
@@ -337,16 +533,14 @@ impl Engine {
                 ),
                 ViewAlgo::Stream { fraction } => self.stream.explain_label_cached(
                     &self.model,
-                    &self.db,
+                    db,
                     label,
                     &ids,
                     fraction,
                     &self.contexts,
                 ),
             };
-            self.store.push_version(lv.id, view, &self.db);
-            self.live.insert(label, LiveView { staleness: 0, ..lv });
-            return;
+            return Some((LiveView { staleness: 0, ..lv }, view));
         }
         let fraction = match lv.algo {
             ViewAlgo::Approx => 1.0,
@@ -360,42 +554,121 @@ impl Engine {
             // `assemble_view` only ever *adds* coverage, so phantom
             // patterns would otherwise outlive every graph containing
             // them.
-            let induced: Vec<_> = subgraphs.iter().map(|s| s.induced(&self.db).0).collect();
+            let induced: Vec<_> = subgraphs.iter().map(|s| s.induced(db).0).collect();
             patterns.retain(|p| induced.iter().any(|g| vf2::contains(p, g)));
         }
-        for &id in added {
-            let g = self.db.graph(id);
-            let ctx = self.contexts.get(&self.model, g, id);
-            if let Some((sub, pats)) =
+        // Stream each added graph independently (the per-graph phase of
+        // delta application is embarrassingly parallel), then merge in
+        // ascending-id order so the pattern tier grows exactly as the
+        // sequential loop would have grown it.
+        let streamed: Vec<Option<(crate::ExplanationSubgraph, Vec<gvex_pattern::Pattern>)>> = added
+            .par_iter()
+            .map(|&id| {
+                let g = db.get_graph(id)?;
+                let ctx = self.contexts.get(&self.model, g, id);
                 self.stream.stream_with_context(&self.model, g, id, label, None, fraction, &ctx)
-            {
-                subgraphs.push(sub);
-                for p in pats {
-                    if !patterns.iter().any(|q| vf2::isomorphic(q, &p)) {
-                        patterns.push(p);
-                    }
+            })
+            .collect();
+        for (sub, pats) in streamed.into_iter().flatten() {
+            subgraphs.push(sub);
+            for p in pats {
+                if !patterns.iter().any(|q| vf2::isomorphic(q, &p)) {
+                    patterns.push(p);
                 }
             }
         }
-        let view = crate::stream::assemble_view(label, subgraphs, patterns, &self.db, &self.config);
-        self.store.push_version(lv.id, view, &self.db);
-        self.live.insert(label, LiveView { staleness: lv.staleness + 1, ..lv });
+        let view = crate::stream::assemble_view(label, subgraphs, patterns, db, &self.config);
+        Some((LiveView { staleness: lv.staleness + 1, ..lv }, view))
     }
 
     /// Incremental updates applied to `label`'s registered view since
     /// its last full (re)compute — the staleness the next mutation
     /// compares against [`EngineBuilder::staleness_bound`].
     pub fn staleness(&self, label: ClassLabel) -> Option<usize> {
-        self.live.get(&label).map(|lv| lv.staleness)
+        self.live.lock().expect("live view lock").get(&label).map(|lv| lv.staleness)
     }
 
     // ---- view generation ----------------------------------------------
 
+    /// Runs `f` in the engine-owned pool, or inline (global pool) when
+    /// the engine fell back at build time.
+    fn on_pool<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+
+    /// A copy-on-write clone of the head database — the working set of
+    /// one view-generation computation. Taken under a read guard: the
+    /// writer lock (held by every caller) keeps the content stable until
+    /// the matching [`Engine::commit_clone`].
+    fn read_clone(&self) -> GraphDb {
+        self.db.read().expect("db lock").clone()
+    }
+
+    /// Allocates a fresh head epoch and runs `commit` — the store
+    /// commits of freshly generated or maintained views — while the
+    /// database write lock is still held. The epoch is allocated *after*
+    /// the expensive computation, so a snapshot pinned while that
+    /// computation ran sits at a strictly older epoch; and because the
+    /// lock is held until every version is pushed, a snapshot cannot pin
+    /// the new epoch between its publication and the version flips that
+    /// are stamped with it — the repeatable-read half of the snapshot
+    /// contract. (Lock order db → store matches the mutation commit
+    /// sections; the store never reaches back for the engine's locks.)
+    fn commit_views<R>(&self, commit: impl FnOnce(&GraphDb) -> R) -> R {
+        let mut db = self.db.write().expect("db lock");
+        db.advance_epoch();
+        commit(&db)
+    }
+
     /// Generates one view per label group of the database (the EVG
     /// problem, §3.2) and stores them; returns the handles in label
     /// order. Each view is registered for incremental maintenance.
-    pub fn explain_all(&mut self) -> Vec<ViewId> {
-        self.db.labels().into_iter().map(|l| self.explain_label(l)).collect()
+    ///
+    /// Label groups fan out on the engine pool (§A.7): every group is
+    /// explained in parallel — and per-graph parallelism applies within
+    /// each group — with the views committed in label order, so handles
+    /// and view contents are identical to explaining the labels one by
+    /// one. The whole batch commits at one fresh epoch, allocated after
+    /// the computation. Queries from other threads keep being served
+    /// while generation is in flight.
+    pub fn explain_all(&self) -> Vec<ViewId> {
+        let _w = self.writer.lock().expect("writer lock");
+        let db = self.read_clone();
+        let labels = db.labels();
+        let views: Vec<crate::ExplanationView> = self.on_pool(|| {
+            labels
+                .par_iter()
+                .map(|&label| {
+                    let ids = db.label_group(label);
+                    parallel::explain_label_parallel(
+                        &self.approx,
+                        &self.model,
+                        &db,
+                        label,
+                        &ids,
+                        None,
+                        &self.contexts,
+                    )
+                })
+                .collect()
+        });
+        self.commit_views(|db| {
+            labels
+                .into_iter()
+                .zip(views)
+                .map(|(label, view)| {
+                    let vid = self.store.insert(view, db);
+                    self.live
+                        .lock()
+                        .expect("live view lock")
+                        .insert(label, LiveView { id: vid, algo: ViewAlgo::Approx, staleness: 0 });
+                    vid
+                })
+                .collect()
+        })
     }
 
     /// Generates the explanation view for `label`'s whole label group
@@ -403,61 +676,89 @@ impl Engine {
     /// it into the store, and registers it for incremental maintenance:
     /// later [`Engine::insert_graph`] / [`Engine::remove_graphs`] calls
     /// keep it current.
-    pub fn explain_label(&mut self, label: ClassLabel) -> ViewId {
-        let ids = self.db.label_group(label);
-        let vid = self.explain_subset(label, &ids);
-        self.live.insert(label, LiveView { id: vid, algo: ViewAlgo::Approx, staleness: 0 });
+    pub fn explain_label(&self, label: ClassLabel) -> ViewId {
+        let _w = self.writer.lock().expect("writer lock");
+        let db = self.read_clone();
+        let ids = db.label_group(label);
+        let vid = self.explain_ids(&db, label, &ids);
+        self.live
+            .lock()
+            .expect("live view lock")
+            .insert(label, LiveView { id: vid, algo: ViewAlgo::Approx, staleness: 0 });
         vid
     }
 
     /// Like [`Engine::explain_label`] restricted to `ids` (e.g. a test
     /// split). Subset views are **not** registered for incremental
-    /// maintenance — maintenance tracks whole label groups.
-    pub fn explain_subset(&mut self, label: ClassLabel, ids: &[GraphId]) -> ViewId {
-        self.db.advance_epoch();
+    /// maintenance — maintenance tracks whole label groups. Stale,
+    /// removed, or compacted ids in the subset are skipped (not a
+    /// panic): the view covers whatever the subset still names.
+    pub fn explain_subset(&self, label: ClassLabel, ids: &[GraphId]) -> ViewId {
+        let _w = self.writer.lock().expect("writer lock");
+        let db = self.read_clone();
+        self.explain_ids(&db, label, ids)
+    }
+
+    /// `ApproxGVEX` over `ids` against a head clone; no engine lock is
+    /// held during the explanation, so readers are served throughout.
+    /// The finished view commits at a fresh epoch.
+    fn explain_ids(&self, db: &GraphDb, label: ClassLabel, ids: &[GraphId]) -> ViewId {
         let view = parallel::explain_label_parallel(
             &self.approx,
             &self.model,
-            &self.db,
+            db,
             label,
             ids,
-            None,
+            self.pool.as_deref(),
             &self.contexts,
         );
-        self.store.insert(view, &self.db)
+        self.commit_views(|db| self.store.insert(view, db))
     }
 
     /// Generates `label`'s view with `StreamGVEX` (Algorithm 3),
     /// processing a prefix `fraction ∈ (0, 1]` of each node stream (the
     /// anytime mode), inserts it into the store, and registers it for
     /// incremental maintenance at the same fraction.
-    pub fn stream(&mut self, label: ClassLabel, fraction: f64) -> ViewId {
-        let ids = self.db.label_group(label);
-        let vid = self.stream_subset(label, &ids, fraction);
+    pub fn stream(&self, label: ClassLabel, fraction: f64) -> ViewId {
+        let _w = self.writer.lock().expect("writer lock");
+        let db = self.read_clone();
+        let ids = db.label_group(label);
+        let vid = self.stream_ids(&db, label, &ids, fraction);
         self.live
+            .lock()
+            .expect("live view lock")
             .insert(label, LiveView { id: vid, algo: ViewAlgo::Stream { fraction }, staleness: 0 });
         vid
     }
 
     /// Like [`Engine::stream`] restricted to `ids` (not registered for
-    /// maintenance).
-    pub fn stream_subset(&mut self, label: ClassLabel, ids: &[GraphId], fraction: f64) -> ViewId {
-        self.db.advance_epoch();
-        let view = self.stream.explain_label_cached(
-            &self.model,
-            &self.db,
-            label,
-            ids,
-            fraction,
-            &self.contexts,
-        );
-        self.store.insert(view, &self.db)
+    /// maintenance). Stale ids are skipped, as in
+    /// [`Engine::explain_subset`].
+    pub fn stream_subset(&self, label: ClassLabel, ids: &[GraphId], fraction: f64) -> ViewId {
+        let _w = self.writer.lock().expect("writer lock");
+        let db = self.read_clone();
+        self.stream_ids(&db, label, ids, fraction)
+    }
+
+    fn stream_ids(
+        &self,
+        db: &GraphDb,
+        label: ClassLabel,
+        ids: &[GraphId],
+        fraction: f64,
+    ) -> ViewId {
+        let view =
+            self.stream.explain_label_cached(&self.model, db, label, ids, fraction, &self.contexts);
+        self.commit_views(|db| self.store.insert(view, db))
     }
 
     /// Evaluates a [`ViewQuery`] against the store's indexes at the head
-    /// epoch.
+    /// epoch. Concurrent with mutation: the query holds a shared read
+    /// guard for its duration, so it sees a committed batch in full or
+    /// not at all.
     pub fn query(&self, q: &ViewQuery) -> QueryResult {
-        q.evaluate(&self.store, &self.db)
+        let db = self.db.read().expect("db lock");
+        q.evaluate(&self.store, &db)
     }
 
     /// Collects the current (head) versions of the stored views into a
@@ -468,4 +769,20 @@ impl Engine {
             views: self.store.latest_views().into_iter().map(|(_, v)| (*v).clone()).collect(),
         }
     }
+}
+
+/// Flattens per-label mutation deltas into the maintenance work list,
+/// in ascending label order (the deterministic commit order shared by
+/// [`Engine::insert_graphs`] and [`Engine::remove_graphs`]).
+fn sorted_label_work(
+    mut added: FxHashMap<ClassLabel, Vec<GraphId>>,
+    mut removed: FxHashMap<ClassLabel, FxHashSet<GraphId>>,
+) -> Vec<(ClassLabel, Vec<GraphId>, FxHashSet<GraphId>)> {
+    let mut labels: Vec<ClassLabel> = added.keys().chain(removed.keys()).copied().collect();
+    labels.sort_unstable();
+    labels.dedup();
+    labels
+        .into_iter()
+        .map(|l| (l, added.remove(&l).unwrap_or_default(), removed.remove(&l).unwrap_or_default()))
+        .collect()
 }

@@ -28,7 +28,11 @@
 //!   [`query::ViewQuery`] API. Mutations advance an [`Epoch`] and
 //!   incrementally maintain registered label views (with `StreamGVEX`
 //!   as the delta-application engine); [`snapshot::Snapshot`] pins an
-//!   epoch for concurrent readers.
+//!   epoch for concurrent readers. Every engine method takes `&self`
+//!   and the engine is `Send + Sync`: shared behind an `Arc`, it serves
+//!   queries concurrently with mutation and with view (re)builds, which
+//!   fan out on an engine-owned rayon pool
+//!   ([`engine::EngineBuilder::threads`]).
 
 pub mod approx;
 pub mod capabilities;
@@ -52,7 +56,7 @@ mod view;
 pub use approx::ApproxGvex;
 pub use config::Config;
 pub use context::{ContextCache, GraphContext};
-pub use engine::{Engine, EngineBuilder};
+pub use engine::{DbGuard, Engine, EngineBuilder};
 pub use explain::{Explainer, Explanation, VerifyFlags};
 pub use gvex_graph::Epoch;
 pub use query::ViewQuery;

@@ -4,12 +4,13 @@
 //! multiprocessing on a 48-core machine; here a rayon pool of
 //! configurable width provides the same decomposition (Fig 9e).
 //!
-//! Pool lifecycle: a [`rayon::ThreadPool`] is built by the *caller*,
-//! once, and reused across every [`explain_label_parallel`] call,
-//! instead of being rebuilt inside each call. Per-graph contexts come
-//! from a shared [`ContextCache`], so a graph explained twice (e.g.
-//! across `u_l` sweep points with the same configuration) pays its
-//! precomputation once.
+//! Pool lifecycle: a [`rayon::ThreadPool`] is built by the *caller* —
+//! typically once, by [`crate::engine::EngineBuilder`] via
+//! [`explainer_pool`] — and reused across every
+//! [`explain_label_parallel`] call, instead of being rebuilt inside each
+//! call. Per-graph contexts come from a shared [`ContextCache`], so a
+//! graph explained twice (e.g. across `u_l` sweep points with the same
+//! configuration) pays its precomputation once.
 
 use crate::psum::psum;
 use crate::{ApproxGvex, ContextCache, ExplanationSubgraph, ExplanationView};
@@ -22,8 +23,20 @@ use rayon::ThreadPool;
 /// [`explain_label_parallel`]. `threads == 0` means "hardware
 /// parallelism" (rayon's own convention). Build it once per caller and
 /// reuse it across label groups.
-pub fn explainer_pool(threads: usize) -> ThreadPool {
-    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("rayon pool")
+///
+/// Pool construction can fail when the OS refuses to spawn threads;
+/// instead of aborting, that case is reported as `None` — every
+/// consumer of the returned `Option` treats it as "run in the global
+/// pool", so explanation degrades to shared-pool execution rather than
+/// crashing the engine.
+pub fn explainer_pool(threads: usize) -> Option<ThreadPool> {
+    match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+        Ok(pool) => Some(pool),
+        Err(e) => {
+            eprintln!("explainer_pool: falling back to the global pool ({e})");
+            None
+        }
+    }
 }
 
 /// Explains a label group with per-graph data parallelism and
@@ -33,7 +46,11 @@ pub fn explainer_pool(threads: usize) -> ThreadPool {
 /// `pool: Some(&pool)` runs in the caller's reusable pool (see
 /// [`explainer_pool`]); `None` runs in the global pool. Contexts are
 /// read through (and written to) `ctxs`. Results are identical to the
-/// sequential path, in the same graph order.
+/// sequential path, in the same graph order. Ids whose payload is gone
+/// — removed and compacted while the caller held them, or never
+/// allocated — are skipped instead of panicking, so a stale subset
+/// handed to [`crate::Engine::explain_subset`] degrades to the live
+/// graphs it still names.
 pub fn explain_label_parallel(
     algo: &ApproxGvex,
     model: &GcnModel,
@@ -43,34 +60,39 @@ pub fn explain_label_parallel(
     pool: Option<&ThreadPool>,
     ctxs: &ContextCache,
 ) -> ExplanationView {
-    let explain_all = || -> Vec<ExplanationSubgraph> {
-        ids.par_iter()
-            .filter_map(|&id| {
-                let g = db.graph(id);
+    let build_view = || -> ExplanationView {
+        // Resolve ids up front through the non-panicking path: a stale
+        // id must not abort a worker (and with it the whole pool).
+        let present = db.try_graphs(ids);
+        let mut subgraphs: Vec<ExplanationSubgraph> = present
+            .par_iter()
+            .filter_map(|&(id, g)| {
                 let ctx = ctxs.get(model, g, id);
                 algo.explain_with_context(model, g, id, label, &ctx)
             })
-            .collect()
+            .collect();
+        // Canonical view shape: subgraphs in ascending graph-id order, so a
+        // view assembled here is comparable with one maintained
+        // incrementally by the online engine regardless of the order `ids`
+        // arrived in.
+        subgraphs.sort_by_key(|s| s.graph_id);
+        // Summarization runs once over the collected subgraphs (as in §A.7,
+        // only the per-graph phase parallelizes across graphs; `psum`
+        // itself parallelizes candidate coverage, which is why it runs
+        // inside the pool scope).
+        let induced: Vec<Graph> = subgraphs.iter().map(|s| s.induced(db).0).collect();
+        let ps = psum(&induced, &algo.config.miner);
+        let explainability = subgraphs.iter().map(|s| s.score).sum();
+        ExplanationView {
+            label,
+            subgraphs,
+            patterns: ps.patterns,
+            explainability,
+            edge_loss: ps.edge_loss,
+        }
     };
-    let mut subgraphs = match pool {
-        Some(pool) => pool.install(explain_all),
-        None => explain_all(),
-    };
-    // Canonical view shape: subgraphs in ascending graph-id order, so a
-    // view assembled here is comparable with one maintained
-    // incrementally by the online engine regardless of the order `ids`
-    // arrived in.
-    subgraphs.sort_by_key(|s| s.graph_id);
-    // Summarization runs once over the collected subgraphs (as in §A.7,
-    // only the per-graph phase parallelizes).
-    let induced: Vec<Graph> = subgraphs.iter().map(|s| s.induced(db).0).collect();
-    let ps = psum(&induced, &algo.config.miner);
-    let explainability = subgraphs.iter().map(|s| s.score).sum();
-    ExplanationView {
-        label,
-        subgraphs,
-        patterns: ps.patterns,
-        explainability,
-        edge_loss: ps.edge_loss,
+    match pool {
+        Some(pool) => pool.install(build_view),
+        None => build_view(),
     }
 }

@@ -10,6 +10,7 @@
 use crate::BitSet;
 use gvex_graph::Graph;
 use gvex_pattern::{mine, vf2, MinerConfig, Pattern};
+use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
 /// Outcome of pattern summarization for one label group.
@@ -59,12 +60,11 @@ pub fn psum(subgraphs: &[Graph], miner_cfg: &MinerConfig) -> PsumResult {
         edges: BitSet,
         weight: f64,
     }
-    let mut cands: Vec<Cand> = Vec::with_capacity(mined.len());
-    for m in mined {
+    let coverage_of = |pattern: &Pattern| -> Option<(BitSet, BitSet, f64)> {
         let mut nodes = BitSet::new(total_nodes);
         let mut edges = BitSet::new(total_edges.max(1));
         for (gi, g) in subgraphs.iter().enumerate() {
-            let (cn, ce) = vf2::coverage(&m.pattern, g);
+            let (cn, ce) = vf2::coverage(pattern, g);
             for v in cn {
                 nodes.insert(node_offset[gi] + v as usize);
             }
@@ -75,13 +75,29 @@ pub fn psum(subgraphs: &[Graph], miner_cfg: &MinerConfig) -> PsumResult {
             }
         }
         if nodes.is_empty() {
-            continue;
+            return None;
         }
         let covered_edges = edges.count();
         let weight =
             if total_edges == 0 { 0.0 } else { 1.0 - covered_edges as f64 / total_edges as f64 };
-        cands.push(Cand { pattern: m.pattern, nodes, edges, weight });
-    }
+        Some((nodes, edges, weight))
+    };
+    // The per-candidate VF2 coverage scans are independent; for sets
+    // worth the fan-out they run data-parallel (in the caller's
+    // installed pool, if any), collected in candidate order so the
+    // greedy selection below — and with it the selected pattern set —
+    // is identical to the sequential path. Small instances (the
+    // streaming engine's per-arrival fragments) stay sequential: thread
+    // fan-out would cost more than the scans themselves.
+    let make_cand = |pattern: Pattern| -> Option<Cand> {
+        coverage_of(&pattern).map(|(nodes, edges, weight)| Cand { pattern, nodes, edges, weight })
+    };
+    let parallel_worthwhile = mined.len() >= 8 && total_nodes >= 64;
+    let mut cands: Vec<Cand> = if parallel_worthwhile {
+        mined.par_iter().filter_map(|m| make_cand(m.pattern.clone())).collect()
+    } else {
+        mined.into_iter().filter_map(|m| make_cand(m.pattern)).collect()
+    };
 
     // Greedy weighted set cover: pick the candidate maximizing
     // newly-covered-nodes / weight until all nodes are covered.

@@ -15,6 +15,13 @@
 //! epoch is **pinned**: [`crate::Engine::compact`] will not reclaim
 //! graph payloads, index postings, or view versions the snapshot can
 //! still observe. Dropping the snapshot releases the pin.
+//!
+//! Pinning is race-free against compaction: [`crate::Engine::snapshot`]
+//! clones the database *and* records the pin under one database read
+//! guard, while the engine computes its compaction floor under the
+//! database write lock — a concurrent `compact` therefore either sees
+//! the pin (and preserves the snapshot's state) or finishes entirely
+//! before the snapshot's epoch exists.
 
 use crate::query::{PatternHits, QueryResult, ViewQuery};
 use crate::store::{ViewId, ViewStore};

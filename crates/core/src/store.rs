@@ -30,6 +30,16 @@
 //! a mutation batch stamps everything it touches with an epoch the
 //! reader does not look at.
 //!
+//! Lock ordering with the concurrent [`crate::engine::Engine`]: on the
+//! head path the engine's database lock is always acquired **before**
+//! any store lock (a head query holds its database read guard across
+//! evaluation, the writer holds the database write lock across
+//! [`ViewStore::on_insert_graph`] / [`ViewStore::on_remove_graph`]),
+//! and no store method ever reaches back for the engine's locks — so
+//! memoized cold probes and incremental index updates cannot interleave
+//! into a posting list that misses a committed arrival, and no cycle
+//! exists that could deadlock.
+//!
 //! [`crate::query::ViewQuery`] evaluates against these indexes; the
 //! naive scans survive only as the reference implementation in
 //! [`crate::query::scan`] (used by the equivalence proptests and the
@@ -47,6 +57,16 @@ use std::sync::{Arc, RwLock};
 /// same id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ViewId(pub u32);
+
+/// Result of [`ViewStore::match_arrival`] (phase 1 of an insert):
+/// indices of the indexed pattern classes containing the arrival, plus
+/// how many entries the match saw (the commit phase re-checks entries
+/// memoized afterwards).
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalMatch {
+    matched: Vec<usize>,
+    seen: usize,
+}
 
 impl ViewId {
     fn idx(self) -> usize {
@@ -247,40 +267,63 @@ impl ViewStore {
     /// Records a freshly inserted database graph at `epoch`: appends its
     /// label posting and matches it against every indexed pattern class
     /// (the incremental-index half of an insert — no full rescan).
+    /// Convenience wrapper over the two-phase
+    /// [`ViewStore::match_arrival`] / [`ViewStore::commit_arrival`]
+    /// pair; callers that can match before their commit section (the
+    /// engine) should use the phases directly so no exclusive lock is
+    /// held across subgraph isomorphism.
     pub fn on_insert_graph(&self, db: &GraphDb, id: GraphId, epoch: Epoch) {
+        let m = match db.get_graph(id) {
+            Some(g) => self.match_arrival(g),
+            None => ArrivalMatch::default(),
+        };
+        self.commit_arrival(db, id, epoch, &m);
+    }
+
+    /// Phase 1 of an insert: VF2-match a (possibly not yet committed)
+    /// arrival against the indexed pattern classes under only a read
+    /// lock. Entries are append-only, so the matched indices stay valid
+    /// until [`ViewStore::commit_arrival`], which re-checks whatever was
+    /// memoized in between.
+    pub fn match_arrival(&self, g: &Graph) -> ArrivalMatch {
+        let index = self.index.read().expect("pattern index lock");
+        let matched: Vec<usize> = index
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| vf2::contains(&e.pattern, g))
+            .map(|(i, _)| i)
+            .collect();
+        ArrivalMatch { matched, seen: index.entries.len() }
+    }
+
+    /// Phase 2 of an insert: appends graph `id`'s label posting and
+    /// splices its pre-matched pattern postings in under short write
+    /// sections — warm concurrent probes are never blocked behind
+    /// subgraph isomorphism, and a caller committing under its own
+    /// exclusive database lock holds it only for these splices.
+    pub fn commit_arrival(&self, db: &GraphDb, id: GraphId, epoch: Epoch, m: &ArrivalMatch) {
         let posting = Posting { id, born: epoch, died: Epoch::MAX };
         {
             let mut li = self.label_index.write().expect("label index lock");
             li.entry(db.truth(id)).or_default().push(posting);
         }
-        let Some(g) = db.get_graph(id) else { return };
-        // VF2-match the arrival against the indexed pattern classes
-        // *outside* the write lock (entries are append-only, so the
-        // matched indices stay valid), then splice the postings in under
-        // a short write section — warm concurrent probes are never
-        // blocked behind subgraph isomorphism.
-        let (matched, seen) = {
-            let index = self.index.read().expect("pattern index lock");
-            let matched: Vec<usize> = index
-                .entries
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| vf2::contains(&e.pattern, g))
-                .map(|(i, _)| i)
-                .collect();
-            (matched, index.entries.len())
-        };
         let mut index = self.index.write().expect("pattern index lock");
-        for i in matched {
+        for &i in &m.matched {
             add_posting(&mut index.entries[i], posting);
         }
-        // Entries memoized between the two lock sections scanned a
-        // database that already contained the arrival (none exist in the
+        // Entries memoized between the two phases scanned a database
+        // that already contained the arrival (none exist in the
         // single-writer engine, but the store does not assume that);
         // `add_posting` is idempotent, so re-checking them is safe.
-        for entry in index.entries[seen..].iter_mut() {
-            if vf2::contains(&entry.pattern, g) {
-                add_posting(entry, posting);
+        if m.seen < index.entries.len() {
+            if let Some(g) = db.get_graph(id) {
+                let seen = m.seen;
+                for entry in index.entries[seen..].iter_mut() {
+                    if vf2::contains(&entry.pattern, g) {
+                        add_posting(entry, posting);
+                    }
+                }
             }
         }
     }

@@ -216,8 +216,16 @@ impl StreamGvex {
                 nodes.push(v);
                 g.induced_subgraph(&nodes)
             };
-            let v_local = map.iter().position(|&x| x == v).expect("v in induced map") as NodeId;
-            let covered = st.patterns.iter().any(|p| vf2::covers_node(p, &sub_with_v, v_local));
+            // `induced_subgraph`'s map is sorted ascending, so the local
+            // index of `v` is a direct reverse lookup — no O(|V_S|)
+            // scan, and absence (an empty or foreign map) degrades to
+            // "not covered" instead of panicking the admission check.
+            let covered = match map.binary_search(&v) {
+                Ok(v_local) => {
+                    st.patterns.iter().any(|p| vf2::covers_node(p, &sub_with_v, v_local as NodeId))
+                }
+                Err(_) => false,
+            };
             if covered {
                 return false;
             }
@@ -360,7 +368,9 @@ impl StreamGvex {
     /// Like [`Self::explain_label_fraction`] with per-graph contexts
     /// read through (and written to) a shared cache — the engine's
     /// stream path, where repeated fraction sweeps over the same graphs
-    /// skip the precomputation.
+    /// skip the precomputation. Stale or compacted ids are skipped (the
+    /// non-panicking [`GraphDb::try_graphs`] resolution), so a subset
+    /// that aged between capture and streaming degrades gracefully.
     pub fn explain_label_cached(
         &self,
         model: &GcnModel,
@@ -372,8 +382,7 @@ impl StreamGvex {
     ) -> ExplanationView {
         let mut subgraphs = Vec::new();
         let mut patterns: Vec<Pattern> = Vec::new();
-        for &id in ids {
-            let g = db.graph(id);
+        for (id, g) in db.try_graphs(ids) {
             let ctx = ctxs.get(model, g, id);
             if let Some((sub, pats)) =
                 self.stream_with_context(model, g, id, label, None, fraction, &ctx)

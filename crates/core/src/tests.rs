@@ -483,7 +483,7 @@ fn parallel_matches_sequential() {
     let label = db.predicted(0).unwrap();
     let ids = db.label_group(label);
     let seq = algo.explain_label(&model, &db, label, &ids);
-    let pool = crate::parallel::explainer_pool(4);
+    let pool = crate::parallel::explainer_pool(4).expect("shim pool build is infallible");
     let ctxs = ContextCache::new(algo.config.clone());
     let par = crate::parallel::explain_label_parallel(
         &algo,
@@ -805,14 +805,14 @@ mod engine_tests {
     fn engine_explains_queries_and_memoizes() {
         let (model, db) = toy_setup();
         let n_graphs = db.len();
-        let mut engine = Engine::builder(model, db).config(Config::with_bounds(1, 4)).build();
+        let engine = Engine::builder(model, db).config(Config::with_bounds(1, 4)).build();
         let views = engine.explain_all();
         assert_eq!(views.len(), 2);
         assert_eq!(engine.store().len(), 2);
         // Contexts were built once per explained graph and are reused.
         assert_eq!(engine.contexts().len(), n_graphs);
-        let ctx_a = engine.context(0);
-        let ctx_b = engine.context(0);
+        let ctx_a = engine.context(0).expect("graph 0 is live");
+        let ctx_b = engine.context(0).expect("graph 0 is live");
         assert!(std::sync::Arc::ptr_eq(&ctx_a, &ctx_b));
         // Views are queryable through the engine facade.
         for &vid in &views {
@@ -832,14 +832,14 @@ mod engine_tests {
     fn engine_stream_and_viewset_export() {
         let (model, db) = toy_setup();
         let label = db.predicted(0).unwrap();
-        let mut engine = Engine::builder(model, db).config(Config::with_bounds(1, 4)).build();
+        let engine = Engine::builder(model, db).config(Config::with_bounds(1, 4)).build();
         let vid = engine.stream(label, 1.0);
         let view = engine.store().view(vid);
         assert!(!view.subgraphs.is_empty());
         assert!(!view.patterns.is_empty());
         let set = engine.view_set();
         assert_eq!(set.views.len(), 1);
-        let portable = crate::export::viewset_to_portable(&set, engine.db());
+        let portable = crate::export::viewset_to_portable(&set, &engine.db());
         assert_eq!(portable.views.len(), 1);
     }
 }

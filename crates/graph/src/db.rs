@@ -188,6 +188,15 @@ impl GraphDb {
         self.slots.get(id as usize).and_then(|s| s.graph.clone())
     }
 
+    /// The payload-bearing subset of `ids`, in input order: stale,
+    /// removed-and-compacted, or never-allocated ids are skipped instead
+    /// of panicking. This is the id-resolution step of every batch
+    /// explanation path — worker threads must never `expect` on an id
+    /// that a concurrent (or earlier) removal invalidated.
+    pub fn try_graphs<'a>(&'a self, ids: &[GraphId]) -> Vec<(GraphId, &'a Graph)> {
+        ids.iter().filter_map(|&id| self.get_graph(id).map(|g| (id, g))).collect()
+    }
+
     /// The `(born, died)` epoch interval of slot `id` (`died` is
     /// [`Epoch::MAX`] while live).
     pub fn lifetime(&self, id: GraphId) -> Option<(Epoch, Epoch)> {

@@ -22,7 +22,7 @@ fn main() {
     // Explain the mutagen group through the engine.
     let mutagens: Vec<u32> =
         split.test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).collect();
-    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
+    let engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
     let vid = engine.explain_subset(1, &mutagens);
     let Some(view) = engine.store().get(vid) else { return };
     println!("mutagen view: {} subgraphs, {} patterns", view.subgraphs.len(), view.patterns.len());
@@ -65,9 +65,10 @@ fn main() {
     // Counterfactual check on one compound: remove the explanation and
     // re-classify.
     if let Some(sub) = view.subgraphs.first() {
-        let g = engine.db().graph(sub.graph_id);
-        let (rest, _) = g.remove_nodes(&sub.nodes);
-        let before = engine.db().predicted(sub.graph_id).unwrap();
+        let db = engine.db();
+        let (rest, _) = db.graph(sub.graph_id).remove_nodes(&sub.nodes);
+        let before = db.predicted(sub.graph_id).unwrap();
+        drop(db);
         let after = engine.model().predict(&rest);
         println!(
             "\ncompound G{}: label {before} -> {after} after removing its explanation",

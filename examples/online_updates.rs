@@ -34,7 +34,7 @@ fn main() {
     // 2. A live engine: views registered by `stream` (or `explain_label`)
     //    are kept current across mutations; the staleness bound caps how
     //    many incremental deltas may accumulate before a full recompute.
-    let mut engine =
+    let engine =
         Engine::builder(model, db).config(Config::with_bounds(0, 6)).staleness_bound(16).build();
     let labels = engine.db().labels();
     let vids: Vec<_> = labels.iter().map(|&l| engine.stream(l, 1.0)).collect();

@@ -30,7 +30,7 @@ fn main() {
     //    explanation view for the mutagen label with bounds [0, 8].
     let ids: Vec<u32> =
         split.test.iter().copied().filter(|&id| db.predicted(id) == Some(1)).collect();
-    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
+    let engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
     let vid = engine.explain_subset(1, &ids);
     // `get` is the non-panicking handle lookup (a stale or foreign id
     // yields `None` instead of a panic).
@@ -40,8 +40,9 @@ fn main() {
     println!("  edge loss        = {:.2}%", view.edge_loss * 100.0);
 
     // 4. Lower tier: explanation subgraphs.
+    let db = engine.db();
     for sub in view.subgraphs.iter().take(3) {
-        let g = engine.db().graph(sub.graph_id);
+        let g = db.graph(sub.graph_id);
         let atoms: Vec<&str> =
             sub.nodes.iter().map(|&v| MUT_ATOM_NAMES[g.node_type(v) as usize]).collect();
         println!(
@@ -53,6 +54,7 @@ fn main() {
             sub.counterfactual
         );
     }
+    drop(db);
 
     // 5. Higher tier: queryable patterns covering all subgraph nodes —
     //    and, being indexed, each can be issued as a database query.
@@ -70,7 +72,7 @@ fn main() {
     }
 
     // 6. Verify the view against the three constraints of §3.3.
-    let v = verify::verify_view(engine.model(), engine.db(), &view, engine.config());
+    let v = verify::verify_view(engine.model(), &engine.db(), &view, engine.config());
     println!(
         "\nview verification: C1(graph view)={} C2(explanation)={} C3(coverage)={}",
         v.c1_graph_view, v.c2_explanation, v.c3_coverage

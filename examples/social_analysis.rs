@@ -24,7 +24,7 @@ fn main() {
     // discussion ones.
     let cfg = Config::with_bounds(0, 6).bound_label(0, 2, 10).bound_label(1, 1, 5);
     let test = split.test.clone();
-    let mut engine = Engine::builder(model, db).config(cfg).build();
+    let engine = Engine::builder(model, db).config(cfg).build();
 
     let mut vids = Vec::new();
     for label in [0u16, 1] {
@@ -55,8 +55,8 @@ fn main() {
     // Cross-view comparison (Example 1.1): which interaction patterns
     // separate the two classes? Index probes, not database scans.
     let (qa, disc) = (vids[0], vids[1]);
-    let shared = query::shared_patterns(engine.store(), engine.db(), qa, disc);
-    let exclusive = query::exclusive_patterns(engine.store(), engine.db(), qa, disc);
+    let shared = query::shared_patterns(engine.store(), &engine.db(), qa, disc);
+    let exclusive = query::exclusive_patterns(engine.store(), &engine.db(), qa, disc);
     println!(
         "Q&A patterns also seen in discussion explanations: {}; exclusive to Q&A: {}",
         shared.len(),

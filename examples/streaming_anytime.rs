@@ -22,7 +22,7 @@ fn main() {
     let label = 0u16;
     let ids: Vec<u32> =
         split.test.iter().copied().filter(|&id| db.predicted(id) == Some(label)).collect();
-    let mut engine = Engine::builder(model, db).config(Config::with_bounds(0, 6)).build();
+    let engine = Engine::builder(model, db).config(Config::with_bounds(0, 6)).build();
 
     println!("anytime sweep: interrupt the node stream at increasing fractions");
     println!(

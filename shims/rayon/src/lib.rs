@@ -7,9 +7,13 @@
 //! with `install`, and [`current_num_threads`]. Unlike real rayon
 //! there is no work stealing and pools do not own persistent worker
 //! threads — `install` simply scopes a thread-count that `collect`
-//! consults when it spawns. That preserves rayon's semantics (same
-//! results, same ordering guarantees) at a per-call thread-spawn cost
-//! that is negligible next to the per-graph explanation work inside.
+//! consults when it spawns, and spawned workers inherit an equal share
+//! of that width (`width / spawn count`), so the total concurrency of
+//! arbitrarily nested parallel iterators stays bounded by the
+//! installed pool width, approximating rayon's global pool cap. That
+//! preserves rayon's semantics (same results, same ordering
+//! guarantees) at a per-call thread-spawn cost that is negligible next
+//! to the per-graph explanation work inside.
 
 use std::cell::Cell;
 
@@ -171,16 +175,31 @@ fn parallel_map_slice_ref<'a, T: Sync, R: Send>(
     threads: usize,
     f: &(impl Fn(&'a T) -> R + Sync),
 ) -> Vec<R> {
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
+    // `width` is the caller's effective pool width; the spawn count is
+    // additionally clamped by the item count. Each worker inherits an
+    // equal share of the remaining width budget (`width / spawn`), so
+    // the *total* concurrency of arbitrarily nested parallel iterators
+    // stays bounded by the pool width — approximating rayon's global
+    // pool cap. A 2-item fan-out on an 8-wide pool leaves each worker a
+    // nested width of 4; a fan-out as wide as the pool leaves nested
+    // iterators sequential.
+    let width = threads.max(1);
+    let spawn = width.clamp(1, items.len().max(1));
+    if spawn <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    let inherit = (width / spawn).max(1);
+    let chunk = items.len().div_ceil(spawn);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(spawn);
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .map(|part| {
+                scope.spawn(move || {
+                    INSTALLED_THREADS.with(|t| t.set(inherit));
+                    part.iter().map(f).collect::<Vec<R>>()
+                })
+            })
             .collect();
         for h in handles {
             out.push(h.join().expect("rayon shim worker panicked"));
@@ -215,7 +234,11 @@ impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
     /// up to [`current_num_threads`] scoped OS threads in contiguous
     /// groups (no work stealing, like the rest of the shim).
     pub fn for_each(self, f: impl Fn((usize, &'a mut [T])) + Sync) {
-        let threads = current_num_threads().clamp(1, self.chunks.len().max(1));
+        // As in `parallel_map_slice_ref`: workers share the width
+        // budget (`width / spawn`), keeping total nested concurrency
+        // bounded by the pool width.
+        let width = current_num_threads().max(1);
+        let threads = width.clamp(1, self.chunks.len().max(1));
         if threads <= 1 || self.chunks.len() <= 1 {
             for (i, c) in self.chunks.into_iter().enumerate() {
                 f((i, c));
@@ -234,10 +257,13 @@ impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
         if !group.is_empty() {
             groups.push(group);
         }
+        let inherit = (width / threads).max(1);
         std::thread::scope(|scope| {
             let f = &f;
             for g in groups {
                 scope.spawn(move || {
+                    // Same width sharing as `parallel_map_slice_ref`.
+                    INSTALLED_THREADS.with(|t| t.set(inherit));
                     for (i, c) in g {
                         f((i, c));
                     }
@@ -316,6 +342,24 @@ mod tests {
         let before = current_num_threads();
         pool.install(|| assert_eq!(current_num_threads(), 3));
         assert_eq!(current_num_threads(), before);
+    }
+
+    #[test]
+    fn nested_parallelism_shares_the_width_budget() {
+        // A fan-out as wide as the pool leaves nested iterators a
+        // budget of 1: total concurrency stays at the pool width.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let xs: Vec<u32> = (0..8).collect();
+        let widths: Vec<usize> =
+            pool.install(|| xs.par_iter().map(|_| current_num_threads()).collect());
+        assert!(widths.iter().all(|&w| w == 1), "width 2 / spawn 2 = 1, got {widths:?}");
+        // A narrow fan-out hands the remaining budget to nested
+        // iterators: 2 items on a 4-wide pool leave each worker 2.
+        let pool4 = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let two: Vec<u32> = (0..2).collect();
+        let widths: Vec<usize> =
+            pool4.install(|| two.par_iter().map(|_| current_num_threads()).collect());
+        assert!(widths.iter().all(|&w| w == 2), "width 4 / spawn 2 = 2, got {widths:?}");
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Concurrent-serving integration tests: the engine is `Send + Sync`
+//! with a `&self` API — readers issue queries and take snapshots from
+//! many threads while a writer inserts, removes, and (re)builds views —
+//! plus regression tests for the panic paths the concurrent redesign
+//! closed (stale ids reaching `GraphDb::graph` inside pool workers,
+//! the linear/panicking stream-admission reverse lookup).
+
+use gvex_core::{Config, Engine, ViewQuery};
+use gvex_data::{mutagenicity, DataConfig, TYPE_C, TYPE_N, TYPE_O};
+use gvex_gnn::{AdamTrainer, GcnModel};
+use gvex_graph::{GraphDb, GraphId};
+use gvex_pattern::Pattern;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn setup(n: usize, seed: u64) -> (GcnModel, GraphDb) {
+    let mut db = mutagenicity(DataConfig::new(n, seed));
+    let model = GcnModel::new(14, 16, 2, 2, seed);
+    AdamTrainer::classify_all(&model, &mut db, &[]);
+    (model, db)
+}
+
+/// The engine must be shareable across threads as-is: every public
+/// method takes `&self`.
+#[test]
+fn engine_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Arc<Engine>>();
+}
+
+/// The concurrent-serving contract of the tentpole: reader threads keep
+/// getting answers (queries and pinned snapshots) while a writer
+/// generates views, inserts batches (with incremental maintenance), and
+/// removes graphs. The readers hammer the engine for the writer's whole
+/// lifetime; the test asserts real overlap — a nonzero number of reads
+/// completed before the writer finished — and that every read returned
+/// a consistent result.
+#[test]
+fn queries_are_served_while_views_are_built_and_maintained() {
+    let (model, db) = setup(18, 7);
+    let pool = mutagenicity(DataConfig::new(8, 99));
+    let engine =
+        Arc::new(Engine::builder(model, db).config(Config::with_bounds(0, 5)).threads(2).build());
+    let base_len = engine.db().len();
+    let nitro = Pattern::new(&[TYPE_N, TYPE_O], &[(0, 1, 1)]);
+    let writer_done = Arc::new(AtomicBool::new(false));
+    let reads_before_writer_done = Arc::new(AtomicUsize::new(0));
+
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let nitro = nitro.clone();
+            let writer_done = Arc::clone(&writer_done);
+            let overlapped = Arc::clone(&reads_before_writer_done);
+            std::thread::spawn(move || {
+                let mut reads = 0usize;
+                while !writer_done.load(Ordering::Relaxed) || reads == 0 {
+                    // Head query: the database only ever grows or shrinks
+                    // by committed batches, never shows a half-batch.
+                    let all = engine.query(&ViewQuery::new());
+                    assert!(all.len() >= base_len.saturating_sub(8));
+                    // Pattern query down the memoizing index path.
+                    let hits = engine.query(&ViewQuery::pattern(nitro.clone()));
+                    assert!(hits.graphs.iter().all(|&id| engine.db().lifetime(id).is_some()));
+                    // Snapshot: pin, read consistently, unpin.
+                    let snap = engine.snapshot();
+                    assert_eq!(snap.query(&ViewQuery::new()).len(), snap.len());
+                    // Diagnostics read path.
+                    let _ = engine.view_set();
+                    reads += 1;
+                    if !writer_done.load(Ordering::Relaxed) {
+                        overlapped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                reads
+            })
+        })
+        .collect();
+
+    // Writer: full view build, then interleaved batch inserts (each
+    // driving parallel per-label incremental maintenance) and removals.
+    let vids = engine.explain_all();
+    assert!(!vids.is_empty());
+    let arrivals: Vec<_> = pool.iter().map(|(id, g)| (g.clone(), Some(pool.truth(id)))).collect();
+    let mut inserted: Vec<GraphId> = Vec::new();
+    for chunk in arrivals.chunks(3) {
+        let (ids, _) = engine.insert_graphs(chunk.to_vec());
+        inserted.extend(ids);
+    }
+    engine.remove_graphs(&inserted[..inserted.len() / 2]);
+    writer_done.store(true, Ordering::Relaxed);
+
+    let totals: Vec<usize> =
+        readers.into_iter().map(|r| r.join().expect("reader thread")).collect();
+    assert!(totals.iter().all(|&n| n > 0), "every reader completed reads: {totals:?}");
+    assert!(
+        reads_before_writer_done.load(Ordering::Relaxed) > 0,
+        "at least some reads overlapped the writer's work"
+    );
+    // Maintained views stayed coherent under the concurrent load.
+    for vid in vids {
+        let view = engine.store().get(vid).expect("maintained view");
+        let db = engine.db();
+        for s in &view.subgraphs {
+            assert!(db.get_graph(s.graph_id).is_some(), "maintained view names a live graph");
+        }
+    }
+}
+
+/// Maintained view versions commit at a follow-up epoch, strictly after
+/// the mutation batch's epoch: a snapshot pinned at the batch epoch
+/// (e.g. taken while maintenance was still streaming the deltas) keeps
+/// resolving the pre-maintenance version forever — the repeatable-read
+/// half of the snapshot contract.
+#[test]
+fn maintained_version_commits_after_the_batch_epoch() {
+    let (model, db) = setup(16, 21);
+    let pool = mutagenicity(DataConfig::new(3, 77));
+    let engine = Engine::builder(model, db).config(Config::with_bounds(0, 5)).build();
+    let labels = engine.db().labels();
+    let vids: Vec<_> = labels.iter().map(|&l| engine.stream(l, 1.0)).collect();
+
+    let (aid, g) = pool.iter().next().expect("pool graph");
+    let (id, epoch) = engine.insert_graph(g.clone(), Some(pool.truth(aid)));
+    let label = engine.db().predicted(id).expect("insert classifies the arrival");
+    let vid = vids[labels.iter().position(|&l| l == label).unwrap()];
+
+    // At the batch epoch the pre-maintenance version is still current …
+    let at_batch = engine.store().get_at(vid, epoch).expect("version live at the batch epoch");
+    assert!(
+        at_batch.subgraphs.iter().all(|s| s.graph_id != id),
+        "a reader pinned at the batch epoch must not see the maintenance flip"
+    );
+    // … while the head resolves the maintained version.
+    let head = engine.store().get(vid).expect("maintained view");
+    assert!(head.subgraphs.iter().any(|s| s.graph_id == id));
+    assert!(engine.head() > epoch, "maintenance committed at a follow-up epoch");
+}
+
+/// Regression (satellite 1): `explain_subset` / `stream_subset` used to
+/// panic inside pool workers when handed a stale, removed, or compacted
+/// id (`GraphDb::graph`'s `expect`). They now resolve ids through the
+/// non-panicking `try_graphs` path and skip the dead ones.
+#[test]
+fn explain_subset_skips_stale_removed_and_compacted_ids() {
+    let (model, db) = setup(14, 3);
+    let engine = Engine::builder(model, db).config(Config::with_bounds(0, 5)).build();
+    let label = engine.db().labels()[0];
+    let ids: Vec<GraphId> = engine.db().label_group(label);
+    assert!(ids.len() >= 2, "need a few graphs in the group");
+
+    // Remove one id and compact with no pins: its payload is freed, so
+    // the old code path would have panicked dereferencing it.
+    let stale = ids[0];
+    engine.remove_graphs(&[stale]);
+    assert!(engine.db().get_graph(stale).is_none(), "payload compacted away");
+
+    let mut subset = ids.clone();
+    subset.push(9999); // never allocated
+    let vid = engine.explain_subset(label, &subset);
+    let view = engine.store().get(vid).expect("view stored");
+    assert!(view.subgraphs.iter().all(|s| s.graph_id != stale && s.graph_id != 9999));
+
+    let svid = engine.stream_subset(label, &subset, 1.0);
+    let sview = engine.store().get(svid).expect("stream view stored");
+    assert!(sview.subgraphs.iter().all(|s| s.graph_id != stale && s.graph_id != 9999));
+
+    // The context read path degrades to None instead of panicking.
+    assert!(engine.context(stale).is_none());
+    assert!(engine.context(9999).is_none());
+    assert!(engine.context(ids[1]).is_some());
+}
+
+/// `GraphDb::try_graphs` is the non-panicking id-resolution helper the
+/// batch paths are built on: dead and foreign ids are skipped, order is
+/// preserved.
+#[test]
+fn try_graphs_skips_dead_ids_and_preserves_order() {
+    let (_, db) = setup(6, 19);
+    let all: Vec<GraphId> = db.iter().map(|(id, _)| id).collect();
+    let mut db = db;
+    db.advance_epoch();
+    db.remove(all[1]);
+    db.compact(db.epoch());
+    let probe = vec![all[2], 4242, all[1], all[0]];
+    let resolved = db.try_graphs(&probe);
+    let got: Vec<GraphId> = resolved.iter().map(|&(id, _)| id).collect();
+    assert_eq!(got, vec![all[2], all[0]], "dead + foreign ids skipped, input order kept");
+}
+
+/// Regression (satellite 2): the stream-admission check used a linear
+/// `position(..).expect(..)` over the induced map. The reverse lookup is
+/// now a binary search that treats absence as "not covered" instead of
+/// panicking. Force the case-(b) admission path (full cache, low
+/// evidence) on a graph large enough to overflow a tiny cache and check
+/// the stream still completes with the same canonical output shape.
+#[test]
+fn stream_admission_with_full_cache_does_not_panic() {
+    use gvex_core::StreamGvex;
+    let mut db = GraphDb::new();
+    // A chain of alternating atom types: plenty of arrivals competing
+    // for a 2-slot cache, so the covered/uncovered admission check runs
+    // for nearly every node.
+    let mut g = gvex_graph::Graph::new(14);
+    let types = [TYPE_C, TYPE_N, TYPE_O, TYPE_C, TYPE_N, TYPE_O, TYPE_C, TYPE_C];
+    let mut feat = vec![0.0; 14];
+    for (i, &t) in types.iter().enumerate() {
+        feat.fill(0.0);
+        feat[t as usize] = 1.0;
+        g.add_node(t, &feat);
+        if i > 0 {
+            g.add_edge(i as u32 - 1, i as u32, 0);
+        }
+    }
+    let id = db.push(g.clone(), 0);
+    let model = GcnModel::new(14, 8, 2, 2, 5);
+    AdamTrainer::classify_all(&model, &mut db, &[]);
+    let sg = StreamGvex::new(Config::with_bounds(1, 2));
+    let out = sg.stream_graph(&model, &g, id, db.predicted(id).unwrap(), None, 1.0);
+    let (sub, _) = out.expect("stream produced a subgraph");
+    assert!(!sub.nodes.is_empty() && sub.nodes.len() <= 2, "cache bound respected");
+    assert!(sub.nodes.windows(2).all(|w| w[0] < w[1]), "canonical sorted node set");
+}
+
+/// Satellite 3: pool construction falls back instead of aborting, and
+/// the engine-owned pool is reported through the builder's knob.
+#[test]
+fn explainer_pool_and_engine_threads_knob() {
+    let pool = gvex_core::parallel::explainer_pool(3);
+    assert_eq!(pool.map(|p| p.current_num_threads()), Some(3));
+    let (model, db) = setup(6, 2);
+    let engine = Engine::builder(model, db).config(Config::with_bounds(0, 4)).threads(2).build();
+    assert_eq!(engine.pool_width(), 2);
+}
+
+/// Byte-identical results: `explain_all`'s label fan-out on the engine
+/// pool must produce exactly the views the sequential per-label loop
+/// produces (canonical graph-id-sorted shape, same patterns, same
+/// scores).
+#[test]
+fn parallel_explain_all_matches_sequential_label_loop() {
+    let (model, db) = setup(14, 31);
+    let par = Engine::builder(model.clone(), db.clone())
+        .config(Config::with_bounds(0, 5))
+        .threads(4)
+        .build();
+    let seq = Engine::builder(model, db).config(Config::with_bounds(0, 5)).threads(1).build();
+    let par_vids = par.explain_all();
+    // Bind the label list in its own statement: a `db()` guard temporary
+    // alive in the same statement as a write call would deadlock (see
+    // the `DbGuard` docs).
+    let seq_labels = seq.db().labels();
+    let seq_vids: Vec<_> = seq_labels.iter().map(|&l| seq.explain_label(l)).collect();
+    assert_eq!(par_vids.len(), seq_vids.len());
+    for (&pv, &sv) in par_vids.iter().zip(&seq_vids) {
+        let a = par.store().get(pv).expect("parallel view");
+        let b = seq.store().get(sv).expect("sequential view");
+        assert_eq!(a.label, b.label);
+        let shape = |v: &gvex_core::ExplanationView| {
+            v.subgraphs
+                .iter()
+                .map(|s| (s.graph_id, s.nodes.clone(), s.consistent, s.counterfactual))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&a), shape(&b), "label {} views diverged", a.label);
+        assert_eq!(a.patterns.len(), b.patterns.len());
+        assert!((a.explainability - b.explainability).abs() < 1e-12);
+        assert!((a.edge_loss - b.edge_loss).abs() < 1e-12);
+    }
+}

@@ -105,12 +105,12 @@ fn portable_view_serializes_to_json_and_back() {
 fn portable_viewset_roundtrips_through_json() {
     use gvex_core::{export, Engine};
     let ds = prepare(DatasetKind::Mutagenicity, 40, 1.0, 42);
-    let mut engine =
+    let engine =
         Engine::builder(ds.model.clone(), ds.db.clone()).config(Config::with_bounds(0, 6)).build();
     engine.explain_all();
     let set = engine.view_set();
     assert!(!set.views.is_empty());
-    let portable = export::viewset_to_portable(&set, engine.db());
+    let portable = export::viewset_to_portable(&set, &engine.db());
     let json = serde_json::to_string(&portable).expect("serialize view set");
     let back: export::PortableViewSet = serde_json::from_str(&json).expect("deserialize view set");
     assert_eq!(back, portable);
@@ -129,12 +129,12 @@ fn query_engine_answers_the_papers_motivating_questions() {
     assert!(!hits.is_empty());
     assert_eq!(hits.count_for(1), hits.len(), "planted only in mutagens");
     // Planted only in mutagens: discriminativeness must be 1.0.
-    assert_eq!(query::discriminativeness(engine.store(), engine.db(), &nitro, 1), 1.0);
+    assert_eq!(query::discriminativeness(engine.store(), &engine.db(), &nitro, 1), 1.0);
     // "Which nonmutagens contain it?" — none.
     assert!(engine.query(&ViewQuery::pattern(nitro.clone()).label(0)).is_empty());
     // The indexed answers agree with the direct-VF2 scan reference.
     let scanned = query::scan::graphs_containing(&ds.db, &nitro);
-    assert_eq!(engine.store().hits(&nitro, engine.db()), scanned);
+    assert_eq!(engine.store().hits(&nitro, &engine.db()), scanned);
 }
 
 #[test]
@@ -143,7 +143,7 @@ fn engine_end_to_end_explain_then_query() {
     let ds = prepare(DatasetKind::Mutagenicity, 50, 1.0, 42);
     let (label, ids) = label_of_interest(&ds);
     let ids: Vec<u32> = ids.into_iter().take(4).collect();
-    let mut engine =
+    let engine =
         Engine::builder(ds.model.clone(), ds.db.clone()).config(Config::with_bounds(0, 8)).build();
     let vid = engine.explain_subset(label, &ids);
     let view = engine.store().view(vid);
@@ -154,10 +154,10 @@ fn engine_end_to_end_explain_then_query() {
     assert!(engine.store().indexed_patterns() >= view.patterns.len());
     let p = view.patterns[0].clone();
     let over_view = engine.query(&ViewQuery::pattern(p.clone()).in_views([vid]));
-    let explained = engine.store().view_graph_ids(vid, engine.db());
+    let explained = engine.store().view_graph_ids(vid, &engine.db());
     assert!(over_view.graphs.iter().all(|id| explained.contains(id)));
     // The most discriminative pattern scores in [0, 1].
-    let best = query::most_discriminative(engine.store(), engine.db(), &view);
+    let best = query::most_discriminative(engine.store(), &engine.db(), &view);
     assert!(best.is_some());
     assert!((0.0..=1.0).contains(&best.unwrap().1));
 }
