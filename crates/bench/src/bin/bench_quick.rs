@@ -3,13 +3,18 @@
 //! `BENCH_PR2.json`), indexed view-query answering against the naive
 //! VF2 database scan (writes `BENCH_PR3.json`), and incremental view
 //! maintenance against a full view recompute on the online engine
-//! (writes `BENCH_PR4.json`), and the concurrent serving engine —
+//! (writes `BENCH_PR4.json`), the concurrent serving engine —
 //! pooled label-parallel `explain_all` against the sequential label
 //! loop, plus reader throughput while a writer mutates (writes
-//! `BENCH_PR5.json`).
+//! `BENCH_PR5.json`) — and the sharded scatter-gather engine on a
+//! 10^5-graph MalNet-scale database: label-filtered queries must touch
+//! only the owning shard (probe-count hard check) and a 2-shard engine
+//! must scale combined insert+query throughput over the 1-shard layout
+//! (writes `BENCH_PR6.json`).
 //!
 //! Usage: `bench_quick [--check] [--out PATH] [--out-queries PATH]
-//! [--out-online PATH] [--out-concurrent PATH] [--nodes N]`
+//! [--out-online PATH] [--out-concurrent PATH] [--out-sharded PATH]
+//! [--nodes N]`
 //!
 //! - `--check`: exit non-zero if sparse masked propagation is not at
 //!   least as fast as the dense baseline, if indexed query answering
@@ -17,8 +22,13 @@
 //!   single-graph insert is not at least 5x faster than a full
 //!   `explain_label` recompute, if pooled `explain_all` misses the
 //!   machine-scaled speedup threshold (2x on machines with >= 4
-//!   cores), or if reader throughput under a concurrent writer is zero
-//!   (the CI regression gates).
+//!   cores), if reader throughput under a concurrent writer is zero,
+//!   or if the 2-shard engine misses its machine-scaled throughput
+//!   threshold over the 1-shard engine (the CI regression gates).
+//!   Gates whose thresholds depend on parallelism are scaled down on
+//!   narrow hosts; when that happens `--check` prints a
+//!   `GATE SCALED DOWN` note and the JSON gate carries
+//!   `"scaled_for_host": true`.
 //! - `--out PATH`: where to write the propagation JSON (default
 //!   `BENCH_PR2.json`).
 //! - `--out-queries PATH`: where to write the query JSON (default
@@ -27,7 +37,12 @@
 //!   JSON (default `BENCH_PR4.json`).
 //! - `--out-concurrent PATH`: where to write the concurrent-serving
 //!   JSON (default `BENCH_PR5.json`).
+//! - `--out-sharded PATH`: where to write the sharded-engine JSON
+//!   (default `BENCH_PR6.json`).
 //! - `--nodes N`: reference graph size (default 1024).
+//!
+//! Every payload records the host core count under `"host"` so CI
+//! artifacts from differently-sized runners are comparable.
 //!
 //! Before timing anything each pair of paths is cross-checked (numeric
 //! parity for propagation, result identity for queries, view-shape
@@ -37,10 +52,10 @@
 
 use gvex_baselines::GnnExplainer;
 use gvex_bench::perf::{dense_masked_epoch, reference_graph, reference_mask, sparse_masked_epoch};
-use gvex_core::{query, Config, Engine, StreamGvex, ViewStore};
+use gvex_core::{query, Config, Engine, StreamGvex, ViewQuery, ViewStore};
 use gvex_data::DataConfig;
-use gvex_gnn::{AdamTrainer, GcnModel, Propagation};
-use gvex_graph::GraphId;
+use gvex_gnn::{AdamTrainer, GcnModel, Propagation, TrainConfig};
+use gvex_graph::{Graph, GraphId};
 use gvex_pattern::Pattern;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -86,12 +101,22 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let out_sharded = args
+        .iter()
+        .position(|a| a == "--out-sharded")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
     let nodes: usize = args
         .iter()
         .position(|a| a == "--nodes")
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(1024);
+
+    // Host width, recorded in every payload and used to scale the
+    // parallelism-dependent gates to what the machine can express.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let g = reference_graph(nodes, 42);
     let mask = reference_mask(&g, 7);
@@ -154,6 +179,7 @@ fn main() {
 
     let json = serde_json::json!({
         "pr": 2u32,
+        "host": serde_json::json!({ "cores": cores as u64 }),
         "graph": serde_json::json!({
             "nodes": g.num_nodes() as u64,
             "edges": g.num_edges() as u64,
@@ -254,6 +280,7 @@ fn main() {
 
     let qjson = serde_json::json!({
         "pr": 3u32,
+        "host": serde_json::json!({ "cores": cores as u64 }),
         "database": serde_json::json!({
             "graphs": qdb.len() as u64,
             "total_nodes": qdb.total_nodes() as u64,
@@ -371,6 +398,7 @@ fn main() {
 
     let ojson = serde_json::json!({
         "pr": 4u32,
+        "host": serde_json::json!({ "cores": cores as u64 }),
         "database": serde_json::json!({
             "graphs": engine.db().len() as u64,
             "label": label as u64,
@@ -410,7 +438,6 @@ fn main() {
     // is the genuinely sequential loop — a 1-thread engine pool makes
     // `explain_all` visit label groups, graphs, and `psum` candidates
     // one at a time — against the engine-owned pool at hardware width.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let cdb = {
         let mut db = gvex_data::enzymes(DataConfig::new(36, 13));
         let ids: Vec<GraphId> = db.iter().map(|(id, _)| id).collect();
@@ -538,10 +565,18 @@ fn main() {
     } else {
         0.0
     };
+    let speedup_scaled_down = speedup_threshold < 2.0;
+    if check && speedup_scaled_down {
+        eprintln!(
+            "GATE SCALED DOWN: label_parallel_explain_all.speedup threshold \
+             {speedup_threshold:.1}x (full bar 2.0x needs >= 4 cores; host has {cores})"
+        );
+    }
     let speedup_pass = concurrent_speedup >= speedup_threshold;
     let readers_pass = reads_served > 0;
     let cjson = serde_json::json!({
         "pr": 5u32,
+        "host": serde_json::json!({ "cores": cores as u64 }),
         "database": serde_json::json!({
             "graphs": cdb.len() as u64,
             "label_groups": num_labels as u64,
@@ -568,6 +603,7 @@ fn main() {
                 "threshold": speedup_threshold,
                 "value": concurrent_speedup,
                 "pass": speedup_pass,
+                "scaled_for_host": speedup_scaled_down,
             }),
             serde_json::json!({
                 "metric": "reader_throughput_under_writer.reads_served",
@@ -591,6 +627,278 @@ fn main() {
     }
     if check && !readers_pass {
         eprintln!("GATE FAILED: no reads were served while the writer mutated");
+        std::process::exit(1);
+    }
+
+    // ---- sharded scatter-gather engine --------------------------------
+    //
+    // MalNet-scale database: 10^5 tiny call graphs across 5 families,
+    // with predicted := truth so the label-partitioned shard layout is
+    // exact. Two checks: (a) a label-filtered ViewQuery on the 2-shard
+    // engine touches exactly its owning shard — the probe counter is a
+    // hard check, since shard routing is a correctness property, not a
+    // perf number — and (b) the same fixed insert+query workload
+    // finishes faster on the 2-shard engine when the host has cores to
+    // run independent shard writers in parallel.
+    let scale_graphs = 100_000usize;
+    let gen_t = Instant::now();
+    let sdb = {
+        let mut db = gvex_data::malnet_scale(scale_graphs, 23);
+        let ids: Vec<GraphId> = db.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            let truth = db.truth(id);
+            db.set_predicted(id, truth);
+        }
+        db
+    };
+    let generate_ms = gen_t.elapsed().as_secs_f64() * 1e3;
+    // A tiny classifier trained on a slice of the database: arrivals are
+    // routed by *predicted* family, so the model must discriminate at
+    // least coarsely for the multi-writer streams below to land on
+    // distinct shards (an untrained model maps every call graph to one
+    // family and the 2-shard engine would degenerate to one writer).
+    let sfeat = sdb.iter().next().map(|(_, g)| g.feature_dim()).unwrap_or(1);
+    let smodel = {
+        let mut m = GcnModel::new(sfeat, 8, 5, 2, 23);
+        let train_ids: Vec<GraphId> = sdb.iter().map(|(id, _)| id).take(200).collect();
+        let tcfg = TrainConfig { epochs: 30, target_accuracy: 0.9, ..TrainConfig::default() };
+        let report = AdamTrainer::new(&m, tcfg).fit(&mut m, &sdb, &train_ids);
+        eprintln!(
+            "sharded routing model: {} train epochs, accuracy {:.2}",
+            report.epochs_run, report.train_accuracy
+        );
+        m
+    };
+    let scfg = Config::with_bounds(0, 4);
+    let build_sharded = |shards: usize| -> (Engine, f64) {
+        let t = Instant::now();
+        let e = Engine::builder(smodel.clone(), sdb.clone())
+            .config(scfg.clone())
+            .shards(shards)
+            .build();
+        (e, t.elapsed().as_secs_f64() * 1e3)
+    };
+    let (se1, build1_ms) = build_sharded(1);
+    let (se2, build2_ms) = build_sharded(2);
+    eprintln!(
+        "sharded engine: {scale_graphs} graphs generated in {generate_ms:.0} ms, \
+         build 1-shard {build1_ms:.0} ms, 2-shard {build2_ms:.0} ms"
+    );
+
+    // Probe patterns are two of the planted family motifs; under
+    // label % 2 routing the family-1 ring lives in shard 1 and the
+    // family-2 clique in shard 0, so the query stream below exercises
+    // both shards.
+    let ring6 = Pattern::new(
+        &[0, 0, 0, 0, 0, 0],
+        &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0), (4, 5, 0), (5, 0, 0)],
+    );
+    let clique5 = Pattern::new(
+        &[0, 0, 0, 0, 0],
+        &[
+            (0, 1, 0),
+            (0, 2, 0),
+            (0, 3, 0),
+            (0, 4, 0),
+            (1, 2, 0),
+            (1, 3, 0),
+            (1, 4, 0),
+            (2, 3, 0),
+            (2, 4, 0),
+            (3, 4, 0),
+        ],
+    );
+    let sprobes: Vec<(&str, Pattern, u16)> =
+        vec![("family1_ring6", ring6.clone(), 1), ("family2_clique5", clique5.clone(), 2)];
+    // Result identity first (also warms each engine's pattern indexes):
+    // graph ids live in different shard id spaces, so the sharded and
+    // unsharded answers are compared by count and label histogram.
+    for (name, p, l) in &sprobes {
+        let q = ViewQuery::pattern(p.clone()).label(*l);
+        let r1 = se1.query(&q);
+        let r2 = se2.query(&q);
+        if r1.len() != r2.len() || r1.per_label != r2.per_label {
+            eprintln!("FATAL: 2-shard query diverged from 1-shard on {name}");
+            std::process::exit(2);
+        }
+        if r1.is_empty() {
+            eprintln!("FATAL: probe {name} matched nothing — motif generator broken");
+            std::process::exit(2);
+        }
+    }
+    // Probe-count hard check: label-filtered queries touch exactly the
+    // owning shard; unconstrained queries fan out to every shard.
+    let q_ring = ViewQuery::pattern(ring6.clone()).label(1);
+    let probes_before = se2.shard_probes();
+    std::hint::black_box(se2.query(&q_ring));
+    let shards_touched = se2.shard_probes() - probes_before;
+    if shards_touched != 1 {
+        eprintln!(
+            "FATAL: label-filtered query touched {shards_touched} of {} shards (expected 1)",
+            se2.num_shards()
+        );
+        std::process::exit(2);
+    }
+    let probes_before = se2.shard_probes();
+    std::hint::black_box(se2.query(&ViewQuery::new()));
+    let shards_fanout = se2.shard_probes() - probes_before;
+    if shards_fanout != se2.num_shards() as u64 {
+        eprintln!(
+            "FATAL: unconstrained query touched {shards_fanout} of {} shards",
+            se2.num_shards()
+        );
+        std::process::exit(2);
+    }
+    let label_query_ms = median_ms(9, || {
+        std::hint::black_box(se2.query(&q_ring));
+    });
+    eprintln!(
+        "label-filtered query on {scale_graphs} graphs: {label_query_ms:.2} ms, \
+         {shards_touched}/{} shards touched",
+        se2.num_shards()
+    );
+
+    // Fixed insert+query workload, identical on both engines. The
+    // arrival pool is pre-binned by the router's decision (predicted
+    // family mod 2), so each writer thread's stream lands wholly in one
+    // shard of the 2-shard engine and the two writers commit in
+    // parallel; on the 1-shard engine the same two streams serialize on
+    // the single shard writer. Reader threads issue label-filtered
+    // motif queries against both shards throughout.
+    let pool: Vec<Graph> =
+        gvex_data::malnet_scale(1_200, 777).iter().map(|(_, g)| g.clone()).collect();
+    let mut bins: Vec<Vec<Graph>> = vec![Vec::new(), Vec::new()];
+    for g in pool {
+        let shard = (smodel.predict(&g) as usize) % 2;
+        bins[shard].push(g);
+    }
+    let per_writer = bins[0].len().min(bins[1].len());
+    if per_writer < 50 {
+        eprintln!(
+            "FATAL: arrival pool routed too one-sidedly ({} vs {} graphs per shard)",
+            bins[0].len(),
+            bins[1].len()
+        );
+        std::process::exit(2);
+    }
+    for bin in &mut bins {
+        bin.truncate(per_writer);
+    }
+    let queries_per_reader = 200usize;
+    let run_mixed = |engine: &Engine| -> f64 {
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for bin in &bins {
+                scope.spawn(move || {
+                    for chunk in bin.chunks(25) {
+                        let batch: Vec<_> = chunk.iter().map(|g| (g.clone(), None)).collect();
+                        std::hint::black_box(engine.insert_graphs(batch));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let probes = &sprobes;
+                scope.spawn(move || {
+                    for i in 0..queries_per_reader {
+                        let (_, p, l) = &probes[i % probes.len()];
+                        std::hint::black_box(
+                            engine.query(&ViewQuery::pattern(p.clone()).label(*l)),
+                        );
+                    }
+                });
+            }
+        });
+        t.elapsed().as_secs_f64()
+    };
+    let mixed_ops = 2 * per_writer + 2 * queries_per_reader;
+    let wall_1shard_s = run_mixed(&se1);
+    let wall_2shard_s = run_mixed(&se2);
+    let tput_1shard = mixed_ops as f64 / wall_1shard_s.max(1e-9);
+    let tput_2shard = mixed_ops as f64 / wall_2shard_s.max(1e-9);
+    let shard_scaling = tput_2shard / tput_1shard.max(1e-9);
+    eprintln!(
+        "sharded insert+query ({mixed_ops} ops, {cores} cores): 1-shard {tput_1shard:.0} ops/s, \
+         2-shard {tput_2shard:.0} ops/s ({shard_scaling:.2}x)"
+    );
+
+    // 1.3x where there are cores for the shard writers to actually run
+    // in parallel; parity on 2-3 cores; on a single core the layouts do
+    // the same work serially (shard-local indexes still shrink the
+    // per-arrival match work, so warm runs beat parity), and the bar
+    // only guards against sharding overhead regressions, with headroom
+    // for cold-cache first runs.
+    let shard_threshold = if cores >= 4 {
+        1.3
+    } else if cores >= 2 {
+        1.0
+    } else {
+        0.85
+    };
+    let shard_scaled_down = shard_threshold < 1.3;
+    if check && shard_scaled_down {
+        eprintln!(
+            "GATE SCALED DOWN: sharded_insert_query_throughput.scaling threshold \
+             {shard_threshold:.1}x (full bar 1.3x needs >= 4 cores; host has {cores})"
+        );
+    }
+    let shard_pass = shard_scaling >= shard_threshold;
+    let sjson = serde_json::json!({
+        "pr": 6u32,
+        "host": serde_json::json!({ "cores": cores as u64 }),
+        "database": serde_json::json!({
+            "graphs": scale_graphs as u64,
+            "classes": 5u64,
+            "generate_ms": generate_ms,
+            "build_1shard_ms": build1_ms,
+            "build_2shard_ms": build2_ms,
+        }),
+        "results": serde_json::json!([
+            serde_json::json!({
+                "name": "label_query_shard_probes",
+                "shards": se2.num_shards() as u64,
+                "shards_touched_label_query": shards_touched,
+                "shards_touched_unconstrained": shards_fanout,
+                "label_query_ms": label_query_ms,
+            }),
+            serde_json::json!({
+                "name": "sharded_insert_query_throughput",
+                "writer_threads": 2u64,
+                "reader_threads": 2u64,
+                "inserts": (2 * per_writer) as u64,
+                "queries": (2 * queries_per_reader) as u64,
+                "wall_1shard_s": wall_1shard_s,
+                "wall_2shard_s": wall_2shard_s,
+                "throughput_1shard_ops_s": tput_1shard,
+                "throughput_2shard_ops_s": tput_2shard,
+                "scaling": shard_scaling,
+            }),
+        ]),
+        "gates": serde_json::json!([
+            serde_json::json!({
+                "metric": "label_query_shard_probes.shards_touched",
+                "threshold": 1.0f64,
+                "value": shards_touched as f64,
+                "pass": shards_touched == 1,
+            }),
+            serde_json::json!({
+                "metric": "sharded_insert_query_throughput.scaling",
+                "threshold": shard_threshold,
+                "value": shard_scaling,
+                "pass": shard_pass,
+                "scaled_for_host": shard_scaled_down,
+            }),
+        ]),
+    });
+    let pretty = serde_json::to_string_pretty(&sjson).expect("serializable");
+    std::fs::write(&out_sharded, pretty + "\n").expect("write sharded bench json");
+    eprintln!("wrote {out_sharded}");
+
+    if check && !shard_pass {
+        eprintln!(
+            "GATE FAILED: 2-shard insert+query throughput ({tput_2shard:.0} ops/s) did not \
+             reach {shard_threshold:.1}x the 1-shard throughput ({tput_1shard:.0} ops/s) on \
+             {cores} cores"
+        );
         std::process::exit(1);
     }
 }

@@ -6,90 +6,104 @@
 //! The engine is the intended public entry point. Build it once from a
 //! trained [`GcnModel`] and a classified [`GraphDb`], generate views
 //! with [`Engine::explain_all`] / [`Engine::explain_label`] /
-//! [`Engine::stream`] (each returns a [`ViewId`] handle into the store),
-//! and answer the paper's motivating questions with [`Engine::query`] —
-//! index probes, not database scans.
+//! [`Engine::stream`] (each returns a [`ViewId`] handle), and answer
+//! the paper's motivating questions with [`Engine::query`] — index
+//! probes, not database scans.
+//!
+//! # Sharded architecture
+//!
+//! Since the sharded redesign the engine is a **router facade over N
+//! label-partitioned shards** (default N = 1, which behaves exactly
+//! like the previous monolithic engine). Each shard is a thin wrapper
+//! over the previous engine's mutable state — its own [`GraphDb`]
+//! (allocating ids with the shard's bits, see [`gvex_graph::shard`]),
+//! its own [`ViewStore`], its own writer mutex and live-view registry —
+//! while the model, configuration, context cache, snapshot pins, and
+//! rayon pool stay shared:
+//!
+//! - **routing**: an arrival is classified and placed in the shard
+//!   owning its predicted label (`label mod N`), so every label group
+//!   `G^l` is fully shard-local and explanation/maintenance work for a
+//!   label never crosses a shard boundary. Resolving any [`GraphId`] or
+//!   [`ViewId`] back to its shard is O(1) from the id's shard bits;
+//!   ids whose shard bits decode out of range resolve to `None`/skip,
+//!   never to a panic or an aliased slot;
+//! - **epochs**: a single atomic watermark clock stamps every commit.
+//!   The clock only advances while the committing mutator holds the
+//!   database write locks of every shard it stamps, so
+//!   [`Engine::snapshot`] — which acquires every shard's read lock (in
+//!   ascending shard order, as all multi-shard acquisition here) and
+//!   then reads the clock — pins a frontier at which each shard's
+//!   clone is complete: no commit with an epoch at or below the
+//!   watermark can land after the snapshot observed it;
+//! - **scatter-gather queries**: [`Engine::query`] plans which shards
+//!   can contribute — a label-filtered query touches only the shards
+//!   whose stores have seen that ground-truth label (one shard, when
+//!   predictions match truths), a view-constrained query only the
+//!   shards owning the listed views — takes the planned read guards up
+//!   front for batch atomicity, fans the per-shard probes out on the
+//!   engine pool, and merges postings and per-label counts
+//!   ([`Engine::shard_probes`] counts shards touched, the scaling
+//!   diagnostic);
+//! - **multi-writer scaling**: mutators serialize per shard, not
+//!   globally. Two inserts routed to different shards commit and
+//!   maintain their label views fully in parallel — the first true
+//!   multi-writer scaling in the engine (the previous design
+//!   serialized every mutator on one global mutex).
 //!
 //! # Concurrent serving
 //!
-//! Since the concurrent-serving redesign **every method takes `&self`**
-//! and the engine is `Send + Sync`: share it behind an
-//! [`Arc`] and serve queries from as many threads as the
-//! hardware offers while views are being (re)built. Internally the
-//! state is split along the read/write axis:
+//! As before, **every method takes `&self`** and the engine is
+//! `Send + Sync`: share it behind an [`Arc`] and serve queries from as
+//! many threads as the hardware offers while views are being (re)built.
+//! The read path ([`Engine::query`], [`Engine::snapshot`],
+//! [`Engine::view_set`], accessors) takes only short shared locks; the
+//! write path ([`Engine::insert_graphs`], [`Engine::remove_graphs`],
+//! the explain family, [`Engine::compact`]) serializes on the affected
+//! shards' writer mutexes, commits under brief exclusive sections, and
+//! runs expensive explanation work on copy-on-write clones with no lock
+//! held. Explanation fan-out runs on the engine-owned rayon pool
+//! ([`EngineBuilder::threads`]).
 //!
-//! - the **read path** — [`Engine::query`], [`Engine::snapshot`],
-//!   [`Engine::view_set`], [`Engine::staleness`], [`Engine::context`],
-//!   the accessors — takes only short shared locks (an `RwLock` read
-//!   guard over the database, the store's interior locks) and never
-//!   blocks behind view generation;
-//! - the **write path** — [`Engine::insert_graphs`],
-//!   [`Engine::remove_graphs`], [`Engine::explain_all`] /
-//!   [`Engine::explain_label`] / [`Engine::stream`] and their subset
-//!   variants, [`Engine::compact`] — serializes on a writer lock. A
-//!   mutator commits its database change under a brief exclusive
-//!   section, then runs the expensive explanation / maintenance work on
-//!   a copy-on-write clone *without holding any lock*, so concurrent
-//!   readers keep answering throughout;
-//! - explanation fan-out runs on an **engine-owned rayon pool**
-//!   ([`EngineBuilder::threads`], built via
-//!   [`parallel::explainer_pool`]): [`Engine::explain_all`]
-//!   parallelizes across label groups (and, inside each group, across
-//!   graphs — §A.7 / Fig 9e), and batch-insert maintenance streams
-//!   per-label deltas in parallel. Results are identical to the
-//!   sequential path (canonical graph-id-sorted view shape).
-//!
-//! The database **mutates under readers**:
-//!
-//! - [`Engine::insert_graph`] / [`Engine::insert_graphs`] allocate fresh
-//!   [`GraphId`]s, run model inference to place each arrival in its
-//!   label group, incrementally extend the query indexes, and advance
-//!   the head [`Epoch`];
-//! - [`Engine::remove_graphs`] tombstones graphs, their postings, and
-//!   their cached contexts, then compacts whatever no pinned snapshot
-//!   can still observe;
-//! - [`Engine::snapshot`] pins the current epoch and returns a
-//!   [`Snapshot`] — a `Send + Sync` read view that keeps answering
-//!   queries against exactly the state it was taken at while the writer
-//!   advances the head;
-//! - label views registered by [`Engine::explain_label`] /
-//!   [`Engine::stream`] are **incrementally maintained**: a mutation's
-//!   delta graphs are fed through
-//!   [`StreamGvex::stream_with_context`] (the paper's one-pass
-//!   streaming algorithm as the delta-application engine) and the
-//!   affected view gains a new version in place of a full recompute. A
-//!   configurable staleness bound ([`EngineBuilder::staleness_bound`])
-//!   triggers a full recompute fallback so quality never drifts below
-//!   the streaming guarantee.
+//! The database **mutates under readers**: inserts/removals advance the
+//! watermark, incrementally extend the query indexes, and stream deltas
+//! into registered label views (full recompute past the
+//! [`EngineBuilder::staleness_bound`]); [`Engine::snapshot`] pins a
+//! consistent cross-shard frontier that keeps answering while the
+//! writers advance.
 //!
 //! ```no_run
 //! use gvex_core::{query::ViewQuery, Config, Engine};
 //! # let model = gvex_gnn::GcnModel::new(2, 8, 2, 3, 1);
 //! # let db = gvex_graph::GraphDb::new();
 //! # let arrival = gvex_graph::Graph::new(2);
-//! let engine = Engine::builder(model, db).config(Config::with_bounds(0, 8)).build();
+//! let engine = Engine::builder(model, db)
+//!     .config(Config::with_bounds(0, 8))
+//!     .shards(2) // label-partitioned; default 1 = previous behavior
+//!     .build();
 //! let view = engine.explain_label(1);
-//! let snap = engine.snapshot(); // readers pin this epoch
+//! let snap = engine.snapshot(); // readers pin the cross-shard frontier
 //! let (id, epoch) = engine.insert_graph(arrival, None); // head advances
-//! let p = engine.store().view(view).patterns[0].clone();
+//! let p = engine.view(view).expect("just generated").patterns[0].clone();
 //! let now = engine.query(&ViewQuery::pattern(p.clone()).label(0)); // sees the arrival
 //! let then = snap.query(&ViewQuery::pattern(p).label(0)); // does not
 //! ```
 
-use crate::query::{QueryResult, ViewQuery};
-use crate::snapshot::Pins;
+use crate::query::{self, QueryResult, ViewQuery};
+use crate::snapshot::{Pins, SnapShard};
 use crate::store::{ViewId, ViewStore};
 use crate::{
     parallel, ApproxGvex, Config, ContextCache, GraphContext, Snapshot, StreamGvex, ViewSet,
 };
 use gvex_gnn::GcnModel;
-use gvex_graph::{ClassLabel, Epoch, Graph, GraphDb, GraphId};
+use gvex_graph::{shard, ClassLabel, Epoch, Graph, GraphDb, GraphId, ShardId};
 use gvex_pattern::vf2;
 use rayon::prelude::*;
 use rayon::ThreadPool;
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::ops::Deref;
-use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Builder for [`Engine`].
 #[derive(Debug)]
@@ -101,6 +115,7 @@ pub struct EngineBuilder {
     context_capacity: usize,
     staleness_bound: usize,
     threads: usize,
+    shards: usize,
 }
 
 impl EngineBuilder {
@@ -115,6 +130,7 @@ impl EngineBuilder {
             context_capacity: usize::MAX,
             staleness_bound: 32,
             threads: 0,
+            shards: 1,
         }
     }
 
@@ -150,40 +166,85 @@ impl EngineBuilder {
     /// Width of the engine-owned explainer pool (§A.7 / Fig 9e). `0`
     /// (the default) means "hardware parallelism". Every explanation
     /// fan-out — [`Engine::explain_all`] across label groups, per-graph
-    /// parallelism within a group, batch-insert delta maintenance —
-    /// runs on this pool, and nested fan-outs share the pool's width
-    /// budget (total concurrency stays bounded by the pool);
-    /// if the pool cannot be built (thread spawning failed) the engine
-    /// degrades to the global pool instead of aborting (see
+    /// parallelism within a group, batch-insert delta maintenance, the
+    /// scatter phase of multi-shard queries — runs on this pool, and
+    /// nested fan-outs share the pool's width budget; if the pool
+    /// cannot be built (thread spawning failed) the engine degrades to
+    /// the global pool instead of aborting (see
     /// [`parallel::explainer_pool`]).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
+    /// Number of label-partitioned shards (see the module docs).
+    /// Clamped to `1..=`[`shard::MAX`]. The default, 1, reproduces the
+    /// previous monolithic engine exactly (shard-0 ids are numerically
+    /// identical to unsharded ids). With `n > 1` the seed database is
+    /// resharded at build time: each live graph moves to the shard
+    /// owning its predicted label (ground truth standing in for
+    /// never-classified graphs), so the routing invariant — label group
+    /// `l` lives wholly in shard `l mod n` — holds from the start.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.clamp(1, shard::MAX);
+        self
+    }
+
     /// Builds the engine: constructs both algorithms from the
     /// configuration, the (bounded) context cache, the explainer pool,
-    /// and an empty view store indexed over the database.
+    /// and the shard set — each with an empty view store indexed over
+    /// its partition of the database.
     pub fn build(self) -> Engine {
         let mut approx = ApproxGvex::new(self.config.clone());
         approx.verify_scan_limit = self.verify_scan_limit;
         let stream = StreamGvex::new(self.config.clone());
         let contexts =
             Arc::new(ContextCache::with_capacity(self.config.clone(), self.context_capacity));
-        let store = Arc::new(ViewStore::new(&self.db));
         let pool = parallel::explainer_pool(self.threads).map(Arc::new);
+        let clock = AtomicU64::new(self.db.epoch().0);
+        let dbs: Vec<GraphDb> = if self.shards == 1 {
+            // Single shard: adopt the seed database unchanged
+            // (tombstones, epochs, and ids all preserved).
+            vec![self.db]
+        } else {
+            let mut dbs: Vec<GraphDb> =
+                (0..self.shards).map(|s| GraphDb::with_shard(s as ShardId)).collect();
+            for db in &mut dbs {
+                db.sync_epoch(self.db.epoch());
+            }
+            for (id, g, _, _) in self.db.iter_all_payloads() {
+                if !self.db.contains(id) {
+                    continue; // no snapshot can pin a pre-build tombstone
+                }
+                let predicted = self.db.predicted(id);
+                let owner = predicted.unwrap_or_else(|| self.db.truth(id)) as usize % self.shards;
+                let nid = dbs[owner].push(g.clone(), self.db.truth(id));
+                if let Some(l) = predicted {
+                    dbs[owner].set_predicted(nid, l);
+                }
+            }
+            dbs
+        };
+        let shards = dbs
+            .into_iter()
+            .map(|db| Shard {
+                store: Arc::new(ViewStore::new(&db)),
+                db: RwLock::new(db),
+                live: Mutex::new(FxHashMap::default()),
+                writer: Mutex::new(()),
+            })
+            .collect();
         Engine {
             model: self.model,
             config: self.config,
             approx,
             stream,
             contexts,
-            store,
             pins: Arc::new(Pins::default()),
             pool,
-            db: RwLock::new(self.db),
-            live: Mutex::new(FxHashMap::default()),
-            writer: Mutex::new(()),
+            shards,
+            clock,
+            probes: AtomicU64::new(0),
             staleness_bound: self.staleness_bound,
         }
     }
@@ -198,7 +259,9 @@ enum ViewAlgo {
     Stream { fraction: f64 },
 }
 
-/// Maintenance registration of one label's current view.
+/// Maintenance registration of one label's current view. `id` is the
+/// owning shard's **store-local** view id (the global handle adds the
+/// shard bits at the API boundary).
 #[derive(Debug, Clone, Copy)]
 struct LiveView {
     id: ViewId,
@@ -207,20 +270,37 @@ struct LiveView {
     staleness: usize,
 }
 
-/// Shared read guard over the engine's database, handed out by
+/// One label-partitioned shard: the previous monolithic engine's
+/// mutable state, minus everything that stays shared (model, config,
+/// contexts, pins, pool, watermark clock).
+#[derive(Debug)]
+struct Shard {
+    db: RwLock<GraphDb>,
+    store: Arc<ViewStore>,
+    /// Label → the view incremental maintenance keeps current
+    /// (labels routing to this shard only).
+    live: Mutex<FxHashMap<ClassLabel, LiveView>>,
+    /// Serializes this shard's mutators: held across a whole insert /
+    /// remove / explain touching the shard, so commit sections and
+    /// maintenance never interleave *within* a shard, while mutators of
+    /// other shards — and readers everywhere — proceed.
+    writer: Mutex<()>,
+}
+
+/// Shared read guard over one shard's database, handed out by
 /// [`Engine::db`]. Dereferences to [`GraphDb`], so existing
 /// `engine.db().label_group(l)`-style call sites keep working; pass
 /// `&engine.db()` where a `&GraphDb` parameter is expected.
 ///
-/// While the guard is alive the writer half of the engine cannot commit
-/// a mutation (it is a read lock). Treat the guard as a short borrow
-/// for direct [`GraphDb`] access only: drop it before calling **any**
-/// other engine method from the same thread. A write method would
-/// deadlock against your own guard directly, and even a read method
-/// ([`Engine::query`], [`Engine::snapshot`], [`Engine::head`], …) can
-/// deadlock, because `std::sync::RwLock` read locks are not reentrant —
-/// once a writer is queued behind your guard, your second read
-/// acquisition queues behind *that writer*.
+/// While the guard is alive that shard's writers cannot commit (it is a
+/// read lock). Treat the guard as a short borrow for direct [`GraphDb`]
+/// access only: drop it before calling **any** other engine method from
+/// the same thread. A write method would deadlock against your own
+/// guard directly, and even a read method ([`Engine::query`],
+/// [`Engine::snapshot`], [`Engine::head`], …) can deadlock, because
+/// `std::sync::RwLock` read locks are not reentrant — once a writer is
+/// queued behind your guard, your second read acquisition queues behind
+/// *that writer*.
 #[derive(Debug)]
 pub struct DbGuard<'a>(RwLockReadGuard<'a, GraphDb>);
 
@@ -234,7 +314,8 @@ impl Deref for DbGuard<'_> {
 
 /// The unified explanation engine (see module docs). `Send + Sync`:
 /// share it behind an [`Arc`] — queries and snapshots run concurrently
-/// with mutation and view (re)builds.
+/// with mutation and view (re)builds, and mutators of different shards
+/// run concurrently with each other.
 #[derive(Debug)]
 pub struct Engine {
     model: GcnModel,
@@ -242,17 +323,18 @@ pub struct Engine {
     approx: ApproxGvex,
     stream: StreamGvex,
     contexts: Arc<ContextCache>,
-    store: Arc<ViewStore>,
     pins: Arc<Pins>,
     /// Engine-owned explainer pool; `None` falls back to the global pool.
     pool: Option<Arc<ThreadPool>>,
-    db: RwLock<GraphDb>,
-    /// Label → the view incremental maintenance keeps current.
-    live: Mutex<FxHashMap<ClassLabel, LiveView>>,
-    /// Serializes mutators: held across a whole insert / remove /
-    /// explain so their commit sections and maintenance never
-    /// interleave, while readers (who never take it) proceed.
-    writer: Mutex<()>,
+    shards: Vec<Shard>,
+    /// The global watermark clock. Advanced only by [`Engine::tick`],
+    /// under the database write locks of every shard the new epoch
+    /// stamps — the invariant [`Engine::snapshot`]'s consistency rests
+    /// on (module docs).
+    clock: AtomicU64,
+    /// Cumulative count of shard stores consulted by [`Engine::query`]
+    /// — the scatter width diagnostic ([`Engine::shard_probes`]).
+    probes: AtomicU64,
     staleness_bound: usize,
 }
 
@@ -267,10 +349,14 @@ impl Engine {
         &self.model
     }
 
-    /// Shared read access to the graph database (at the head epoch).
-    /// See [`DbGuard`] for the locking contract.
+    /// Shared read access to **shard 0's** graph database at the head
+    /// epoch — on a default single-shard engine, the whole database.
+    /// On a sharded engine use [`Engine::snapshot`] (or
+    /// [`Engine::query`]) for cross-shard reads; this accessor keeps
+    /// single-shard call sites source-compatible. See [`DbGuard`] for
+    /// the locking contract.
     pub fn db(&self) -> DbGuard<'_> {
-        DbGuard(self.db.read().expect("db lock"))
+        DbGuard(self.shards[0].db.read().expect("db lock"))
     }
 
     /// The configuration the engine was built with.
@@ -278,9 +364,26 @@ impl Engine {
         &self.config
     }
 
-    /// The view store (views + query indexes).
+    /// **Shard 0's** view store (views + query indexes) — on a default
+    /// single-shard engine, the whole store. Sharded engines resolve
+    /// global view handles with [`Engine::view`] /
+    /// [`Engine::query`] instead.
     pub fn store(&self) -> &ViewStore {
-        &self.store
+        &self.shards[0].store
+    }
+
+    /// Number of label-partitioned shards (1 = unsharded behavior).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cumulative number of shard stores consulted by [`Engine::query`]
+    /// since the engine was built. A label-filtered query on a sharded
+    /// engine should advance this by 1 (its owning shard), an
+    /// unconstrained query by [`Engine::num_shards`] — the probe-count
+    /// scaling diagnostic the benchmarks gate on.
+    pub fn shard_probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
     }
 
     /// Width of the engine-owned explainer pool (0 when the engine fell
@@ -289,10 +392,10 @@ impl Engine {
         self.pool.as_ref().map_or(0, |p| p.current_num_threads())
     }
 
-    /// The head epoch: every committed mutation is visible at or before
-    /// this stamp.
+    /// The head epoch — the watermark: every committed mutation is
+    /// visible at or before this stamp.
     pub fn head(&self) -> Epoch {
-        self.db.read().expect("db lock").epoch()
+        Epoch(self.clock.load(Ordering::SeqCst))
     }
 
     /// Number of currently pinned snapshots.
@@ -300,13 +403,39 @@ impl Engine {
         self.pins.len()
     }
 
+    /// The shard owning `label`'s group.
+    fn route(&self, label: ClassLabel) -> usize {
+        label as usize % self.shards.len()
+    }
+
+    /// The shard owning a shard-bit-carrying id (graph or view), or
+    /// `None` when the bits decode out of this engine's range — the
+    /// router never indexes out of bounds on a malformed id.
+    fn shard_of(&self, raw: u32) -> Option<usize> {
+        let s = shard::of(raw) as usize;
+        (s < self.shards.len()).then_some(s)
+    }
+
+    /// Allocates the next watermark epoch.
+    ///
+    /// Callers must hold the database write locks of every shard whose
+    /// state the returned epoch will stamp, and must commit that state
+    /// before releasing them — otherwise a concurrent
+    /// [`Engine::snapshot`] could pin a watermark at or above the
+    /// returned epoch without seeing the commit.
+    fn tick(&self) -> Epoch {
+        Epoch(self.clock.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
     /// The memoized per-graph context for `id` (built on first access),
-    /// or `None` when `id` is removed, compacted, or never allocated.
+    /// or `None` when `id` is removed, compacted, never allocated, or
+    /// carries out-of-range shard bits.
     pub fn context(&self, id: GraphId) -> Option<Arc<GraphContext>> {
+        let sh = &self.shards[self.shard_of(id)?];
         // Take the payload handle under the read lock, build outside it:
         // context construction is the expensive per-graph precomputation
         // and must not block writers.
-        let g = self.db.read().expect("db lock").graph_arc(id)?;
+        let g = sh.db.read().expect("db lock").graph_arc(id)?;
         let ctx = self.contexts.get(&self.model, &g, id);
         // Re-check liveness after the (lock-free) build: a concurrent
         // `remove_graphs` may have evicted `id`'s cache entry between
@@ -314,7 +443,7 @@ impl Engine {
         // entry we just (re)inserted would outlive the graph forever —
         // ids are never reused. Whichever of the two eviction attempts
         // runs last wins, so the dead entry cannot leak.
-        if !self.db.read().expect("db lock").contains(id) {
+        if !sh.db.read().expect("db lock").contains(id) {
             self.contexts.remove(&[id]);
             return None;
         }
@@ -328,25 +457,42 @@ impl Engine {
 
     // ---- snapshots & mutation -----------------------------------------
 
-    /// Pins the head epoch and returns a consistent read view. The
-    /// snapshot is `Send + Sync`: move it to a reader thread while this
-    /// engine keeps mutating. See [`Snapshot`].
+    /// Pins the watermark and returns a consistent cross-shard read
+    /// view. All shard read locks are taken (ascending) before the
+    /// watermark is read, so every commit stamped at or below the
+    /// pinned epoch is contained in the snapshot's clones — the
+    /// module-docs frontier invariant. The snapshot is `Send + Sync`:
+    /// move it to a reader thread while this engine keeps mutating. See
+    /// [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
-        // Clone and pin under one read guard: a writer cannot slip a
-        // compaction between the clone and the pin, because the floor is
-        // computed under the write lock this guard excludes.
-        let db = self.db.read().expect("db lock");
-        Snapshot::pin(db.clone(), Arc::clone(&self.store), Arc::clone(&self.pins))
+        let guards: Vec<RwLockReadGuard<'_, GraphDb>> =
+            self.shards.iter().map(|s| s.db.read().expect("db lock")).collect();
+        let w = self.head();
+        let snap_shards: Vec<SnapShard> = guards
+            .iter()
+            .zip(&self.shards)
+            .map(|(g, s)| {
+                let mut db = (**g).clone();
+                db.sync_epoch(w);
+                SnapShard { db, store: Arc::clone(&s.store) }
+            })
+            .collect();
+        // Pin while the read guards are still held: the compaction
+        // floor is computed under the write locks these guards exclude,
+        // so a concurrent compact either sees this pin or completes
+        // before the pinned epoch existed.
+        Snapshot::pin(w, snap_shards, Arc::clone(&self.pins))
     }
 
-    /// Inserts one graph at a fresh epoch: allocates its [`GraphId`],
-    /// runs model inference to place it in its label group (`truth:
-    /// None` uses the prediction as the ground-truth stand-in),
-    /// incrementally extends the query indexes, and — when the label's
-    /// view is registered for maintenance — applies the arrival as a
-    /// streaming delta to that view. Returns the id and the epoch the
-    /// batch committed at (view maintenance then commits at its own
-    /// follow-up epoch, so [`Engine::head`] may be one ahead).
+    /// Inserts one graph at a fresh epoch: allocates its [`GraphId`]
+    /// (in the shard owning its predicted label), runs model inference
+    /// to place it in its label group (`truth: None` uses the
+    /// prediction as the ground-truth stand-in), incrementally extends
+    /// the query indexes, and — when the label's view is registered for
+    /// maintenance — applies the arrival as a streaming delta to that
+    /// view. Returns the id and the epoch the batch committed at (view
+    /// maintenance then commits at its own follow-up epoch, so
+    /// [`Engine::head`] may be one ahead).
     pub fn insert_graph(&self, g: Graph, truth: Option<ClassLabel>) -> (GraphId, Epoch) {
         let (ids, epoch) = self.insert_graphs(vec![(g, truth)]);
         (ids[0], epoch)
@@ -357,83 +503,117 @@ impl Engine {
     /// new version covering the whole batch, committed at a follow-up
     /// epoch once the deltas have streamed — so a snapshot pinned while
     /// maintenance was in flight keeps its repeatable reads. Model
-    /// inference over the batch and the per-label view maintenance both
-    /// fan out on the engine pool; only the database/index commit itself
-    /// runs under the exclusive lock, so concurrent readers observe
-    /// either the whole batch or none of it.
+    /// inference and pattern-index matching fan out on the engine pool
+    /// before any lock; only the database/index commit itself runs under
+    /// the affected shards' exclusive locks, so concurrent readers
+    /// observe either the whole batch or none of it. Batches routed to
+    /// disjoint shards proceed fully in parallel.
     pub fn insert_graphs(&self, batch: Vec<(Graph, Option<ClassLabel>)>) -> (Vec<GraphId>, Epoch) {
-        // Inference before any lock — including the writer lock:
-        // classification of the arrivals is the expensive half of
-        // admission, depends only on the immutable model and the
-        // caller's own batch, and should overlap across concurrent
-        // inserters instead of serializing behind them.
+        if batch.is_empty() {
+            return (Vec::new(), self.head());
+        }
         // Classification and pattern-index matching of each arrival are
-        // both pre-computed here, in parallel, against the immutable
-        // model and the append-only index entries: index entries
+        // pre-computed here, in parallel, against the immutable model
+        // and the owning shard's append-only index entries: entries
         // memoized after this point are re-checked by `commit_arrival`.
         let prep: Vec<(ClassLabel, crate::store::ArrivalMatch)> = self.on_pool(|| {
             batch
                 .par_iter()
-                .map(|(g, _)| (self.model.predict(g), self.store.match_arrival(g)))
+                .map(|(g, _)| {
+                    let l = self.model.predict(g);
+                    (l, self.shards[self.route(l)].store.match_arrival(g))
+                })
                 .collect()
         });
-        let _w = self.writer.lock().expect("writer lock");
+        let affected = sorted_shards(prep.iter().map(|(l, _)| self.route(*l)));
+        let _w = self.writer_guards(&affected);
         let mut ids = Vec::with_capacity(batch.len());
-        let mut by_label: FxHashMap<ClassLabel, Vec<GraphId>> = FxHashMap::default();
+        let mut work: FxHashMap<usize, FxHashMap<ClassLabel, Vec<GraphId>>> = FxHashMap::default();
         // Commit section: database rows and index postings change
-        // together under the exclusive lock, so a concurrent reader
-        // (who queries under the read lock) never sees an arrival
-        // whose postings are missing. The lock covers only the splices —
-        // the VF2 matching already happened above.
-        let (epoch, db) = {
-            let mut db = self.db.write().expect("db lock");
-            let epoch = db.advance_epoch();
+        // together under the exclusive locks, so a concurrent reader
+        // never sees an arrival whose postings are missing. The locks
+        // cover only the splices — the VF2 matching already happened.
+        let (epoch, clones) = {
+            let mut guards = self.db_write_guards(&affected);
+            let epoch = self.tick();
+            for (_, db) in guards.iter_mut() {
+                db.sync_epoch(epoch);
+            }
             for ((g, truth), (predicted, matched)) in batch.into_iter().zip(prep) {
+                let s = self.route(predicted);
+                let pos = affected.binary_search(&s).expect("shard in affected set");
+                let db = &mut *guards[pos].1;
                 let id = db.push(g, truth.unwrap_or(predicted));
                 db.set_predicted(id, predicted);
-                self.store.commit_arrival(&db, id, epoch, &matched);
-                by_label.entry(predicted).or_default().push(id);
+                self.shards[s].store.commit_arrival(db, id, epoch, &matched);
+                work.entry(s).or_default().entry(predicted).or_default().push(id);
                 ids.push(id);
             }
-            (epoch, db.clone())
+            let clones: Vec<(usize, GraphDb)> =
+                guards.iter().map(|(s, db)| (*s, (**db).clone())).collect();
+            (epoch, clones)
         };
-        // Maintenance runs on the commit-epoch clone with no lock held:
-        // readers keep answering at the head while the deltas stream.
-        self.maintain_labels(&db, sorted_label_work(by_label, FxHashMap::default()));
+        // Maintenance runs on the commit-epoch clones with no lock
+        // held: readers keep answering at the head while deltas stream.
+        self.maintain_shards(
+            &clones,
+            work.into_iter()
+                .map(|(s, by_label)| (s, sorted_label_work(by_label, FxHashMap::default())))
+                .collect(),
+        );
         (ids, epoch)
     }
 
     /// Removes graphs at a fresh epoch: tombstones their database slots
     /// and index postings, drops their cached contexts, updates each
     /// affected label view, and compacts state no pinned snapshot can
-    /// still observe. Unknown or already-removed ids are skipped.
-    /// Returns the epoch the removal batch committed at (as with
-    /// [`Engine::insert_graphs`], view maintenance then commits at its
-    /// own follow-up epoch, so [`Engine::head`] may be one ahead).
+    /// still observe. Unknown, already-removed, or malformed
+    /// (out-of-range shard bits) ids are skipped. Returns the epoch the
+    /// removal batch committed at (as with [`Engine::insert_graphs`],
+    /// view maintenance then commits at its own follow-up epoch, so
+    /// [`Engine::head`] may be one ahead).
     pub fn remove_graphs(&self, ids: &[GraphId]) -> Epoch {
-        let _w = self.writer.lock().expect("writer lock");
+        let affected = sorted_shards(ids.iter().filter_map(|&id| self.shard_of(id)));
+        if affected.is_empty() {
+            return self.head();
+        }
+        let _w = self.writer_guards(&affected);
         let mut removed = Vec::new();
-        let mut by_label: FxHashMap<ClassLabel, FxHashSet<GraphId>> = FxHashMap::default();
-        let (epoch, db) = {
-            let mut db = self.db.write().expect("db lock");
-            let epoch = db.advance_epoch();
+        let mut work: FxHashMap<usize, FxHashMap<ClassLabel, FxHashSet<GraphId>>> =
+            FxHashMap::default();
+        let (epoch, clones) = {
+            let mut guards = self.db_write_guards(&affected);
+            let epoch = self.tick();
+            for (_, db) in guards.iter_mut() {
+                db.sync_epoch(epoch);
+            }
             for &id in ids {
+                let Some(s) = self.shard_of(id) else { continue };
+                let pos = affected.binary_search(&s).expect("shard in affected set");
+                let db = &mut *guards[pos].1;
                 if !db.contains(id) {
                     continue;
                 }
                 let predicted = db.predicted(id);
                 if db.remove(id) {
-                    self.store.on_remove_graph(&db, id, epoch);
+                    self.shards[s].store.on_remove_graph(db, id, epoch);
                     if let Some(l) = predicted {
-                        by_label.entry(l).or_default().insert(id);
+                        work.entry(s).or_default().entry(l).or_default().insert(id);
                     }
                     removed.push(id);
                 }
             }
-            (epoch, db.clone())
+            let clones: Vec<(usize, GraphDb)> =
+                guards.iter().map(|(s, db)| (*s, (**db).clone())).collect();
+            (epoch, clones)
         };
         self.contexts.remove(&removed);
-        self.maintain_labels(&db, sorted_label_work(FxHashMap::default(), by_label));
+        self.maintain_shards(
+            &clones,
+            work.into_iter()
+                .map(|(s, by_label)| (s, sorted_label_work(FxHashMap::default(), by_label)))
+                .collect(),
+        );
         self.compact_inner();
         epoch
     }
@@ -445,80 +625,105 @@ impl Engine {
     /// long-lived snapshots to release their retained state. Returns the
     /// compaction floor used.
     pub fn compact(&self) -> Epoch {
-        let _w = self.writer.lock().expect("writer lock");
+        let all = sorted_shards(0..self.shards.len());
+        let _w = self.writer_guards(&all);
         self.compact_inner()
     }
 
-    /// Compaction body, called with the writer lock already held. The
-    /// floor is computed under the database write lock, so a snapshot
-    /// mid-pin (clone + pin under one read guard) is either fully
-    /// visible to the floor or takes its pin strictly after compaction.
+    /// Compaction body. The floor is computed while every shard's
+    /// database write lock is held, so a snapshot mid-pin (clone + pin
+    /// under the full read-guard set) is either fully visible to the
+    /// floor or takes its pin strictly after compaction.
     fn compact_inner(&self) -> Epoch {
         let floor = {
-            let mut db = self.db.write().expect("db lock");
-            let floor = self.pins.floor(db.epoch());
-            db.compact(floor);
+            let mut guards: Vec<RwLockWriteGuard<'_, GraphDb>> =
+                self.shards.iter().map(|s| s.db.write().expect("db lock")).collect();
+            let floor = self.pins.floor(self.head());
+            for db in guards.iter_mut() {
+                db.compact(floor);
+            }
             floor
         };
-        self.store.compact(floor);
+        for s in &self.shards {
+            s.store.compact(floor);
+        }
         floor
     }
 
-    /// Runs incremental maintenance for each `(label, added, removed)`
-    /// work item against `db` (the mutation's commit-epoch clone — no
-    /// engine lock is held). Labels fan out on the engine pool; each
-    /// label's new version is computed independently and the results are
-    /// committed in label order, so the store contents are identical to
-    /// the sequential path. The new versions are stamped at a **fresh
-    /// epoch** allocated after the computation: a snapshot pinned at the
-    /// mutation epoch while maintenance was still streaming keeps
-    /// resolving the version that was live when it pinned (repeatable
-    /// reads), instead of seeing the view flip underneath it.
-    fn maintain_labels(
-        &self,
-        db: &GraphDb,
-        work: Vec<(ClassLabel, Vec<GraphId>, FxHashSet<GraphId>)>,
-    ) {
-        if work.is_empty() {
-            return;
-        }
-        let computed: Vec<(ClassLabel, Option<(LiveView, crate::ExplanationView)>)> =
-            self.on_pool(|| {
-                work.par_iter()
-                    .map(|(label, added, removed)| {
-                        (*label, self.maintain_one(db, *label, added, removed))
-                    })
-                    .collect()
-            });
-        if computed.iter().all(|(_, outcome)| outcome.is_none()) {
-            return;
-        }
-        self.commit_views(|db| {
-            for (label, outcome) in computed {
-                if let Some((lv, view)) = outcome {
-                    self.store.push_version(lv.id, view, db);
-                    self.live.lock().expect("live view lock").insert(label, lv);
-                }
-            }
-        });
+    /// Writer mutexes of `affected` (ascending shard order — the
+    /// deadlock-free acquisition order shared by every multi-shard
+    /// path).
+    fn writer_guards(&self, affected: &[usize]) -> Vec<MutexGuard<'_, ()>> {
+        affected.iter().map(|&s| self.shards[s].writer.lock().expect("writer lock")).collect()
     }
 
-    /// Incremental view maintenance for `label` after a mutation at the
-    /// current head epoch: removed graphs' subgraphs are dropped, added
-    /// graphs are streamed through
+    /// Database write locks of `affected` (ascending shard order),
+    /// tagged with their shard index.
+    fn db_write_guards(&self, affected: &[usize]) -> Vec<(usize, RwLockWriteGuard<'_, GraphDb>)> {
+        affected.iter().map(|&s| (s, self.shards[s].db.write().expect("db lock"))).collect()
+    }
+
+    /// Runs incremental maintenance for each shard's
+    /// `(label, added, removed)` work items against that shard's
+    /// commit-epoch clone — no engine lock is held during computation.
+    /// All (shard, label) pairs fan out together on the engine pool;
+    /// results are then committed per shard in ascending shard order
+    /// (and label order within a shard), each shard's batch at its own
+    /// fresh watermark epoch, so the store contents are identical to
+    /// the sequential path and snapshots keep their repeatable reads.
+    fn maintain_shards(&self, clones: &[(usize, GraphDb)], work: Vec<(usize, LabelWork)>) {
+        let db_of = |s: usize| &clones.iter().find(|(c, _)| *c == s).expect("clone for shard").1;
+        let mut flat: Vec<(usize, ClassLabel, Vec<GraphId>, FxHashSet<GraphId>)> = work
+            .into_iter()
+            .flat_map(|(s, items)| items.into_iter().map(move |(l, a, r)| (s, l, a, r)))
+            .collect();
+        flat.sort_unstable_by_key(|(s, l, _, _)| (*s, *l));
+        if flat.is_empty() {
+            return;
+        }
+        let computed: Vec<(usize, ClassLabel, MaintainOutcome)> = self.on_pool(|| {
+            flat.par_iter()
+                .map(|(s, label, added, removed)| {
+                    (*s, *label, self.maintain_one(*s, db_of(*s), *label, added, removed))
+                })
+                .collect()
+        });
+        let mut by_shard: FxHashMap<usize, Vec<(ClassLabel, LiveView, crate::ExplanationView)>> =
+            FxHashMap::default();
+        for (s, label, outcome) in computed {
+            if let Some((lv, view)) = outcome {
+                by_shard.entry(s).or_default().push((label, lv, view));
+            }
+        }
+        for s in sorted_shards(by_shard.keys().copied()) {
+            let items = by_shard.remove(&s).expect("shard key");
+            self.commit_shard_views(s, |db, store| {
+                for (label, lv, view) in items {
+                    store.push_version(lv.id, view, db);
+                    self.shards[s].live.lock().expect("live view lock").insert(label, lv);
+                }
+            });
+        }
+    }
+
+    /// Incremental view maintenance for `label` (owned by shard `s`)
+    /// after a mutation at the current head epoch: removed graphs'
+    /// subgraphs are dropped, added graphs are streamed through
     /// [`StreamGvex::stream_with_context`] and merged, and the result is
     /// returned for commit as a new version of the label's registered
     /// view. Once the staleness bound is reached the whole view is
     /// recomputed with its original algorithm instead.
     fn maintain_one(
         &self,
+        s: usize,
         db: &GraphDb,
         label: ClassLabel,
         added: &[GraphId],
         removed: &FxHashSet<GraphId>,
     ) -> Option<(LiveView, crate::ExplanationView)> {
-        let lv = *self.live.lock().expect("live view lock").get(&label)?;
-        let old = self.store.get(lv.id)?;
+        let sh = &self.shards[s];
+        let lv = *sh.live.lock().expect("live view lock").get(&label)?;
+        let old = sh.store.get(lv.id)?;
         if lv.staleness >= self.staleness_bound {
             let ids = db.label_group(label);
             let view = match lv.algo {
@@ -547,14 +752,14 @@ impl Engine {
             ViewAlgo::Stream { fraction } => fraction,
         };
         let mut subgraphs: Vec<_> =
-            old.subgraphs.iter().filter(|s| !removed.contains(&s.graph_id)).cloned().collect();
+            old.subgraphs.iter().filter(|sg| !removed.contains(&sg.graph_id)).cloned().collect();
         let mut patterns = old.patterns.clone();
         if !removed.is_empty() {
             // Prune patterns whose only support was a removed subgraph;
             // `assemble_view` only ever *adds* coverage, so phantom
             // patterns would otherwise outlive every graph containing
             // them.
-            let induced: Vec<_> = subgraphs.iter().map(|s| s.induced(db).0).collect();
+            let induced: Vec<_> = subgraphs.iter().map(|sg| sg.induced(db).0).collect();
             patterns.retain(|p| induced.iter().any(|g| vf2::contains(p, g)));
         }
         // Stream each added graph independently (the per-graph phase of
@@ -585,42 +790,45 @@ impl Engine {
     /// its last full (re)compute — the staleness the next mutation
     /// compares against [`EngineBuilder::staleness_bound`].
     pub fn staleness(&self, label: ClassLabel) -> Option<usize> {
-        self.live.lock().expect("live view lock").get(&label).map(|lv| lv.staleness)
+        let sh = &self.shards[self.route(label)];
+        sh.live.lock().expect("live view lock").get(&label).map(|lv| lv.staleness)
     }
 
     // ---- view generation ----------------------------------------------
 
     /// Runs `f` in the engine-owned pool, or inline (global pool) when
     /// the engine fell back at build time.
-    fn on_pool<R>(&self, f: impl FnOnce() -> R) -> R {
+    fn on_pool<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
         match &self.pool {
             Some(pool) => pool.install(f),
             None => f(),
         }
     }
 
-    /// A copy-on-write clone of the head database — the working set of
-    /// one view-generation computation. Taken under a read guard: the
-    /// writer lock (held by every caller) keeps the content stable until
-    /// the matching [`Engine::commit_clone`].
-    fn read_clone(&self) -> GraphDb {
-        self.db.read().expect("db lock").clone()
+    /// A copy-on-write clone of shard `s`'s head database — the working
+    /// set of one view-generation computation. Taken under a read
+    /// guard: the shard's writer mutex (held by every caller) keeps the
+    /// content stable until the matching [`Engine::commit_shard_views`].
+    fn read_clone(&self, s: usize) -> GraphDb {
+        self.shards[s].db.read().expect("db lock").clone()
     }
 
-    /// Allocates a fresh head epoch and runs `commit` — the store
-    /// commits of freshly generated or maintained views — while the
-    /// database write lock is still held. The epoch is allocated *after*
-    /// the expensive computation, so a snapshot pinned while that
+    /// Allocates a fresh watermark epoch and runs `commit` — the store
+    /// commits of freshly generated or maintained views — while shard
+    /// `s`'s database write lock is held (satisfying the
+    /// [`Engine::tick`] contract). The epoch is allocated *after* the
+    /// expensive computation, so a snapshot pinned while that
     /// computation ran sits at a strictly older epoch; and because the
     /// lock is held until every version is pushed, a snapshot cannot pin
     /// the new epoch between its publication and the version flips that
     /// are stamped with it — the repeatable-read half of the snapshot
     /// contract. (Lock order db → store matches the mutation commit
     /// sections; the store never reaches back for the engine's locks.)
-    fn commit_views<R>(&self, commit: impl FnOnce(&GraphDb) -> R) -> R {
-        let mut db = self.db.write().expect("db lock");
-        db.advance_epoch();
-        commit(&db)
+    fn commit_shard_views<R>(&self, s: usize, commit: impl FnOnce(&GraphDb, &ViewStore) -> R) -> R {
+        let mut db = self.shards[s].db.write().expect("db lock");
+        let e = self.tick();
+        db.sync_epoch(e);
+        commit(&db, &self.shards[s].store)
     }
 
     /// Generates one view per label group of the database (the EVG
@@ -628,25 +836,28 @@ impl Engine {
     /// order. Each view is registered for incremental maintenance.
     ///
     /// Label groups fan out on the engine pool (§A.7): every group is
-    /// explained in parallel — and per-graph parallelism applies within
-    /// each group — with the views committed in label order, so handles
-    /// and view contents are identical to explaining the labels one by
-    /// one. The whole batch commits at one fresh epoch, allocated after
-    /// the computation. Queries from other threads keep being served
-    /// while generation is in flight.
+    /// explained in parallel — against its owning shard, with per-graph
+    /// parallelism within each group — and the views commit in label
+    /// order within each shard, so handles and view contents are
+    /// identical to explaining the labels one by one. Queries from
+    /// other threads keep being served while generation is in flight.
     pub fn explain_all(&self) -> Vec<ViewId> {
-        let _w = self.writer.lock().expect("writer lock");
-        let db = self.read_clone();
-        let labels = db.labels();
+        let all = sorted_shards(0..self.shards.len());
+        let _w = self.writer_guards(&all);
+        let clones: Vec<GraphDb> = (0..self.shards.len()).map(|s| self.read_clone(s)).collect();
+        let mut labels: Vec<ClassLabel> = clones.iter().flat_map(|db| db.labels()).collect();
+        labels.sort_unstable();
+        labels.dedup();
         let views: Vec<crate::ExplanationView> = self.on_pool(|| {
             labels
                 .par_iter()
                 .map(|&label| {
+                    let db = &clones[self.route(label)];
                     let ids = db.label_group(label);
                     parallel::explain_label_parallel(
                         &self.approx,
                         &self.model,
-                        &db,
+                        db,
                         label,
                         &ids,
                         None,
@@ -655,54 +866,67 @@ impl Engine {
                 })
                 .collect()
         });
-        self.commit_views(|db| {
-            labels
-                .into_iter()
-                .zip(views)
-                .map(|(label, view)| {
-                    let vid = self.store.insert(view, db);
-                    self.live
-                        .lock()
-                        .expect("live view lock")
-                        .insert(label, LiveView { id: vid, algo: ViewAlgo::Approx, staleness: 0 });
-                    vid
-                })
-                .collect()
-        })
+        let mut per_shard: FxHashMap<usize, Vec<(ClassLabel, crate::ExplanationView)>> =
+            FxHashMap::default();
+        for (label, view) in labels.iter().copied().zip(views) {
+            per_shard.entry(self.route(label)).or_default().push((label, view));
+        }
+        let mut handles: FxHashMap<ClassLabel, ViewId> = FxHashMap::default();
+        for s in sorted_shards(per_shard.keys().copied()) {
+            let items = per_shard.remove(&s).expect("shard key");
+            self.commit_shard_views(s, |db, store| {
+                for (label, view) in items {
+                    let local = store.insert(view, db);
+                    self.shards[s].live.lock().expect("live view lock").insert(
+                        label,
+                        LiveView { id: local, algo: ViewAlgo::Approx, staleness: 0 },
+                    );
+                    handles.insert(label, ViewId::sharded(s as ShardId, local));
+                }
+            });
+        }
+        labels.iter().map(|l| handles[l]).collect()
     }
 
     /// Generates the explanation view for `label`'s whole label group
     /// with `ApproxGVEX` (Algorithm 1), using cached contexts, inserts
-    /// it into the store, and registers it for incremental maintenance:
-    /// later [`Engine::insert_graph`] / [`Engine::remove_graphs`] calls
-    /// keep it current.
+    /// it into the owning shard's store, and registers it for
+    /// incremental maintenance: later [`Engine::insert_graph`] /
+    /// [`Engine::remove_graphs`] calls keep it current. Only the owning
+    /// shard's writer serializes — explanations of labels owned by
+    /// other shards proceed in parallel.
     pub fn explain_label(&self, label: ClassLabel) -> ViewId {
-        let _w = self.writer.lock().expect("writer lock");
-        let db = self.read_clone();
+        let s = self.route(label);
+        let _w = self.shards[s].writer.lock().expect("writer lock");
+        let db = self.read_clone(s);
         let ids = db.label_group(label);
-        let vid = self.explain_ids(&db, label, &ids);
-        self.live
+        let vid = self.explain_ids(s, &db, label, &ids);
+        self.shards[s]
+            .live
             .lock()
             .expect("live view lock")
-            .insert(label, LiveView { id: vid, algo: ViewAlgo::Approx, staleness: 0 });
+            .insert(label, LiveView { id: vid.local(), algo: ViewAlgo::Approx, staleness: 0 });
         vid
     }
 
     /// Like [`Engine::explain_label`] restricted to `ids` (e.g. a test
     /// split). Subset views are **not** registered for incremental
     /// maintenance — maintenance tracks whole label groups. Stale,
-    /// removed, or compacted ids in the subset are skipped (not a
-    /// panic): the view covers whatever the subset still names.
+    /// removed, compacted, or foreign-shard ids in the subset are
+    /// skipped (not a panic): the view covers whatever the subset still
+    /// names within `label`'s owning shard.
     pub fn explain_subset(&self, label: ClassLabel, ids: &[GraphId]) -> ViewId {
-        let _w = self.writer.lock().expect("writer lock");
-        let db = self.read_clone();
-        self.explain_ids(&db, label, ids)
+        let s = self.route(label);
+        let _w = self.shards[s].writer.lock().expect("writer lock");
+        let db = self.read_clone(s);
+        self.explain_ids(s, &db, label, ids)
     }
 
-    /// `ApproxGVEX` over `ids` against a head clone; no engine lock is
-    /// held during the explanation, so readers are served throughout.
-    /// The finished view commits at a fresh epoch.
-    fn explain_ids(&self, db: &GraphDb, label: ClassLabel, ids: &[GraphId]) -> ViewId {
+    /// `ApproxGVEX` over `ids` against shard `s`'s head clone; no
+    /// engine lock is held during the explanation, so readers are
+    /// served throughout. The finished view commits at a fresh
+    /// watermark epoch. Returns the global (shard-bit) handle.
+    fn explain_ids(&self, s: usize, db: &GraphDb, label: ClassLabel, ids: &[GraphId]) -> ViewId {
         let view = parallel::explain_label_parallel(
             &self.approx,
             &self.model,
@@ -712,36 +936,40 @@ impl Engine {
             self.pool.as_deref(),
             &self.contexts,
         );
-        self.commit_views(|db| self.store.insert(view, db))
+        let local = self.commit_shard_views(s, |db, store| store.insert(view, db));
+        ViewId::sharded(s as ShardId, local)
     }
 
     /// Generates `label`'s view with `StreamGVEX` (Algorithm 3),
     /// processing a prefix `fraction ∈ (0, 1]` of each node stream (the
-    /// anytime mode), inserts it into the store, and registers it for
-    /// incremental maintenance at the same fraction.
+    /// anytime mode), inserts it into the owning shard's store, and
+    /// registers it for incremental maintenance at the same fraction.
     pub fn stream(&self, label: ClassLabel, fraction: f64) -> ViewId {
-        let _w = self.writer.lock().expect("writer lock");
-        let db = self.read_clone();
+        let s = self.route(label);
+        let _w = self.shards[s].writer.lock().expect("writer lock");
+        let db = self.read_clone(s);
         let ids = db.label_group(label);
-        let vid = self.stream_ids(&db, label, &ids, fraction);
-        self.live
-            .lock()
-            .expect("live view lock")
-            .insert(label, LiveView { id: vid, algo: ViewAlgo::Stream { fraction }, staleness: 0 });
+        let vid = self.stream_ids(s, &db, label, &ids, fraction);
+        self.shards[s].live.lock().expect("live view lock").insert(
+            label,
+            LiveView { id: vid.local(), algo: ViewAlgo::Stream { fraction }, staleness: 0 },
+        );
         vid
     }
 
     /// Like [`Engine::stream`] restricted to `ids` (not registered for
-    /// maintenance). Stale ids are skipped, as in
+    /// maintenance). Stale or foreign-shard ids are skipped, as in
     /// [`Engine::explain_subset`].
     pub fn stream_subset(&self, label: ClassLabel, ids: &[GraphId], fraction: f64) -> ViewId {
-        let _w = self.writer.lock().expect("writer lock");
-        let db = self.read_clone();
-        self.stream_ids(&db, label, ids, fraction)
+        let s = self.route(label);
+        let _w = self.shards[s].writer.lock().expect("writer lock");
+        let db = self.read_clone(s);
+        self.stream_ids(s, &db, label, ids, fraction)
     }
 
     fn stream_ids(
         &self,
+        s: usize,
         db: &GraphDb,
         label: ClassLabel,
         ids: &[GraphId],
@@ -749,26 +977,72 @@ impl Engine {
     ) -> ViewId {
         let view =
             self.stream.explain_label_cached(&self.model, db, label, ids, fraction, &self.contexts);
-        self.commit_views(|db| self.store.insert(view, db))
+        let local = self.commit_shard_views(s, |db, store| store.insert(view, db));
+        ViewId::sharded(s as ShardId, local)
     }
 
-    /// Evaluates a [`ViewQuery`] against the store's indexes at the head
-    /// epoch. Concurrent with mutation: the query holds a shared read
-    /// guard for its duration, so it sees a committed batch in full or
-    /// not at all.
+    /// Resolves a global view handle to its current (head) version,
+    /// routing by the id's shard bits. `None` for stale, fully
+    /// tombstoned, or malformed (out-of-range shard bits) handles.
+    pub fn view(&self, id: ViewId) -> Option<Arc<crate::ExplanationView>> {
+        self.shards[self.shard_of(id.0)?].store.get(id.local())
+    }
+
+    /// Evaluates a [`ViewQuery`] against the head: plans the contributing
+    /// shards (label filter → shards that have seen the label; view
+    /// clauses → owning shards; unconstrained → all), takes their read
+    /// guards up front (batch atomicity: the query sees each committed
+    /// batch in full or not at all), scatters the per-shard probes on
+    /// the engine pool, and merges postings and per-label counts.
     pub fn query(&self, q: &ViewQuery) -> QueryResult {
-        let db = self.db.read().expect("db lock");
-        q.evaluate(&self.store, &db)
+        let plan =
+            query::plan_shards(self.shards.len(), q, |s, l| self.shards[s].store.has_label(l));
+        self.probes.fetch_add(plan.len() as u64, Ordering::Relaxed);
+        let guards: Vec<(usize, RwLockReadGuard<'_, GraphDb>)> =
+            plan.iter().map(|&s| (s, self.shards[s].db.read().expect("db lock"))).collect();
+        if let [(s, db)] = guards.as_slice() {
+            return q.for_shard(*s as ShardId).evaluate(&self.shards[*s].store, db);
+        }
+        let parts: Vec<QueryResult> = self.on_pool(|| {
+            guards
+                .par_iter()
+                .map(|(s, db)| q.for_shard(*s as ShardId).evaluate(&self.shards[*s].store, db))
+                .collect()
+        });
+        query::merge_shard_results(parts)
     }
 
-    /// Collects the current (head) versions of the stored views into a
-    /// plain [`ViewSet`] (e.g. for
+    /// Collects the current (head) versions of the stored views of
+    /// every shard (ascending shard order, insertion order within a
+    /// shard) into a plain [`ViewSet`] (e.g. for
     /// [`crate::export::viewset_to_portable`]).
     pub fn view_set(&self) -> ViewSet {
         ViewSet {
-            views: self.store.latest_views().into_iter().map(|(_, v)| (*v).clone()).collect(),
+            views: self
+                .shards
+                .iter()
+                .flat_map(|s| s.store.latest_views())
+                .map(|(_, v)| (*v).clone())
+                .collect(),
         }
     }
+}
+
+/// One shard's maintenance work list: per label, the graph ids added
+/// and removed by the mutation being maintained.
+type LabelWork = Vec<(ClassLabel, Vec<GraphId>, FxHashSet<GraphId>)>;
+
+/// Outcome of one `(shard, label)` maintenance item: the refreshed live
+/// registration plus the new view version, or `None` when the label has
+/// no registered view.
+type MaintainOutcome = Option<(LiveView, crate::ExplanationView)>;
+
+/// Sorted, deduplicated shard indices.
+fn sorted_shards(it: impl IntoIterator<Item = usize>) -> Vec<usize> {
+    let mut v: Vec<usize> = it.into_iter().collect();
+    v.sort_unstable();
+    v.dedup();
+    v
 }
 
 /// Flattens per-label mutation deltas into the maintenance work list,
@@ -777,7 +1051,7 @@ impl Engine {
 fn sorted_label_work(
     mut added: FxHashMap<ClassLabel, Vec<GraphId>>,
     mut removed: FxHashMap<ClassLabel, FxHashSet<GraphId>>,
-) -> Vec<(ClassLabel, Vec<GraphId>, FxHashSet<GraphId>)> {
+) -> LabelWork {
     let mut labels: Vec<ClassLabel> = added.keys().chain(removed.keys()).copied().collect();
     labels.sort_unstable();
     labels.dedup();

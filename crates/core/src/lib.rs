@@ -32,7 +32,13 @@
 //!   and the engine is `Send + Sync`: shared behind an `Arc`, it serves
 //!   queries concurrently with mutation and with view (re)builds, which
 //!   fan out on an engine-owned rayon pool
-//!   ([`engine::EngineBuilder::threads`]).
+//!   ([`engine::EngineBuilder::threads`]). The engine can further be
+//!   built as N label-group **shards** behind the same API
+//!   ([`engine::EngineBuilder::shards`]): arrivals route by predicted
+//!   label, disjoint-shard writers commit in parallel, queries
+//!   scatter-gather over shard-local indexes (label-filtered queries
+//!   touch only the owning shards), and a global watermark keeps
+//!   snapshots consistent across shards.
 
 pub mod approx;
 pub mod capabilities;

@@ -13,7 +13,7 @@
 
 use crate::store::{ViewId, ViewStore};
 use crate::ExplanationView;
-use gvex_graph::{ClassLabel, Epoch, GraphDb, GraphId};
+use gvex_graph::{ClassLabel, Epoch, GraphDb, GraphId, ShardId};
 use gvex_linalg::cmp_score;
 use gvex_pattern::Pattern;
 
@@ -119,6 +119,33 @@ impl ViewQuery {
         self.run(store, db, epoch, false)
     }
 
+    /// The label clause, if any (scatter-gather planning).
+    pub(crate) fn label_filter(&self) -> Option<ClassLabel> {
+        self.label
+    }
+
+    /// The view clauses (scatter-gather planning). Global (shard-bit)
+    /// ids as handed out by the sharded engine.
+    pub(crate) fn view_ids(&self) -> &[ViewId] {
+        &self.views
+    }
+
+    /// Shard-local projection: same pattern and label clauses, view
+    /// clauses restricted to the views `shard_id` owns and rewritten to
+    /// that shard's store-local ids.
+    ///
+    /// Callers must only project onto shards the planner selected: with
+    /// a non-empty view clause, projecting onto a shard owning none of
+    /// the listed views would yield an *unconstrained* local query, not
+    /// an empty one.
+    pub(crate) fn for_shard(&self, shard_id: ShardId) -> ViewQuery {
+        ViewQuery {
+            pattern: self.pattern.clone(),
+            label: self.label,
+            views: self.views.iter().filter(|v| v.shard() == shard_id).map(|v| v.local()).collect(),
+        }
+    }
+
     fn run(&self, store: &ViewStore, db: &GraphDb, epoch: Epoch, memoize: bool) -> QueryResult {
         let mut graphs: Vec<GraphId> = match (&self.pattern, self.views.is_empty()) {
             // Pattern over the whole database: one index probe.
@@ -175,6 +202,52 @@ impl ViewQuery {
         }
         QueryResult { graphs, per_label: counts.into_iter().collect() }
     }
+}
+
+/// Plans the scatter phase of a sharded query: the ascending shard
+/// indices that can contribute to `q` on an engine of `num` shards.
+///
+/// - view clauses win: only the shards owning a listed view are
+///   touched (ids whose shard bits decode out of range are dropped —
+///   a malformed handle constrains the query to nothing, it never
+///   panics);
+/// - otherwise a label clause prunes to the shards whose stores have
+///   seen that ground-truth label (`has_label` — one shard in the
+///   common predictions-match-truth regime);
+/// - an unconstrained query touches every shard.
+pub(crate) fn plan_shards(
+    num: usize,
+    q: &ViewQuery,
+    has_label: impl Fn(usize, ClassLabel) -> bool,
+) -> Vec<usize> {
+    let views = q.view_ids();
+    if !views.is_empty() {
+        let mut shards: Vec<usize> =
+            views.iter().map(|v| v.shard() as usize).filter(|&s| s < num).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        return shards;
+    }
+    if let Some(l) = q.label_filter() {
+        return (0..num).filter(|&s| has_label(s, l)).collect();
+    }
+    (0..num).collect()
+}
+
+/// Merges per-shard query results into one. `parts` must arrive in
+/// ascending shard order: shard bits are the top id bits, so the
+/// concatenation of per-shard sorted match lists is globally sorted
+/// without a re-sort. Per-label counts are summed.
+pub(crate) fn merge_shard_results(parts: Vec<QueryResult>) -> QueryResult {
+    let mut graphs = Vec::new();
+    let mut counts: std::collections::BTreeMap<ClassLabel, usize> = Default::default();
+    for part in parts {
+        graphs.extend(part.graphs);
+        for (l, c) in part.per_label {
+            *counts.entry(l).or_insert(0) += c;
+        }
+    }
+    QueryResult { graphs, per_label: counts.into_iter().collect() }
 }
 
 /// "Which graphs contain pattern `p`?" — a pattern-index probe.

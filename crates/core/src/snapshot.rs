@@ -1,13 +1,19 @@
 //! Pinned, consistent read views of an online [`crate::Engine`].
 //!
-//! A [`Snapshot`] freezes the engine at one [`Epoch`]: it owns a cheap
-//! copy-on-write clone of the [`GraphDb`] (payloads are shared behind
-//! `Arc`, so cloning is O(slots) pointer copies) and a shared handle to
-//! the epoch-aware [`ViewStore`]. Queries through the snapshot resolve
+//! A [`Snapshot`] freezes the engine at one watermark [`Epoch`]: for
+//! every shard it owns a cheap copy-on-write clone of that shard's
+//! [`GraphDb`] (payloads are shared behind `Arc`, so cloning is
+//! O(slots) pointer copies) and a shared handle to the shard's
+//! epoch-aware [`ViewStore`]. Queries through the snapshot resolve
 //! graphs, postings, and view *versions* as of the pinned epoch, so a
 //! reader never observes a half-applied mutation no matter how far the
-//! writer's head has advanced — the classical snapshot-isolation
-//! contract of incremental view maintenance systems.
+//! writers' heads have advanced — the classical snapshot-isolation
+//! contract of incremental view maintenance systems, extended across
+//! shards: the engine takes every shard's read lock before reading the
+//! watermark, and writers only advance the watermark under the write
+//! locks of the shards they stamp, so the pinned frontier is complete
+//! in every shard's clone (no commit at or below the watermark can
+//! land after the snapshot observed it).
 //!
 //! Snapshots are `Send + Sync`: hand one to a reader thread while the
 //! owning thread keeps calling [`crate::Engine::insert_graphs`] /
@@ -17,16 +23,16 @@
 //! still observe. Dropping the snapshot releases the pin.
 //!
 //! Pinning is race-free against compaction: [`crate::Engine::snapshot`]
-//! clones the database *and* records the pin under one database read
-//! guard, while the engine computes its compaction floor under the
-//! database write lock — a concurrent `compact` therefore either sees
-//! the pin (and preserves the snapshot's state) or finishes entirely
-//! before the snapshot's epoch exists.
+//! clones the shard databases *and* records the pin under the full
+//! read-guard set, while the engine computes its compaction floor under
+//! every shard's write lock — a concurrent `compact` therefore either
+//! sees the pin (and preserves the snapshot's state) or finishes
+//! entirely before the snapshot's epoch exists.
 
-use crate::query::{PatternHits, QueryResult, ViewQuery};
+use crate::query::{self, PatternHits, QueryResult, ViewQuery};
 use crate::store::{ViewId, ViewStore};
 use crate::ExplanationView;
-use gvex_graph::{Epoch, GraphDb, GraphId};
+use gvex_graph::{ClassLabel, Epoch, GraphDb, GraphId, ShardId};
 use gvex_pattern::Pattern;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -64,64 +70,111 @@ impl Pins {
     }
 }
 
-/// A consistent read view of the engine at one epoch (see module docs).
+/// One shard's frozen state inside a [`Snapshot`]: the database clone
+/// (synchronized to the snapshot watermark) plus the shared store
+/// handle whose epoch-stamped indexes the snapshot reads at its pin.
+#[derive(Debug)]
+pub(crate) struct SnapShard {
+    pub(crate) db: GraphDb,
+    pub(crate) store: Arc<ViewStore>,
+}
+
+/// A consistent read view of the engine at one watermark epoch (see
+/// module docs).
 #[derive(Debug)]
 pub struct Snapshot {
-    db: GraphDb,
-    store: Arc<ViewStore>,
+    epoch: Epoch,
+    shards: Vec<SnapShard>,
     pins: Arc<Pins>,
 }
 
 impl Snapshot {
-    pub(crate) fn pin(db: GraphDb, store: Arc<ViewStore>, pins: Arc<Pins>) -> Self {
-        pins.pin(db.epoch());
-        Self { db, store, pins }
+    pub(crate) fn pin(epoch: Epoch, shards: Vec<SnapShard>, pins: Arc<Pins>) -> Self {
+        pins.pin(epoch);
+        Self { epoch, shards, pins }
     }
 
-    /// The epoch this snapshot is pinned to.
+    /// The watermark epoch this snapshot is pinned to.
     pub fn epoch(&self) -> Epoch {
-        self.db.epoch()
+        self.epoch
     }
 
-    /// The pinned database: every accessor ([`GraphDb::iter`],
-    /// [`GraphDb::len`], [`GraphDb::label_group`], …) sees exactly the
-    /// graphs live at the snapshot epoch.
+    /// Number of shards frozen in this snapshot.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// **Shard 0's** pinned database — on a snapshot of a default
+    /// single-shard engine, the whole database: every accessor
+    /// ([`GraphDb::iter`], [`GraphDb::len`], [`GraphDb::label_group`],
+    /// …) sees exactly the graphs live at the snapshot epoch. Sharded
+    /// engines read across shards through [`Snapshot::query`] /
+    /// [`Snapshot::hits`] / [`Snapshot::len`] instead.
     pub fn db(&self) -> &GraphDb {
-        &self.db
+        &self.shards[0].db
     }
 
-    /// Number of graphs live at the snapshot epoch.
+    /// Number of graphs live at the snapshot epoch, across all shards.
     pub fn len(&self) -> usize {
-        self.db.len()
+        self.shards.iter().map(|s| s.db.len()).sum()
     }
 
     /// Whether the snapshot holds no live graphs.
     pub fn is_empty(&self) -> bool {
-        self.db.is_empty()
+        self.len() == 0
     }
 
-    /// Evaluates a [`ViewQuery`] as of the snapshot epoch.
+    /// Evaluates a [`ViewQuery`] as of the snapshot epoch:
+    /// scatter-gather over the pinned shard clones with the same shard
+    /// planning as the head path (label-filtered queries touch only the
+    /// shards that have seen the label, view clauses only the owning
+    /// shards).
     pub fn query(&self, q: &ViewQuery) -> QueryResult {
-        q.evaluate_at(&self.store, &self.db, self.epoch())
+        let plan =
+            query::plan_shards(self.shards.len(), q, |s, l| self.shards[s].store.has_label(l));
+        let parts: Vec<QueryResult> = plan
+            .iter()
+            .map(|&s| {
+                let sh = &self.shards[s];
+                q.for_shard(s as ShardId).evaluate_at(&sh.store, &sh.db, self.epoch)
+            })
+            .collect();
+        query::merge_shard_results(parts)
     }
 
     /// Which graphs (live at the snapshot epoch) contain `p`, with
-    /// per-label counts. Warm probes read the shared memoized pattern
-    /// index; cold probes scan the pinned clone without memoizing.
+    /// per-label counts, merged across shards. Warm probes read the
+    /// shared memoized pattern indexes; cold probes scan the pinned
+    /// clones without memoizing.
     pub fn hits(&self, p: &Pattern) -> PatternHits {
-        self.store.hits_at(p, &self.db, self.epoch())
+        let mut graphs = Vec::new();
+        let mut counts: BTreeMap<ClassLabel, usize> = BTreeMap::new();
+        for sh in &self.shards {
+            let part = sh.store.hits_at(p, &sh.db, self.epoch);
+            graphs.extend(part.graphs);
+            for (l, c) in part.per_label {
+                *counts.entry(l).or_insert(0) += c;
+            }
+        }
+        PatternHits { graphs, per_label: counts.into_iter().collect() }
     }
 
-    /// The version of view `id` that was current at the snapshot epoch
-    /// (`None` for foreign ids or views born later).
+    /// The version of view `id` that was current at the snapshot epoch,
+    /// routed by the handle's shard bits (`None` for foreign or
+    /// malformed ids and for views born later).
     pub fn view(&self, id: ViewId) -> Option<Arc<ExplanationView>> {
-        self.store.get_at(id, self.epoch())
+        let s = id.shard() as usize;
+        self.shards.get(s)?.store.get_at(id.local(), self.epoch)
     }
 
     /// Graph ids whose explanation subgraph in view `id` (as of the
-    /// snapshot epoch) contains `p`.
+    /// snapshot epoch) contains `p`. Empty for foreign or malformed
+    /// handles.
     pub fn view_hits(&self, p: &Pattern, id: ViewId) -> Vec<GraphId> {
-        self.store.view_hits_pinned(p, id, &self.db, self.epoch())
+        let Some(sh) = self.shards.get(id.shard() as usize) else {
+            return Vec::new();
+        };
+        sh.store.view_hits_pinned(p, id.local(), &sh.db, self.epoch)
     }
 }
 
@@ -129,13 +182,21 @@ impl Clone for Snapshot {
     /// Cloning re-pins the same epoch (each clone releases its own pin
     /// on drop).
     fn clone(&self) -> Self {
-        self.pins.pin(self.epoch());
-        Self { db: self.db.clone(), store: Arc::clone(&self.store), pins: Arc::clone(&self.pins) }
+        self.pins.pin(self.epoch);
+        Self {
+            epoch: self.epoch,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| SnapShard { db: s.db.clone(), store: Arc::clone(&s.store) })
+                .collect(),
+            pins: Arc::clone(&self.pins),
+        }
     }
 }
 
 impl Drop for Snapshot {
     fn drop(&mut self) {
-        self.pins.unpin(self.db.epoch());
+        self.pins.unpin(self.epoch);
     }
 }

@@ -47,7 +47,7 @@
 
 use crate::query::PatternHits;
 use crate::ExplanationView;
-use gvex_graph::{ClassLabel, Epoch, Graph, GraphDb, GraphId};
+use gvex_graph::{shard, ClassLabel, Epoch, Graph, GraphDb, GraphId, ShardId};
 use gvex_pattern::{vf2, Pattern};
 use rustc_hash::FxHashMap;
 use std::sync::{Arc, RwLock};
@@ -71,6 +71,25 @@ pub struct ArrivalMatch {
 impl ViewId {
     fn idx(self) -> usize {
         self.0 as usize
+    }
+
+    /// Packs a shard-local view id into the global id space, reusing the
+    /// shard-bit scheme of [`gvex_graph::shard`] — the top bits name the
+    /// owning shard, so routing a view id back to its shard is O(1).
+    /// Shard-0 ids are numerically identical to unsharded ids.
+    pub fn sharded(shard_id: ShardId, local: ViewId) -> ViewId {
+        ViewId(shard::compose(shard_id, local.0))
+    }
+
+    /// The shard that owns this view (decoded from the id's shard bits).
+    pub fn shard(self) -> ShardId {
+        shard::of(self.0)
+    }
+
+    /// The shard-local id (shard bits stripped) — the id the owning
+    /// shard's [`ViewStore`] allocated.
+    pub fn local(self) -> ViewId {
+        ViewId(shard::slot(self.0))
     }
 }
 
@@ -509,6 +528,16 @@ impl ViewStore {
     /// The first live view for `label`, if one has been generated.
     pub fn for_label(&self, label: ClassLabel) -> Option<(ViewId, Arc<ExplanationView>)> {
         self.latest_views().into_iter().find(|(_, v)| v.label == label)
+    }
+
+    /// Whether this store has ever held a graph with ground-truth
+    /// `label` (postings may since be tombstoned — the check is a
+    /// conservative shard-pruning summary, not a liveness test). The
+    /// sharded engine's query planner uses it to skip shards that cannot
+    /// contribute to a label-filtered query.
+    pub fn has_label(&self, label: ClassLabel) -> bool {
+        let li = self.label_index.read().expect("label index lock");
+        li.get(&label).is_some_and(|posts| !posts.is_empty())
     }
 
     /// Sorted graph ids with ground-truth `label` live at `epoch` (the

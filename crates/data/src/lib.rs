@@ -23,14 +23,14 @@ mod reddit;
 mod synthetic;
 
 pub use enzymes::enzymes;
-pub use malnet::malnet_tiny;
+pub use malnet::{malnet_scale, malnet_tiny};
 pub use mutagenicity::{
     mutagenicity, MUT_ATOM_NAMES, MUT_FEATURES, TYPE_C, TYPE_H, TYPE_N, TYPE_O,
 };
 pub use pcqm::pcqm4m;
 pub use products::products;
 pub use reddit::reddit_binary;
-pub use synthetic::synthetic;
+pub use synthetic::{synthetic, synthetic_scale};
 
 use gvex_graph::GraphDb;
 

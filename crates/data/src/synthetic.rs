@@ -13,6 +13,28 @@ const FEATURE_DIM: usize = 1;
 const TYPE_BASE: u16 = 0;
 const TYPE_MOTIF: u16 = 1;
 
+/// SYNTHETIC-scale database: `num_graphs` tiny BA+motif graphs (one
+/// motif copy on a 12-node base, raw features) — the cardinality
+/// companion of [`synthetic`], reaching 10⁵-graph databases in seconds
+/// for the sharded-engine benchmarks, where database size matters and
+/// per-graph size does not.
+pub fn synthetic_scale(num_graphs: usize, seed: u64) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new();
+    for i in 0..num_graphs {
+        let house = i % 2 == 0;
+        let mut g = generate::barabasi_albert(12, 1, TYPE_BASE, FEATURE_DIM, &mut rng);
+        let motif = if house {
+            generate::house_motif(TYPE_MOTIF, FEATURE_DIM)
+        } else {
+            generate::cycle(5, TYPE_MOTIF, FEATURE_DIM)
+        };
+        generate::attach_motif(&mut g, &motif, &mut rng);
+        db.push(g, if house { 0 } else { 1 });
+    }
+    db
+}
+
 /// Generates the SYNTHETIC BA+motif database (2 classes).
 pub fn synthetic(cfg: DataConfig) -> GraphDb {
     let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -2,11 +2,60 @@ use crate::Graph;
 use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
-/// Index of a graph within a [`GraphDb`].
+/// Index of a graph within a [`GraphDb`]. Since the sharded-engine
+/// redesign the high [`shard::BITS`] bits carry the owning shard, so
+/// routing an id to its shard is a shift — O(1), never a scan (see
+/// [`shard`]). Unsharded databases are shard 0, whose composed ids are
+/// numerically identical to the old plain slot indices.
 pub type GraphId = u32;
 /// Task-specific class label assigned by the GNN classifier (§2.1 remarks:
 /// distinct from node *types*).
 pub type ClassLabel = u16;
+/// Index of a shard within a sharded engine (`0..shard::MAX`).
+pub type ShardId = u32;
+
+/// The shard-bit id scheme shared by every sharded identifier space
+/// (graph ids here, view ids in the engine's store): the top [`shard::BITS`]
+/// bits of a raw `u32` name the owning shard, the rest the shard-local
+/// slot. Decomposition is a shift/mask — a router resolves any id to
+/// its shard in O(1) without consulting any table — and shard 0 ids are
+/// bit-identical to unsharded slot indices, so single-shard databases
+/// are unaffected by the scheme.
+pub mod shard {
+    use super::ShardId;
+
+    /// Number of shard bits (top of the `u32`).
+    pub const BITS: u32 = 6;
+    /// Maximum number of shards an engine can be built with.
+    pub const MAX: usize = 1 << BITS;
+    /// Number of slot bits (bottom of the `u32`).
+    pub const SLOT_BITS: u32 = 32 - BITS;
+    /// Mask selecting the slot bits.
+    pub const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+
+    /// The shard encoded in a raw id.
+    #[inline]
+    pub fn of(raw: u32) -> ShardId {
+        raw >> SLOT_BITS
+    }
+
+    /// The shard-local slot encoded in a raw id.
+    #[inline]
+    pub fn slot(raw: u32) -> u32 {
+        raw & SLOT_MASK
+    }
+
+    /// Composes a raw id from a shard and a shard-local slot.
+    ///
+    /// # Panics
+    /// Debug-asserts that neither component overflows its bit field.
+    #[inline]
+    pub fn compose(shard: ShardId, slot: u32) -> u32 {
+        debug_assert!((shard as usize) < MAX, "shard id out of range");
+        debug_assert!(slot <= SLOT_MASK, "slot overflows the id space");
+        (shard << SLOT_BITS) | (slot & SLOT_MASK)
+    }
+}
 
 /// A monotonically increasing version stamp of a mutable [`GraphDb`].
 ///
@@ -77,6 +126,9 @@ impl Slot {
 pub struct GraphDb {
     slots: Vec<Slot>,
     epoch: Epoch,
+    /// The shard this database's ids are composed with ([`shard`]);
+    /// 0 for unsharded databases, whose ids equal their slot indices.
+    shard: ShardId,
 }
 
 impl Default for Epoch {
@@ -86,9 +138,45 @@ impl Default for Epoch {
 }
 
 impl GraphDb {
-    /// Creates an empty database at [`Epoch::ZERO`].
+    /// Creates an empty database at [`Epoch::ZERO`] (shard 0: ids are
+    /// plain slot indices).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty shard-`s` database: every id it allocates
+    /// carries `s` in its shard bits, so a router resolves ownership
+    /// from the id alone.
+    ///
+    /// # Panics
+    /// Panics when `s >= shard::MAX`.
+    pub fn with_shard(s: ShardId) -> Self {
+        assert!((s as usize) < shard::MAX, "shard id out of range");
+        Self { shard: s, ..Self::default() }
+    }
+
+    /// The shard this database composes its ids with (0 when unsharded).
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The slot index behind `id`, iff the id belongs to this shard and
+    /// has been allocated. A foreign-shard or out-of-range id resolves
+    /// to `None` — lookups through this path never alias another
+    /// shard's slot and never index out of bounds.
+    #[inline]
+    fn slot_of(&self, id: GraphId) -> Option<usize> {
+        if shard::of(id) != self.shard {
+            return None;
+        }
+        let i = shard::slot(id) as usize;
+        (i < self.slots.len()).then_some(i)
+    }
+
+    /// The composed id of slot `i`.
+    #[inline]
+    fn id_at(&self, i: usize) -> GraphId {
+        shard::compose(self.shard, i as u32)
     }
 
     /// The epoch this database value is at. For the writer's copy this
@@ -105,10 +193,24 @@ impl GraphDb {
         self.epoch
     }
 
-    /// Adds a graph with its ground-truth class label; returns its id.
-    /// The graph is born at the current epoch.
+    /// Raises the head epoch to `e` (no-op when already past it). The
+    /// sharded engine stamps every commit with a *global* epoch from its
+    /// watermark clock and synchronizes the affected shards' databases
+    /// to it, so epochs are comparable across shards.
+    pub fn sync_epoch(&mut self, e: Epoch) {
+        self.epoch = self.epoch.max(e);
+    }
+
+    /// Adds a graph with its ground-truth class label; returns its id
+    /// (composed with this database's shard). The graph is born at the
+    /// current epoch.
+    ///
+    /// # Panics
+    /// Panics when the shard's slot space (`shard::SLOT_MASK` slots) is
+    /// exhausted.
     pub fn push(&mut self, graph: Graph, label: ClassLabel) -> GraphId {
-        let id = self.slots.len() as GraphId;
+        assert!(self.slots.len() <= shard::SLOT_MASK as usize, "shard slot space exhausted");
+        let id = self.id_at(self.slots.len());
         self.slots.push(Slot {
             graph: Some(Arc::new(graph)),
             truth: label,
@@ -120,11 +222,11 @@ impl GraphDb {
     }
 
     /// Tombstones graph `id` at the current epoch. Returns `false` when
-    /// the id is unknown or already removed. The payload stays allocated
-    /// (pinned snapshots and the shared query index may still read it)
-    /// until [`GraphDb::compact`].
+    /// the id is unknown, foreign to this shard, or already removed. The
+    /// payload stays allocated (pinned snapshots and the shared query
+    /// index may still read it) until [`GraphDb::compact`].
     pub fn remove(&mut self, id: GraphId) -> bool {
-        match self.slots.get_mut(id as usize) {
+        match self.slot_of(id).map(|i| &mut self.slots[i]) {
             Some(slot) if slot.live() => {
                 slot.died = self.epoch;
                 true
@@ -163,29 +265,32 @@ impl GraphDb {
         self.len() == 0
     }
 
-    /// Whether `id` names a live graph.
+    /// Whether `id` names a live graph of this shard.
     pub fn contains(&self, id: GraphId) -> bool {
-        self.slots.get(id as usize).is_some_and(Slot::live)
+        self.slot_of(id).is_some_and(|i| self.slots[i].live())
     }
 
     /// Borrow of graph `id`.
     ///
     /// # Panics
-    /// Panics when the id was never allocated or the payload has been
-    /// compacted away; [`GraphDb::get_graph`] is the non-panicking path.
+    /// Panics when the id was never allocated (or belongs to another
+    /// shard) or the payload has been compacted away;
+    /// [`GraphDb::get_graph`] is the non-panicking path.
     pub fn graph(&self, id: GraphId) -> &Graph {
         self.get_graph(id).expect("graph id valid and not compacted")
     }
 
-    /// Borrow of graph `id`, if the slot still holds its payload
-    /// (tombstoned-but-uncompacted graphs are still readable).
+    /// Borrow of graph `id`, if the id belongs to this shard and the
+    /// slot still holds its payload (tombstoned-but-uncompacted graphs
+    /// are still readable). Foreign-shard and malformed ids resolve to
+    /// `None`, never to another graph.
     pub fn get_graph(&self, id: GraphId) -> Option<&Graph> {
-        self.slots.get(id as usize).and_then(|s| s.graph.as_deref())
+        self.slot_of(id).and_then(|i| self.slots[i].graph.as_deref())
     }
 
     /// Shared handle to graph `id`'s payload, if present.
     pub fn graph_arc(&self, id: GraphId) -> Option<Arc<Graph>> {
-        self.slots.get(id as usize).and_then(|s| s.graph.clone())
+        self.slot_of(id).and_then(|i| self.slots[i].graph.clone())
     }
 
     /// The payload-bearing subset of `ids`, in input order: stale,
@@ -200,7 +305,7 @@ impl GraphDb {
     /// The `(born, died)` epoch interval of slot `id` (`died` is
     /// [`Epoch::MAX`] while live).
     pub fn lifetime(&self, id: GraphId) -> Option<(Epoch, Epoch)> {
-        self.slots.get(id as usize).map(|s| (s.born, s.died))
+        self.slot_of(id).map(|i| (self.slots[i].born, self.slots[i].died))
     }
 
     /// Iterator over live `(id, graph)` pairs.
@@ -209,7 +314,7 @@ impl GraphDb {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.live())
-            .filter_map(|(i, s)| s.graph.as_deref().map(|g| (i as GraphId, g)))
+            .filter_map(|(i, s)| s.graph.as_deref().map(|g| (self.id_at(i), g)))
     }
 
     /// Iterator over **every** slot that still holds a payload — live or
@@ -220,22 +325,31 @@ impl GraphDb {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.graph.as_deref().map(|g| (i as GraphId, g, s.born, s.died)))
+            .filter_map(|(i, s)| s.graph.as_deref().map(|g| (self.id_at(i), g, s.born, s.died)))
     }
 
     /// Ground-truth label of graph `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` was never allocated by this shard — labels of
+    /// foreign-shard ids are a routing bug, never silently aliased.
     pub fn truth(&self, id: GraphId) -> ClassLabel {
-        self.slots[id as usize].truth
+        self.slots[self.slot_of(id).expect("graph id from this shard")].truth
     }
 
     /// Records the classifier's prediction `M(G_id) = l`.
+    ///
+    /// # Panics
+    /// Panics when `id` was never allocated by this shard.
     pub fn set_predicted(&mut self, id: GraphId, label: ClassLabel) {
-        self.slots[id as usize].predicted = Some(label);
+        let i = self.slot_of(id).expect("graph id from this shard");
+        self.slots[i].predicted = Some(label);
     }
 
-    /// The classifier's prediction for graph `id`, if it has been classified.
+    /// The classifier's prediction for graph `id`, if it has been
+    /// classified. `None` also for foreign-shard or never-allocated ids.
     pub fn predicted(&self, id: GraphId) -> Option<ClassLabel> {
-        self.slots[id as usize].predicted
+        self.slot_of(id).and_then(|i| self.slots[i].predicted)
     }
 
     /// The label group `G^l`: ids of live graphs the classifier assigned
@@ -245,7 +359,7 @@ impl GraphDb {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.live() && s.predicted == Some(label))
-            .map(|(i, _)| i as GraphId)
+            .map(|(i, _)| self.id_at(i))
             .collect()
     }
 
@@ -256,7 +370,7 @@ impl GraphDb {
             .iter()
             .enumerate()
             .filter(|(_, s)| s.live() && s.truth == label)
-            .map(|(i, _)| i as GraphId)
+            .map(|(i, _)| self.id_at(i))
             .collect()
     }
 

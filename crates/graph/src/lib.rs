@@ -18,7 +18,7 @@ mod db;
 pub mod generate;
 mod graph;
 
-pub use db::{ClassLabel, Epoch, GraphDb, GraphId};
+pub use db::{shard, ClassLabel, Epoch, GraphDb, GraphId, ShardId, Split};
 pub use graph::{EdgeType, Graph, NodeId, NodeType};
 
 #[cfg(test)]

@@ -305,3 +305,92 @@ proptest! {
         }
     }
 }
+
+// ---- degree/label fingerprint pre-filter --------------------------------
+
+/// A path of `n` same-type nodes (max degree 2).
+fn path_graph(n: usize, ty: u16) -> Graph {
+    let mut g = Graph::new(1);
+    let ids: Vec<u32> = (0..n).map(|_| g.add_node(ty, &[1.0])).collect();
+    for w in ids.windows(2) {
+        g.add_edge(w[0], w[1], 0);
+    }
+    g
+}
+
+#[test]
+fn fingerprint_rejects_degree_infeasible_pattern() {
+    // A degree-3 star cannot embed in a path (max degree 2); the
+    // fingerprint pre-filter must reject it without search, and the
+    // full matcher must agree.
+    let star = Pattern::new(&[0, 0, 0, 0], &[(0, 1, 0), (0, 2, 0), (0, 3, 0)]);
+    let g = path_graph(12, 0);
+    assert!(!vf2::contains(&star, &g));
+    assert!(vf2::find_embedding(&star, &g).is_none());
+    assert!(vf2::enumerate_embeddings(&star, &g, 10).is_empty());
+    let (nodes, edges) = vf2::coverage(&star, &g);
+    assert!(nodes.is_empty() && edges.is_empty());
+    assert!(!vf2::covers_node(&star, &g, 0));
+}
+
+#[test]
+fn fingerprint_rejects_label_multiset_overuse() {
+    // Three type-1 pattern nodes vs a host with only one type-1 node:
+    // the deduplicated type-set check would pass, the counted multiset
+    // must not.
+    let p = Pattern::new(&[1, 1, 1], &[(0, 1, 0), (1, 2, 0)]);
+    let mut g = Graph::new(1);
+    let a = g.add_node(1, &[1.0]);
+    let b = g.add_node(0, &[1.0]);
+    let c = g.add_node(0, &[1.0]);
+    g.add_edge(a, b, 0);
+    g.add_edge(b, c, 0);
+    assert!(!vf2::contains(&p, &g));
+}
+
+#[test]
+fn fingerprint_passes_embeddable_patterns() {
+    // Sanity: the filter is a necessary condition only — embeddable
+    // patterns still match (path-in-path, star-in-star, mixed types).
+    let chain = Pattern::new(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0)]);
+    assert!(vf2::contains(&chain, &path_graph(5, 0)));
+    let star = Pattern::new(&[0, 0, 0, 0], &[(0, 1, 0), (0, 2, 0), (0, 3, 0)]);
+    let mut h = Graph::new(1);
+    let hub = h.add_node(0, &[1.0]);
+    for _ in 0..4 {
+        let leaf = h.add_node(0, &[1.0]);
+        h.add_edge(hub, leaf, 0);
+    }
+    assert!(vf2::contains(&star, &h));
+    assert!(vf2::contains(&cco(), &host()));
+}
+
+proptest! {
+    /// The fingerprint filter never rejects a graph that contains the
+    /// pattern: plant an induced copy of a random connected pattern into
+    /// a random host and assert the match is still found.
+    #[test]
+    fn fingerprint_filter_is_sound(seed in 0u64..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sub = generate::random_connected(4, 0.5, 0, 1, &mut rng);
+        let p = Pattern::from_induced(&sub, &(0..sub.num_nodes() as u32).collect::<Vec<_>>());
+        // Host = disjoint copy of the pattern graph plus a path, joined
+        // by one bridge edge from a fresh node (keeps the copy induced).
+        let mut g = Graph::new(1);
+        let copy: Vec<u32> = (0..sub.num_nodes() as u32)
+            .map(|v| g.add_node(sub.node_type(v), &[1.0]))
+            .collect();
+        for (u, v, t) in sub.edges() {
+            g.add_edge(copy[u as usize], copy[v as usize], t);
+        }
+        let bridge = g.add_node(9, &[1.0]);
+        g.add_edge(copy[0], bridge, 0);
+        let mut prev = bridge;
+        for _ in 0..3 {
+            let nxt = g.add_node(9, &[1.0]);
+            g.add_edge(prev, nxt, 0);
+            prev = nxt;
+        }
+        prop_assert!(vf2::contains(&p, &g), "planted induced copy must be found");
+    }
+}

@@ -130,21 +130,62 @@ impl<'a> Vf2<'a> {
     }
 }
 
-/// Quick necessary condition: `g` contains the pattern's type multiset.
-fn multiset_compatible(p: &Pattern, g: &Graph) -> bool {
+/// Degree/label fingerprint pre-filter: a cheap *necessary* condition
+/// for `p` to embed in `g`, checked before any backtracking search.
+///
+/// Two rejections, both sound for node-induced matching:
+///
+/// 1. **Label multiset**: for every node type `t`, the pattern cannot
+///    use more `t`-nodes than `g` has (the old check only compared
+///    deduplicated type sets, which let e.g. a 3×`t` pattern through
+///    against a 1×`t` graph).
+/// 2. **Degree histogram dominance, per type**: an embedding maps each
+///    pattern node onto a data node of the same type with at least its
+///    degree (induced matching only *adds* edges to nodes outside the
+///    image, never removes them). Injectivity then requires the sorted
+///    descending degree sequence of `g`'s `t`-nodes to dominate the
+///    pattern's elementwise — a Hall-type condition on the bipartite
+///    "can host" relation restricted to same-type, degree-ordered
+///    assignment.
+///
+/// The pattern-index first-probe scan and the `psum` coverage phase
+/// both bottom out in [`contains`] over whole databases; this filter
+/// rejects most non-matching graphs in O((|V_p| + |V_g|) log |V_g|)
+/// without touching the exponential search.
+fn fingerprint_compatible(p: &Pattern, g: &Graph) -> bool {
     if p.num_nodes() > g.num_nodes() {
         return false;
     }
-    let mut pg = p.type_multiset();
-    let mut gg = g.type_multiset();
-    pg.dedup();
-    gg.dedup();
-    pg.iter().all(|t| gg.binary_search(t).is_ok())
+    // (type, degree) fingerprints, sorted by type then descending degree.
+    let key = |ty: u16, deg: usize| (ty, usize::MAX - deg);
+    let mut pf: Vec<(u16, usize)> =
+        (0..p.num_nodes() as u32).map(|v| key(p.node_type(v), p.neighbors(v).len())).collect();
+    let mut gf: Vec<(u16, usize)> =
+        (0..g.num_nodes() as u32).map(|v| key(g.node_type(v), g.neighbors(v).len())).collect();
+    pf.sort_unstable();
+    gf.sort_unstable();
+    // Walk both lists: the j-th largest-degree pattern node of each type
+    // must find the j-th largest-degree data node of that type at least
+    // as big. Degrees are stored inverted, so "data degree >= pattern
+    // degree" is `gf[i].1 <= pf[j].1` at aligned type/rank positions.
+    let mut i = 0;
+    for &(pt, pd) in &pf {
+        // Skip data nodes of earlier types (never usable by this or any
+        // later pattern node: both lists are type-sorted).
+        while i < gf.len() && gf[i].0 < pt {
+            i += 1;
+        }
+        match gf.get(i) {
+            Some(&(gt, gd)) if gt == pt && gd <= pd => i += 1,
+            _ => return false,
+        }
+    }
+    true
 }
 
 /// Finds one embedding of `p` in `g`, as `pattern node -> data node`.
 pub fn find_embedding(p: &Pattern, g: &Graph) -> Option<Vec<NodeId>> {
-    if p.num_nodes() == 0 || !multiset_compatible(p, g) {
+    if p.num_nodes() == 0 || !fingerprint_compatible(p, g) {
         return None;
     }
     let mut vf = Vf2::new(p, g);
@@ -165,7 +206,7 @@ pub fn contains(p: &Pattern, g: &Graph) -> bool {
 /// Enumerates up to `limit` embeddings of `p` in `g`.
 pub fn enumerate_embeddings(p: &Pattern, g: &Graph, limit: usize) -> Vec<Vec<NodeId>> {
     let mut out = Vec::new();
-    if p.num_nodes() == 0 || !multiset_compatible(p, g) {
+    if p.num_nodes() == 0 || !fingerprint_compatible(p, g) {
         return out;
     }
     let mut vf = Vf2::new(p, g);
@@ -183,7 +224,7 @@ pub fn enumerate_embeddings(p: &Pattern, g: &Graph, limit: usize) -> Vec<Vec<Nod
 pub fn coverage(p: &Pattern, g: &Graph) -> (FxHashSet<NodeId>, FxHashSet<(NodeId, NodeId)>) {
     let mut nodes = FxHashSet::default();
     let mut edges = FxHashSet::default();
-    if p.num_nodes() == 0 || !multiset_compatible(p, g) {
+    if p.num_nodes() == 0 || !fingerprint_compatible(p, g) {
         return (nodes, edges);
     }
     let mut vf = Vf2::new(p, g);
@@ -206,7 +247,7 @@ pub fn coverage(p: &Pattern, g: &Graph) -> (FxHashSet<NodeId>, FxHashSet<(NodeId
 /// onto data node `anchor`? This is the incremental `IncPMatch` primitive:
 /// on node arrival only anchored searches run.
 pub fn covers_node(p: &Pattern, g: &Graph, anchor: NodeId) -> bool {
-    if p.num_nodes() == 0 || !multiset_compatible(p, g) {
+    if p.num_nodes() == 0 || !fingerprint_compatible(p, g) {
         return false;
     }
     // Try each pattern node of the anchor's type as the image of `anchor`

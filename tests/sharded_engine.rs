@@ -1,0 +1,364 @@
+//! Sharded-engine integration tests: the shard-bit id scheme, the
+//! label-group router behind the unchanged `Engine` API, non-panicking
+//! handling of malformed / foreign ids, cross-shard snapshot
+//! consistency at the watermark, concurrent writers on disjoint
+//! shards, and a property test that sharded engines (N ∈ {1, 2, 4})
+//! answer every query and `explain_label` identically to the unsharded
+//! reference over random insert/remove sequences.
+//!
+//! Graph ids are not comparable across shard counts (the shard bits
+//! differ), so identity is checked through the *arrival ordinal*: the
+//! k-th graph ever inserted is the same graph in every engine, and a
+//! result set is canonicalized by mapping each id back to its ordinal.
+
+use gvex_core::{Config, Engine, Snapshot, ViewId, ViewQuery};
+use gvex_data::malnet_scale;
+use gvex_gnn::{AdamTrainer, GcnModel, TrainConfig};
+use gvex_graph::{shard, ClassLabel, Graph, GraphDb, GraphId};
+use gvex_pattern::Pattern;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Canonical shape of one explanation subgraph, keyed by arrival
+/// ordinal so shapes compare across engines with different id spaces.
+type SubgraphShape = (usize, Vec<u32>, bool, bool);
+
+/// A call-graph classifier trained once and shared by every test:
+/// arrivals are routed by *predicted* family, so routing only spreads
+/// across shards when the model actually discriminates.
+fn routed_model() -> GcnModel {
+    static MODEL: OnceLock<GcnModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let db = malnet_scale(60, 7);
+            let feat = db.iter().next().map(|(_, g)| g.feature_dim()).unwrap_or(1);
+            let mut m = GcnModel::new(feat, 8, 5, 2, 7);
+            let ids: Vec<GraphId> = db.iter().map(|(id, _)| id).collect();
+            let cfg = TrainConfig { epochs: 40, target_accuracy: 0.95, ..TrainConfig::default() };
+            AdamTrainer::new(&m, cfg).fit(&mut m, &db, &ids);
+            m
+        })
+        .clone()
+}
+
+/// A seed database with a perfect classifier stand-in (predicted :=
+/// truth), so every truth-label group is routed to exactly one shard.
+fn perfect_db(n: usize, seed: u64) -> GraphDb {
+    let mut db = malnet_scale(n, seed);
+    let ids: Vec<GraphId> = db.iter().map(|(id, _)| id).collect();
+    for id in ids {
+        let truth = db.truth(id);
+        db.set_predicted(id, truth);
+    }
+    db
+}
+
+fn sharded(model: GcnModel, db: GraphDb, n: usize) -> Engine {
+    Engine::builder(model, db).config(Config::with_bounds(0, 4)).shards(n).build()
+}
+
+/// Sorted arrival ordinals of a result set, given the per-engine
+/// `ids_by_arrival` mapping (ordinal → id).
+fn ordinals(ids_by_arrival: &[GraphId], result: &[GraphId]) -> Vec<usize> {
+    let inv: HashMap<GraphId, usize> =
+        ids_by_arrival.iter().enumerate().map(|(o, &id)| (id, o)).collect();
+    let mut ords: Vec<usize> =
+        result.iter().map(|id| *inv.get(id).expect("result id was inserted")).collect();
+    ords.sort_unstable();
+    ords
+}
+
+/// The family-1 mutual-recursion ring motif (see the MalNet simulator).
+fn ring6() -> Pattern {
+    Pattern::new(&[0; 6], &[(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 4, 0), (4, 5, 0), (5, 0, 0)])
+}
+
+/// A short call chain, present in most call trees regardless of family.
+fn chain4() -> Pattern {
+    Pattern::new(&[0; 4], &[(0, 1, 0), (1, 2, 0), (2, 3, 0)])
+}
+
+#[test]
+fn shard_id_scheme_roundtrips_and_keeps_shard0_ids_raw() {
+    for &(s, slot) in &[(0u32, 0u32), (0, 7), (1, 0), (5, 123_456), (63, shard::SLOT_MASK)] {
+        let id = shard::compose(s, slot);
+        assert_eq!(shard::of(id), s, "shard bits survive composition");
+        assert_eq!(shard::slot(id), slot, "slot bits survive composition");
+    }
+    // Shard-0 ids are numerically identical to unsharded ids, so a
+    // default engine's handles look exactly like they did before
+    // sharding existed.
+    assert_eq!(shard::compose(0, 42), 42);
+    assert_eq!(shard::MAX, 1 << shard::BITS);
+}
+
+/// With predicted == truth, each truth-label group lives wholly in one
+/// shard: a label-filtered query touches exactly its owning shard (the
+/// probe counter proves it) while an unconstrained query fans out to
+/// every shard — and both return complete answers.
+#[test]
+fn label_filtered_queries_touch_only_the_owning_shard() {
+    let db = perfect_db(40, 9);
+    let expected: Vec<usize> = (0..5u16).map(|l| db.label_group_truth(l).len()).collect();
+    let total = db.len();
+    let engine = sharded(routed_model(), db, 4);
+    for l in 0..5u16 {
+        let before = engine.shard_probes();
+        let r = engine.query(&ViewQuery::new().label(l));
+        assert_eq!(engine.shard_probes() - before, 1, "label {l} query touched one shard");
+        assert_eq!(r.len(), expected[l as usize], "label {l} answer is complete");
+    }
+    let before = engine.shard_probes();
+    let r = engine.query(&ViewQuery::new());
+    assert_eq!(engine.shard_probes() - before, 4, "unconstrained query fans out");
+    assert_eq!(r.len(), total);
+    // All ids carry in-range shard bits.
+    assert!(r.graphs.iter().all(|&id| (shard::of(id) as usize) < engine.num_shards()));
+}
+
+/// Malformed ids — shard bits past the engine's shard count, or valid
+/// shard bits with a bogus slot — are refused with `None` / skipped,
+/// never panicked on, at every routing boundary.
+#[test]
+fn malformed_and_foreign_ids_are_refused_not_panicked() {
+    let db = perfect_db(20, 11);
+    let total = db.len();
+    let engine = sharded(routed_model(), db, 2);
+    let foreign = shard::compose(7, 3); // shard 7 of a 2-shard engine
+    let extreme = shard::compose(63, shard::SLOT_MASK);
+    let bogus_slot = shard::compose(1, 999_999); // real shard, no such slot
+
+    assert!(engine.view(ViewId(foreign)).is_none());
+    assert!(engine.view(ViewId(extreme)).is_none());
+    assert!(engine.context(foreign).is_none());
+    assert!(engine.context(bogus_slot).is_none());
+
+    // Removal skips every malformed id without touching live state.
+    engine.remove_graphs(&[foreign, extreme, bogus_slot]);
+    assert_eq!(engine.query(&ViewQuery::new()).len(), total);
+
+    // The shard-local database refuses foreign ids too.
+    {
+        let d = engine.db(); // shard 0
+        assert!(!d.contains(foreign));
+        assert!(d.get_graph(foreign).is_none());
+        assert!(d.lifetime(foreign).is_none());
+        assert!(d.predicted(foreign).is_none());
+        assert!(d.try_graphs(&[foreign, extreme]).is_empty());
+    }
+
+    // Snapshots route malformed handles to None / empty as well.
+    let snap = engine.snapshot();
+    assert!(snap.view(ViewId(foreign)).is_none());
+    assert!(snap.view_hits(&chain4(), ViewId(extreme)).is_empty());
+
+    // A query constrained to foreign views selects no shard: empty, not
+    // unconstrained.
+    let r = engine.query(&ViewQuery::new().in_views([ViewId(foreign), ViewId(extreme)]));
+    assert_eq!(r.len(), 0);
+}
+
+/// Two writer threads whose arrival streams route to disjoint shards
+/// insert concurrently; every returned id is distinct and resolvable,
+/// and removing them restores the seed state.
+#[test]
+fn independent_shard_writers_insert_concurrently() {
+    let model = routed_model();
+    let engine = Arc::new(sharded(model.clone(), perfect_db(30, 13), 2));
+    let base = engine.query(&ViewQuery::new()).len();
+    let pool: Vec<Graph> = malnet_scale(40, 888).iter().map(|(_, g)| g.clone()).collect();
+    let mut bins: Vec<Vec<Graph>> = vec![Vec::new(), Vec::new()];
+    for g in pool {
+        let s = (model.predict(&g) as usize) % 2;
+        bins[s].push(g);
+    }
+    let total: usize = bins.iter().map(Vec::len).sum();
+
+    let ids: Vec<GraphId> = std::thread::scope(|scope| {
+        let engine = &engine;
+        let handles: Vec<_> = bins
+            .iter()
+            .map(|bin| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for chunk in bin.chunks(3) {
+                        let batch: Vec<_> = chunk.iter().map(|g| (g.clone(), None)).collect();
+                        out.extend(engine.insert_graphs(batch).0);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("writer thread")).collect()
+    });
+
+    assert_eq!(ids.len(), total);
+    assert_eq!(ids.iter().collect::<BTreeSet<_>>().len(), total, "ids are distinct");
+    assert_eq!(engine.query(&ViewQuery::new()).len(), base + total);
+    for &id in &ids {
+        assert!(engine.context(id).is_some(), "inserted id resolves");
+    }
+    engine.remove_graphs(&ids);
+    assert_eq!(engine.query(&ViewQuery::new()).len(), base);
+}
+
+/// Snapshots pin a cross-shard watermark: while a writer commits
+/// batches that split across both shards, every snapshot sees a whole
+/// number of batches (never a half-batch missing its other shard's
+/// rows) and keeps answering that frozen state after the writer moves
+/// on.
+#[test]
+fn snapshots_pin_cross_shard_batch_atomic_frontiers() {
+    let engine = Arc::new(sharded(routed_model(), perfect_db(20, 3), 2));
+    let base = engine.snapshot().len();
+    let pool: Vec<Graph> = malnet_scale(24, 555).iter().map(|(_, g)| g.clone()).collect();
+    let batch_size = 4usize;
+    let inserted = pool.len();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let frozen = engine.snapshot();
+    let frozen_ords = frozen.query(&ViewQuery::new()).graphs;
+
+    std::thread::scope(|scope| {
+        {
+            let engine = Arc::clone(&engine);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                for chunk in pool.chunks(batch_size) {
+                    let batch: Vec<_> = chunk.iter().map(|g| (g.clone(), None)).collect();
+                    engine.insert_graphs(batch);
+                }
+                done.store(true, Ordering::Relaxed);
+            });
+        }
+        while !done.load(Ordering::Relaxed) {
+            let snap = engine.snapshot();
+            let grown = snap.len() - base;
+            assert_eq!(grown % batch_size, 0, "snapshot caught a half-committed batch");
+            assert_eq!(snap.query(&ViewQuery::new()).len(), snap.len());
+        }
+    });
+
+    assert_eq!(engine.snapshot().len(), base + inserted);
+    // The pre-writer snapshot still answers its pinned state verbatim.
+    assert_eq!(frozen.len(), base);
+    assert_eq!(frozen.query(&ViewQuery::new()).graphs, frozen_ords);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Sharded engines are observationally identical to the unsharded
+    /// reference: over a random insert/remove sequence (with truth
+    /// labels that may disagree with the routed prediction, and with a
+    /// malformed id slipped into every removal), every `ViewQuery`
+    /// flavor, `explain_label`, and a snapshot pinned before the final
+    /// mutation agree across N ∈ {1, 2, 4} once ids are canonicalized
+    /// to arrival ordinals.
+    #[test]
+    fn sharded_engines_answer_identically_to_unsharded(seed in 0u64..16) {
+        let model = routed_model();
+        let pdb = malnet_scale(36, 9_000 + seed);
+        let pool: Vec<(Graph, ClassLabel)> =
+            pdb.iter().map(|(id, g)| (g.clone(), pdb.truth(id))).collect();
+        let engines: Vec<Engine> = [1usize, 2, 4]
+            .iter()
+            .map(|&n| sharded(model.clone(), GraphDb::new(), n))
+            .collect();
+        let mut arrivals: Vec<Vec<GraphId>> = vec![Vec::new(); engines.len()];
+        let mut live: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queries = [
+            ViewQuery::new(),
+            ViewQuery::new().label(0),
+            ViewQuery::new().label(3),
+            ViewQuery::pattern(ring6()),
+            ViewQuery::pattern(chain4()).label(1),
+        ];
+
+        for _round in 0..4 {
+            // Insert the same batch (graph + truth) into every engine.
+            let take = (3 + rng.gen_range(0..4usize)).min(pool.len() - next);
+            if take > 0 {
+                let batch: Vec<(Graph, Option<ClassLabel>)> =
+                    pool[next..next + take].iter().map(|(g, t)| (g.clone(), Some(*t))).collect();
+                for (e, ids) in engines.iter().zip(arrivals.iter_mut()) {
+                    let (new_ids, _) = e.insert_graphs(batch.clone());
+                    prop_assert_eq!(new_ids.len(), take);
+                    ids.extend(new_ids);
+                }
+                live.extend(next..next + take);
+                next += take;
+            }
+            // Remove the same ordinals everywhere (plus one malformed id,
+            // which every engine must skip).
+            if live.len() > 2 && rng.gen_bool(0.6) {
+                let k = 1 + rng.gen_range(0..2);
+                let mut gone = Vec::new();
+                for _ in 0..k {
+                    let i = rng.gen_range(0..live.len());
+                    gone.push(live.swap_remove(i));
+                }
+                for (e, ids) in engines.iter().zip(&arrivals) {
+                    let mut rm: Vec<GraphId> = gone.iter().map(|&o| ids[o]).collect();
+                    rm.push(shard::compose(9, 77));
+                    e.remove_graphs(&rm);
+                }
+            }
+            // Every query flavor agrees with the unsharded reference.
+            for q in &queries {
+                let r0 = engines[0].query(q);
+                let o0 = ordinals(&arrivals[0], &r0.graphs);
+                for (e, ids) in engines.iter().zip(&arrivals).skip(1) {
+                    let r = e.query(q);
+                    prop_assert_eq!(&ordinals(ids, &r.graphs), &o0);
+                    prop_assert_eq!(&r.per_label, &r0.per_label);
+                }
+            }
+        }
+
+        // explain_label on the most common live predicted family: the
+        // per-graph explanation shapes must be identical across shard
+        // counts (keyed by arrival ordinal, since ids differ).
+        let mut counts: HashMap<ClassLabel, usize> = HashMap::new();
+        for &o in &live {
+            *counts.entry(model.predict(&pool[o].0)).or_insert(0) += 1;
+        }
+        let (&label, _) = counts.iter().max_by_key(|&(_, c)| *c).expect("live graphs remain");
+        let shapes: Vec<BTreeSet<SubgraphShape>> = engines
+            .iter()
+            .zip(&arrivals)
+            .map(|(e, ids)| {
+                let inv: HashMap<GraphId, usize> =
+                    ids.iter().enumerate().map(|(o, &id)| (id, o)).collect();
+                let v = e.view(e.explain_label(label)).expect("freshly built view");
+                v.subgraphs
+                    .iter()
+                    .map(|s| (inv[&s.graph_id], s.nodes.clone(), s.consistent, s.counterfactual))
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(&shapes[1], &shapes[0]);
+        prop_assert_eq!(&shapes[2], &shapes[0]);
+
+        // A snapshot pinned at the current watermark keeps answering it
+        // after further inserts land — identically across shard counts.
+        let snaps: Vec<Snapshot> = engines.iter().map(|e| e.snapshot()).collect();
+        let pinned0 = ordinals(&arrivals[0], &snaps[0].query(&ViewQuery::new()).graphs);
+        let take = 3.min(pool.len() - next);
+        let batch: Vec<(Graph, Option<ClassLabel>)> =
+            pool[next..next + take].iter().map(|(g, t)| (g.clone(), Some(*t))).collect();
+        for (e, ids) in engines.iter().zip(arrivals.iter_mut()) {
+            ids.extend(e.insert_graphs(batch.clone()).0);
+        }
+        for ((snap, e), ids) in snaps.iter().zip(&engines).zip(&arrivals) {
+            prop_assert_eq!(&ordinals(ids, &snap.query(&ViewQuery::new()).graphs), &pinned0);
+            prop_assert_eq!(e.query(&ViewQuery::new()).len(), pinned0.len() + take);
+        }
+    }
+}
