@@ -10,11 +10,15 @@
 //! 10^5-graph MalNet-scale database: label-filtered queries must touch
 //! only the owning shard (probe-count hard check) and a 2-shard engine
 //! must scale combined insert+query throughput over the 1-shard layout
-//! (writes `BENCH_PR6.json`).
+//! (writes `BENCH_PR6.json`) — and the durable engine: WAL-on insert
+//! throughput under `FsyncPolicy::Batch` against the in-memory engine,
+//! plus bounded-time recovery (checkpoint + log replay) of the same
+//! 10^5-graph database with a query-identity hard check (writes
+//! `BENCH_PR7.json`).
 //!
 //! Usage: `bench_quick [--check] [--out PATH] [--out-queries PATH]
 //! [--out-online PATH] [--out-concurrent PATH] [--out-sharded PATH]
-//! [--nodes N]`
+//! [--out-durable PATH] [--nodes N]`
 //!
 //! - `--check`: exit non-zero if sparse masked propagation is not at
 //!   least as fast as the dense baseline, if indexed query answering
@@ -23,8 +27,11 @@
 //!   `explain_label` recompute, if pooled `explain_all` misses the
 //!   machine-scaled speedup threshold (2x on machines with >= 4
 //!   cores), if reader throughput under a concurrent writer is zero,
-//!   or if the 2-shard engine misses its machine-scaled throughput
-//!   threshold over the 1-shard engine (the CI regression gates).
+//!   if the 2-shard engine misses its machine-scaled throughput
+//!   threshold over the 1-shard engine, if WAL-on insert throughput
+//!   drops below half the in-memory rate under `FsyncPolicy::Batch`,
+//!   or if recovering the 10^5-graph database exceeds its wall-clock
+//!   budget (the CI regression gates).
 //!   Gates whose thresholds depend on parallelism are scaled down on
 //!   narrow hosts; when that happens `--check` prints a
 //!   `GATE SCALED DOWN` note and the JSON gate carries
@@ -39,6 +46,8 @@
 //!   JSON (default `BENCH_PR5.json`).
 //! - `--out-sharded PATH`: where to write the sharded-engine JSON
 //!   (default `BENCH_PR6.json`).
+//! - `--out-durable PATH`: where to write the durability JSON
+//!   (default `BENCH_PR7.json`).
 //! - `--nodes N`: reference graph size (default 1024).
 //!
 //! Every payload records the host core count under `"host"` so CI
@@ -52,10 +61,10 @@
 
 use gvex_baselines::GnnExplainer;
 use gvex_bench::perf::{dense_masked_epoch, reference_graph, reference_mask, sparse_masked_epoch};
-use gvex_core::{query, Config, Engine, StreamGvex, ViewQuery, ViewStore};
+use gvex_core::{query, Config, Engine, FsyncPolicy, StreamGvex, ViewQuery, ViewStore};
 use gvex_data::DataConfig;
 use gvex_gnn::{AdamTrainer, GcnModel, Propagation, TrainConfig};
-use gvex_graph::{Graph, GraphId};
+use gvex_graph::{Graph, GraphDb, GraphId};
 use gvex_pattern::Pattern;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -107,6 +116,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let out_durable = args
+        .iter()
+        .position(|a| a == "--out-durable")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
     let nodes: usize = args
         .iter()
         .position(|a| a == "--nodes")
@@ -462,8 +477,10 @@ fn main() {
             Engine::builder(cmodel.clone(), cdb.clone()).config(ccfg.clone()).threads(1).build();
         let pv = par.explain_all();
         let sv = seq.explain_all();
-        let pshapes: Vec<_> = pv.iter().map(|&v| shape_of(&par.store().view(v))).collect();
-        let sshapes: Vec<_> = sv.iter().map(|&v| shape_of(&seq.store().view(v))).collect();
+        let pshapes: Vec<_> =
+            pv.iter().map(|&v| shape_of(&par.view(v).expect("view just generated"))).collect();
+        let sshapes: Vec<_> =
+            sv.iter().map(|&v| shape_of(&seq.view(v).expect("view just generated"))).collect();
         if pshapes != sshapes {
             eprintln!("FATAL: label-parallel explain_all diverged from the sequential loop");
             std::process::exit(2);
@@ -898,6 +915,178 @@ fn main() {
             "GATE FAILED: 2-shard insert+query throughput ({tput_2shard:.0} ops/s) did not \
              reach {shard_threshold:.1}x the 1-shard throughput ({tput_1shard:.0} ops/s) on \
              {cores} cores"
+        );
+        std::process::exit(1);
+    }
+
+    // ---- durable engine: WAL throughput + recovery --------------------
+    //
+    // Two costs of durability, measured separately. (a) Steady-state:
+    // the same insert workload against an in-memory engine and a
+    // durable one under the default group-commit fsync policy — the WAL
+    // must not halve throughput. (b) Restart: the 10^5-graph database
+    // above is checkpointed once at attach; recovery (newest checkpoint
+    // + per-shard log replay) must come back within a wall-clock budget
+    // and, as a hard check, answer the motif probe identically to the
+    // pre-crash engine.
+    let dur_root = std::env::temp_dir().join(format!("gvex_bench_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dur_root);
+    std::fs::create_dir_all(&dur_root).expect("create durability scratch dir");
+
+    let dseed = {
+        let mut db = gvex_data::malnet_scale(500, 31);
+        let ids: Vec<GraphId> = db.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            let truth = db.truth(id);
+            db.set_predicted(id, truth);
+        }
+        db
+    };
+    let dpool: Vec<Graph> =
+        gvex_data::malnet_scale(400, 555).iter().map(|(_, g)| g.clone()).collect();
+    let run_inserts = |engine: &Engine| -> f64 {
+        let t = Instant::now();
+        for chunk in dpool.chunks(25) {
+            let batch: Vec<_> = chunk.iter().map(|g| (g.clone(), None)).collect();
+            std::hint::black_box(engine.insert_graphs(batch));
+        }
+        t.elapsed().as_secs_f64()
+    };
+    let mem_engine = Engine::builder(smodel.clone(), dseed.clone()).config(scfg.clone()).build();
+    let mem_insert_s = run_inserts(&mem_engine);
+    drop(mem_engine);
+    let tput_dir = dur_root.join("wal_tput");
+    let wal_engine = Engine::builder(smodel.clone(), dseed.clone())
+        .config(scfg.clone())
+        .durable(&tput_dir)
+        .fsync(FsyncPolicy::Batch)
+        .build();
+    let wal_insert_s = run_inserts(&wal_engine);
+    drop(wal_engine);
+    let mem_ops_s = dpool.len() as f64 / mem_insert_s.max(1e-9);
+    let wal_ops_s = dpool.len() as f64 / wal_insert_s.max(1e-9);
+    let wal_ratio = wal_ops_s / mem_ops_s.max(1e-9);
+    eprintln!(
+        "durable inserts ({} graphs, fsync=batch): in-memory {mem_ops_s:.0} ops/s, \
+         WAL-on {wal_ops_s:.0} ops/s ({wal_ratio:.2}x)",
+        dpool.len()
+    );
+
+    // Restart path: attaching durability to the populated engine writes
+    // the initial checkpoint image of all 10^5 graphs; a handful of
+    // logged batches afterwards leaves a non-trivial WAL tail for
+    // recovery to replay through the incremental-maintenance path.
+    let rec_dir = dur_root.join("recovery");
+    let t = Instant::now();
+    let big = Engine::builder(smodel.clone(), sdb.clone())
+        .config(scfg.clone())
+        .durable(&rec_dir)
+        .fsync(FsyncPolicy::Batch)
+        .build();
+    let durable_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    // The checkpoint cost is the durable build minus what the plain
+    // 1-shard build of the same database cost above.
+    let checkpoint_ms = (durable_build_ms - build1_ms).max(0.0);
+    for chunk in dpool.chunks(50).take(4) {
+        let batch: Vec<_> = chunk.iter().map(|g| (g.clone(), None)).collect();
+        std::hint::black_box(big.insert_graphs(batch));
+    }
+    let logged_ops = big.durable_ops().unwrap_or(0);
+    let pre = big.query(&q_ring);
+    let (pre_len, pre_hist) = (pre.len(), pre.per_label.clone());
+    drop(big);
+    let t = Instant::now();
+    let recovered = Engine::builder(smodel.clone(), GraphDb::new())
+        .config(scfg.clone())
+        .durable(&rec_dir)
+        .fsync(FsyncPolicy::Batch)
+        .build();
+    let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+    let report_replayed = recovered.recovery_report().map(|r| r.ops_replayed).unwrap_or(0);
+    let post = recovered.query(&q_ring);
+    if post.len() != pre_len || post.per_label != pre_hist {
+        eprintln!(
+            "FATAL: recovered engine diverged on the motif probe \
+             ({} matches vs {} before the restart)",
+            post.len(),
+            pre_len
+        );
+        std::process::exit(2);
+    }
+    if recovered.recovery_report().is_none() {
+        eprintln!("FATAL: rebuilt engine reports no recovery — checkpoint was not read");
+        std::process::exit(2);
+    }
+    drop(recovered);
+    eprintln!(
+        "durable recovery of {scale_graphs} graphs: checkpoint ~{checkpoint_ms:.0} ms, \
+         {logged_ops} logged ops ({report_replayed} replayed), recovery {recovery_ms:.2} ms"
+    );
+    let _ = std::fs::remove_dir_all(&dur_root);
+
+    // The throughput bar tolerates the fsync cost of group commit but
+    // not a collapse; the recovery bar is generous wall-clock (the CI
+    // runner reloads a ~10^5-graph image) and carries "direction": "min"
+    // so trajectory tooling knows smaller is better.
+    let wal_threshold = 0.5f64;
+    let wal_pass = wal_ratio >= wal_threshold;
+    let recovery_budget_ms = 180_000.0f64;
+    let recovery_pass = recovery_ms <= recovery_budget_ms;
+    let djson = serde_json::json!({
+        "pr": 7u32,
+        "host": serde_json::json!({ "cores": cores as u64 }),
+        "database": serde_json::json!({
+            "graphs": scale_graphs as u64,
+            "throughput_seed_graphs": 500u64,
+            "throughput_inserts": dpool.len() as u64,
+            "fsync": "batch",
+        }),
+        "results": serde_json::json!([
+            serde_json::json!({
+                "name": "durable_insert_throughput",
+                "inmem_ops_s": mem_ops_s,
+                "wal_ops_s": wal_ops_s,
+                "ratio": wal_ratio,
+            }),
+            serde_json::json!({
+                "name": "durable_recovery",
+                "checkpoint_ms": checkpoint_ms,
+                "logged_ops": logged_ops,
+                "ops_replayed": report_replayed,
+                "recovery_ms": recovery_ms,
+            }),
+        ]),
+        "gates": serde_json::json!([
+            serde_json::json!({
+                "metric": "durable_insert_throughput.ratio",
+                "threshold": wal_threshold,
+                "value": wal_ratio,
+                "pass": wal_pass,
+            }),
+            serde_json::json!({
+                "metric": "durable_recovery.recovery_ms",
+                "threshold": recovery_budget_ms,
+                "value": recovery_ms,
+                "pass": recovery_pass,
+                "direction": "min",
+            }),
+        ]),
+    });
+    let pretty = serde_json::to_string_pretty(&djson).expect("serializable");
+    std::fs::write(&out_durable, pretty + "\n").expect("write durability bench json");
+    eprintln!("wrote {out_durable}");
+
+    if check && !wal_pass {
+        eprintln!(
+            "GATE FAILED: WAL-on insert throughput ({wal_ops_s:.0} ops/s) fell below \
+             {wal_threshold}x the in-memory rate ({mem_ops_s:.0} ops/s) under fsync=batch"
+        );
+        std::process::exit(1);
+    }
+    if check && !recovery_pass {
+        eprintln!(
+            "GATE FAILED: recovering the {scale_graphs}-graph database took {recovery_ms:.0} ms \
+             (budget {recovery_budget_ms:.0} ms)"
         );
         std::process::exit(1);
     }

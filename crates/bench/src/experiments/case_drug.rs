@@ -74,7 +74,7 @@ pub fn run() {
         ds.test_ids.iter().copied().filter(|&id| ds.db.predicted(id) == Some(1)).take(5).collect();
     let engine = Engine::builder(ds.model.clone(), ds.db.clone()).config(cfg.clone()).build();
     let vid = engine.explain_subset(1, &ids);
-    let view = engine.store().view(vid);
+    let view = engine.view(vid).expect("view just generated");
     println!("\n  GVEX explanation view patterns for label 'mutagen':");
     for (i, p) in view.patterns.iter().enumerate() {
         println!("    P{} = {}", i + 1, describe_pattern(p, &|t| atom_namer(t)));

@@ -89,6 +89,7 @@
 //! let then = snap.query(&ViewQuery::pattern(p).label(0)); // does not
 //! ```
 
+use crate::durable::{self, Durability, RecoveryReport};
 use crate::query::{self, QueryResult, ViewQuery};
 use crate::snapshot::{Pins, SnapShard};
 use crate::store::{ViewId, ViewStore};
@@ -98,10 +99,12 @@ use crate::{
 use gvex_gnn::GcnModel;
 use gvex_graph::{shard, ClassLabel, Epoch, Graph, GraphDb, GraphId, ShardId};
 use gvex_pattern::vf2;
+use gvex_store::{FsyncPolicy, InsertEntry, RemoveEntry, StoreError, WalOp, WalRecord};
 use rayon::prelude::*;
 use rayon::ThreadPool;
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::ops::Deref;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -116,6 +119,9 @@ pub struct EngineBuilder {
     staleness_bound: usize,
     threads: usize,
     shards: usize,
+    durable: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    checkpoint_every: u64,
 }
 
 impl EngineBuilder {
@@ -131,6 +137,9 @@ impl EngineBuilder {
             staleness_bound: 32,
             threads: 0,
             shards: 1,
+            durable: None,
+            fsync: FsyncPolicy::Batch,
+            checkpoint_every: 1024,
         }
     }
 
@@ -190,11 +199,60 @@ impl EngineBuilder {
         self
     }
 
+    /// Makes the engine **durable**, rooted at `path`: every mutation
+    /// appends to per-shard write-ahead logs inside its commit section,
+    /// periodic [`Engine::checkpoint`]s snapshot the full state, and
+    /// building over a directory that already holds state **recovers
+    /// it** — the seed database passed to [`Engine::builder`] is then
+    /// ignored (the directory is authoritative, including its shard
+    /// count), so recover with an empty seed db. Without this call the
+    /// engine is purely in-memory, exactly as before. See the
+    /// crate-level durability docs in `gvex_store` and the README's
+    /// "Durability" section.
+    pub fn durable(mut self, path: impl Into<PathBuf>) -> Self {
+        self.durable = Some(path.into());
+        self
+    }
+
+    /// Fsync policy of the write-ahead logs (durable engines only).
+    /// Default: [`FsyncPolicy::Batch`] (group commit). Use
+    /// [`FsyncPolicy::Always`] when an acknowledged op must survive any
+    /// crash.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Automatic checkpoint cadence (durable engines only): after this
+    /// many logged ops, the next mutation entry point checkpoints and
+    /// resets the logs before doing its work. `0` disables automatic
+    /// checkpoints ([`Engine::checkpoint`] remains available). Default:
+    /// 1024.
+    pub fn checkpoint_every(mut self, ops: u64) -> Self {
+        self.checkpoint_every = ops;
+        self
+    }
+
+    /// Builds the engine (see [`EngineBuilder::try_build`]).
+    ///
+    /// # Panics
+    /// Panics when the durable directory cannot be initialized or
+    /// recovered; [`EngineBuilder::try_build`] is the fallible path.
+    /// In-memory builds (no [`EngineBuilder::durable`]) never fail.
+    pub fn build(self) -> Engine {
+        self.try_build().expect("durable engine directory must initialize or recover")
+    }
+
     /// Builds the engine: constructs both algorithms from the
     /// configuration, the (bounded) context cache, the explainer pool,
     /// and the shard set — each with an empty view store indexed over
-    /// its partition of the database.
-    pub fn build(self) -> Engine {
+    /// its partition of the database. For durable builds, then either
+    /// adopts the directory's recovered state (checkpoint + WAL replay)
+    /// or writes the seed state as the initial checkpoint.
+    pub fn try_build(mut self) -> Result<Engine, StoreError> {
+        let durable = self.durable.take();
+        let fsync = self.fsync;
+        let checkpoint_every = self.checkpoint_every;
         let mut approx = ApproxGvex::new(self.config.clone());
         approx.verify_scan_limit = self.verify_scan_limit;
         let stream = StreamGvex::new(self.config.clone());
@@ -234,7 +292,7 @@ impl EngineBuilder {
                 writer: Mutex::new(()),
             })
             .collect();
-        Engine {
+        let mut engine = Engine {
             model: self.model,
             config: self.config,
             approx,
@@ -246,13 +304,18 @@ impl EngineBuilder {
             clock,
             probes: AtomicU64::new(0),
             staleness_bound: self.staleness_bound,
+            dur: None,
+        };
+        if let Some(dir) = durable {
+            durable::attach(&mut engine, dir, fsync, checkpoint_every)?;
         }
+        Ok(engine)
     }
 }
 
 /// Which algorithm produced (and full-recomputes) a maintained view.
 #[derive(Debug, Clone, Copy)]
-enum ViewAlgo {
+pub(crate) enum ViewAlgo {
     /// `ApproxGVEX` (Algorithm 1) over the whole label group.
     Approx,
     /// `StreamGVEX` (Algorithm 3) with this stream-prefix fraction.
@@ -263,28 +326,28 @@ enum ViewAlgo {
 /// owning shard's **store-local** view id (the global handle adds the
 /// shard bits at the API boundary).
 #[derive(Debug, Clone, Copy)]
-struct LiveView {
-    id: ViewId,
-    algo: ViewAlgo,
+pub(crate) struct LiveView {
+    pub(crate) id: ViewId,
+    pub(crate) algo: ViewAlgo,
     /// Incremental updates applied since the last full (re)compute.
-    staleness: usize,
+    pub(crate) staleness: usize,
 }
 
 /// One label-partitioned shard: the previous monolithic engine's
 /// mutable state, minus everything that stays shared (model, config,
 /// contexts, pins, pool, watermark clock).
 #[derive(Debug)]
-struct Shard {
-    db: RwLock<GraphDb>,
-    store: Arc<ViewStore>,
+pub(crate) struct Shard {
+    pub(crate) db: RwLock<GraphDb>,
+    pub(crate) store: Arc<ViewStore>,
     /// Label → the view incremental maintenance keeps current
     /// (labels routing to this shard only).
-    live: Mutex<FxHashMap<ClassLabel, LiveView>>,
+    pub(crate) live: Mutex<FxHashMap<ClassLabel, LiveView>>,
     /// Serializes this shard's mutators: held across a whole insert /
     /// remove / explain touching the shard, so commit sections and
     /// maintenance never interleave *within* a shard, while mutators of
     /// other shards — and readers everywhere — proceed.
-    writer: Mutex<()>,
+    pub(crate) writer: Mutex<()>,
 }
 
 /// Shared read guard over one shard's database, handed out by
@@ -326,16 +389,21 @@ pub struct Engine {
     pins: Arc<Pins>,
     /// Engine-owned explainer pool; `None` falls back to the global pool.
     pool: Option<Arc<ThreadPool>>,
-    shards: Vec<Shard>,
+    pub(crate) shards: Vec<Shard>,
     /// The global watermark clock. Advanced only by [`Engine::tick`],
     /// under the database write locks of every shard the new epoch
     /// stamps — the invariant [`Engine::snapshot`]'s consistency rests
-    /// on (module docs).
-    clock: AtomicU64,
+    /// on (module docs). (Recovery, holding `&mut Engine`, stores and
+    /// `fetch_max`es it directly — no concurrent reader exists then.)
+    pub(crate) clock: AtomicU64,
     /// Cumulative count of shard stores consulted by [`Engine::query`]
     /// — the scatter width diagnostic ([`Engine::shard_probes`]).
     probes: AtomicU64,
     staleness_bound: usize,
+    /// Durability state (`None` = in-memory engine): per-shard WAL
+    /// writers, checkpoint cadence, and the recovery report of the
+    /// build that attached it. See [`crate::durable`].
+    pub(crate) dur: Option<Durability>,
 }
 
 impl Engine {
@@ -512,6 +580,7 @@ impl Engine {
         if batch.is_empty() {
             return (Vec::new(), self.head());
         }
+        self.maybe_checkpoint();
         // Classification and pattern-index matching of each arrival are
         // pre-computed here, in parallel, against the immutable model
         // and the owning shard's append-only index entries: entries
@@ -535,11 +604,13 @@ impl Engine {
         // cover only the splices — the VF2 matching already happened.
         let (epoch, clones) = {
             let mut guards = self.db_write_guards(&affected);
+            let seq = self.wal_seq();
             let epoch = self.tick();
             for (_, db) in guards.iter_mut() {
                 db.sync_epoch(epoch);
             }
-            for ((g, truth), (predicted, matched)) in batch.into_iter().zip(prep) {
+            let mut logged: FxHashMap<usize, Vec<InsertEntry>> = FxHashMap::default();
+            for (i, ((g, truth), (predicted, matched))) in batch.into_iter().zip(prep).enumerate() {
                 let s = self.route(predicted);
                 let pos = affected.binary_search(&s).expect("shard in affected set");
                 let db = &mut *guards[pos].1;
@@ -547,7 +618,32 @@ impl Engine {
                 db.set_predicted(id, predicted);
                 self.shards[s].store.commit_arrival(db, id, epoch, &matched);
                 work.entry(s).or_default().entry(predicted).or_default().push(id);
+                if seq.is_some() {
+                    logged.entry(s).or_default().push(InsertEntry {
+                        pos: i as u32,
+                        id,
+                        truth,
+                        graph: db.get_graph(id).expect("just pushed").clone(),
+                    });
+                }
                 ids.push(id);
+            }
+            // Log while the write guards are held: the op is durable
+            // (per the fsync policy) before any reader can observe it.
+            if let Some(seq) = seq {
+                let participants: Vec<u32> = affected.iter().map(|&s| s as u32).collect();
+                for &s in &affected {
+                    let entries = logged.remove(&s).expect("every affected shard got an entry");
+                    self.wal_append(
+                        s,
+                        &WalRecord {
+                            batch: seq,
+                            epoch: epoch.0,
+                            participants: participants.clone(),
+                            op: WalOp::Insert(entries),
+                        },
+                    );
+                }
             }
             let clones: Vec<(usize, GraphDb)> =
                 guards.iter().map(|(s, db)| (*s, (**db).clone())).collect();
@@ -577,12 +673,14 @@ impl Engine {
         if affected.is_empty() {
             return self.head();
         }
+        self.maybe_checkpoint();
         let _w = self.writer_guards(&affected);
         let mut removed = Vec::new();
         let mut work: FxHashMap<usize, FxHashMap<ClassLabel, FxHashSet<GraphId>>> =
             FxHashMap::default();
         let (epoch, clones) = {
             let mut guards = self.db_write_guards(&affected);
+            let seq = self.wal_seq();
             let epoch = self.tick();
             for (_, db) in guards.iter_mut() {
                 db.sync_epoch(epoch);
@@ -601,6 +699,29 @@ impl Engine {
                         work.entry(s).or_default().entry(l).or_default().insert(id);
                     }
                     removed.push(id);
+                }
+            }
+            // Log *all* routed ids, stale ones included: replay must
+            // re-submit the batch as it was submitted so the epoch
+            // accounting (which ids were skipped) reproduces exactly.
+            if let Some(seq) = seq {
+                let mut logged: FxHashMap<usize, Vec<RemoveEntry>> = FxHashMap::default();
+                for (i, &id) in ids.iter().enumerate() {
+                    let Some(s) = self.shard_of(id) else { continue };
+                    logged.entry(s).or_default().push(RemoveEntry { pos: i as u32, id });
+                }
+                let participants: Vec<u32> = affected.iter().map(|&s| s as u32).collect();
+                for &s in &affected {
+                    let entries = logged.remove(&s).expect("every affected shard got an entry");
+                    self.wal_append(
+                        s,
+                        &WalRecord {
+                            batch: seq,
+                            epoch: epoch.0,
+                            participants: participants.clone(),
+                            op: WalOp::Remove(entries),
+                        },
+                    );
                 }
             }
             let clones: Vec<(usize, GraphDb)> =
@@ -824,11 +945,17 @@ impl Engine {
     /// are stamped with it — the repeatable-read half of the snapshot
     /// contract. (Lock order db → store matches the mutation commit
     /// sections; the store never reaches back for the engine's locks.)
-    fn commit_shard_views<R>(&self, s: usize, commit: impl FnOnce(&GraphDb, &ViewStore) -> R) -> R {
+    /// Returns the closure's result and the commit epoch (the latter is
+    /// what the durability layer logs for exact-epoch replay).
+    fn commit_shard_views<R>(
+        &self,
+        s: usize,
+        commit: impl FnOnce(&GraphDb, &ViewStore) -> R,
+    ) -> (R, Epoch) {
         let mut db = self.shards[s].db.write().expect("db lock");
         let e = self.tick();
         db.sync_epoch(e);
-        commit(&db, &self.shards[s].store)
+        (commit(&db, &self.shards[s].store), e)
     }
 
     /// Generates one view per label group of the database (the EVG
@@ -842,6 +969,7 @@ impl Engine {
     /// identical to explaining the labels one by one. Queries from
     /// other threads keep being served while generation is in flight.
     pub fn explain_all(&self) -> Vec<ViewId> {
+        self.maybe_checkpoint();
         let all = sorted_shards(0..self.shards.len());
         let _w = self.writer_guards(&all);
         let clones: Vec<GraphDb> = (0..self.shards.len()).map(|s| self.read_clone(s)).collect();
@@ -872,9 +1000,10 @@ impl Engine {
             per_shard.entry(self.route(label)).or_default().push((label, view));
         }
         let mut handles: FxHashMap<ClassLabel, ViewId> = FxHashMap::default();
+        let mut first_epoch: Option<Epoch> = None;
         for s in sorted_shards(per_shard.keys().copied()) {
             let items = per_shard.remove(&s).expect("shard key");
-            self.commit_shard_views(s, |db, store| {
+            let ((), e) = self.commit_shard_views(s, |db, store| {
                 for (label, view) in items {
                     let local = store.insert(view, db);
                     self.shards[s].live.lock().expect("live view lock").insert(
@@ -884,6 +1013,25 @@ impl Engine {
                     handles.insert(label, ViewId::sharded(s as ShardId, local));
                 }
             });
+            first_epoch.get_or_insert(e);
+        }
+        // One record on shard 0 replays the whole op (it recomputes
+        // every label deterministically); nothing commits when there
+        // were no labels, so nothing is logged either. All writer
+        // mutexes are held, so the clock cannot move between the first
+        // commit and this append.
+        if let Some(first) = first_epoch {
+            if let Some(seq) = self.wal_seq() {
+                self.wal_append(
+                    0,
+                    &WalRecord {
+                        batch: seq,
+                        epoch: first.0,
+                        participants: vec![0],
+                        op: WalOp::ExplainAll,
+                    },
+                );
+            }
         }
         labels.iter().map(|l| handles[l]).collect()
     }
@@ -896,16 +1044,28 @@ impl Engine {
     /// shard's writer serializes — explanations of labels owned by
     /// other shards proceed in parallel.
     pub fn explain_label(&self, label: ClassLabel) -> ViewId {
+        self.maybe_checkpoint();
         let s = self.route(label);
         let _w = self.shards[s].writer.lock().expect("writer lock");
         let db = self.read_clone(s);
         let ids = db.label_group(label);
-        let vid = self.explain_ids(s, &db, label, &ids);
+        let (vid, e) = self.explain_ids(s, &db, label, &ids);
         self.shards[s]
             .live
             .lock()
             .expect("live view lock")
             .insert(label, LiveView { id: vid.local(), algo: ViewAlgo::Approx, staleness: 0 });
+        if let Some(seq) = self.wal_seq() {
+            self.wal_append(
+                s,
+                &WalRecord {
+                    batch: seq,
+                    epoch: e.0,
+                    participants: vec![s as u32],
+                    op: WalOp::ExplainLabel(label),
+                },
+            );
+        }
         vid
     }
 
@@ -916,17 +1076,37 @@ impl Engine {
     /// skipped (not a panic): the view covers whatever the subset still
     /// names within `label`'s owning shard.
     pub fn explain_subset(&self, label: ClassLabel, ids: &[GraphId]) -> ViewId {
+        self.maybe_checkpoint();
         let s = self.route(label);
         let _w = self.shards[s].writer.lock().expect("writer lock");
         let db = self.read_clone(s);
-        self.explain_ids(s, &db, label, ids)
+        let (vid, e) = self.explain_ids(s, &db, label, ids);
+        if let Some(seq) = self.wal_seq() {
+            self.wal_append(
+                s,
+                &WalRecord {
+                    batch: seq,
+                    epoch: e.0,
+                    participants: vec![s as u32],
+                    op: WalOp::ExplainSubset { label, ids: ids.to_vec() },
+                },
+            );
+        }
+        vid
     }
 
     /// `ApproxGVEX` over `ids` against shard `s`'s head clone; no
     /// engine lock is held during the explanation, so readers are
     /// served throughout. The finished view commits at a fresh
-    /// watermark epoch. Returns the global (shard-bit) handle.
-    fn explain_ids(&self, s: usize, db: &GraphDb, label: ClassLabel, ids: &[GraphId]) -> ViewId {
+    /// watermark epoch. Returns the global (shard-bit) handle and the
+    /// commit epoch (for the caller's WAL record).
+    fn explain_ids(
+        &self,
+        s: usize,
+        db: &GraphDb,
+        label: ClassLabel,
+        ids: &[GraphId],
+    ) -> (ViewId, Epoch) {
         let view = parallel::explain_label_parallel(
             &self.approx,
             &self.model,
@@ -936,8 +1116,8 @@ impl Engine {
             self.pool.as_deref(),
             &self.contexts,
         );
-        let local = self.commit_shard_views(s, |db, store| store.insert(view, db));
-        ViewId::sharded(s as ShardId, local)
+        let (local, e) = self.commit_shard_views(s, |db, store| store.insert(view, db));
+        (ViewId::sharded(s as ShardId, local), e)
     }
 
     /// Generates `label`'s view with `StreamGVEX` (Algorithm 3),
@@ -945,15 +1125,27 @@ impl Engine {
     /// anytime mode), inserts it into the owning shard's store, and
     /// registers it for incremental maintenance at the same fraction.
     pub fn stream(&self, label: ClassLabel, fraction: f64) -> ViewId {
+        self.maybe_checkpoint();
         let s = self.route(label);
         let _w = self.shards[s].writer.lock().expect("writer lock");
         let db = self.read_clone(s);
         let ids = db.label_group(label);
-        let vid = self.stream_ids(s, &db, label, &ids, fraction);
+        let (vid, e) = self.stream_ids(s, &db, label, &ids, fraction);
         self.shards[s].live.lock().expect("live view lock").insert(
             label,
             LiveView { id: vid.local(), algo: ViewAlgo::Stream { fraction }, staleness: 0 },
         );
+        if let Some(seq) = self.wal_seq() {
+            self.wal_append(
+                s,
+                &WalRecord {
+                    batch: seq,
+                    epoch: e.0,
+                    participants: vec![s as u32],
+                    op: WalOp::Stream { label, fraction },
+                },
+            );
+        }
         vid
     }
 
@@ -961,10 +1153,23 @@ impl Engine {
     /// maintenance). Stale or foreign-shard ids are skipped, as in
     /// [`Engine::explain_subset`].
     pub fn stream_subset(&self, label: ClassLabel, ids: &[GraphId], fraction: f64) -> ViewId {
+        self.maybe_checkpoint();
         let s = self.route(label);
         let _w = self.shards[s].writer.lock().expect("writer lock");
         let db = self.read_clone(s);
-        self.stream_ids(s, &db, label, ids, fraction)
+        let (vid, e) = self.stream_ids(s, &db, label, ids, fraction);
+        if let Some(seq) = self.wal_seq() {
+            self.wal_append(
+                s,
+                &WalRecord {
+                    batch: seq,
+                    epoch: e.0,
+                    participants: vec![s as u32],
+                    op: WalOp::StreamSubset { label, ids: ids.to_vec(), fraction },
+                },
+            );
+        }
+        vid
     }
 
     fn stream_ids(
@@ -974,11 +1179,11 @@ impl Engine {
         label: ClassLabel,
         ids: &[GraphId],
         fraction: f64,
-    ) -> ViewId {
+    ) -> (ViewId, Epoch) {
         let view =
             self.stream.explain_label_cached(&self.model, db, label, ids, fraction, &self.contexts);
-        let local = self.commit_shard_views(s, |db, store| store.insert(view, db));
-        ViewId::sharded(s as ShardId, local)
+        let (local, e) = self.commit_shard_views(s, |db, store| store.insert(view, db));
+        (ViewId::sharded(s as ShardId, local), e)
     }
 
     /// Resolves a global view handle to its current (head) version,
@@ -1010,6 +1215,138 @@ impl Engine {
                 .collect()
         });
         query::merge_shard_results(parts)
+    }
+
+    // ---- durability ---------------------------------------------------
+
+    /// Whether the engine was built with [`EngineBuilder::durable`].
+    pub fn is_durable(&self) -> bool {
+        self.dur.is_some()
+    }
+
+    /// Total ops logged to the write-ahead logs over the engine's
+    /// durable lifetime (the next batch ordinal), or `None` on an
+    /// in-memory engine. Survives recovery: a recovered engine resumes
+    /// the sequence where the crashed one left off.
+    pub fn durable_ops(&self) -> Option<u64> {
+        Some(self.dur.as_ref()?.op_seq.load(Ordering::SeqCst))
+    }
+
+    /// The recovery report of the build that attached durability, or
+    /// `None` when the engine is in-memory or its directory was fresh.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.dur.as_ref()?.report.as_ref()
+    }
+
+    /// Claims the next WAL batch ordinal, or `None` when the engine is
+    /// in-memory or currently replaying (replayed ops must not re-log).
+    /// Callers hold the writer mutexes of every shard the op touches,
+    /// so within a shard the claimed ordinals are monotone in commit
+    /// (epoch) order — the order replay relies on.
+    fn wal_seq(&self) -> Option<u64> {
+        let dur = self.dur.as_ref()?;
+        if dur.replaying.load(Ordering::SeqCst) {
+            return None;
+        }
+        dur.ops_since_checkpoint.fetch_add(1, Ordering::SeqCst);
+        Some(dur.op_seq.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Appends `rec` to shard `s`'s log, inside the op's commit
+    /// section: the op is on stable storage (per the fsync policy)
+    /// before its effects become observable.
+    ///
+    /// # Panics
+    /// Panics when the append fails — a durable engine that can no
+    /// longer log cannot honor acknowledgements, so this is fail-stop
+    /// by design (recovery replays the intact prefix).
+    fn wal_append(&self, s: usize, rec: &WalRecord) {
+        let dur = self.dur.as_ref().expect("wal_append requires a durable engine");
+        dur.wals[s].lock().expect("wal lock").append(rec).expect("WAL append must succeed");
+    }
+
+    /// Runs the automatic checkpoint when the logged-op budget is
+    /// spent. Called at mutator entry **before** any guard is taken —
+    /// [`Engine::checkpoint`] acquires every writer mutex itself, and
+    /// the mutexes are not reentrant.
+    fn maybe_checkpoint(&self) {
+        let Some(dur) = self.dur.as_ref() else { return };
+        if dur.checkpoint_every == 0 || dur.replaying.load(Ordering::SeqCst) {
+            return;
+        }
+        if dur.ops_since_checkpoint.load(Ordering::SeqCst) >= dur.checkpoint_every {
+            self.checkpoint().expect("automatic checkpoint must succeed");
+        }
+    }
+
+    /// Writes a full checkpoint — every shard's slots (compacted slots
+    /// included: id space is part of the image), view-store records
+    /// with their materialized rows, live-view registrations, the
+    /// watermark, and the durable op sequence — then resets the
+    /// write-ahead logs (their effects are now in the checkpoint).
+    /// Atomic via write-to-temp + rename: a crash mid-checkpoint
+    /// recovers from the previous image plus the still-intact logs; a
+    /// crash between the rename and the log reset is handled by replay
+    /// skipping batches older than the image's op sequence.
+    ///
+    /// Blocks all mutators (every writer mutex) for the duration;
+    /// readers keep answering until the brief final read-lock
+    /// acquisition. No-op returning `Ok(None)` on an in-memory engine;
+    /// otherwise returns the watermark the image captured.
+    pub fn checkpoint(&self) -> Result<Option<Epoch>, StoreError> {
+        let Some(dur) = self.dur.as_ref() else { return Ok(None) };
+        let all = sorted_shards(0..self.shards.len());
+        let _w = self.writer_guards(&all);
+        let guards: Vec<RwLockReadGuard<'_, GraphDb>> =
+            self.shards.iter().map(|s| s.db.read().expect("db lock")).collect();
+        let watermark = self.head();
+        let op_seq = dur.op_seq.load(Ordering::SeqCst);
+        let shards: Vec<gvex_store::ShardState> = guards
+            .iter()
+            .zip(&self.shards)
+            .enumerate()
+            .map(|(i, (db, sh))| {
+                let slots = db
+                    .export_slots()
+                    .map(|e| gvex_store::SlotState {
+                        graph: e.graph.cloned(),
+                        truth: e.truth,
+                        predicted: e.predicted,
+                        born: e.born.0,
+                        died: e.died.0,
+                    })
+                    .collect();
+                let live = sh
+                    .live
+                    .lock()
+                    .expect("live view lock")
+                    .iter()
+                    .map(|(l, lv)| gvex_store::LiveState {
+                        label: *l,
+                        view: lv.id.0,
+                        stream_fraction: match lv.algo {
+                            ViewAlgo::Approx => None,
+                            ViewAlgo::Stream { fraction } => Some(fraction),
+                        },
+                        staleness: lv.staleness as u64,
+                    })
+                    .collect();
+                gvex_store::ShardState {
+                    shard: i as u32,
+                    db_epoch: db.epoch().0,
+                    slots,
+                    views: sh.store.export_records(),
+                    live,
+                }
+            })
+            .collect();
+        let ck = gvex_store::CheckpointFile { watermark: watermark.0, op_seq, shards };
+        gvex_store::write_checkpoint(&dur.dir, &ck)?;
+        for w in &dur.wals {
+            w.lock().expect("wal lock").reset()?;
+        }
+        dur.ops_since_checkpoint.store(0, Ordering::SeqCst);
+        Ok(Some(watermark))
     }
 
     /// Collects the current (head) versions of the stored views of

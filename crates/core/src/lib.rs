@@ -44,6 +44,7 @@ pub mod approx;
 pub mod capabilities;
 mod config;
 mod context;
+mod durable;
 pub mod engine;
 pub mod explain;
 pub mod export;
@@ -62,9 +63,11 @@ mod view;
 pub use approx::ApproxGvex;
 pub use config::Config;
 pub use context::{ContextCache, GraphContext};
+pub use durable::RecoveryReport;
 pub use engine::{DbGuard, Engine, EngineBuilder};
 pub use explain::{Explainer, Explanation, VerifyFlags};
 pub use gvex_graph::Epoch;
+pub use gvex_store::{FsyncPolicy, StoreError};
 pub use query::ViewQuery;
 pub use snapshot::Snapshot;
 pub use store::{ViewId, ViewStore};

@@ -432,38 +432,7 @@ impl ViewStore {
     pub fn push_version(&self, id: ViewId, view: ExplanationView, db: &GraphDb) {
         let epoch = db.epoch();
         let subs: Vec<Graph> = view.subgraphs.iter().map(|s| s.induced(db).0).collect();
-        let ids_flat: Vec<GraphId> = view.subgraphs.iter().map(|s| s.graph_id).collect();
-        // Scan novel patterns against the database before taking the
-        // write lock, so concurrent warm probes are never blocked behind
-        // a database scan.
-        let novel: Vec<(&Pattern, Vec<Posting>)> = {
-            let index = self.index.read().expect("pattern index lock");
-            view.patterns
-                .iter()
-                .filter(|p| index.find(p).is_none())
-                .map(|p| (p, scan_postings(p, db)))
-                .collect()
-        };
-        let row = {
-            let mut index = self.index.write().expect("pattern index lock");
-            let row = index.rows.len();
-            // Existing entries vs the new version's subgraphs.
-            for entry in &mut index.entries {
-                let hits = matching_ids(&entry.pattern, &subs, &ids_flat);
-                if !hits.is_empty() {
-                    entry.row_graphs.insert(row as u32, hits);
-                }
-            }
-            index.rows.push(SubgraphRow { subs, ids: ids_flat });
-            // Novel patterns of the new version (the row was just
-            // pushed, so insert_scanned records its occurrences too).
-            for (p, postings) in novel {
-                if index.find(p).is_none() {
-                    index.insert_scanned(p, postings);
-                }
-            }
-            row
-        };
+        let row = self.index_version(&view, subs, db);
         let mut views = self.views.write().expect("view store lock");
         let rec = &mut views[id.idx()];
         if let Some(prev) = rec.versions.last_mut() {
@@ -474,13 +443,39 @@ impl ViewStore {
         rec.versions.push(ViewVersion { born: epoch, died: Epoch::MAX, view: Arc::new(view), row });
     }
 
-    /// The current (head) version of the view behind a handle.
-    ///
-    /// # Panics
-    /// Panics if `id` does not come from this store or the view has been
-    /// fully tombstoned; [`ViewStore::get`] is the non-panicking path.
-    pub fn view(&self, id: ViewId) -> Arc<ExplanationView> {
-        self.get(id).expect("view id from this store")
+    /// Indexes one view version: matches existing pattern entries
+    /// against its subgraph tier, pushes its row, and memoizes its
+    /// novel pattern classes (scanned against `db` outside the write
+    /// lock, so concurrent warm probes are never blocked behind a
+    /// database scan). Returns the row index.
+    fn index_version(&self, view: &ExplanationView, subs: Vec<Graph>, db: &GraphDb) -> usize {
+        let ids_flat: Vec<GraphId> = view.subgraphs.iter().map(|s| s.graph_id).collect();
+        let novel: Vec<(&Pattern, Vec<Posting>)> = {
+            let index = self.index.read().expect("pattern index lock");
+            view.patterns
+                .iter()
+                .filter(|p| index.find(p).is_none())
+                .map(|p| (p, scan_postings(p, db)))
+                .collect()
+        };
+        let mut index = self.index.write().expect("pattern index lock");
+        let row = index.rows.len();
+        // Existing entries vs the new version's subgraphs.
+        for entry in &mut index.entries {
+            let hits = matching_ids(&entry.pattern, &subs, &ids_flat);
+            if !hits.is_empty() {
+                entry.row_graphs.insert(row as u32, hits);
+            }
+        }
+        index.rows.push(SubgraphRow { subs, ids: ids_flat });
+        // Novel patterns of the new version (the row was just pushed,
+        // so insert_scanned records its occurrences too).
+        for (p, postings) in novel {
+            if index.find(p).is_none() {
+                index.insert_scanned(p, postings);
+            }
+        }
+        row
     }
 
     /// The current (head) version of the view behind a handle, or `None`
@@ -699,6 +694,141 @@ impl ViewStore {
     /// Number of indexed pattern classes.
     pub fn indexed_patterns(&self) -> usize {
         self.index.read().expect("pattern index lock").entries.len()
+    }
+
+    // ---- durability (checkpoint export / recovery restore) ------------
+
+    /// Exports every view record — all versions with their epoch
+    /// intervals and materialized subgraph-tier rows — as the store's
+    /// checkpoint image. The label and pattern indexes are not
+    /// exported: [`ViewStore::restore`] rebuilds both deterministically
+    /// from the records and the database. The engine calls this under
+    /// every shard writer mutex, so the two lock scopes below read one
+    /// consistent state.
+    pub fn export_records(&self) -> Vec<gvex_store::ViewRecordState> {
+        type Skeleton = Vec<Vec<(Epoch, Epoch, Arc<ExplanationView>, usize)>>;
+        let skeleton: Skeleton = {
+            let views = self.views.read().expect("view store lock");
+            views
+                .iter()
+                .map(|rec| {
+                    rec.versions
+                        .iter()
+                        .map(|v| (v.born, v.died, Arc::clone(&v.view), v.row))
+                        .collect()
+                })
+                .collect()
+        };
+        let index = self.index.read().expect("pattern index lock");
+        skeleton
+            .into_iter()
+            .map(|versions| gvex_store::ViewRecordState {
+                versions: versions
+                    .into_iter()
+                    .map(|(born, died, view, row)| gvex_store::VersionState {
+                        born: born.0,
+                        died: died.0,
+                        view: view_to_stored(&view),
+                        row: index.rows[row].subs.clone(),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Rebuilds a store from a checkpoint image: the label index comes
+    /// from `db`'s slot lifetimes (as in [`ViewStore::new`]), and every
+    /// version is re-installed at its recorded epoch interval with its
+    /// stored row — re-inducing the subgraphs is not an option, because
+    /// the backing graphs may have been removed and compacted since.
+    /// Pattern postings are re-scanned against `db`; posting lifetimes
+    /// mirror slot lifetimes, so the rebuilt index answers every
+    /// observable epoch exactly as the exported one did. (Ad-hoc
+    /// patterns memoized from queries are not restored; their next
+    /// probe re-scans and re-memoizes identically.)
+    pub fn restore(db: &GraphDb, records: &[gvex_store::ViewRecordState]) -> ViewStore {
+        let store = ViewStore::new(db);
+        for rec in records {
+            let vid = {
+                let mut views = store.views.write().expect("view store lock");
+                let vid = ViewId(views.len() as u32);
+                views.push(ViewRecord::default());
+                vid
+            };
+            for v in &rec.versions {
+                store.install_version(
+                    vid,
+                    view_from_stored(&v.view),
+                    Epoch(v.born),
+                    Epoch(v.died),
+                    v.row.clone(),
+                    db,
+                );
+            }
+        }
+        store
+    }
+
+    /// Recovery-side version install: like [`ViewStore::push_version`]
+    /// but with an explicit epoch interval and a pre-materialized row,
+    /// and without tombstoning the previous version (the image already
+    /// carries every version's recorded interval).
+    fn install_version(
+        &self,
+        id: ViewId,
+        view: ExplanationView,
+        born: Epoch,
+        died: Epoch,
+        subs: Vec<Graph>,
+        db: &GraphDb,
+    ) {
+        let row = self.index_version(&view, subs, db);
+        let mut views = self.views.write().expect("view store lock");
+        views[id.idx()].versions.push(ViewVersion { born, died, view: Arc::new(view), row });
+    }
+}
+
+/// Converts a view to its checkpoint form (`gvex_store` cannot name
+/// [`ExplanationView`] without a dependency cycle, so the durable
+/// format mirrors it structurally).
+fn view_to_stored(view: &ExplanationView) -> gvex_store::StoredView {
+    gvex_store::StoredView {
+        label: view.label,
+        subgraphs: view
+            .subgraphs
+            .iter()
+            .map(|s| gvex_store::StoredSubgraph {
+                graph_id: s.graph_id,
+                nodes: s.nodes.clone(),
+                consistent: s.consistent,
+                counterfactual: s.counterfactual,
+                score: s.score,
+            })
+            .collect(),
+        patterns: view.patterns.clone(),
+        explainability: view.explainability,
+        edge_loss: view.edge_loss,
+    }
+}
+
+/// Inverse of [`view_to_stored`].
+fn view_from_stored(sv: &gvex_store::StoredView) -> ExplanationView {
+    ExplanationView {
+        label: sv.label,
+        subgraphs: sv
+            .subgraphs
+            .iter()
+            .map(|s| crate::ExplanationSubgraph {
+                graph_id: s.graph_id,
+                nodes: s.nodes.clone(),
+                consistent: s.consistent,
+                counterfactual: s.counterfactual,
+                score: s.score,
+            })
+            .collect(),
+        patterns: sv.patterns.clone(),
+        explainability: sv.explainability,
+        edge_loss: sv.edge_loss,
     }
 }
 

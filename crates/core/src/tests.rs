@@ -596,7 +596,7 @@ mod query_tests {
         let store = ViewStore::new(&db);
         let v0 = store.insert(view0, &db);
         let v1 = store.insert(view1, &db);
-        let head0 = store.view(v0);
+        let head0 = store.get(v0).expect("view just inserted");
         let best = query::most_discriminative(&store, &db, &head0);
         assert!(best.is_some());
         let (_, score) = best.unwrap();
@@ -622,7 +622,7 @@ mod query_tests {
         let in_view = ViewQuery::new().in_views([vid]).evaluate(&store, &db);
         assert_eq!(in_view.graphs, store.view_graph_ids(vid, &db));
         // Pattern + label conjunction matches the scan reference.
-        let p = store.view(vid).patterns[0].clone();
+        let p = store.get(vid).expect("view just inserted").patterns[0].clone();
         let got = ViewQuery::pattern(p.clone()).label(0).evaluate(&store, &db);
         assert_eq!(got.graphs, scan::label_graphs_containing(&db, &p, 0));
         // View-scoped pattern hits are a subset of the database hits.
@@ -816,7 +816,7 @@ mod engine_tests {
         assert!(std::sync::Arc::ptr_eq(&ctx_a, &ctx_b));
         // Views are queryable through the engine facade.
         for &vid in &views {
-            let view = engine.store().view(vid);
+            let view = engine.view(vid).expect("view just generated");
             assert!(!view.patterns.is_empty());
             let label = view.label;
             let p = view.patterns[0].clone();
@@ -834,7 +834,7 @@ mod engine_tests {
         let label = db.predicted(0).unwrap();
         let engine = Engine::builder(model, db).config(Config::with_bounds(1, 4)).build();
         let vid = engine.stream(label, 1.0);
-        let view = engine.store().view(vid);
+        let view = engine.view(vid).expect("view just generated");
         assert!(!view.subgraphs.is_empty());
         assert!(!view.patterns.is_empty());
         let set = engine.view_set();

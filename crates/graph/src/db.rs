@@ -328,6 +328,45 @@ impl GraphDb {
             .filter_map(|(i, s)| s.graph.as_deref().map(|g| (self.id_at(i), g, s.born, s.died)))
     }
 
+    /// Full slot-level export of this database, in id order — the
+    /// durability layer's checkpoint domain. Unlike
+    /// [`GraphDb::iter_all_payloads`] this includes compacted
+    /// (payload-`None`) slots: they still occupy id space, which
+    /// recovery must reproduce exactly.
+    pub fn export_slots(&self) -> impl Iterator<Item = SlotExport<'_>> {
+        self.slots.iter().map(|s| SlotExport {
+            graph: s.graph.as_deref(),
+            truth: s.truth,
+            predicted: s.predicted,
+            born: s.born,
+            died: s.died,
+        })
+    }
+
+    /// Appends one slot with explicit lifetime metadata — the
+    /// recovery-side inverse of [`GraphDb::export_slots`]. Unlike
+    /// [`GraphDb::push`] this does not stamp the current epoch and
+    /// accepts tombstoned (`died < Epoch::MAX`) and compacted
+    /// (`graph: None`) slots. Returns the composed id, which — slots
+    /// being allocated in order — equals the id the exported database
+    /// held at this position.
+    ///
+    /// # Panics
+    /// Panics when the shard's slot space is exhausted.
+    pub fn restore_slot(
+        &mut self,
+        graph: Option<Graph>,
+        truth: ClassLabel,
+        predicted: Option<ClassLabel>,
+        born: Epoch,
+        died: Epoch,
+    ) -> GraphId {
+        assert!(self.slots.len() <= shard::SLOT_MASK as usize, "shard slot space exhausted");
+        let id = self.id_at(self.slots.len());
+        self.slots.push(Slot { graph: graph.map(Arc::new), truth, predicted, born, died });
+        id
+    }
+
     /// Ground-truth label of graph `id`.
     ///
     /// # Panics
@@ -440,6 +479,22 @@ impl GraphDb {
             test: ids[n_train + n_val..].to_vec(),
         }
     }
+}
+
+/// One slot's full state as exported by [`GraphDb::export_slots`]
+/// (the checkpoint image of the slot).
+#[derive(Debug, Clone, Copy)]
+pub struct SlotExport<'a> {
+    /// Payload; `None` for compacted slots.
+    pub graph: Option<&'a Graph>,
+    /// Ground-truth label.
+    pub truth: ClassLabel,
+    /// Classifier prediction, if recorded.
+    pub predicted: Option<ClassLabel>,
+    /// Birth epoch.
+    pub born: Epoch,
+    /// Death epoch ([`Epoch::MAX`] while live).
+    pub died: Epoch,
 }
 
 /// Train/validation/test partition of a [`GraphDb`].

@@ -19,3 +19,4 @@ pub use gvex_gnn as gnn;
 pub use gvex_graph as graph;
 pub use gvex_linalg as linalg;
 pub use gvex_pattern as pattern;
+pub use gvex_store as store;

@@ -1,0 +1,460 @@
+//! Binary engine checkpoints.
+//!
+//! A checkpoint is a complete image of the engine's durable state at
+//! one watermark: for every shard, the full `GraphDb` slot array
+//! (including tombstoned and compacted slots — id spaces must survive
+//! recovery exactly), every view record with all its versions, each
+//! version's materialized subgraph-tier row, and the live-view
+//! maintenance registrations; plus the global watermark and the
+//! durable op ordinal the WAL continues from. It extends the portable
+//! export format (`gvex_core::export::to_portable`) — same
+//! two-tier view shape — into a binary, epoch-faithful image.
+//!
+//! The label and pattern indexes are deliberately **not** stored:
+//! both are deterministic functions of the data that is (the slot
+//! lifetimes and the view versions' pattern tiers and rows), and
+//! recovery rebuilds them through the store's normal construction
+//! path. Ad-hoc patterns memoized from queries are dropped; their next
+//! probe re-scans and re-memoizes identically.
+//!
+//! The file is staged in `checkpoint.tmp` and atomically renamed over
+//! `checkpoint.bin` after an fsync, so a crash mid-checkpoint leaves
+//! the previous complete checkpoint in place. The payload carries a
+//! CRC32; a checkpoint that fails its checksum is a hard
+//! [`StoreError::Corrupt`] — unlike a WAL tail, there is no safe
+//! prefix of a snapshot.
+
+use crate::codec::{crc32, CodecError, Dec, Enc};
+use crate::StoreError;
+use gvex_graph::Graph;
+use gvex_pattern::Pattern;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic (`GVEXCKP1`).
+const MAGIC: &[u8; 8] = b"GVEXCKP1";
+
+/// One `GraphDb` slot, exactly as the engine held it: `graph` is
+/// `None` for compacted slots (the id space keeps the position).
+#[derive(Debug, Clone)]
+pub struct SlotState {
+    /// Payload; `None` after compaction reclaimed it.
+    pub graph: Option<Graph>,
+    /// Ground-truth label.
+    pub truth: u16,
+    /// Classifier prediction, if recorded.
+    pub predicted: Option<u16>,
+    /// Birth epoch.
+    pub born: u64,
+    /// Death epoch (`u64::MAX` while live).
+    pub died: u64,
+}
+
+/// One explanation subgraph of a stored view (mirrors
+/// `gvex_core::ExplanationSubgraph`, which this crate cannot name
+/// without a dependency cycle).
+#[derive(Debug, Clone)]
+pub struct StoredSubgraph {
+    /// The database graph this subgraph explains.
+    pub graph_id: u32,
+    /// Selected nodes of that graph.
+    pub nodes: Vec<u32>,
+    /// Factual-consistency flag (C1).
+    pub consistent: bool,
+    /// Counterfactual flag (C2).
+    pub counterfactual: bool,
+    /// Explainability contribution.
+    pub score: f64,
+}
+
+/// One explanation view's value (mirrors
+/// `gvex_core::ExplanationView`).
+#[derive(Debug, Clone)]
+pub struct StoredView {
+    /// The class label the view explains.
+    pub label: u16,
+    /// Subgraph tier.
+    pub subgraphs: Vec<StoredSubgraph>,
+    /// Pattern tier.
+    pub patterns: Vec<Pattern>,
+    /// Explainability objective value.
+    pub explainability: f64,
+    /// Edge-loss metric.
+    pub edge_loss: f64,
+}
+
+/// One version of a view record: the view value, its epoch interval,
+/// and the materialized induced subgraphs of its row (stored rather
+/// than re-induced at recovery, because the backing graphs may have
+/// been removed and compacted since the version was built).
+#[derive(Debug, Clone)]
+pub struct VersionState {
+    /// Birth epoch.
+    pub born: u64,
+    /// Death epoch (`u64::MAX` for the head version).
+    pub died: u64,
+    /// The view value.
+    pub view: StoredView,
+    /// The subgraph-tier row, aligned with `view.subgraphs`: the
+    /// induced graph of each explanation subgraph.
+    pub row: Vec<Graph>,
+}
+
+/// All versions of one view, oldest first (the store's record shape).
+#[derive(Debug, Clone, Default)]
+pub struct ViewRecordState {
+    /// Versions, oldest first.
+    pub versions: Vec<VersionState>,
+}
+
+/// One live-view maintenance registration.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveState {
+    /// The registered label.
+    pub label: u16,
+    /// Store-local view id.
+    pub view: u32,
+    /// `Some(fraction)` for `StreamGVEX` registrations, `None` for
+    /// `ApproxGVEX`.
+    pub stream_fraction: Option<f64>,
+    /// Incremental updates since the last full recompute.
+    pub staleness: u64,
+}
+
+/// One shard's complete durable state.
+#[derive(Debug, Clone)]
+pub struct ShardState {
+    /// The shard index (also the db's id-composition shard).
+    pub shard: u32,
+    /// The shard db's own epoch at checkpoint time.
+    pub db_epoch: u64,
+    /// Every allocated slot, in id order.
+    pub slots: Vec<SlotState>,
+    /// Every view record, in store insertion order.
+    pub views: Vec<ViewRecordState>,
+    /// Live-view registrations.
+    pub live: Vec<LiveState>,
+}
+
+/// A complete engine checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointFile {
+    /// Global watermark at checkpoint time.
+    pub watermark: u64,
+    /// Durable op ordinal the WAL continues from: every logged op with
+    /// `batch >= op_seq` post-dates this checkpoint.
+    pub op_seq: u64,
+    /// Per-shard state, ascending shard index.
+    pub shards: Vec<ShardState>,
+}
+
+fn enc_stored_view(e: &mut Enc, v: &StoredView) {
+    e.u16(v.label);
+    e.u32(v.subgraphs.len() as u32);
+    for s in &v.subgraphs {
+        e.u32(s.graph_id);
+        e.u32(s.nodes.len() as u32);
+        for &n in &s.nodes {
+            e.u32(n);
+        }
+        e.bool(s.consistent);
+        e.bool(s.counterfactual);
+        e.f64(s.score);
+    }
+    e.u32(v.patterns.len() as u32);
+    for p in &v.patterns {
+        e.pattern(p);
+    }
+    e.f64(v.explainability);
+    e.f64(v.edge_loss);
+}
+
+fn dec_stored_view(d: &mut Dec<'_>) -> Result<StoredView, CodecError> {
+    let label = d.u16()?;
+    let ns = d.len(15)?;
+    let mut subgraphs = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        let graph_id = d.u32()?;
+        let nn = d.len(4)?;
+        let mut nodes = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            nodes.push(d.u32()?);
+        }
+        let consistent = d.bool()?;
+        let counterfactual = d.bool()?;
+        let score = d.f64()?;
+        subgraphs.push(StoredSubgraph { graph_id, nodes, consistent, counterfactual, score });
+    }
+    let np = d.len(8)?;
+    let mut patterns = Vec::with_capacity(np);
+    for _ in 0..np {
+        patterns.push(d.pattern()?);
+    }
+    Ok(StoredView { label, subgraphs, patterns, explainability: d.f64()?, edge_loss: d.f64()? })
+}
+
+fn encode(ck: &CheckpointFile) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(ck.watermark);
+    e.u64(ck.op_seq);
+    e.u32(ck.shards.len() as u32);
+    for sh in &ck.shards {
+        e.u32(sh.shard);
+        e.u64(sh.db_epoch);
+        e.u32(sh.slots.len() as u32);
+        for slot in &sh.slots {
+            match &slot.graph {
+                Some(g) => {
+                    e.bool(true);
+                    e.graph(g);
+                }
+                None => e.bool(false),
+            }
+            e.u16(slot.truth);
+            e.opt_u16(slot.predicted);
+            e.u64(slot.born);
+            e.u64(slot.died);
+        }
+        e.u32(sh.views.len() as u32);
+        for rec in &sh.views {
+            e.u32(rec.versions.len() as u32);
+            for v in &rec.versions {
+                e.u64(v.born);
+                e.u64(v.died);
+                enc_stored_view(&mut e, &v.view);
+                e.u32(v.row.len() as u32);
+                for g in &v.row {
+                    e.graph(g);
+                }
+            }
+        }
+        e.u32(sh.live.len() as u32);
+        for lv in &sh.live {
+            e.u16(lv.label);
+            e.u32(lv.view);
+            match lv.stream_fraction {
+                Some(f) => {
+                    e.bool(true);
+                    e.f64(f);
+                }
+                None => e.bool(false),
+            }
+            e.u64(lv.staleness);
+        }
+    }
+    e.finish()
+}
+
+fn decode(payload: &[u8]) -> Result<CheckpointFile, CodecError> {
+    let mut d = Dec::new(payload);
+    let watermark = d.u64()?;
+    let op_seq = d.u64()?;
+    let nsh = d.len(20)?;
+    let mut shards = Vec::with_capacity(nsh);
+    for _ in 0..nsh {
+        let shard = d.u32()?;
+        let db_epoch = d.u64()?;
+        let nslots = d.len(20)?;
+        let mut slots = Vec::with_capacity(nslots);
+        for _ in 0..nslots {
+            let graph = if d.bool()? { Some(d.graph()?) } else { None };
+            slots.push(SlotState {
+                graph,
+                truth: d.u16()?,
+                predicted: d.opt_u16()?,
+                born: d.u64()?,
+                died: d.u64()?,
+            });
+        }
+        let nviews = d.len(4)?;
+        let mut views = Vec::with_capacity(nviews);
+        for _ in 0..nviews {
+            let nvers = d.len(16)?;
+            let mut versions = Vec::with_capacity(nvers);
+            for _ in 0..nvers {
+                let born = d.u64()?;
+                let died = d.u64()?;
+                let view = dec_stored_view(&mut d)?;
+                let nrow = d.len(8)?;
+                let mut row = Vec::with_capacity(nrow);
+                for _ in 0..nrow {
+                    row.push(d.graph()?);
+                }
+                versions.push(VersionState { born, died, view, row });
+            }
+            views.push(ViewRecordState { versions });
+        }
+        let nlive = d.len(15)?;
+        let mut live = Vec::with_capacity(nlive);
+        for _ in 0..nlive {
+            let label = d.u16()?;
+            let view = d.u32()?;
+            let stream_fraction = if d.bool()? { Some(d.f64()?) } else { None };
+            live.push(LiveState { label, view, stream_fraction, staleness: d.u64()? });
+        }
+        shards.push(ShardState { shard, db_epoch, slots, views, live });
+    }
+    if !d.is_done() {
+        return Err(CodecError("trailing bytes after checkpoint".into()));
+    }
+    Ok(CheckpointFile { watermark, op_seq, shards })
+}
+
+/// Writes `ck` atomically into `dir`: stage in the temp file, fsync,
+/// rename over `checkpoint.bin`, fsync the directory. Returns the
+/// payload size in bytes.
+pub fn write_checkpoint(dir: &Path, ck: &CheckpointFile) -> Result<u64, StoreError> {
+    let payload = encode(ck);
+    let tmp = crate::checkpoint_tmp_path(dir);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&crc32(&payload).to_le_bytes())?;
+        f.write_all(&(payload.len() as u64).to_le_bytes())?;
+        f.write_all(&payload)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, crate::checkpoint_path(dir))?;
+    // Persist the rename itself; not all platforms support syncing a
+    // directory handle, so a failure here is non-fatal.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(payload.len() as u64)
+}
+
+/// Reads and validates `dir`'s checkpoint. `Ok(None)` when no
+/// checkpoint file exists (a fresh directory).
+pub fn read_checkpoint(dir: &Path) -> Result<Option<CheckpointFile>, StoreError> {
+    let path = crate::checkpoint_path(dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 20 || &bytes[..8] != MAGIC {
+        return Err(StoreError::Corrupt(format!("{} has no checkpoint magic", path.display())));
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let payload = bytes.get(20..20 + len).ok_or_else(|| {
+        StoreError::Corrupt(format!("{} shorter than header claims", path.display()))
+    })?;
+    if crc32(payload) != crc {
+        return Err(StoreError::Corrupt(format!("{} fails its checksum", path.display())));
+    }
+    let ck =
+        decode(payload).map_err(|e| StoreError::Corrupt(format!("{}: {e}", path.display())))?;
+    Ok(Some(ck))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gvex_store_ckpt_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> CheckpointFile {
+        let mut g = Graph::new(1);
+        g.add_node(0, &[0.5]);
+        g.add_node(1, &[1.5]);
+        g.add_edge(0, 1, 2);
+        let view = StoredView {
+            label: 1,
+            subgraphs: vec![StoredSubgraph {
+                graph_id: 3,
+                nodes: vec![0, 1],
+                consistent: true,
+                counterfactual: false,
+                score: 0.75,
+            }],
+            patterns: vec![Pattern::new(&[0, 1], &[(0, 1, 2)])],
+            explainability: 1.5,
+            edge_loss: 0.25,
+        };
+        CheckpointFile {
+            watermark: 42,
+            op_seq: 7,
+            shards: vec![ShardState {
+                shard: 0,
+                db_epoch: 42,
+                slots: vec![
+                    SlotState {
+                        graph: Some(g.clone()),
+                        truth: 1,
+                        predicted: Some(1),
+                        born: 0,
+                        died: u64::MAX,
+                    },
+                    SlotState { graph: None, truth: 0, predicted: None, born: 1, died: 5 },
+                ],
+                views: vec![ViewRecordState {
+                    versions: vec![VersionState { born: 2, died: u64::MAX, view, row: vec![g] }],
+                }],
+                live: vec![LiveState {
+                    label: 1,
+                    view: 0,
+                    stream_fraction: Some(0.5),
+                    staleness: 3,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let dir = tmp("round_trip");
+        write_checkpoint(&dir, &sample()).unwrap();
+        let ck = read_checkpoint(&dir).unwrap().expect("checkpoint present");
+        assert_eq!(ck.watermark, 42);
+        assert_eq!(ck.op_seq, 7);
+        assert_eq!(ck.shards.len(), 1);
+        let sh = &ck.shards[0];
+        assert_eq!(sh.slots.len(), 2);
+        assert!(sh.slots[0].graph.is_some());
+        assert!(sh.slots[1].graph.is_none());
+        assert_eq!(sh.slots[1].died, 5);
+        let v = &sh.views[0].versions[0];
+        assert_eq!(v.view.label, 1);
+        assert_eq!(v.view.subgraphs[0].nodes, vec![0, 1]);
+        assert_eq!(v.view.patterns[0].num_nodes(), 2);
+        assert_eq!(v.row.len(), 1);
+        assert_eq!(sh.live[0].stream_fraction, Some(0.5));
+    }
+
+    #[test]
+    fn missing_checkpoint_reads_as_none() {
+        let dir = tmp("missing");
+        assert!(read_checkpoint(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_hard_error() {
+        let dir = tmp("corrupt");
+        write_checkpoint(&dir, &sample()).unwrap();
+        let path = crate::checkpoint_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_checkpoint(&dir), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = tmp("rewrite");
+        write_checkpoint(&dir, &sample()).unwrap();
+        let mut ck = sample();
+        ck.watermark = 99;
+        write_checkpoint(&dir, &ck).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().unwrap().watermark, 99);
+        assert!(!crate::checkpoint_tmp_path(&dir).exists());
+    }
+}

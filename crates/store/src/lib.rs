@@ -1,0 +1,95 @@
+//! Durable storage for the GVEX engine: per-shard write-ahead logs and
+//! binary checkpoints of the full engine state.
+//!
+//! The engine (in `gvex_core`) stays purely in-memory by default; this
+//! crate is the storage layer behind `EngineBuilder::durable(path)`:
+//!
+//! - [`wal`]: one append-only log per shard. Every record is
+//!   length-prefixed and CRC32-checksummed, so recovery truncates the
+//!   tail at the first torn or corrupt frame instead of propagating
+//!   garbage. Records carry the global op ordinal (`batch`), the commit
+//!   epoch, and the full participant shard set of the op, which is what
+//!   makes cross-shard batches recover whole-or-not-at-all.
+//! - [`checkpoint`]: a binary snapshot of every shard's `GraphDb`
+//!   slots, `ViewStore` records (views, versions, and their
+//!   subgraph-tier rows — the inputs from which the pattern and label
+//!   indexes are rebuilt deterministically), and live-view maintenance
+//!   registrations, plus the global watermark and op ordinal. Written
+//!   via a temp file + atomic rename, so a checkpoint is either the old
+//!   complete file or the new complete file, never a torn mix.
+//! - [`codec`]: the hand-rolled little-endian binary encoding shared by
+//!   both, including the [`Graph`](gvex_graph::Graph) and
+//!   [`Pattern`](gvex_pattern::Pattern) codecs and the CRC32
+//!   implementation.
+//!
+//! Recovery itself (replaying a directory back into an engine) lives in
+//! `gvex_core::engine`, which owns the types being reconstructed; this
+//! crate only defines the on-disk formats and their readers/writers.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod wal;
+
+pub use checkpoint::{
+    read_checkpoint, write_checkpoint, CheckpointFile, LiveState, ShardState, SlotState,
+    StoredSubgraph, StoredView, VersionState, ViewRecordState,
+};
+pub use wal::{
+    read_wal, truncate_wal, FsyncPolicy, InsertEntry, RemoveEntry, WalOp, WalRecord, WalSegment,
+    WalWriter,
+};
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors of the durability layer: an I/O failure of the underlying
+/// files, or state that fails validation (bad magic, checksum, or a
+/// replay that contradicts the log).
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The on-disk state is not a valid engine image (and was not a
+    /// recoverable torn tail).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "durable store i/o error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "durable store corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Path of the checkpoint file inside a durable directory.
+pub fn checkpoint_path(dir: &Path) -> PathBuf {
+    dir.join("checkpoint.bin")
+}
+
+/// Path of the temp file a checkpoint is staged in before the atomic
+/// rename.
+pub fn checkpoint_tmp_path(dir: &Path) -> PathBuf {
+    dir.join("checkpoint.tmp")
+}
+
+/// Path of shard `s`'s write-ahead log inside a durable directory.
+pub fn wal_path(dir: &Path, s: usize) -> PathBuf {
+    dir.join(format!("wal-{s:03}.log"))
+}

@@ -1,0 +1,522 @@
+//! The per-shard write-ahead log.
+//!
+//! # Frame format
+//!
+//! Each record is framed as
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! and appended strictly at the tail. The reader accepts the longest
+//! prefix of valid frames and reports where it stopped: a torn write
+//! (short frame, or a payload whose checksum or decoding fails) ends
+//! the log there, so recovery truncates the tail instead of failing —
+//! the WAL invariant that a crash can only ever damage the bytes that
+//! were in flight.
+//!
+//! # Record contents
+//!
+//! A [`WalRecord`] is one engine op's contribution to one shard:
+//! `batch` is the op's global ordinal (the engine's durable op
+//! sequence), `epoch` its commit epoch, and `participants` the full
+//! set of shards the op logged to. A multi-shard op (a batch insert
+//! spanning shards) appends one record *per participant shard*, all
+//! carrying the same `batch` and `participants`; recovery replays a
+//! batch only when every participant's record is present, which is how
+//! cross-shard batches stay whole-or-not-at-all across a crash.
+//!
+//! # Fault injection (test only)
+//!
+//! When the `GVEX_WAL_CRASH_AFTER_BYTES` environment variable is set,
+//! the process aborts mid-append once the process-wide count of WAL
+//! bytes written crosses the given value, leaving a deliberately torn
+//! frame on disk. The crash-matrix harness uses this to exercise the
+//! mid-append recovery path deterministically.
+
+use crate::codec::{crc32, CodecError, Dec, Enc};
+use crate::StoreError;
+use gvex_graph::Graph;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// When to `fsync` the log after an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every record: an acknowledged op is always on disk.
+    Always,
+    /// Group commit: sync every [`FsyncPolicy::GROUP`] records (and on
+    /// checkpoint / drop). A crash can lose the most recent unsynced
+    /// group, but never tears what it keeps.
+    Batch,
+    /// Never sync explicitly; the OS flushes at its leisure. Fastest,
+    /// weakest.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Records per group commit under [`FsyncPolicy::Batch`].
+    pub const GROUP: usize = 32;
+}
+
+/// One graph of a logged insert batch: `pos` is its index within the
+/// original batch (so recovery reassembles cross-shard batches in
+/// submission order), `id` the GraphId the commit allocated (verified
+/// on replay), `truth` the caller-supplied ground-truth label.
+#[derive(Debug, Clone)]
+pub struct InsertEntry {
+    /// Index within the submitted batch.
+    pub pos: u32,
+    /// The id the original commit allocated — replay must reproduce it.
+    pub id: u32,
+    /// Ground-truth label as submitted (`None` = use the prediction).
+    pub truth: Option<u16>,
+    /// The graph payload.
+    pub graph: Graph,
+}
+
+/// One id of a logged removal batch (`pos` as in [`InsertEntry`]; ids
+/// that turn out stale are logged anyway so replay reproduces the
+/// original epoch accounting, and skip identically).
+#[derive(Debug, Clone, Copy)]
+pub struct RemoveEntry {
+    /// Index within the submitted id list.
+    pub pos: u32,
+    /// The submitted id (possibly stale — replay skips it the same way).
+    pub id: u32,
+}
+
+/// The op a WAL record logs (this shard's slice of it).
+#[derive(Debug, Clone)]
+pub enum WalOp {
+    /// `insert_graphs`: the entries routed to this shard.
+    Insert(Vec<InsertEntry>),
+    /// `remove_graphs`: the ids routed to this shard.
+    Remove(Vec<RemoveEntry>),
+    /// `explain_all` (always logged to shard 0; recomputed on replay).
+    ExplainAll,
+    /// `explain_label(label)`.
+    ExplainLabel(u16),
+    /// `stream(label, fraction)`.
+    Stream {
+        /// The label explained.
+        label: u16,
+        /// Stream-prefix fraction.
+        fraction: f64,
+    },
+    /// `explain_subset(label, ids)`.
+    ExplainSubset {
+        /// The label explained.
+        label: u16,
+        /// The subset as submitted.
+        ids: Vec<u32>,
+    },
+    /// `stream_subset(label, ids, fraction)`.
+    StreamSubset {
+        /// The label explained.
+        label: u16,
+        /// The subset as submitted.
+        ids: Vec<u32>,
+        /// Stream-prefix fraction.
+        fraction: f64,
+    },
+}
+
+/// One framed record of a shard's log. See the module docs for the
+/// cross-shard batch semantics of `batch` / `participants`.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// Global op ordinal (the engine's durable op sequence).
+    pub batch: u64,
+    /// The epoch the op committed at.
+    pub epoch: u64,
+    /// Every shard this op appended a record to (ascending).
+    pub participants: Vec<u32>,
+    /// This shard's slice of the op.
+    pub op: WalOp,
+}
+
+impl WalRecord {
+    /// Encodes the record payload (the bytes the frame checksums).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.batch);
+        e.u64(self.epoch);
+        e.u32(self.participants.len() as u32);
+        for &p in &self.participants {
+            e.u32(p);
+        }
+        match &self.op {
+            WalOp::Insert(entries) => {
+                e.u8(0);
+                e.u32(entries.len() as u32);
+                for ent in entries {
+                    e.u32(ent.pos);
+                    e.u32(ent.id);
+                    e.opt_u16(ent.truth);
+                    e.graph(&ent.graph);
+                }
+            }
+            WalOp::Remove(entries) => {
+                e.u8(1);
+                e.u32(entries.len() as u32);
+                for ent in entries {
+                    e.u32(ent.pos);
+                    e.u32(ent.id);
+                }
+            }
+            WalOp::ExplainAll => e.u8(2),
+            WalOp::ExplainLabel(l) => {
+                e.u8(3);
+                e.u16(*l);
+            }
+            WalOp::Stream { label, fraction } => {
+                e.u8(4);
+                e.u16(*label);
+                e.f64(*fraction);
+            }
+            WalOp::ExplainSubset { label, ids } => {
+                e.u8(5);
+                e.u16(*label);
+                e.u32(ids.len() as u32);
+                for &id in ids {
+                    e.u32(id);
+                }
+            }
+            WalOp::StreamSubset { label, ids, fraction } => {
+                e.u8(6);
+                e.u16(*label);
+                e.u32(ids.len() as u32);
+                for &id in ids {
+                    e.u32(id);
+                }
+                e.f64(*fraction);
+            }
+        }
+        e.finish()
+    }
+
+    /// Decodes a record payload.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, CodecError> {
+        let mut d = Dec::new(payload);
+        let batch = d.u64()?;
+        let epoch = d.u64()?;
+        let np = d.len(4)?;
+        let mut participants = Vec::with_capacity(np);
+        for _ in 0..np {
+            participants.push(d.u32()?);
+        }
+        let op = match d.u8()? {
+            0 => {
+                let n = d.len(9)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let pos = d.u32()?;
+                    let id = d.u32()?;
+                    let truth = d.opt_u16()?;
+                    let graph = d.graph()?;
+                    entries.push(InsertEntry { pos, id, truth, graph });
+                }
+                WalOp::Insert(entries)
+            }
+            1 => {
+                let n = d.len(8)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(RemoveEntry { pos: d.u32()?, id: d.u32()? });
+                }
+                WalOp::Remove(entries)
+            }
+            2 => WalOp::ExplainAll,
+            3 => WalOp::ExplainLabel(d.u16()?),
+            4 => WalOp::Stream { label: d.u16()?, fraction: d.f64()? },
+            5 => {
+                let label = d.u16()?;
+                let n = d.len(4)?;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(d.u32()?);
+                }
+                WalOp::ExplainSubset { label, ids }
+            }
+            6 => {
+                let label = d.u16()?;
+                let n = d.len(4)?;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(d.u32()?);
+                }
+                WalOp::StreamSubset { label, ids, fraction: d.f64()? }
+            }
+            t => return Err(CodecError(format!("unknown wal op tag {t}"))),
+        };
+        if !d.is_done() {
+            return Err(CodecError("trailing bytes after wal record".into()));
+        }
+        Ok(WalRecord { batch, epoch, participants, op })
+    }
+}
+
+/// Total WAL bytes this process has written (all writers), driving the
+/// test-only crash fault below.
+static WAL_BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// Parsed value of `GVEX_WAL_CRASH_AFTER_BYTES`, read once.
+fn crash_after_bytes() -> Option<u64> {
+    static LIMIT: OnceLock<Option<u64>> = OnceLock::new();
+    *LIMIT.get_or_init(|| {
+        std::env::var("GVEX_WAL_CRASH_AFTER_BYTES").ok().and_then(|v| v.parse().ok())
+    })
+}
+
+/// Appending writer over one shard's log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    /// Bytes in the file (all of them valid frames — recovery truncates
+    /// before reopening).
+    pos: u64,
+    policy: FsyncPolicy,
+    /// Appends since the last sync (group commit counter).
+    pending: usize,
+}
+
+impl WalWriter {
+    /// Opens (creating if absent) the log for appending. The caller is
+    /// responsible for having truncated any torn tail first — the
+    /// writer trusts the current file length.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<WalWriter, StoreError> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let pos = file.metadata()?.len();
+        Ok(WalWriter { file, pos, policy, pending: 0 })
+    }
+
+    /// Bytes currently in the log.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Frames, checksums, and appends one record, then applies the
+    /// fsync policy. Returns the record's starting offset.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<u64, StoreError> {
+        let payload = rec.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.maybe_crash(&frame);
+        let at = self.pos;
+        self.file.write_all(&frame)?;
+        WAL_BYTES_WRITTEN.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.pos += frame.len() as u64;
+        self.pending += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch if self.pending >= FsyncPolicy::GROUP => self.sync()?,
+            _ => {}
+        }
+        Ok(at)
+    }
+
+    /// Flushes pending appends to disk.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.pending > 0 {
+            self.file.sync_data()?;
+            self.pending = 0;
+        }
+        Ok(())
+    }
+
+    /// Discards every record (after a checkpoint made them redundant).
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(0)?;
+        self.file.sync_data()?;
+        self.pos = 0;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Test-only crash fault: once the process-wide WAL byte count
+    /// would cross `GVEX_WAL_CRASH_AFTER_BYTES`, write exactly the
+    /// bytes up to the limit — a torn frame — and abort the process.
+    fn maybe_crash(&mut self, frame: &[u8]) {
+        let Some(limit) = crash_after_bytes() else { return };
+        let written = WAL_BYTES_WRITTEN.load(Ordering::Relaxed);
+        if written + frame.len() as u64 > limit {
+            let keep = (limit.saturating_sub(written)) as usize;
+            let _ = self.file.write_all(&frame[..keep.min(frame.len())]);
+            let _ = self.file.sync_data();
+            std::process::abort();
+        }
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        // Best-effort group-commit flush; a crash here is the same as a
+        // crash just before drop, which recovery already tolerates.
+        let _ = self.sync();
+    }
+}
+
+/// One decoded record plus its starting byte offset in the log.
+#[derive(Debug, Clone)]
+pub struct WalSegment {
+    /// Byte offset of the record's frame.
+    pub offset: u64,
+    /// The decoded record.
+    pub record: WalRecord,
+}
+
+/// Reads the longest valid prefix of a log. Returns the decoded
+/// records, the byte length of that valid prefix, and the file's total
+/// length (`valid_len < file_len` means a torn tail to truncate). A
+/// missing file reads as empty.
+pub fn read_wal(path: &Path) -> Result<(Vec<WalSegment>, u64, u64), StoreError> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0, 0)),
+        Err(e) => return Err(e.into()),
+    }
+    let file_len = bytes.len() as u64;
+    let mut segments = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= 8 {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+        let Some(end) = at.checked_add(8).and_then(|s| s.checked_add(len)) else { break };
+        if end > bytes.len() {
+            break; // torn: frame extends past the file
+        }
+        let payload = &bytes[at + 8..end];
+        if crc32(payload) != crc {
+            break; // torn or bit-flipped payload
+        }
+        let Ok(record) = WalRecord::decode(payload) else { break };
+        segments.push(WalSegment { offset: at as u64, record });
+        at = end;
+    }
+    Ok((segments, at as u64, file_len))
+}
+
+/// Truncates a log to `len` bytes (dropping a torn or discarded tail).
+pub fn truncate_wal(path: &Path, len: u64) -> Result<(), StoreError> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_data()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gvex_store_wal_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal-000.log")
+    }
+
+    fn sample(batch: u64) -> WalRecord {
+        let mut g = Graph::new(1);
+        g.add_node(1, &[0.5]);
+        g.add_node(2, &[1.5]);
+        g.add_edge(0, 1, 0);
+        WalRecord {
+            batch,
+            epoch: 10 + batch,
+            participants: vec![0],
+            op: WalOp::Insert(vec![InsertEntry { pos: 0, id: 7, truth: Some(1), graph: g }]),
+        }
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = tmp("round_trip");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Always).unwrap();
+        for b in 0..5 {
+            w.append(&sample(b)).unwrap();
+        }
+        drop(w);
+        let (segs, valid, total) = read_wal(&path).unwrap();
+        assert_eq!(valid, total);
+        assert_eq!(segs.len(), 5);
+        for (b, s) in segs.iter().enumerate() {
+            assert_eq!(s.record.batch, b as u64);
+            assert_eq!(s.record.epoch, 10 + b as u64);
+            match &s.record.op {
+                WalOp::Insert(entries) => {
+                    assert_eq!(entries.len(), 1);
+                    assert_eq!(entries[0].id, 7);
+                    assert_eq!(entries[0].graph.num_nodes(), 2);
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_every_byte_boundary() {
+        let path = tmp("torn");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(&sample(0)).unwrap();
+        let keep = w.append(&sample(1)).unwrap(); // offset of record 1
+        w.sync().unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the file anywhere inside record 1's frame: exactly record
+        // 0 must survive.
+        for cut in keep as usize..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (segs, valid, total) = read_wal(&path).unwrap();
+            assert_eq!(segs.len(), 1, "cut at {cut}");
+            assert_eq!(valid, keep);
+            assert_eq!(total, cut as u64);
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_ends_the_prefix() {
+        let path = tmp("bitflip");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Never).unwrap();
+        w.append(&sample(0)).unwrap();
+        let second = w.append(&sample(1)).unwrap();
+        w.append(&sample(2)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of record 1: records 1 and 2 are gone
+        // (2 is unreachable past the bad frame), record 0 survives.
+        bytes[second as usize + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (segs, valid, _) = read_wal(&path).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(valid, second);
+    }
+
+    #[test]
+    fn truncate_then_reopen_appends_cleanly() {
+        let path = tmp("reopen");
+        let mut w = WalWriter::open(&path, FsyncPolicy::Batch).unwrap();
+        w.append(&sample(0)).unwrap();
+        let cut = w.append(&sample(1)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        truncate_wal(&path, cut).unwrap();
+        let mut w = WalWriter::open(&path, FsyncPolicy::Batch).unwrap();
+        assert_eq!(w.position(), cut);
+        w.append(&sample(5)).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (segs, _, _) = read_wal(&path).unwrap();
+        assert_eq!(segs.iter().map(|s| s.record.batch).collect::<Vec<_>>(), vec![0, 5]);
+    }
+}

@@ -146,7 +146,7 @@ fn engine_end_to_end_explain_then_query() {
     let engine =
         Engine::builder(ds.model.clone(), ds.db.clone()).config(Config::with_bounds(0, 8)).build();
     let vid = engine.explain_subset(label, &ids);
-    let view = engine.store().view(vid);
+    let view = engine.view(vid).expect("view just generated");
     assert_eq!(view.subgraphs.len(), ids.len());
     assert!(!view.patterns.is_empty());
     // Every view pattern was indexed at insert time; pattern queries over
