@@ -35,22 +35,35 @@ use crate::ExplanationView;
 use gvex_graph::{ClassLabel, Epoch, GraphDb, GraphId, ShardId};
 use gvex_pattern::Pattern;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Reference counts of pinned epochs, shared between an engine and its
 /// snapshots. The engine's compaction floor is the oldest pinned epoch.
+///
+/// The count map is a plain reference-counting structure that is
+/// consistent after every individual operation, so a poisoned mutex
+/// (a pin holder panicked — e.g. a serving worker that unwound while
+/// dropping its snapshot) carries no torn state: every accessor
+/// recovers the guard instead of propagating the poison, which would
+/// otherwise take down every future `Engine::snapshot` on the shared
+/// engine.
 #[derive(Debug, Default)]
 pub(crate) struct Pins {
     counts: Mutex<BTreeMap<u64, usize>>,
 }
 
 impl Pins {
+    /// The count map, poison-recovered (see the type docs).
+    fn counts(&self) -> MutexGuard<'_, BTreeMap<u64, usize>> {
+        self.counts.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     pub(crate) fn pin(&self, e: Epoch) {
-        *self.counts.lock().expect("pin lock").entry(e.0).or_insert(0) += 1;
+        *self.counts().entry(e.0).or_insert(0) += 1;
     }
 
     pub(crate) fn unpin(&self, e: Epoch) {
-        let mut counts = self.counts.lock().expect("pin lock");
+        let mut counts = self.counts();
         if let Some(n) = counts.get_mut(&e.0) {
             *n -= 1;
             if *n == 0 {
@@ -61,12 +74,12 @@ impl Pins {
 
     /// The oldest pinned epoch, or `head` when nothing is pinned.
     pub(crate) fn floor(&self, head: Epoch) -> Epoch {
-        self.counts.lock().expect("pin lock").keys().next().map_or(head, |&e| Epoch(e.min(head.0)))
+        self.counts().keys().next().map_or(head, |&e| Epoch(e.min(head.0)))
     }
 
     /// Number of live pins (diagnostics).
     pub(crate) fn len(&self) -> usize {
-        self.counts.lock().expect("pin lock").values().sum()
+        self.counts().values().sum()
     }
 }
 
@@ -198,5 +211,36 @@ impl Clone for Snapshot {
 impl Drop for Snapshot {
     fn drop(&mut self) {
         self.pins.unpin(self.epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a worker that panics while holding the pin lock used
+    /// to poison it, turning every later `snapshot()` into a panic. The
+    /// accessors now recover the guard, so one crashed pin holder does
+    /// not take the serving engine down with it.
+    #[test]
+    fn pins_survive_a_poisoned_lock() {
+        let pins = Arc::new(Pins::default());
+        pins.pin(Epoch(3));
+        let poisoner = Arc::clone(&pins);
+        let panicked = std::thread::spawn(move || {
+            let _guard = poisoner.counts.lock().unwrap();
+            panic!("worker dies holding the pin lock");
+        })
+        .join();
+        assert!(panicked.is_err(), "the poisoning thread must have panicked");
+        assert!(pins.counts.lock().is_err(), "lock really is poisoned");
+        // Every accessor still works on the recovered guard.
+        pins.pin(Epoch(7));
+        assert_eq!(pins.len(), 2);
+        assert_eq!(pins.floor(Epoch(10)), Epoch(3));
+        pins.unpin(Epoch(3));
+        assert_eq!(pins.floor(Epoch(10)), Epoch(7));
+        pins.unpin(Epoch(7));
+        assert_eq!(pins.len(), 0);
     }
 }

@@ -8,7 +8,7 @@
 //! gvex_linalg ─┐
 //!              ├─ gvex_gnn ──┐
 //! gvex_graph ──┼─ gvex_pattern ├─ gvex_core ── gvex_baselines ── gvex_bench
-//!              └─ gvex_data ──┘
+//!              └─ gvex_data ──┘       └─ gvex_serve (HTTP front end)
 //! ```
 
 pub use gvex_baselines as baselines;
@@ -19,4 +19,5 @@ pub use gvex_gnn as gnn;
 pub use gvex_graph as graph;
 pub use gvex_linalg as linalg;
 pub use gvex_pattern as pattern;
+pub use gvex_serve as serve;
 pub use gvex_store as store;

@@ -1,0 +1,215 @@
+//! Micro-batching aggregator for explain and insert traffic.
+//!
+//! Compatible requests arriving within one batching window are merged
+//! into a **single engine call**: explain requests for the same label
+//! become one `explain_label`/`explain_subset` (the subsets' union),
+//! insert requests become one `insert_graphs` batch committing at one
+//! epoch. Aggregation amortizes the per-call costs that dominate small
+//! requests — writer-mutex acquisition, commit sections, view
+//! maintenance — exactly like the engine's own batch paths, but across
+//! *clients* instead of within one.
+//!
+//! A dedicated flusher thread closes a bucket when its oldest entry has
+//! aged past the window; submitters close it early when it reaches the
+//! size cap. Flushed buckets enter the executor queue as one merged
+//! [`Job`]; per-entry deadlines are re-checked at execution, so one
+//! slow bucket cannot resurrect an expired request.
+//!
+//! The flusher tick doubles as the session TTL sweeper's clock (see
+//! [`crate::session`]): expiry must advance even when no request
+//! arrives, or an abandoned session would pin the compaction floor
+//! forever.
+
+use crate::queue::{ExplainEntry, InsertEntry, Job, Queue};
+use crate::session::Sessions;
+use crate::stats::ServeStats;
+use gvex_graph::ClassLabel;
+use rustc_hash::FxHashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Pending {
+    explain: FxHashMap<ClassLabel, Vec<ExplainEntry>>,
+    insert: Vec<InsertEntry>,
+    /// Arrival time of the oldest unflushed entry (the window anchor).
+    oldest: Option<Instant>,
+    stop: bool,
+}
+
+impl Pending {
+    fn len(&self) -> usize {
+        self.explain.values().map(Vec::len).sum::<usize>() + self.insert.len()
+    }
+}
+
+/// The aggregator (see module docs). `add_*` are called by connection
+/// threads after admission; `run_flusher` is the dedicated thread.
+pub(crate) struct Batcher {
+    pending: Mutex<Pending>,
+    kick: Condvar,
+    window: Duration,
+    max_batch: usize,
+    stats: Arc<ServeStats>,
+}
+
+impl Batcher {
+    pub fn new(window: Duration, max_batch: usize, stats: Arc<ServeStats>) -> Self {
+        Self {
+            pending: Mutex::new(Pending {
+                explain: FxHashMap::default(),
+                insert: Vec::new(),
+                oldest: None,
+                stop: false,
+            }),
+            kick: Condvar::new(),
+            window,
+            max_batch: max_batch.max(1),
+            stats,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Pending> {
+        self.pending.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Entries waiting for a flush (counted into the admission
+    /// backlog alongside the queue depth).
+    pub fn pending_len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn add_explain(&self, label: ClassLabel, entry: ExplainEntry) {
+        let mut p = self.lock();
+        // After shutdown's final flush nothing will drain this bucket
+        // again, so a late arrival is refused instead of stranded (its
+        // waiter would otherwise block forever).
+        if p.stop {
+            drop(p);
+            let _ = entry.reply.send(crate::http::Response::unavailable("shutting_down", 1000));
+            return;
+        }
+        p.oldest.get_or_insert_with(Instant::now);
+        p.explain.entry(label).or_default().push(entry);
+        let kick = p.len() >= self.max_batch;
+        drop(p);
+        if kick {
+            self.kick.notify_one();
+        }
+    }
+
+    pub fn add_insert(&self, entry: InsertEntry) {
+        let mut p = self.lock();
+        if p.stop {
+            drop(p);
+            let _ = entry.reply.send(crate::http::Response::unavailable("shutting_down", 1000));
+            return;
+        }
+        p.oldest.get_or_insert_with(Instant::now);
+        p.insert.push(entry);
+        let kick = p.len() >= self.max_batch;
+        drop(p);
+        if kick {
+            self.kick.notify_one();
+        }
+    }
+
+    /// Wakes the flusher for the final drain and stops it.
+    pub fn shutdown(&self) {
+        self.lock().stop = true;
+        self.kick.notify_all();
+    }
+
+    /// Drains the current buckets into merged jobs on `queue`. Entries
+    /// the queue refuses (draining) get individual 503s.
+    fn flush(&self, queue: &Queue) {
+        let (explain, insert) = {
+            let mut p = self.lock();
+            p.oldest = None;
+            (std::mem::take(&mut p.explain), std::mem::take(&mut p.insert))
+        };
+        let mut labels: Vec<ClassLabel> = explain.keys().copied().collect();
+        labels.sort_unstable();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut explain = explain;
+        for label in labels {
+            let entries = explain.remove(&label).expect("label key");
+            self.stats.bump_batches_flushed();
+            self.stats.add_batched_requests(entries.len() as u64);
+            jobs.push(Job::ExplainBatch { label, entries });
+        }
+        if !insert.is_empty() {
+            self.stats.bump_batches_flushed();
+            self.stats.add_batched_requests(insert.len() as u64);
+            jobs.push(Job::InsertBatch { entries: insert });
+        }
+        for job in jobs {
+            if let Err(job) = queue.push_admitted(job) {
+                reject_merged(job);
+            }
+        }
+    }
+
+    /// The flusher loop: waits out the window (or a size-cap kick),
+    /// flushes ripe buckets, sweeps expired sessions, exits on
+    /// shutdown after one final flush.
+    pub fn run_flusher(&self, queue: &Queue, sessions: &Sessions) {
+        loop {
+            let mut p = self.lock();
+            loop {
+                if p.stop {
+                    break;
+                }
+                let now = Instant::now();
+                let ripe = match p.oldest {
+                    Some(t0) => p.len() >= self.max_batch || now >= t0 + self.window,
+                    None => false,
+                };
+                if ripe {
+                    break;
+                }
+                // Idle: tick at the window cadence anyway so session
+                // expiry keeps advancing; busy: sleep exactly to
+                // ripeness. Every timeout breaks out to the flush +
+                // sweep below (flushing empty buckets is a no-op).
+                let until = p
+                    .oldest
+                    .map_or(self.window, |t0| (t0 + self.window).saturating_duration_since(now));
+                let (guard, timeout) = self
+                    .kick
+                    .wait_timeout(p, until.max(Duration::from_millis(1)))
+                    .unwrap_or_else(PoisonError::into_inner);
+                p = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let stop = p.stop;
+            drop(p);
+            self.flush(queue);
+            sessions.sweep();
+            if stop {
+                return;
+            }
+        }
+    }
+}
+
+/// 503s every waiter of a merged job the queue refused mid-drain.
+pub(crate) fn reject_merged(job: Job) {
+    let unavailable = || crate::http::Response::unavailable("shutting_down", 1000);
+    match job {
+        Job::ExplainBatch { entries, .. } => {
+            for e in entries {
+                let _ = e.reply.send(unavailable());
+            }
+        }
+        Job::InsertBatch { entries } => {
+            for e in entries {
+                let _ = e.reply.send(unavailable());
+            }
+        }
+        Job::Single { reply, .. } => {
+            let _ = reply.send(unavailable());
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! A minimal blocking HTTP/1.1 client, shared by the integration
+//! tests, the load generator, and the quickstart example.
+//!
+//! One [`Client`] is one keep-alive connection; [`Client::request`]
+//! writes a request and blocks for the JSON response. The client
+//! deliberately speaks the same dialect the server frames — compact
+//! JSON bodies, `Content-Length`, lowercase headers — so it doubles as
+//! an executable spec of the wire protocol.
+
+use serde_json::Value;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A client's view of one response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub body: Value,
+    /// The raw body bytes (for byte-identity assertions).
+    pub raw: Vec<u8>,
+    /// `Retry-After` in whole seconds, when the server sent one.
+    pub retry_after: Option<u64>,
+}
+
+impl ClientResponse {
+    /// `body[field]` as a u64, panicking with a readable message —
+    /// test/bench convenience, not production parsing.
+    pub fn u64_field(&self, field: &str) -> u64 {
+        crate::wire::u64_field(&self.body, field)
+            .unwrap_or_else(|e| panic!("{e} in response {:?}", self.body))
+    }
+}
+
+/// One keep-alive connection to a serving front end.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects with a read/write timeout (so a test against a wedged
+    /// server fails instead of hanging).
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends `method path` with optional JSON `body` and an optional
+    /// `x-deadline-ms` header; blocks for the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<ClientResponse> {
+        let payload = body.map(serde_json::to_string).transpose().map_err(io::Error::other)?;
+        let payload = payload.unwrap_or_default();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: gvex\r\n");
+        if let Some(ms) = deadline_ms {
+            head.push_str(&format!("x-deadline-ms: {ms}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", payload.len()));
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(payload.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &Value) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body), None)
+    }
+
+    /// Convenience: `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None, None)
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::other(format!("bad status line {status_line:?}")))?;
+        let mut content_length = 0usize;
+        let mut retry_after = None;
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed in head"));
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(io::Error::other)?;
+                } else if name == "retry-after" {
+                    retry_after = value.parse().ok();
+                }
+            }
+        }
+        let mut raw = vec![0u8; content_length];
+        self.reader.read_exact(&mut raw)?;
+        let text =
+            std::str::from_utf8(&raw).map_err(|_| io::Error::other("non-UTF-8 response body"))?;
+        let body = serde_json::from_str(text)
+            .map_err(|e| io::Error::other(format!("bad response JSON: {e:?}")))?;
+        Ok(ClientResponse { status, body, raw, retry_after })
+    }
+}

@@ -1,0 +1,249 @@
+//! Minimal HTTP/1.1 framing over blocking sockets.
+//!
+//! The serving front end hand-rolls exactly the slice of HTTP/1.1 it
+//! needs — request-line + headers + `Content-Length` bodies, keep-alive
+//! connections, and a JSON response writer — because the shim
+//! environment has no async runtime and no HTTP dependency. Framing is
+//! defensive by construction:
+//!
+//! - a malformed request line or header block is a [`FrameError::Malformed`]
+//!   (→ 400, connection closed);
+//! - a declared body larger than the configured cap is a
+//!   [`FrameError::TooLarge`] (→ 413, connection closed **without**
+//!   draining the oversized body);
+//! - a socket whose read timeout fires mid-request is a
+//!   [`FrameError::Timeout`] (→ 408 when anything of the request had
+//!   arrived, silent close on an idle keep-alive connection) — a slow
+//!   or stalled client can hold an accept worker for at most one
+//!   timeout window;
+//! - a clean EOF between requests is [`FrameError::Closed`] (silent
+//!   close — the keep-alive loop simply ends).
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on the request head (request line + headers): generous for
+/// hand-written clients, small enough that a hostile peer cannot balloon
+/// an accept worker's buffer.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Why a request could not be framed off the socket.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The request line or a header failed to parse.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the configured cap.
+    TooLarge { declared: usize, limit: usize },
+    /// The socket's read timeout fired. `mid_request` distinguishes a
+    /// stalled half-sent request (worth a 408) from an idle keep-alive
+    /// connection (closed silently).
+    Timeout { mid_request: bool },
+    /// The peer closed the connection between requests.
+    Closed,
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+/// One framed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// Header names lowercased at parse time; values trimmed.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// default; `Connection: close` opts out).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The request body parsed as JSON, or `None` when empty/invalid.
+    pub fn json(&self) -> Option<serde_json::Value> {
+        let text = std::str::from_utf8(&self.body).ok()?;
+        serde_json::from_str(text).ok()
+    }
+}
+
+/// Whether an I/O error is the socket read timeout firing. Platforms
+/// disagree on the kind (`WouldBlock` on Unix, `TimedOut` on Windows),
+/// so both map to [`FrameError::Timeout`].
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Reads one request off `stream`. `max_body` caps `Content-Length`.
+///
+/// The reader consumes byte-by-byte up to the end of the header block
+/// and then reads the declared body exactly; it never over-reads into a
+/// pipelined follow-up request, so one [`read_request`] call per
+/// keep-alive iteration frames correctly.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, FrameError> {
+    let mut head = Vec::new();
+    let mut got_any = false;
+    let mut byte = [0u8; 1];
+    // Head: accumulate until CRLFCRLF (or bare LFLF from sloppy clients).
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(if got_any {
+                    FrameError::Malformed("connection closed mid-request".into())
+                } else {
+                    FrameError::Closed
+                });
+            }
+            Ok(_) => {
+                got_any = true;
+                head.push(byte[0]);
+                if head.len() > MAX_HEAD_BYTES {
+                    return Err(FrameError::Malformed("request head too large".into()));
+                }
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) if is_timeout(&e) => return Err(FrameError::Timeout { mid_request: got_any }),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+
+    let head = String::from_utf8(head)
+        .map_err(|_| FrameError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n')).filter(|l| !l.is_empty());
+    let request_line = lines.next().ok_or_else(|| FrameError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty()
+        || path.is_empty()
+        || !path.starts_with('/')
+        || !version.starts_with("HTTP/1")
+        || parts.next().is_some()
+    {
+        return Err(FrameError::Malformed(format!("bad request line: {request_line:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(FrameError::Malformed(format!("bad header line: {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let keep_alive = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| !v.eq_ignore_ascii_case("close"))
+        .unwrap_or(true);
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| FrameError::Malformed(format!("bad content-length: {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(FrameError::TooLarge { declared: content_length, limit: max_body });
+    }
+
+    let mut body = vec![0u8; content_length];
+    let mut read = 0;
+    while read < content_length {
+        match stream.read(&mut body[read..]) {
+            Ok(0) => return Err(FrameError::Malformed("connection closed mid-body".into())),
+            Ok(n) => read += n,
+            Err(e) if is_timeout(&e) => return Err(FrameError::Timeout { mid_request: true }),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+
+    Ok(Request { method, path, headers, body, keep_alive })
+}
+
+/// One response, always carrying a JSON body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub body: serde_json::Value,
+    /// `Retry-After` hint in milliseconds (rounded up to whole seconds
+    /// on the wire), set on admission rejections.
+    pub retry_after_ms: Option<u64>,
+    /// Force `Connection: close` after writing (framing errors poison
+    /// the stream position, so the connection cannot be reused).
+    pub close: bool,
+}
+
+impl Response {
+    pub fn ok(body: serde_json::Value) -> Self {
+        Self { status: 200, body, retry_after_ms: None, close: false }
+    }
+
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        let msg: String = message.into();
+        Self {
+            status,
+            body: serde_json::json!({ "error": msg }),
+            retry_after_ms: None,
+            close: false,
+        }
+    }
+
+    /// 503 with a `Retry-After` hint — the admission-control rejection
+    /// shape (`reason` ∈ {"queue_full", "deadline", "shutting_down"}).
+    pub fn unavailable(reason: &str, retry_after_ms: u64) -> Self {
+        Self {
+            status: 503,
+            body: serde_json::json!({ "error": reason.to_string(), "retry_after_ms": retry_after_ms }),
+            retry_after_ms: Some(retry_after_ms),
+            close: false,
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            410 => "Gone",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response onto `stream` (compact JSON body,
+    /// explicit `Content-Length`, keep-alive unless `close`).
+    pub fn write(&self, stream: &mut impl Write) -> io::Result<()> {
+        let body = serde_json::to_string(&self.body).unwrap_or_else(|_| "{}".to_string());
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+            self.status,
+            self.reason(),
+            body.len()
+        );
+        if let Some(ms) = self.retry_after_ms {
+            head.push_str(&format!("retry-after: {}\r\n", ms.div_ceil(1000).max(1)));
+        }
+        head.push_str(if self.close {
+            "connection: close\r\n"
+        } else {
+            "connection: keep-alive\r\n"
+        });
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()
+    }
+}

@@ -1,0 +1,49 @@
+//! # gvex_serve — the GVEX serving front end
+//!
+//! An HTTP/1.1 server over the concurrent [`gvex_core::Engine`],
+//! hand-rolled on `std::net` (the environment ships no async runtime,
+//! and a CPU-bound engine doesn't want one): a thread-per-core accept
+//! pool frames JSON requests, a **deadline-based admission controller**
+//! rejects work it cannot finish in time *before* it queues, a
+//! **micro-batching aggregator** merges compatible explain/insert
+//! requests from different clients into single engine calls, and
+//! **pinned-snapshot sessions** give stateful clients repeatable reads
+//! across concurrent writers.
+//!
+//! ```no_run
+//! use gvex_core::Engine;
+//! use gvex_data::{mutagenicity, DataConfig};
+//! use gvex_gnn::{AdamTrainer, GcnModel};
+//! use gvex_serve::{ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! let mut db = mutagenicity(DataConfig::new(12, 7));
+//! let model = GcnModel::new(14, 16, 2, 2, 7);
+//! AdamTrainer::classify_all(&model, &mut db, &[]);
+//! let engine = Arc::new(Engine::builder(model, db).build());
+//! let handle = Server::start(engine, ServeConfig::default()).unwrap();
+//! println!("serving on http://{}", handle.addr());
+//! // ... handle.shutdown() drains gracefully.
+//! ```
+//!
+//! Module map: [`http`] (framing), `router` (endpoint table), `queue`
+//! (bounded queue + admission), `batch` (micro-batching), `session`
+//! (pinned snapshots), [`server`] (lifecycle), [`wire`] (JSON codecs),
+//! [`client`] (a minimal blocking client for tests and load
+//! generation), [`stats`] (live counters).
+
+mod batch;
+mod queue;
+mod router;
+mod session;
+
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod stats;
+pub mod wire;
+
+pub use client::Client;
+pub use http::{FrameError, Request, Response};
+pub use server::{live_graphs, ServeConfig, Server, ServerHandle};
+pub use stats::ServeStats;

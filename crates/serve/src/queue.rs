@@ -1,0 +1,220 @@
+//! Bounded request queue with deadline-based admission control.
+//!
+//! Every engine-touching request passes through one [`Queue`] of
+//! [`Job`]s drained by the server's executor threads. Admission is
+//! decided **before** a request may wait:
+//!
+//! - a full queue rejects immediately (503 `queue_full` + `Retry-After`
+//!   estimated from the current backlog) instead of blocking an accept
+//!   worker;
+//! - a request whose deadline cannot be met — `now + estimated wait ≥
+//!   deadline`, with the wait estimated from the backlog depth and an
+//!   EWMA of recent service times — is rejected immediately (503
+//!   `deadline` + `Retry-After`) instead of queueing to die;
+//! - a request whose deadline expires while queued is rejected at
+//!   dequeue time and **never executed** (the hard guarantee the bench
+//!   gate checks).
+//!
+//! During [`Queue::shutdown`] new submissions are rejected but queued
+//! jobs keep draining: executors run everything already admitted before
+//! exiting, so graceful shutdown loses no acknowledged work.
+
+use crate::http::Response;
+use crate::stats::ServeStats;
+use gvex_core::{ViewId, ViewQuery};
+use gvex_graph::{ClassLabel, Graph, GraphId};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One waiter's reply slot: the executor (or the admission controller)
+/// sends exactly one [`Response`]; the connection thread blocks on the
+/// other end. A dropped receiver (client gone) makes the send a no-op.
+pub(crate) type Reply = Sender<Response>;
+
+/// A single-request operation (executed as-is, no batching).
+pub(crate) enum Op {
+    Query(ViewQuery),
+    View(ViewId),
+    Remove(Vec<GraphId>),
+    SessionOpen,
+    SessionQuery { id: u64, q: ViewQuery },
+    SessionClose { id: u64 },
+}
+
+/// One admitted explain request, pending aggregation.
+pub(crate) struct ExplainEntry {
+    /// `None` asks for the whole label group (registers maintenance);
+    /// `Some` restricts to a subset.
+    pub ids: Option<Vec<GraphId>>,
+    pub deadline: Option<Instant>,
+    pub reply: Reply,
+}
+
+/// One admitted insert request, pending aggregation.
+pub(crate) struct InsertEntry {
+    pub graphs: Vec<(Graph, Option<ClassLabel>)>,
+    pub deadline: Option<Instant>,
+    pub reply: Reply,
+}
+
+/// A unit of executor work.
+pub(crate) enum Job {
+    Single {
+        deadline: Option<Instant>,
+        reply: Reply,
+        op: Op,
+    },
+    /// Micro-batched explains for one label, merged into a single
+    /// `explain_label` / `explain_subset` engine call.
+    ExplainBatch {
+        label: ClassLabel,
+        entries: Vec<ExplainEntry>,
+    },
+    /// Micro-batched inserts, merged into a single `insert_graphs`
+    /// engine call (one commit epoch for the whole batch).
+    InsertBatch {
+        entries: Vec<InsertEntry>,
+    },
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    draining: bool,
+}
+
+/// The bounded job queue (see module docs).
+pub(crate) struct Queue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl Queue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner { jobs: VecDeque::new(), draining: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned queue mutex would otherwise wedge every future
+        // request behind one panicked worker; the queue state is
+        // consistent after every push/pop, so recovery is safe.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Jobs currently waiting (the backlog the wait estimate is built
+    /// from).
+    pub fn depth(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Enqueues `job`, or returns it when the queue is full or
+    /// draining — the caller turns the refusal into per-waiter 503s.
+    /// Handing the refused job back (rather than boxing it) is the
+    /// point of the API; the large `Err` is the common rejection path.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.lock();
+        if inner.draining || inner.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues without the capacity check — used by the batch flusher,
+    /// whose entries were each admitted individually when they arrived
+    /// (bouncing an admitted request because its *merged* form found
+    /// the queue momentarily full would double-count the backlog).
+    /// Still refuses while draining.
+    #[allow(clippy::result_large_err)]
+    pub fn push_admitted(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.lock();
+        if inner.draining {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job. `None` once the queue is draining *and*
+    /// empty — the executor's exit signal.
+    pub fn pop(&self) -> Option<Job> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.draining {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Starts the drain: rejects new submissions, wakes every executor
+    /// so the backlog runs to completion.
+    pub fn shutdown(&self) {
+        self.lock().draining = true;
+        self.ready.notify_all();
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+}
+
+/// The admission controller: backlog-derived wait estimation plus the
+/// rejection counters. Shared by the HTTP handlers (admit) and the
+/// executors (service-time samples).
+pub(crate) struct Admission {
+    workers: usize,
+    stats: std::sync::Arc<ServeStats>,
+}
+
+impl Admission {
+    pub fn new(workers: usize, stats: std::sync::Arc<ServeStats>) -> Self {
+        Self { workers: workers.max(1), stats }
+    }
+
+    /// Estimated queueing delay with `pending` jobs ahead: backlog ×
+    /// EWMA service time ÷ executor width. Zero until the first sample
+    /// lands (an idle server admits everything).
+    pub fn estimated_wait(&self, pending: usize) -> Duration {
+        Duration::from_micros(self.stats.ewma_service_us() * pending as u64 / self.workers as u64)
+    }
+
+    /// Admission check for a request with `pending` jobs already
+    /// waiting. `Err` carries the ready-to-send 503.
+    pub fn admit(&self, pending: usize, deadline: Option<Instant>) -> Result<(), Response> {
+        let wait = self.estimated_wait(pending + 1);
+        if let Some(d) = deadline {
+            if Instant::now() + wait >= d {
+                self.stats.bump_rejected_deadline();
+                return Err(Response::unavailable("deadline", wait.as_millis() as u64 + 1));
+            }
+        }
+        Ok(())
+    }
+
+    /// The 503 for a full queue, hinting retry after the time the
+    /// current backlog needs to drain.
+    pub fn queue_full(&self, pending: usize) -> Response {
+        self.stats.bump_rejected_queue_full();
+        Response::unavailable("queue_full", self.estimated_wait(pending).as_millis() as u64 + 1)
+    }
+
+    /// Folds one observed service time into the EWMA (α = 1/8).
+    pub fn record_service(&self, took: Duration) {
+        self.stats.fold_service_us(took.as_micros() as u64);
+    }
+}

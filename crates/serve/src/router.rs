@@ -1,0 +1,129 @@
+//! Request routing: framed HTTP requests → serving operations.
+//!
+//! The router is a pure function from a parsed [`Request`] to either a
+//! ready-made error [`Response`] or a [`Routed`] operation for the
+//! admission layer. Endpoints:
+//!
+//! | method + path               | operation                               |
+//! |-----------------------------|-----------------------------------------|
+//! | `GET /healthz`              | liveness + headline counters (inline)   |
+//! | `GET /stats`                | full health report (inline)             |
+//! | `POST /query`               | [`ViewQuery`] at the head               |
+//! | `POST /explain`             | micro-batched explain (label [+ ids])   |
+//! | `POST /insert`              | micro-batched graph insert              |
+//! | `POST /remove`              | tombstone graphs by id                  |
+//! | `GET /view/<id>`            | resolve a view handle                   |
+//! | `POST /session`             | open a pinned-snapshot session          |
+//! | `POST /session/<id>/query`  | query at the session's pinned epoch     |
+//! | `DELETE /session/<id>`      | close a session (release the pin)       |
+//!
+//! Deadlines ride on the `x-deadline-ms` header or a `deadline_ms`
+//! body field (milliseconds from arrival); requests without either are
+//! admitted unconditionally.
+
+use crate::http::{Request, Response};
+use crate::queue::Op;
+use crate::wire;
+use gvex_core::ViewId;
+use gvex_graph::{ClassLabel, Graph, GraphId};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+/// A routed engine operation (inline endpoints are handled before the
+/// router runs).
+pub(crate) enum Routed {
+    Single(Op),
+    Explain { label: ClassLabel, ids: Option<Vec<GraphId>> },
+    Insert { graphs: Vec<(Graph, Option<ClassLabel>)> },
+}
+
+/// The request's deadline as an absolute instant, if it carries one.
+pub(crate) fn deadline_of(
+    req: &Request,
+    body: Option<&Value>,
+) -> Result<Option<Instant>, Response> {
+    let ms = match req.header("x-deadline-ms") {
+        Some(v) => Some(
+            v.parse::<u64>().map_err(|_| Response::error(400, "invalid x-deadline-ms header"))?,
+        ),
+        None => match body {
+            Some(b) => {
+                wire::opt_u64_field(b, "deadline_ms").map_err(|e| Response::error(400, e))?
+            }
+            None => None,
+        },
+    };
+    Ok(ms.map(|ms| Instant::now() + Duration::from_millis(ms)))
+}
+
+/// Routes a framed request. `Err` is a ready-to-send response (400/404/
+/// 405/411); `Ok` goes to admission.
+pub(crate) fn route(req: &Request, body: Option<&Value>) -> Result<Routed, Response> {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let needs_body = || -> Result<&Value, Response> {
+        if req.body.is_empty() {
+            return Err(Response::error(411, "this endpoint requires a JSON body"));
+        }
+        body.ok_or_else(|| Response::error(400, "invalid JSON body"))
+    };
+    match (req.method.as_str(), segs.as_slice()) {
+        ("POST", ["query"]) => {
+            let q = wire::query_from_value(needs_body()?).map_err(|e| Response::error(400, e))?;
+            Ok(Routed::Single(Op::Query(q)))
+        }
+        ("POST", ["explain"]) => {
+            let b = needs_body()?;
+            let label =
+                wire::u64_field(b, "label").map_err(|e| Response::error(400, e))? as ClassLabel;
+            let ids = wire::ids_field(b, "ids").map_err(|e| Response::error(400, e))?;
+            Ok(Routed::Explain { label, ids })
+        }
+        ("POST", ["insert"]) => {
+            let b = needs_body()?;
+            let Some(Value::Array(items)) = b.get_field("graphs") else {
+                return Err(Response::error(400, "missing `graphs` array"));
+            };
+            if items.is_empty() {
+                return Err(Response::error(400, "`graphs` must not be empty"));
+            }
+            let graphs = items
+                .iter()
+                .map(|v| {
+                    let g = wire::graph_from_value(v)?;
+                    let t = wire::truth_from_value(v)?;
+                    Ok((g, t))
+                })
+                .collect::<Result<Vec<_>, String>>()
+                .map_err(|e| Response::error(400, e))?;
+            Ok(Routed::Insert { graphs })
+        }
+        ("POST", ["remove"]) => {
+            let b = needs_body()?;
+            let ids = wire::ids_field(b, "ids")
+                .map_err(|e| Response::error(400, e))?
+                .ok_or_else(|| Response::error(400, "missing `ids` array"))?;
+            Ok(Routed::Single(Op::Remove(ids)))
+        }
+        ("GET", ["view", id]) => {
+            let raw: u32 = id.parse().map_err(|_| Response::error(400, "invalid view id"))?;
+            Ok(Routed::Single(Op::View(ViewId(raw))))
+        }
+        ("POST", ["session"]) => Ok(Routed::Single(Op::SessionOpen)),
+        ("POST", ["session", id, "query"]) => {
+            let sid: u64 = id.parse().map_err(|_| Response::error(400, "invalid session id"))?;
+            let q = wire::query_from_value(needs_body()?).map_err(|e| Response::error(400, e))?;
+            Ok(Routed::Single(Op::SessionQuery { id: sid, q }))
+        }
+        ("DELETE", ["session", id]) => {
+            let sid: u64 = id.parse().map_err(|_| Response::error(400, "invalid session id"))?;
+            Ok(Routed::Single(Op::SessionClose { id: sid }))
+        }
+        // Known paths reached with the wrong method get a 405 so
+        // clients can tell a typo'd path from a typo'd verb.
+        (_, ["query" | "explain" | "insert" | "remove" | "session", ..])
+        | (_, ["view", _] | ["healthz"] | ["stats"]) => {
+            Err(Response::error(405, format!("method {} not allowed here", req.method)))
+        }
+        _ => Err(Response::error(404, format!("no route for {}", req.path))),
+    }
+}

@@ -1,0 +1,607 @@
+//! The serving front end: accept loop, executor pool, and lifecycle.
+//!
+//! Architecture (no async runtime exists in the shim environment, and
+//! none is needed — this is honest production shape for a CPU-bound
+//! engine):
+//!
+//! ```text
+//!                    ┌────────────── accept workers ──────────────┐
+//! TcpListener ──────▶│ frame HTTP/1.1 → route → admission control │
+//!                    └───────┬──────────────────────────┬─────────┘
+//!                            │ direct ops               │ explain/insert
+//!                            ▼                          ▼
+//!                     bounded Queue ◀── merged jobs ── Batcher (window/cap)
+//!                            │
+//!                            ▼
+//!                     executor threads ──▶ Engine (rayon pool inside)
+//! ```
+//!
+//! A fixed set of accept workers (`accept_threads`) block on the
+//! shared listener and own their connections end-to-end: framing,
+//! routing, the admission decision, and writing the response once the
+//! executor replies. Engine work never runs on an accept worker — it
+//! crosses the bounded `Queue` to the executor pool, whose width
+//! (`exec_threads`) bounds engine concurrency independently of how
+//! many sockets are open. Expensive explanation fan-out inside each
+//! engine call still uses the engine's own rayon pool.
+//!
+//! [`ServerHandle::shutdown`] is graceful: new work is refused (503
+//! `shutting_down`), in-flight requests finish, the batcher flushes its
+//! last buckets, the queue drains to empty, and only then do the
+//! threads exit and the listener close.
+
+use crate::batch::{reject_merged, Batcher};
+use crate::http::{self, FrameError, Request, Response};
+use crate::queue::{Admission, ExplainEntry, InsertEntry, Job, Op, Queue};
+use crate::router::{self, Routed};
+use crate::session::Sessions;
+use crate::stats::ServeStats;
+use crate::wire;
+use gvex_core::{Engine, ViewQuery};
+use gvex_graph::GraphId;
+use serde_json::Value;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving knobs. The defaults suit tests and small deployments; the
+/// load generator and CI override per workload.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Accept workers — the connection-concurrency bound.
+    pub accept_threads: usize,
+    /// Executor threads — the engine-concurrency bound.
+    pub exec_threads: usize,
+    /// Queue capacity; submissions past it are 503 `queue_full`.
+    pub queue_capacity: usize,
+    /// Micro-batch window: how long the oldest pending explain/insert
+    /// may wait for companions before the bucket flushes.
+    pub batch_window: Duration,
+    /// Size cap that flushes a bucket early.
+    pub max_batch: usize,
+    /// Session lease: a pinned session untouched this long is swept and
+    /// its snapshot released.
+    pub session_ttl: Duration,
+    /// Per-socket read (and write) timeout — a stalled client holds an
+    /// accept worker for at most this long.
+    pub read_timeout: Duration,
+    /// `Content-Length` cap; larger declared bodies are 413.
+    pub max_body: usize,
+    /// How many leading labels `/stats` probes for staleness.
+    pub stats_staleness_labels: u16,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            accept_threads: 8,
+            exec_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            queue_capacity: 256,
+            batch_window: Duration::from_millis(2),
+            max_batch: 32,
+            session_ttl: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(5),
+            max_body: 1 << 20,
+            stats_staleness_labels: 8,
+        }
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServeConfig,
+    queue: Queue,
+    admission: Admission,
+    batcher: Batcher,
+    sessions: Sessions,
+    stats: Arc<ServeStats>,
+    down: AtomicBool,
+}
+
+impl Shared {
+    fn down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Keep the handle alive for the server's lifetime
+/// and call [`ServerHandle::shutdown`] to stop it gracefully —
+/// dropping the handle without shutting down leaks the server threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    accepters: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
+}
+
+/// Builds and starts servers over a shared [`Engine`].
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts the accept workers, executor
+    /// pool, and batch flusher. The engine keeps being usable directly
+    /// (it is shared, not consumed).
+    pub fn start(engine: Arc<Engine>, config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServeStats::default());
+        let shared = Arc::new(Shared {
+            admission: Admission::new(config.exec_threads, Arc::clone(&stats)),
+            queue: Queue::new(config.queue_capacity),
+            batcher: Batcher::new(config.batch_window, config.max_batch, Arc::clone(&stats)),
+            sessions: Sessions::new(config.session_ttl, Arc::clone(&stats)),
+            engine,
+            stats,
+            down: AtomicBool::new(false),
+            config,
+        });
+
+        let accepters = (0..shared.config.accept_threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let listener = listener.try_clone()?;
+                Ok(std::thread::Builder::new()
+                    .name(format!("gvex-accept-{i}"))
+                    .spawn(move || accept_loop(&shared, &listener))
+                    .expect("spawn accept worker"))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let executors = (0..shared.config.exec_threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gvex-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn executor")
+            })
+            .collect();
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gvex-flush".into())
+                .spawn(move || shared.batcher.run_flusher(&shared.queue, &shared.sessions))
+                .expect("spawn flusher")
+        };
+        Ok(ServerHandle { addr, shared, listener, accepters, executors, flusher: Some(flusher) })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live serving counters.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.shared.stats
+    }
+
+    /// The served engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.shared.engine
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests
+    /// finish, flush the batcher, drain the queue, join every thread,
+    /// close the listener. Admitted work is never dropped; work
+    /// arriving during the drain is refused with 503 `shutting_down`.
+    pub fn shutdown(mut self) {
+        self.shared.down.store(true, Ordering::SeqCst);
+        // Final batcher flush FIRST: accept workers may be blocked in
+        // their reply wait on entries still sitting in a bucket, so the
+        // buckets must reach the queue before those workers can be
+        // joined. Late `add_*` calls after the flush are refused inside
+        // the batcher (no stranded waiters), and the queue is not yet
+        // draining, so the flushed jobs are accepted.
+        self.shared.batcher.shutdown();
+        if let Some(f) = self.flusher.take() {
+            let _ = f.join();
+        }
+        // Unblock accept workers parked in accept(): one wake
+        // connection each. Workers mid-connection finish their current
+        // request first — executors are still draining the queue, so
+        // every outstanding reply arrives.
+        for _ in 0..self.accepters.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for a in self.accepters.drain(..) {
+            let _ = a.join();
+        }
+        // No submitter is left; drain the backlog and stop the pool.
+        self.shared.queue.shutdown();
+        for e in self.executors.drain(..) {
+            let _ = e.join();
+        }
+        // Expired-or-not, every remaining session drops its pin here.
+        drop(self.listener);
+    }
+}
+
+// ---- accept side ------------------------------------------------------
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    loop {
+        if shared.down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.down() {
+                    return; // the wake connection, or racing shutdown
+                }
+                handle_connection(shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                if shared.down() {
+                    return;
+                }
+                // Transient accept failure (e.g. EMFILE): back off a
+                // beat instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Serves one keep-alive connection to completion.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.read_timeout));
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let (response, keep_alive) = match http::read_request(&mut reader, shared.config.max_body) {
+            Ok(req) => {
+                let keep = req.keep_alive && !shared.down();
+                (dispatch(shared, &req), keep)
+            }
+            // Framing errors poison the stream position: respond
+            // (where the peer deserves one) and close.
+            Err(FrameError::Malformed(m)) => (Response::error(400, m).into_closing(), false),
+            Err(FrameError::TooLarge { declared, limit }) => (
+                Response::error(413, format!("body of {declared} bytes exceeds limit {limit}"))
+                    .into_closing(),
+                false,
+            ),
+            Err(FrameError::Timeout { mid_request: true }) => {
+                (Response::error(408, "request read timed out").into_closing(), false)
+            }
+            // Idle keep-alive timeout or clean EOF: close silently.
+            Err(FrameError::Timeout { mid_request: false })
+            | Err(FrameError::Closed)
+            | Err(FrameError::Io(_)) => return,
+        };
+        shared.stats.bump_response(response.status);
+        if response.write(&mut write_half).is_err() {
+            return;
+        }
+        if !keep_alive || response.close {
+            return;
+        }
+    }
+}
+
+impl Response {
+    fn into_closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+}
+
+/// Routes, admits, and executes one request, blocking until its
+/// response is ready.
+fn dispatch(shared: &Shared, req: &Request) -> Response {
+    // Inline endpoints: liveness must answer even when the queue is
+    // saturated, so they never cross the admission layer.
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    if req.method == "GET" {
+        match segs.as_slice() {
+            ["healthz"] => return healthz(shared),
+            ["stats"] => return stats_report(shared),
+            _ => {}
+        }
+    }
+    let body = req.json();
+    let deadline = match router::deadline_of(req, body.as_ref()) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let routed = match router::route(req, body.as_ref()) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    if shared.down() {
+        return Response::unavailable("shutting_down", 1000);
+    }
+
+    // Admission: capacity first, then deadline reachability.
+    let pending = shared.queue.depth() + shared.batcher.pending_len();
+    if pending >= shared.config.queue_capacity {
+        return shared.admission.queue_full(pending);
+    }
+    if let Err(resp) = shared.admission.admit(pending, deadline) {
+        return resp;
+    }
+    shared.stats.bump_admitted();
+
+    let (tx, rx) = mpsc::channel::<Response>();
+    match routed {
+        Routed::Single(op) => {
+            if let Err(job) = shared.queue.push(Job::Single { deadline, reply: tx, op }) {
+                return if shared.queue.is_draining() {
+                    reject_merged(job);
+                    Response::unavailable("shutting_down", 1000)
+                } else {
+                    shared.admission.queue_full(shared.queue.depth())
+                };
+            }
+        }
+        Routed::Explain { label, ids } => {
+            shared.batcher.add_explain(label, ExplainEntry { ids, deadline, reply: tx });
+        }
+        Routed::Insert { graphs } => {
+            shared.batcher.add_insert(InsertEntry { graphs, deadline, reply: tx });
+        }
+    }
+    match rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => Response::error(500, "worker dropped the request"),
+    }
+}
+
+// ---- executor side ----------------------------------------------------
+
+fn executor_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        // A panicking engine call must not shrink the executor pool:
+        // the job's reply senders drop inside the catch, the waiter
+        // gets its 500, and this thread keeps serving. (The engine's
+        // own locks use `expect`, so a poisoned engine still fails
+        // loudly — but the *server* machinery survives, as do reads on
+        // snapshots already pinned.)
+        let _ = catch_unwind(AssertUnwindSafe(|| execute(shared, job)));
+    }
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn expired_response() -> Response {
+    Response::unavailable("deadline", 1000)
+}
+
+fn execute(shared: &Shared, job: Job) {
+    match job {
+        Job::Single { deadline, reply, op } => {
+            // The hard admission guarantee: a request whose deadline
+            // passed while queued is rejected here and never reaches
+            // the engine.
+            if expired(deadline) {
+                shared.stats.bump_expired_in_queue();
+                let _ = reply.send(expired_response());
+                return;
+            }
+            let t = Instant::now();
+            let resp = run_single(shared, op);
+            shared.admission.record_service(t.elapsed());
+            shared.stats.bump_executed();
+            let _ = reply.send(resp);
+        }
+        Job::ExplainBatch { label, entries } => {
+            let mut live: Vec<ExplainEntry> = Vec::with_capacity(entries.len());
+            for e in entries {
+                if expired(e.deadline) {
+                    shared.stats.bump_expired_in_queue();
+                    let _ = e.reply.send(expired_response());
+                } else {
+                    live.push(e);
+                }
+            }
+            if live.is_empty() {
+                return;
+            }
+            let t = Instant::now();
+            // One engine call for the whole bucket: whole-group if any
+            // entry asked for the whole group (that also registers the
+            // label for incremental maintenance), else the union of
+            // the requested subsets.
+            let vid = if live.iter().any(|e| e.ids.is_none()) {
+                shared.engine.explain_label(label)
+            } else {
+                let mut ids: Vec<GraphId> =
+                    live.iter().flat_map(|e| e.ids.as_deref().unwrap_or(&[])).copied().collect();
+                ids.sort_unstable();
+                ids.dedup();
+                shared.engine.explain_subset(label, &ids)
+            };
+            shared.admission.record_service(t.elapsed());
+            shared.stats.bump_executed();
+            let resp = match shared.engine.view(vid) {
+                Some(view) => {
+                    let mut body = wire::view_to_value(vid, &view);
+                    if let Value::Object(fields) = &mut body {
+                        fields.push(("batched".into(), Value::UInt(live.len() as u64)));
+                    }
+                    Response::ok(body)
+                }
+                None => Response::error(500, "generated view vanished"),
+            };
+            for e in live {
+                let _ = e.reply.send(resp.clone());
+            }
+        }
+        Job::InsertBatch { entries } => {
+            let mut live: Vec<InsertEntry> = Vec::with_capacity(entries.len());
+            for e in entries {
+                if expired(e.deadline) {
+                    shared.stats.bump_expired_in_queue();
+                    let _ = e.reply.send(expired_response());
+                } else {
+                    live.push(e);
+                }
+            }
+            if live.is_empty() {
+                return;
+            }
+            let t = Instant::now();
+            let batch: Vec<_> = live.iter().flat_map(|e| e.graphs.iter().cloned()).collect();
+            let total = batch.len();
+            let (ids, epoch) = shared.engine.insert_graphs(batch);
+            shared.admission.record_service(t.elapsed());
+            shared.stats.bump_executed();
+            // The merged batch committed at one epoch; slice the id
+            // vector back out per entry, in submission order.
+            let mut cursor = 0usize;
+            for e in live {
+                let n = e.graphs.len();
+                let mine = &ids[cursor..cursor + n];
+                cursor += n;
+                let _ = e.reply.send(Response::ok(serde_json::json!({
+                    "ids": mine.to_vec(),
+                    "epoch": epoch.0,
+                    "batched": total,
+                })));
+            }
+        }
+    }
+}
+
+fn run_single(shared: &Shared, op: Op) -> Response {
+    let engine = &shared.engine;
+    match op {
+        Op::Query(q) => {
+            let r = engine.query(&q);
+            let mut body = wire::query_result_to_value(&r);
+            if let Value::Object(fields) = &mut body {
+                fields.push(("epoch".into(), Value::UInt(engine.head().0)));
+            }
+            Response::ok(body)
+        }
+        Op::View(id) => match engine.view(id) {
+            Some(view) => Response::ok(wire::view_to_value(id, &view)),
+            None => Response::error(404, format!("no view {}", id.0)),
+        },
+        Op::Remove(ids) => {
+            let epoch = engine.remove_graphs(&ids);
+            Response::ok(serde_json::json!({ "epoch": epoch.0, "requested": ids.len() }))
+        }
+        Op::SessionOpen => {
+            let snap = engine.snapshot();
+            let epoch = snap.epoch();
+            let id = shared.sessions.open(snap);
+            Response::ok(serde_json::json!({
+                "session": id,
+                "epoch": epoch.0,
+                "ttl_ms": shared.sessions.ttl().as_millis() as u64,
+            }))
+        }
+        Op::SessionQuery { id, q } => {
+            match shared.sessions.with(id, |snap| {
+                let r = snap.query(&q);
+                let mut body = wire::query_result_to_value(&r);
+                if let Value::Object(fields) = &mut body {
+                    fields.push(("session".into(), Value::UInt(id)));
+                    fields.push(("epoch".into(), Value::UInt(snap.epoch().0)));
+                }
+                Response::ok(body)
+            }) {
+                Some(resp) => resp,
+                None => Response::error(410, format!("session {id} unknown or expired")),
+            }
+        }
+        Op::SessionClose { id } => {
+            let closed = shared.sessions.close(id);
+            Response::ok(serde_json::json!({ "session": id, "closed": closed }))
+        }
+    }
+}
+
+// ---- inline health endpoints ------------------------------------------
+
+/// Liveness: headline numbers only, never blocked behind the queue.
+fn healthz(shared: &Shared) -> Response {
+    Response::ok(serde_json::json!({
+        "status": if shared.down() { "draining".to_string() } else { "ok".to_string() },
+        "head": shared.engine.head().0,
+        "queue_depth": shared.queue.depth() as u64,
+        "admission_rejections": shared.stats.admission_rejections(),
+    }))
+}
+
+/// The full health report (SNIPPETS §1 graph-health style): every live
+/// engine counter next to the serving-path counters.
+fn stats_report(shared: &Shared) -> Response {
+    let engine = &shared.engine;
+    let staleness: Vec<(String, Value)> = (0..shared.config.stats_staleness_labels)
+        .filter_map(|l| engine.staleness(l).map(|s| (l.to_string(), Value::UInt(s as u64))))
+        .collect();
+    let engine_part = serde_json::json!({
+        "head": engine.head().0,
+        "pinned_snapshots": engine.pinned_snapshots() as u64,
+        "shard_probes": engine.shard_probes(),
+        "num_shards": engine.num_shards() as u64,
+        "pool_width": engine.pool_width() as u64,
+        "durable": engine.is_durable(),
+        "durable_ops": engine.durable_ops(),
+        "staleness": Value::Object(staleness),
+    });
+    let queue_part = serde_json::json!({
+        "depth": shared.queue.depth() as u64,
+        "capacity": shared.config.queue_capacity as u64,
+        "batch_pending": shared.batcher.pending_len() as u64,
+        "ewma_service_us": shared.stats.ewma_service_us(),
+        "draining": shared.queue.is_draining(),
+    });
+    let admission_part = serde_json::json!({
+        "admitted": shared.stats.admitted(),
+        "rejected_queue_full": shared.stats.rejected_queue_full(),
+        "rejected_deadline": shared.stats.rejected_deadline(),
+        "expired_in_queue": shared.stats.expired_in_queue(),
+        "rejected_total": shared.stats.admission_rejections(),
+        "executed": shared.stats.executed(),
+    });
+    let batch_part = serde_json::json!({
+        "flushed": shared.stats.batches_flushed(),
+        "requests": shared.stats.batched_requests(),
+        "occupancy": shared.stats.batch_occupancy(),
+    });
+    let sessions_part = serde_json::json!({
+        "live": shared.sessions.len() as u64,
+        "opened": shared.stats.sessions_opened(),
+        "expired": shared.stats.sessions_expired(),
+        "ttl_ms": shared.sessions.ttl().as_millis() as u64,
+    });
+    let (r2, r4, r5) = shared.stats.responses();
+    let responses_part = serde_json::json!({ "2xx": r2, "4xx": r4, "5xx": r5 });
+    Response::ok(serde_json::json!({
+        "status": if shared.down() { "draining".to_string() } else { "ok".to_string() },
+        "engine": engine_part,
+        "queue": queue_part,
+        "admission": admission_part,
+        "batch": batch_part,
+        "sessions": sessions_part,
+        "responses": responses_part,
+    }))
+}
+
+/// Evaluates an unconstrained [`ViewQuery`] — exposed so in-process
+/// callers (tests, the load generator's setup) can count live graphs
+/// the same way the HTTP `/query` endpoint does.
+pub fn live_graphs(engine: &Engine) -> usize {
+    engine.query(&ViewQuery::new()).len()
+}

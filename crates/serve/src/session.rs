@@ -1,0 +1,93 @@
+//! Pinned-snapshot sessions: repeatable reads for stateful clients.
+//!
+//! `POST /session` pins an engine [`Snapshot`] and hands the client an
+//! opaque id; every `POST /session/<id>/query` evaluates against that
+//! pinned frontier, so a sequence of queries sees byte-identical
+//! results no matter how many writers commit in between — the serving
+//! form of the engine's snapshot-isolation contract.
+//!
+//! A pinned snapshot holds the engine's compaction floor at its epoch,
+//! so sessions **auto-expire**: each touch extends the lease by the
+//! TTL, and the sweeper (driven by the batcher's flush tick, which
+//! runs whether or not traffic arrives) drops sessions whose lease has
+//! lapsed. A dropped or expired session releases its pin and the floor
+//! advances.
+
+use gvex_core::Snapshot;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Lease {
+    snap: Snapshot,
+    expires: Instant,
+}
+
+/// The session registry (see module docs).
+pub(crate) struct Sessions {
+    leases: Mutex<FxHashMap<u64, Lease>>,
+    next_id: AtomicU64,
+    ttl: Duration,
+    stats: std::sync::Arc<crate::stats::ServeStats>,
+}
+
+impl Sessions {
+    pub fn new(ttl: Duration, stats: std::sync::Arc<crate::stats::ServeStats>) -> Self {
+        Self { leases: Mutex::new(FxHashMap::default()), next_id: AtomicU64::new(1), ttl, stats }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, FxHashMap<u64, Lease>> {
+        self.leases.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers a pinned snapshot; returns the new session id.
+    pub fn open(&self, snap: Snapshot) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.lock().insert(id, Lease { snap, expires: Instant::now() + self.ttl });
+        self.stats.bump_sessions_opened();
+        id
+    }
+
+    /// Runs `f` against the session's snapshot, extending its lease.
+    /// `None` when the id is unknown or already expired (expired
+    /// sessions answer 410, never stale data).
+    pub fn with<R>(&self, id: u64, f: impl FnOnce(&Snapshot) -> R) -> Option<R> {
+        let mut leases = self.lock();
+        let lease = leases.get_mut(&id)?;
+        if Instant::now() >= lease.expires {
+            leases.remove(&id);
+            self.stats.bump_sessions_expired();
+            return None;
+        }
+        lease.expires = Instant::now() + self.ttl;
+        Some(f(&lease.snap))
+    }
+
+    /// Closes a session explicitly, releasing its pin. Returns whether
+    /// it existed.
+    pub fn close(&self, id: u64) -> bool {
+        self.lock().remove(&id).is_some()
+    }
+
+    /// Drops every lapsed lease (their pins release here, letting the
+    /// compaction floor advance).
+    pub fn sweep(&self) {
+        let now = Instant::now();
+        let mut leases = self.lock();
+        let before = leases.len();
+        leases.retain(|_, l| l.expires > now);
+        for _ in leases.len()..before {
+            self.stats.bump_sessions_expired();
+        }
+    }
+
+    /// Live (unexpired, unswept) sessions.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+}

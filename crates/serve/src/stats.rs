@@ -1,0 +1,117 @@
+//! Live serving counters, exposed by `/healthz` and `/stats`
+//! (the SNIPPETS §1 health-metrics discipline: every operational
+//! question the load generator or an operator asks is answerable from
+//! one lock-free report, with no instrumentation rebuild).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// All counters are monotonically increasing except `ewma_service_us`
+/// (a smoothed gauge). Relaxed ordering throughout: the report is
+/// diagnostics, not a synchronization edge.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests admitted into the queue or a batch bucket.
+    admitted: AtomicU64,
+    /// 503s: queue at capacity.
+    rejected_queue_full: AtomicU64,
+    /// 503s: deadline unreachable at admission time.
+    rejected_deadline: AtomicU64,
+    /// 503s: deadline expired while queued (dequeue-time check — these
+    /// were admitted but **never executed**).
+    expired_in_queue: AtomicU64,
+    /// Engine calls completed by executors.
+    executed: AtomicU64,
+    /// Micro-batches flushed to the queue.
+    batches_flushed: AtomicU64,
+    /// Requests carried by those batches (occupancy numerator).
+    batched_requests: AtomicU64,
+    /// Sessions opened / expired by the TTL sweeper.
+    sessions_opened: AtomicU64,
+    sessions_expired: AtomicU64,
+    /// Responses written, by status class.
+    resp_2xx: AtomicU64,
+    resp_4xx: AtomicU64,
+    resp_5xx: AtomicU64,
+    /// EWMA of executor service time, microseconds (α = 1/8).
+    ewma_service_us: AtomicU64,
+}
+
+macro_rules! counter {
+    ($bump:ident, $get:ident, $field:ident) => {
+        pub fn $bump(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub fn $get(&self) -> u64 {
+            self.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl ServeStats {
+    counter!(bump_admitted, admitted, admitted);
+    counter!(bump_rejected_queue_full, rejected_queue_full, rejected_queue_full);
+    counter!(bump_rejected_deadline, rejected_deadline, rejected_deadline);
+    counter!(bump_expired_in_queue, expired_in_queue, expired_in_queue);
+    counter!(bump_executed, executed, executed);
+    counter!(bump_batches_flushed, batches_flushed, batches_flushed);
+    counter!(bump_sessions_opened, sessions_opened, sessions_opened);
+    counter!(bump_sessions_expired, sessions_expired, sessions_expired);
+
+    /// Adds `n` batched requests to the occupancy numerator.
+    pub fn add_batched_requests(&self, n: u64) {
+        self.batched_requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn batched_requests(&self) -> u64 {
+        self.batched_requests.load(Ordering::Relaxed)
+    }
+
+    /// Mean requests per flushed micro-batch (1.0 when nothing has been
+    /// batched yet).
+    pub fn batch_occupancy(&self) -> f64 {
+        let flushed = self.batches_flushed();
+        if flushed == 0 {
+            1.0
+        } else {
+            self.batched_requests() as f64 / flushed as f64
+        }
+    }
+
+    /// Every admission-control 503 (the "deliberate" rejections the
+    /// serve-smoke gate excludes from its zero-5xx assertion).
+    pub fn admission_rejections(&self) -> u64 {
+        self.rejected_queue_full() + self.rejected_deadline() + self.expired_in_queue()
+    }
+
+    /// Counts a written response in its status class.
+    pub fn bump_response(&self, status: u16) {
+        let c = match status {
+            200..=299 => &self.resp_2xx,
+            400..=499 => &self.resp_4xx,
+            _ => &self.resp_5xx,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn responses(&self) -> (u64, u64, u64) {
+        (
+            self.resp_2xx.load(Ordering::Relaxed),
+            self.resp_4xx.load(Ordering::Relaxed),
+            self.resp_5xx.load(Ordering::Relaxed),
+        )
+    }
+
+    pub fn ewma_service_us(&self) -> u64 {
+        self.ewma_service_us.load(Ordering::Relaxed)
+    }
+
+    /// Folds a service-time sample into the EWMA. A lost
+    /// read-modify-write race under-weighs one sample — acceptable for
+    /// a smoothing gauge, and cheaper than a CAS loop on the hot path.
+    pub fn fold_service_us(&self, sample_us: u64) {
+        let old = self.ewma_service_us.load(Ordering::Relaxed);
+        let new = if old == 0 { sample_us } else { (old * 7 + sample_us) / 8 };
+        self.ewma_service_us.store(new, Ordering::Relaxed);
+    }
+}

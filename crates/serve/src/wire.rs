@@ -1,0 +1,259 @@
+//! JSON wire codecs: request bodies ⇄ engine domain types.
+//!
+//! Graphs travel as `{"types": [t, ...], "edges": [[u, v, ty], ...],
+//! "features": [[f, ...], ...]?, "feature_dim": d?, "truth": l?}` —
+//! when `features` is omitted each node gets the one-hot encoding of
+//! its type over `feature_dim` (defaulting to `max type + 1`), the
+//! same convention the synthetic datasets use. Patterns are
+//! `{"types": [...], "edges": [[u, v, ty], ...]}`. Queries compose the
+//! [`ViewQuery`] clauses: `{"pattern": {...}?, "label": l?, "views":
+//! [raw view ids]?}`.
+//!
+//! Decoders return `Err(message)` instead of panicking: a malformed
+//! body is the client's fault and maps to a 400, never to a dead
+//! worker.
+
+use gvex_core::{query::QueryResult, ExplanationView, ViewId, ViewQuery};
+use gvex_graph::{ClassLabel, Graph, GraphId};
+use gvex_pattern::Pattern;
+use serde_json::Value;
+
+/// A non-negative integer field, accepting any of the shim's numeric
+/// JSON representations.
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        Value::UInt(u) => Some(*u),
+        Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// `body[field]` as a u64, or an error naming the field.
+pub fn u64_field(body: &Value, field: &str) -> Result<u64, String> {
+    body.get_field(field).and_then(as_u64).ok_or_else(|| format!("missing or invalid `{field}`"))
+}
+
+/// `body[field]` as an optional u64 (absent and `null` are `None`;
+/// a present non-numeric value is an error).
+pub fn opt_u64_field(body: &Value, field: &str) -> Result<Option<u64>, String> {
+    match body.get_field(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => as_u64(v).map(Some).ok_or_else(|| format!("invalid `{field}`")),
+    }
+}
+
+/// `body[field]` as a list of u32 ids.
+pub fn ids_field(body: &Value, field: &str) -> Result<Option<Vec<GraphId>>, String> {
+    match body.get_field(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|v| {
+                as_u64(v).map(|u| u as GraphId).ok_or_else(|| format!("invalid id in `{field}`"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some),
+        Some(_) => Err(format!("`{field}` must be an array")),
+    }
+}
+
+/// Decodes `[[u, v, ty], ...]`.
+fn edges_field(v: &Value) -> Result<Vec<(u32, u32, u16)>, String> {
+    let Value::Array(items) = v else { return Err("`edges` must be an array".into()) };
+    items
+        .iter()
+        .map(|e| {
+            let Value::Array(t) = e else { return Err("edge must be [u, v, type]".into()) };
+            if t.len() != 3 {
+                return Err("edge must be [u, v, type]".into());
+            }
+            let u = as_u64(&t[0]).ok_or("bad edge endpoint")? as u32;
+            let v = as_u64(&t[1]).ok_or("bad edge endpoint")? as u32;
+            let ty = as_u64(&t[2]).ok_or("bad edge type")? as u16;
+            Ok((u, v, ty))
+        })
+        .collect()
+}
+
+/// Decodes a graph object (see module docs).
+pub fn graph_from_value(v: &Value) -> Result<Graph, String> {
+    let types: Vec<u16> = match v.get_field("types") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|t| as_u64(t).map(|u| u as u16).ok_or_else(|| "bad node type".to_string()))
+            .collect::<Result<_, _>>()?,
+        _ => return Err("missing `types` array".into()),
+    };
+    let edges = match v.get_field("edges") {
+        Some(e) => edges_field(e)?,
+        None => Vec::new(),
+    };
+    let features: Option<Vec<Vec<f64>>> = match v.get_field("features") {
+        None | Some(Value::Null) => None,
+        Some(Value::Array(rows)) => Some(
+            rows.iter()
+                .map(|row| {
+                    let Value::Array(cells) = row else {
+                        return Err("feature row must be an array".to_string());
+                    };
+                    cells.iter().map(|c| as_f64(c).ok_or("bad feature".to_string())).collect()
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        Some(_) => return Err("`features` must be an array of rows".into()),
+    };
+    let dim = match &features {
+        Some(rows) => {
+            if rows.len() != types.len() {
+                return Err("`features` row count must match `types`".into());
+            }
+            rows.first().map(|r| r.len()).unwrap_or(0)
+        }
+        None => match opt_u64_field(v, "feature_dim")? {
+            Some(d) => d as usize,
+            None => types.iter().map(|&t| t as usize + 1).max().unwrap_or(1),
+        },
+    };
+    let mut g = Graph::new(dim);
+    for (i, &ty) in types.iter().enumerate() {
+        match &features {
+            Some(rows) => {
+                if rows[i].len() != dim {
+                    return Err("ragged `features` rows".into());
+                }
+                g.add_node(ty, &rows[i]);
+            }
+            None => {
+                if ty as usize >= dim {
+                    return Err(format!("node type {ty} out of range for feature_dim {dim}"));
+                }
+                g.add_typed_node(ty);
+            }
+        }
+    }
+    let n = types.len() as u32;
+    for (a, b, ty) in edges {
+        if a >= n || b >= n || a == b {
+            return Err(format!("edge ({a}, {b}) out of range for {n} nodes"));
+        }
+        g.add_edge(a, b, ty);
+    }
+    Ok(g)
+}
+
+/// Encodes a graph back onto the wire (with explicit feature rows, so
+/// a decode → encode round trip is lossless).
+pub fn graph_to_value(g: &Graph) -> Value {
+    let types: Vec<u64> = (0..g.num_nodes() as u32).map(|v| g.node_type(v) as u64).collect();
+    let edges: Vec<Value> = g
+        .edges()
+        .map(|(u, v, t)| {
+            Value::Array(vec![Value::UInt(u as u64), Value::UInt(v as u64), Value::UInt(t as u64)])
+        })
+        .collect();
+    let features: Vec<Value> = (0..g.num_nodes())
+        .map(|r| Value::Array(g.features().row(r).iter().map(|&f| Value::Float(f)).collect()))
+        .collect();
+    serde_json::json!({
+        "types": types,
+        "edges": Value::Array(edges),
+        "features": Value::Array(features),
+    })
+}
+
+/// Decodes the optional ground-truth label of an inserted graph.
+pub fn truth_from_value(v: &Value) -> Result<Option<ClassLabel>, String> {
+    opt_u64_field(v, "truth").map(|t| t.map(|t| t as ClassLabel))
+}
+
+/// Decodes a pattern object.
+pub fn pattern_from_value(v: &Value) -> Result<Pattern, String> {
+    let types: Vec<u16> = match v.get_field("types") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|t| as_u64(t).map(|u| u as u16).ok_or_else(|| "bad node type".to_string()))
+            .collect::<Result<_, _>>()?,
+        _ => return Err("pattern missing `types` array".into()),
+    };
+    let edges = match v.get_field("edges") {
+        Some(e) => edges_field(e)?,
+        None => Vec::new(),
+    };
+    let n = types.len() as u32;
+    if edges.iter().any(|&(a, b, _)| a >= n || b >= n) {
+        return Err("pattern edge out of range".into());
+    }
+    Ok(Pattern::new(&types, &edges))
+}
+
+/// Decodes a query body into a [`ViewQuery`].
+pub fn query_from_value(body: &Value) -> Result<ViewQuery, String> {
+    let mut q = match body.get_field("pattern") {
+        None | Some(Value::Null) => ViewQuery::new(),
+        Some(p) => ViewQuery::pattern(pattern_from_value(p)?),
+    };
+    if let Some(l) = opt_u64_field(body, "label")? {
+        q = q.label(l as ClassLabel);
+    }
+    if let Some(views) = ids_field(body, "views")? {
+        q = q.in_views(views.into_iter().map(ViewId));
+    }
+    Ok(q)
+}
+
+/// Encodes a [`QueryResult`].
+pub fn query_result_to_value(r: &QueryResult) -> Value {
+    let per_label: Vec<Value> = r
+        .per_label
+        .iter()
+        .map(|&(l, c)| Value::Array(vec![Value::UInt(l as u64), Value::UInt(c as u64)]))
+        .collect();
+    serde_json::json!({
+        "count": r.len(),
+        "graphs": r.graphs.clone(),
+        "per_label": Value::Array(per_label),
+    })
+}
+
+/// Encodes a view summary (handle, tiers, scores) — the explain/view
+/// response body. Patterns are included in wire form so a client can
+/// turn them straight back into queries.
+pub fn view_to_value(id: ViewId, view: &ExplanationView) -> Value {
+    let patterns: Vec<Value> = view
+        .patterns
+        .iter()
+        .map(|p| {
+            let types: Vec<u64> =
+                (0..p.num_nodes() as u32).map(|v| p.node_type(v) as u64).collect();
+            let edges: Vec<Value> = p
+                .edges()
+                .map(|(u, v, t)| {
+                    Value::Array(vec![
+                        Value::UInt(u as u64),
+                        Value::UInt(v as u64),
+                        Value::UInt(t as u64),
+                    ])
+                })
+                .collect();
+            serde_json::json!({ "types": types, "edges": Value::Array(edges) })
+        })
+        .collect();
+    serde_json::json!({
+        "view": id.0,
+        "label": view.label,
+        "subgraphs": view.subgraphs.len(),
+        "patterns": Value::Array(patterns),
+        "explainability": view.explainability,
+        "edge_loss": view.edge_loss,
+    })
+}

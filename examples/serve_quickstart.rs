@@ -1,0 +1,62 @@
+//! Serving quickstart: boot an HTTP front end over a trained engine,
+//! talk to it with the bundled client, and shut down gracefully.
+//!
+//! Run with: `cargo run --release --example serve_quickstart`
+
+use gvex::core::{Config, Engine};
+use gvex::data::{mutagenicity, DataConfig};
+use gvex::gnn::{AdamTrainer, GcnModel};
+use gvex::serve::{Client, ServeConfig, Server};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // A small trained engine, same recipe as the other examples.
+    let mut db = mutagenicity(DataConfig::new(24, 7));
+    let model = GcnModel::new(14, 16, 2, 2, 7);
+    AdamTrainer::classify_all(&model, &mut db, &[]);
+    let engine =
+        Arc::new(Engine::builder(model, db).config(Config::with_bounds(0, 5)).threads(2).build());
+
+    // Boot the front end on an ephemeral port.
+    let handle = Server::start(engine, ServeConfig::default()).expect("server starts");
+    println!("serving on http://{}", handle.addr());
+    let mut c = Client::connect(handle.addr(), Duration::from_secs(10)).expect("connect");
+
+    // Count everything, then ask for an explanation of label 1.
+    let all = c.post("/query", &json!({})).expect("query");
+    println!("graphs at head: {}", all.u64_field("count"));
+    let exp = c.post("/explain", &json!({ "label": 1u64 })).expect("explain");
+    println!("explanation view {} (explainability in body)", exp.u64_field("view"));
+
+    // A pinned session: repeatable reads across a concurrent insert.
+    let sid = c.post("/session", &json!({})).expect("session").u64_field("session");
+    let path = format!("/session/{sid}/query");
+    let before = c.post(&path, &json!({})).expect("session query");
+    let graph = json!({
+        "types": vec![0u64, 1, 2],
+        "edges": Value::Array(vec![json!([0u64, 1u64, 1u64]), json!([1u64, 2u64, 1u64])]),
+        "feature_dim": 14u64,
+        "truth": 1u64,
+    });
+    c.post("/insert", &json!({ "graphs": Value::Array(vec![graph]) })).expect("insert");
+    let after = c.post(&path, &json!({})).expect("session query");
+    println!(
+        "session count {} == {} (repeatable), head count {}",
+        before.u64_field("count"),
+        after.u64_field("count"),
+        c.post("/query", &json!({})).expect("query").u64_field("count"),
+    );
+
+    // A deadline the server cannot meet is refused up front (503).
+    let refused = c.request("POST", "/query", Some(&json!({})), Some(0)).expect("deadline request");
+    println!("deadline_ms=0 -> {} (retry-after {:?}s)", refused.status, refused.retry_after);
+
+    // Live operational state, then a graceful drain.
+    let stats = c.get("/stats").expect("stats");
+    println!("stats: {}", serde_json::to_string(&stats.body).unwrap());
+    drop(c);
+    handle.shutdown();
+    println!("drained and shut down");
+}

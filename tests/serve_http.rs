@@ -1,0 +1,365 @@
+//! HTTP serving integration tests: framing edge cases (malformed
+//! request lines, oversized bodies, stalled clients), deadline-based
+//! admission (expired requests are 503'd and never executed),
+//! pinned-snapshot sessions (byte-identical repeatable reads across an
+//! interleaved write batch), micro-batching, health endpoints, and
+//! graceful shutdown draining admitted work.
+
+use gvex::core::{Config, Engine};
+use gvex::data::{mutagenicity, DataConfig, TYPE_N, TYPE_O};
+use gvex::gnn::{AdamTrainer, GcnModel};
+use gvex::serve::{live_graphs, Client, ServeConfig, Server, ServerHandle};
+use serde_json::{json, Value};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn engine(n: usize, seed: u64) -> Arc<Engine> {
+    let mut db = mutagenicity(DataConfig::new(n, seed));
+    let model = GcnModel::new(14, 16, 2, 2, seed);
+    AdamTrainer::classify_all(&model, &mut db, &[]);
+    Arc::new(Engine::builder(model, db).config(Config::with_bounds(0, 5)).threads(2).build())
+}
+
+fn serve(n: usize, seed: u64, tweak: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut config = ServeConfig {
+        accept_threads: 4,
+        exec_threads: 2,
+        read_timeout: Duration::from_millis(500),
+        batch_window: Duration::from_millis(2),
+        ..ServeConfig::default()
+    };
+    tweak(&mut config);
+    Server::start(engine(n, seed), config).expect("server starts")
+}
+
+fn client(handle: &ServerHandle) -> Client {
+    Client::connect(handle.addr(), TIMEOUT).expect("client connects")
+}
+
+/// A minimal insertable graph in wire form (feature_dim matches the
+/// mutagenicity models).
+fn wire_graph(truth: u64) -> Value {
+    json!({
+        "types": vec![0u64, 1, 2],
+        "edges": Value::Array(vec![
+            json!([0u64, 1u64, 1u64]),
+            json!([1u64, 2u64, 1u64]),
+        ]),
+        "feature_dim": 14u64,
+        "truth": truth,
+    })
+}
+
+#[test]
+fn query_explain_view_round_trip() {
+    let handle = serve(16, 7, |_| {});
+    let mut c = client(&handle);
+
+    let all = c.post("/query", &json!({})).unwrap();
+    assert_eq!(all.status, 200);
+    assert!(all.u64_field("count") > 0);
+    assert_eq!(all.u64_field("count"), live_graphs(handle.engine()) as u64);
+
+    // Pattern query over the wire matches the in-process engine.
+    let nitro = json!({
+        "types": vec![TYPE_N as u64, TYPE_O as u64],
+        "edges": Value::Array(vec![json!([0u64, 1u64, 1u64])]),
+    });
+    let hits = c.post("/query", &json!({ "pattern": nitro })).unwrap();
+    assert_eq!(hits.status, 200);
+
+    // Explain, then resolve the returned view handle.
+    let exp = c.post("/explain", &json!({ "label": 1u64 })).unwrap();
+    assert_eq!(exp.status, 200, "explain failed: {:?}", exp.body);
+    let vid = exp.u64_field("view");
+    let view = c.get(&format!("/view/{vid}")).unwrap();
+    assert_eq!(view.status, 200);
+    assert_eq!(view.u64_field("view"), vid);
+    assert_eq!(c.get("/view/9999").unwrap().status, 404);
+
+    handle.shutdown();
+}
+
+#[test]
+fn insert_and_remove_over_the_wire() {
+    let handle = serve(12, 11, |_| {});
+    let mut c = client(&handle);
+    let before = live_graphs(handle.engine());
+
+    let ins = c
+        .post("/insert", &json!({ "graphs": Value::Array(vec![wire_graph(1), wire_graph(0)]) }))
+        .unwrap();
+    assert_eq!(ins.status, 200, "insert failed: {:?}", ins.body);
+    let Some(Value::Array(ids)) = ins.body.get_field("ids") else {
+        panic!("insert response missing ids: {:?}", ins.body)
+    };
+    assert_eq!(ids.len(), 2);
+    assert_eq!(live_graphs(handle.engine()), before + 2);
+
+    let ids: Vec<u64> = ids
+        .iter()
+        .map(|v| match v {
+            Value::UInt(u) => *u,
+            Value::Int(i) => *i as u64,
+            other => panic!("bad id {other:?}"),
+        })
+        .collect();
+    let rm = c.post("/remove", &json!({ "ids": ids })).unwrap();
+    assert_eq!(rm.status, 200);
+    assert_eq!(live_graphs(handle.engine()), before);
+
+    handle.shutdown();
+}
+
+// ---- framing edge cases (satellite: defensive HTTP) -------------------
+
+#[test]
+fn malformed_request_line_is_a_400() {
+    let handle = serve(8, 3, |_| {});
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(b"THIS IS NOT HTTP AT ALL\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+    assert!(text.contains("connection: close"), "framing errors must close: {text}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_body_is_a_413_without_reading_it() {
+    let handle = serve(8, 3, |c| c.max_body = 1024);
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    // Declare 10 MiB but send none of it: the server must answer from
+    // the declaration alone.
+    raw.write_all(b"POST /query HTTP/1.1\r\ncontent-length: 10485760\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 413"), "got: {text}");
+    handle.shutdown();
+}
+
+#[test]
+fn stalled_client_times_out_without_wedging_the_worker() {
+    let handle = serve(8, 3, |c| c.read_timeout = Duration::from_millis(200));
+    // Send half a request line, then stall past the read timeout.
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(b"POST /quer").unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 408"), "stalled mid-request should 408: {text}");
+    // The worker the stalled client held must be serving again.
+    let mut c = client(&handle);
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_route_and_wrong_method() {
+    let handle = serve(8, 3, |_| {});
+    let mut c = client(&handle);
+    assert_eq!(c.post("/nope", &json!({})).unwrap().status, 404);
+    assert_eq!(c.request("GET", "/query", None, None).unwrap().status, 405);
+    assert_eq!(c.request("POST", "/query", None, None).unwrap().status, 411);
+    handle.shutdown();
+}
+
+// ---- admission control ------------------------------------------------
+
+/// The hard guarantee: a request arriving with an already-expired
+/// deadline is rejected with 503 + Retry-After and its write is never
+/// applied to the engine.
+#[test]
+fn expired_deadline_is_rejected_and_never_executed() {
+    let handle = serve(12, 5, |_| {});
+    let before = live_graphs(handle.engine());
+    let mut c = client(&handle);
+    for _ in 0..5 {
+        let r = c
+            .request(
+                "POST",
+                "/insert",
+                Some(&json!({ "graphs": Value::Array(vec![wire_graph(1)]) })),
+                Some(0), // deadline already passed on arrival
+            )
+            .unwrap();
+        assert_eq!(r.status, 503, "expired deadline must be rejected: {:?}", r.body);
+        assert!(r.retry_after.is_some(), "503 must carry Retry-After");
+    }
+    // Give any (erroneously) admitted write time to land, then check
+    // nothing did.
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(live_graphs(handle.engine()), before, "expired inserts must never execute");
+    let stats = c.get("/stats").unwrap();
+    let Some(adm) = stats.body.get_field("admission") else { panic!("no admission block") };
+    assert!(
+        gvex::serve::wire::u64_field(adm, "rejected_total").unwrap() >= 5,
+        "rejections must be counted: {adm:?}"
+    );
+    handle.shutdown();
+}
+
+// ---- sessions ---------------------------------------------------------
+
+/// Repeatable reads: a pinned session returns byte-identical results
+/// across an interleaved write batch, while head queries see the write.
+#[test]
+fn session_reads_are_repeatable_across_writes() {
+    let handle = serve(14, 9, |_| {});
+    let mut c = client(&handle);
+
+    let opened = c.post("/session", &json!({})).unwrap();
+    assert_eq!(opened.status, 200);
+    let sid = opened.u64_field("session");
+    let q = json!({});
+    let path = format!("/session/{sid}/query");
+
+    let first = c.post(&path, &q).unwrap();
+    assert_eq!(first.status, 200);
+
+    // Interleaved writes through the same front end.
+    let ins = c
+        .post(
+            "/insert",
+            &json!({ "graphs": Value::Array(vec![wire_graph(1), wire_graph(0), wire_graph(1)]) }),
+        )
+        .unwrap();
+    assert_eq!(ins.status, 200);
+
+    let second = c.post(&path, &q).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(first.raw, second.raw, "pinned session reads must be byte-identical");
+
+    // The head sees the writes the session does not.
+    let head = c.post("/query", &q).unwrap();
+    assert_eq!(head.u64_field("count"), first.u64_field("count") + 3);
+
+    // Closing releases the pin; the id is gone afterwards.
+    assert_eq!(c.request("DELETE", &format!("/session/{sid}"), None, None).unwrap().status, 200);
+    assert_eq!(c.post(&path, &q).unwrap().status, 410);
+    handle.shutdown();
+}
+
+/// An expired session answers 410 and its snapshot pin is released by
+/// the sweeper even with zero traffic (the flusher tick drives expiry).
+#[test]
+fn sessions_expire_and_release_their_pins() {
+    let handle = serve(10, 13, |c| {
+        c.session_ttl = Duration::from_millis(50);
+        c.batch_window = Duration::from_millis(10);
+    });
+    let mut c = client(&handle);
+    let pins_before = handle.engine().pinned_snapshots();
+    let sid = c.post("/session", &json!({})).unwrap().u64_field("session");
+    assert!(handle.engine().pinned_snapshots() > pins_before);
+    // Wait out the TTL plus a few sweeper ticks, with no traffic.
+    std::thread::sleep(Duration::from_millis(300));
+    assert_eq!(handle.engine().pinned_snapshots(), pins_before, "sweeper must release the pin");
+    assert_eq!(c.post(&format!("/session/{sid}/query"), &json!({})).unwrap().status, 410);
+    handle.shutdown();
+}
+
+// ---- micro-batching ---------------------------------------------------
+
+/// Concurrent explains for one label merge into a single engine call:
+/// every waiter gets the same view id and the batch counters show >1
+/// request per flush.
+#[test]
+fn concurrent_explains_batch_into_one_call() {
+    let handle = serve(14, 21, |c| c.batch_window = Duration::from_millis(150));
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, TIMEOUT).unwrap();
+                let r = c.post("/explain", &json!({ "label": 1u64 })).unwrap();
+                assert_eq!(r.status, 200, "explain failed: {:?}", r.body);
+                r.u64_field("view")
+            })
+        })
+        .collect();
+    let views: Vec<u64> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    assert!(views.windows(2).all(|w| w[0] == w[1]), "batched explains share one view: {views:?}");
+    assert!(handle.stats().batch_occupancy() > 1.0, "expected >1 request per flush");
+    handle.shutdown();
+}
+
+// ---- health endpoints -------------------------------------------------
+
+#[test]
+fn healthz_and_stats_report_engine_state() {
+    let handle = serve(12, 17, |_| {});
+    let mut c = client(&handle);
+    c.post("/explain", &json!({ "label": 0u64 })).unwrap();
+
+    let h = c.get("/healthz").unwrap();
+    assert_eq!(h.status, 200);
+    assert_eq!(h.body.get_field("status"), Some(&Value::String("ok".into())));
+
+    let s = c.get("/stats").unwrap();
+    assert_eq!(s.status, 200);
+    let eng = s.body.get_field("engine").expect("engine block");
+    assert_eq!(gvex::serve::wire::u64_field(eng, "head").unwrap(), handle.engine().head().0,);
+    for key in ["pinned_snapshots", "shard_probes", "num_shards", "pool_width"] {
+        assert!(eng.get_field(key).is_some(), "missing engine.{key}");
+    }
+    assert!(eng.get_field("staleness").is_some());
+    for key in ["queue", "admission", "batch", "sessions", "responses"] {
+        assert!(s.body.get_field(key).is_some(), "missing stats.{key}");
+    }
+    handle.shutdown();
+}
+
+// ---- graceful shutdown ------------------------------------------------
+
+/// Shutdown drains: requests sitting in a batch bucket when shutdown
+/// begins still complete (the final flush runs before the queue closes),
+/// and the listener refuses connections afterwards.
+#[test]
+fn graceful_shutdown_drains_admitted_work() {
+    let handle = serve(12, 23, |c| {
+        // A long window parks the inserts in the bucket so shutdown's
+        // final flush is what drains them.
+        c.batch_window = Duration::from_secs(30);
+        c.max_batch = 1000;
+    });
+    let addr = handle.addr();
+    let before = live_graphs(handle.engine());
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, TIMEOUT).unwrap();
+                c.post("/insert", &json!({ "graphs": Value::Array(vec![wire_graph(1)]) })).unwrap()
+            })
+        })
+        .collect();
+    // Let the inserts reach the bucket, then shut down underneath them.
+    std::thread::sleep(Duration::from_millis(200));
+    let engine = Arc::clone(handle.engine());
+    handle.shutdown();
+    for w in workers {
+        let r = w.join().unwrap();
+        assert_eq!(r.status, 200, "admitted insert must drain on shutdown: {:?}", r.body);
+    }
+    assert_eq!(live_graphs(&engine), before + 3);
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // A TIME_WAIT race can still accept; a subsequent read sees EOF.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+            let mut buf = [0u8; 1];
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        },
+        "listener must be closed after shutdown"
+    );
+}
