@@ -1,0 +1,316 @@
+//! Paged-storage-tier bench for CI: runs the 10^5-graph MalNet-scale
+//! database under a memory budget of ~1/5 its in-memory footprint and
+//! writes `BENCH_PR9.json`.
+//!
+//! Three properties of the paging tier are measured and gated:
+//!
+//! 1. **Lazy recovery** — reopening the durable directory restores
+//!    every slot cold: the pager must report zero faults and zero
+//!    resident payload bytes at open (hard check), with the fault
+//!    counter only rising once the workload actually reads payloads.
+//! 2. **Bounded residency** — across the full query/explain workload
+//!    the pager's *peak* resident payload bytes must stay at or under
+//!    25% of the in-memory footprint (hard check via the pager's own
+//!    counters — the budget is set to 20%, so the gate also catches a
+//!    rebalance that lets residency drift far past the budget).
+//! 3. **Warm-read latency** — p99 payload-read latency over a resident
+//!    hot set must stay within 2x of the unbudgeted in-memory engine:
+//!    the fault-in machinery may not tax the hit path.
+//!
+//! Before timing anything, the recovered paged engine must answer the
+//! per-label queries identically to the unbudgeted engine built from
+//! the same seed — a perf number for a divergent database would be
+//! meaningless (exit 2).
+//!
+//! Usage: `paging_bench [--check] [--out PATH] [--graphs N]`
+//!
+//! - `--check`: exit non-zero when any gate fails (the CI paging-smoke
+//!   contract).
+//! - `--out PATH`: where to write the JSON (default `BENCH_PR9.json`).
+//! - `--graphs N`: database scale (default 100000).
+
+use gvex_core::{Config, Engine, ViewQuery};
+use gvex_gnn::GcnModel;
+use gvex_graph::{ClassLabel, GraphDb, GraphId};
+use std::time::Instant;
+
+/// (p50, p90, p99) of a sample set, in nanoseconds.
+fn percentiles_ns(samples: &mut [f64]) -> (f64, f64, f64) {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let at = |q: usize| samples[(samples.len() * q) / 100];
+    (at(50), at(90), at(99))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let scale_graphs: usize = args
+        .iter()
+        .position(|a| a == "--graphs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // MalNet-scale database with predicted := truth (queries and
+    // explanations run against ground-truth labels; no training).
+    let gen_t = Instant::now();
+    let sdb = {
+        let mut db = gvex_data::malnet_scale(scale_graphs, 23);
+        let ids: Vec<GraphId> = db.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            let truth = db.truth(id);
+            db.set_predicted(id, truth);
+        }
+        db
+    };
+    let generate_ms = gen_t.elapsed().as_secs_f64() * 1e3;
+    let full_bytes: u64 = sdb.iter().map(|(_, g)| g.approx_bytes() as u64).sum();
+    let labels: Vec<ClassLabel> = sdb.labels();
+    let feat = sdb.iter().next().map(|(_, g)| g.feature_dim()).unwrap_or(1);
+    let model = GcnModel::new(feat, 8, labels.len(), 2, 7);
+    let cfg = Config::with_bounds(0, 4);
+    // Budget: 1/5 of the footprint — under the 25% peak gate with
+    // headroom for fault-in drift between rebalance points.
+    let budget = full_bytes / 5;
+    eprintln!(
+        "database: {scale_graphs} graphs, {full_bytes} payload bytes, generated in \
+         {generate_ms:.0} ms; budget {budget} bytes (20%)"
+    );
+
+    let dir = std::env::temp_dir().join(format!("gvex_bench_paging_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create paging scratch dir");
+
+    // ---- phase 1: lay down the durable image (checkpoint + extents) --
+    let t = Instant::now();
+    {
+        let seeded =
+            Engine::builder(model.clone(), sdb.clone()).config(cfg.clone()).durable(&dir).build();
+        drop(seeded);
+    }
+    let seed_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // ---- phase 2: recover under the budget — must open lazily --------
+    let t = Instant::now();
+    let paged = Engine::builder(model.clone(), GraphDb::new())
+        .config(cfg.clone())
+        .durable(&dir)
+        .memory_budget(budget)
+        .build();
+    let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+    if paged.recovery_report().is_none() {
+        eprintln!("FATAL: rebuilt engine reports no recovery — checkpoint was not read");
+        std::process::exit(2);
+    }
+    let at_open = paged.pager_stats().expect("durable engine pages");
+    let faults_at_open = at_open.faults;
+    let resident_at_open = at_open.resident_bytes;
+    eprintln!(
+        "recovery: {recovery_ms:.1} ms (seed image {seed_ms:.0} ms), {faults_at_open} faults, \
+         {resident_at_open} resident bytes at open"
+    );
+
+    // Unbudgeted reference engine over the same seed (identical ids:
+    // recovery restores the slot layout the seed database had).
+    let inmem = Engine::builder(model.clone(), sdb.clone()).config(cfg.clone()).build();
+
+    // ---- full query/explain workload under the budget ----------------
+    //
+    // Per-label queries answer from postings (index metadata); the
+    // explain subsets decode payloads through the transient scan and
+    // per-graph fault-in paths. Result identity is a hard check.
+    let work_t = Instant::now();
+    let mut hot: Vec<GraphId> = Vec::new();
+    for &l in &labels {
+        let (rp, rm) =
+            (paged.query(&ViewQuery::new().label(l)), inmem.query(&ViewQuery::new().label(l)));
+        if rp.graphs != rm.graphs {
+            eprintln!("FATAL: paged label-{l} query diverged from the in-memory engine");
+            std::process::exit(2);
+        }
+        // The warm hot set: a slice of every label group.
+        hot.extend(rp.graphs.iter().take(100).copied());
+        let subset: Vec<GraphId> = rp.graphs.iter().take(24).copied().collect();
+        let vid = paged.explain_subset(l, &subset);
+        if paged.view(vid).is_none() {
+            eprintln!("FATAL: explain_subset produced no view for label {l}");
+            std::process::exit(2);
+        }
+    }
+    let workload_ms = work_t.elapsed().as_secs_f64() * 1e3;
+    let after_work = paged.pager_stats().expect("paged");
+    eprintln!(
+        "workload: {workload_ms:.0} ms, {} faults, {} evictions, peak resident {} bytes \
+         ({:.1}% of full), hit rate {:.3}",
+        after_work.faults,
+        after_work.evictions,
+        after_work.peak_resident_bytes,
+        100.0 * after_work.peak_resident_bytes as f64 / full_bytes as f64,
+        after_work.hit_rate()
+    );
+
+    // ---- warm-read p99: paged hit path vs in-memory ------------------
+    //
+    // One warming pass anchors the hot set resident (it is far smaller
+    // than the budget); the timed pass then measures pure hit-path
+    // reads on both engines.
+    // Best-of-3 measurement rounds (lowest p99): single-read latencies
+    // are nanosecond-scale, so one descheduling blip would otherwise
+    // dominate the tail and make the gate flaky.
+    let warm_reads = |engine: &Engine| -> (f64, f64, f64) {
+        for &id in &hot {
+            let db = engine.db();
+            std::hint::black_box(db.graph_arc(id).expect("live graph"));
+        }
+        (0..3)
+            .map(|_| {
+                let mut samples = Vec::with_capacity(hot.len() * 5);
+                for _ in 0..5 {
+                    for &id in &hot {
+                        let t = Instant::now();
+                        let db = engine.db();
+                        std::hint::black_box(db.graph_arc(id).expect("live graph"));
+                        samples.push(t.elapsed().as_secs_f64() * 1e9);
+                    }
+                }
+                percentiles_ns(&mut samples)
+            })
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("three rounds")
+    };
+    let hot_bytes: u64 = {
+        let db = inmem.db();
+        hot.iter().map(|&id| db.graph_arc(id).expect("live").approx_bytes() as u64).sum()
+    };
+    if hot_bytes >= budget {
+        eprintln!("FATAL: hot set ({hot_bytes} bytes) does not fit the budget ({budget})");
+        std::process::exit(2);
+    }
+    let (paged_p50, paged_p90, paged_p99) = warm_reads(&paged);
+    let (inmem_p50, inmem_p90, inmem_p99) = warm_reads(&inmem);
+    let p99_ratio = paged_p99 / inmem_p99.max(1e-9);
+    eprintln!(
+        "warm reads ({} hot graphs, 5 passes x 3 rounds): paged p50/p90/p99 \
+         {paged_p50:.0}/{paged_p90:.0}/{paged_p99:.0} ns, in-memory \
+         {inmem_p50:.0}/{inmem_p90:.0}/{inmem_p99:.0} ns (p99 {p99_ratio:.2}x)",
+        hot.len(),
+    );
+
+    let stats = paged.pager_stats().expect("paged");
+    let peak_fraction = stats.peak_resident_bytes as f64 / full_bytes as f64;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- gates --------------------------------------------------------
+    let lazy_pass = faults_at_open == 0 && resident_at_open == 0;
+    let faults_pass = stats.faults > 0;
+    let peak_pass = peak_fraction <= 0.25;
+    let p99_pass = p99_ratio <= 2.0;
+    let json = serde_json::json!({
+        "pr": 9u32,
+        "host": serde_json::json!({ "cores": cores as u64 }),
+        "database": serde_json::json!({
+            "graphs": scale_graphs as u64,
+            "full_payload_bytes": full_bytes,
+            "memory_budget_bytes": budget,
+            "generate_ms": generate_ms,
+            "seed_image_ms": seed_ms,
+        }),
+        "results": serde_json::json!([
+            serde_json::json!({
+                "name": "lazy_recovery",
+                "recovery_ms": recovery_ms,
+                "faults_at_open": faults_at_open,
+                "resident_bytes_at_open": resident_at_open,
+            }),
+            serde_json::json!({
+                "name": "paged_workload",
+                "workload_ms": workload_ms,
+                "faults": stats.faults,
+                "hits": stats.hits,
+                "evictions": stats.evictions,
+                "spilled_bytes": stats.spilled_bytes,
+                "hit_rate": stats.hit_rate(),
+                "peak_resident_bytes": stats.peak_resident_bytes,
+                "peak_resident_fraction": peak_fraction,
+            }),
+            serde_json::json!({
+                "name": "warm_read_p99",
+                "hot_graphs": hot.len() as u64,
+                "paged_p50_ns": paged_p50,
+                "paged_p90_ns": paged_p90,
+                "paged_p99_ns": paged_p99,
+                "inmem_p50_ns": inmem_p50,
+                "inmem_p90_ns": inmem_p90,
+                "inmem_p99_ns": inmem_p99,
+                "ratio": p99_ratio,
+            }),
+        ]),
+        "gates": serde_json::json!([
+            serde_json::json!({
+                "metric": "lazy_recovery.faults_at_open",
+                "threshold": 0.0f64,
+                "value": faults_at_open as f64,
+                "pass": lazy_pass,
+                "direction": "min",
+            }),
+            serde_json::json!({
+                "metric": "paged_workload.faults",
+                "threshold": 1.0f64,
+                "value": stats.faults as f64,
+                "pass": faults_pass,
+            }),
+            serde_json::json!({
+                "metric": "paged_workload.peak_resident_fraction",
+                "threshold": 0.25f64,
+                "value": peak_fraction,
+                "pass": peak_pass,
+                "direction": "min",
+            }),
+            serde_json::json!({
+                "metric": "warm_read_p99.ratio",
+                "threshold": 2.0f64,
+                "value": p99_ratio,
+                "pass": p99_pass,
+                "direction": "min",
+            }),
+        ]),
+    });
+    let pretty = serde_json::to_string_pretty(&json).expect("serializable");
+    std::fs::write(&out_path, pretty + "\n").expect("write paging bench json");
+    eprintln!("wrote {out_path}");
+
+    if check && !lazy_pass {
+        eprintln!(
+            "GATE FAILED: recovery was not lazy — {faults_at_open} faults, \
+             {resident_at_open} resident bytes at open"
+        );
+        std::process::exit(1);
+    }
+    if check && !faults_pass {
+        eprintln!("GATE FAILED: workload faulted no payloads — the paging tier never engaged");
+        std::process::exit(1);
+    }
+    if check && !peak_pass {
+        eprintln!(
+            "GATE FAILED: peak resident payload bytes {} are {:.1}% of the in-memory footprint \
+             (budget 20%, gate 25%)",
+            stats.peak_resident_bytes,
+            100.0 * peak_fraction
+        );
+        std::process::exit(1);
+    }
+    if check && !p99_pass {
+        eprintln!(
+            "GATE FAILED: paged warm-read p99 ({paged_p99:.0} ns) exceeded 2x the in-memory \
+             engine ({inmem_p99:.0} ns)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -28,7 +28,7 @@
 //! against); a missing fresh file is fatal.
 //!
 //! Usage: `trajectory_gate --fresh DIR [--committed DIR] [FILE ...]`
-//! (files default to the seven `BENCH_PR*.json` payloads; `--committed`
+//! (files default to the eight `BENCH_PR*.json` payloads; `--committed`
 //! defaults to the current directory). Exit 0 iff every check passes.
 
 use serde_json::Value;
@@ -80,7 +80,7 @@ fn main() {
         }
     }
     if files.is_empty() {
-        files = (2..=8).map(|n| format!("BENCH_PR{n}.json")).collect();
+        files = (2..=9).map(|n| format!("BENCH_PR{n}.json")).collect();
     }
 
     let mut failures: Vec<String> = Vec::new();

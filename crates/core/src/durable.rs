@@ -45,7 +45,8 @@
 
 use crate::engine::{Engine, LiveView, Shard, ViewAlgo};
 use crate::store::{ViewId, ViewStore};
-use gvex_graph::{Epoch, GraphDb, ShardId};
+use gvex_graph::{Epoch, GraphDb, PayloadPager, ShardId};
+use gvex_pager::PageCache;
 use gvex_store::{
     read_checkpoint, truncate_wal, wal_path, CheckpointFile, FsyncPolicy, StoreError, WalOp,
     WalRecord, WalSegment, WalWriter,
@@ -103,6 +104,7 @@ pub(crate) fn attach(
     dir: PathBuf,
     fsync: FsyncPolicy,
     checkpoint_every: u64,
+    memory_budget: Option<u64>,
 ) -> Result<(), StoreError> {
     std::fs::create_dir_all(&dir)?;
     match read_checkpoint(&dir)? {
@@ -119,13 +121,17 @@ pub(crate) fn attach(
                 }
             }
             let n = engine.num_shards();
+            // The page cache must be wired before the initial
+            // checkpoint: the image stores extent locations, so the
+            // export spills every seed payload through it.
+            engine.attach_pager(Arc::new(PageCache::open(&dir, n, memory_budget)?));
             engine.dur = Some(init_dur(&dir, n, fsync, checkpoint_every, 0, None)?);
             // The initial image captures the seed (resharding
             // included), making the directory self-contained.
             engine.checkpoint()?;
             Ok(())
         }
-        Some(ck) => recover(engine, dir, fsync, checkpoint_every, ck),
+        Some(ck) => recover(engine, dir, fsync, checkpoint_every, memory_budget, ck),
     }
 }
 
@@ -168,11 +174,15 @@ fn recover(
     dir: PathBuf,
     fsync: FsyncPolicy,
     checkpoint_every: u64,
+    memory_budget: Option<u64>,
     ck: CheckpointFile,
 ) -> Result<(), StoreError> {
     // -- 1. Rebuild every shard from the checkpoint image. The
     //    directory is authoritative: the builder's seed shards (and
-    //    shard count) are discarded.
+    //    shard count) are discarded. Slots are restored *cold* — each
+    //    records its extent location and faults its payload on first
+    //    access — so recovery is O(metadata), not O(data).
+    let pager: Arc<PageCache> = Arc::new(PageCache::open(&dir, ck.shards.len(), memory_budget)?);
     let mut shards = Vec::with_capacity(ck.shards.len());
     for (i, st) in ck.shards.iter().enumerate() {
         if st.shard as usize != i {
@@ -182,9 +192,10 @@ fn recover(
             )));
         }
         let mut db = GraphDb::with_shard(i as ShardId);
+        db.attach_pager(Arc::clone(&pager) as Arc<dyn PayloadPager>);
         for slot in &st.slots {
-            db.restore_slot(
-                slot.graph.clone(),
+            db.restore_slot_paged(
+                slot.loc,
                 slot.truth,
                 slot.predicted,
                 Epoch(slot.born),
@@ -212,6 +223,7 @@ fn recover(
         });
     }
     engine.shards = shards;
+    engine.pager = Some(pager);
     engine.clock.store(ck.watermark, Ordering::SeqCst);
 
     // -- 2. Read the logs; group surviving records into batches.

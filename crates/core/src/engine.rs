@@ -97,7 +97,8 @@ use crate::{
     parallel, ApproxGvex, Config, ContextCache, GraphContext, Snapshot, StreamGvex, ViewSet,
 };
 use gvex_gnn::GcnModel;
-use gvex_graph::{shard, ClassLabel, Epoch, Graph, GraphDb, GraphId, ShardId};
+use gvex_graph::{shard, ClassLabel, Epoch, Graph, GraphDb, GraphId, PayloadPager, ShardId};
+use gvex_pager::{PageCache, PagerStats};
 use gvex_pattern::vf2;
 use gvex_store::{FsyncPolicy, InsertEntry, RemoveEntry, StoreError, WalOp, WalRecord};
 use rayon::prelude::*;
@@ -122,6 +123,7 @@ pub struct EngineBuilder {
     durable: Option<PathBuf>,
     fsync: FsyncPolicy,
     checkpoint_every: u64,
+    memory_budget: Option<u64>,
 }
 
 impl EngineBuilder {
@@ -140,6 +142,7 @@ impl EngineBuilder {
             durable: None,
             fsync: FsyncPolicy::Batch,
             checkpoint_every: 1024,
+            memory_budget: None,
         }
     }
 
@@ -223,6 +226,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Caps resident graph-payload bytes: past the budget, engine entry
+    /// points evict the coldest unpinned payloads to per-shard extent
+    /// files and fault them back transparently on access — the
+    /// larger-than-RAM mode (see the README's "Larger than RAM"
+    /// section). Payloads observable by a pinned [`Snapshot`] are never
+    /// evicted while the snapshot holds them resident, so the effective
+    /// floor of eviction is the pin floor. Works on both in-memory
+    /// engines (payloads spill to a scratch directory removed on drop)
+    /// and durable ones (payloads spill to the durable directory's
+    /// extents, which checkpoints also reference). Default: unlimited.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Automatic checkpoint cadence (durable engines only): after this
     /// many logged ops, the next mutation entry point checkpoints and
     /// resets the logs before doing its work. `0` disables automatic
@@ -253,6 +271,7 @@ impl EngineBuilder {
         let durable = self.durable.take();
         let fsync = self.fsync;
         let checkpoint_every = self.checkpoint_every;
+        let memory_budget = self.memory_budget;
         let mut approx = ApproxGvex::new(self.config.clone());
         approx.verify_scan_limit = self.verify_scan_limit;
         let stream = StreamGvex::new(self.config.clone());
@@ -304,10 +323,20 @@ impl EngineBuilder {
             clock,
             probes: AtomicU64::new(0),
             staleness_bound: self.staleness_bound,
+            pager: None,
             dur: None,
         };
         if let Some(dir) = durable {
-            durable::attach(&mut engine, dir, fsync, checkpoint_every)?;
+            // Durable engines always page: checkpoints reference extent
+            // locations instead of embedding payloads, so recovery can
+            // open lazily. The budget (if any) additionally enables
+            // eviction.
+            durable::attach(&mut engine, dir, fsync, checkpoint_every, memory_budget)?;
+        } else if memory_budget.is_some() {
+            // In-memory engine with a budget: spill to a scratch
+            // directory that lives exactly as long as the page cache.
+            let pager = Arc::new(PageCache::scratch(engine.shards.len(), memory_budget)?);
+            engine.attach_pager(pager);
         }
         Ok(engine)
     }
@@ -400,6 +429,11 @@ pub struct Engine {
     /// — the scatter width diagnostic ([`Engine::shard_probes`]).
     probes: AtomicU64,
     staleness_bound: usize,
+    /// The page cache, when this engine pages payloads to extents:
+    /// always present on durable engines, present on in-memory engines
+    /// when [`EngineBuilder::memory_budget`] was set, `None` otherwise.
+    /// Shared (as the [`PayloadPager`]) with every shard database.
+    pub(crate) pager: Option<Arc<PageCache>>,
     /// Durability state (`None` = in-memory engine): per-shard WAL
     /// writers, checkpoint cadence, and the recovery report of the
     /// build that attached it. See [`crate::durable`].
@@ -471,6 +505,66 @@ impl Engine {
         self.pins.len()
     }
 
+    /// Page-cache counters — resident/peak payload bytes, faults, hits,
+    /// evictions, spill traffic — or `None` when the engine neither
+    /// pages nor has a budget (in-memory, no
+    /// [`EngineBuilder::memory_budget`]).
+    pub fn pager_stats(&self) -> Option<PagerStats> {
+        Some(self.pager.as_ref()?.stats())
+    }
+
+    /// Wires `pager` into every shard database (tokenizing already
+    /// resident payloads) and records it on the engine. Build-time only:
+    /// requires exclusive access, before the engine is shared.
+    pub(crate) fn attach_pager(&mut self, pager: Arc<PageCache>) {
+        for sh in &mut self.shards {
+            let db = sh.db.get_mut().expect("db lock");
+            db.attach_pager(Arc::clone(&pager) as Arc<dyn PayloadPager>);
+        }
+        self.pager = Some(pager);
+    }
+
+    /// Brings resident payload bytes back under the memory budget by
+    /// evicting the globally coldest unpinned payloads (clock-LRU over
+    /// every shard). Called at engine entry points before any guard is
+    /// taken; a single relaxed atomic load when the cache is under
+    /// budget (or there is no budget). Eviction re-checks pins under
+    /// the shard write lock, so payloads held by snapshots or
+    /// outstanding [`Engine::context`] handles are skipped — the pin
+    /// floor is the eviction floor.
+    fn rebalance(&self) {
+        let Some(pager) = self.pager.as_ref() else { return };
+        if !pager.over_budget() {
+            return;
+        }
+        let Some(budget) = pager.budget() else { return };
+        // Candidate gathering is a metadata walk under shared locks.
+        let mut cands: Vec<(usize, gvex_graph::EvictCandidate)> = Vec::new();
+        for (s, sh) in self.shards.iter().enumerate() {
+            let db = sh.db.read().expect("db lock");
+            cands.extend(db.evict_candidates().into_iter().map(|c| (s, c)));
+        }
+        cands.sort_unstable_by_key(|(_, c)| c.touch);
+        // Coldest prefix projected to bring residency back under budget.
+        let mut excess = pager.stats().resident_bytes.saturating_sub(budget);
+        let mut victims: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+        for (s, c) in cands {
+            if excess == 0 {
+                break;
+            }
+            excess = excess.saturating_sub(c.bytes);
+            victims.entry(s).or_default().push(c.slot);
+        }
+        // Evict per shard under brief exclusive sections (ascending
+        // shard order). Flipping Resident -> Paged never changes
+        // observable content, so no epoch ticks and no writer mutex.
+        for s in sorted_shards(victims.keys().copied()) {
+            let slots = victims.remove(&s).expect("shard key");
+            let mut db = self.shards[s].db.write().expect("db lock");
+            db.evict_slots(&slots);
+        }
+    }
+
     /// The shard owning `label`'s group.
     fn route(&self, label: ClassLabel) -> usize {
         label as usize % self.shards.len()
@@ -499,6 +593,7 @@ impl Engine {
     /// or `None` when `id` is removed, compacted, never allocated, or
     /// carries out-of-range shard bits.
     pub fn context(&self, id: GraphId) -> Option<Arc<GraphContext>> {
+        self.rebalance();
         let sh = &self.shards[self.shard_of(id)?];
         // Take the payload handle under the read lock, build outside it:
         // context construction is the expensive per-graph precomputation
@@ -533,6 +628,7 @@ impl Engine {
     /// move it to a reader thread while this engine keeps mutating. See
     /// [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
+        self.rebalance();
         let guards: Vec<RwLockReadGuard<'_, GraphDb>> =
             self.shards.iter().map(|s| s.db.read().expect("db lock")).collect();
         let w = self.head();
@@ -581,6 +677,7 @@ impl Engine {
             return (Vec::new(), self.head());
         }
         self.maybe_checkpoint();
+        self.rebalance();
         // Classification and pattern-index matching of each arrival are
         // pre-computed here, in parallel, against the immutable model
         // and the owning shard's append-only index entries: entries
@@ -674,6 +771,7 @@ impl Engine {
             return self.head();
         }
         self.maybe_checkpoint();
+        self.rebalance();
         let _w = self.writer_guards(&affected);
         let mut removed = Vec::new();
         let mut work: FxHashMap<usize, FxHashMap<ClassLabel, FxHashSet<GraphId>>> =
@@ -735,6 +833,10 @@ impl Engine {
                 .map(|(s, by_label)| (s, sorted_label_work(FxHashMap::default(), by_label)))
                 .collect(),
         );
+        // The maintenance clones share every payload Arc: they must be
+        // gone before compaction, or no tombstoned payload is ever
+        // sole-owned and the spill-to-extent path can never fire.
+        drop(clones);
         self.compact_inner();
         epoch
     }
@@ -970,6 +1072,7 @@ impl Engine {
     /// other threads keep being served while generation is in flight.
     pub fn explain_all(&self) -> Vec<ViewId> {
         self.maybe_checkpoint();
+        self.rebalance();
         let all = sorted_shards(0..self.shards.len());
         let _w = self.writer_guards(&all);
         let clones: Vec<GraphDb> = (0..self.shards.len()).map(|s| self.read_clone(s)).collect();
@@ -1045,6 +1148,7 @@ impl Engine {
     /// other shards proceed in parallel.
     pub fn explain_label(&self, label: ClassLabel) -> ViewId {
         self.maybe_checkpoint();
+        self.rebalance();
         let s = self.route(label);
         let _w = self.shards[s].writer.lock().expect("writer lock");
         let db = self.read_clone(s);
@@ -1077,6 +1181,7 @@ impl Engine {
     /// names within `label`'s owning shard.
     pub fn explain_subset(&self, label: ClassLabel, ids: &[GraphId]) -> ViewId {
         self.maybe_checkpoint();
+        self.rebalance();
         let s = self.route(label);
         let _w = self.shards[s].writer.lock().expect("writer lock");
         let db = self.read_clone(s);
@@ -1126,6 +1231,7 @@ impl Engine {
     /// registers it for incremental maintenance at the same fraction.
     pub fn stream(&self, label: ClassLabel, fraction: f64) -> ViewId {
         self.maybe_checkpoint();
+        self.rebalance();
         let s = self.route(label);
         let _w = self.shards[s].writer.lock().expect("writer lock");
         let db = self.read_clone(s);
@@ -1154,6 +1260,7 @@ impl Engine {
     /// [`Engine::explain_subset`].
     pub fn stream_subset(&self, label: ClassLabel, ids: &[GraphId], fraction: f64) -> ViewId {
         self.maybe_checkpoint();
+        self.rebalance();
         let s = self.route(label);
         let _w = self.shards[s].writer.lock().expect("writer lock");
         let db = self.read_clone(s);
@@ -1200,6 +1307,7 @@ impl Engine {
     /// batch in full or not at all), scatters the per-shard probes on
     /// the engine pool, and merges postings and per-label counts.
     pub fn query(&self, q: &ViewQuery) -> QueryResult {
+        self.rebalance();
         let plan =
             query::plan_shards(self.shards.len(), q, |s, l| self.shards[s].store.has_label(l));
         self.probes.fetch_add(plan.len() as u64, Ordering::Relaxed);
@@ -1289,27 +1397,36 @@ impl Engine {
     /// crash between the rename and the log reset is handled by replay
     /// skipping batches older than the image's op sequence.
     ///
-    /// Blocks all mutators (every writer mutex) for the duration;
-    /// readers keep answering until the brief final read-lock
-    /// acquisition. No-op returning `Ok(None)` on an in-memory engine;
-    /// otherwise returns the watermark the image captured.
+    /// Slot payloads are **not** embedded in the image: every payload is
+    /// spilled to its shard's extent (payloads already spilled by
+    /// eviction are not rewritten) and the image records extent
+    /// locations, so recovery opens in O(metadata) and faults payloads
+    /// lazily. The extents are fsynced before the image that references
+    /// them is committed.
+    ///
+    /// Blocks all mutators (every writer mutex) and, during the export
+    /// itself, readers (the export takes the database write locks to
+    /// record spill locations). No-op returning `Ok(None)` on an
+    /// in-memory engine; otherwise returns the watermark the image
+    /// captured.
     pub fn checkpoint(&self) -> Result<Option<Epoch>, StoreError> {
         let Some(dur) = self.dur.as_ref() else { return Ok(None) };
         let all = sorted_shards(0..self.shards.len());
         let _w = self.writer_guards(&all);
-        let guards: Vec<RwLockReadGuard<'_, GraphDb>> =
-            self.shards.iter().map(|s| s.db.read().expect("db lock")).collect();
+        let mut guards: Vec<RwLockWriteGuard<'_, GraphDb>> =
+            self.shards.iter().map(|s| s.db.write().expect("db lock")).collect();
         let watermark = self.head();
         let op_seq = dur.op_seq.load(Ordering::SeqCst);
         let shards: Vec<gvex_store::ShardState> = guards
-            .iter()
+            .iter_mut()
             .zip(&self.shards)
             .enumerate()
             .map(|(i, (db, sh))| {
                 let slots = db
-                    .export_slots()
+                    .export_paged_slots()
+                    .into_iter()
                     .map(|e| gvex_store::SlotState {
-                        graph: e.graph.cloned(),
+                        loc: e.loc,
                         truth: e.truth,
                         predicted: e.predicted,
                         born: e.born.0,
@@ -1341,6 +1458,11 @@ impl Engine {
             })
             .collect();
         let ck = gvex_store::CheckpointFile { watermark: watermark.0, op_seq, shards };
+        // The image references extent locations; make the referenced
+        // bytes durable before the image that points at them.
+        if let Some(p) = self.pager.as_ref() {
+            p.sync()?;
+        }
         gvex_store::write_checkpoint(&dur.dir, &ck)?;
         for w in &dur.wals {
             w.lock().expect("wal lock").reset()?;

@@ -67,6 +67,7 @@ pub use durable::RecoveryReport;
 pub use engine::{DbGuard, Engine, EngineBuilder};
 pub use explain::{Explainer, Explanation, VerifyFlags};
 pub use gvex_graph::Epoch;
+pub use gvex_pager::PagerStats;
 pub use gvex_store::{FsyncPolicy, StoreError};
 pub use query::ViewQuery;
 pub use snapshot::Snapshot;

@@ -174,7 +174,13 @@ impl ViewQuery {
                 ids
             }
             // No pattern: everything, or everything the views explain.
-            (None, true) => db.iter().map(|(id, _)| id).collect(),
+            // A metadata walk — decoding payloads here would fault a
+            // paged database's entire cold set just to list ids.
+            (None, true) => db
+                .iter_payload_lifetimes()
+                .filter(|&(_, born, died)| born <= epoch && epoch < died)
+                .map(|(id, _, _)| id)
+                .collect(),
             (None, false) => {
                 let mut ids: Vec<GraphId> =
                     self.views.iter().flat_map(|&v| store.view_graph_ids_at(v, epoch)).collect();

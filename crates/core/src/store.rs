@@ -224,12 +224,19 @@ impl PatternIndex {
 
 /// One full VF2 scan for `p` over every payload-bearing slot — live or
 /// tombstoned — producing epoch-stamped postings valid at *any* epoch a
-/// pinned snapshot can observe (runs without any lock).
+/// pinned snapshot can observe (runs without any lock). Visits payloads
+/// transiently ([`GraphDb::for_each_payload`]): over a paged database
+/// the scan faults each evicted payload in, matches, and drops it, so
+/// a full-database pattern scan costs O(one graph) of residency
+/// instead of pulling the whole database into memory.
 fn scan_postings(p: &Pattern, db: &GraphDb) -> Vec<Posting> {
-    db.iter_all_payloads()
-        .filter(|(_, g, _, _)| vf2::contains(p, g))
-        .map(|(id, _, born, died)| Posting { id, born, died })
-        .collect()
+    let mut postings = Vec::new();
+    db.for_each_payload(|id, g, born, died| {
+        if vf2::contains(p, g) {
+            postings.push(Posting { id, born, died });
+        }
+    });
+    postings
 }
 
 /// Inserts a live posting id-sorted, skipping a duplicate live posting
@@ -272,8 +279,11 @@ impl ViewStore {
     /// (dead slots keep their epoch interval); the pattern index fills
     /// as views are inserted and queries arrive.
     pub fn new(db: &GraphDb) -> Self {
+        // Metadata-only walk: labels and lifetimes come from the slots,
+        // so building the index never faults an evicted payload —
+        // recovery over a paged database stays O(metadata).
         let mut label_index: FxHashMap<ClassLabel, Vec<Posting>> = FxHashMap::default();
-        for (id, _, born, died) in db.iter_all_payloads() {
+        for (id, born, died) in db.iter_payload_lifetimes() {
             label_index.entry(db.truth(id)).or_default().push(Posting { id, born, died });
         }
         Self {

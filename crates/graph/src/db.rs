@@ -1,6 +1,7 @@
 use crate::Graph;
 use rustc_hash::FxHashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Index of a graph within a [`GraphDb`]. Since the sharded-engine
 /// redesign the high [`shard::BITS`] bits carry the owning shard, so
@@ -86,20 +87,193 @@ impl std::fmt::Display for Epoch {
     }
 }
 
+/// Location of one spilled graph payload inside a per-shard extent
+/// file: which extent, the byte offset of its record, and the record
+/// length. Extents are append-only, so a location handed out once stays
+/// readable for the lifetime of the directory — pinned snapshots can
+/// keep locations across arbitrarily many later spills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtentLoc {
+    /// Extent file number (one extent per shard).
+    pub extent: u32,
+    /// Byte offset of the record within the extent.
+    pub offset: u64,
+    /// Record length in bytes.
+    pub len: u32,
+}
+
+/// The paging backend a [`GraphDb`] spills cold payloads to and faults
+/// them back from. Implemented by `gvex_pager`'s page cache; defined
+/// here so the slot representation can hold evicted payloads without a
+/// dependency on the storage crates.
+///
+/// All methods take `&self`: faults happen under shared db read locks.
+pub trait PayloadPager: Send + Sync + std::fmt::Debug {
+    /// Reads and decodes the payload at `loc`. Paging I/O errors and
+    /// extent corruption are fail-stop: implementations panic rather
+    /// than return, mirroring how WAL append failures are handled —
+    /// a database that cannot reach its own pages cannot limp along.
+    fn fault(&self, loc: ExtentLoc) -> Graph;
+    /// Appends `g` to shard `shard`'s extent and returns its location.
+    fn spill(&self, shard: ShardId, g: &Graph) -> ExtentLoc;
+    /// Accounting: `bytes` of payload became resident.
+    fn note_resident(&self, bytes: u64);
+    /// Accounting: `bytes` of payload left residency.
+    fn note_released(&self, bytes: u64);
+    /// The shared access clock: ticked on every payload access (the
+    /// database holds its own handle and ticks it inline — warm reads
+    /// must not pay a virtual call) and by [`PayloadPager::fault`].
+    /// Implementations derive their hit count as `clock - faults`.
+    fn access_clock(&self) -> Arc<AtomicU64>;
+    /// Records `n` evictions (payloads spilled out of residency).
+    fn note_evicted(&self, n: u64);
+    /// Current clock value without recording an access.
+    fn clock(&self) -> u64;
+}
+
+/// Keeps the pager's resident-bytes gauge exact across snapshot clones:
+/// every resident payload carries one token `Arc` that clones share, so
+/// the bytes are counted once no matter how many snapshots hold the
+/// payload and released exactly when the last holder drops it.
+#[derive(Debug)]
+pub struct ResidentToken {
+    bytes: u64,
+    pager: Arc<dyn PayloadPager>,
+}
+
+impl ResidentToken {
+    fn new(pager: Arc<dyn PayloadPager>, bytes: u64) -> Self {
+        pager.note_resident(bytes);
+        Self { bytes, pager }
+    }
+}
+
+impl Drop for ResidentToken {
+    fn drop(&mut self) {
+        self.pager.note_released(self.bytes);
+    }
+}
+
+/// A slot's payload: resident, spilled to an extent, or reclaimed.
+#[derive(Debug)]
+enum Payload {
+    /// In-memory payload (the only payload state of a pager-less
+    /// database). The token is present iff a pager is attached.
+    Resident(Arc<Graph>, Option<Arc<ResidentToken>>),
+    /// Spilled to `loc`; `cell` caches the faulted-in payload. The cell
+    /// can only be *set* under `&self` — never cleared — so a `&Graph`
+    /// borrowed out of it stays valid for the borrow's lifetime.
+    /// Clearing the cell (eviction) requires `&mut self`, i.e. the db
+    /// write lock, which excludes every outstanding borrow.
+    Paged { loc: ExtentLoc, cell: OnceLock<(Arc<Graph>, Arc<ResidentToken>)> },
+    /// Compaction reclaimed the payload; metadata only.
+    Freed,
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        match self {
+            Payload::Resident(g, t) => Payload::Resident(Arc::clone(g), t.clone()),
+            Payload::Paged { loc, cell } => {
+                let c = OnceLock::new();
+                if let Some(v) = cell.get() {
+                    let _ = c.set(v.clone());
+                }
+                Payload::Paged { loc: *loc, cell: c }
+            }
+            Payload::Freed => Payload::Freed,
+        }
+    }
+}
+
+impl Payload {
+    /// The resident payload, if any, with its accounting token.
+    fn hot(&self) -> Option<(&Arc<Graph>, Option<&Arc<ResidentToken>>)> {
+        match self {
+            Payload::Resident(g, t) => Some((g, t.as_ref())),
+            Payload::Paged { cell, .. } => cell.get().map(|(g, t)| (g, Some(t))),
+            Payload::Freed => None,
+        }
+    }
+
+    fn is_freed(&self) -> bool {
+        matches!(self, Payload::Freed)
+    }
+}
+
+/// Spills `slot`'s payload back to its extent if that would actually
+/// free memory: a payload whose `Arc` is shared (a pinned snapshot's
+/// clone, an escaped [`GraphDb::graph_arc`] handle) stays resident —
+/// evicting it would drop this database's reference without releasing
+/// the bytes. Returns the bytes freed (0 when nothing was evicted).
+fn evict_payload(slot: &mut Slot, pager: &Arc<dyn PayloadPager>, shard: ShardId) -> u64 {
+    match &slot.payload {
+        Payload::Resident(g, tok) => {
+            if Arc::strong_count(g) != 1 {
+                return 0;
+            }
+            let bytes = tok.as_ref().map_or_else(|| g.approx_bytes() as u64, |t| t.bytes);
+            let loc = pager.spill(shard, g);
+            slot.payload = Payload::Paged { loc, cell: OnceLock::new() };
+            pager.note_evicted(1);
+            bytes
+        }
+        Payload::Paged { cell, .. } => {
+            let evictable = matches!(cell.get(), Some((g, _)) if Arc::strong_count(g) == 1);
+            if !evictable {
+                return 0;
+            }
+            let Payload::Paged { cell, .. } = &mut slot.payload else { unreachable!() };
+            let (_, tok) = cell.take().expect("cell checked hot above");
+            pager.note_evicted(1);
+            tok.bytes
+        }
+        Payload::Freed => 0,
+    }
+}
+
+/// A hot payload eligible for eviction, as reported by
+/// [`GraphDb::evict_candidates`]: the slot index, its last-access clock
+/// stamp (older = colder), and its resident bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct EvictCandidate {
+    /// Shard-local slot index (compose with the shard for the id).
+    pub slot: u32,
+    /// Clock stamp of the last access; 0 = never accessed.
+    pub touch: u64,
+    /// Resident payload bytes this eviction would free.
+    pub bytes: u64,
+}
+
 /// One id slot of the database. Slots are allocated monotonically and
 /// never reused, so a [`GraphId`] handed out once stays valid (as an
 /// identifier) forever; removal tombstones the slot and compaction frees
 /// the graph payload while keeping the cheap metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Slot {
-    /// The graph payload, shared with snapshot clones. `None` after
-    /// compaction reclaimed it.
-    graph: Option<Arc<Graph>>,
+    /// The graph payload, shared with snapshot clones.
+    payload: Payload,
+    /// Clock-LRU stamp of the last payload access (pager clock value);
+    /// 0 until first touched. Only maintained when a pager is attached.
+    touch: AtomicU64,
     truth: ClassLabel,
     predicted: Option<ClassLabel>,
     born: Epoch,
     /// [`Epoch::MAX`] while live.
     died: Epoch,
+}
+
+impl Clone for Slot {
+    fn clone(&self) -> Self {
+        Self {
+            payload: self.payload.clone(),
+            touch: AtomicU64::new(self.touch.load(Ordering::Relaxed)),
+            truth: self.truth,
+            predicted: self.predicted,
+            born: self.born,
+            died: self.died,
+        }
+    }
 }
 
 impl Slot {
@@ -129,6 +303,15 @@ pub struct GraphDb {
     /// The shard this database's ids are composed with ([`shard`]);
     /// 0 for unsharded databases, whose ids equal their slot indices.
     shard: ShardId,
+    /// Paging backend for evicted payloads; `None` keeps the database
+    /// fully resident (the historical behavior, with zero overhead on
+    /// the access paths). Clones share the pager, so snapshots fault
+    /// and account through the same cache as the head.
+    pager: Option<Arc<dyn PayloadPager>>,
+    /// The pager's access clock, cached at attach: the warm-read path
+    /// ticks it directly — one relaxed RMW — instead of a virtual call
+    /// into the pager.
+    touch_clock: Option<Arc<AtomicU64>>,
 }
 
 impl Default for Epoch {
@@ -212,13 +395,45 @@ impl GraphDb {
         assert!(self.slots.len() <= shard::SLOT_MASK as usize, "shard slot space exhausted");
         let id = self.id_at(self.slots.len());
         self.slots.push(Slot {
-            graph: Some(Arc::new(graph)),
+            payload: self.make_resident(graph),
+            touch: AtomicU64::new(self.pager.as_ref().map_or(0, |p| p.clock())),
             truth: label,
             predicted: None,
             born: self.epoch,
             died: Epoch::MAX,
         });
         id
+    }
+
+    /// Wraps a freshly materialized payload, tokenized for the pager's
+    /// resident-bytes gauge when one is attached.
+    fn make_resident(&self, graph: Graph) -> Payload {
+        let tok = self
+            .pager
+            .as_ref()
+            .map(|p| Arc::new(ResidentToken::new(Arc::clone(p), graph.approx_bytes() as u64)));
+        Payload::Resident(Arc::new(graph), tok)
+    }
+
+    /// Attaches the paging backend. Existing resident payloads are
+    /// tokenized so the pager's resident-bytes gauge covers them from
+    /// this point on. Must be called before any slot is restored in the
+    /// `Payload::Paged` state (the engine attaches the pager right
+    /// after constructing each shard's database).
+    pub fn attach_pager(&mut self, pager: Arc<dyn PayloadPager>) {
+        for s in &mut self.slots {
+            if let Payload::Resident(g, tok @ None) = &mut s.payload {
+                *tok =
+                    Some(Arc::new(ResidentToken::new(Arc::clone(&pager), g.approx_bytes() as u64)));
+            }
+        }
+        self.touch_clock = Some(pager.access_clock());
+        self.pager = Some(pager);
+    }
+
+    /// Whether a paging backend is attached.
+    pub fn has_pager(&self) -> bool {
+        self.pager.is_some()
     }
 
     /// Tombstones graph `id` at the current epoch. Returns `false` when
@@ -239,15 +454,74 @@ impl GraphDb {
     /// (i.e. `died <= floor`); id slots and their label metadata remain.
     /// Returns the number of payloads reclaimed. The caller (the engine)
     /// picks `floor` as the oldest pinned snapshot epoch.
+    ///
+    /// With a pager attached, tombstoned slots the floor still protects
+    /// (`floor < died < MAX`) are **spilled** to their extent instead of
+    /// held hot: a long-lived pin must not keep dead payloads resident,
+    /// only addressable. Slots whose payload a snapshot clone actually
+    /// shares are left in place (spilling them would not free memory).
     pub fn compact(&mut self, floor: Epoch) -> usize {
+        let pager = self.pager.clone();
+        let shard = self.shard;
         let mut freed = 0;
         for slot in &mut self.slots {
-            if slot.died <= floor && slot.graph.is_some() {
-                slot.graph = None;
-                freed += 1;
+            if slot.died <= floor {
+                if !slot.payload.is_freed() {
+                    slot.payload = Payload::Freed;
+                    freed += 1;
+                }
+            } else if slot.died != Epoch::MAX {
+                if let Some(p) = &pager {
+                    evict_payload(slot, p, shard);
+                }
             }
         }
         freed
+    }
+
+    /// Hot payloads the cache may evict, with their clock stamps and
+    /// resident bytes. Only slots whose payload `Arc` is unshared
+    /// qualify: a payload a pinned snapshot still observes shares its
+    /// `Arc` with that snapshot's clone, so the pin floor is implicitly
+    /// the eviction floor — exactly as it already gates [`GraphDb::compact`].
+    /// Empty when no pager is attached.
+    pub fn evict_candidates(&self) -> Vec<EvictCandidate> {
+        if self.pager.is_none() {
+            return Vec::new();
+        }
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                let (g, tok) = s.payload.hot()?;
+                if Arc::strong_count(g) != 1 {
+                    return None;
+                }
+                let bytes = tok.map_or_else(|| g.approx_bytes() as u64, |t| t.bytes);
+                Some(EvictCandidate {
+                    slot: i as u32,
+                    touch: s.touch.load(Ordering::Relaxed),
+                    bytes,
+                })
+            })
+            .collect()
+    }
+
+    /// Evicts the given slots (from a prior [`GraphDb::evict_candidates`]
+    /// pass), re-checking eligibility under this exclusive borrow —
+    /// a payload that became shared or was freed in between is skipped.
+    /// Returns the resident bytes actually released. No-op without a
+    /// pager.
+    pub fn evict_slots(&mut self, victims: &[u32]) -> u64 {
+        let Some(pager) = self.pager.clone() else { return 0 };
+        let shard = self.shard;
+        let mut bytes = 0;
+        for &v in victims {
+            if let Some(slot) = self.slots.get_mut(v as usize) {
+                bytes += evict_payload(slot, &pager, shard);
+            }
+        }
+        bytes
     }
 
     /// Number of live graphs `|G|` at this value's epoch.
@@ -283,14 +557,56 @@ impl GraphDb {
     /// Borrow of graph `id`, if the id belongs to this shard and the
     /// slot still holds its payload (tombstoned-but-uncompacted graphs
     /// are still readable). Foreign-shard and malformed ids resolve to
-    /// `None`, never to another graph.
+    /// `None`, never to another graph. An evicted payload is faulted in
+    /// from its extent transparently and stays resident ("anchored")
+    /// until the cache evicts it again.
     pub fn get_graph(&self, id: GraphId) -> Option<&Graph> {
-        self.slot_of(id).and_then(|i| self.slots[i].graph.as_deref())
+        self.slot_of(id).and_then(|i| self.payload_at(i))
     }
 
-    /// Shared handle to graph `id`'s payload, if present.
+    /// Resolves slot `i`'s payload, faulting an evicted one back in.
+    ///
+    /// # Panics
+    /// Panics when the slot is paged but no pager is attached — only
+    /// possible by restoring paged slots into a pager-less database,
+    /// which the engine never does.
+    fn payload_at(&self, i: usize) -> Option<&Graph> {
+        let slot = &self.slots[i];
+        match &slot.payload {
+            Payload::Resident(g, _) => {
+                if let Some(c) = &self.touch_clock {
+                    slot.touch.store(c.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+                }
+                Some(g)
+            }
+            Payload::Paged { loc, cell } => {
+                if let Some((g, _)) = cell.get() {
+                    let c =
+                        self.touch_clock.as_ref().expect("paged slot requires an attached pager");
+                    slot.touch.store(c.fetch_add(1, Ordering::Relaxed) + 1, Ordering::Relaxed);
+                    return Some(g);
+                }
+                let p = self.pager.as_ref().expect("paged slot requires an attached pager");
+                let (g, _) = cell.get_or_init(|| {
+                    let g = p.fault(*loc);
+                    let bytes = g.approx_bytes() as u64;
+                    (Arc::new(g), Arc::new(ResidentToken::new(Arc::clone(p), bytes)))
+                });
+                slot.touch.store(p.clock(), Ordering::Relaxed);
+                Some(g)
+            }
+            Payload::Freed => None,
+        }
+    }
+
+    /// Shared handle to graph `id`'s payload, if present (faulting an
+    /// evicted one in). The returned `Arc` keeps the payload resident
+    /// for as long as it is held — an escaped handle is invisible to
+    /// the eviction scan, which skips shared payloads.
     pub fn graph_arc(&self, id: GraphId) -> Option<Arc<Graph>> {
-        self.slot_of(id).and_then(|i| self.slots[i].graph.clone())
+        let i = self.slot_of(id)?;
+        self.payload_at(i)?;
+        self.slots[i].payload.hot().map(|(g, _)| Arc::clone(g))
     }
 
     /// The payload-bearing subset of `ids`, in input order: stale,
@@ -308,48 +624,131 @@ impl GraphDb {
         self.slot_of(id).map(|i| (self.slots[i].born, self.slots[i].died))
     }
 
-    /// Iterator over live `(id, graph)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.live())
-            .filter_map(|(i, s)| s.graph.as_deref().map(|g| (self.id_at(i), g)))
+    /// Iterator over live `(id, graph)` pairs. Evicted payloads fault
+    /// in and stay anchored — over a paged database prefer
+    /// [`GraphDb::for_each_payload`] for full scans.
+    pub fn iter(&self) -> impl Iterator<Item = (GraphId, &Graph)> + '_ {
+        (0..self.slots.len())
+            .filter(|&i| self.slots[i].live())
+            .filter_map(move |i| self.payload_at(i).map(|g| (self.id_at(i), g)))
     }
 
     /// Iterator over **every** slot that still holds a payload — live or
     /// tombstoned — with its lifetime interval. This is the scan domain
     /// for epoch-aware index construction: postings derived from it are
     /// correct for every epoch a pinned snapshot can observe.
-    pub fn iter_all_payloads(&self) -> impl Iterator<Item = (GraphId, &Graph, Epoch, Epoch)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.graph.as_deref().map(|g| (self.id_at(i), g, s.born, s.died)))
-    }
-
-    /// Full slot-level export of this database, in id order — the
-    /// durability layer's checkpoint domain. Unlike
-    /// [`GraphDb::iter_all_payloads`] this includes compacted
-    /// (payload-`None`) slots: they still occupy id space, which
-    /// recovery must reproduce exactly.
-    pub fn export_slots(&self) -> impl Iterator<Item = SlotExport<'_>> {
-        self.slots.iter().map(|s| SlotExport {
-            graph: s.graph.as_deref(),
-            truth: s.truth,
-            predicted: s.predicted,
-            born: s.born,
-            died: s.died,
+    ///
+    /// Over a paged database every evicted payload faults in *and stays
+    /// anchored* for the iterator's lifetime; full scans that only need
+    /// each payload transiently should use [`GraphDb::for_each_payload`]
+    /// instead, and metadata-only consumers
+    /// [`GraphDb::iter_payload_lifetimes`].
+    pub fn iter_all_payloads(&self) -> impl Iterator<Item = (GraphId, &Graph, Epoch, Epoch)> + '_ {
+        (0..self.slots.len()).filter_map(move |i| {
+            self.payload_at(i).map(|g| {
+                let s = &self.slots[i];
+                (self.id_at(i), g, s.born, s.died)
+            })
         })
     }
 
+    /// The metadata of [`GraphDb::iter_all_payloads`] without the
+    /// payloads: every payload-bearing slot's `(id, born, died)`.
+    /// Index construction over a paged database uses this — building
+    /// the label index must not fault the whole extent resident.
+    pub fn iter_payload_lifetimes(&self) -> impl Iterator<Item = (GraphId, Epoch, Epoch)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.payload.is_freed())
+            .map(|(i, s)| (self.id_at(i), s.born, s.died))
+    }
+
+    /// Calls `f` on every payload-bearing slot — live or tombstoned —
+    /// with its lifetime interval, like [`GraphDb::iter_all_payloads`],
+    /// but **without anchoring** cold payloads: an evicted payload is
+    /// decoded, visited, and dropped, so a full scan of a paged
+    /// database costs O(one graph) of transient memory instead of
+    /// faulting the whole database resident. Hot payloads are borrowed
+    /// in place. Transient reads do not update slots' LRU stamps, so a
+    /// scan cannot flush the working set's recency (scan resistance).
+    pub fn for_each_payload<F: FnMut(GraphId, &Graph, Epoch, Epoch)>(&self, mut f: F) {
+        for (i, s) in self.slots.iter().enumerate() {
+            match &s.payload {
+                Payload::Resident(g, _) => f(self.id_at(i), g, s.born, s.died),
+                Payload::Paged { loc, cell } => {
+                    if let Some((g, _)) = cell.get() {
+                        f(self.id_at(i), g, s.born, s.died);
+                    } else {
+                        let p = self.pager.as_ref().expect("paged slot requires an attached pager");
+                        let g = p.fault(*loc);
+                        f(self.id_at(i), &g, s.born, s.died);
+                    }
+                }
+                Payload::Freed => {}
+            }
+        }
+    }
+
+    /// Full slot-level export of this database, in id order — the
+    /// durability layer's checkpoint domain, including compacted
+    /// (payload-less) slots: they still occupy id space, which recovery
+    /// must reproduce exactly. Payloads are exported *by extent
+    /// location*: any still-unspilled resident payload is appended to
+    /// its shard's extent first (staying resident — a checkpoint must
+    /// not evict the working set), so after this call every
+    /// payload-bearing slot is in the `Payload::Paged` state and the
+    /// checkpoint needs only the locations.
+    ///
+    /// # Panics
+    /// Panics when no pager is attached (durable engines always attach
+    /// one).
+    pub fn export_paged_slots(&mut self) -> Vec<SlotExport> {
+        let pager = self.pager.clone().expect("checkpoint export requires an attached pager");
+        let shard = self.shard;
+        self.slots
+            .iter_mut()
+            .map(|s| {
+                let payload = std::mem::replace(&mut s.payload, Payload::Freed);
+                let (payload, loc) = match payload {
+                    Payload::Resident(g, tok) => {
+                        let loc = pager.spill(shard, &g);
+                        let tok = tok.unwrap_or_else(|| {
+                            Arc::new(ResidentToken::new(
+                                Arc::clone(&pager),
+                                g.approx_bytes() as u64,
+                            ))
+                        });
+                        let cell = OnceLock::new();
+                        let _ = cell.set((g, tok));
+                        (Payload::Paged { loc, cell }, Some(loc))
+                    }
+                    p @ Payload::Paged { .. } => {
+                        let Payload::Paged { loc, .. } = &p else { unreachable!() };
+                        let loc = *loc;
+                        (p, Some(loc))
+                    }
+                    Payload::Freed => (Payload::Freed, None),
+                };
+                s.payload = payload;
+                SlotExport {
+                    loc,
+                    truth: s.truth,
+                    predicted: s.predicted,
+                    born: s.born,
+                    died: s.died,
+                }
+            })
+            .collect()
+    }
+
     /// Appends one slot with explicit lifetime metadata — the
-    /// recovery-side inverse of [`GraphDb::export_slots`]. Unlike
-    /// [`GraphDb::push`] this does not stamp the current epoch and
-    /// accepts tombstoned (`died < Epoch::MAX`) and compacted
-    /// (`graph: None`) slots. Returns the composed id, which — slots
-    /// being allocated in order — equals the id the exported database
-    /// held at this position.
+    /// recovery-side inverse of a slot export. Unlike [`GraphDb::push`]
+    /// this does not stamp the current epoch and accepts tombstoned
+    /// (`died < Epoch::MAX`) and compacted (`graph: None`) slots.
+    /// Returns the composed id, which — slots being allocated in
+    /// order — equals the id the exported database held at this
+    /// position.
     ///
     /// # Panics
     /// Panics when the shard's slot space is exhausted.
@@ -363,7 +762,38 @@ impl GraphDb {
     ) -> GraphId {
         assert!(self.slots.len() <= shard::SLOT_MASK as usize, "shard slot space exhausted");
         let id = self.id_at(self.slots.len());
-        self.slots.push(Slot { graph: graph.map(Arc::new), truth, predicted, born, died });
+        let payload = match graph {
+            Some(g) => self.make_resident(g),
+            None => Payload::Freed,
+        };
+        self.slots.push(Slot { payload, touch: AtomicU64::new(0), truth, predicted, born, died });
+        id
+    }
+
+    /// Appends one slot whose payload lives in an extent (`loc: None`
+    /// restores a compacted slot) — the recovery-side inverse of
+    /// [`GraphDb::export_paged_slots`]. The payload is **not** read:
+    /// restoring a checkpointed database is O(metadata), and payloads
+    /// fault in lazily on first access. The pager must be attached
+    /// before the first such access.
+    ///
+    /// # Panics
+    /// Panics when the shard's slot space is exhausted.
+    pub fn restore_slot_paged(
+        &mut self,
+        loc: Option<ExtentLoc>,
+        truth: ClassLabel,
+        predicted: Option<ClassLabel>,
+        born: Epoch,
+        died: Epoch,
+    ) -> GraphId {
+        assert!(self.slots.len() <= shard::SLOT_MASK as usize, "shard slot space exhausted");
+        let id = self.id_at(self.slots.len());
+        let payload = match loc {
+            Some(loc) => Payload::Paged { loc, cell: OnceLock::new() },
+            None => Payload::Freed,
+        };
+        self.slots.push(Slot { payload, touch: AtomicU64::new(0), truth, predicted, born, died });
         id
     }
 
@@ -481,12 +911,14 @@ impl GraphDb {
     }
 }
 
-/// One slot's full state as exported by [`GraphDb::export_slots`]
-/// (the checkpoint image of the slot).
+/// One slot's full state as exported by [`GraphDb::export_paged_slots`]
+/// (the checkpoint image of the slot). The payload is referenced by its
+/// extent location, not carried inline — checkpoints record where each
+/// graph lives, and recovery restores slots cold.
 #[derive(Debug, Clone, Copy)]
-pub struct SlotExport<'a> {
-    /// Payload; `None` for compacted slots.
-    pub graph: Option<&'a Graph>,
+pub struct SlotExport {
+    /// Extent location of the payload; `None` for compacted slots.
+    pub loc: Option<ExtentLoc>,
     /// Ground-truth label.
     pub truth: ClassLabel,
     /// Classifier prediction, if recorded.

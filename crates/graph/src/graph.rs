@@ -98,6 +98,21 @@ impl Graph {
         self.num_edges
     }
 
+    /// Rough heap footprint of this graph in bytes — the unit of the
+    /// pager's resident-budget accounting. Counts the dominant buffers
+    /// (feature matrix, adjacency lists, node/edge type tables) with
+    /// flat per-entry estimates; it is a stable, cheap approximation,
+    /// not an allocator-exact measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.node_types.len();
+        let deg_sum: usize = self.adj.iter().map(|l| l.len()).sum();
+        96  // struct + container headers
+            + n * 2                        // node_types
+            + n * 32 + deg_sum * 4         // adjacency (inline header + entries)
+            + self.edge_types.len() * 16   // edge-type map entries
+            + self.features.rows() * self.features.cols() * 8
+    }
+
     /// Feature dimensionality `D`.
     #[inline]
     pub fn feature_dim(&self) -> usize {

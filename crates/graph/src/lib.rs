@@ -18,7 +18,10 @@ mod db;
 pub mod generate;
 mod graph;
 
-pub use db::{shard, ClassLabel, Epoch, GraphDb, GraphId, ShardId, SlotExport, Split};
+pub use db::{
+    shard, ClassLabel, Epoch, EvictCandidate, ExtentLoc, GraphDb, GraphId, PayloadPager,
+    ResidentToken, ShardId, SlotExport, Split,
+};
 pub use graph::{EdgeType, Graph, NodeId, NodeType};
 
 #[cfg(test)]

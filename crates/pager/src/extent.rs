@@ -1,0 +1,103 @@
+//! Append-only payload extents.
+//!
+//! One extent file per shard (`pages-SSS.seg`) holds every payload the
+//! pager ever spilled for that shard, as `[crc32 (4 bytes LE)][encoded
+//! graph]` records addressed by `(offset, len)`. The file is strictly
+//! append-only: a location handed out once stays readable for the
+//! lifetime of the directory, which is what lets checkpoints reference
+//! locations and pinned snapshots keep them across arbitrarily many
+//! later spills — no compaction ever rewrites or renames an extent.
+//! The price is space amplification: re-spilling a payload appends a
+//! fresh copy and the old record becomes garbage (see the crate docs).
+//!
+//! Reads are `pread`-style — positioned, never moving a shared cursor —
+//! so concurrent faults don't serialize on a seek lock on unix.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One shard's append-only segment file.
+#[derive(Debug)]
+pub struct Extent {
+    file: File,
+    /// Append cursor (bytes written so far). Appends serialize on this
+    /// lock; positioned reads don't take it on unix.
+    tail: Mutex<u64>,
+}
+
+impl Extent {
+    /// Opens (creating if absent) the extent at `path`, positioning the
+    /// append cursor at the current end of file.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let tail = file.metadata()?.len();
+        Ok(Self { file, tail: Mutex::new(tail) })
+    }
+
+    /// Appends one record, returning its `(offset, len)`.
+    pub fn append(&self, rec: &[u8]) -> io::Result<(u64, u32)> {
+        let mut tail = self.tail.lock().unwrap_or_else(|p| p.into_inner());
+        let off = *tail;
+        write_all_at(&self.file, rec, off)?;
+        *tail += rec.len() as u64;
+        Ok((off, rec.len() as u32))
+    }
+
+    /// Reads the `len` bytes at `offset`.
+    pub fn read(&self, offset: u64, len: u32) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        // The portable fallback moves the file's shared cursor, so it
+        // must exclude concurrent appends; positioned unix reads don't.
+        #[cfg(not(unix))]
+        let _cursor = self.tail.lock().unwrap_or_else(|p| p.into_inner());
+        read_exact_at(&self.file, &mut buf, offset)?;
+        Ok(buf)
+    }
+
+    /// Bytes ever appended (the append cursor).
+    pub fn len(&self) -> u64 {
+        *self.tail.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fsyncs the file — called before a checkpoint that references
+    /// this extent's locations is committed.
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+#[cfg(unix)]
+fn write_all_at(f: &File, buf: &[u8], off: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    f.write_all_at(buf, off)
+}
+
+#[cfg(unix)]
+fn read_exact_at(f: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    f.read_exact_at(buf, off)
+}
+
+// Portable fallback: a shared cursor moved under a process-wide lock.
+// Only compiled off-unix; the container and CI are both linux.
+#[cfg(not(unix))]
+fn write_all_at(mut f: &File, buf: &[u8], off: u64) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    f.seek(SeekFrom::Start(off))?;
+    f.write_all(buf)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(mut f: &File, buf: &mut [u8], off: u64) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    f.seek(SeekFrom::Start(off))?;
+    f.read_exact(buf)
+}

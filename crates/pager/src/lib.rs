@@ -1,0 +1,361 @@
+//! Extent-backed page cache for graph payloads — the subsystem that
+//! lets a GVEX database grow past RAM.
+//!
+//! The engine's memory is dominated by graph payloads (the model,
+//! index, and view tiers are small), so this crate pages exactly that
+//! tier: [`PageCache`] implements
+//! [`PayloadPager`], spilling cold payloads
+//! into per-shard append-only **extent** files ([`Extent`],
+//! `pages-SSS.seg`) and faulting them back on demand through
+//! offset-indexed `pread`-style reads. `GraphDb` slots hold either a
+//! resident `Arc<Graph>` or an extent location; the engine's access
+//! paths fault transparently.
+//!
+//! Three design decisions worth knowing:
+//!
+//! - **Extents are append-only.** A location handed out once is valid
+//!   for the lifetime of the directory, so checkpoints can reference
+//!   locations instead of inlining payloads (recovery opens lazily) and
+//!   pinned snapshots keep locations across later spills. The price is
+//!   garbage: re-spilling appends a fresh copy. Payloads are written at
+//!   most once per residency cycle and checkpoints reuse existing
+//!   locations, so amplification is bounded by eviction churn, not by
+//!   checkpoint frequency.
+//! - **Accounting is token-exact.** Every resident payload carries one
+//!   `ResidentToken` whose drop returns the bytes to the gauge; clones
+//!   (snapshots) share the token, so bytes are counted once and
+//!   released when the *last* holder lets go. The gauge therefore never
+//!   drifts across snapshot/compaction/eviction interleavings.
+//! - **Failures are fail-stop.** A fault that cannot read or verify its
+//!   record panics (like a WAL append failure): the database cannot
+//!   serve reads it cannot back, and limping along would silently
+//!   corrupt query answers. Corruption is detected per record via
+//!   CRC32 at fault time.
+//!
+//! Budget enforcement (choosing victims by clock-LRU stamps and calling
+//! `GraphDb::evict_slots`) lives in `gvex_core::Engine`, which owns the
+//! locks; this crate owns the files and the counters.
+
+mod extent;
+
+pub use extent::Extent;
+
+use gvex_graph::{ExtentLoc, Graph, PayloadPager, ShardId};
+use gvex_store::codec::{crc32, Dec, Enc};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Distinguishes scratch directories of multiple caches in one process.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the cache's counters, as exposed by
+/// `Engine::pager_stats` and the serving `/stats` endpoint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PagerStats {
+    /// The configured budget; `None` = unlimited (durable engines
+    /// without `memory_budget` still page, they just never evict).
+    pub memory_budget: Option<u64>,
+    /// Payload bytes currently resident (token-exact; see crate docs).
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes`.
+    pub peak_resident_bytes: u64,
+    /// Payloads faulted in from extents (transient scan reads included).
+    pub faults: u64,
+    /// Warm accesses served without touching an extent.
+    pub hits: u64,
+    /// Payloads evicted back to their extent.
+    pub evictions: u64,
+    /// Bytes ever appended to the extents (spill traffic, including
+    /// checkpoint spills).
+    pub spilled_bytes: u64,
+}
+
+impl PagerStats {
+    /// Warm-access fraction: `hits / (hits + faults)`; 1.0 before any
+    /// access.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.faults;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The page cache: one extent per shard, a resident-bytes gauge with a
+/// budget, and the fault/hit/eviction counters. One instance is shared
+/// by every shard db of an engine (and every snapshot clone).
+#[derive(Debug)]
+pub struct PageCache {
+    extents: Vec<Extent>,
+    budget: Option<u64>,
+    resident: AtomicU64,
+    peak: AtomicU64,
+    faults: AtomicU64,
+    evictions: AtomicU64,
+    spilled: AtomicU64,
+    /// Monotone access clock; slot LRU stamps are values of this. In an
+    /// `Arc` so databases tick it inline on warm reads
+    /// ([`PayloadPager::access_clock`]); every access ticks it (faults
+    /// included), so `clock - faults` is the hit count.
+    clock: Arc<AtomicU64>,
+    /// A scratch directory this cache owns and removes on drop (the
+    /// non-durable `memory_budget` mode); `None` when the extents live
+    /// in a caller-owned durable directory.
+    scratch: Option<PathBuf>,
+}
+
+impl PageCache {
+    /// Opens (creating if absent) the per-shard extents of a durable
+    /// directory. The directory entry metadata of freshly created
+    /// extents is fsynced so checkpoint locations never point into a
+    /// file that vanishes with a power loss.
+    pub fn open(dir: &Path, shards: usize, budget: Option<u64>) -> io::Result<Self> {
+        let mut extents = Vec::with_capacity(shards);
+        let mut created = false;
+        for s in 0..shards {
+            let path = gvex_store::extent_path(dir, s);
+            created |= !path.exists();
+            extents.push(Extent::open(&path)?);
+        }
+        if created {
+            gvex_store::fsync_dir(dir)?;
+        }
+        Ok(Self::with_extents(extents, budget, None))
+    }
+
+    /// Opens a cache over a scratch directory it owns (and removes on
+    /// drop) — the spill target of a **non-durable** engine built with
+    /// `memory_budget`: eviction needs somewhere to put cold payloads
+    /// even when the user asked for no durability.
+    pub fn scratch(shards: usize, budget: Option<u64>) -> io::Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "gvex-pager-{}-{}",
+            std::process::id(),
+            SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let mut extents = Vec::with_capacity(shards);
+        for s in 0..shards {
+            extents.push(Extent::open(&gvex_store::extent_path(&dir, s))?);
+        }
+        Ok(Self::with_extents(extents, budget, Some(dir)))
+    }
+
+    fn with_extents(extents: Vec<Extent>, budget: Option<u64>, scratch: Option<PathBuf>) -> Self {
+        Self {
+            extents,
+            budget,
+            resident: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            clock: Arc::new(AtomicU64::new(0)),
+            scratch,
+        }
+    }
+
+    /// The configured memory budget (`None` = unlimited).
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Whether resident payload bytes currently exceed the budget.
+    pub fn over_budget(&self) -> bool {
+        self.budget.is_some_and(|b| self.resident.load(Ordering::Relaxed) > b)
+    }
+
+    /// Current counters. Hits are derived: the access clock ticks on
+    /// every payload access, so warm accesses are `clock - faults`.
+    pub fn stats(&self) -> PagerStats {
+        let faults = self.faults.load(Ordering::Relaxed);
+        let accesses = self.clock.load(Ordering::Relaxed);
+        PagerStats {
+            memory_budget: self.budget,
+            resident_bytes: self.resident.load(Ordering::Relaxed),
+            peak_resident_bytes: self.peak.load(Ordering::Relaxed),
+            faults,
+            hits: accesses.saturating_sub(faults),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fsyncs every extent. Called before a checkpoint referencing
+    /// their locations is committed: the checkpoint's claim that a
+    /// payload lives at `loc` must not outlive the payload bytes.
+    pub fn sync(&self) -> io::Result<()> {
+        for e in &self.extents {
+            e.sync()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for PageCache {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.scratch {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+impl PayloadPager for PageCache {
+    fn fault(&self, loc: ExtentLoc) -> Graph {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        self.clock.fetch_add(1, Ordering::Relaxed);
+        let extent = self.extents.get(loc.extent as usize).unwrap_or_else(|| {
+            panic!("gvex_pager: fault references unknown extent {}", loc.extent)
+        });
+        let rec = extent.read(loc.offset, loc.len).unwrap_or_else(|e| {
+            panic!(
+                "gvex_pager: extent {} read failed at {}+{}: {e}",
+                loc.extent, loc.offset, loc.len
+            )
+        });
+        if rec.len() < 4 {
+            panic!("gvex_pager: extent {} record at {} too short", loc.extent, loc.offset);
+        }
+        let (crc_bytes, payload) = rec.split_at(4);
+        let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(payload) != crc {
+            panic!(
+                "gvex_pager: extent {} record at {}+{} fails its checksum",
+                loc.extent, loc.offset, loc.len
+            );
+        }
+        let mut d = Dec::new(payload);
+        d.graph().unwrap_or_else(|e| {
+            panic!("gvex_pager: extent {} record at {} undecodable: {e}", loc.extent, loc.offset)
+        })
+    }
+
+    fn spill(&self, shard: ShardId, g: &Graph) -> ExtentLoc {
+        let extent = self
+            .extents
+            .get(shard as usize)
+            .unwrap_or_else(|| panic!("gvex_pager: spill references unknown shard {shard}"));
+        let mut e = Enc::new();
+        e.graph(g);
+        let payload = e.finish();
+        let mut rec = Vec::with_capacity(payload.len() + 4);
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        let (offset, len) = extent
+            .append(&rec)
+            .unwrap_or_else(|e| panic!("gvex_pager: extent {shard} append failed: {e}"));
+        self.spilled.fetch_add(len as u64, Ordering::Relaxed);
+        ExtentLoc { extent: shard, offset, len }
+    }
+
+    fn note_resident(&self, bytes: u64) {
+        let now = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn note_released(&self, bytes: u64) {
+        self.resident.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    fn access_clock(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.clock)
+    }
+
+    fn note_evicted(&self, n: u64) {
+        self.evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gvex_graph::GraphDb;
+    use std::sync::Arc;
+
+    fn small_graph(tag: u16) -> Graph {
+        let mut g = Graph::new(2);
+        let a = g.add_node(tag, &[1.0, 0.0]);
+        let b = g.add_node(tag + 1, &[0.0, 1.0]);
+        g.add_edge(a, b, 3);
+        g
+    }
+
+    #[test]
+    fn spill_fault_round_trip() {
+        let pc = PageCache::scratch(2, None).unwrap();
+        let g = small_graph(4);
+        let loc = pc.spill(1, &g);
+        assert_eq!(loc.extent, 1);
+        let back = pc.fault(loc);
+        assert_eq!(back.num_nodes(), g.num_nodes());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.node_type(0), 4);
+        assert_eq!(pc.stats().faults, 1);
+        assert!(pc.stats().spilled_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "checksum")]
+    fn corrupt_record_is_fail_stop() {
+        let dir = std::env::temp_dir().join(format!("gvex_pager_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let pc = PageCache::open(&dir, 1, None).unwrap();
+        let loc = pc.spill(0, &small_graph(0));
+        drop(pc);
+        let path = gvex_store::extent_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let pc = PageCache::open(&dir, 1, None).unwrap();
+        let _ = pc.fault(loc);
+    }
+
+    #[test]
+    fn db_faults_and_evicts_through_the_cache() {
+        let pc = Arc::new(PageCache::scratch(1, Some(0)).unwrap());
+        let mut db = GraphDb::new();
+        db.attach_pager(pc.clone());
+        let id = db.push(small_graph(7), 0);
+        let before = pc.stats();
+        assert!(before.resident_bytes > 0);
+
+        // Evict: the only holder is the db itself, so it qualifies.
+        let cands = db.evict_candidates();
+        assert_eq!(cands.len(), 1);
+        let freed = db.evict_slots(&[cands[0].slot]);
+        assert_eq!(freed, before.resident_bytes);
+        assert_eq!(pc.stats().resident_bytes, 0);
+        assert_eq!(pc.stats().evictions, 1);
+
+        // Fault back in transparently; bytes return to the gauge.
+        let g = db.get_graph(id).expect("faults back in");
+        assert_eq!(g.node_type(0), 7);
+        assert_eq!(pc.stats().faults, 1);
+        assert_eq!(pc.stats().resident_bytes, before.resident_bytes);
+
+        // A shared payload (snapshot clone) is not a candidate.
+        let snap = db.clone();
+        assert!(db.evict_candidates().is_empty());
+        drop(snap);
+        assert_eq!(db.evict_candidates().len(), 1);
+    }
+
+    #[test]
+    fn scratch_dir_is_removed_on_drop() {
+        let pc = PageCache::scratch(1, None).unwrap();
+        let dir = pc.scratch.clone().unwrap();
+        assert!(dir.exists());
+        drop(pc);
+        assert!(!dir.exists());
+    }
+}

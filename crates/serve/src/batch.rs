@@ -9,11 +9,24 @@
 //! maintenance — exactly like the engine's own batch paths, but across
 //! *clients* instead of within one.
 //!
-//! A dedicated flusher thread closes a bucket when its oldest entry has
-//! aged past the window; submitters close it early when it reaches the
-//! size cap. Flushed buckets enter the executor queue as one merged
-//! [`Job`]; per-entry deadlines are re-checked at execution, so one
-//! slow bucket cannot resurrect an expired request.
+//! # Per-bucket windows and label fairness
+//!
+//! Every bucket (one per explain label, plus the insert bucket) ages
+//! independently: a bucket closes when **its own** oldest entry has
+//! waited out the window, or when **it** reaches the size cap. A hot
+//! label hitting the cap flushes only itself — it cannot prematurely
+//! drain a cold label's half-filled bucket and destroy that label's
+//! amortization (the failure mode of a single global window under
+//! skewed traffic). When several label buckets ripen in the same tick,
+//! they enter the executor queue in **rotating round-robin order**: the
+//! label served first advances a cursor, so under sustained skew a
+//! quiet label is not permanently queued behind the busy one's batch.
+//!
+//! A dedicated flusher thread closes ripe buckets; submitters kick it
+//! early when their bucket reaches the size cap. Flushed buckets enter
+//! the executor queue as merged [`Job`]s; per-entry deadlines are
+//! re-checked at execution, so one slow bucket cannot resurrect an
+//! expired request.
 //!
 //! The flusher tick doubles as the session TTL sweeper's clock (see
 //! [`crate::session`]): expiry must advance even when no request
@@ -28,17 +41,27 @@ use rustc_hash::FxHashMap;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+/// One label's unflushed explain entries with their window anchor.
+struct Bucket {
+    entries: Vec<ExplainEntry>,
+    /// Arrival time of this bucket's oldest entry.
+    oldest: Instant,
+}
+
 struct Pending {
-    explain: FxHashMap<ClassLabel, Vec<ExplainEntry>>,
+    explain: FxHashMap<ClassLabel, Bucket>,
     insert: Vec<InsertEntry>,
-    /// Arrival time of the oldest unflushed entry (the window anchor).
-    oldest: Option<Instant>,
+    /// Window anchor of the insert bucket.
+    insert_oldest: Option<Instant>,
+    /// Round-robin rotation point: ripe labels at or above it flush
+    /// first. Advanced past the label served first on each flush.
+    cursor: ClassLabel,
     stop: bool,
 }
 
 impl Pending {
     fn len(&self) -> usize {
-        self.explain.values().map(Vec::len).sum::<usize>() + self.insert.len()
+        self.explain.values().map(|b| b.entries.len()).sum::<usize>() + self.insert.len()
     }
 }
 
@@ -58,7 +81,8 @@ impl Batcher {
             pending: Mutex::new(Pending {
                 explain: FxHashMap::default(),
                 insert: Vec::new(),
-                oldest: None,
+                insert_oldest: None,
+                cursor: 0,
                 stop: false,
             }),
             kick: Condvar::new(),
@@ -88,9 +112,14 @@ impl Batcher {
             let _ = entry.reply.send(crate::http::Response::unavailable("shutting_down", 1000));
             return;
         }
-        p.oldest.get_or_insert_with(Instant::now);
-        p.explain.entry(label).or_default().push(entry);
-        let kick = p.len() >= self.max_batch;
+        let bucket = p
+            .explain
+            .entry(label)
+            .or_insert_with(|| Bucket { entries: Vec::new(), oldest: Instant::now() });
+        bucket.entries.push(entry);
+        // Size kick: only this bucket is ripe — other labels keep
+        // aggregating through their own windows.
+        let kick = bucket.entries.len() >= self.max_batch;
         drop(p);
         if kick {
             self.kick.notify_one();
@@ -104,9 +133,9 @@ impl Batcher {
             let _ = entry.reply.send(crate::http::Response::unavailable("shutting_down", 1000));
             return;
         }
-        p.oldest.get_or_insert_with(Instant::now);
+        p.insert_oldest.get_or_insert_with(Instant::now);
         p.insert.push(entry);
-        let kick = p.len() >= self.max_batch;
+        let kick = p.insert.len() >= self.max_batch;
         drop(p);
         if kick {
             self.kick.notify_one();
@@ -119,20 +148,48 @@ impl Batcher {
         self.kick.notify_all();
     }
 
-    /// Drains the current buckets into merged jobs on `queue`. Entries
-    /// the queue refuses (draining) get individual 503s.
-    fn flush(&self, queue: &Queue) {
-        let (explain, insert) = {
+    /// Whether a bucket with `len` entries anchored at `oldest` must
+    /// flush now.
+    fn ripe(&self, len: usize, oldest: Instant, now: Instant) -> bool {
+        len >= self.max_batch || now >= oldest + self.window
+    }
+
+    /// Drains every **ripe** bucket (all of them when `force`) into
+    /// merged jobs on `queue`, ripe labels rotated so service order
+    /// round-robins across labels under sustained skew. Entries the
+    /// queue refuses (draining) get individual 503s.
+    fn flush(&self, queue: &Queue, force: bool) {
+        let now = Instant::now();
+        let (batches, insert) = {
             let mut p = self.lock();
-            p.oldest = None;
-            (std::mem::take(&mut p.explain), std::mem::take(&mut p.insert))
+            let mut labels: Vec<ClassLabel> = p
+                .explain
+                .iter()
+                .filter(|(_, b)| force || self.ripe(b.entries.len(), b.oldest, now))
+                .map(|(l, _)| *l)
+                .collect();
+            labels.sort_unstable();
+            let split = labels.partition_point(|&l| l < p.cursor);
+            labels.rotate_left(split);
+            if let Some(&first) = labels.first() {
+                p.cursor = first.wrapping_add(1);
+            }
+            let batches: Vec<(ClassLabel, Vec<ExplainEntry>)> = labels
+                .iter()
+                .map(|l| (*l, p.explain.remove(l).expect("ripe label present").entries))
+                .collect();
+            let insert_ripe =
+                p.insert_oldest.is_some_and(|t0| force || self.ripe(p.insert.len(), t0, now));
+            let insert = if insert_ripe {
+                p.insert_oldest = None;
+                std::mem::take(&mut p.insert)
+            } else {
+                Vec::new()
+            };
+            (batches, insert)
         };
-        let mut labels: Vec<ClassLabel> = explain.keys().copied().collect();
-        labels.sort_unstable();
         let mut jobs: Vec<Job> = Vec::new();
-        let mut explain = explain;
-        for label in labels {
-            let entries = explain.remove(&label).expect("label key");
+        for (label, entries) in batches {
             self.stats.bump_batches_flushed();
             self.stats.add_batched_requests(entries.len() as u64);
             jobs.push(Job::ExplainBatch { label, entries });
@@ -149,9 +206,19 @@ impl Batcher {
         }
     }
 
-    /// The flusher loop: waits out the window (or a size-cap kick),
-    /// flushes ripe buckets, sweeps expired sessions, exits on
-    /// shutdown after one final flush.
+    /// The earliest instant at which any bucket ripens by age, if one
+    /// is pending.
+    fn next_deadline(p: &Pending, window: Duration) -> Option<Instant> {
+        p.explain
+            .values()
+            .map(|b| b.oldest + window)
+            .chain(p.insert_oldest.map(|t0| t0 + window))
+            .min()
+    }
+
+    /// The flusher loop: waits until a bucket ripens (by age or a
+    /// size-cap kick), flushes the ripe buckets, sweeps expired
+    /// sessions, exits on shutdown after one final full flush.
     pub fn run_flusher(&self, queue: &Queue, sessions: &Sessions) {
         loop {
             let mut p = self.lock();
@@ -160,20 +227,18 @@ impl Batcher {
                     break;
                 }
                 let now = Instant::now();
-                let ripe = match p.oldest {
-                    Some(t0) => p.len() >= self.max_batch || now >= t0 + self.window,
-                    None => false,
-                };
-                if ripe {
+                let any_ripe =
+                    p.explain.values().any(|b| self.ripe(b.entries.len(), b.oldest, now))
+                        || p.insert_oldest.is_some_and(|t0| self.ripe(p.insert.len(), t0, now));
+                if any_ripe {
                     break;
                 }
                 // Idle: tick at the window cadence anyway so session
-                // expiry keeps advancing; busy: sleep exactly to
-                // ripeness. Every timeout breaks out to the flush +
-                // sweep below (flushing empty buckets is a no-op).
-                let until = p
-                    .oldest
-                    .map_or(self.window, |t0| (t0 + self.window).saturating_duration_since(now));
+                // expiry keeps advancing; busy: sleep exactly to the
+                // earliest ripeness. Every timeout breaks out to the
+                // flush + sweep below (flushing nothing is a no-op).
+                let until = Self::next_deadline(&p, self.window)
+                    .map_or(self.window, |d| d.saturating_duration_since(now));
                 let (guard, timeout) = self
                     .kick
                     .wait_timeout(p, until.max(Duration::from_millis(1)))
@@ -185,7 +250,7 @@ impl Batcher {
             }
             let stop = p.stop;
             drop(p);
-            self.flush(queue);
+            self.flush(queue, stop);
             sessions.sweep();
             if stop {
                 return;
@@ -211,5 +276,78 @@ pub(crate) fn reject_merged(job: Job) {
         Job::Single { reply, .. } => {
             let _ = reply.send(unavailable());
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> ExplainEntry {
+        let (tx, _rx) = std::sync::mpsc::channel();
+        // The receiver is dropped: replies become no-ops, which is all
+        // these flush-order tests need.
+        ExplainEntry { ids: None, deadline: None, reply: tx }
+    }
+
+    fn batcher(window: Duration, max_batch: usize) -> Batcher {
+        Batcher::new(window, max_batch, Arc::new(ServeStats::default()))
+    }
+
+    fn flushed_labels(queue: &Queue) -> Vec<ClassLabel> {
+        let mut labels = Vec::new();
+        while queue.depth() > 0 {
+            match queue.pop() {
+                Some(Job::ExplainBatch { label, .. }) => labels.push(label),
+                Some(_) => panic!("explain-only traffic produced a non-explain job"),
+                None => break,
+            }
+        }
+        labels
+    }
+
+    /// A hot label hitting the size cap flushes only itself: the cold
+    /// label's half-filled bucket keeps aggregating through its own
+    /// window (the regression the single global window had under
+    /// skewed traffic).
+    #[test]
+    fn size_kick_flushes_only_the_hot_bucket() {
+        let b = batcher(Duration::from_secs(3600), 10);
+        let queue = Queue::new(64);
+        // 10:1 skew — the hot label fills a whole batch while the cold
+        // label contributes a single entry.
+        for _ in 0..10 {
+            b.add_explain(0, entry());
+        }
+        b.add_explain(1, entry());
+        b.flush(&queue, false);
+        assert_eq!(flushed_labels(&queue), vec![0], "only the capped bucket flushes");
+        assert_eq!(b.pending_len(), 1, "the cold label keeps aggregating");
+        // The cold bucket still flushes eventually (here: final drain).
+        b.flush(&queue, true);
+        assert_eq!(flushed_labels(&queue), vec![1]);
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    /// Under sustained 10:1 skew with both buckets ripening together,
+    /// the queue-order rotates: the cold label is served first on
+    /// alternating flushes instead of always trailing the hot one.
+    #[test]
+    fn ripe_buckets_round_robin_across_flushes() {
+        let b = batcher(Duration::ZERO, 100); // age-ripe immediately
+        let queue = Queue::new(64);
+        let mut first_served = Vec::new();
+        for _ in 0..4 {
+            for _ in 0..10 {
+                b.add_explain(0, entry());
+            }
+            b.add_explain(1, entry());
+            std::thread::sleep(Duration::from_millis(2));
+            b.flush(&queue, false);
+            let labels = flushed_labels(&queue);
+            assert_eq!(labels.len(), 2, "both ripe buckets flush");
+            first_served.push(labels[0]);
+        }
+        assert_eq!(first_served, vec![0, 1, 0, 1], "service order rotates across labels");
     }
 }

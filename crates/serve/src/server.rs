@@ -586,6 +586,20 @@ fn stats_report(shared: &Shared) -> Response {
         "expired": shared.stats.sessions_expired(),
         "ttl_ms": shared.sessions.ttl().as_millis() as u64,
     });
+    let pager_part = match engine.pager_stats() {
+        Some(p) => serde_json::json!({
+            "paged": true,
+            "memory_budget": p.memory_budget,
+            "resident_bytes": p.resident_bytes,
+            "peak_resident_bytes": p.peak_resident_bytes,
+            "faults": p.faults,
+            "hits": p.hits,
+            "evictions": p.evictions,
+            "spilled_bytes": p.spilled_bytes,
+            "hit_rate": p.hit_rate(),
+        }),
+        None => serde_json::json!({ "paged": false }),
+    };
     let (r2, r4, r5) = shared.stats.responses();
     let responses_part = serde_json::json!({ "2xx": r2, "4xx": r4, "5xx": r5 });
     Response::ok(serde_json::json!({
@@ -595,6 +609,7 @@ fn stats_report(shared: &Shared) -> Response {
         "admission": admission_part,
         "batch": batch_part,
         "sessions": sessions_part,
+        "pager": pager_part,
         "responses": responses_part,
     }))
 }

@@ -26,21 +26,28 @@
 
 use crate::codec::{crc32, CodecError, Dec, Enc};
 use crate::StoreError;
-use gvex_graph::Graph;
+use gvex_graph::{ExtentLoc, Graph};
 use gvex_pattern::Pattern;
 use std::fs::File;
 use std::io::Write;
 use std::path::Path;
 
-/// File magic (`GVEXCKP1`).
-const MAGIC: &[u8; 8] = b"GVEXCKP1";
+/// File magic (`GVEXCKP2`). Version 2 segmented the payloads out of
+/// the checkpoint: slots carry extent locations instead of inline
+/// graphs, so recovery opens the image lazily. Version-1 files are
+/// refused as corrupt (no deployed v1 directories exist to migrate).
+const MAGIC: &[u8; 8] = b"GVEXCKP2";
 
-/// One `GraphDb` slot, exactly as the engine held it: `graph` is
-/// `None` for compacted slots (the id space keeps the position).
+/// One `GraphDb` slot, exactly as the engine held it: the payload is
+/// referenced by its extent location (`None` for compacted slots — the
+/// id space keeps the position). Payload bytes live in the per-shard
+/// extent files, which are append-only, so every location a checkpoint
+/// records stays valid for the lifetime of the directory.
 #[derive(Debug, Clone)]
 pub struct SlotState {
-    /// Payload; `None` after compaction reclaimed it.
-    pub graph: Option<Graph>,
+    /// Extent location of the payload; `None` after compaction
+    /// reclaimed it.
+    pub loc: Option<ExtentLoc>,
     /// Ground-truth label.
     pub truth: u16,
     /// Classifier prediction, if recorded.
@@ -204,10 +211,12 @@ fn encode(ck: &CheckpointFile) -> Vec<u8> {
         e.u64(sh.db_epoch);
         e.u32(sh.slots.len() as u32);
         for slot in &sh.slots {
-            match &slot.graph {
-                Some(g) => {
+            match &slot.loc {
+                Some(loc) => {
                     e.bool(true);
-                    e.graph(g);
+                    e.u32(loc.extent);
+                    e.u64(loc.offset);
+                    e.u32(loc.len);
                 }
                 None => e.bool(false),
             }
@@ -258,9 +267,13 @@ fn decode(payload: &[u8]) -> Result<CheckpointFile, CodecError> {
         let nslots = d.len(20)?;
         let mut slots = Vec::with_capacity(nslots);
         for _ in 0..nslots {
-            let graph = if d.bool()? { Some(d.graph()?) } else { None };
+            let loc = if d.bool()? {
+                Some(ExtentLoc { extent: d.u32()?, offset: d.u64()?, len: d.u32()? })
+            } else {
+                None
+            };
             slots.push(SlotState {
-                graph,
+                loc,
                 truth: d.u16()?,
                 predicted: d.opt_u16()?,
                 born: d.u64()?,
@@ -316,11 +329,13 @@ pub fn write_checkpoint(dir: &Path, ck: &CheckpointFile) -> Result<u64, StoreErr
         f.sync_all()?;
     }
     std::fs::rename(&tmp, crate::checkpoint_path(dir))?;
-    // Persist the rename itself; not all platforms support syncing a
-    // directory handle, so a failure here is non-fatal.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    // The bytes are durable but the *rename* lives in the directory's
+    // metadata: without syncing the directory a power loss can revert
+    // to the old name (or, on a fresh directory, to no checkpoint at
+    // all) even though the new file's contents hit disk. On unix a
+    // failure here is a real durability error and propagates; on
+    // platforms without directory handles it degrades to a no-op.
+    crate::fsync_dir(dir)?;
     Ok(payload.len() as u64)
 }
 
@@ -387,13 +402,13 @@ mod tests {
                 db_epoch: 42,
                 slots: vec![
                     SlotState {
-                        graph: Some(g.clone()),
+                        loc: Some(ExtentLoc { extent: 0, offset: 128, len: 77 }),
                         truth: 1,
                         predicted: Some(1),
                         born: 0,
                         died: u64::MAX,
                     },
-                    SlotState { graph: None, truth: 0, predicted: None, born: 1, died: 5 },
+                    SlotState { loc: None, truth: 0, predicted: None, born: 1, died: 5 },
                 ],
                 views: vec![ViewRecordState {
                     versions: vec![VersionState { born: 2, died: u64::MAX, view, row: vec![g] }],
@@ -418,8 +433,8 @@ mod tests {
         assert_eq!(ck.shards.len(), 1);
         let sh = &ck.shards[0];
         assert_eq!(sh.slots.len(), 2);
-        assert!(sh.slots[0].graph.is_some());
-        assert!(sh.slots[1].graph.is_none());
+        assert_eq!(sh.slots[0].loc, Some(ExtentLoc { extent: 0, offset: 128, len: 77 }));
+        assert!(sh.slots[1].loc.is_none());
         assert_eq!(sh.slots[1].died, 5);
         let v = &sh.views[0].versions[0];
         assert_eq!(v.view.label, 1);

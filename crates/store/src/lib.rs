@@ -93,3 +93,35 @@ pub fn checkpoint_tmp_path(dir: &Path) -> PathBuf {
 pub fn wal_path(dir: &Path, s: usize) -> PathBuf {
     dir.join(format!("wal-{s:03}.log"))
 }
+
+/// Path of shard `s`'s payload extent (the append-only segment file
+/// the pager spills evicted graph payloads into and checkpoints point
+/// at) inside a durable directory.
+pub fn extent_path(dir: &Path, s: usize) -> PathBuf {
+    dir.join(format!("pages-{s:03}.seg"))
+}
+
+/// Fsyncs `dir` itself, persisting directory-level metadata (file
+/// creations and renames inside it). On platforms where directories
+/// cannot be opened or synced this degrades to a best-effort no-op —
+/// on unix, where the rename-durability guarantee matters and works,
+/// failures are real errors and propagate.
+pub fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    match std::fs::File::open(dir) {
+        Ok(d) => {
+            let r = d.sync_all();
+            if cfg!(unix) {
+                r
+            } else {
+                Ok(())
+            }
+        }
+        Err(e) => {
+            if cfg!(unix) {
+                Err(e)
+            } else {
+                Ok(())
+            }
+        }
+    }
+}

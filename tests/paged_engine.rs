@@ -1,0 +1,363 @@
+//! Paged-storage-tier integration tests: a memory-budgeted engine must
+//! be **observationally identical** to the in-memory engine — same ids,
+//! epochs, query results, views, and historical reads — while keeping
+//! resident payload bytes bounded, spilling cold payloads to extents
+//! and faulting them back transparently. Also covers the interaction
+//! corners: compaction spilling tombstoned-but-unfreeable payloads
+//! under an old pin, lazy (O(metadata)) recovery of a durable
+//! directory, and a pinned snapshot faulting through its own pager
+//! handle after the engine is gone.
+
+use gvex_core::{Config, Engine, ViewQuery};
+use gvex_data::malnet_scale;
+use gvex_gnn::GcnModel;
+use gvex_graph::{ClassLabel, Epoch, Graph, GraphDb, GraphId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh scratch directory under the system temp dir, unique per
+/// test invocation (pid + counter), removed by [`Scratch::drop`].
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("gvex-paged-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Untrained model — determinism is all the paging layer needs, and
+/// both sides of every comparison clone the same instance.
+fn model_for(db: &GraphDb) -> GcnModel {
+    let feat = db.iter().next().map(|(_, g)| g.feature_dim()).unwrap_or(1);
+    GcnModel::new(feat, 8, 5, 2, 7)
+}
+
+fn cfg() -> Config {
+    Config::with_bounds(0, 4)
+}
+
+/// Total payload bytes of a database (the "in-memory footprint" the
+/// budget is set against).
+fn full_bytes(db: &GraphDb) -> u64 {
+    db.iter().map(|(_, g)| g.approx_bytes() as u64).sum()
+}
+
+/// One scripted engine op, replayable against any engine.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert these pool graphs as one batch.
+    Insert(Vec<usize>),
+    /// Remove the ids of these arrival ordinals (stale ones included).
+    Remove(Vec<usize>),
+    Explain(ClassLabel),
+    Stream(ClassLabel),
+}
+
+/// Applies `op`, extending `ids` with any new arrivals.
+fn apply(engine: &Engine, op: &Op, pool: &[Graph], ids: &mut Vec<GraphId>) {
+    match op {
+        Op::Insert(picks) => {
+            let batch: Vec<_> = picks.iter().map(|&i| (pool[i].clone(), None)).collect();
+            ids.extend(engine.insert_graphs(batch).0);
+        }
+        Op::Remove(ordinals) => {
+            let victims: Vec<GraphId> =
+                ordinals.iter().filter_map(|&o| ids.get(o).copied()).collect();
+            if !victims.is_empty() {
+                engine.remove_graphs(&victims);
+            }
+        }
+        Op::Explain(l) => {
+            engine.explain_label(*l);
+        }
+        Op::Stream(l) => {
+            engine.stream(*l, 0.8);
+        }
+    }
+}
+
+/// Canonical value of one explanation view (field-by-field, with float
+/// bits — the paged engine must reproduce views exactly).
+type ViewCanon = (
+    ClassLabel,
+    Vec<(GraphId, Vec<u32>, bool, bool, u64)>,
+    Vec<(Vec<u16>, Vec<(u32, u32, u16)>)>,
+    u64,
+    u64,
+);
+
+fn canon_view(v: &gvex_core::ExplanationView) -> ViewCanon {
+    let subs = v
+        .subgraphs
+        .iter()
+        .map(|s| (s.graph_id, s.nodes.clone(), s.consistent, s.counterfactual, s.score.to_bits()))
+        .collect();
+    let pats = v
+        .patterns
+        .iter()
+        .map(|p| {
+            let types: Vec<u16> = (0..p.num_nodes() as u32).map(|n| p.node_type(n)).collect();
+            let mut edges: Vec<(u32, u32, u16)> = p.edges().collect();
+            edges.sort_unstable();
+            (types, edges)
+        })
+        .collect();
+    (v.label, subs, pats, v.explainability.to_bits(), v.edge_loss.to_bits())
+}
+
+/// Asserts `a` and `b` answer identically: head epoch, full result
+/// set, per-label counts, and every current view.
+fn assert_identical(a: &Engine, b: &Engine, labels: ClassLabel) {
+    assert_eq!(a.head(), b.head(), "head epoch");
+    let (ra, rb) = (a.query(&ViewQuery::new()), b.query(&ViewQuery::new()));
+    assert_eq!(ra.graphs, rb.graphs, "live graph ids");
+    assert_eq!(ra.per_label, rb.per_label, "per-label counts");
+    for l in 0..labels {
+        assert_eq!(
+            a.query(&ViewQuery::new().label(l)).graphs,
+            b.query(&ViewQuery::new().label(l)).graphs,
+            "label {l} result"
+        );
+    }
+    let (va, vb) = (a.view_set(), b.view_set());
+    let ca: Vec<ViewCanon> = va.views.iter().map(canon_view).collect();
+    let cb: Vec<ViewCanon> = vb.views.iter().map(canon_view).collect();
+    assert_eq!(ca, cb, "current view versions");
+}
+
+/// A tight budget keeps residency bounded (entry-point rebalance), and
+/// faulted-back payloads are byte-identical to the in-memory engine's.
+#[test]
+fn budget_bounds_residency_and_faults_round_trip() {
+    // Build each engine from its own deterministic copy: a shared
+    // `db.clone()` would keep every payload Arc alive in the test and
+    // mark it pinned (unevictable) forever.
+    let full = full_bytes(&malnet_scale(60, 11));
+    let model = model_for(&malnet_scale(60, 11));
+    let budget = full / 8;
+    let paged = Engine::builder(model.clone(), malnet_scale(60, 11))
+        .config(cfg())
+        .memory_budget(budget)
+        .build();
+    let reference = Engine::builder(model, malnet_scale(60, 11)).config(cfg()).build();
+    assert!(paged.pager_stats().is_some() && reference.pager_stats().is_none());
+
+    // A label query touches only postings: its entry-point rebalance
+    // evicts down to the budget and the query itself faults nothing.
+    let (rp, rr) = (paged.query(&ViewQuery::new()), reference.query(&ViewQuery::new()));
+    assert_eq!(rp.graphs, rr.graphs, "unconstrained result set");
+    let s = paged.pager_stats().expect("budgeted engine pages");
+    assert!(s.evictions > 0, "over-budget seed was evicted");
+    assert!(
+        s.resident_bytes <= budget,
+        "rebalance enforces the budget: {} resident > {budget}",
+        s.resident_bytes
+    );
+    assert!(s.resident_bytes < full, "paging beat the in-memory footprint");
+
+    // Fault everything back through payload reads; content matches.
+    for &id in &rr.graphs {
+        let a = paged.db().graph_arc(id).expect("faults in");
+        let b = reference.db().graph_arc(id).expect("resident");
+        assert_eq!(a.num_nodes(), b.num_nodes(), "graph {id} node count");
+        assert_eq!(a.num_edges(), b.num_edges(), "graph {id} edge count");
+    }
+    let s = paged.pager_stats().expect("budgeted engine pages");
+    assert!(s.faults > 0, "cold payloads faulted from the extents");
+}
+
+/// An old pin makes removed payloads unfreeable (their `died` is above
+/// the compaction floor) — compaction spills them to the extents
+/// instead of keeping dead state resident forever.
+#[test]
+fn compact_spills_tombstoned_payloads_kept_by_an_old_pin() {
+    let model = model_for(&malnet_scale(20, 9));
+    let paged = Engine::builder(model, malnet_scale(20, 9))
+        .config(cfg())
+        .memory_budget(u64::MAX / 2) // never over budget: isolate the compact path
+        .build();
+    let pool: Vec<Graph> = malnet_scale(6, 77).iter().map(|(_, g)| g.clone()).collect();
+
+    // Pin *before* the arrivals: the pin epoch predates their birth, so
+    // the snapshot can never observe them, yet the conservative floor
+    // (oldest pin) keeps their tombstones unfreeable.
+    let pin = paged.snapshot();
+    let live_at_pin = pin.query(&ViewQuery::new()).len();
+    let (ids, _) = paged.insert_graphs(pool.iter().map(|g| (g.clone(), None)).collect());
+    let before = paged.pager_stats().expect("paged");
+    paged.remove_graphs(&ids); // runs compact with floor = pin epoch
+    let after = paged.pager_stats().expect("paged");
+    assert!(after.evictions > before.evictions, "tombstoned-but-unfreeable payloads spilled");
+    assert!(after.spilled_bytes > before.spilled_bytes, "spill traffic reached the extents");
+    assert!(after.resident_bytes < before.resident_bytes, "their memory was released");
+
+    // Head reads no longer see them; the old pin is untouched.
+    let head = paged.query(&ViewQuery::new());
+    assert!(ids.iter().all(|id| !head.graphs.contains(id)), "removed from the head");
+    assert_eq!(pin.query(&ViewQuery::new()).len(), live_at_pin, "pin unaffected");
+}
+
+/// Recovery over a checkpointed directory opens in O(metadata): zero
+/// faults, zero resident payload bytes, label queries still answered
+/// from postings — and the first payload access faults on demand.
+#[test]
+fn recovery_is_lazy_and_faults_on_demand() {
+    let scratch = Scratch::new("lazy");
+    let model = model_for(&malnet_scale(40, 5));
+    {
+        let e = Engine::builder(model.clone(), malnet_scale(40, 5))
+            .config(cfg())
+            .durable(scratch.path())
+            .build();
+        // The build's initial checkpoint captured the seed; no further
+        // ops, so the logs are empty and recovery replays nothing.
+        drop(e);
+    }
+    let recovered = Engine::builder(model, GraphDb::new())
+        .config(cfg())
+        .durable(scratch.path())
+        .memory_budget(1 << 20)
+        .build();
+    recovered.recovery_report().expect("directory was recovered");
+    let s0 = recovered.pager_stats().expect("durable engines page");
+    assert_eq!(s0.faults, 0, "recovery read no payloads");
+    assert_eq!(s0.resident_bytes, 0, "every slot restored cold");
+
+    // Metadata-backed reads stay fault-free.
+    let r = recovered.query(&ViewQuery::new());
+    assert_eq!(r.len(), 40, "all live graphs visible from slot metadata");
+    assert_eq!(recovered.pager_stats().expect("paged").faults, 0, "postings need no payloads");
+
+    // First payload access faults exactly on demand.
+    let g = recovered.db().graph_arc(r.graphs[0]).expect("faulted in");
+    assert!(g.num_nodes() > 0);
+    let s1 = recovered.pager_stats().expect("paged");
+    assert!(s1.faults >= 1 && s1.resident_bytes > 0, "payload faulted and is now resident");
+}
+
+/// A pinned snapshot carries its own pager handle: payloads evicted
+/// before the pin keep faulting through the snapshot's clone even
+/// after the engine itself is dropped.
+#[test]
+fn snapshot_faults_through_its_own_pager_after_engine_drop() {
+    let model = model_for(&malnet_scale(20, 3));
+    let paged = Engine::builder(model, malnet_scale(20, 3))
+        .config(cfg())
+        .memory_budget(1) // evict everything evictable at every entry
+        .build();
+    let ids = paged.query(&ViewQuery::new()).graphs; // entry rebalance evicts the seed
+    assert!(paged.pager_stats().expect("paged").evictions > 0);
+    let snap = paged.snapshot();
+    drop(paged);
+    for &id in &ids {
+        let g = snap.db().get_graph(id).expect("snapshot faults via its shared page cache");
+        assert!(g.num_nodes() > 0);
+    }
+}
+
+/// Samples a random op script (the shim's `proptest!` only supports
+/// numeric-range strategies, so ops derive from a seeded RNG).
+fn random_ops(rng: &mut StdRng) -> Vec<Op> {
+    let n = rng.gen_range(2..7usize);
+    (0..n)
+        .map(|_| match rng.gen_range(0..7u8) {
+            0..=2 => {
+                Op::Insert((0..rng.gen_range(1..=3usize)).map(|_| rng.gen_range(0..10)).collect())
+            }
+            3..=4 => {
+                Op::Remove((0..rng.gen_range(1..=2usize)).map(|_| rng.gen_range(0..12)).collect())
+            }
+            5 => Op::Explain(rng.gen_range(0..5u16)),
+            _ => Op::Stream(rng.gen_range(0..5u16)),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For a random insert/remove/explain/stream script with a snapshot
+    /// pinned at a random point, a tiny-budget paged engine must answer
+    /// every present-time query, every historical `at(epoch)` read, and
+    /// every pinned-snapshot read identically to the in-memory engine.
+    #[test]
+    fn paged_engine_is_observationally_identical(
+        seed in 1u64..400,
+        budget_div in 2u64..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops = random_ops(&mut rng);
+        let snap_after = rng.gen_range(0..ops.len());
+        let pool: Vec<Graph> =
+            malnet_scale(10, seed + 1000).iter().map(|(_, g)| g.clone()).collect();
+        // Independent deterministic copies: sharing one `db` would keep
+        // payload Arcs alive in the test and block all eviction.
+        let full = full_bytes(&malnet_scale(12, seed));
+        let model = model_for(&malnet_scale(12, seed));
+        let budget = (full / budget_div).max(1);
+        let paged = Engine::builder(model.clone(), malnet_scale(12, seed))
+            .config(cfg())
+            .memory_budget(budget)
+            .build();
+        let reference = Engine::builder(model, malnet_scale(12, seed)).config(cfg()).build();
+
+        let (mut ids_p, mut ids_r) = (Vec::new(), Vec::new());
+        let mut pins = None;
+        for (i, op) in ops.iter().enumerate() {
+            apply(&paged, op, &pool, &mut ids_p);
+            apply(&reference, op, &pool, &mut ids_r);
+            if i == snap_after {
+                pins = Some((paged.snapshot(), reference.snapshot()));
+            }
+        }
+        prop_assert_eq!(&ids_p, &ids_r, "sequential id allocation matches");
+        assert_identical(&paged, &reference, 5);
+
+        // Historical reads at every epoch up to the head agree.
+        for e in 0..=paged.head().0 {
+            let at = Epoch(e);
+            for l in 0..5u16 {
+                prop_assert_eq!(
+                    paged.store().label_graphs_at(l, at),
+                    reference.store().label_graphs_at(l, at),
+                    "label {} at epoch {}", l, e
+                );
+            }
+        }
+
+        // The mid-script pins answer identically too (the paged pin
+        // holds payloads resident; the floor respects it by design).
+        if let Some((sp, sr)) = pins {
+            prop_assert_eq!(sp.epoch(), sr.epoch(), "pins landed on the same epoch");
+            prop_assert_eq!(
+                sp.query(&ViewQuery::new()).graphs,
+                sr.query(&ViewQuery::new()).graphs,
+                "pinned unconstrained reads"
+            );
+            for l in 0..5u16 {
+                prop_assert_eq!(
+                    sp.query(&ViewQuery::new().label(l)).graphs,
+                    sr.query(&ViewQuery::new().label(l)).graphs,
+                    "pinned label {} reads", l
+                );
+            }
+        }
+    }
+}
