@@ -193,6 +193,10 @@ fn recover(
         }
         let mut db = GraphDb::with_shard(i as ShardId);
         db.attach_pager(Arc::clone(&pager) as Arc<dyn PayloadPager>);
+        // The retention policy is a builder concern, not part of the
+        // image: re-apply it so replayed inserts re-derive the same
+        // expiry sweeps the crashed engine ran.
+        db.set_retention(engine.retention);
         for slot in &st.slots {
             db.restore_slot_paged(
                 slot.loc,

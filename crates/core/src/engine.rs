@@ -97,8 +97,11 @@ use crate::{
     parallel, ApproxGvex, Config, ContextCache, GraphContext, Snapshot, StreamGvex, ViewSet,
 };
 use gvex_gnn::GcnModel;
-use gvex_graph::{shard, ClassLabel, Epoch, Graph, GraphDb, GraphId, PayloadPager, ShardId};
-use gvex_pager::{PageCache, PagerStats};
+use gvex_graph::{
+    shard, window_expired, ClassLabel, Epoch, Graph, GraphDb, GraphId, PayloadPager,
+    RetentionPolicy, ShardId,
+};
+use gvex_pager::{ExtentUsage, PageCache, PagerStats};
 use gvex_pattern::vf2;
 use gvex_store::{FsyncPolicy, InsertEntry, RemoveEntry, StoreError, WalOp, WalRecord};
 use rayon::prelude::*;
@@ -124,6 +127,7 @@ pub struct EngineBuilder {
     fsync: FsyncPolicy,
     checkpoint_every: u64,
     memory_budget: Option<u64>,
+    retention: RetentionPolicy,
 }
 
 impl EngineBuilder {
@@ -143,6 +147,7 @@ impl EngineBuilder {
             fsync: FsyncPolicy::Batch,
             checkpoint_every: 1024,
             memory_budget: None,
+            retention: RetentionPolicy::KeepAll,
         }
     }
 
@@ -241,6 +246,33 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the retention policy — the **windowed streaming-ingest
+    /// mode**. The default, [`RetentionPolicy::KeepAll`], keeps every
+    /// graph until explicitly removed (the historical behavior, with
+    /// zero overhead on any path). With a
+    /// [`Window`](gvex_graph::Window), [`Engine::insert_graphs`]
+    /// becomes the sweep step of a sliding window: after admitting the
+    /// batch and streaming its view deltas, every live graph that fell
+    /// off the window is expired in a follow-up commit — tombstoned,
+    /// retired from the query indexes and registered label views
+    /// (incremental retire-deltas, not full recomputes), dropped from
+    /// the context cache, and its payload reclaimed by the same
+    /// pin-floor-clamped compaction that serves explicit removals. The
+    /// engine's memory is then bounded by the window footprint, not the
+    /// stream length; on durable engines checkpoints additionally
+    /// truncate the WALs and collect unreferenced extent generations,
+    /// bounding disk too (see the README's "Streaming ingest" section).
+    ///
+    /// Expiry is derived deterministically from slot metadata, so
+    /// durable replay reproduces it without logging expiries. A pinned
+    /// [`Snapshot`] keeps reading its frontier byte-identically:
+    /// expired-but-pinned payloads stay addressable (spilled to
+    /// extents, not resident) until the pin drops.
+    pub fn retention(mut self, policy: RetentionPolicy) -> Self {
+        self.retention = policy;
+        self
+    }
+
     /// Automatic checkpoint cadence (durable engines only): after this
     /// many logged ops, the next mutation entry point checkpoints and
     /// resets the logs before doing its work. `0` disables automatic
@@ -304,11 +336,14 @@ impl EngineBuilder {
         };
         let shards = dbs
             .into_iter()
-            .map(|db| Shard {
-                store: Arc::new(ViewStore::new(&db)),
-                db: RwLock::new(db),
-                live: Mutex::new(FxHashMap::default()),
-                writer: Mutex::new(()),
+            .map(|mut db| {
+                db.set_retention(self.retention);
+                Shard {
+                    store: Arc::new(ViewStore::new(&db)),
+                    db: RwLock::new(db),
+                    live: Mutex::new(FxHashMap::default()),
+                    writer: Mutex::new(()),
+                }
             })
             .collect();
         let mut engine = Engine {
@@ -323,6 +358,8 @@ impl EngineBuilder {
             clock,
             probes: AtomicU64::new(0),
             staleness_bound: self.staleness_bound,
+            retention: self.retention,
+            expired_total: AtomicU64::new(0),
             pager: None,
             dur: None,
         };
@@ -340,6 +377,28 @@ impl EngineBuilder {
         }
         Ok(engine)
     }
+}
+
+/// Point-in-time retention-window gauges, as returned by
+/// [`Engine::window_stats`] and exposed by the serving `/stats`
+/// endpoint: the policy, the window floor (the highest epoch at or
+/// below which no live graph was born — everything there has expired
+/// or was removed), the live footprint, and the cumulative expiry
+/// count.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStats {
+    /// The engine's retention policy.
+    pub policy: RetentionPolicy,
+    /// Highest epoch with no surviving live graph born at or below it.
+    pub floor: Epoch,
+    /// Live graphs currently inside the window.
+    pub live_graphs: u64,
+    /// Approximate payload bytes of those graphs (the window
+    /// footprint).
+    pub live_bytes: u64,
+    /// Graphs expired by the window since this process started (not
+    /// persisted across recovery).
+    pub expired_total: u64,
 }
 
 /// Which algorithm produced (and full-recomputes) a maintained view.
@@ -429,6 +488,13 @@ pub struct Engine {
     /// — the scatter width diagnostic ([`Engine::shard_probes`]).
     probes: AtomicU64,
     staleness_bound: usize,
+    /// The retention policy every shard database was built with (see
+    /// [`EngineBuilder::retention`]); recovery re-applies it to the
+    /// rebuilt shard databases.
+    pub(crate) retention: RetentionPolicy,
+    /// Graphs expired by the retention window over this process's
+    /// lifetime (not persisted; a recovered engine restarts at 0).
+    expired_total: AtomicU64,
     /// The page cache, when this engine pages payloads to extents:
     /// always present on durable engines, present on in-memory engines
     /// when [`EngineBuilder::memory_budget`] was set, `None` otherwise.
@@ -511,6 +577,57 @@ impl Engine {
     /// [`EngineBuilder::memory_budget`]).
     pub fn pager_stats(&self) -> Option<PagerStats> {
         Some(self.pager.as_ref()?.stats())
+    }
+
+    /// The retention policy the engine was built with.
+    pub fn retention_policy(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// The retention window gauges (meaningful on any engine; the
+    /// expiry counter only moves under a window): floor epoch, live
+    /// graph/byte footprint, total expired. Metadata-only — never
+    /// faults a payload.
+    pub fn window_stats(&self) -> WindowStats {
+        let mut live_graphs = 0u64;
+        let mut live_bytes = 0u64;
+        let mut min_born: Option<Epoch> = None;
+        for sh in &self.shards {
+            let db = sh.db.read().expect("db lock");
+            for (_, born, bytes) in db.live_window_meta() {
+                live_graphs += 1;
+                live_bytes += bytes;
+                min_born = Some(min_born.map_or(born, |m: Epoch| m.min(born)));
+            }
+        }
+        // The floor is derived, not stored, so it survives recovery
+        // for free: the highest epoch at or below which no live graph
+        // was born (the whole head when the window is empty).
+        let floor = min_born.map_or(self.head(), |b| Epoch(b.0.saturating_sub(1)));
+        WindowStats {
+            policy: self.retention,
+            floor,
+            live_graphs,
+            live_bytes,
+            expired_total: self.expired_total.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-extent space accounting — each generation file's total, live
+    /// (still referenced by some slot), and dead bytes — or `None` when
+    /// the engine does not page. The space-amplification gauge behind
+    /// the serving `/stats` pager section and the input extent GC works
+    /// from.
+    pub fn extent_usage(&self) -> Option<Vec<ExtentUsage>> {
+        let pager = self.pager.as_ref()?;
+        let mut refs: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for sh in &self.shards {
+            let db = sh.db.read().expect("db lock");
+            for loc in db.extent_refs() {
+                *refs.entry(loc.extent).or_insert(0) += loc.len as u64;
+            }
+        }
+        Some(pager.usage(&refs))
     }
 
     /// Wires `pager` into every shard database (tokenizing already
@@ -692,7 +809,13 @@ impl Engine {
                 .collect()
         });
         let affected = sorted_shards(prep.iter().map(|(l, _)| self.route(*l)));
-        let _w = self.writer_guards(&affected);
+        // Windowed mode locks every shard's writer, not just the routed
+        // ones: the expiry sweep that follows this commit may tombstone
+        // graphs in any shard, and its cross-shard candidate selection
+        // must not interleave with other mutators.
+        let locked =
+            if self.windowed() { sorted_shards(0..self.shards.len()) } else { affected.clone() };
+        let _w = self.writer_guards(&locked);
         let mut ids = Vec::with_capacity(batch.len());
         let mut work: FxHashMap<usize, FxHashMap<ClassLabel, Vec<GraphId>>> = FxHashMap::default();
         // Commit section: database rows and index postings change
@@ -754,7 +877,93 @@ impl Engine {
                 .map(|(s, by_label)| (s, sorted_label_work(by_label, FxHashMap::default())))
                 .collect(),
         );
+        if self.windowed() {
+            // The sweep step: admit arrivals (above), stream their view
+            // deltas (above), then expire what fell off the window. The
+            // maintenance clones share every payload Arc and must be
+            // gone first, or the sweep's compaction could never spill a
+            // tombstoned payload.
+            drop(clones);
+            self.sweep_window();
+        }
         (ids, epoch)
+    }
+
+    /// Whether a retention window is in effect.
+    fn windowed(&self) -> bool {
+        !matches!(self.retention, RetentionPolicy::KeepAll)
+    }
+
+    /// Expires every live graph outside the retention window, in one
+    /// follow-up commit: tombstones the slots, retires their index
+    /// postings and cached contexts, streams retire-deltas into the
+    /// registered label views, and compacts what no pin still observes.
+    /// Caller holds the writer mutexes of **every** shard (the windowed
+    /// insert path does), so no other mutator interleaves between the
+    /// candidate selection and the commit.
+    ///
+    /// Nothing is logged: expiry is a deterministic function of slot
+    /// metadata and the head epoch, so durable replay — which re-runs
+    /// the logged inserts through this same path — re-derives the same
+    /// expiries at the same epochs.
+    fn sweep_window(&self) {
+        let all = sorted_shards(0..self.shards.len());
+        let mut expired_by_shard: FxHashMap<usize, Vec<GraphId>> = FxHashMap::default();
+        let mut work: FxHashMap<usize, FxHashMap<ClassLabel, FxHashSet<GraphId>>> =
+            FxHashMap::default();
+        let mut expired = Vec::new();
+        let clones = {
+            let mut guards = self.db_write_guards(&all);
+            let head = self.head();
+            let mut meta: Vec<(GraphId, Epoch, u64)> = Vec::new();
+            for (_, db) in &guards {
+                meta.extend(db.live_window_meta());
+            }
+            expired.extend(window_expired(self.retention, head, meta));
+            if expired.is_empty() {
+                return;
+            }
+            for &id in &expired {
+                let s = self.shard_of(id).expect("expired id from a live shard");
+                expired_by_shard.entry(s).or_default().push(id);
+            }
+            let epoch = self.tick();
+            for (_, db) in guards.iter_mut() {
+                db.sync_epoch(epoch);
+            }
+            // Ascending shard order (ids within a shard are already
+            // ascending): removals apply in one deterministic order, so
+            // replay reproduces the store byte-identically.
+            for s in sorted_shards(expired_by_shard.keys().copied()) {
+                let ids = &expired_by_shard[&s];
+                let pos = all.binary_search(&s).expect("shard in lock set");
+                let db = &mut *guards[pos].1;
+                for &id in ids {
+                    let predicted = db.predicted(id);
+                    if db.remove(id) {
+                        self.shards[s].store.on_remove_graph(db, id, epoch);
+                        if let Some(l) = predicted {
+                            work.entry(s).or_default().entry(l).or_default().insert(id);
+                        }
+                    }
+                }
+            }
+            let clones: Vec<(usize, GraphDb)> =
+                guards.iter().map(|(s, db)| (*s, (**db).clone())).collect();
+            clones
+        };
+        self.contexts.remove(&expired);
+        self.maintain_shards(
+            &clones,
+            work.into_iter()
+                .map(|(s, by_label)| (s, sorted_label_work(FxHashMap::default(), by_label)))
+                .collect(),
+        );
+        // As in `remove_graphs`: the maintenance clones share payload
+        // Arcs and must drop before compaction can spill or free.
+        drop(clones);
+        self.compact_inner();
+        self.expired_total.fetch_add(expired.len() as u64, Ordering::Relaxed);
     }
 
     /// Removes graphs at a fresh epoch: tombstones their database slots
@@ -862,8 +1071,14 @@ impl Engine {
             let mut guards: Vec<RwLockWriteGuard<'_, GraphDb>> =
                 self.shards.iter().map(|s| s.db.write().expect("db lock")).collect();
             let floor = self.pins.floor(self.head());
+            // Per-pin observation beats the floor alone: a graph born
+            // after a long-lived pin and expired since is freeable even
+            // while that pin is held — without this, a windowed engine
+            // under a persistent pin retains (and, durable, spills)
+            // everything that ever streamed past it.
+            let pins = self.pins.epochs();
             for db in guards.iter_mut() {
-                db.compact(floor);
+                db.compact_pinned(floor, &pins);
             }
             floor
         };
@@ -1464,10 +1679,31 @@ impl Engine {
             p.sync()?;
         }
         gvex_store::write_checkpoint(&dur.dir, &ck)?;
+        // The WAL resets bound log disk to one checkpoint interval;
+        // under a retention window the extents are GC'd too — the
+        // image just written is the only surviving checkpoint, so any
+        // generation it doesn't reference (and that no slot, and hence
+        // no pinned snapshot, can fault) is deletable, and a mostly
+        // dead spill target rotates so it can drain. Disk usage is
+        // thereby bounded by the window footprint, not the stream.
         for w in &dur.wals {
             w.lock().expect("wal lock").reset()?;
         }
         dur.ops_since_checkpoint.store(0, Ordering::SeqCst);
+        if self.windowed() {
+            if let Some(p) = self.pager.as_ref() {
+                let mut refs: std::collections::HashMap<u32, u64> =
+                    std::collections::HashMap::new();
+                for st in &ck.shards {
+                    for slot in &st.slots {
+                        if let Some(loc) = slot.loc {
+                            *refs.entry(loc.extent).or_insert(0) += loc.len as u64;
+                        }
+                    }
+                }
+                p.gc(&refs)?;
+            }
+        }
         Ok(Some(watermark))
     }
 

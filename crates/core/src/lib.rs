@@ -64,10 +64,11 @@ pub use approx::ApproxGvex;
 pub use config::Config;
 pub use context::{ContextCache, GraphContext};
 pub use durable::RecoveryReport;
-pub use engine::{DbGuard, Engine, EngineBuilder};
+pub use engine::{DbGuard, Engine, EngineBuilder, WindowStats};
 pub use explain::{Explainer, Explanation, VerifyFlags};
 pub use gvex_graph::Epoch;
-pub use gvex_pager::PagerStats;
+pub use gvex_graph::{RetentionPolicy, Window};
+pub use gvex_pager::{ExtentUsage, PagerStats};
 pub use gvex_store::{FsyncPolicy, StoreError};
 pub use query::ViewQuery;
 pub use snapshot::Snapshot;

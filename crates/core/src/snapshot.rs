@@ -81,6 +81,12 @@ impl Pins {
     pub(crate) fn len(&self) -> usize {
         self.counts().values().sum()
     }
+
+    /// Every distinct pinned epoch, ascending — the observation set for
+    /// pin-aware compaction.
+    pub(crate) fn epochs(&self) -> Vec<Epoch> {
+        self.counts().keys().map(|&e| Epoch(e)).collect()
+    }
 }
 
 /// One shard's frozen state inside a [`Snapshot`]: the database clone

@@ -87,14 +87,125 @@ impl std::fmt::Display for Epoch {
     }
 }
 
-/// Location of one spilled graph payload inside a per-shard extent
-/// file: which extent, the byte offset of its record, and the record
-/// length. Extents are append-only, so a location handed out once stays
-/// readable for the lifetime of the directory — pinned snapshots can
-/// keep locations across arbitrarily many later spills.
+/// Shape of a sliding retention window (the grit-style sweep buffer):
+/// which live graphs the database keeps once the stream outgrows it.
+/// Construct via [`Window::last_epochs`], [`Window::last_graphs`], or
+/// [`Window::last_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Keep graphs born within the last `n` epochs: a graph born at
+    /// epoch `b` expires once the head reaches `b + n`.
+    Epochs(u64),
+    /// Keep the `n` newest live graphs (by birth epoch, ties broken by
+    /// id — i.e. arrival order).
+    Graphs(usize),
+    /// Keep the newest live graphs whose payload bytes fit in `b`
+    /// (always at least the single newest graph, even when it alone
+    /// exceeds the budget — the sweep buffer is never empty while the
+    /// stream is live). Payload sizes are approximate: in-memory size
+    /// for resident payloads, extent record length for evicted ones, so
+    /// the bound is exact up to a constant encoding factor.
+    Bytes(u64),
+}
+
+impl Window {
+    /// Window keeping graphs born within the last `n` epochs.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero (an empty window would expire every
+    /// arrival in the commit that admitted it).
+    pub fn last_epochs(n: u64) -> Self {
+        assert!(n > 0, "retention window must be non-empty");
+        Window::Epochs(n)
+    }
+
+    /// Window keeping the `n` newest live graphs.
+    ///
+    /// # Panics
+    /// Panics when `n` is zero.
+    pub fn last_graphs(n: usize) -> Self {
+        assert!(n > 0, "retention window must be non-empty");
+        Window::Graphs(n)
+    }
+
+    /// Window keeping the newest live graphs within `b` payload bytes.
+    ///
+    /// # Panics
+    /// Panics when `b` is zero.
+    pub fn last_bytes(b: u64) -> Self {
+        assert!(b > 0, "retention window must be non-empty");
+        Window::Bytes(b)
+    }
+}
+
+/// Retention policy of a [`GraphDb`] (and of the engine built over it):
+/// the default keeps every graph until explicitly removed (the
+/// historical behavior); a [`Window`] turns removal into an automatic
+/// expiry step — graphs falling off the window are tombstoned at batch
+/// commit and their payloads reclaimed by the same pin-floor-clamped
+/// compaction that serves explicit removals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Keep every graph until explicitly removed.
+    #[default]
+    KeepAll,
+    /// Keep only the graphs inside the sliding window; older ones are
+    /// expired automatically.
+    Window(Window),
+}
+
+/// The ids a retention policy expires at head epoch `head`, given the
+/// live graphs' `(id, born, payload bytes)` metadata — the pure sweep
+/// step shared by [`GraphDb::expire_candidates`] (one shard) and the
+/// engine (metadata concatenated across shards). Expiry is purely a
+/// function of this metadata, so replaying the same arrival sequence
+/// re-derives the same expiries — durability logs admissions only.
+/// Returned ids are sorted ascending.
+pub fn window_expired(
+    policy: RetentionPolicy,
+    head: Epoch,
+    mut live: Vec<(GraphId, Epoch, u64)>,
+) -> Vec<GraphId> {
+    let RetentionPolicy::Window(w) = policy else { return Vec::new() };
+    // Newest first: birth epoch, ties broken by id (arrival order —
+    // ids within a shard are allocated monotonically).
+    live.sort_unstable_by_key(|&(id, born, _)| std::cmp::Reverse((born, id)));
+    let mut expired: Vec<GraphId> = match w {
+        Window::Epochs(n) => live
+            .iter()
+            .filter(|(_, born, _)| born.0.saturating_add(n) <= head.0)
+            .map(|&(id, _, _)| id)
+            .collect(),
+        Window::Graphs(n) => live.iter().skip(n).map(|&(id, _, _)| id).collect(),
+        Window::Bytes(b) => {
+            let mut total = 0u64;
+            live.iter()
+                .enumerate()
+                .filter(|&(i, &(_, _, bytes))| {
+                    total = total.saturating_add(bytes);
+                    i > 0 && total > b
+                })
+                .map(|(_, &(id, _, _))| id)
+                .collect()
+        }
+    };
+    expired.sort_unstable();
+    expired
+}
+
+/// Location of one spilled graph payload inside an extent file: which
+/// extent, the byte offset of its record, and the record length.
+/// Extent files are append-only and a slot's location is immutable once
+/// assigned (re-eviction reuses it), so a location stays readable as
+/// long as any slot references its extent — pinned snapshots keep
+/// locations across arbitrarily many later spills, and windowed engines
+/// delete an extent generation only once no slot references it at all.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExtentLoc {
-    /// Extent file number (one extent per shard).
+    /// Extent id. The low [`shard::BITS`] bits carry the owning shard,
+    /// the high bits the extent *generation* within that shard —
+    /// generation 0 ids are numerically identical to plain shard
+    /// numbers, so pre-generation checkpoints decode unchanged.
     pub extent: u32,
     /// Byte offset of the record within the extent.
     pub offset: u64,
@@ -312,6 +423,12 @@ pub struct GraphDb {
     /// ticks it directly — one relaxed RMW — instead of a virtual call
     /// into the pager.
     touch_clock: Option<Arc<AtomicU64>>,
+    /// The expiry cursor's policy: [`RetentionPolicy::KeepAll`] (the
+    /// default) never expires; a window makes
+    /// [`GraphDb::expire_candidates`] report the live graphs that have
+    /// fallen off it. The engine drives the actual tombstoning so view
+    /// maintenance and the context cache retire in the same commit.
+    retention: RetentionPolicy,
 }
 
 impl Default for Epoch {
@@ -436,6 +553,77 @@ impl GraphDb {
         self.pager.is_some()
     }
 
+    /// Sets the retention policy (see [`RetentionPolicy`]). Snapshot
+    /// clones inherit it, but expiry only ever runs against the head.
+    pub fn set_retention(&mut self, policy: RetentionPolicy) {
+        self.retention = policy;
+    }
+
+    /// The retention policy in effect.
+    pub fn retention(&self) -> RetentionPolicy {
+        self.retention
+    }
+
+    /// Approximate payload bytes of slot `s` without faulting: the
+    /// resident size for in-memory payloads, the extent record length
+    /// for evicted ones. This is the byte metric [`Window::Bytes`]
+    /// windows are measured in.
+    fn slot_bytes(s: &Slot) -> u64 {
+        match &s.payload {
+            Payload::Resident(g, tok) => {
+                tok.as_ref().map_or_else(|| g.approx_bytes() as u64, |t| t.bytes)
+            }
+            Payload::Paged { loc, cell } => cell.get().map_or(loc.len as u64, |(_, tok)| tok.bytes),
+            Payload::Freed => 0,
+        }
+    }
+
+    /// The window metadata of every live graph: `(id, born, payload
+    /// bytes)`. Metadata-only — never faults. The engine concatenates
+    /// this across shards and feeds it to [`window_expired`]; the
+    /// single-shard form is [`GraphDb::expire_candidates`].
+    pub fn live_window_meta(&self) -> Vec<(GraphId, Epoch, u64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live())
+            .map(|(i, s)| (self.id_at(i), s.born, Self::slot_bytes(s)))
+            .collect()
+    }
+
+    /// Approximate payload bytes of the live graphs (the window
+    /// footprint gauge). Metadata-only — never faults.
+    pub fn live_bytes(&self) -> u64 {
+        self.slots.iter().filter(|s| s.live()).map(Self::slot_bytes).sum()
+    }
+
+    /// The live ids this database's own retention window expires at
+    /// head epoch `head` (sorted ascending; empty under
+    /// [`RetentionPolicy::KeepAll`]). The expiry cursor: callers
+    /// tombstone these via [`GraphDb::remove`] and reclaim payloads via
+    /// [`GraphDb::compact`], which stays clamped to the snapshot pin
+    /// floor — expired graphs a pin still observes remain addressable
+    /// (and are spilled, not held resident) until the pin drops.
+    pub fn expire_candidates(&self, head: Epoch) -> Vec<GraphId> {
+        window_expired(self.retention, head, self.live_window_meta())
+    }
+
+    /// The extent locations this database still references: every
+    /// non-compacted slot currently in the paged state. The union of
+    /// these across shards is exactly the set of records any pinned
+    /// snapshot can ever fault (payload locations are immutable once
+    /// assigned), which is what makes whole-extent garbage collection
+    /// of unreferenced generations safe.
+    pub fn extent_refs(&self) -> Vec<ExtentLoc> {
+        self.slots
+            .iter()
+            .filter_map(|s| match &s.payload {
+                Payload::Paged { loc, .. } => Some(*loc),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Tombstones graph `id` at the current epoch. Returns `false` when
     /// the id is unknown, foreign to this shard, or already removed. The
     /// payload stays allocated (pinned snapshots and the shared query
@@ -453,27 +641,43 @@ impl GraphDb {
     /// Frees the payloads of slots invisible at every epoch `>= floor`
     /// (i.e. `died <= floor`); id slots and their label metadata remain.
     /// Returns the number of payloads reclaimed. The caller (the engine)
-    /// picks `floor` as the oldest pinned snapshot epoch.
-    ///
-    /// With a pager attached, tombstoned slots the floor still protects
-    /// (`floor < died < MAX`) are **spilled** to their extent instead of
-    /// held hot: a long-lived pin must not keep dead payloads resident,
-    /// only addressable. Slots whose payload a snapshot clone actually
-    /// shares are left in place (spilling them would not free memory).
+    /// picks `floor` as the oldest pinned snapshot epoch; this form is
+    /// [`GraphDb::compact_pinned`] with the floor as the only pin.
     pub fn compact(&mut self, floor: Epoch) -> usize {
+        self.compact_pinned(floor, &[floor])
+    }
+
+    /// Pin-aware compaction: frees the payload of every dead slot that
+    /// no pinned epoch observes — a pin at `p` observes exactly the
+    /// slots with `born <= p < died`, so a graph born *after* a pin and
+    /// expired since is freeable even while that pin is held (the pin's
+    /// clone was taken before the graph existed). This is what keeps a
+    /// windowed engine's footprint — including its extent references,
+    /// and hence disk after generation GC — O(window) under a long-lived
+    /// snapshot, instead of retaining everything that expired after the
+    /// oldest pin. Returns the number of payloads reclaimed.
+    ///
+    /// With a pager attached, dead slots some pin still observes are
+    /// **spilled** to their extent instead of held hot: a long-lived pin
+    /// must not keep dead payloads resident, only addressable. Slots
+    /// whose payload a snapshot clone actually shares are left in place
+    /// (spilling them would not free memory).
+    pub fn compact_pinned(&mut self, floor: Epoch, pins: &[Epoch]) -> usize {
         let pager = self.pager.clone();
         let shard = self.shard;
         let mut freed = 0;
         for slot in &mut self.slots {
-            if slot.died <= floor {
+            if slot.died == Epoch::MAX {
+                continue;
+            }
+            let observed = pins.iter().any(|&p| slot.born <= p && p < slot.died);
+            if slot.died <= floor || !observed {
                 if !slot.payload.is_freed() {
                     slot.payload = Payload::Freed;
                     freed += 1;
                 }
-            } else if slot.died != Epoch::MAX {
-                if let Some(p) = &pager {
-                    evict_payload(slot, p, shard);
-                }
+            } else if let Some(p) = &pager {
+                evict_payload(slot, p, shard);
             }
         }
         freed

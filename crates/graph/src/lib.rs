@@ -19,8 +19,8 @@ pub mod generate;
 mod graph;
 
 pub use db::{
-    shard, ClassLabel, Epoch, EvictCandidate, ExtentLoc, GraphDb, GraphId, PayloadPager,
-    ResidentToken, ShardId, SlotExport, Split,
+    shard, window_expired, ClassLabel, Epoch, EvictCandidate, ExtentLoc, GraphDb, GraphId,
+    PayloadPager, ResidentToken, RetentionPolicy, ShardId, SlotExport, Split, Window,
 };
 pub use graph::{EdgeType, Graph, NodeId, NodeType};
 

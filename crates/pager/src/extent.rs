@@ -1,14 +1,17 @@
 //! Append-only payload extents.
 //!
-//! One extent file per shard (`pages-SSS.seg`) holds every payload the
-//! pager ever spilled for that shard, as `[crc32 (4 bytes LE)][encoded
-//! graph]` records addressed by `(offset, len)`. The file is strictly
-//! append-only: a location handed out once stays readable for the
-//! lifetime of the directory, which is what lets checkpoints reference
-//! locations and pinned snapshots keep them across arbitrarily many
-//! later spills — no compaction ever rewrites or renames an extent.
-//! The price is space amplification: re-spilling a payload appends a
-//! fresh copy and the old record becomes garbage (see the crate docs).
+//! One extent file per shard **generation** (`pages-SSS.seg` for
+//! generation 0, `pages-SSS-gN.seg` after) holds payloads the pager
+//! spilled, as `[crc32 (4 bytes LE)][encoded graph]` records addressed
+//! by `(offset, len)`. Each file is strictly append-only: a location
+//! handed out once stays readable for as long as anything references
+//! its generation, which is what lets checkpoints reference locations
+//! and pinned snapshots keep them across arbitrarily many later
+//! spills — no record is ever rewritten in place. Space amplification
+//! is reclaimed between generations instead: when an active extent is
+//! mostly dead the cache rotates new spills to a fresh generation, and
+//! generations no live location references are deleted at checkpoint
+//! (see `PageCache::gc` in the crate root).
 //!
 //! Reads are `pread`-style — positioned, never moving a shared cursor —
 //! so concurrent faults don't serialize on a seek lock on unix.

@@ -82,6 +82,30 @@ impl Client {
         self.request("GET", path, None, None)
     }
 
+    /// Streams NDJSON lines to `POST /ingest` with chunked
+    /// transfer-encoding: each item of `chunks` is sent as one HTTP
+    /// chunk (one server-side commit), then the terminating zero chunk;
+    /// blocks for the single summary response.
+    pub fn ingest_chunked(&mut self, chunks: &[Vec<Value>]) -> io::Result<ClientResponse> {
+        self.writer.write_all(
+            b"POST /ingest HTTP/1.1\r\nhost: gvex\r\ntransfer-encoding: chunked\r\n\r\n",
+        )?;
+        for chunk in chunks {
+            let mut payload = String::new();
+            for line in chunk {
+                payload.push_str(&serde_json::to_string(line).map_err(io::Error::other)?);
+                payload.push('\n');
+            }
+            self.writer.write_all(format!("{:x}\r\n", payload.len()).as_bytes())?;
+            self.writer.write_all(payload.as_bytes())?;
+            self.writer.write_all(b"\r\n")?;
+            self.writer.flush()?;
+        }
+        self.writer.write_all(b"0\r\n\r\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
     fn read_response(&mut self) -> io::Result<ClientResponse> {
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {

@@ -1,7 +1,8 @@
 //! Minimal HTTP/1.1 framing over blocking sockets.
 //!
 //! The serving front end hand-rolls exactly the slice of HTTP/1.1 it
-//! needs — request-line + headers + `Content-Length` bodies, keep-alive
+//! needs — request-line + headers + `Content-Length` bodies, chunked
+//! `Transfer-Encoding` for the streaming ingest endpoint, keep-alive
 //! connections, and a JSON response writer — because the shim
 //! environment has no async runtime and no HTTP dependency. Framing is
 //! defensive by construction:
@@ -54,6 +55,11 @@ pub struct Request {
     /// Whether the client asked to keep the connection open (HTTP/1.1
     /// default; `Connection: close` opts out).
     pub keep_alive: bool,
+    /// The request declared `Transfer-Encoding: chunked`. The body is
+    /// **not** read here — it is still on the socket, and the handler
+    /// must drain it chunk-by-chunk with [`read_chunk`] (only the
+    /// streaming ingest endpoint does; everything else refuses).
+    pub chunked: bool,
 }
 
 impl Request {
@@ -143,6 +149,16 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         .map(|(_, v)| !v.eq_ignore_ascii_case("close"))
         .unwrap_or(true);
 
+    // A chunked body stays on the socket: the caller decides whether
+    // the endpoint may stream it (`read_chunk`) or must refuse.
+    let chunked = headers
+        .iter()
+        .find(|(k, _)| k == "transfer-encoding")
+        .is_some_and(|(_, v)| v.to_ascii_lowercase().contains("chunked"));
+    if chunked {
+        return Ok(Request { method, path, headers, body: Vec::new(), keep_alive, chunked: true });
+    }
+
     let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
         Some((_, v)) => v
             .parse::<usize>()
@@ -165,7 +181,76 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         }
     }
 
-    Ok(Request { method, path, headers, body, keep_alive })
+    Ok(Request { method, path, headers, body, keep_alive, chunked: false })
+}
+
+/// Reads one line (up to LF) of chunked-body framing: chunk-size lines
+/// and trailer lines, both short by construction.
+fn read_frame_line(stream: &mut impl Read) -> Result<String, FrameError> {
+    const MAX_LINE: usize = 1024;
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(FrameError::Malformed("connection closed mid-chunk".into())),
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(FrameError::Malformed("chunk framing line too long".into()));
+                }
+            }
+            Err(e) if is_timeout(&e) => return Err(FrameError::Timeout { mid_request: true }),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| FrameError::Malformed("chunk line is not UTF-8".into()))
+}
+
+/// Reads one chunk of a `Transfer-Encoding: chunked` body: `Ok(Some)`
+/// carries the chunk's data, `Ok(None)` is the terminating zero chunk
+/// (trailers, if any, consumed). `max_chunk` caps a single chunk's
+/// declared size — streaming bounds *per-chunk* memory, not the total
+/// body, which is the point of the encoding.
+pub fn read_chunk(stream: &mut impl Read, max_chunk: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let line = read_frame_line(stream)?;
+    // Chunk extensions (after ';') are legal and ignored.
+    let size_hex = line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_hex, 16)
+        .map_err(|_| FrameError::Malformed(format!("bad chunk size: {size_hex:?}")))?;
+    if size > max_chunk {
+        return Err(FrameError::TooLarge { declared: size, limit: max_chunk });
+    }
+    if size == 0 {
+        // Trailer section: zero or more header lines, then a blank.
+        loop {
+            if read_frame_line(stream)?.is_empty() {
+                return Ok(None);
+            }
+        }
+    }
+    let mut data = vec![0u8; size];
+    let mut read = 0;
+    while read < size {
+        match stream.read(&mut data[read..]) {
+            Ok(0) => return Err(FrameError::Malformed("connection closed mid-chunk".into())),
+            Ok(n) => read += n,
+            Err(e) if is_timeout(&e) => return Err(FrameError::Timeout { mid_request: true }),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    // The chunk's own trailing CRLF.
+    if !read_frame_line(stream)?.is_empty() {
+        return Err(FrameError::Malformed("chunk data not followed by CRLF".into()));
+    }
+    Ok(Some(data))
 }
 
 /// One response, always carrying a JSON body.

@@ -1,0 +1,209 @@
+//! `POST /ingest` — streaming bounded-memory ingest.
+//!
+//! The body is newline-delimited JSON (NDJSON): one graph object per
+//! line, in the same shape the `/insert` endpoint's `graphs` array
+//! elements use. Two framings are accepted:
+//!
+//! - `Transfer-Encoding: chunked` — the streaming form. Each chunk's
+//!   complete lines are parsed and committed as **one micro-batched
+//!   engine commit per chunk** (a line split across chunks carries over
+//!   to the next chunk), so an unbounded stream holds at most one
+//!   chunk of undecoded bytes plus one chunk of graphs in memory at a
+//!   time. Per-chunk size is capped by `ServeConfig::max_body`.
+//! - a plain `Content-Length` NDJSON body — treated as a single chunk.
+//!
+//! Each chunk rides the same micro-batching aggregator as `/insert`
+//! (it may merge with concurrent client inserts into one commit
+//! epoch), and each chunk passes admission individually: a saturated
+//! queue 503s the stream mid-way rather than buffering it. On a
+//! windowed engine the sweep runs inside every commit, so ingest
+//! memory stays O(window), not O(stream) — the response reports the
+//! window gauges alongside the ingest totals.
+//!
+//! A parse error or admission rejection aborts the request with the
+//! offending line's error; the connection closes (the stream position
+//! inside a chunked body is unrecoverable by construction).
+
+use crate::http::{self, FrameError, Request, Response};
+use crate::queue::InsertEntry;
+use crate::server::Shared;
+use crate::wire;
+use gvex_graph::{ClassLabel, Graph};
+use serde_json::Value;
+use std::io::Read;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Splits `carry + chunk` into complete lines, leaving the trailing
+/// partial line (no `\n` yet) in `carry` for the next chunk.
+fn split_lines(carry: &mut Vec<u8>, chunk: &[u8]) -> Vec<Vec<u8>> {
+    carry.extend_from_slice(chunk);
+    let mut lines = Vec::new();
+    while let Some(pos) = carry.iter().position(|&b| b == b'\n') {
+        let mut line: Vec<u8> = carry.drain(..=pos).collect();
+        line.pop(); // the '\n'
+        lines.push(line);
+    }
+    lines
+}
+
+/// Parses one NDJSON line into an arrival. Blank lines are `None`.
+fn parse_line(line: &[u8]) -> Result<Option<(Graph, Option<ClassLabel>)>, String> {
+    let text = std::str::from_utf8(line).map_err(|_| "ingest line is not UTF-8".to_string())?;
+    let text = text.trim();
+    if text.is_empty() {
+        return Ok(None);
+    }
+    let v: Value =
+        serde_json::from_str(text).map_err(|e| format!("bad ingest line JSON: {e:?}"))?;
+    let g = wire::graph_from_value(&v)?;
+    let t = wire::truth_from_value(&v)?;
+    Ok(Some((g, t)))
+}
+
+/// Running totals of one ingest request.
+#[derive(Default)]
+struct Progress {
+    ingested: u64,
+    batches: u64,
+    last_epoch: u64,
+}
+
+impl Progress {
+    /// Commits one chunk's arrivals through the micro-batching
+    /// aggregator (one engine commit, possibly merged with concurrent
+    /// `/insert` traffic) and folds the acknowledgement in. `Err` is a
+    /// ready-to-send rejection.
+    fn commit(
+        &mut self,
+        shared: &Shared,
+        graphs: Vec<(Graph, Option<ClassLabel>)>,
+        deadline: Option<Instant>,
+    ) -> Result<(), Response> {
+        if graphs.is_empty() {
+            return Ok(());
+        }
+        if shared.down() {
+            return Err(Response::unavailable("shutting_down", 1000));
+        }
+        // Per-chunk admission: a stream cannot outrun the queue.
+        let pending = shared.queue.depth() + shared.batcher.pending_len();
+        if pending >= shared.config.queue_capacity {
+            return Err(shared.admission.queue_full(pending));
+        }
+        shared.admission.admit(pending, deadline)?;
+        shared.stats.bump_admitted();
+        let n = graphs.len() as u64;
+        let (tx, rx) = mpsc::channel::<Response>();
+        shared.batcher.add_insert(InsertEntry { graphs, deadline, reply: tx });
+        let resp =
+            rx.recv().unwrap_or_else(|_| Response::error(500, "worker dropped the ingest chunk"));
+        if resp.status != 200 {
+            return Err(resp);
+        }
+        self.ingested += n;
+        self.batches += 1;
+        if let Ok(e) = wire::u64_field(&resp.body, "epoch") {
+            self.last_epoch = e;
+        }
+        shared.stats.bump_ingest_chunks();
+        shared.stats.add_ingested_graphs(n);
+        Ok(())
+    }
+
+    fn response(self, shared: &Shared) -> Response {
+        shared.stats.bump_ingest_requests();
+        Response::ok(serde_json::json!({
+            "ingested": self.ingested,
+            "batches": self.batches,
+            "epoch": self.last_epoch,
+            "window": wire::window_to_value(&shared.engine.window_stats()),
+        }))
+    }
+}
+
+/// Handles a chunked `/ingest` body, reading chunks off `reader` as
+/// they arrive. Returns the response and whether the body was drained
+/// cleanly (an undrained body poisons the connection for keep-alive).
+pub(crate) fn chunked(shared: &Shared, req: &Request, reader: &mut impl Read) -> (Response, bool) {
+    let deadline = match crate::router::deadline_of(req, None) {
+        Ok(d) => d,
+        Err(resp) => return (resp, false),
+    };
+    let mut carry: Vec<u8> = Vec::new();
+    let mut progress = Progress::default();
+    loop {
+        let chunk = match http::read_chunk(reader, shared.config.max_body) {
+            Ok(Some(c)) => c,
+            Ok(None) => break,
+            Err(FrameError::TooLarge { declared, limit }) => {
+                return (
+                    Response::error(
+                        413,
+                        format!("chunk of {declared} bytes exceeds limit {limit}"),
+                    ),
+                    false,
+                );
+            }
+            Err(FrameError::Timeout { .. }) => {
+                return (Response::error(408, "ingest stream timed out"), false);
+            }
+            Err(FrameError::Malformed(m)) => return (Response::error(400, m), false),
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => {
+                return (Response::error(400, "ingest stream closed mid-body"), false);
+            }
+        };
+        // Carry + this chunk's complete lines → one commit.
+        let mut graphs = Vec::new();
+        for line in split_lines(&mut carry, &chunk) {
+            match parse_line(&line) {
+                Ok(Some(arrival)) => graphs.push(arrival),
+                Ok(None) => {}
+                Err(m) => return (Response::error(400, m), false),
+            }
+        }
+        if let Err(resp) = progress.commit(shared, graphs, deadline) {
+            return (resp, false);
+        }
+    }
+    // Final partial line (a body need not end in a newline).
+    let tail = std::mem::take(&mut carry);
+    let final_graphs = match parse_line(&tail) {
+        Ok(Some(arrival)) => vec![arrival],
+        Ok(None) => Vec::new(),
+        // The terminator was already consumed: the connection is
+        // reusable even though the last line was garbage.
+        Err(m) => return (Response::error(400, m), true),
+    };
+    if let Err(resp) = progress.commit(shared, final_graphs, deadline) {
+        return (resp, true);
+    }
+    (progress.response(shared), true)
+}
+
+/// Handles a plain `Content-Length` `/ingest` body as a single chunk.
+pub(crate) fn plain(shared: &Shared, req: &Request) -> Response {
+    let deadline = match crate::router::deadline_of(req, None) {
+        Ok(d) => d,
+        Err(resp) => return resp,
+    };
+    let mut progress = Progress::default();
+    let mut carry: Vec<u8> = Vec::new();
+    let mut graphs = Vec::new();
+    for line in split_lines(&mut carry, &req.body) {
+        match parse_line(&line) {
+            Ok(Some(arrival)) => graphs.push(arrival),
+            Ok(None) => {}
+            Err(m) => return Response::error(400, m),
+        }
+    }
+    match parse_line(&carry) {
+        Ok(Some(arrival)) => graphs.push(arrival),
+        Ok(None) => {}
+        Err(m) => return Response::error(400, m),
+    }
+    if let Err(resp) = progress.commit(shared, graphs, deadline) {
+        return resp;
+    }
+    progress.response(shared)
+}

@@ -33,6 +33,7 @@
 //! generation), [`stats`] (live counters).
 
 mod batch;
+mod ingest;
 mod queue;
 mod router;
 mod session;

@@ -11,6 +11,9 @@
 //! | `POST /query`               | [`ViewQuery`] at the head               |
 //! | `POST /explain`             | micro-batched explain (label [+ ids])   |
 //! | `POST /insert`              | micro-batched graph insert              |
+//! | `POST /ingest`              | streaming NDJSON ingest (handled before |
+//! |                             | the router — chunked bodies never parse |
+//! |                             | as one JSON value)                      |
 //! | `POST /remove`              | tombstone graphs by id                  |
 //! | `GET /view/<id>`            | resolve a view handle                   |
 //! | `POST /session`             | open a pinned-snapshot session          |
@@ -120,7 +123,8 @@ pub(crate) fn route(req: &Request, body: Option<&Value>) -> Result<Routed, Respo
         }
         // Known paths reached with the wrong method get a 405 so
         // clients can tell a typo'd path from a typo'd verb.
-        (_, ["query" | "explain" | "insert" | "remove" | "session", ..])
+        // (`POST /ingest` is dispatched before the router runs.)
+        (_, ["query" | "explain" | "insert" | "ingest" | "remove" | "session", ..])
         | (_, ["view", _] | ["healthz"] | ["stats"]) => {
             Err(Response::error(405, format!("method {} not allowed here", req.method)))
         }

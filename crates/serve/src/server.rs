@@ -94,20 +94,21 @@ impl Default for ServeConfig {
     }
 }
 
-/// State shared by every server thread.
-struct Shared {
-    engine: Arc<Engine>,
-    config: ServeConfig,
-    queue: Queue,
-    admission: Admission,
-    batcher: Batcher,
-    sessions: Sessions,
-    stats: Arc<ServeStats>,
+/// State shared by every server thread (and the `ingest` handler
+/// module).
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) config: ServeConfig,
+    pub(crate) queue: Queue,
+    pub(crate) admission: Admission,
+    pub(crate) batcher: Batcher,
+    pub(crate) sessions: Sessions,
+    pub(crate) stats: Arc<ServeStats>,
     down: AtomicBool,
 }
 
 impl Shared {
-    fn down(&self) -> bool {
+    pub(crate) fn down(&self) -> bool {
         self.down.load(Ordering::SeqCst)
     }
 }
@@ -265,6 +266,23 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     loop {
         let (response, keep_alive) = match http::read_request(&mut reader, shared.config.max_body) {
+            Ok(req) if req.chunked => {
+                // The body is still on the socket; only the streaming
+                // ingest endpoint knows how to drain it. A response
+                // before the body is drained means the stream position
+                // is poisoned, so those connections always close.
+                if req.method == "POST" && req.path.trim_end_matches('/') == "/ingest" {
+                    let (resp, clean) = crate::ingest::chunked(shared, &req, &mut reader);
+                    let keep = clean && req.keep_alive && !shared.down();
+                    (if keep { resp } else { resp.into_closing() }, keep)
+                } else {
+                    (
+                        Response::error(411, "chunked bodies are only accepted on /ingest")
+                            .into_closing(),
+                        false,
+                    )
+                }
+            }
             Ok(req) => {
                 let keep = req.keep_alive && !shared.down();
                 (dispatch(shared, &req), keep)
@@ -314,6 +332,11 @@ fn dispatch(shared: &Shared, req: &Request) -> Response {
             ["stats"] => return stats_report(shared),
             _ => {}
         }
+    }
+    // Streaming ingest with a plain body: NDJSON, not a JSON object —
+    // it must not reach the JSON-body router.
+    if req.method == "POST" && segs.as_slice() == ["ingest"] {
+        return crate::ingest::plain(shared, req);
     }
     let body = req.json();
     let deadline = match router::deadline_of(req, body.as_ref()) {
@@ -559,6 +582,7 @@ fn stats_report(shared: &Shared) -> Response {
         "durable": engine.is_durable(),
         "durable_ops": engine.durable_ops(),
         "staleness": Value::Object(staleness),
+        "window": wire::window_to_value(&engine.window_stats()),
     });
     let queue_part = serde_json::json!({
         "depth": shared.queue.depth() as u64,
@@ -597,9 +621,17 @@ fn stats_report(shared: &Shared) -> Response {
             "evictions": p.evictions,
             "spilled_bytes": p.spilled_bytes,
             "hit_rate": p.hit_rate(),
+            "extents": wire::extent_usage_to_value(
+                &engine.extent_usage().unwrap_or_default(),
+            ),
         }),
         None => serde_json::json!({ "paged": false }),
     };
+    let ingest_part = serde_json::json!({
+        "requests": shared.stats.ingest_requests(),
+        "chunks": shared.stats.ingest_chunks(),
+        "graphs": shared.stats.ingested_graphs(),
+    });
     let (r2, r4, r5) = shared.stats.responses();
     let responses_part = serde_json::json!({ "2xx": r2, "4xx": r4, "5xx": r5 });
     Response::ok(serde_json::json!({
@@ -609,6 +641,7 @@ fn stats_report(shared: &Shared) -> Response {
         "admission": admission_part,
         "batch": batch_part,
         "sessions": sessions_part,
+        "ingest": ingest_part,
         "pager": pager_part,
         "responses": responses_part,
     }))

@@ -28,6 +28,12 @@ pub struct ServeStats {
     /// Sessions opened / expired by the TTL sweeper.
     sessions_opened: AtomicU64,
     sessions_expired: AtomicU64,
+    /// `/ingest` requests completed (both chunked and plain bodies).
+    ingest_requests: AtomicU64,
+    /// Chunks committed by those requests (one engine batch each).
+    ingest_chunks: AtomicU64,
+    /// Graphs admitted through `/ingest`.
+    ingested_graphs: AtomicU64,
     /// Responses written, by status class.
     resp_2xx: AtomicU64,
     resp_4xx: AtomicU64,
@@ -57,6 +63,17 @@ impl ServeStats {
     counter!(bump_batches_flushed, batches_flushed, batches_flushed);
     counter!(bump_sessions_opened, sessions_opened, sessions_opened);
     counter!(bump_sessions_expired, sessions_expired, sessions_expired);
+    counter!(bump_ingest_requests, ingest_requests, ingest_requests);
+    counter!(bump_ingest_chunks, ingest_chunks, ingest_chunks);
+
+    /// Adds `n` streamed graphs to the ingest counter.
+    pub fn add_ingested_graphs(&self, n: u64) {
+        self.ingested_graphs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn ingested_graphs(&self) -> u64 {
+        self.ingested_graphs.load(Ordering::Relaxed)
+    }
 
     /// Adds `n` batched requests to the occupancy numerator.
     pub fn add_batched_requests(&self, n: u64) {

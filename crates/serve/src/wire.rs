@@ -13,7 +13,10 @@
 //! body is the client's fault and maps to a 400, never to a dead
 //! worker.
 
-use gvex_core::{query::QueryResult, ExplanationView, ViewId, ViewQuery};
+use gvex_core::{
+    query::QueryResult, ExplanationView, ExtentUsage, RetentionPolicy, ViewId, ViewQuery, Window,
+    WindowStats,
+};
 use gvex_graph::{ClassLabel, Graph, GraphId};
 use gvex_pattern::Pattern;
 use serde_json::Value;
@@ -223,6 +226,56 @@ pub fn query_result_to_value(r: &QueryResult) -> Value {
         "graphs": r.graphs.clone(),
         "per_label": Value::Array(per_label),
     })
+}
+
+/// Encodes a retention policy: `{"mode": "keep_all"}` or
+/// `{"mode": "last_epochs" | "last_graphs" | "last_bytes", "n": k}`.
+pub fn retention_to_value(p: RetentionPolicy) -> Value {
+    match p {
+        RetentionPolicy::KeepAll => serde_json::json!({ "mode": "keep_all" }),
+        RetentionPolicy::Window(Window::Epochs(n)) => {
+            serde_json::json!({ "mode": "last_epochs", "n": n })
+        }
+        RetentionPolicy::Window(Window::Graphs(n)) => {
+            serde_json::json!({ "mode": "last_graphs", "n": n as u64 })
+        }
+        RetentionPolicy::Window(Window::Bytes(b)) => {
+            serde_json::json!({ "mode": "last_bytes", "n": b })
+        }
+    }
+}
+
+/// Encodes the retention-window gauges — the `window` section of
+/// `/stats` and of every `/ingest` response.
+pub fn window_to_value(w: &WindowStats) -> Value {
+    serde_json::json!({
+        "policy": retention_to_value(w.policy),
+        "floor": w.floor.0,
+        "live_graphs": w.live_graphs,
+        "live_bytes": w.live_bytes,
+        "expired_total": w.expired_total,
+    })
+}
+
+/// Encodes the per-extent space accounting — the `extents` array of the
+/// `/stats` pager section.
+pub fn extent_usage_to_value(extents: &[ExtentUsage]) -> Value {
+    Value::Array(
+        extents
+            .iter()
+            .map(|e| {
+                serde_json::json!({
+                    "extent": e.extent as u64,
+                    "shard": e.shard as u64,
+                    "gen": e.gen as u64,
+                    "len": e.len,
+                    "live_bytes": e.live_bytes,
+                    "dead_bytes": e.dead_bytes,
+                    "active": e.active,
+                })
+            })
+            .collect(),
+    )
 }
 
 /// Encodes a view summary (handle, tiers, scores) — the explain/view

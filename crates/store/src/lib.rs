@@ -94,11 +94,24 @@ pub fn wal_path(dir: &Path, s: usize) -> PathBuf {
     dir.join(format!("wal-{s:03}.log"))
 }
 
-/// Path of shard `s`'s payload extent (the append-only segment file
-/// the pager spills evicted graph payloads into and checkpoints point
-/// at) inside a durable directory.
+/// Path of shard `s`'s generation-0 payload extent (the append-only
+/// segment file the pager spills evicted graph payloads into and
+/// checkpoints point at) inside a durable directory. Later generations
+/// — opened when a windowed engine rotates a mostly-dead extent — live
+/// at [`extent_gen_path`].
 pub fn extent_path(dir: &Path, s: usize) -> PathBuf {
     dir.join(format!("pages-{s:03}.seg"))
+}
+
+/// Path of shard `s`'s generation-`g` payload extent. Generation 0 is
+/// the bare [`extent_path`] name, so directories written before extent
+/// generations existed read back unchanged.
+pub fn extent_gen_path(dir: &Path, s: usize, g: u32) -> PathBuf {
+    if g == 0 {
+        extent_path(dir, s)
+    } else {
+        dir.join(format!("pages-{s:03}-g{g}.seg"))
+    }
 }
 
 /// Fsyncs `dir` itself, persisting directory-level metadata (file

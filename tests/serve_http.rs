@@ -5,7 +5,7 @@
 //! interleaved write batch), micro-batching, health endpoints, and
 //! graceful shutdown draining admitted work.
 
-use gvex::core::{Config, Engine};
+use gvex::core::{Config, Engine, RetentionPolicy, Window};
 use gvex::data::{mutagenicity, DataConfig, TYPE_N, TYPE_O};
 use gvex::gnn::{AdamTrainer, GcnModel};
 use gvex::serve::{live_graphs, Client, ServeConfig, Server, ServerHandle};
@@ -362,4 +362,158 @@ fn graceful_shutdown_drains_admitted_work() {
         },
         "listener must be closed after shutdown"
     );
+}
+
+// ---- streaming ingest -------------------------------------------------
+
+/// A server over a *windowed* engine (the `serve` helper builds
+/// keep-all engines), so ingest tests can watch the sweep keep the
+/// resident set bounded while the stream runs past it.
+fn windowed_serve(n: usize, seed: u64, keep: usize) -> ServerHandle {
+    let mut db = mutagenicity(DataConfig::new(n, seed));
+    let model = GcnModel::new(14, 16, 2, 2, seed);
+    AdamTrainer::classify_all(&model, &mut db, &[]);
+    let engine = Arc::new(
+        Engine::builder(model, db)
+            .config(Config::with_bounds(0, 5))
+            .threads(2)
+            .retention(RetentionPolicy::Window(Window::last_graphs(keep)))
+            .build(),
+    );
+    let config = ServeConfig {
+        accept_threads: 2,
+        exec_threads: 2,
+        read_timeout: Duration::from_millis(500),
+        batch_window: Duration::from_millis(2),
+        ..ServeConfig::default()
+    };
+    Server::start(engine, config).expect("server starts")
+}
+
+/// Chunked NDJSON: one commit per chunk, the window holds, the summary
+/// reports the gauges, and the connection stays reusable.
+#[test]
+fn chunked_ingest_commits_per_chunk_within_the_window() {
+    let handle = windowed_serve(6, 31, 4);
+    let mut c = client(&handle);
+    let chunks: Vec<Vec<Value>> =
+        (0..3).map(|i| vec![wire_graph(i % 2), wire_graph((i + 1) % 2)]).collect();
+    let r = c.ingest_chunked(&chunks).unwrap();
+    assert_eq!(r.status, 200, "ingest failed: {:?}", r.body);
+    assert_eq!(r.u64_field("ingested"), 6);
+    assert_eq!(r.u64_field("batches"), 3, "one commit per chunk");
+    assert!(r.u64_field("epoch") > 0);
+    let window = r.body.get_field("window").expect("ingest response carries window gauges");
+    assert!(
+        gvex::serve::wire::u64_field(window, "live_graphs").unwrap() <= 4,
+        "sweep must hold the window during ingest: {window:?}"
+    );
+    assert!(live_graphs(handle.engine()) <= 4, "engine resident set exceeds the window");
+
+    // The connection survives a clean chunked body, and /stats now
+    // reports the ingest counters and the engine's window gauges.
+    let s = c.get("/stats").unwrap();
+    assert_eq!(s.status, 200);
+    let ing = s.body.get_field("ingest").expect("stats.ingest block");
+    assert_eq!(gvex::serve::wire::u64_field(ing, "requests").unwrap(), 1);
+    assert_eq!(gvex::serve::wire::u64_field(ing, "chunks").unwrap(), 3);
+    assert_eq!(gvex::serve::wire::u64_field(ing, "graphs").unwrap(), 6);
+    let eng = s.body.get_field("engine").expect("engine block");
+    let window = eng.get_field("window").expect("engine.window block");
+    assert!(gvex::serve::wire::u64_field(window, "expired_total").unwrap() > 0);
+    handle.shutdown();
+}
+
+/// A line split across two chunks is carried over and committed whole.
+#[test]
+fn ingest_reassembles_lines_split_across_chunks() {
+    let handle = windowed_serve(6, 33, 8);
+    let line = serde_json::to_string(&wire_graph(1)).unwrap() + "\n";
+    let (head, tail) = line.split_at(line.len() / 2);
+    let second = serde_json::to_string(&wire_graph(0)).unwrap() + "\n";
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(
+        b"POST /ingest HTTP/1.1\r\nhost: gvex\r\nconnection: close\r\n\
+          transfer-encoding: chunked\r\n\r\n",
+    )
+    .unwrap();
+    for chunk in [head.to_string(), format!("{tail}{second}")] {
+        raw.write_all(format!("{:x}\r\n{chunk}\r\n", chunk.len()).as_bytes()).unwrap();
+    }
+    raw.write_all(b"0\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
+    assert!(text.contains("\"ingested\":2"), "both lines must land: {text}");
+    // The first chunk held no complete line, so only one commit ran.
+    assert!(text.contains("\"batches\":1"), "split line must not split the commit: {text}");
+    handle.shutdown();
+}
+
+/// A plain Content-Length NDJSON body is one chunk; the final line may
+/// omit its newline.
+#[test]
+fn plain_body_ingest_is_a_single_chunk() {
+    let handle = windowed_serve(6, 35, 8);
+    let before = live_graphs(handle.engine());
+    let body = format!(
+        "{}\n{}",
+        serde_json::to_string(&wire_graph(1)).unwrap(),
+        serde_json::to_string(&wire_graph(0)).unwrap()
+    );
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(
+        format!(
+            "POST /ingest HTTP/1.1\r\nhost: gvex\r\nconnection: close\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 200"), "got: {text}");
+    assert!(text.contains("\"ingested\":2"), "got: {text}");
+    assert!(text.contains("\"batches\":1"), "got: {text}");
+    assert_eq!(live_graphs(handle.engine()), (before + 2).min(8));
+    handle.shutdown();
+}
+
+/// Chunked bodies are only accepted on /ingest (nothing else can parse
+/// a body it never read), a garbage line aborts the stream with 400,
+/// and GET /ingest is a 405 like the other POST-only endpoints.
+#[test]
+fn ingest_rejections() {
+    let handle = windowed_serve(6, 37, 8);
+
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(b"POST /insert HTTP/1.1\r\nhost: gvex\r\ntransfer-encoding: chunked\r\n\r\n")
+        .unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 411"), "chunked off /ingest must 411: {text}");
+    assert!(text.contains("connection: close"), "must close: {text}");
+
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.set_read_timeout(Some(TIMEOUT)).unwrap();
+    raw.write_all(
+        b"POST /ingest HTTP/1.1\r\nhost: gvex\r\ntransfer-encoding: chunked\r\n\r\n\
+          9\r\nnot json\n\r\n",
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.starts_with("HTTP/1.1 400"), "garbage line must 400: {text}");
+
+    let mut c = client(&handle);
+    assert_eq!(c.request("GET", "/ingest", None, None).unwrap().status, 405);
+    handle.shutdown();
 }

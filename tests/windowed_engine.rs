@@ -1,0 +1,338 @@
+//! Windowed-retention integration tests: a windowed engine must be
+//! observationally identical to an unwindowed engine that explicitly
+//! removes exactly the graphs the window expired — same head epochs,
+//! same query results, same view contents — at every step of random
+//! arrival streams; pinned snapshots must keep reading their frontier
+//! (expired graphs included) byte-identically; and durable recovery
+//! must re-derive the same expiry sweeps from the logged inserts alone,
+//! preserving the window floor.
+
+use gvex_core::{Config, Engine, FsyncPolicy, RetentionPolicy, ViewQuery, Window};
+use gvex_data::malnet_scale;
+use gvex_gnn::GcnModel;
+use gvex_graph::{ClassLabel, Graph, GraphDb, GraphId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh scratch directory under the system temp dir, unique per
+/// test invocation (pid + counter), removed by [`Scratch::drop`].
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("gvex-window-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Untrained model — determinism is all these tests need, and both
+/// sides of every comparison clone the same instance.
+fn model_for(db: &GraphDb) -> GcnModel {
+    let feat = db.iter().next().map(|(_, g)| g.feature_dim()).unwrap_or(1);
+    GcnModel::new(feat, 8, 5, 2, 7)
+}
+
+fn cfg() -> Config {
+    Config::with_bounds(0, 4)
+}
+
+fn last_graphs(n: usize) -> RetentionPolicy {
+    RetentionPolicy::Window(Window::last_graphs(n))
+}
+
+/// Canonical value of one explanation view (field-by-field, with float
+/// bits — the windowed engine must reproduce views exactly).
+type ViewCanon = (
+    ClassLabel,
+    Vec<(GraphId, Vec<u32>, bool, bool, u64)>,
+    Vec<(Vec<u16>, Vec<(u32, u32, u16)>)>,
+    u64,
+    u64,
+);
+
+fn canon_view(v: &gvex_core::ExplanationView) -> ViewCanon {
+    let subs = v
+        .subgraphs
+        .iter()
+        .map(|s| (s.graph_id, s.nodes.clone(), s.consistent, s.counterfactual, s.score.to_bits()))
+        .collect();
+    let pats = v
+        .patterns
+        .iter()
+        .map(|p| {
+            let types: Vec<u16> = (0..p.num_nodes() as u32).map(|n| p.node_type(n)).collect();
+            let mut edges: Vec<(u32, u32, u16)> = p.edges().collect();
+            edges.sort_unstable();
+            (types, edges)
+        })
+        .collect();
+    (v.label, subs, pats, v.explainability.to_bits(), v.edge_loss.to_bits())
+}
+
+/// Canonical value of one graph payload: types, features (bit-exact),
+/// and the sorted edge list.
+type GraphCanon = (Vec<u16>, Vec<u64>, Vec<(u32, u32, u16)>);
+
+fn canon_graph(g: &Graph) -> GraphCanon {
+    let types: Vec<u16> = (0..g.num_nodes() as u32).map(|v| g.node_type(v)).collect();
+    let feats: Vec<u64> = g.features().data().iter().map(|f| f.to_bits()).collect();
+    let mut edges: Vec<(u32, u32, u16)> = g.edges().collect();
+    edges.sort_unstable();
+    (types, feats, edges)
+}
+
+/// Asserts `a` and `b` answer identically: head epoch, full result
+/// set, per-label counts, per-label queries, and every current view.
+fn assert_identical(a: &Engine, b: &Engine, labels: ClassLabel) {
+    assert_eq!(a.head(), b.head(), "head epoch");
+    let (ra, rb) = (a.query(&ViewQuery::new()), b.query(&ViewQuery::new()));
+    assert_eq!(ra.graphs, rb.graphs, "live graph ids");
+    assert_eq!(ra.per_label, rb.per_label, "per-label counts");
+    for l in 0..labels {
+        assert_eq!(
+            a.query(&ViewQuery::new().label(l)).graphs,
+            b.query(&ViewQuery::new().label(l)).graphs,
+            "label {l} result"
+        );
+    }
+    let (va, vb) = (a.view_set(), b.view_set());
+    let ca: Vec<ViewCanon> = va.views.iter().map(canon_view).collect();
+    let cb: Vec<ViewCanon> = vb.views.iter().map(canon_view).collect();
+    assert_eq!(ca, cb, "current view versions");
+}
+
+/// Drives one insert batch into the windowed engine and mirrors it on
+/// the unwindowed reference: same arrivals, then an explicit
+/// `remove_graphs` of exactly the ids the window expired (ascending id
+/// order — the sweep's own deterministic order). Sequential ids are
+/// reproducible across engines, so set difference identifies them.
+fn mirror_batch(windowed: &Engine, reference: &Engine, batch: &[Graph]) {
+    let arrivals: Vec<_> = batch.iter().map(|g| (g.clone(), None)).collect();
+    windowed.insert_graphs(arrivals.clone());
+    reference.insert_graphs(arrivals);
+    let kept = windowed.query(&ViewQuery::new()).graphs;
+    let mut victims: Vec<GraphId> = reference
+        .query(&ViewQuery::new())
+        .graphs
+        .into_iter()
+        .filter(|id| !kept.contains(id))
+        .collect();
+    victims.sort_unstable();
+    if !victims.is_empty() {
+        reference.remove_graphs(&victims);
+    }
+}
+
+#[test]
+fn window_gauges_track_the_stream() {
+    let db = malnet_scale(6, 11);
+    let model = model_for(&db);
+    let pool: Vec<Graph> = malnet_scale(12, 50).iter().map(|(_, g)| g.clone()).collect();
+    let engine =
+        Engine::builder(model, GraphDb::new()).config(cfg()).retention(last_graphs(3)).build();
+    assert_eq!(engine.retention_policy(), last_graphs(3));
+
+    let empty = engine.window_stats();
+    assert_eq!(empty.live_graphs, 0);
+    assert_eq!(empty.floor, engine.head(), "empty window: the floor is the head");
+
+    for chunk in pool.chunks(2) {
+        engine.insert_graphs(chunk.iter().map(|g| (g.clone(), None)).collect());
+    }
+    let stats = engine.window_stats();
+    assert_eq!(stats.live_graphs, 3, "window keeps exactly the newest 3");
+    assert_eq!(stats.expired_total, pool.len() as u64 - 3, "everything else expired");
+    assert!(stats.live_bytes > 0);
+    assert!(stats.floor < engine.head(), "live graphs exist above the floor");
+    assert_eq!(engine.query(&ViewQuery::new()).graphs.len(), 3);
+}
+
+#[test]
+fn epoch_window_expires_by_age_not_count() {
+    let pool: Vec<Graph> = malnet_scale(8, 51).iter().map(|(_, g)| g.clone()).collect();
+    let model = model_for(&malnet_scale(4, 1));
+    let engine = Engine::builder(model, GraphDb::new())
+        .config(cfg())
+        .retention(RetentionPolicy::Window(Window::last_epochs(1_000_000)))
+        .build();
+    // A huge epoch window expires nothing on a short stream.
+    for chunk in pool.chunks(3) {
+        engine.insert_graphs(chunk.iter().map(|g| (g.clone(), None)).collect());
+    }
+    let stats = engine.window_stats();
+    assert_eq!(stats.live_graphs, pool.len() as u64, "wide window keeps everything");
+    assert_eq!(stats.expired_total, 0);
+}
+
+/// The pin-floor clamp: expiry tombstones graphs the moment they fall
+/// off the window, but compaction never frees state a pinned snapshot
+/// still observes — the snapshot keeps reading every payload of its
+/// frontier, byte-identically, while the head has already moved on.
+#[test]
+fn pinned_snapshot_reads_its_frontier_across_expiry() {
+    let pool: Vec<Graph> = malnet_scale(10, 77).iter().map(|(_, g)| g.clone()).collect();
+    let model = model_for(&malnet_scale(4, 2));
+    let engine =
+        Engine::builder(model, GraphDb::new()).config(cfg()).retention(last_graphs(2)).build();
+
+    // The opening batch itself sweeps: four arrivals, window of two —
+    // the pin below observes only the two survivors.
+    engine.insert_graphs(pool[..4].iter().map(|g| (g.clone(), None)).collect());
+    let kept = engine.query(&ViewQuery::new()).graphs;
+    assert_eq!(kept.len(), 2, "the opening batch already swept down to the window");
+    let pinned = engine.snapshot();
+    let frontier: Vec<GraphCanon> = kept
+        .iter()
+        .map(|&id| canon_graph(pinned.db().get_graph(id).expect("pinned read")))
+        .collect();
+
+    // Stream far past the window: every pinned graph expires.
+    for chunk in pool[4..].chunks(2) {
+        engine.insert_graphs(chunk.iter().map(|g| (g.clone(), None)).collect());
+    }
+    let head_live = engine.query(&ViewQuery::new()).graphs;
+    for id in &kept {
+        assert!(!head_live.contains(id), "graph {id} fell off the window at the head");
+    }
+    assert_eq!(engine.window_stats().live_graphs, 2);
+
+    // The pin still answers its epoch: both original survivors, with
+    // byte-identical payloads.
+    let at_pin = pinned.query(&ViewQuery::new()).graphs;
+    for id in &kept {
+        assert!(at_pin.contains(id), "graph {id} visible at the pinned epoch");
+    }
+    for (id, want) in kept.iter().zip(&frontier) {
+        let got = canon_graph(pinned.db().get_graph(*id).expect("pinned payload survives"));
+        assert_eq!(&got, want, "graph {id} payload at the pin");
+    }
+
+    // Dropping the pin releases the retained state on the next sweep.
+    drop(pinned);
+    engine.compact();
+    for id in &kept {
+        assert!(engine.db().get_graph(*id).is_none(), "graph {id} freed after the pin dropped");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random arrival streams, a windowed engine is observationally
+    /// identical — heads, queries, per-label results, and bit-exact
+    /// view contents — to an unwindowed engine that explicitly removes
+    /// exactly what the window expired, checked after every batch.
+    #[test]
+    fn windowed_equals_unwindowed_restricted_to_the_window(
+        k in 1usize..6,
+        batches in 2usize..6,
+        seed in 1u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool: Vec<Graph> =
+            malnet_scale(20, seed).iter().map(|(_, g)| g.clone()).collect();
+        let model = model_for(&malnet_scale(4, seed));
+        let windowed = Engine::builder(model.clone(), GraphDb::new())
+            .config(cfg())
+            .retention(last_graphs(k))
+            .build();
+        let reference =
+            Engine::builder(model, GraphDb::new()).config(cfg()).build();
+
+        for _ in 0..batches {
+            let n = rng.gen_range(1..=3usize);
+            let batch: Vec<Graph> =
+                (0..n).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect();
+            mirror_batch(&windowed, &reference, &batch);
+            // Interleave reads: views materialize on both sides from
+            // the same (windowed) live set.
+            if rng.gen_range(0..2u8) == 1 {
+                let l = rng.gen_range(0..5u16);
+                windowed.explain_label(l);
+                reference.explain_label(l);
+            }
+            assert_identical(&windowed, &reference, 5);
+            prop_assert!(
+                windowed.query(&ViewQuery::new()).graphs.len() <= k,
+                "window bound holds"
+            );
+        }
+    }
+
+    /// Durable windowed engines recover by re-deriving the expiry
+    /// sweeps from the logged inserts alone (nothing about expiry is
+    /// logged): after a drop-and-rebuild, the engine equals a
+    /// never-crashed windowed twin — same live set, same views, same
+    /// window floor.
+    #[test]
+    fn recovery_re_derives_the_window(
+        k in 1usize..5,
+        checkpoint_at in 0usize..4,
+        seed in 1u64..500,
+    ) {
+        let scratch = Scratch::new("prop");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool: Vec<Graph> =
+            malnet_scale(16, seed).iter().map(|(_, g)| g.clone()).collect();
+        let model = model_for(&malnet_scale(4, seed));
+        let batches: Vec<Vec<Graph>> = (0..4)
+            .map(|_| {
+                let n = rng.gen_range(1..=3usize);
+                (0..n).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect()
+            })
+            .collect();
+
+        let durable = Engine::builder(model.clone(), GraphDb::new())
+            .config(cfg())
+            .retention(last_graphs(k))
+            .durable(scratch.path())
+            .fsync(FsyncPolicy::Never)
+            .build();
+        let twin = Engine::builder(model.clone(), GraphDb::new())
+            .config(cfg())
+            .retention(last_graphs(k))
+            .build();
+        for (i, batch) in batches.iter().enumerate() {
+            let arrivals: Vec<_> = batch.iter().map(|g| (g.clone(), None)).collect();
+            durable.insert_graphs(arrivals.clone());
+            twin.insert_graphs(arrivals);
+            if i == checkpoint_at {
+                durable.checkpoint().expect("mid-stream checkpoint");
+            }
+        }
+        let stats_before = durable.window_stats();
+        drop(durable);
+
+        let recovered = Engine::builder(model, GraphDb::new())
+            .config(cfg())
+            .retention(last_graphs(k))
+            .durable(scratch.path())
+            .build();
+        recovered.recovery_report().expect("directory was recovered");
+        assert_identical(&recovered, &twin, 5);
+        let stats_after = recovered.window_stats();
+        prop_assert_eq!(stats_after.floor, stats_before.floor, "window floor survives");
+        prop_assert_eq!(stats_after.live_graphs, stats_before.live_graphs);
+        // `live_bytes` is deliberately not compared: the gauge reports
+        // each payload at its current representation's cost (heap
+        // estimate when resident, serialized length when
+        // extent-backed), and recovery rebuilds slots extent-backed.
+    }
+}
